@@ -1,0 +1,168 @@
+//! The GPU baseline model.
+//!
+//! We have no RTX 2080 in this environment, so the GPU baseline is an
+//! analytic latency model (see DESIGN.md's substitution table). It encodes
+//! the *mechanisms* the paper identifies rather than a curve fit to each
+//! figure:
+//!
+//! * "The GPU ... is a platform optimized for parallel throughput, not the
+//!   latency of a single calculation" (§6.2);
+//! * "The algorithm is also very serial because of inter-loop dependencies
+//!   in the forward and backward passes, and joining of partial
+//!   derivatives in ∇ID for M⁻¹ multiplications, forcing many
+//!   synchronization points and causing overall poor thread occupancy";
+//! * kernel-launch and transfer overheads flatten batch scaling, and
+//!   throughput only helps once the batch exceeds the SM count
+//!   ("Beginning at 64 time steps ... the GPU benefits from high
+//!   throughput", §6.3).
+//!
+//! The constants are calibrated once against the paper's two anchor points
+//! (86× slower than the FPGA single-shot; CPU crossover at 64 steps with
+//! near-flat scaling below the SM count) and then used for *all*
+//! experiments.
+
+use crate::LatencySegments;
+
+/// Analytic latency model of the GPU baseline (RTX 2080-class, Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use robo_baselines::GpuModel;
+///
+/// let gpu = GpuModel::rtx2080();
+/// // Single-shot latency is tens of microseconds (Figure 10's GPU bar)...
+/// assert!(gpu.single_latency_s(7) > 40e-6);
+/// // ...but batches amortize well below the SM count (Figure 13).
+/// let per_step = gpu.batch_latency_s(7, 46) / 46.0;
+/// assert!(per_step < gpu.single_latency_s(7) / 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Kernel launch + driver overhead per invocation.
+    pub kernel_launch_s: f64,
+    /// Cost of one grid-wide synchronization step; the forward and
+    /// backward passes each serialize `N` of these.
+    pub sync_per_link_s: f64,
+    /// Cost of the `M⁻¹` join + multiply phase per invocation.
+    pub minv_join_s: f64,
+    /// Streaming multiprocessors (RTX 2080: 46).
+    pub sm_count: usize,
+    /// Additional per-SM-wave cost once the batch exceeds the SM count.
+    pub wave_s: f64,
+    /// Host↔device transfer overhead per batch (PCIe Gen 3).
+    pub transfer_overhead_s: f64,
+    /// Per-time-step transfer time (PCIe Gen 3, input + output payloads).
+    pub transfer_per_step_s: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::rtx2080()
+    }
+}
+
+impl GpuModel {
+    /// The calibrated RTX 2080-class model.
+    pub fn rtx2080() -> Self {
+        Self {
+            kernel_launch_s: 5.0e-6,
+            sync_per_link_s: 2.75e-6,
+            minv_join_s: 9.0e-6,
+            sm_count: 46,
+            wave_s: 12.0e-6,
+            transfer_overhead_s: 10.0e-6,
+            transfer_per_step_s: 0.06e-6,
+        }
+    }
+
+    /// Latency of a single gradient computation (Figure 10's GPU bar),
+    /// for a robot whose longest limb has `n_links` links.
+    pub fn single_latency_s(&self, n_links: usize) -> f64 {
+        self.single_segments(n_links).total()
+    }
+
+    /// The Figure 10 segment breakdown for a single computation.
+    pub fn single_segments(&self, n_links: usize) -> LatencySegments {
+        // ID runs concurrently with ∇ID, surfacing only its launch share.
+        let id_s = self.kernel_launch_s;
+        // ∇ID: 2·N serialized grid syncs (forward + backward pass).
+        let grad_s = 2.0 * n_links as f64 * self.sync_per_link_s;
+        let minv_s = self.minv_join_s;
+        LatencySegments {
+            id_s,
+            grad_s,
+            minv_s,
+        }
+    }
+
+    /// Round-trip latency (including transfers) for a batch of `timesteps`
+    /// gradient computations — the Figure 13 GPU curve.
+    ///
+    /// All time steps run in parallel across SMs; the serial sync chain is
+    /// paid once per batch, and extra "waves" appear once the batch exceeds
+    /// the SM count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0`.
+    pub fn batch_latency_s(&self, n_links: usize, timesteps: usize) -> f64 {
+        assert!(timesteps > 0, "need at least one time step");
+        let waves = timesteps.div_ceil(self.sm_count);
+        self.transfer_overhead_s
+            + timesteps as f64 * self.transfer_per_step_s
+            + self.kernel_launch_s
+            + 2.0 * n_links as f64 * self.sync_per_link_s
+            + self.minv_join_s
+            + (waves - 1) as f64 * self.wave_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_latency_calibrated_to_paper_ratio() {
+        // Figure 10: GPU ≈ 86× slower than the 0.611 µs FPGA single-shot.
+        let gpu = GpuModel::rtx2080();
+        let fpga_s = 34.0 / 55.6e6;
+        let ratio = gpu.single_latency_s(7) / fpga_s;
+        assert!(
+            (70.0..=100.0).contains(&ratio),
+            "GPU/FPGA single-shot ratio {ratio:.0} out of band"
+        );
+    }
+
+    #[test]
+    fn grad_dominates_single_latency() {
+        // "It experiences an especially long latency for ∇ID, the step of
+        // Algorithm 1 with the largest computational workload" (§6.2).
+        let seg = GpuModel::rtx2080().single_segments(7);
+        assert!(seg.grad_s > seg.id_s + seg.minv_s);
+    }
+
+    #[test]
+    fn batch_scaling_is_flat_below_sm_count() {
+        let gpu = GpuModel::rtx2080();
+        let t10 = gpu.batch_latency_s(7, 10);
+        let t32 = gpu.batch_latency_s(7, 32);
+        let t128 = gpu.batch_latency_s(7, 128);
+        // Below 46 steps the batch fits one wave: nearly flat.
+        assert!((t32 - t10) / t10 < 0.05);
+        // Beyond the SM count extra waves appear.
+        assert!(t128 > t32);
+    }
+
+    #[test]
+    fn longer_limbs_cost_more() {
+        let gpu = GpuModel::rtx2080();
+        assert!(gpu.single_latency_s(12) > gpu.single_latency_s(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one time step")]
+    fn zero_batch_panics() {
+        let _ = GpuModel::rtx2080().batch_latency_s(7, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 10's measured column: single dynamics-gradient latency on the
+//! CPU, broken into Algorithm 1's three steps, plus the simulated
+//! accelerator for comparison (its latency is a static cycle count; the
+//! bench measures the *simulation* cost, reported for transparency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robo_baselines::random_inputs;
+use robo_dynamics::{dynamics_gradient_from_qdd, rnea, rnea_derivatives, DynamicsModel};
+use robo_model::robots;
+use robo_sim::AcceleratorSim;
+use std::hint::black_box;
+
+fn bench_cpu_steps(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let input = &random_inputs(&robot, 1, 0xF10)[0];
+    let cache = rnea(&model, &input.q, &input.qd, &input.qdd).cache;
+
+    let mut g = c.benchmark_group("fig10_cpu");
+    g.bench_function("step1_id", |b| {
+        b.iter(|| black_box(rnea(&model, &input.q, &input.qd, &input.qdd)));
+    });
+    g.bench_function("step2_grad_id", |b| {
+        b.iter(|| black_box(rnea_derivatives(&model, &input.qd, &cache)));
+    });
+    g.bench_function("full_kernel", |b| {
+        b.iter(|| {
+            black_box(dynamics_gradient_from_qdd(
+                &model,
+                &input.q,
+                &input.qd,
+                &input.qdd,
+                &input.minv,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulated_accelerator(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    let input = &random_inputs(&robot, 1, 0xF11)[0];
+    let sim = AcceleratorSim::<f64>::new(&robot);
+    let sim_fix = AcceleratorSim::<robo_fixed::Fix32_16>::new(&robot);
+    let cast = |v: &[f64]| -> Vec<robo_fixed::Fix32_16> {
+        v.iter().map(|x| robo_spatial::Scalar::from_f64(*x)).collect()
+    };
+    let (qf, qdf, qddf) = (cast(&input.q), cast(&input.qd), cast(&input.qdd));
+    let minvf = input.minv.cast::<robo_fixed::Fix32_16>();
+
+    let mut g = c.benchmark_group("fig10_accel_sim");
+    g.bench_function("f64", |b| {
+        b.iter(|| black_box(sim.compute_gradient(&input.q, &input.qd, &input.qdd, &input.minv)));
+    });
+    g.bench_function("fix32_16", |b| {
+        b.iter(|| black_box(sim_fix.compute_gradient(&qf, &qdf, &qddf, &minvf)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_cpu_steps, bench_simulated_accelerator
+}
+criterion_main!(benches);

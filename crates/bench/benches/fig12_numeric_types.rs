@@ -1,0 +1,47 @@
+//! Figure 12's kernel in different numeric types: software cost of the
+//! dynamics gradient in `f64`, `f32`, and Q-format fixed point. (On the
+//! accelerator fixed point is *cheaper*; in software it costs more — this
+//! bench documents that asymmetry, which is exactly why the kernel belongs
+//! in hardware.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robo_baselines::random_inputs;
+use robo_dynamics::{dynamics_gradient_from_qdd, DynamicsModel};
+use robo_fixed::{Fix14_6, Fix32_16};
+use robo_model::{robots, RobotModel};
+use robo_spatial::Scalar;
+use std::hint::black_box;
+
+fn bench_type<S: Scalar>(c: &mut Criterion, robot: &RobotModel, label: &str) {
+    let model = DynamicsModel::<S>::new(robot);
+    let input = &random_inputs(robot, 1, 0xF12)[0];
+    let cast = |v: &[f64]| -> Vec<S> { v.iter().map(|x| S::from_f64(*x)).collect() };
+    let (q, qd, qdd) = (cast(&input.q), cast(&input.qd), cast(&input.qdd));
+    let minv = input.minv.cast::<S>();
+    c.bench_function(&format!("fig12_kernel/{label}"), |b| {
+        b.iter(|| {
+            black_box(dynamics_gradient_from_qdd(
+                &model,
+                black_box(&q),
+                black_box(&qd),
+                black_box(&qdd),
+                black_box(&minv),
+            ))
+        });
+    });
+}
+
+fn benches_all(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    bench_type::<f64>(c, &robot, "f64");
+    bench_type::<f32>(c, &robot, "f32");
+    bench_type::<Fix32_16>(c, &robot, "fixed_16_16");
+    bench_type::<Fix14_6>(c, &robot, "fixed_14_6");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = benches_all
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the extension substrates: forward kinematics,
+//! Jacobians, collision checking, generated-netlist evaluation, and the
+//! fixed-point MAC modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robo_collision::{min_clearance, CollisionModel};
+use robo_dynamics::{forward_kinematics, geometric_jacobian, DynamicsModel};
+use robo_fixed::Fix32_16;
+use robo_model::robots;
+use robo_spatial::Scalar;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_fk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_kinematics");
+    for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let q = vec![0.3; model.dof()];
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(forward_kinematics(m, black_box(&q))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_jacobian(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let q = vec![0.3; 7];
+    c.bench_function("geometric_jacobian/iiwa_tip", |b| {
+        b.iter(|| black_box(geometric_jacobian(&model, black_box(&q), 6)));
+    });
+}
+
+fn bench_collision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("self_collision_check");
+    for robot in [robots::iiwa14(), robots::hyq()] {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let cm = CollisionModel::from_robot(&robot, 0.05);
+        let q = vec![0.4; model.dof()];
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(min_clearance(m, &cm, black_box(&q))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_netlist_eval(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    let unit = robo_codegen::generate_x_unit(&robot, 1);
+    let mut inputs = HashMap::new();
+    inputs.insert("sin_q".to_owned(), 0.6_f64.sin());
+    inputs.insert("cos_q".to_owned(), 0.6_f64.cos());
+    for i in 0..6 {
+        inputs.insert(format!("v{i}"), 0.1 * i as f64 - 0.3);
+    }
+    c.bench_function("netlist_eval/x_unit_joint1", |b| {
+        b.iter(|| black_box(unit.eval::<f64>(black_box(&inputs)).unwrap()));
+    });
+}
+
+fn bench_mac_modes(c: &mut Criterion) {
+    let pairs: Vec<(Fix32_16, Fix32_16)> = (0..6)
+        .map(|i| {
+            (
+                Fix32_16::from_f64(0.3 * i as f64 - 0.7),
+                Fix32_16::from_f64(-0.2 * i as f64 + 0.5),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("fixed_dot6");
+    g.bench_function("per_op", |b| {
+        b.iter(|| {
+            black_box(
+                pairs
+                    .iter()
+                    .fold(Fix32_16::zero(), |acc, (x, y)| acc + *x * *y),
+            )
+        });
+    });
+    g.bench_function("wide_mac", |b| {
+        b.iter(|| black_box(Fix32_16::dot_accumulate(black_box(&pairs))));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_fk, bench_jacobian, bench_collision, bench_netlist_eval, bench_mac_modes
+}
+criterion_main!(benches);

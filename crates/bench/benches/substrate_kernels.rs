@@ -1,0 +1,103 @@
+//! Criterion benches for the dynamics substrate kernels: RNEA, CRBA, ABA,
+//! ∇RNEA, and the full gradient kernel, across the paper's three robot
+//! classes. These are the software costs underlying Figures 4 and 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robo_dynamics::{
+    aba, dynamics_gradient_from_qdd, mass_matrix, rnea, rnea_derivatives, DynamicsModel,
+};
+use robo_model::{robots, RobotModel};
+use std::hint::black_box;
+
+fn state(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    (
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+    )
+}
+
+fn robots_under_test() -> Vec<RobotModel> {
+    vec![robots::iiwa14(), robots::hyq(), robots::atlas()]
+}
+
+fn bench_rnea(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rnea");
+    for robot in robots_under_test() {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let (q, qd, qdd) = state(model.dof(), 7);
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(rnea(m, black_box(&q), black_box(&qd), black_box(&qdd))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mass_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crba_mass_matrix");
+    for robot in robots_under_test() {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let (q, _, _) = state(model.dof(), 11);
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(mass_matrix(m, black_box(&q))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_aba(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aba_forward_dynamics");
+    for robot in robots_under_test() {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let (q, qd, tau) = state(model.dof(), 13);
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(aba(m, black_box(&q), black_box(&qd), black_box(&tau))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_grad_id(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grad_inverse_dynamics");
+    for robot in robots_under_test() {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let (q, qd, qdd) = state(model.dof(), 17);
+        let cache = rnea(&model, &q, &qd, &qdd).cache;
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| black_box(rnea_derivatives(m, black_box(&qd), black_box(&cache))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_gradient_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamics_gradient_kernel");
+    for robot in robots_under_test() {
+        let model = DynamicsModel::<f64>::new(&robot);
+        let input = &robo_baselines::random_inputs(&robot, 1, 19)[0];
+        g.bench_with_input(BenchmarkId::from_parameter(robot.name()), &model, |b, m| {
+            b.iter(|| {
+                black_box(dynamics_gradient_from_qdd(
+                    m,
+                    black_box(&input.q),
+                    black_box(&input.qd),
+                    black_box(&input.qdd),
+                    black_box(&input.minv),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_rnea, bench_mass_matrix, bench_aba, bench_grad_id, bench_full_gradient_kernel
+}
+criterion_main!(benches);

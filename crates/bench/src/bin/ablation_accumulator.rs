@@ -1,0 +1,4 @@
+//! Regenerates the `ablation_accumulator` experiment (see DESIGN.md §4/§5).
+fn main() {
+    print!("{}", robo_bench::experiments::ablation_accumulator());
+}

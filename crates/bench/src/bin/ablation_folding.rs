@@ -1,0 +1,4 @@
+//! Regenerates the paper's `ablation_folding` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::ablation_folding());
+}

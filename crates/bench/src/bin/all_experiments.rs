@@ -1,0 +1,11 @@
+//! Runs the entire evaluation — every table and figure — and prints the
+//! combined report (the source for `EXPERIMENTS.md`).
+//!
+//! Pass `--quick` for a reduced-trial run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (name, report) in robo_bench::experiments::all(quick) {
+        println!("### {name}\n");
+        println!("```text\n{}```\n", report);
+    }
+}

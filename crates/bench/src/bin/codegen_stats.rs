@@ -1,0 +1,4 @@
+//! Regenerates the `codegen_stats` experiment (see DESIGN.md §4/§5).
+fn main() {
+    print!("{}", robo_bench::experiments::codegen_stats());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's `fig04_control_rates` experiment (see DESIGN.md §4).
+//!
+//! Pass `--quick` for a reduced-trial run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", robo_bench::experiments::fig04_control_rates(quick));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's `fig10_single_latency` experiment (see DESIGN.md §4).
+//!
+//! Pass `--quick` for a reduced-trial run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", robo_bench::experiments::fig10_single_latency(quick));
+}

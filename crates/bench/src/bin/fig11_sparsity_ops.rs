@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig11_sparsity_ops` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::fig11_sparsity_ops());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's `fig13_roundtrip` experiment (see DESIGN.md §4).
+//!
+//! Pass `--quick` for a reduced-trial run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", robo_bench::experiments::fig13_roundtrip(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig14_asic_latency` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::fig14_asic_latency());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `sec4_sparsity_example` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::sec4_sparsity_example());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.4 system-on-chip projection (see DESIGN.md).
+fn main() {
+    print!("{}", robo_bench::experiments::sec64_soc());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §7 other-kernels comparison (see DESIGN.md).
+fn main() {
+    print!("{}", robo_bench::experiments::sec7_other_kernels());
+}

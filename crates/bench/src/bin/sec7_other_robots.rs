@@ -1,0 +1,4 @@
+//! Regenerates the paper's `sec7_other_robots` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::sec7_other_robots());
+}

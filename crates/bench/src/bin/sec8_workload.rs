@@ -1,0 +1,4 @@
+//! Regenerates the §8 workload-characterization analysis (see DESIGN.md).
+fn main() {
+    print!("{}", robo_bench::experiments::sec8_workload());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `sweep_links` experiment (see DESIGN.md §4/§5).
+fn main() {
+    print!("{}", robo_bench::experiments::sweep_links());
+}

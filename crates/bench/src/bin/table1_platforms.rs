@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table1_platforms` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::table1_platforms());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table2_asic` experiment (see DESIGN.md §4).
+fn main() {
+    print!("{}", robo_bench::experiments::table2_asic());
+}

@@ -1,0 +1,15 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Each experiment is a function in [`experiments`] returning a rendered
+//! report that prints the paper's rows/series next to this reproduction's
+//! measured or simulated values. One binary per experiment
+//! (`cargo run -p robo-bench --release --bin fig10_single_latency`), plus
+//! `all_experiments`, which runs the whole evaluation and emits the
+//! markdown used for `EXPERIMENTS.md`. Criterion benches for the hot
+//! kernels live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

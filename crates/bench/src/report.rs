@@ -1,0 +1,129 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table with a title and optional footnotes, printed by
+/// every experiment binary in the style of the paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, cell) in cells.iter().enumerate() {
+                parts.push(format!("{cell:<width$}", width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats seconds as a microsecond string with two decimals.
+pub fn us(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e6)
+}
+
+/// Formats a speedup ratio as `N.Nx`.
+pub fn speedup(ratio: f64) -> String {
+    format!("{ratio:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo").headers(["a", "longer"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| a   | longer |"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x").headers(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(1.5e-6), "1.50");
+        assert_eq!(speedup(8.04), "8.0x");
+    }
+}

@@ -1,0 +1,51 @@
+//! Code generation for robomorphic accelerators.
+//!
+//! §7 of the paper sketches the automation path: "the design of the
+//! parameterized hardware template can be automated using a
+//! domain-specific language and a high-level synthesis flow ... users can
+//! then create accelerators without intervention from roboticists or
+//! hardware engineers". This crate is that flow's back end:
+//!
+//! * [`Netlist`] — an executable structural IR for generated functional
+//!   units, with a text format ([`Netlist::to_text`] / [`Netlist::parse`])
+//!   and an evaluator generic over any
+//!   [`Scalar`](robo_spatial::Scalar) — so every generated circuit can be
+//!   run against the software reference;
+//! * [`generate_x_unit`] — emits the pruned `X·` transform unit (Figure 7)
+//!   for any joint of any robot, constant-folding ±1/0 coefficients;
+//! * [`to_verilog`] / [`lint`] — lowers netlists to Q-format Verilog and
+//!   structurally checks the result;
+//! * [`generate_top`] — emits the Figure 8 top level: limb processors,
+//!   per-link ∂q/∂q̇ datapaths, the fused `−M⁻¹` lanes, the interstage
+//!   SRAM, and the §7 torso synchronizer for multi-limb robots.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_codegen::{generate_x_unit, to_verilog, lint, RtlFormat};
+//! use robo_model::robots;
+//!
+//! let robot = robots::iiwa14();
+//! let unit = generate_x_unit(&robot, 1); // the §4 example joint
+//! assert_eq!(unit.stats().muls, 13);     // 13 DSP multipliers, not 36
+//!
+//! let verilog = to_verilog(&unit, RtlFormat::q16_16());
+//! lint(&verilog).expect("structurally valid RTL");
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over fixed-size matrix dimensions are clearer than
+// iterator chains in this numerical code.
+#![allow(clippy::needless_range_loop)]
+
+mod netlist;
+mod top;
+mod verilog;
+mod xunit_gen;
+
+pub use netlist::{Netlist, NetlistError, NetlistStats, Node, NodeId};
+pub use top::{generate_top, TopLevel};
+pub use verilog::{lint, to_verilog, RtlFormat};
+pub use xunit_gen::{
+    generate_x_unit, generate_x_unit_with_mask, x_unit_input_names, x_unit_output_names,
+};

@@ -1,0 +1,396 @@
+//! A small structural netlist IR for generated functional units.
+//!
+//! The paper's automation path (§7) has a high-level flow instantiate
+//! "domain-specific libraries of hand-optimized RTL modules" with per-robot
+//! parameters. [`Netlist`] is the intermediate form of that flow here: a
+//! topologically ordered list of arithmetic nodes with named inputs and
+//! outputs. It can be
+//!
+//! * built from a robot's morphology (pruned by the structural sparsity),
+//! * **evaluated** in any [`Scalar`] (the executable-netlist check that
+//!   closes the generator loop),
+//! * serialized to a line-based text format and parsed back, and
+//! * lowered to Verilog by [`crate::verilog`].
+
+use robo_spatial::Scalar;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within a netlist.
+pub type NodeId = usize;
+
+/// One arithmetic node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A named external input.
+    Input(String),
+    /// A per-robot constant (stored as `f64`; converted to the evaluation
+    /// scalar or a Q-format literal at lowering time).
+    Const(f64),
+    /// Product of two variable signals (a DSP multiplier).
+    Mul(NodeId, NodeId),
+    /// Product of a variable signal and a constant (a constant-multiplier
+    /// circuit, cheaper than a full multiplier — §5.2).
+    MulConst(NodeId, f64),
+    /// Sum of two signals.
+    Add(NodeId, NodeId),
+    /// Difference of two signals.
+    Sub(NodeId, NodeId),
+    /// Negation.
+    Neg(NodeId),
+}
+
+/// A generated netlist: nodes in topological order plus named outputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+/// Counts of hardware-relevant nodes in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Variable×variable multipliers.
+    pub muls: usize,
+    /// Constant multipliers.
+    pub const_muls: usize,
+    /// Adders and subtractors.
+    pub adds: usize,
+    /// Negations (wire-level, nearly free).
+    pub negs: usize,
+}
+
+/// Error from evaluating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A named input was not provided at evaluation time.
+    MissingInput(String),
+    /// A node referenced a later or nonexistent node.
+    BadReference {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The text form could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingInput(name) => write!(f, "missing input `{name}`"),
+            Self::BadReference { node } => write!(f, "node {node} has a bad reference"),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl Netlist {
+    /// Creates an empty netlist with a module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The named outputs.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Appends a node, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node references an id at or beyond its own position
+    /// (netlists are built in topological order).
+    pub fn push(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len();
+        let check = |r: NodeId| assert!(r < id, "node {id} references future node {r}");
+        match &node {
+            Node::Input(_) | Node::Const(_) => {}
+            Node::Mul(a, b) | Node::Add(a, b) | Node::Sub(a, b) => {
+                check(*a);
+                check(*b);
+            }
+            Node::MulConst(a, _) | Node::Neg(a) => check(*a),
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Declares a named output.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        assert!(node < self.nodes.len(), "output references missing node");
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Hardware-relevant node counts.
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats::default();
+        for n in &self.nodes {
+            match n {
+                Node::Mul(..) => s.muls += 1,
+                Node::MulConst(..) => s.const_muls += 1,
+                Node::Add(..) | Node::Sub(..) => s.adds += 1,
+                Node::Neg(..) => s.negs += 1,
+                Node::Input(_) | Node::Const(_) => {}
+            }
+        }
+        s
+    }
+
+    /// Evaluates the netlist with the given named inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingInput`] if an input is absent.
+    pub fn eval<S: Scalar>(&self, inputs: &HashMap<String, S>) -> Result<Vec<(String, S)>, NetlistError> {
+        let mut values: Vec<S> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match node {
+                Node::Input(name) => *inputs
+                    .get(name)
+                    .ok_or_else(|| NetlistError::MissingInput(name.clone()))?,
+                Node::Const(c) => S::from_f64(*c),
+                Node::Mul(a, b) => values[*a] * values[*b],
+                Node::MulConst(a, c) => values[*a] * S::from_f64(*c),
+                Node::Add(a, b) => values[*a] + values[*b],
+                Node::Sub(a, b) => values[*a] - values[*b],
+                Node::Neg(a) => -values[*a],
+            };
+            values.push(v);
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(name, id)| (name.clone(), values[*id]))
+            .collect())
+    }
+
+    /// Serializes to the line-based text form (`.rnet`).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "netlist {}", self.name);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let line = match n {
+                Node::Input(name) => format!("{i} input {name}"),
+                Node::Const(c) => format!("{i} const {c:?}"),
+                Node::Mul(a, b) => format!("{i} mul {a} {b}"),
+                Node::MulConst(a, c) => format!("{i} mulc {a} {c:?}"),
+                Node::Add(a, b) => format!("{i} add {a} {b}"),
+                Node::Sub(a, b) => format!("{i} sub {a} {b}"),
+                Node::Neg(a) => format!("{i} neg {a}"),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        for (name, id) in &self.outputs {
+            let _ = writeln!(out, "output {name} {id}");
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Netlist::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] with a line number on malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<Self, NetlistError> {
+        let err = |line: usize, message: &str| NetlistError::Parse {
+            line,
+            message: message.to_owned(),
+        };
+        let mut netlist = Netlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let first = parts.next().ok_or_else(|| err(lineno, "empty line"))?;
+            if first == "netlist" {
+                netlist.name = parts.collect::<Vec<_>>().join(" ");
+                continue;
+            }
+            if first == "output" {
+                let name = parts.next().ok_or_else(|| err(lineno, "output needs a name"))?;
+                let id: NodeId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "output needs a node id"))?;
+                if id >= netlist.nodes.len() {
+                    return Err(NetlistError::BadReference { node: id });
+                }
+                netlist.outputs.push((name.to_owned(), id));
+                continue;
+            }
+            let expect_id: NodeId = first
+                .parse()
+                .map_err(|_| err(lineno, "expected a node id"))?;
+            if expect_id != netlist.nodes.len() {
+                return Err(err(lineno, "node ids must be dense and in order"));
+            }
+            let op = parts.next().ok_or_else(|| err(lineno, "missing op"))?;
+            let mut arg = || -> Result<NodeId, NetlistError> {
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "missing node argument"))
+            };
+            let node = match op {
+                "input" => Node::Input(
+                    parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "input needs a name"))?
+                        .to_owned(),
+                ),
+                "const" => Node::Const(
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "const needs a value"))?,
+                ),
+                "mul" => Node::Mul(arg()?, arg()?),
+                "mulc" => {
+                    let a = arg()?;
+                    let c: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "mulc needs a constant"))?;
+                    Node::MulConst(a, c)
+                }
+                "add" => Node::Add(arg()?, arg()?),
+                "sub" => Node::Sub(arg()?, arg()?),
+                "neg" => Node::Neg(arg()?),
+                other => return Err(err(lineno, &format!("unknown op `{other}`"))),
+            };
+            // Re-validate topological order through push's assertion, but
+            // with an error instead of a panic for untrusted text.
+            let id = netlist.nodes.len();
+            let ok = match &node {
+                Node::Input(_) | Node::Const(_) => true,
+                Node::Mul(a, b) | Node::Add(a, b) | Node::Sub(a, b) => *a < id && *b < id,
+                Node::MulConst(a, _) | Node::Neg(a) => *a < id,
+            };
+            if !ok {
+                return Err(NetlistError::BadReference { node: id });
+            }
+            netlist.nodes.push(node);
+        }
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        // o = (a * b) + 2c - neg-checked
+        let mut n = Netlist::new("tiny");
+        let a = n.push(Node::Input("a".into()));
+        let b = n.push(Node::Input("b".into()));
+        let c = n.push(Node::Input("c".into()));
+        let ab = n.push(Node::Mul(a, b));
+        let c2 = n.push(Node::MulConst(c, 2.0));
+        let sum = n.push(Node::Add(ab, c2));
+        let out = n.push(Node::Neg(sum));
+        n.output("o", out);
+        n
+    }
+
+    #[test]
+    fn evaluates() {
+        let n = tiny();
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_owned(), 3.0_f64);
+        inputs.insert("b".to_owned(), 4.0);
+        inputs.insert("c".to_owned(), 5.0);
+        let out = n.eval(&inputs).unwrap();
+        assert_eq!(out, vec![("o".to_owned(), -22.0)]);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let n = tiny();
+        let err = n.eval::<f64>(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, NetlistError::MissingInput(_)));
+    }
+
+    #[test]
+    fn stats_count_ops() {
+        let s = tiny().stats();
+        assert_eq!(
+            s,
+            NetlistStats {
+                muls: 1,
+                const_muls: 1,
+                adds: 1,
+                negs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let n = tiny();
+        let text = n.to_text();
+        let parsed = Netlist::parse(&text).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn parse_rejects_forward_references() {
+        let bad = "netlist x\n0 add 1 2\n";
+        assert!(matches!(
+            Netlist::parse(bad),
+            Err(NetlistError::BadReference { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_sparse_ids() {
+        let bad = "netlist x\n5 input a\n";
+        assert!(matches!(Netlist::parse(bad), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "future node")]
+    fn push_asserts_topological_order() {
+        let mut n = Netlist::new("bad");
+        n.push(Node::Add(0, 1));
+    }
+
+    #[test]
+    fn eval_in_fixed_point() {
+        use robo_fixed::Fix32_16;
+        let n = tiny();
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_owned(), Fix32_16::from_f64(1.5));
+        inputs.insert("b".to_owned(), Fix32_16::from_f64(-2.0));
+        inputs.insert("c".to_owned(), Fix32_16::from_f64(0.25));
+        let out = n.eval(&inputs).unwrap();
+        assert_eq!(out[0].1.to_f64(), 2.5); // -((1.5·-2) + 0.5)
+    }
+}

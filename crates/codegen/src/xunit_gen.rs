@@ -1,0 +1,247 @@
+//! Generates the pruned `X·` transform matrix-vector unit as a netlist.
+//!
+//! This is the Figure 7 structure made concrete: every live matrix entry
+//! `x_rc = α·cos q + β·sin q + γ` becomes a (constant-folded) sub-circuit,
+//! and each output row becomes a pruned tree of variable multipliers and
+//! adders over the live columns. Coefficients of ±1 fold to wires or
+//! negations; zero coefficients disappear — exactly the pruning the paper
+//! performs on the RTL.
+
+use crate::netlist::{Netlist, Node, NodeId};
+use robo_model::RobotModel;
+use robo_sparsity::{x_pattern, Mask6};
+
+/// Input signal names of a generated X-unit, in declaration order:
+/// `sin_q`, `cos_q`, then `v0..v5`.
+pub fn x_unit_input_names() -> Vec<String> {
+    let mut names = vec!["sin_q".to_owned(), "cos_q".to_owned()];
+    names.extend((0..6).map(|i| format!("v{i}")));
+    names
+}
+
+/// Output signal names: `o0..o5`.
+pub fn x_unit_output_names() -> Vec<String> {
+    (0..6).map(|i| format!("o{i}")).collect()
+}
+
+fn affine_coefficients(robot: &RobotModel, joint: usize) -> [[(f64, f64, f64); 6]; 6] {
+    let probe = |s: f64, c: f64| robot.joint_transform_sincos::<f64>(joint, s, c).to_mat6();
+    let m00 = probe(0.0, 0.0);
+    let m01 = probe(0.0, 1.0);
+    let m10 = probe(1.0, 0.0);
+    let mut out = [[(0.0, 0.0, 0.0); 6]; 6];
+    for r in 0..6 {
+        for c in 0..6 {
+            out[r][c] = (
+                m01.m[r][c] - m00.m[r][c], // α (cos coefficient)
+                m10.m[r][c] - m00.m[r][c], // β (sin coefficient)
+                m00.m[r][c],               // γ (constant)
+            );
+        }
+    }
+    out
+}
+
+const FOLD_TOL: f64 = 1e-12;
+
+/// Emits a term `k·src`, folding `k ∈ {0, ±1}` to nothing / a wire / a
+/// negation. Returns `None` for a zero coefficient.
+fn coeff_term(n: &mut Netlist, src: NodeId, k: f64) -> Option<NodeId> {
+    if k.abs() < FOLD_TOL {
+        None
+    } else if (k - 1.0).abs() < FOLD_TOL {
+        Some(src)
+    } else if (k + 1.0).abs() < FOLD_TOL {
+        Some(n.push(Node::Neg(src)))
+    } else {
+        Some(n.push(Node::MulConst(src, k)))
+    }
+}
+
+fn sum_terms(n: &mut Netlist, terms: &[NodeId]) -> Option<NodeId> {
+    let mut iter = terms.iter().copied();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, t| n.push(Node::Add(acc, t))))
+}
+
+/// Generates the pruned X-unit netlist for `joint` of `robot`, using the
+/// joint's own structural mask.
+pub fn generate_x_unit(robot: &RobotModel, joint: usize) -> Netlist {
+    generate_x_unit_with_mask(robot, joint, x_pattern(robot, joint))
+}
+
+/// Generates the X-unit with an explicit (e.g. superposed) mask, as the
+/// paper's shared unit does (§6.2).
+///
+/// # Panics
+///
+/// Panics in debug builds if `mask` does not cover the joint's own
+/// structural pattern.
+pub fn generate_x_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
+    debug_assert!(
+        x_pattern(robot, joint).is_subset_of(&mask),
+        "mask must cover joint {joint}'s structural pattern"
+    );
+    let coeffs = affine_coefficients(robot, joint);
+    let mut n = Netlist::new(format!("x_unit_{}_joint{}", robot.name(), joint));
+
+    let sin = n.push(Node::Input("sin_q".into()));
+    let cos = n.push(Node::Input("cos_q".into()));
+    let v: Vec<NodeId> = (0..6)
+        .map(|i| n.push(Node::Input(format!("v{i}"))))
+        .collect();
+
+    // Entry-forming constant-multiplier bank.
+    let mut entries = [[None::<NodeId>; 6]; 6];
+    for r in 0..6 {
+        for c in 0..6 {
+            if !mask.m[r][c] {
+                continue;
+            }
+            let (alpha, beta, gamma) = coeffs[r][c];
+            let mut terms = Vec::new();
+            if let Some(t) = coeff_term(&mut n, cos, alpha) {
+                terms.push(t);
+            }
+            if let Some(t) = coeff_term(&mut n, sin, beta) {
+                terms.push(t);
+            }
+            if gamma.abs() >= FOLD_TOL {
+                terms.push(n.push(Node::Const(gamma)));
+            }
+            // A masked-but-dead entry (superposition covers more than this
+            // joint uses) still exists in hardware; represent it as a zero
+            // constant so the shared unit's structure is explicit.
+            if terms.is_empty() {
+                terms.push(n.push(Node::Const(0.0)));
+            }
+            entries[r][c] = sum_terms(&mut n, &terms);
+        }
+    }
+
+    // Pruned dot-product trees, one per output row.
+    for r in 0..6 {
+        let mut products = Vec::new();
+        for c in 0..6 {
+            if let Some(e) = entries[r][c] {
+                products.push(n.push(Node::Mul(e, v[c])));
+            }
+        }
+        let out = match sum_terms(&mut n, &products) {
+            Some(id) => id,
+            None => n.push(Node::Const(0.0)), // fully pruned row
+        };
+        n.output(format!("o{r}"), out);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+    use robo_sparsity::{matvec_ops, superposition_pattern};
+    use robo_spatial::Motion;
+    use std::collections::HashMap;
+
+    fn eval_unit(
+        netlist: &Netlist,
+        robot: &RobotModel,
+        joint: usize,
+        q: f64,
+        m: Motion<f64>,
+    ) -> Motion<f64> {
+        let mut inputs = HashMap::new();
+        let revolute = robot.links()[joint].joint.is_revolute();
+        let (s, c) = if revolute { (q.sin(), q.cos()) } else { (q, 1.0) };
+        inputs.insert("sin_q".to_owned(), s);
+        inputs.insert("cos_q".to_owned(), c);
+        let arr = m.to_array();
+        for (i, x) in arr.iter().enumerate() {
+            inputs.insert(format!("v{i}"), *x);
+        }
+        let out = netlist.eval(&inputs).unwrap();
+        let mut o = [0.0; 6];
+        for (name, value) in out {
+            let idx: usize = name[1..].parse().unwrap();
+            o[idx] = value;
+        }
+        Motion::from_array(o)
+    }
+
+    #[test]
+    fn generated_unit_matches_reference_transform() {
+        let robot = robots::iiwa14();
+        let m = Motion::from_array([0.3, -0.8, 0.5, 1.1, -0.2, 0.7]);
+        for joint in 0..7 {
+            let unit = generate_x_unit(&robot, joint);
+            for q in [0.0, 0.9, -1.7] {
+                let got = eval_unit(&unit, &robot, joint, q, m);
+                let want = robot.joint_transform::<f64>(joint, q).apply_motion(m);
+                assert!(
+                    (got - want).max_abs() < 1e-12,
+                    "joint {joint} at q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_count_matches_resource_model() {
+        // The netlist's DSP-multiplier count equals the sparsity model's
+        // pruned matvec count — the generator and the resource estimator
+        // agree by construction.
+        let robot = robots::iiwa14();
+        for joint in 0..7 {
+            let mask = x_pattern(&robot, joint);
+            let unit = generate_x_unit(&robot, joint);
+            let expected = matvec_ops(&mask);
+            let stats = unit.stats();
+            assert_eq!(stats.muls, expected.muls, "joint {joint} muls");
+            // Row-tree adders are exactly the matvec adds; entry-forming
+            // adders come on top for two-term entries.
+            assert!(stats.adds >= expected.adds, "joint {joint} adds");
+        }
+    }
+
+    #[test]
+    fn section4_counts_in_rtl() {
+        // The §4 numbers, now counted in generated hardware: 13 DSP
+        // multipliers instead of 36.
+        let robot = robots::iiwa14();
+        let unit = generate_x_unit(&robot, 1);
+        assert_eq!(unit.stats().muls, 13);
+    }
+
+    #[test]
+    fn superposed_unit_works_for_all_joints() {
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let m = Motion::from_array([0.5, 0.1, -0.6, 0.2, 0.9, -0.3]);
+        for joint in 0..7 {
+            let unit = generate_x_unit_with_mask(&robot, joint, mask);
+            assert_eq!(unit.stats().muls, matvec_ops(&mask).muls);
+            let got = eval_unit(&unit, &robot, joint, 0.77, m);
+            let want = robot.joint_transform::<f64>(joint, 0.77).apply_motion(m);
+            assert!((got - want).max_abs() < 1e-12, "joint {joint}");
+        }
+    }
+
+    #[test]
+    fn prismatic_units_generate() {
+        let robot = robots::serial_chain(3, robo_model::JointType::PrismaticZ);
+        let unit = generate_x_unit(&robot, 1);
+        let m = Motion::from_array([0.4, -0.1, 0.3, 0.2, 0.6, -0.5]);
+        let got = eval_unit(&unit, &robot, 1, 0.35, m);
+        let want = robot.joint_transform::<f64>(1, 0.35).apply_motion(m);
+        assert!((got - want).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn netlist_text_round_trips_generated_unit() {
+        let robot = robots::iiwa14();
+        let unit = generate_x_unit(&robot, 2);
+        let parsed = Netlist::parse(&unit.to_text()).unwrap();
+        assert_eq!(parsed, unit);
+    }
+}

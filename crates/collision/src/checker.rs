@@ -1,0 +1,225 @@
+//! Robot self-collision checking via forward kinematics.
+
+use crate::geometry::Capsule;
+use robo_dynamics::{forward_kinematics, DynamicsModel};
+use robo_model::RobotModel;
+use robo_spatial::Vec3;
+
+/// Per-link collision proxies and the pruned pair list.
+///
+/// The pair list is morphology-derived: adjacent links (parent/child) are
+/// excluded because they always "touch" at the joint, and the remaining
+/// pair count is what parameterizes the accelerator template's
+/// parallelism.
+#[derive(Debug, Clone)]
+pub struct CollisionModel {
+    capsules: Vec<Capsule>,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl CollisionModel {
+    /// Builds a capsule model from the robot: each link gets a capsule
+    /// from its frame origin toward its first child's joint origin (or
+    /// toward twice its COM for leaf links), with the given radius.
+    pub fn from_robot(robot: &RobotModel, radius: f64) -> Self {
+        let n = robot.dof();
+        let children = robot.children();
+        let mut capsules = Vec::with_capacity(n);
+        for (i, link) in robot.links().iter().enumerate() {
+            let end = children[i]
+                .first()
+                .map(|c| robot.links()[*c].tree.pos)
+                .unwrap_or_else(|| {
+                    if link.inertia.mass > 0.0 {
+                        link.inertia.com().scale(2.0)
+                    } else {
+                        Vec3::new(0.0, 0.0, 0.1)
+                    }
+                });
+            capsules.push(Capsule::new(Vec3::zero(), end, radius));
+        }
+
+        // Morphology-pruned pair list: links within kinematic-graph
+        // distance ≤ 2 share a joint neighborhood and are excluded, the
+        // standard practice (and the robomorphic parameter: the pruned
+        // pair count is read straight off the topology).
+        let dist = |mut i: usize, mut j: usize| -> usize {
+            // Tree distance via depths and the lowest common ancestor.
+            let depth = |mut k: usize| {
+                let mut d = 0;
+                while let Some(p) = robot.parent(k) {
+                    k = p;
+                    d += 1;
+                }
+                d
+            };
+            let (mut di, mut dj) = (depth(i), depth(j));
+            let mut steps = 0;
+            while di > dj {
+                i = robot.parent(i).expect("depth accounted");
+                di -= 1;
+                steps += 1;
+            }
+            while dj > di {
+                j = robot.parent(j).expect("depth accounted");
+                dj -= 1;
+                steps += 1;
+            }
+            while i != j {
+                match (robot.parent(i), robot.parent(j)) {
+                    (Some(pi), Some(pj)) => {
+                        i = pi;
+                        j = pj;
+                        steps += 2;
+                    }
+                    // Different base-attached subtrees: treat as far apart.
+                    _ => return usize::MAX,
+                }
+            }
+            steps
+        };
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if dist(i, j) > 2 {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        Self { capsules, pairs }
+    }
+
+    /// The per-link capsules (in link frames).
+    pub fn capsules(&self) -> &[Capsule] {
+        &self.capsules
+    }
+
+    /// The pruned link pairs to check.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+}
+
+/// One pair's clearance at a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairClearance {
+    /// The two link indices.
+    pub pair: (usize, usize),
+    /// Signed clearance (negative = interpenetration).
+    pub clearance: f64,
+}
+
+/// Checks all pruned pairs at configuration `q`, returning per-pair
+/// clearances (the full high-fidelity query of §7).
+///
+/// # Panics
+///
+/// Panics if `q.len() != model dof`.
+pub fn self_clearances(
+    model: &DynamicsModel<f64>,
+    collision: &CollisionModel,
+    q: &[f64],
+) -> Vec<PairClearance> {
+    let poses = forward_kinematics(model, q);
+    // World-frame capsules: transform both endpoints out of the link frame.
+    let world: Vec<Capsule> = collision
+        .capsules()
+        .iter()
+        .zip(poses.iter())
+        .map(|(c, pose)| {
+            // pose.rot maps world→link coordinates; its transpose maps a
+            // link-frame point back to world, offset by the link origin.
+            Capsule::new(
+                pose.pos + pose.rot.tr_mul_vec(c.a),
+                pose.pos + pose.rot.tr_mul_vec(c.b),
+                c.radius,
+            )
+        })
+        .collect();
+    collision
+        .pairs()
+        .iter()
+        .map(|&(i, j)| PairClearance {
+            pair: (i, j),
+            clearance: world[i].distance(&world[j]),
+        })
+        .collect()
+}
+
+/// Minimum clearance over all pruned pairs (negative = self collision).
+pub fn min_clearance(model: &DynamicsModel<f64>, collision: &CollisionModel, q: &[f64]) -> f64 {
+    self_clearances(model, collision, q)
+        .iter()
+        .map(|p| p.clearance)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn pair_pruning_counts() {
+        // iiwa chain: 21 pairs − 6 adjacent − 5 grandparent = 10.
+        let robot = robots::iiwa14();
+        let cm = CollisionModel::from_robot(&robot, 0.06);
+        assert_eq!(cm.pairs().len(), 10);
+        // Quadruped: all 3 intra-leg pairs of each leg are within distance
+        // 2 (pruned); cross-leg pairs go through the base and are all
+        // kept: 66 − 12 = 54.
+        let hyq = CollisionModel::from_robot(&robots::hyq(), 0.05);
+        assert_eq!(hyq.pairs().len(), 54);
+    }
+
+    #[test]
+    fn extended_arm_is_collision_free() {
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let cm = CollisionModel::from_robot(&robot, 0.05);
+        let q = vec![0.0; 7];
+        let min = min_clearance(&model, &cm, &q);
+        assert!(min > 0.0, "straight iiwa should not self-collide, min {min}");
+    }
+
+    #[test]
+    fn folded_arm_loses_clearance() {
+        // Folding the elbow sharply brings distal links toward proximal
+        // ones: clearance must drop versus the extended pose.
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let cm = CollisionModel::from_robot(&robot, 0.05);
+        let extended = min_clearance(&model, &cm, &[0.0; 7]);
+        let folded = min_clearance(
+            &model,
+            &cm,
+            &[0.0, 2.8, 0.0, 2.9, 0.0, 2.8, 0.0],
+        );
+        assert!(
+            folded < extended,
+            "folded {folded} should be tighter than extended {extended}"
+        );
+    }
+
+    #[test]
+    fn clearances_are_continuous_in_q() {
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let cm = CollisionModel::from_robot(&robot, 0.05);
+        let q1 = vec![0.3; 7];
+        let mut q2 = q1.clone();
+        q2[2] += 1e-5;
+        let a = min_clearance(&model, &cm, &q1);
+        let b = min_clearance(&model, &cm, &q2);
+        assert!((a - b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fat_capsules_collide() {
+        // Blow the radii up until even the extended pose interpenetrates.
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let cm = CollisionModel::from_robot(&robot, 0.5);
+        assert!(min_clearance(&model, &cm, &[0.0; 7]) < 0.0);
+    }
+}

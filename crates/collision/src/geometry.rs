@@ -1,0 +1,159 @@
+//! Geometric primitives and distance queries.
+
+use robo_spatial::Vec3;
+
+/// A capsule: the set of points within `radius` of the segment `[a, b]`.
+///
+/// Capsules are the standard high-fidelity collision proxy for robot links
+/// (§7: approximate approaches "draw conservative ellipses around the
+/// robot"; capsules are the tighter standard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capsule {
+    /// Segment start, in the owning frame.
+    pub a: Vec3<f64>,
+    /// Segment end.
+    pub b: Vec3<f64>,
+    /// Capsule radius.
+    pub radius: f64,
+}
+
+impl Capsule {
+    /// Creates a capsule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative.
+    pub fn new(a: Vec3<f64>, b: Vec3<f64>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "capsule radius must be non-negative");
+        Self { a, b, radius }
+    }
+
+    /// Signed clearance to another capsule: positive when separated,
+    /// negative when interpenetrating.
+    pub fn distance(&self, other: &Capsule) -> f64 {
+        segment_segment_distance(self.a, self.b, other.a, other.b) - self.radius - other.radius
+    }
+}
+
+/// Closest distance between the segments `[p1, q1]` and `[p2, q2]`
+/// (Ericson, *Real-Time Collision Detection* §5.1.9 — the reference the
+/// paper itself cites for collision detection \[11\]).
+pub fn segment_segment_distance(
+    p1: Vec3<f64>,
+    q1: Vec3<f64>,
+    p2: Vec3<f64>,
+    q2: Vec3<f64>,
+) -> f64 {
+    let d1 = q1 - p1;
+    let d2 = q2 - p2;
+    let r = p1 - p2;
+    let a = d1.dot(d1);
+    let e = d2.dot(d2);
+    let f = d2.dot(r);
+    const EPS: f64 = 1e-12;
+
+    let (s, t);
+    if a <= EPS && e <= EPS {
+        // Both segments degenerate to points.
+        return (p1 - p2).norm();
+    }
+    if a <= EPS {
+        s = 0.0;
+        t = (f / e).clamp(0.0, 1.0);
+    } else {
+        let c = d1.dot(r);
+        if e <= EPS {
+            t = 0.0;
+            s = (-c / a).clamp(0.0, 1.0);
+        } else {
+            let b = d1.dot(d2);
+            let denom = a * e - b * b;
+            let s0 = if denom > EPS {
+                ((b * f - c * e) / denom).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let t0 = (b * s0 + f) / e;
+            if t0 < 0.0 {
+                t = 0.0;
+                s = (-c / a).clamp(0.0, 1.0);
+            } else if t0 > 1.0 {
+                t = 1.0;
+                s = ((b - c) / a).clamp(0.0, 1.0);
+            } else {
+                t = t0;
+                s = s0;
+            }
+        }
+    }
+    let c1 = p1 + d1.scale(s);
+    let c2 = p2 + d2.scale(t);
+    (c1 - c2).norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64, y: f64, z: f64) -> Vec3<f64> {
+        Vec3::new(x, y, z)
+    }
+
+    #[test]
+    fn parallel_segments() {
+        let d = segment_segment_distance(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, 1.0, 0.0), v(1.0, 1.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_segments_touch() {
+        let d = segment_segment_distance(v(-1.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, -1.0, 0.0), v(0.0, 1.0, 0.0));
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn skew_segments() {
+        // Perpendicular skew lines separated by 2 along z.
+        let d = segment_segment_distance(v(-1.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, -1.0, 2.0), v(0.0, 1.0, 2.0));
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_cases() {
+        // Closest points at segment endpoints.
+        let d = segment_segment_distance(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(3.0, 0.0, 0.0), v(4.0, 0.0, 0.0));
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_points() {
+        let d = segment_segment_distance(v(1.0, 1.0, 1.0), v(1.0, 1.0, 1.0), v(1.0, 1.0, 4.0), v(1.0, 1.0, 4.0));
+        assert!((d - 3.0).abs() < 1e-12);
+        let d2 = segment_segment_distance(v(0.0, 0.0, 0.0), v(0.0, 0.0, 0.0), v(-1.0, 2.0, 0.0), v(1.0, 2.0, 0.0));
+        assert!((d2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let (p1, q1) = (v(0.1, -0.4, 0.9), v(1.2, 0.3, -0.2));
+        let (p2, q2) = (v(-0.5, 0.8, 0.1), v(0.4, -0.9, 1.3));
+        let ab = segment_segment_distance(p1, q1, p2, q2);
+        let ba = segment_segment_distance(p2, q2, p1, q1);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capsule_clearance_signs() {
+        let a = Capsule::new(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), 0.3);
+        let far = Capsule::new(v(0.0, 2.0, 0.0), v(1.0, 2.0, 0.0), 0.3);
+        let near = Capsule::new(v(0.0, 0.5, 0.0), v(1.0, 0.5, 0.0), 0.3);
+        assert!((a.distance(&far) - 1.4).abs() < 1e-12);
+        assert!(a.distance(&near) < 0.0, "overlapping capsules");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = Capsule::new(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), -0.1);
+    }
+}

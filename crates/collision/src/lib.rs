@@ -1,0 +1,39 @@
+//! Capsule-based robot collision checking and its robomorphic template.
+//!
+//! §7: "the robomorphic computing design methodology can be applied to
+//! other critical robotics applications that draw on robot morphology
+//! information, including collision detection ... high-fidelity collision
+//! detection requires kinematics implicitly". This crate is that target:
+//!
+//! * [`Capsule`] / [`segment_segment_distance`] — the geometric substrate
+//!   (Ericson's algorithm, the paper's reference \[11\]);
+//! * [`CollisionModel`] — per-link capsules plus the *morphology-pruned*
+//!   pair list (adjacent links never checked);
+//! * [`self_clearances`] / [`min_clearance`] — FK-driven self-collision
+//!   queries;
+//! * [`CollisionTemplate`] — step 1/step 2 of the methodology applied to
+//!   this kernel: pair count → parallel distance units, limb depth → FK
+//!   latency, comparator tree → min reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_collision::{min_clearance, CollisionModel};
+//! use robo_dynamics::DynamicsModel;
+//! use robo_model::robots;
+//!
+//! let robot = robots::iiwa14();
+//! let model = DynamicsModel::<f64>::new(&robot);
+//! let capsules = CollisionModel::from_robot(&robot, 0.05);
+//! assert!(min_clearance(&model, &capsules, &[0.0; 7]) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod checker;
+mod geometry;
+mod template;
+
+pub use checker::{min_clearance, self_clearances, CollisionModel, PairClearance};
+pub use geometry::{segment_segment_distance, Capsule};
+pub use template::{CollisionAccelerator, CollisionTemplate};

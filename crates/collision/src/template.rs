@@ -1,0 +1,105 @@
+//! The robomorphic collision-checking accelerator template.
+//!
+//! §7 lists collision detection among the applications the methodology
+//! extends to. The morphology parameterization is direct: the number of
+//! *pruned* link pairs (adjacent pairs never need checking) sets the
+//! parallel distance-unit count, the limb topology sets the FK front-end,
+//! and the all-pairs minimum reduces through a comparator tree of depth
+//! `⌈log₂ pairs⌉`.
+
+use crate::checker::CollisionModel;
+use robo_model::RobotModel;
+
+/// A robot-customized collision-checking accelerator estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionAccelerator {
+    robot_name: String,
+    /// Pruned pairs checked in parallel.
+    pub pairs: usize,
+    /// Links (FK pipeline depth source).
+    pub links: usize,
+    /// Longest limb (FK latency driver).
+    pub max_limb: usize,
+}
+
+/// Hardware cost of one segment-segment distance unit (Ericson's
+/// algorithm: 5 dot products of 3-vectors, a 2×2 solve, clamps, and the
+/// final norm) counted at the multiplier/adder level.
+const DISTANCE_UNIT_MULS: usize = 5 * 3 + 6 + 3; // dots + solve + norm
+const DISTANCE_UNIT_ADDS: usize = 5 * 2 + 4 + 2;
+
+/// The collision template (step 1 for the collision-checking algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollisionTemplate {
+    _private: (),
+}
+
+impl CollisionTemplate {
+    /// Creates the template.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Step 2: customizes for a robot.
+    pub fn customize(&self, robot: &RobotModel) -> CollisionAccelerator {
+        let cm = CollisionModel::from_robot(robot, 0.05);
+        CollisionAccelerator {
+            robot_name: robot.name().to_owned(),
+            pairs: cm.pairs().len(),
+            links: robot.dof(),
+            max_limb: robot.max_limb_len(),
+        }
+    }
+}
+
+impl CollisionAccelerator {
+    /// Name of the robot this accelerator was customized for.
+    pub fn robot_name(&self) -> &str {
+        &self.robot_name
+    }
+
+    /// Variable multipliers across the parallel distance units.
+    pub fn var_muls(&self) -> usize {
+        self.pairs * DISTANCE_UNIT_MULS
+    }
+
+    /// Adders across the parallel distance units plus the min-reduction
+    /// comparator tree.
+    pub fn adds(&self) -> usize {
+        self.pairs * DISTANCE_UNIT_ADDS + self.pairs.saturating_sub(1)
+    }
+
+    /// Latency in cycles: FK down the longest limb, one distance stage,
+    /// and the comparator-tree reduction.
+    pub fn latency_cycles(&self) -> usize {
+        let reduction = usize::BITS as usize - self.pairs.leading_zeros() as usize;
+        self.max_limb + 1 + reduction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn pair_counts_drive_parallelism() {
+        let t = CollisionTemplate::new();
+        let iiwa = t.customize(&robots::iiwa14());
+        let hyq = t.customize(&robots::hyq());
+        assert_eq!(iiwa.pairs, 10);
+        assert_eq!(hyq.pairs, 54);
+        assert!(hyq.var_muls() > iiwa.var_muls());
+    }
+
+    #[test]
+    fn latency_tracks_limbs_and_reduction() {
+        let t = CollisionTemplate::new();
+        let iiwa = t.customize(&robots::iiwa14());
+        // FK depth 7 + distance + ⌈log₂ 15⌉ = 7 + 1 + 4.
+        assert_eq!(iiwa.latency_cycles(), 12);
+        let hyq = t.customize(&robots::hyq());
+        // Shorter limbs, more pairs: 3 + 1 + 6.
+        assert_eq!(hyq.latency_cycles(), 10);
+    }
+}

@@ -1,0 +1,263 @@
+//! The customized accelerator produced by step 2 of the methodology.
+
+use crate::template::{Folding, MorphologyParams};
+use crate::units::ResourceTally;
+
+/// Datapath plan for one limb: the paper's limb processors (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimbPlan {
+    /// Links in the limb (datapath chain depth).
+    pub links: usize,
+    /// Parallel ∂/∂q datapaths.
+    pub dq_datapaths: usize,
+    /// Parallel ∂/∂q̇ datapaths.
+    pub dqd_datapaths: usize,
+}
+
+/// The static cycle schedule of the accelerator.
+///
+/// Each folded pipeline stage completes in one clock — the deep
+/// combinational trees are why the paper's FPGA design closes timing at
+/// only 55.6 MHz yet still wins on latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSchedule {
+    /// Links per datapath (longest limb).
+    pub n_links: usize,
+    /// Cycles per link of the forward pass (3 when stage-folded, Figure 6).
+    pub fwd_stage_cycles: usize,
+    /// Cycles per link of the backward pass.
+    pub bwd_cycles_per_link: usize,
+    /// The ID/∇ID offset: "a 2-iteration delay ... one extra iteration of
+    /// the forward pass, plus one extra iteration of the backward pass"
+    /// (§6.2).
+    pub id_offset_iterations: usize,
+    /// Cycles for the fused `−M⁻¹` multiplication (2 at the paper's design
+    /// point).
+    pub minv_cycles: usize,
+    /// Synchronization cycles at the torso processor for multi-limb robots
+    /// (0 for a single limb).
+    pub limb_sync_cycles: usize,
+}
+
+/// Latency breakdown in cycles, matching Figure 10's three segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Inverse dynamics contribution (the pipeline offset).
+    pub id_cycles: usize,
+    /// ∇ID contribution.
+    pub grad_cycles: usize,
+    /// `−M⁻¹` multiplication contribution.
+    pub minv_cycles: usize,
+}
+
+impl LatencyBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> usize {
+        self.id_cycles + self.grad_cycles + self.minv_cycles
+    }
+}
+
+impl CycleSchedule {
+    /// Latency in cycles of a single gradient computation passing through
+    /// the whole accelerator (pipelining ignored, as in Figure 10).
+    pub fn single_latency_cycles(&self) -> usize {
+        self.breakdown().total()
+    }
+
+    /// The Figure 10 segment breakdown.
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        // The ID chain runs one link ahead; its visible cost is the offset:
+        // one extra forward iteration + one extra backward iteration.
+        let id_cycles = (self.id_offset_iterations / 2)
+            * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
+        let grad_cycles =
+            self.n_links * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
+        LatencyBreakdown {
+            id_cycles,
+            grad_cycles,
+            minv_cycles: self.minv_cycles + self.limb_sync_cycles,
+        }
+    }
+
+    /// Initiation interval: cycles between successive gradient computations
+    /// when the forward/backward pipelines are kept full (§5.2: "we pipeline
+    /// the forward and backward passes to hide latency and increase
+    /// throughput").
+    pub fn initiation_interval(&self) -> usize {
+        let fwd = (self.n_links + 1) * self.fwd_stage_cycles;
+        let bwd = (self.n_links + 1) * self.bwd_cycles_per_link + self.minv_cycles;
+        fwd.max(bwd)
+    }
+}
+
+/// Hardware resource estimate of the customized design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Variable×variable multipliers (DSP-mapped on the FPGA).
+    pub var_muls: usize,
+    /// Constant multipliers.
+    pub const_muls: usize,
+    /// Adders.
+    pub adds: usize,
+}
+
+impl ResourceEstimate {
+    /// Wraps a raw tally.
+    pub fn from_tally(t: ResourceTally) -> Self {
+        Self {
+            var_muls: t.var_muls,
+            const_muls: t.const_muls,
+            adds: t.adds,
+        }
+    }
+}
+
+/// A robot-customized dynamics gradient accelerator: the output of
+/// [`crate::GradientTemplate::customize`].
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    robot_name: String,
+    params: MorphologyParams,
+    folding: Folding,
+    limb_plans: Vec<LimbPlan>,
+    fwd_processor: ResourceTally,
+    bwd_processor: ResourceTally,
+    resources: ResourceEstimate,
+    schedule: CycleSchedule,
+}
+
+impl Accelerator {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        robot_name: String,
+        params: MorphologyParams,
+        folding: Folding,
+        limb_plans: Vec<LimbPlan>,
+        fwd_processor: ResourceTally,
+        bwd_processor: ResourceTally,
+        resources: ResourceEstimate,
+        schedule: CycleSchedule,
+    ) -> Self {
+        Self {
+            robot_name,
+            params,
+            folding,
+            limb_plans,
+            fwd_processor,
+            bwd_processor,
+            resources,
+            schedule,
+        }
+    }
+
+    /// Name of the robot this accelerator was customized for.
+    pub fn robot_name(&self) -> &str {
+        &self.robot_name
+    }
+
+    /// The extracted morphology parameters.
+    pub fn params(&self) -> &MorphologyParams {
+        &self.params
+    }
+
+    /// The folding configuration inherited from the template.
+    pub fn folding(&self) -> Folding {
+        self.folding
+    }
+
+    /// Per-limb datapath plans.
+    pub fn limb_plans(&self) -> &[LimbPlan] {
+        &self.limb_plans
+    }
+
+    /// Per-forward-processor resource bundle.
+    pub fn fwd_processor(&self) -> ResourceTally {
+        self.fwd_processor
+    }
+
+    /// Per-backward-processor resource bundle.
+    pub fn bwd_processor(&self) -> ResourceTally {
+        self.bwd_processor
+    }
+
+    /// Total resource estimate.
+    pub fn resources(&self) -> ResourceEstimate {
+        self.resources
+    }
+
+    /// The static cycle schedule.
+    pub fn schedule(&self) -> CycleSchedule {
+        self.schedule
+    }
+
+    /// Latency in seconds of a single gradient computation at `clock_hz`.
+    pub fn single_latency_s(&self, clock_hz: f64) -> f64 {
+        self.schedule.single_latency_cycles() as f64 / clock_hz
+    }
+
+    /// Steady-state throughput (gradient computations per second) at
+    /// `clock_hz` with the pipeline kept full.
+    pub fn throughput_per_s(&self, clock_hz: f64) -> f64 {
+        clock_hz / self.schedule.initiation_interval() as f64
+    }
+
+    /// Time to stream `count` pipelined gradient computations through the
+    /// accelerator: fill latency plus `count − 1` initiation intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn pipelined_latency_s(&self, count: usize, clock_hz: f64) -> f64 {
+        assert!(count > 0, "need at least one computation");
+        let cycles = self.schedule.single_latency_cycles()
+            + (count - 1) * self.schedule.initiation_interval();
+        cycles as f64 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GradientTemplate;
+    use robo_model::robots;
+
+    #[test]
+    fn latency_seconds_at_fpga_clock() {
+        let accel = GradientTemplate::new().customize(&robots::iiwa14());
+        let t = accel.single_latency_s(55.6e6);
+        // 34 cycles at 55.6 MHz ≈ 0.61 µs.
+        assert!((t - 34.0 / 55.6e6).abs() < 1e-12);
+        assert!(t > 0.5e-6 && t < 0.7e-6);
+    }
+
+    #[test]
+    fn pipelining_improves_throughput() {
+        let accel = GradientTemplate::new().customize(&robots::iiwa14());
+        let single = accel.single_latency_s(55.6e6);
+        let per_item_pipelined = accel.pipelined_latency_s(100, 55.6e6) / 100.0;
+        assert!(per_item_pipelined < single);
+    }
+
+    #[test]
+    fn initiation_interval_bounded_by_forward_pipe() {
+        let accel = GradientTemplate::new().customize(&robots::iiwa14());
+        assert_eq!(accel.schedule().initiation_interval(), 24); // (7+1)·3
+    }
+
+    #[test]
+    fn humanoid_larger_than_quadruped() {
+        let t = GradientTemplate::new();
+        let hyq = t.customize(&robots::hyq());
+        let atlas = t.customize(&robots::atlas());
+        assert!(atlas.resources().var_muls > hyq.resources().var_muls);
+        assert!(
+            atlas.schedule().single_latency_cycles() > hyq.schedule().single_latency_cycles()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one computation")]
+    fn zero_count_pipelined_panics() {
+        let accel = GradientTemplate::new().customize(&robots::iiwa14());
+        let _ = accel.pipelined_latency_s(0, 55.6e6);
+    }
+}

@@ -1,0 +1,149 @@
+//! A second algorithm template: forward kinematics.
+//!
+//! §7: "for all of these additional robotics applications, a parameterized
+//! template only needs to be created once per algorithm" — kinematics is
+//! explicitly on the list, since it is "built upon the same
+//! transformations ... that robomorphic computing maps into pruned sparse
+//! linear algebra functional units". This module demonstrates the
+//! methodology's algorithm-generality: a pose-composition template whose
+//! per-link compose units are pruned by the same joint transform patterns
+//! as the gradient accelerator's `X·` units.
+
+use crate::accel::ResourceEstimate;
+use crate::template::MorphologyParams;
+use crate::units::ResourceTally;
+use robo_model::RobotModel;
+use robo_sparsity::Mask6;
+
+/// The parameterized forward-kinematics template (step 1 for the
+/// kinematics algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use robomorphic_core::KinematicsTemplate;
+/// use robo_model::robots;
+///
+/// let accel = KinematicsTemplate::new().customize(&robots::hyq());
+/// // Limb-parallel: latency tracks the longest limb (3), not 12 joints.
+/// assert_eq!(accel.latency_cycles(), 3 + 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KinematicsTemplate {
+    _private: (),
+}
+
+impl KinematicsTemplate {
+    /// Creates the template.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Step 2: customizes the template for a robot.
+    pub fn customize(&self, robot: &RobotModel) -> KinematicsAccelerator {
+        let params = MorphologyParams::from_robot(robot);
+
+        // Per-limb pose-composition processor: one folded compose unit,
+        // pruned by the superposition of the limb's rotation blocks.
+        // Compose cost: E_new = E_joint · E_acc (each live row of the
+        // 3×3 rotation block costs 3 multipliers per output column) and
+        // r_new = r_acc + E_jointᵀ r_local (9 multipliers dense).
+        let rot_mask_rows = |mask: &Mask6| -> usize {
+            let mut live = 0;
+            for r in 0..3 {
+                for c in 0..3 {
+                    if mask.m[r][c] {
+                        live += 1;
+                    }
+                }
+            }
+            live
+        };
+        let mut total = ResourceTally::default();
+        for plan_len in &params.links_per_limb {
+            let _ = plan_len;
+            let live = rot_mask_rows(&params.x_superposition);
+            // Rotation product: each live entry feeds 3 MACs; translation
+            // update: 9 constant-ish multipliers (the local offsets are
+            // per-robot constants) plus vector adds.
+            total.var_muls += live * 3;
+            total.const_muls += 9;
+            total.adds += live * 2 + 9;
+        }
+
+        KinematicsAccelerator {
+            robot_name: robot.name().to_owned(),
+            params,
+            resources: ResourceEstimate::from_tally(total),
+        }
+    }
+}
+
+/// A robot-customized forward-kinematics accelerator.
+#[derive(Debug, Clone)]
+pub struct KinematicsAccelerator {
+    robot_name: String,
+    params: MorphologyParams,
+    resources: ResourceEstimate,
+}
+
+impl KinematicsAccelerator {
+    /// Name of the robot this accelerator was customized for.
+    pub fn robot_name(&self) -> &str {
+        &self.robot_name
+    }
+
+    /// The extracted morphology parameters.
+    pub fn params(&self) -> &MorphologyParams {
+        &self.params
+    }
+
+    /// Resource estimate.
+    pub fn resources(&self) -> ResourceEstimate {
+        self.resources
+    }
+
+    /// Latency in cycles: one compose per link down the longest limb plus
+    /// a fixed 2-cycle load/store epilogue (folded-unit register traffic,
+    /// as in §5.2's folding discussion).
+    pub fn latency_cycles(&self) -> usize {
+        self.params.n_links_max + 2
+    }
+
+    /// Latency in seconds at a clock.
+    pub fn latency_s(&self, clock_hz: f64) -> f64 {
+        self.latency_cycles() as f64 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn kinematics_is_much_smaller_than_gradient() {
+        // FK touches each transform once; the gradient runs 2N+1 datapaths.
+        let robot = robots::iiwa14();
+        let fk = KinematicsTemplate::new().customize(&robot);
+        let grad = crate::GradientTemplate::new().customize(&robot);
+        assert!(fk.resources().var_muls * 10 < grad.resources().var_muls);
+        assert!(fk.latency_cycles() < grad.schedule().single_latency_cycles());
+    }
+
+    #[test]
+    fn limb_parallel_latency() {
+        let hyq = KinematicsTemplate::new().customize(&robots::hyq());
+        let atlas = KinematicsTemplate::new().customize(&robots::atlas());
+        assert_eq!(hyq.latency_cycles(), 5);
+        assert_eq!(atlas.latency_cycles(), 9); // 7-link arms dominate
+    }
+
+    #[test]
+    fn resources_scale_with_limb_count() {
+        let iiwa = KinematicsTemplate::new().customize(&robots::iiwa14());
+        let hyq = KinematicsTemplate::new().customize(&robots::hyq());
+        // 4 limb processors vs 1.
+        assert!(hyq.resources().var_muls > 3 * iiwa.resources().var_muls);
+    }
+}

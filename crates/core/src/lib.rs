@@ -1,0 +1,52 @@
+//! Robomorphic computing: the paper's design methodology.
+//!
+//! "A methodology to transform robot morphology into a customized hardware
+//! accelerator morphology" (§1). The two-step flow of Figure 5:
+//!
+//! 1. **Create a hardware template** once per algorithm —
+//!    [`GradientTemplate`] encodes the dynamics-gradient accelerator of
+//!    Figure 8: parallel per-link ∂/∂q and ∂/∂q̇ datapaths, a three-stage
+//!    folded forward-pass processor, backward-pass processors with the
+//!    fused `−M⁻¹` step, and the folding levels of §5.2.
+//! 2. **Set the template parameters** per robot —
+//!    [`GradientTemplate::customize`] extracts [`MorphologyParams`] (limbs,
+//!    links, joint types, transform/inertia sparsity) and emits an
+//!    [`Accelerator`]: pruned functional units ([`FunctionalUnit`]), a
+//!    resource estimate, and a static [`CycleSchedule`].
+//!
+//! Platform bindings ([`FpgaPlatform`], [`AsicPlatform`]) turn cycle counts
+//! into seconds and resource counts into DSP utilization, silicon area and
+//! power, reproducing the paper's Table 2 and Figure 14. The companion
+//! `robo-sim` crate *executes* a customized accelerator cycle-by-cycle in
+//! fixed point.
+//!
+//! # Example
+//!
+//! ```
+//! use robomorphic_core::{FpgaPlatform, GradientTemplate};
+//! use robo_model::robots;
+//!
+//! // Step 1 (once per algorithm).
+//! let template = GradientTemplate::new();
+//! // Step 2 (once per robot).
+//! let accel = template.customize(&robots::iiwa14());
+//!
+//! let fpga = FpgaPlatform::xcvu9p();
+//! let latency_us = accel.single_latency_s(fpga.clock_hz) * 1e6;
+//! assert!(latency_us < 1.0); // sub-microsecond single computation
+//! assert!(fpga.fits(&accel.resources()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod accel;
+mod kinematics;
+mod platform;
+mod template;
+mod units;
+
+pub use accel::{Accelerator, CycleSchedule, LatencyBreakdown, LimbPlan, ResourceEstimate};
+pub use kinematics::{KinematicsAccelerator, KinematicsTemplate};
+pub use platform::{table2_rows, AsicPlatform, Corner, FpgaPlatform, Table2Row};
+pub use template::{Folding, GradientTemplate, MorphologyParams};
+pub use units::{FunctionalUnit, ResourceTally};

@@ -1,0 +1,296 @@
+//! Hardware platform models: the FPGA and synthesized-ASIC targets of the
+//! paper's evaluation (Table 1, Table 2, Figure 14).
+//!
+//! The FPGA numbers are the paper's platform constants. The ASIC area and
+//! power come from a per-resource cost model whose unit costs are
+//! *calibrated to the paper's Table 2* (GlobalFoundries 12 nm); this is the
+//! documented substitution for an actual synthesis flow (see DESIGN.md) —
+//! the model preserves how area and power scale with the resource counts
+//! that morphology customization produces.
+
+use crate::accel::{Accelerator, ResourceEstimate};
+
+/// The paper's FPGA platform: Xilinx Virtex UltraScale+ XCVU9P (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaPlatform {
+    /// Clock frequency the design was synthesized at.
+    pub clock_hz: f64,
+    /// DSP blocks available (XCVU9P: 6840).
+    pub dsp_budget: usize,
+    /// DSP blocks per 32-bit fixed-point multiplier (§6.2: DSP multipliers
+    /// are 27×18 bits, "so all operands between 19 and 36 bits require two
+    /// multipliers").
+    pub dsp_per_mult: usize,
+    /// User design power from Vivado simulation (Table 2).
+    pub power_w: f64,
+}
+
+impl Default for FpgaPlatform {
+    fn default() -> Self {
+        Self::xcvu9p()
+    }
+}
+
+impl FpgaPlatform {
+    /// The paper's evaluation board configuration.
+    pub fn xcvu9p() -> Self {
+        Self {
+            clock_hz: 55.6e6,
+            dsp_budget: 6840,
+            dsp_per_mult: 2,
+            power_w: 9.572,
+        }
+    }
+
+    /// DSP blocks consumed by a design.
+    pub fn dsps_used(&self, r: &ResourceEstimate) -> usize {
+        r.var_muls * self.dsp_per_mult
+    }
+
+    /// Fraction of the DSP budget consumed (the paper reports 77.5% for
+    /// the iiwa accelerator, §6.2).
+    pub fn dsp_utilization(&self, r: &ResourceEstimate) -> f64 {
+        self.dsps_used(r) as f64 / self.dsp_budget as f64
+    }
+
+    /// Whether the design fits the DSP budget.
+    pub fn fits(&self, r: &ResourceEstimate) -> bool {
+        self.dsps_used(r) <= self.dsp_budget
+    }
+}
+
+/// ASIC process corner (Table 2 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corner {
+    /// Slow corner: 250 MHz.
+    Slow,
+    /// Typical corner: 400 MHz.
+    Typical,
+}
+
+/// The synthesized-ASIC platform model (GlobalFoundries 12 nm, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicPlatform {
+    /// Process corner.
+    pub corner: Corner,
+}
+
+/// Per-resource cost constants of the 12 nm ASIC model, calibrated so the
+/// iiwa accelerator pipeline reproduces Table 2 (documented substitution
+/// for a synthesis flow).
+mod asic_cost {
+    /// Area of a 32-bit fixed-point variable multiplier (µm²).
+    pub const MULT_AREA_UM2: f64 = 550.0;
+    /// Area of a constant multiplier (µm²).
+    pub const CONST_MULT_AREA_UM2: f64 = 150.0;
+    /// Area of a 32-bit adder (µm²).
+    pub const ADDER_AREA_UM2: f64 = 70.0;
+    /// Intermediate SRAM between the forward and backward processors
+    /// (Figure 8), mm².
+    pub const SRAM_AREA_MM2: f64 = 0.25;
+    /// Slow-corner cells are synthesized smaller (relaxed timing): the
+    /// Table 2 ratio 1.627/1.885.
+    pub const SLOW_AREA_FACTOR: f64 = 0.863;
+
+    /// Dynamic energy per multiplier per cycle (pJ).
+    pub const MULT_ENERGY_PJ: f64 = 0.9;
+    /// Dynamic energy per constant multiplier per cycle (pJ).
+    pub const CONST_MULT_ENERGY_PJ: f64 = 0.2;
+    /// Dynamic energy per adder per cycle (pJ).
+    pub const ADDER_ENERGY_PJ: f64 = 0.15;
+    /// Static power (W).
+    pub const STATIC_POWER_W: f64 = 0.05;
+    /// Slow-corner voltage/margin power factor (calibrated to Table 2).
+    pub const SLOW_POWER_FACTOR: f64 = 1.32;
+}
+
+impl AsicPlatform {
+    /// The slow process corner.
+    pub fn slow() -> Self {
+        Self {
+            corner: Corner::Slow,
+        }
+    }
+
+    /// The typical process corner.
+    pub fn typical() -> Self {
+        Self {
+            corner: Corner::Typical,
+        }
+    }
+
+    /// Maximum clock (Table 2: 250 MHz slow, 400 MHz typical).
+    pub fn clock_hz(&self) -> f64 {
+        match self.corner {
+            Corner::Slow => 250e6,
+            Corner::Typical => 400e6,
+        }
+    }
+
+    /// Modeled silicon area of the accelerator's computational pipeline.
+    pub fn area_mm2(&self, r: &ResourceEstimate) -> f64 {
+        let logic_um2 = r.var_muls as f64 * asic_cost::MULT_AREA_UM2
+            + r.const_muls as f64 * asic_cost::CONST_MULT_AREA_UM2
+            + r.adds as f64 * asic_cost::ADDER_AREA_UM2;
+        let total = logic_um2 / 1e6 + asic_cost::SRAM_AREA_MM2;
+        match self.corner {
+            Corner::Slow => total * asic_cost::SLOW_AREA_FACTOR,
+            Corner::Typical => total,
+        }
+    }
+
+    /// How many accelerator pipelines fit a die of `die_area_mm2` (§6.4:
+    /// "a synthesized ASIC area of 1.9 mm² ... suggests many pipelines can
+    /// fit on a chip. For example, Intel's 14 nm quad-core SkyLake
+    /// processor is around 122 mm², nearly 65× our pipeline area").
+    pub fn pipelines_per_die(&self, r: &ResourceEstimate, die_area_mm2: f64) -> usize {
+        (die_area_mm2 / self.area_mm2(r)).floor() as usize
+    }
+
+    /// Modeled power at the corner's maximum clock.
+    pub fn power_w(&self, r: &ResourceEstimate) -> f64 {
+        let energy_pj = r.var_muls as f64 * asic_cost::MULT_ENERGY_PJ
+            + r.const_muls as f64 * asic_cost::CONST_MULT_ENERGY_PJ
+            + r.adds as f64 * asic_cost::ADDER_ENERGY_PJ;
+        let dynamic = energy_pj * 1e-12 * self.clock_hz();
+        let total = dynamic + asic_cost::STATIC_POWER_W;
+        match self.corner {
+            Corner::Slow => total * asic_cost::SLOW_POWER_FACTOR,
+            Corner::Typical => total,
+        }
+    }
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Platform label.
+    pub platform: String,
+    /// Process corner label.
+    pub corner: String,
+    /// Technology node in nm.
+    pub node_nm: u32,
+    /// Maximum clock in MHz.
+    pub max_clock_mhz: f64,
+    /// Area in mm² (`None` for the FPGA).
+    pub area_mm2: Option<f64>,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+/// Generates the three Table 2 rows (FPGA, ASIC slow, ASIC typical) for a
+/// customized accelerator.
+pub fn table2_rows(accel: &Accelerator) -> Vec<Table2Row> {
+    let fpga = FpgaPlatform::xcvu9p();
+    let r = accel.resources();
+    let mut rows = vec![Table2Row {
+        platform: "FPGA".into(),
+        corner: "Typical".into(),
+        node_nm: 14,
+        max_clock_mhz: fpga.clock_hz / 1e6,
+        area_mm2: None,
+        power_w: fpga.power_w,
+    }];
+    for asic in [AsicPlatform::slow(), AsicPlatform::typical()] {
+        rows.push(Table2Row {
+            platform: "Synthesized ASIC".into(),
+            corner: match asic.corner {
+                Corner::Slow => "Slow".into(),
+                Corner::Typical => "Typical".into(),
+            },
+            node_nm: 12,
+            max_clock_mhz: asic.clock_hz() / 1e6,
+            area_mm2: Some(asic.area_mm2(&r)),
+            power_w: asic.power_w(&r),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GradientTemplate;
+    use robo_model::robots;
+
+    fn iiwa_accel() -> Accelerator {
+        GradientTemplate::new().customize(&robots::iiwa14())
+    }
+
+    #[test]
+    fn fpga_fits_iiwa_design() {
+        let accel = iiwa_accel();
+        let fpga = FpgaPlatform::xcvu9p();
+        let util = fpga.dsp_utilization(&accel.resources());
+        assert!(fpga.fits(&accel.resources()));
+        // The paper reports 77.5%; our structural count lands in the same
+        // heavily-utilized band.
+        assert!(
+            (0.5..=1.0).contains(&util),
+            "DSP utilization {util:.3} out of expected band"
+        );
+    }
+
+    #[test]
+    fn unfolded_design_does_not_fit() {
+        use crate::template::Folding;
+        let accel =
+            GradientTemplate::with_folding(Folding::unfolded()).customize(&robots::iiwa14());
+        assert!(
+            !FpgaPlatform::xcvu9p().fits(&accel.resources()),
+            "the paper: without aggressive folding the design is impossible on the FPGA"
+        );
+    }
+
+    #[test]
+    fn asic_clock_speedups_match_paper() {
+        // Figure 14: 4.5× (slow) and 7.2× (typical) vs the 55.6 MHz FPGA.
+        let fpga = FpgaPlatform::xcvu9p();
+        assert!((AsicPlatform::slow().clock_hz() / fpga.clock_hz - 4.5).abs() < 0.05);
+        assert!((AsicPlatform::typical().clock_hz() / fpga.clock_hz - 7.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn asic_area_in_table2_band() {
+        let accel = iiwa_accel();
+        let r = accel.resources();
+        let typ = AsicPlatform::typical().area_mm2(&r);
+        let slow = AsicPlatform::slow().area_mm2(&r);
+        // Table 2: 1.885 mm² typical, 1.627 mm² slow (±25% modeling band).
+        assert!((1.4..=2.4).contains(&typ), "typical area {typ:.3}");
+        assert!(slow < typ);
+    }
+
+    #[test]
+    fn asic_power_near_table2_and_below_fpga() {
+        let accel = iiwa_accel();
+        let r = accel.resources();
+        let typ = AsicPlatform::typical().power_w(&r);
+        let slow = AsicPlatform::slow().power_w(&r);
+        assert!((0.7..=1.5).contains(&typ), "typical power {typ:.3}");
+        assert!((0.6..=1.3).contains(&slow), "slow power {slow:.3}");
+        // §6.4: ASIC power ~8.7× lower than FPGA.
+        let ratio = FpgaPlatform::xcvu9p().power_w / typ;
+        assert!(ratio > 5.0, "FPGA/ASIC power ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn skylake_die_fits_dozens_of_pipelines() {
+        // §6.4's 65× comparison against a ~122 mm² SkyLake die.
+        let accel = iiwa_accel();
+        let count = AsicPlatform::typical().pipelines_per_die(&accel.resources(), 122.0);
+        assert!(
+            (50..=80).contains(&count),
+            "expected ~65 pipelines, got {count}"
+        );
+    }
+
+    #[test]
+    fn table2_has_three_rows() {
+        let rows = table2_rows(&iiwa_accel());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].platform, "FPGA");
+        assert!(rows[0].area_mm2.is_none());
+        assert!(rows[2].area_mm2.is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! Step 1 of robomorphic computing: the parameterized hardware template.
+//!
+//! "Create a hardware template for an algorithm once, parameterized by key
+//! components of robot morphology, e.g., limbs, links, and joints" (§4).
+//! [`GradientTemplate`] is that template for the dynamics gradient
+//! (Algorithm 1): it fixes the algorithm structure — forward/backward pass
+//! processors, per-link derivative datapaths, folding levels, the fused
+//! `−M⁻¹` step — while leaving the morphology-derived parameters open.
+//! [`GradientTemplate::customize`] is step 2: binding a concrete robot.
+
+use crate::accel::{Accelerator, CycleSchedule, LimbPlan, ResourceEstimate};
+use crate::units::{FunctionalUnit, ResourceTally};
+use robo_model::{JointType, RobotModel};
+use robo_sparsity::{inertia_pattern, superposition_pattern, x_pattern, Mask6};
+
+/// The folding configuration of the template (§5.2, "Architectural
+/// Optimizations").
+///
+/// Without aggressive folding "the number of multipliers needed for the
+/// template design would be enormous for almost any robot model".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Folding {
+    /// Fold each datapath's chain of `N` forward (and backward) pass units
+    /// into one unit iterated over the links ("a reduction of approximately
+    /// O(N) in area in exchange for a small latency penalty").
+    pub fold_link_chains: bool,
+    /// Fold the forward pass unit into three sequential stages, re-using
+    /// the sparse matrix-vector joint functional units (Figure 6).
+    pub fold_forward_stages: bool,
+    /// Fuse step 3 (`−M⁻¹` multiplication) into the backward pass units of
+    /// the ∂/∂q̇ datapaths, completing it in two clock cycles.
+    pub fuse_minv: bool,
+}
+
+impl Folding {
+    /// The paper's design point: both folding levels plus the fused `M⁻¹`.
+    pub fn paper_default() -> Self {
+        Self {
+            fold_link_chains: true,
+            fold_forward_stages: true,
+            fuse_minv: true,
+        }
+    }
+
+    /// No folding: the fully spatial design (used by the folding ablation;
+    /// vastly exceeds any FPGA's multiplier budget).
+    pub fn unfolded() -> Self {
+        Self {
+            fold_link_chains: false,
+            fold_forward_stages: false,
+            fuse_minv: true,
+        }
+    }
+}
+
+/// The morphology parameters extracted from a robot model — exactly the
+/// quantities the paper's Figure 5 flow reads from the robot description.
+#[derive(Debug, Clone)]
+pub struct MorphologyParams {
+    /// Number of limbs `L`.
+    pub l_limbs: usize,
+    /// Links per limb.
+    pub links_per_limb: Vec<usize>,
+    /// Longest limb length `N` (sets datapath depth).
+    pub n_links_max: usize,
+    /// Total joint count.
+    pub dof: usize,
+    /// Joint types, by link index.
+    pub joint_types: Vec<JointType>,
+    /// Per-joint transform sparsity patterns.
+    pub x_masks: Vec<Mask6>,
+    /// The superposition pattern shared by the single `X·` unit (§6.2).
+    pub x_superposition: Mask6,
+    /// Per-link inertia patterns (entries become hardware constants).
+    pub inertia_masks: Vec<Mask6>,
+}
+
+impl MorphologyParams {
+    /// Extracts the parameters from a robot model.
+    pub fn from_robot(robot: &RobotModel) -> Self {
+        let limbs = robot.limbs();
+        let links_per_limb: Vec<usize> = limbs.iter().map(|l| l.len()).collect();
+        Self {
+            l_limbs: limbs.len(),
+            n_links_max: links_per_limb.iter().copied().max().unwrap_or(0),
+            links_per_limb,
+            dof: robot.dof(),
+            joint_types: robot.links().iter().map(|l| l.joint).collect(),
+            x_masks: (0..robot.dof()).map(|i| x_pattern(robot, i)).collect(),
+            x_superposition: superposition_pattern(robot),
+            inertia_masks: (0..robot.dof()).map(|i| inertia_pattern(robot, i)).collect(),
+        }
+    }
+}
+
+/// The parameterized hardware template for the dynamics gradient
+/// accelerator (Figure 8).
+///
+/// # Examples
+///
+/// ```
+/// use robomorphic_core::GradientTemplate;
+/// use robo_model::robots;
+///
+/// // Step 1: create the template once.
+/// let template = GradientTemplate::new();
+/// // Step 2: set the parameters for a robot.
+/// let accel = template.customize(&robots::iiwa14());
+/// assert_eq!(accel.schedule().single_latency_cycles(), 34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradientTemplate {
+    folding: Folding,
+}
+
+impl Default for GradientTemplate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GradientTemplate {
+    /// The template at the paper's design point.
+    pub fn new() -> Self {
+        Self {
+            folding: Folding::paper_default(),
+        }
+    }
+
+    /// A template with explicit folding choices (for ablations).
+    pub fn with_folding(folding: Folding) -> Self {
+        Self { folding }
+    }
+
+    /// The folding configuration.
+    pub fn folding(&self) -> Folding {
+        self.folding
+    }
+
+    /// Step 2: binds the template parameters to a robot model, producing a
+    /// customized accelerator design.
+    pub fn customize(&self, robot: &RobotModel) -> Accelerator {
+        let params = MorphologyParams::from_robot(robot);
+        let folding = self.folding;
+
+        // --- Per-processor functional unit bundles -----------------------
+        // Forward pass unit (Figure 6). With stage folding the X· unit pool
+        // is shared across the three stages (two physical trees: one for the
+        // velocity stream, one for the acceleration stream); unfolded, each
+        // stage gets its own set (four trees).
+        let x_unit = FunctionalUnit::x_matvec(&params.x_superposition);
+        let avg_inertia_mask = &params.inertia_masks;
+        let mut fwd = ResourceTally::default();
+        let x_trees_fwd = if folding.fold_forward_stages { 2 } else { 4 };
+        fwd.add(&x_unit, x_trees_fwd);
+        fwd.add(&FunctionalUnit::cross_motion(), 2); // v×Sq̇ and ∂v×Sq̇ chains
+        fwd.add(&FunctionalUnit::cross_force(), 2); // ∂v×*(Iv), v×*(I∂v)
+        // I· units: constants per link; the folded processor holds the
+        // worst-case (superposed) inertia tree.
+        let inertia_super = avg_inertia_mask
+            .iter()
+            .fold(Mask6::empty(), |acc, m| acc.union(m));
+        fwd.add(&FunctionalUnit::inertia_matvec(&inertia_super), 2);
+        fwd.add(&FunctionalUnit::subspace_select(), 2);
+        fwd.add(&FunctionalUnit::accumulate6(4), 1);
+
+        // Backward pass unit: Xᵀ accumulation plus the ∂X seed cross
+        // product; ∂/∂q̇ lanes carry the fused −M⁻¹ MAC row.
+        let mut bwd = ResourceTally::default();
+        bwd.add(&FunctionalUnit::xt_matvec(&params.x_superposition), 1);
+        bwd.add(&FunctionalUnit::cross_force(), 1);
+        bwd.add(&FunctionalUnit::subspace_select(), 1);
+        bwd.add(&FunctionalUnit::accumulate6(2), 1);
+        let mac = FunctionalUnit::mac_row(params.dof);
+
+        // --- Datapath plan ------------------------------------------------
+        // Per limb of n links: n ∂q datapaths + n ∂q̇ datapaths + 1 ID chain.
+        let limb_plans: Vec<LimbPlan> = params
+            .links_per_limb
+            .iter()
+            .map(|&n| LimbPlan {
+                links: n,
+                dq_datapaths: n,
+                dqd_datapaths: n,
+            })
+            .collect();
+
+        // Chain folding: folded = one fwd + one bwd processor per datapath;
+        // unfolded = one per (datapath, link) pair.
+        let mut total = ResourceTally::default();
+        for plan in &limb_plans {
+            let datapaths = plan.dq_datapaths + plan.dqd_datapaths + 1;
+            let chain_mult = if folding.fold_link_chains {
+                1
+            } else {
+                plan.links
+            };
+            for _ in 0..datapaths * chain_mult {
+                total.merge(fwd);
+                total.merge(bwd);
+            }
+            if folding.fuse_minv {
+                // One MAC row per ∂/∂q̇ datapath.
+                for _ in 0..plan.dqd_datapaths * chain_mult {
+                    total.add(&mac, 1);
+                }
+            }
+        }
+
+        // --- Cycle schedule ------------------------------------------------
+        let schedule = CycleSchedule {
+            n_links: params.n_links_max,
+            fwd_stage_cycles: if folding.fold_forward_stages { 3 } else { 1 },
+            bwd_cycles_per_link: 1,
+            id_offset_iterations: 2,
+            minv_cycles: if folding.fuse_minv { 2 } else { 2 * params.dof },
+            limb_sync_cycles: if params.l_limbs > 1 {
+                (usize::BITS - (params.l_limbs - 1).leading_zeros()) as usize
+            } else {
+                0
+            },
+        };
+
+        Accelerator::from_parts(
+            robot.name().to_owned(),
+            params,
+            folding,
+            limb_plans,
+            fwd,
+            bwd,
+            ResourceEstimate::from_tally(total),
+            schedule,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn params_extraction_iiwa() {
+        let p = MorphologyParams::from_robot(&robots::iiwa14());
+        assert_eq!(p.l_limbs, 1);
+        assert_eq!(p.n_links_max, 7);
+        assert_eq!(p.dof, 7);
+        assert_eq!(p.x_masks.len(), 7);
+        assert_eq!(p.x_superposition.count(), 23);
+    }
+
+    #[test]
+    fn params_extraction_quadruped() {
+        let p = MorphologyParams::from_robot(&robots::hyq());
+        assert_eq!(p.l_limbs, 4);
+        assert_eq!(p.links_per_limb, vec![3, 3, 3, 3]);
+        assert_eq!(p.n_links_max, 3);
+    }
+
+    #[test]
+    fn iiwa_schedule_matches_paper_structure() {
+        let accel = GradientTemplate::new().customize(&robots::iiwa14());
+        let s = accel.schedule();
+        // (N+1)·3 forward + (N+1)·1 backward + 2 M⁻¹ = 34 cycles for N = 7.
+        assert_eq!(s.single_latency_cycles(), 34);
+        let b = s.breakdown();
+        assert_eq!(b.id_cycles, 4); // the 2-iteration ID offset
+        assert_eq!(b.grad_cycles, 28);
+        assert_eq!(b.minv_cycles, 2);
+    }
+
+    #[test]
+    fn folding_cuts_resources_and_costs_latency() {
+        let folded = GradientTemplate::new().customize(&robots::iiwa14());
+        let unfolded =
+            GradientTemplate::with_folding(Folding::unfolded()).customize(&robots::iiwa14());
+        assert!(
+            unfolded.resources().var_muls > 4 * folded.resources().var_muls,
+            "chain folding must save ~O(N) area"
+        );
+        assert!(
+            unfolded.schedule().single_latency_cycles() < folded.schedule().single_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn quadruped_gets_limb_parallelism() {
+        let accel = GradientTemplate::new().customize(&robots::hyq());
+        assert_eq!(accel.limb_plans().len(), 4);
+        // Shorter limbs → lower latency than the 7-link manipulator despite
+        // more total joints.
+        let iiwa = GradientTemplate::new().customize(&robots::iiwa14());
+        assert!(
+            accel.schedule().single_latency_cycles() < iiwa.schedule().single_latency_cycles()
+        );
+    }
+}

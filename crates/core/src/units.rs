@@ -1,0 +1,209 @@
+//! Functional units: the pruned multiplier–adder trees of the accelerator.
+//!
+//! §5.2: "the datapaths of the accelerator are built from chains of forward
+//! and backward pass processing units. Within these units are circuits of
+//! sparse matrix-vector multiplication functional units, e.g., the `I·`,
+//! `X·`, and `·vⱼ` blocks". Each unit here records the hardware cost that
+//! its pruned tree implementation would consume: *variable* multipliers
+//! (DSP blocks on the FPGA), *constant* multipliers ("smaller and simpler
+//! circuits than full multipliers"), and adders.
+
+use robo_sparsity::{matvec_ops, Mask6};
+
+/// The hardware cost of one functional unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalUnit {
+    /// Unit name for reports (e.g. `"X·"`, `"I·"`).
+    pub name: String,
+    /// Full variable×variable multipliers (map to FPGA DSP blocks).
+    pub var_muls: usize,
+    /// Multiplications by per-robot constants (small dedicated circuits).
+    pub const_muls: usize,
+    /// Adders.
+    pub adds: usize,
+}
+
+impl FunctionalUnit {
+    /// The `X·` transform matrix–vector unit for a given (possibly
+    /// superposed) sparsity mask.
+    ///
+    /// Matrix entries are runtime values formed from the `sin q`/`cos q`
+    /// inputs: the dot-product tree multipliers are variable×variable, and
+    /// forming each lower-left block entry (`±trig · translation`) takes one
+    /// constant multiplier.
+    pub fn x_matvec(mask: &Mask6) -> Self {
+        let ops = matvec_ops(mask);
+        // Lower-left block entries are trig × constant-translation products.
+        let mut entry_const_muls = 0;
+        for i in 3..6 {
+            for j in 0..3 {
+                if mask.m[i][j] {
+                    entry_const_muls += 1;
+                }
+            }
+        }
+        Self {
+            name: "X·".into(),
+            var_muls: ops.muls,
+            const_muls: entry_const_muls,
+            adds: ops.adds,
+        }
+    }
+
+    /// The `Xᵀ·` backward transform unit (same tree, transposed mask).
+    pub fn xt_matvec(mask: &Mask6) -> Self {
+        let mut t = Mask6::empty();
+        for i in 0..6 {
+            for j in 0..6 {
+                t.m[i][j] = mask.m[j][i];
+            }
+        }
+        let mut unit = Self::x_matvec(&t);
+        unit.name = "Xᵀ·".into();
+        unit
+    }
+
+    /// The `I·` link inertia unit: every entry is a per-robot constant
+    /// (§5.2), so all multipliers are constant multipliers.
+    pub fn inertia_matvec(mask: &Mask6) -> Self {
+        let ops = matvec_ops(mask);
+        Self {
+            name: "I·".into(),
+            var_muls: 0,
+            const_muls: ops.muls,
+            adds: ops.adds,
+        }
+    }
+
+    /// A spatial motion cross product `v × m` (robot-agnostic sparsity:
+    /// three 3-D cross products' worth of hardware).
+    pub fn cross_motion() -> Self {
+        Self {
+            name: "v×".into(),
+            var_muls: 18,
+            const_muls: 0,
+            adds: 12,
+        }
+    }
+
+    /// A spatial force cross product `v ×* f` (same cost as `v ×`, §5.2's
+    /// `fx·` units).
+    pub fn cross_force() -> Self {
+        Self {
+            name: "v×*".into(),
+            var_muls: 18,
+            const_muls: 0,
+            adds: 12,
+        }
+    }
+
+    /// The `Sᵢ` motion-subspace selector: pure muxing, no arithmetic
+    /// ("encoded ... by pruning or muxing operations", §5.2).
+    pub fn subspace_select() -> Self {
+        Self {
+            name: "S-mux".into(),
+            var_muls: 0,
+            const_muls: 0,
+            adds: 0,
+        }
+    }
+
+    /// A 6-vector accumulator (three-term add used to combine unit outputs).
+    pub fn accumulate6(terms: usize) -> Self {
+        Self {
+            name: "Σ6".into(),
+            var_muls: 0,
+            const_muls: 0,
+            adds: 6 * terms.saturating_sub(1),
+        }
+    }
+
+    /// A row of `n` variable multiply–accumulate lanes (used for the fused
+    /// `−M⁻¹` multiplication in the backward pass, §5.2: "we supplement the
+    /// multipliers of the backward pass units ... to perform the −M⁻¹
+    /// multiplications in two clock cycles").
+    pub fn mac_row(n: usize) -> Self {
+        Self {
+            name: "M⁻¹-MAC".into(),
+            var_muls: n,
+            const_muls: 0,
+            adds: n.saturating_sub(1),
+        }
+    }
+}
+
+/// A tally of functional-unit costs across a processor or the whole design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceTally {
+    /// Total variable multipliers.
+    pub var_muls: usize,
+    /// Total constant multipliers.
+    pub const_muls: usize,
+    /// Total adders.
+    pub adds: usize,
+}
+
+impl ResourceTally {
+    /// Adds `count` copies of a unit to the tally.
+    pub fn add(&mut self, unit: &FunctionalUnit, count: usize) {
+        self.var_muls += unit.var_muls * count;
+        self.const_muls += unit.const_muls * count;
+        self.adds += unit.adds * count;
+    }
+
+    /// Combines two tallies.
+    pub fn merge(&mut self, other: ResourceTally) {
+        self.var_muls += other.var_muls;
+        self.const_muls += other.const_muls;
+        self.adds += other.adds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+    use robo_sparsity::{superposition_pattern, x_pattern};
+
+    #[test]
+    fn dense_x_unit_costs() {
+        let u = FunctionalUnit::x_matvec(&Mask6::full());
+        assert_eq!(u.var_muls, 36);
+        assert_eq!(u.adds, 30);
+        assert_eq!(u.const_muls, 9); // full lower-left block
+    }
+
+    #[test]
+    fn pruned_x_unit_matches_section4() {
+        let robot = robots::iiwa14();
+        let u = FunctionalUnit::x_matvec(&x_pattern(&robot, 1));
+        assert_eq!(u.var_muls, 13);
+        assert_eq!(u.adds, 7);
+    }
+
+    #[test]
+    fn transpose_unit_same_mul_count() {
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let fwd = FunctionalUnit::x_matvec(&mask);
+        let bwd = FunctionalUnit::xt_matvec(&mask);
+        assert_eq!(fwd.var_muls, bwd.var_muls); // transpose preserves nnz
+    }
+
+    #[test]
+    fn inertia_unit_is_all_constant() {
+        let robot = robots::iiwa14();
+        let u = FunctionalUnit::inertia_matvec(&robo_sparsity::inertia_pattern(&robot, 2));
+        assert_eq!(u.var_muls, 0);
+        assert!(u.const_muls > 0);
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = ResourceTally::default();
+        t.add(&FunctionalUnit::cross_motion(), 2);
+        t.add(&FunctionalUnit::mac_row(7), 1);
+        assert_eq!(t.var_muls, 36 + 7);
+        assert_eq!(t.adds, 24 + 6);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Composite Rigid Body Algorithm: joint-space mass matrix `M(q)` and
+//! its inverse `M⁻¹`, the matrix multiplied in step 3 of the paper's
+//! Algorithm 1.
+
+use crate::DynamicsModel;
+use robo_spatial::{FactorizeError, Force, MatN, Scalar};
+
+/// Computes the joint-space mass matrix `M(q)` (symmetric positive
+/// definite) with the Composite Rigid Body Algorithm.
+///
+/// # Panics
+///
+/// Panics if `q.len() != model.dof()`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{mass_matrix, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let m = mass_matrix(&model, &[0.0; 7]);
+/// assert!(m.is_symmetric(1e-10));
+/// ```
+pub fn mass_matrix<S: Scalar>(model: &DynamicsModel<S>, q: &[S]) -> MatN<S> {
+    let n = model.dof();
+    assert_eq!(q.len(), n, "q length mismatch");
+
+    // Composite inertias: start from the link inertias, then sweep tip →
+    // base transforming each child composite into its parent frame:
+    // Ic_λ += Xᵀ Ic X (dense 6×6).
+    let x: Vec<_> = (0..n).map(|i| model.joint_transform(i, q[i])).collect();
+    let mut ic: Vec<_> = (0..n).map(|i| model.inertia(i).to_mat6()).collect();
+    for i in (0..n).rev() {
+        if let Some(p) = model.parent(i) {
+            let xm = x[i].to_mat6();
+            let contribution = xm.transpose() * ic[i] * xm;
+            ic[p] = ic[p] + contribution;
+        }
+    }
+
+    let mut m = MatN::zeros(n, n);
+    for i in 0..n {
+        let s_i = model.subspace(i);
+        // F = Ic_i S_i.
+        let mut f = Force::from_array(ic[i].mul_array(s_i.to_array()));
+        m[(i, i)] = s_i.dot(f);
+        let mut j = i;
+        while let Some(p) = model.parent(j) {
+            f = x[j].tr_apply_force(f);
+            j = p;
+            let hij = model.subspace(j).dot(f);
+            m[(i, j)] = hij;
+            m[(j, i)] = hij;
+        }
+    }
+    m
+}
+
+/// Computes `M⁻¹(q)` via LDLᵀ (the quantity the paper notes is "computed
+/// earlier in the optimization process" and fed to the accelerator).
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{mass_matrix, mass_matrix_inverse, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let q = [0.4; 7];
+/// let minv = mass_matrix_inverse(&model, &q)?;
+/// let eye = mass_matrix(&model, &q).mul_mat(&minv);
+/// assert!(eye.max_abs_diff(&robo_spatial::MatN::identity(7)) < 1e-8);
+/// # Ok::<(), robo_spatial::FactorizeError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`FactorizeError`] if the mass matrix is not positive definite
+/// (which indicates an invalid model, e.g. zero inertias).
+pub fn mass_matrix_inverse<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+) -> Result<MatN<S>, FactorizeError> {
+    mass_matrix(model, q).inverse_spd()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnea::rnea;
+    use robo_model::{robots, JointType};
+    use robo_spatial::Vec3;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn mass_matrix_is_spd() {
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let mut seed = 3;
+        let q: Vec<f64> = (0..7).map(|_| lcg(&mut seed)).collect();
+        let m = mass_matrix(&model, &q);
+        assert!(m.is_symmetric(1e-10));
+        assert!(m.ldlt().is_ok(), "mass matrix must be positive definite");
+    }
+
+    #[test]
+    fn matches_rnea_columns() {
+        // Column j of M equals RNEA(q, 0, e_j) in zero gravity.
+        let robot = robots::hyq();
+        let model = DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
+        let n = model.dof();
+        let mut seed = 9;
+        let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+        let zero = vec![0.0; n];
+        let m = mass_matrix(&model, &q);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = rnea(&model, &q, &zero, &e).tau;
+            for i in 0..n {
+                assert!(
+                    (m[(i, j)] - col[i]).abs() < 1e-9,
+                    "M[{i},{j}] = {} vs RNEA {}",
+                    m[(i, j)],
+                    col[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let model = DynamicsModel::<f64>::new(&robots::atlas());
+        let n = model.dof();
+        let mut seed = 21;
+        let q: Vec<f64> = (0..n).map(|_| 0.5 * lcg(&mut seed)).collect();
+        let m = mass_matrix(&model, &q);
+        let minv = mass_matrix_inverse(&model, &q).unwrap();
+        let eye = m.mul_mat(&minv);
+        assert!(eye.max_abs_diff(&MatN::identity(n)) < 1e-8);
+    }
+
+    #[test]
+    fn kinetic_energy_quadratic_form() {
+        // T = ½ q̇ᵀ M q̇ must match the link-wise kinetic energy sum.
+        let robot = robots::serial_chain(5, JointType::RevoluteY);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let mut seed = 31;
+        let q: Vec<f64> = (0..5).map(|_| lcg(&mut seed)).collect();
+        let qd: Vec<f64> = (0..5).map(|_| lcg(&mut seed)).collect();
+        let m = mass_matrix(&model, &q);
+        let mqd = m.mul_vec(&qd);
+        let t_quad: f64 = 0.5 * qd.iter().zip(&mqd).map(|(a, b)| a * b).sum::<f64>();
+        let t_links = crate::rnea::kinetic_energy(&model, &q, &qd);
+        assert!((t_quad - t_links).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Forward dynamics: joint accelerations from torques.
+//!
+//! Two independent implementations are provided and cross-checked in tests:
+//! the CRBA route (`q̈ = M⁻¹(τ − C)`, the structure the paper's Algorithm 1
+//! exploits) and the O(n) Articulated Body Algorithm.
+
+use crate::{bias_torques, mass_matrix, DynamicsModel};
+use robo_spatial::{FactorizeError, Force, Mat6, Motion, Scalar};
+
+/// Computes forward dynamics via the mass matrix: `q̈ = M⁻¹ (τ − C(q, q̇))`.
+///
+/// # Errors
+///
+/// Returns [`FactorizeError`] if the mass matrix cannot be factorized.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{forward_dynamics, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::double_pendulum());
+/// let qdd = forward_dynamics(&model, &[0.5, -0.2], &[0.0, 0.0], &[0.0, 0.0])?;
+/// assert_eq!(qdd.len(), 2);
+/// # Ok::<(), robo_spatial::FactorizeError>(())
+/// ```
+pub fn forward_dynamics<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    tau: &[S],
+) -> Result<Vec<S>, FactorizeError> {
+    let n = model.dof();
+    assert_eq!(tau.len(), n, "tau length mismatch");
+    let c = bias_torques(model, q, qd);
+    let rhs: Vec<S> = tau.iter().zip(&c).map(|(t, b)| *t - *b).collect();
+    mass_matrix(model, q).ldlt()?.solve(&rhs)
+}
+
+fn outer6<S: Scalar>(a: [S; 6], b: [S; 6]) -> Mat6<S> {
+    let mut out = Mat6::zero();
+    for i in 0..6 {
+        for j in 0..6 {
+            out.m[i][j] = a[i] * b[j];
+        }
+    }
+    out
+}
+
+/// Computes forward dynamics with the Articulated Body Algorithm
+/// (Featherstone), an O(n) method independent of the CRBA route.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{aba, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// // From a bent posture, gravity makes the unactuated arm fall.
+/// let qdd = aba(&model, &[0.5; 7], &[0.0; 7], &[0.0; 7]);
+/// assert!(qdd.iter().any(|a| a.abs() > 0.1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`, or if an articulated
+/// joint-space inertia `d = Sᵀ IA S` is non-positive (invalid model).
+pub fn aba<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], tau: &[S]) -> Vec<S> {
+    let n = model.dof();
+    assert_eq!(q.len(), n, "q length mismatch");
+    assert_eq!(qd.len(), n, "qd length mismatch");
+    assert_eq!(tau.len(), n, "tau length mismatch");
+
+    let mut x = Vec::with_capacity(n);
+    let mut v = vec![Motion::zero(); n];
+    let mut c = vec![Motion::zero(); n];
+    let mut ia: Vec<Mat6<S>> = Vec::with_capacity(n);
+    let mut pa = vec![Force::zero(); n];
+
+    // Pass 1: velocities and bias terms.
+    for i in 0..n {
+        let xi = model.joint_transform(i, q[i]);
+        let s = model.subspace(i);
+        let vj = s.scale(qd[i]);
+        let vp = match model.parent(i) {
+            Some(p) => xi.apply_motion(v[p]),
+            None => Motion::zero(),
+        };
+        v[i] = vp + vj;
+        c[i] = v[i].cross_motion(vj);
+        ia.push(model.inertia(i).to_mat6());
+        pa[i] = v[i].cross_force(model.inertia(i).apply(v[i]));
+        x.push(xi);
+    }
+
+    // Pass 2: articulated inertias, tip to base.
+    let mut u_vec = vec![[S::zero(); 6]; n];
+    let mut d = vec![S::zero(); n];
+    let mut u_sc = vec![S::zero(); n];
+    for i in (0..n).rev() {
+        let s = model.subspace(i);
+        let ui = ia[i].mul_array(s.to_array());
+        let di = {
+            let sa = s.to_array();
+            let mut acc = S::zero();
+            for k in 0..6 {
+                acc += sa[k] * ui[k];
+            }
+            acc
+        };
+        assert!(
+            di.to_f64() > 0.0,
+            "articulated inertia about joint {i} is non-positive"
+        );
+        let usc = tau[i] - s.dot(pa[i]);
+        u_vec[i] = ui;
+        d[i] = di;
+        u_sc[i] = usc;
+        if let Some(p) = model.parent(i) {
+            let inv_d = S::one() / di;
+            let ia_art = ia[i] - outer6(ui, ui).mul_scalar(inv_d);
+            let pa_art = pa[i]
+                + Force::from_array(ia_art.mul_array(c[i].to_array()))
+                + Force::from_array(u_vec[i]).scale(usc * inv_d);
+            let xm = x[i].to_mat6();
+            ia[p] = ia[p] + xm.transpose() * ia_art * xm;
+            pa[p] += x[i].tr_apply_force(pa_art);
+        }
+    }
+
+    // Pass 3: accelerations, base to tip.
+    let mut a = vec![Motion::zero(); n];
+    let mut qdd = vec![S::zero(); n];
+    for i in 0..n {
+        let ap = match model.parent(i) {
+            Some(p) => x[i].apply_motion(a[p]),
+            None => x[i].apply_motion(model.base_acceleration()),
+        } + c[i];
+        let u_dot_a = {
+            let aa = ap.to_array();
+            let mut acc = S::zero();
+            for k in 0..6 {
+                acc += u_vec[i][k] * aa[k];
+            }
+            acc
+        };
+        qdd[i] = (u_sc[i] - u_dot_a) / d[i];
+        a[i] = ap + model.subspace(i).scale(qdd[i]);
+    }
+    qdd
+}
+
+trait Mat6Ext<S> {
+    fn mul_scalar(self, s: S) -> Self;
+}
+
+impl<S: Scalar> Mat6Ext<S> for Mat6<S> {
+    fn mul_scalar(mut self, s: S) -> Self {
+        for row in &mut self.m {
+            for x in row {
+                *x *= s;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnea::rnea;
+    use robo_model::{robots, JointType};
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        // RNEA(q, q̇, FD(q, q̇, τ)) = τ.
+        for robot in [robots::iiwa14(), robots::hyq()] {
+            let model = DynamicsModel::<f64>::new(&robot);
+            let n = model.dof();
+            let mut seed = 13;
+            let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let tau: Vec<f64> = (0..n).map(|_| 5.0 * lcg(&mut seed)).collect();
+            let qdd = forward_dynamics(&model, &q, &qd, &tau).unwrap();
+            let back = rnea(&model, &q, &qd, &qdd).tau;
+            for i in 0..n {
+                assert!((back[i] - tau[i]).abs() < 1e-8, "joint {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn aba_matches_crba_route() {
+        for robot in [
+            robots::iiwa14(),
+            robots::hyq(),
+            robots::atlas(),
+            robots::serial_chain(4, JointType::PrismaticZ),
+        ] {
+            let model = DynamicsModel::<f64>::new(&robot);
+            let n = model.dof();
+            let mut seed = 77;
+            let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let tau: Vec<f64> = (0..n).map(|_| 3.0 * lcg(&mut seed)).collect();
+            let via_crba = forward_dynamics(&model, &q, &qd, &tau).unwrap();
+            let via_aba = aba(&model, &q, &qd, &tau);
+            for i in 0..n {
+                assert!(
+                    (via_crba[i] - via_aba[i]).abs() < 1e-7,
+                    "{}: joint {i}: {} vs {}",
+                    robot.name(),
+                    via_crba[i],
+                    via_aba[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_fall_pendulum_accelerates() {
+        // A horizontal pendulum under gravity must accelerate downward.
+        let robot = robo_model::RobotBuilder::new("pend")
+            .link("rod", None, JointType::RevoluteY)
+            .uniform_rod_inertia(1.0, 1.0)
+            .build()
+            .unwrap();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let qdd = aba(&model, &[std::f64::consts::FRAC_PI_2], &[0.0], &[0.0]);
+        assert!(qdd[0].abs() > 1.0, "expected gravity-driven acceleration");
+    }
+
+    #[test]
+    fn gravity_compensation_holds_still() {
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let q = vec![0.3, -0.5, 0.8, -1.0, 0.2, 0.7, -0.1];
+        let zero = vec![0.0; 7];
+        let hold = rnea(&model, &q, &zero, &zero).tau;
+        let qdd = aba(&model, &q, &zero, &hold);
+        assert!(qdd.iter().all(|a| a.abs() < 1e-8));
+    }
+}

@@ -1,0 +1,103 @@
+//! Finite-difference reference gradients (f64 only), used to validate the
+//! analytical derivatives and the simulated accelerator.
+
+use crate::{aba, rnea, DynamicsModel, InverseDynamicsGradient};
+use robo_spatial::MatN;
+
+/// Central-difference gradient of inverse dynamics with step `h`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`.
+pub fn rnea_gradient_fd(
+    model: &DynamicsModel<f64>,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    h: f64,
+) -> InverseDynamicsGradient<f64> {
+    let n = model.dof();
+    let mut dtau_dq = MatN::zeros(n, n);
+    let mut dtau_dqd = MatN::zeros(n, n);
+    for j in 0..n {
+        let mut qp = q.to_vec();
+        let mut qm = q.to_vec();
+        qp[j] += h;
+        qm[j] -= h;
+        let tp = rnea(model, &qp, qd, qdd).tau;
+        let tm = rnea(model, &qm, qd, qdd).tau;
+        for i in 0..n {
+            dtau_dq[(i, j)] = (tp[i] - tm[i]) / (2.0 * h);
+        }
+
+        let mut vp = qd.to_vec();
+        let mut vm = qd.to_vec();
+        vp[j] += h;
+        vm[j] -= h;
+        let tp = rnea(model, q, &vp, qdd).tau;
+        let tm = rnea(model, q, &vm, qdd).tau;
+        for i in 0..n {
+            dtau_dqd[(i, j)] = (tp[i] - tm[i]) / (2.0 * h);
+        }
+    }
+    InverseDynamicsGradient { dtau_dq, dtau_dqd }
+}
+
+/// Central-difference gradient of forward dynamics (via the ABA) with step
+/// `h`, returning `(∂q̈/∂q, ∂q̈/∂q̇)`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`.
+pub fn forward_dynamics_gradient_fd(
+    model: &DynamicsModel<f64>,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+) -> (MatN<f64>, MatN<f64>) {
+    let n = model.dof();
+    let mut dq = MatN::zeros(n, n);
+    let mut dqd = MatN::zeros(n, n);
+    for j in 0..n {
+        let mut qp = q.to_vec();
+        let mut qm = q.to_vec();
+        qp[j] += h;
+        qm[j] -= h;
+        let ap = aba(model, &qp, qd, tau);
+        let am = aba(model, &qm, qd, tau);
+        for i in 0..n {
+            dq[(i, j)] = (ap[i] - am[i]) / (2.0 * h);
+        }
+
+        let mut vp = qd.to_vec();
+        let mut vm = qd.to_vec();
+        vp[j] += h;
+        vm[j] -= h;
+        let ap = aba(model, q, &vp, tau);
+        let am = aba(model, q, &vm, tau);
+        for i in 0..n {
+            dqd[(i, j)] = (ap[i] - am[i]) / (2.0 * h);
+        }
+    }
+    (dq, dqd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn fd_is_symmetric_under_step_refinement() {
+        // Halving the step should not change the estimate much (sanity check
+        // that h is in the stable region for these models).
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let q = vec![0.3, -0.4, 0.5, 0.9, -0.2, 0.1, 0.6];
+        let qd = vec![0.1; 7];
+        let qdd = vec![0.2; 7];
+        let g1 = rnea_gradient_fd(&model, &q, &qd, &qdd, 1e-5);
+        let g2 = rnea_gradient_fd(&model, &q, &qd, &qdd, 5e-6);
+        assert!(g1.dtau_dq.max_abs_diff(&g2.dtau_dq) < 1e-4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Forward kinematics and geometric Jacobians.
+//!
+//! Kinematics is one of the other morphology-coupled kernels the paper
+//! lists as robomorphic-computing targets (§2.2, §7: "collision detection,
+//! localization, kinematics"). This module provides the reference
+//! implementation that the kinematics accelerator template in
+//! `robomorphic-core` is measured against, and supplies end-effector
+//! queries for the trajectory-optimization stack.
+
+use crate::DynamicsModel;
+use robo_spatial::{MatN, Motion, Scalar, Transform, Vec3};
+
+/// Forward kinematics: for each link, the coordinate transform
+/// `ˡX_world` from world coordinates to that link's frame.
+///
+/// # Panics
+///
+/// Panics if `q.len() != model.dof()`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{forward_kinematics, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let poses = forward_kinematics(&model, &[0.0; 7]);
+/// assert_eq!(poses.len(), 7);
+/// ```
+pub fn forward_kinematics<S: Scalar>(model: &DynamicsModel<S>, q: &[S]) -> Vec<Transform<S>> {
+    let n = model.dof();
+    assert_eq!(q.len(), n, "q length mismatch");
+    let mut out: Vec<Transform<S>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let xi = model.joint_transform(i, q[i]);
+        let pose = match model.parent(i) {
+            Some(p) => xi.compose(&out[p]),
+            None => xi,
+        };
+        out.push(pose);
+    }
+    out
+}
+
+/// Position of link `i`'s frame origin in world coordinates.
+pub fn link_origin_world<S: Scalar>(poses: &[Transform<S>], i: usize) -> Vec3<S> {
+    // ˡX_world stores the link origin's position in the source (world)
+    // frame directly.
+    poses[i].pos
+}
+
+/// The geometric Jacobian of link `link`'s frame, expressed in the link's
+/// own coordinates: a `6×n` matrix with `J q̇ = [ω; v]` (the link's spatial
+/// velocity). Columns of non-ancestor joints are zero — the same
+/// morphology-derived sparsity the gradient datapaths exploit.
+///
+/// # Panics
+///
+/// Panics if `q.len() != model.dof()` or `link` is out of range.
+pub fn geometric_jacobian<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    link: usize,
+) -> MatN<S> {
+    let n = model.dof();
+    assert!(link < n, "link index out of range");
+    let poses = forward_kinematics(model, q);
+    let mut j = MatN::zeros(6, n);
+    let link_from_world = poses[link];
+    for col in 0..n {
+        if !model.influences(col, link) {
+            continue;
+        }
+        // S_col lives in link `col`'s frame; move it into `link`'s frame:
+        // m_link = ˡX_w · (ᶜX_w)⁻¹ · S_col.
+        let world = poses[col].inv_apply_motion(model.subspace(col));
+        let m = link_from_world.apply_motion(world);
+        let arr = m.to_array();
+        for r in 0..6 {
+            j[(r, col)] = arr[r];
+        }
+    }
+    j
+}
+
+/// The `3×n` position Jacobian of link `link`'s frame origin in world
+/// coordinates: `ṗ = Jₚ(q) q̇`. Used for task-space (end-effector) costs in
+/// trajectory optimization.
+///
+/// # Panics
+///
+/// Panics if `q.len() != model.dof()` or `link` is out of range.
+pub fn position_jacobian<S: Scalar>(model: &DynamicsModel<S>, q: &[S], link: usize) -> MatN<S> {
+    let n = model.dof();
+    assert!(link < n, "link index out of range");
+    let poses = forward_kinematics(model, q);
+    let p = link_origin_world(&poses, link);
+    let mut j = MatN::zeros(3, n);
+    for col in 0..n {
+        if !model.influences(col, link) {
+            continue;
+        }
+        // The joint's motion subspace in world coordinates; the origin's
+        // linear velocity is v + ω × p.
+        let world = poses[col].inv_apply_motion(model.subspace(col));
+        let lin = world.lin + world.ang.cross(p);
+        j[(0, col)] = lin.x;
+        j[(1, col)] = lin.y;
+        j[(2, col)] = lin.z;
+    }
+    j
+}
+
+/// The spatial velocity of `link` computed through the Jacobian (used to
+/// cross-check against the RNEA's propagated velocities).
+pub fn jacobian_velocity<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    link: usize,
+) -> Motion<S> {
+    let j = geometric_jacobian(model, q, link);
+    let v = j.mul_vec(qd);
+    Motion::from_array([v[0], v[1], v[2], v[3], v[4], v[5]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnea::rnea;
+    use robo_model::{robots, JointType};
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn zero_configuration_stacks_translations() {
+        // A straight chain of 0.25 m z-offsets: link i's origin sits at the
+        // summed offsets of joints 1..=i (placement rotations permute the
+        // direction but preserve distance from the base).
+        let robot = robots::serial_chain(3, JointType::RevoluteZ);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let poses = forward_kinematics(&model, &[0.0; 3]);
+        let p0 = link_origin_world(&poses, 0);
+        assert!((p0 - robo_spatial::Vec3::new(0.0, 0.0, 0.25)).max_abs() < 1e-12);
+        let p2 = link_origin_world(&poses, 2);
+        assert!(p2.norm() > 0.5, "chain tip should be away from the base");
+    }
+
+    #[test]
+    fn jacobian_matches_rnea_velocity() {
+        // J(q) q̇ must equal the RNEA's propagated link velocity.
+        for robot in [robots::iiwa14(), robots::hyq()] {
+            let model = DynamicsModel::<f64>::new(&robot);
+            let n = model.dof();
+            let mut seed = 5;
+            let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let zero = vec![0.0; n];
+            let cache = rnea(&model, &q, &qd, &zero).cache;
+            for link in 0..n {
+                let via_j = jacobian_velocity(&model, &q, &qd, link);
+                let via_rnea = cache.v[link];
+                assert!(
+                    (via_j - via_rnea).max_abs() < 1e-10,
+                    "{} link {link}",
+                    robot.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference_of_fk() {
+        // Linear rows of J: d(world position)/dq, rotated into the link
+        // frame, with the angular correction ω×(o − p). Easier and just as
+        // strong: compare J q̇ against numeric differentiation of the pose.
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let n = model.dof();
+        let mut seed = 77;
+        let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+        let qd: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+        let link = n - 1;
+        let h = 1e-7;
+        let q2: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a + h * b).collect();
+        let p1 = link_origin_world(&forward_kinematics(&model, &q), link);
+        let p2 = link_origin_world(&forward_kinematics(&model, &q2), link);
+        let numeric_vel_world = (p2 - p1).scale(1.0 / h);
+
+        // Analytic: spatial velocity in the link frame → world linear
+        // velocity of the origin point.
+        let v = jacobian_velocity(&model, &q, &qd, link);
+        let pose = forward_kinematics(&model, &q)[link];
+        let world = pose.inv_apply_motion(v);
+        // `world` is the spatial velocity in world coordinates measured at
+        // the world origin; the link origin's velocity is v + ω×p.
+        let p = link_origin_world(&forward_kinematics(&model, &q), link);
+        let origin_vel = world.lin + world.ang.cross(p);
+        assert!(
+            (origin_vel - numeric_vel_world).max_abs() < 1e-5,
+            "{origin_vel:?} vs {numeric_vel_world:?}"
+        );
+    }
+
+    #[test]
+    fn position_jacobian_matches_finite_differences() {
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let n = model.dof();
+        let mut seed = 41;
+        let q: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+        let link = 6;
+        let j = position_jacobian(&model, &q, link);
+        let h = 1e-7;
+        for col in 0..n {
+            let mut qp = q.clone();
+            let mut qm = q.clone();
+            qp[col] += h;
+            qm[col] -= h;
+            let pp = link_origin_world(&forward_kinematics(&model, &qp), link);
+            let pm = link_origin_world(&forward_kinematics(&model, &qm), link);
+            let fd = (pp - pm).scale(1.0 / (2.0 * h));
+            for (r, v) in [fd.x, fd.y, fd.z].iter().enumerate() {
+                assert!(
+                    (j[(r, col)] - v).abs() < 1e-6,
+                    "J[{r},{col}] = {} vs fd {v}",
+                    j[(r, col)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_ancestor_columns_are_zero() {
+        let robot = robots::hyq();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let q = vec![0.2; 12];
+        // Link 2 is on leg 1; joints 3.. belong to other legs.
+        let j = geometric_jacobian(&model, &q, 2);
+        for col in 3..12 {
+            for r in 0..6 {
+                assert_eq!(j[(r, col)], 0.0, "col {col} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn prismatic_jacobian_is_pure_translation() {
+        let robot = robots::serial_chain(1, JointType::PrismaticZ);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let j = geometric_jacobian(&model, &[0.3], 0);
+        // Angular rows all zero; linear z row is 1.
+        for r in 0..3 {
+            assert_eq!(j[(r, 0)], 0.0);
+        }
+        assert_eq!(j[(5, 0)], 1.0);
+    }
+}

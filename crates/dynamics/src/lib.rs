@@ -1,0 +1,62 @@
+//! Rigid body dynamics and the analytical dynamics gradient.
+//!
+//! This crate implements the algorithm stack that the paper's accelerator
+//! computes in hardware:
+//!
+//! * [`rnea`] — inverse dynamics via the Recursive Newton-Euler Algorithm
+//!   (the paper's Algorithm 2);
+//! * [`mass_matrix`] / [`mass_matrix_inverse`] — the Composite Rigid Body
+//!   Algorithm and the `M⁻¹` used in Algorithm 1, step 3;
+//! * [`forward_dynamics`] (CRBA route) and [`aba`] (Articulated Body
+//!   Algorithm) — two independent forward-dynamics implementations,
+//!   cross-checked in tests;
+//! * [`rnea_derivatives`] — analytical `∇ID` (Algorithm 1, step 2), written
+//!   as one independent *datapath per joint*, mirroring the accelerator's
+//!   parallel structure;
+//! * [`dynamics_gradient_from_qdd`] / [`forward_dynamics_gradient`] — the
+//!   complete forward-dynamics gradient kernel (Algorithm 1);
+//! * [`forward_kinematics`] / [`geometric_jacobian`] — the kinematics
+//!   kernels that §7 lists as further robomorphic targets;
+//! * [`findiff`] — finite-difference references for validation.
+//!
+//! Everything is generic over [`robo_spatial::Scalar`], so the same code
+//! validates the fixed-point accelerator arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_dynamics::{forward_dynamics_gradient, DynamicsModel};
+//! use robo_model::robots;
+//!
+//! let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+//! let q = [0.1, -0.3, 0.5, 0.7, -0.2, 0.4, 0.0];
+//! let qd = [0.0; 7];
+//! let tau = [0.0; 7];
+//! let (qdd, grad) = forward_dynamics_gradient(&model, &q, &qd, &tau)?;
+//! assert_eq!(qdd.len(), 7);
+//! assert_eq!(grad.dqdd_dq.rows(), 7);
+//! # Ok::<(), robo_spatial::FactorizeError>(())
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over fixed-size matrix dimensions are clearer than
+// iterator chains in this numerical code.
+#![allow(clippy::needless_range_loop)]
+
+mod crba;
+mod deriv;
+mod fd;
+mod fk;
+pub mod findiff;
+mod model;
+mod rnea;
+
+pub use crba::{mass_matrix, mass_matrix_inverse};
+pub use deriv::{
+    dynamics_gradient_from_qdd, forward_dynamics_gradient, rnea_derivatives, DynamicsGradient,
+    InverseDynamicsGradient,
+};
+pub use fd::{aba, forward_dynamics};
+pub use fk::{forward_kinematics, geometric_jacobian, jacobian_velocity, link_origin_world, position_jacobian};
+pub use model::{DynamicsModel, STANDARD_GRAVITY};
+pub use rnea::{bias_torques, kinetic_energy, rnea, rnea_with_external, RneaCache, RneaResult};

@@ -1,0 +1,267 @@
+//! Inverse dynamics: the Recursive Newton-Euler Algorithm (RNEA).
+//!
+//! This is Algorithm 2 of the paper (after Featherstone): a forward pass
+//! propagating per-link spatial velocities, accelerations and forces
+//! `(vᵢ, aᵢ, fᵢ)` from the base outward, then a backward pass accumulating
+//! forces toward the base and reading out joint torques `τᵢ = Sᵢᵀ fᵢ`.
+
+use crate::DynamicsModel;
+use robo_spatial::{Force, Motion, Scalar, Transform};
+
+/// Intermediate quantities produced by the RNEA, needed again by its
+/// analytical derivatives (the `v, a, f` inputs of Algorithm 1, step 2).
+#[derive(Debug, Clone)]
+pub struct RneaCache<S> {
+    /// Joint transforms `ᵢX_λᵢ(qᵢ)` for each link.
+    pub x: Vec<Transform<S>>,
+    /// Spatial velocities `vᵢ`, in link coordinates.
+    pub v: Vec<Motion<S>>,
+    /// Spatial accelerations `aᵢ` (including the gravity offset).
+    pub a: Vec<Motion<S>>,
+    /// Accumulated spatial forces `fᵢ` *after* the backward pass.
+    pub f: Vec<Force<S>>,
+}
+
+/// The result of an inverse dynamics computation.
+#[derive(Debug, Clone)]
+pub struct RneaResult<S> {
+    /// Joint torques `τ`.
+    pub tau: Vec<S>,
+    /// Intermediate quantities for derivative computations.
+    pub cache: RneaCache<S>,
+}
+
+/// Computes inverse dynamics: joint torques that realize accelerations
+/// `qdd` at state `(q, qd)`, including gravity.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ from `model.dof()`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{rnea, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let zero = vec![0.0; 7];
+/// // At rest, torques are pure gravity compensation.
+/// let result = rnea(&model, &zero, &zero, &zero);
+/// assert!(result.tau.iter().any(|t| t.abs() > 1e-3));
+/// ```
+pub fn rnea<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], qdd: &[S]) -> RneaResult<S> {
+    rnea_with_external(model, q, qd, qdd, None)
+}
+
+/// Inverse dynamics with optional external forces applied to each link
+/// (expressed in link-local coordinates), as in Algorithm 2's
+/// `f_external` term.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`.
+pub fn rnea_with_external<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    qdd: &[S],
+    f_ext: Option<&[Force<S>]>,
+) -> RneaResult<S> {
+    let n = model.dof();
+    assert_eq!(q.len(), n, "q length mismatch");
+    assert_eq!(qd.len(), n, "qd length mismatch");
+    assert_eq!(qdd.len(), n, "qdd length mismatch");
+    if let Some(fe) = f_ext {
+        assert_eq!(fe.len(), n, "f_ext length mismatch");
+    }
+
+    let mut x = Vec::with_capacity(n);
+    let mut v = vec![Motion::zero(); n];
+    let mut a = vec![Motion::zero(); n];
+    let mut f = vec![Force::zero(); n];
+
+    // Forward pass (Algorithm 2, lines 2-6).
+    for i in 0..n {
+        let xi = model.joint_transform(i, q[i]);
+        let s = model.subspace(i);
+        let s_qd = s.scale(qd[i]);
+        let (vp, ap) = match model.parent(i) {
+            Some(p) => (xi.apply_motion(v[p]), xi.apply_motion(a[p])),
+            None => (
+                Motion::zero(),
+                xi.apply_motion(model.base_acceleration()),
+            ),
+        };
+        v[i] = vp + s_qd;
+        a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
+        let iv = model.inertia(i).apply(v[i]);
+        f[i] = model.inertia(i).apply(a[i]) + v[i].cross_force(iv);
+        if let Some(fe) = f_ext {
+            f[i] -= fe[i];
+        }
+        x.push(xi);
+    }
+
+    // Backward pass (lines 7-9).
+    let mut tau = vec![S::zero(); n];
+    for i in (0..n).rev() {
+        tau[i] = model.subspace(i).dot(f[i]);
+        if let Some(p) = model.parent(i) {
+            let fp = x[i].tr_apply_force(f[i]);
+            f[p] += fp;
+        }
+    }
+
+    RneaResult {
+        tau,
+        cache: RneaCache { x, v, a, f },
+    }
+}
+
+/// The nonlinear bias term `C(q, q̇)`: torques with `q̈ = 0` (Coriolis,
+/// centrifugal and gravity effects). Used to form `M q̈ = τ − C`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{bias_torques, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// // At rest the bias is pure gravity compensation.
+/// let hold = bias_torques(&model, &[0.3; 7], &[0.0; 7]);
+/// assert!(hold.iter().any(|t| t.abs() > 1.0));
+/// ```
+pub fn bias_torques<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S]) -> Vec<S> {
+    let zero = vec![S::zero(); model.dof()];
+    rnea(model, q, qd, &zero).tau
+}
+
+/// Total mechanical energy (kinetic + potential-equivalent check helper):
+/// kinetic energy only, `½ Σ vᵢᵀ Iᵢ vᵢ`, in link coordinates.
+pub fn kinetic_energy<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S]) -> S {
+    let zero = vec![S::zero(); model.dof()];
+    let res = rnea(model, q, qd, &zero);
+    let mut e = S::zero();
+    for i in 0..model.dof() {
+        e += model.inertia(i).kinetic_energy(res.cache.v[i]);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::{robots, JointType};
+    use robo_spatial::Vec3;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn single_pendulum_gravity_torque() {
+        // One revolute-y link: a rod of mass m, COM at l/2 along z.
+        // Hanging straight "up" along +z with gravity -z, at q the torque
+        // about y is m·g·(l/2)·... at q=0 the COM is directly above the
+        // joint: zero torque. At q = π/2 the rod is horizontal: torque =
+        // m g l/2.
+        let robot = robo_model::RobotBuilder::new("pend")
+            .link("rod", None, JointType::RevoluteY)
+            .uniform_rod_inertia(2.0, 1.0)
+            .build()
+            .unwrap();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let tau0 = rnea(&model, &[0.0], &[0.0], &[0.0]).tau[0];
+        assert!(tau0.abs() < 1e-12, "upright: no gravity torque, got {tau0}");
+        let tau90 = rnea(&model, &[std::f64::consts::FRAC_PI_2], &[0.0], &[0.0]).tau[0];
+        let expected = 2.0 * 9.81 * 0.5;
+        assert!(
+            (tau90.abs() - expected).abs() < 1e-9,
+            "horizontal torque {tau90} vs ±{expected}"
+        );
+    }
+
+    #[test]
+    fn zero_gravity_rest_needs_no_torque() {
+        let robot = robots::iiwa14();
+        let model = DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
+        let zero = vec![0.0; 7];
+        let tau = rnea(&model, &zero, &zero, &zero).tau;
+        assert!(tau.iter().all(|t| t.abs() < 1e-12));
+    }
+
+    #[test]
+    fn torque_linear_in_qdd_at_fixed_state() {
+        // τ(q, q̇, q̈) = M(q) q̈ + C(q, q̇): affine in q̈.
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let mut seed = 5;
+        let q: Vec<f64> = (0..7).map(|_| lcg(&mut seed)).collect();
+        let qd: Vec<f64> = (0..7).map(|_| lcg(&mut seed)).collect();
+        let a1: Vec<f64> = (0..7).map(|_| lcg(&mut seed)).collect();
+        let a2: Vec<f64> = (0..7).map(|_| lcg(&mut seed)).collect();
+        let mid: Vec<f64> = a1.iter().zip(&a2).map(|(x, y)| 0.5 * (x + y)).collect();
+        let t1 = rnea(&model, &q, &qd, &a1).tau;
+        let t2 = rnea(&model, &q, &qd, &a2).tau;
+        let tm = rnea(&model, &q, &qd, &mid).tau;
+        for i in 0..7 {
+            assert!((tm[i] - 0.5 * (t1[i] + t2[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn external_force_changes_torque() {
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let zero = vec![0.0; 7];
+        let mut fe = vec![Force::zero(); 7];
+        fe[6] = Force::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        let with = rnea_with_external(&model, &zero, &zero, &zero, Some(&fe)).tau;
+        let without = rnea(&model, &zero, &zero, &zero).tau;
+        assert!((0..7).any(|i| (with[i] - without[i]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn kinetic_energy_zero_at_rest_and_positive_in_motion() {
+        let model = DynamicsModel::<f64>::new(&robots::hyq());
+        let zero = vec![0.0; 12];
+        assert_eq!(kinetic_energy(&model, &zero, &zero), 0.0);
+        let qd = vec![0.5; 12];
+        assert!(kinetic_energy(&model, &zero, &qd) > 0.0);
+    }
+
+    #[test]
+    fn power_balance() {
+        // In zero gravity with no external forces, instantaneous joint power
+        // τᵀq̇ equals the rate of change of kinetic energy dT/dt (verified by
+        // finite differences over a short free-motion step).
+        let robot = robots::serial_chain(3, JointType::RevoluteZ);
+        let model = DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
+        let mut seed = 11;
+        let q: Vec<f64> = (0..3).map(|_| lcg(&mut seed)).collect();
+        let qd: Vec<f64> = (0..3).map(|_| lcg(&mut seed)).collect();
+        let qdd: Vec<f64> = (0..3).map(|_| lcg(&mut seed)).collect();
+        let tau = rnea(&model, &q, &qd, &qdd).tau;
+        let power: f64 = tau.iter().zip(&qd).map(|(t, v)| t * v).sum();
+        let h = 1e-6;
+        let q2: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a + h * b).collect();
+        let qd2: Vec<f64> = qd.iter().zip(&qdd).map(|(a, b)| a + h * b).collect();
+        let e1 = kinetic_energy(&model, &q, &qd);
+        let e2 = kinetic_energy(&model, &q2, &qd2);
+        let dedt = (e2 - e1) / h;
+        assert!(
+            (power - dedt).abs() < 1e-4,
+            "power {power} vs dE/dt {dedt}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "q length mismatch")]
+    fn length_mismatch_panics() {
+        let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+        let _ = rnea(&model, &[0.0], &[0.0; 7], &[0.0; 7]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Q-format fixed-point arithmetic for the robomorphic accelerator.
+//!
+//! The paper's FPGA datapath computes in **32-bit fixed point with 16
+//! fractional bits** (§6.2, Figure 12), because fixed-point multipliers and
+//! adders are much smaller than floating-point units. This crate provides
+//! [`Fixed<INT, FRAC>`](Fixed), a two's-complement Q-format number with
+//! `INT` integer bits (including sign) and `FRAC` fractional bits,
+//! implementing the [`Scalar`] trait so that the entire dynamics stack and
+//! the simulated accelerator can run in the same arithmetic the hardware
+//! uses.
+//!
+//! Arithmetic **saturates** on overflow (as a hardware datapath with clamp
+//! logic would) and increments a global diagnostic counter, so experiments
+//! like the paper's Figure 12 can both observe degraded convergence *and*
+//! attribute it to range exhaustion.
+//!
+//! Named types from the paper's Figure 12 sweep are provided as aliases:
+//! [`Fix32_16`] (the accelerator's type), [`Fix14_18`], [`Fix18_14`],
+//! [`Fix14_6`] (the 20-bit candidate), and [`Fix12_4`].
+//!
+//! # Example
+//!
+//! ```
+//! use robo_fixed::Fix32_16;
+//! use robo_spatial::Scalar;
+//!
+//! let a = Fix32_16::from_f64(1.5);
+//! let b = Fix32_16::from_f64(-2.25);
+//! assert_eq!((a * b).to_f64(), -3.375);
+//! assert_eq!(Fix32_16::resolution(), 1.0 / 65536.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use robo_spatial::Scalar;
+
+/// Global count of saturation events across all fixed-point operations.
+static OVERFLOW_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of fixed-point saturation events since the last
+/// [`reset_overflow_count`].
+pub fn overflow_count() -> u64 {
+    OVERFLOW_COUNT.load(Ordering::Relaxed)
+}
+
+/// Resets the global saturation counter (call before an experiment).
+pub fn reset_overflow_count() {
+    OVERFLOW_COUNT.store(0, Ordering::Relaxed);
+}
+
+/// A two's-complement Q-format fixed-point number with `INT` integer bits
+/// (including the sign bit) and `FRAC` fractional bits.
+///
+/// The representable range is `[-2^(INT-1), 2^(INT-1))` with a resolution of
+/// `2^-FRAC`. Total width `INT + FRAC` must be ≤ 63 bits. Values are stored
+/// as `i64` raw integers scaled by `2^FRAC`; products are computed in `i128`
+/// and rounded to nearest, exactly as a DSP-block multiply pipeline followed
+/// by a rounding stage would behave.
+///
+/// The paper's notation `Fixed{i, f}` maps to `Fixed<i, f>`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Fixed<const INT: u32, const FRAC: u32> {
+    raw: i64,
+}
+
+/// The accelerator's numeric type: 32 bits, 16 fractional (§6.2).
+pub type Fix32_16 = Fixed<16, 16>;
+/// 32 bits, 14 integer / 18 fractional (`Fixed{14,18}` in Figure 12).
+pub type Fix14_18 = Fixed<14, 18>;
+/// 32 bits, 18 integer / 14 fractional (`Fixed{18,14}` in Figure 12).
+pub type Fix18_14 = Fixed<18, 14>;
+/// 20 bits, 14 integer / 6 fractional — the paper's reduced-width candidate
+/// (`Fixed{14,6}`, §6.2: "possible to use 20 bits in future work").
+pub type Fix14_6 = Fixed<14, 6>;
+/// 16 bits, 12 integer / 4 fractional — below the useful precision floor;
+/// included to demonstrate degradation.
+pub type Fix12_4 = Fixed<12, 4>;
+/// 12 bits, 8 integer / 4 fractional — range ±128 saturates on realistic
+/// link forces; included to demonstrate outright divergence.
+pub type Fix8_4 = Fixed<8, 4>;
+
+impl<const INT: u32, const FRAC: u32> Fixed<INT, FRAC> {
+    /// Total width in bits (integer + fractional).
+    pub const WIDTH: u32 = INT + FRAC;
+
+    const RAW_MAX: i64 = (1i64 << (INT + FRAC - 1)) - 1;
+    const RAW_MIN: i64 = -(1i64 << (INT + FRAC - 1));
+
+    /// Creates a value from its raw scaled representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `raw` is outside the representable range.
+    pub fn from_raw(raw: i64) -> Self {
+        debug_assert!(
+            (Self::RAW_MIN..=Self::RAW_MAX).contains(&raw),
+            "raw value {raw} outside Q{INT}.{FRAC} range"
+        );
+        Self { raw }
+    }
+
+    /// The raw scaled integer representation (`value · 2^FRAC`).
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Largest representable value.
+    pub fn max_value() -> Self {
+        Self { raw: Self::RAW_MAX }
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value() -> Self {
+        Self { raw: Self::RAW_MIN }
+    }
+
+    #[inline]
+    fn saturate(wide: i128) -> Self {
+        if wide > Self::RAW_MAX as i128 {
+            OVERFLOW_COUNT.fetch_add(1, Ordering::Relaxed);
+            Self { raw: Self::RAW_MAX }
+        } else if wide < Self::RAW_MIN as i128 {
+            OVERFLOW_COUNT.fetch_add(1, Ordering::Relaxed);
+            Self { raw: Self::RAW_MIN }
+        } else {
+            Self { raw: wide as i64 }
+        }
+    }
+
+    /// Rounds an `i128` value carrying `2·FRAC` fractional bits back to
+    /// `FRAC` fractional bits, to nearest (ties away from zero).
+    #[inline]
+    fn round_product(prod: i128) -> i128 {
+        let half = 1i128 << (FRAC - 1);
+        if prod >= 0 {
+            (prod + half) >> FRAC
+        } else {
+            -((-prod + half) >> FRAC)
+        }
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Scalar for Fixed<INT, FRAC> {
+    fn name() -> String {
+        format!("Fixed{{{INT},{FRAC}}}")
+    }
+
+    #[inline]
+    fn zero() -> Self {
+        Self { raw: 0 }
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Self::saturate(1i128 << FRAC)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        if !value.is_finite() {
+            OVERFLOW_COUNT.fetch_add(1, Ordering::Relaxed);
+            return if value > 0.0 {
+                Self::max_value()
+            } else {
+                Self::min_value()
+            };
+        }
+        let scaled = (value * (1u64 << FRAC) as f64).round();
+        Self::saturate(scaled as i128)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.raw as f64 / (1u64 << FRAC) as f64
+    }
+
+    fn resolution() -> f64 {
+        1.0 / (1u64 << FRAC) as f64
+    }
+
+    fn dot_accumulate(terms: &[(Self, Self)]) -> Self {
+        // DSP-cascade behavior: accumulate the full 2·FRAC-bit products in
+        // a wide register, round once at the end.
+        let mut acc: i128 = 0;
+        for (a, b) in terms {
+            acc += a.raw as i128 * b.raw as i128;
+        }
+        Self::saturate(Self::round_product(acc))
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Add for Fixed<INT, FRAC> {
+    type Output = Self;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::saturate(self.raw as i128 + rhs.raw as i128)
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Sub for Fixed<INT, FRAC> {
+    type Output = Self;
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::saturate(self.raw as i128 - rhs.raw as i128)
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Mul for Fixed<INT, FRAC> {
+    type Output = Self;
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        let prod = self.raw as i128 * rhs.raw as i128;
+        Self::saturate(Self::round_product(prod))
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Div for Fixed<INT, FRAC> {
+    type Output = Self;
+
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            OVERFLOW_COUNT.fetch_add(1, Ordering::Relaxed);
+            return if self.raw >= 0 {
+                Self::max_value()
+            } else {
+                Self::min_value()
+            };
+        }
+        let num = (self.raw as i128) << FRAC;
+        Self::saturate(num / rhs.raw as i128)
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Neg for Fixed<INT, FRAC> {
+    type Output = Self;
+
+    #[inline]
+    fn neg(self) -> Self {
+        Self::saturate(-(self.raw as i128))
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> AddAssign for Fixed<INT, FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> SubAssign for Fixed<INT, FRAC> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> MulAssign for Fixed<INT, FRAC> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> DivAssign for Fixed<INT, FRAC> {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> fmt::Debug for Fixed<INT, FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{INT},{FRAC}>({})", self.to_f64())
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> fmt::Display for Fixed<INT, FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 100.0, -255.75] {
+            assert_eq!(Fix32_16::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Fix32_16::from_f64(3.5);
+        let b = Fix32_16::from_f64(-1.25);
+        assert_eq!((a + b).to_f64(), 2.25);
+        assert_eq!((a - b).to_f64(), 4.75);
+        assert_eq!((a * b).to_f64(), -4.375);
+        // Division truncates toward zero in raw units: -2.8 is not exactly
+        // representable in Q16.16.
+        assert!(((a / b).to_f64() + 2.8).abs() <= Fix32_16::resolution());
+        assert_eq!((-a).to_f64(), -3.5);
+    }
+
+    #[test]
+    fn identity_elements() {
+        assert_eq!(Fix32_16::zero().to_f64(), 0.0);
+        assert_eq!(Fix32_16::one().to_f64(), 1.0);
+        let a = Fix32_16::from_f64(7.75);
+        assert_eq!(a * Fix32_16::one(), a);
+        assert_eq!(a + Fix32_16::zero(), a);
+    }
+
+    #[test]
+    fn resolution_and_rounding() {
+        assert_eq!(Fix32_16::resolution(), 2.0_f64.powi(-16));
+        // 1/3 rounds to the nearest representable value.
+        let third = Fix32_16::from_f64(1.0 / 3.0);
+        assert!((third.to_f64() - 1.0 / 3.0).abs() <= Fix32_16::resolution() / 2.0);
+    }
+
+    #[test]
+    fn multiplication_rounds_to_nearest() {
+        // resolution · 0.5 rounds away from zero.
+        let eps = Fix32_16::from_raw(1);
+        let half = Fix32_16::from_f64(0.5);
+        assert_eq!((eps * half).raw(), 1);
+        assert_eq!(((-eps) * half).raw(), -1);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        reset_overflow_count();
+        let big = Fix32_16::from_f64(30000.0);
+        let sum = big + big;
+        assert_eq!(sum, Fix32_16::max_value());
+        assert!(overflow_count() > 0);
+
+        let neg = Fix32_16::from_f64(-30000.0) + Fix32_16::from_f64(-30000.0);
+        assert_eq!(neg, Fix32_16::min_value());
+    }
+
+    #[test]
+    fn narrow_type_has_small_range() {
+        // Fixed{12,4}: range [-2048, 2048), resolution 1/16.
+        assert_eq!(Fix12_4::resolution(), 0.0625);
+        assert_eq!(Fix12_4::from_f64(5000.0), Fix12_4::max_value());
+        assert!((Fix12_4::max_value().to_f64() - 2048.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        reset_overflow_count();
+        let x = Fix32_16::from_f64(2.0) / Fix32_16::zero();
+        assert_eq!(x, Fix32_16::max_value());
+        assert!(overflow_count() > 0);
+    }
+
+    #[test]
+    fn sqrt_and_trig_via_f64() {
+        let x = Fix32_16::from_f64(2.0);
+        assert!((x.sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-4);
+        let q = Fix32_16::from_f64(0.5);
+        assert!((q.sin().to_f64() - 0.5_f64.sin()).abs() < 1e-4);
+        assert!((q.cos().to_f64() - 0.5_f64.cos()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn names_follow_paper_notation() {
+        assert_eq!(Fix32_16::name(), "Fixed{16,16}");
+        assert_eq!(Fix14_18::name(), "Fixed{14,18}");
+        assert_eq!(Fix14_6::name(), "Fixed{14,6}");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Fix32_16::from_f64(1.0);
+        let b = Fix32_16::from_f64(2.0);
+        assert!(a < b);
+        assert_eq!(Scalar::max(a, b), b);
+        assert_eq!(Scalar::abs(Fix32_16::from_f64(-3.0)).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn spatial_algebra_in_fixed_point() {
+        use robo_spatial::{Mat3, Motion, Transform, Vec3};
+        let xf = Transform::<f64>::new(Mat3::coord_rotation_z(0.3), Vec3::new(0.1, 0.0, 0.4));
+        let m = Motion::new(Vec3::new(0.2, -0.5, 0.8), Vec3::new(1.0, 0.25, -0.75));
+        let exact = xf.apply_motion(m);
+        let fixed: Motion<Fix32_16> = xf.cast::<Fix32_16>().apply_motion(m.cast());
+        let err = (fixed.cast::<f64>() - exact).max_abs();
+        assert!(err < 1e-3, "fixed-point spatial transform error {err}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Joint types and their kinematic quantities.
+
+use robo_spatial::{Mat3, Motion, Scalar, Transform, Vec3};
+
+/// The axis of a single-degree-of-freedom joint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The x-axis.
+    X,
+    /// The y-axis.
+    Y,
+    /// The z-axis.
+    Z,
+}
+
+impl Axis {
+    /// Index of the axis (x = 0, y = 1, z = 2).
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// The unit vector along the axis.
+    pub fn unit<S: Scalar>(self) -> Vec3<S> {
+        let mut v = Vec3::zero();
+        v[self.index()] = S::one();
+        v
+    }
+}
+
+/// The type of a 1-DoF joint, as in the paper's robot morphology model
+/// (§2.1): "the joint type describes the movement constraints imposed upon
+/// the links connected by the joint".
+///
+/// Revolute joints rotate about an axis; prismatic joints translate along
+/// one. The joint type determines the sparsity pattern of the joint
+/// transformation matrix `ᵢX_λᵢ` and the selector structure of the motion
+/// subspace matrix `Sᵢ` — the two objects robomorphic computing turns into
+/// pruned functional units.
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::JointType;
+///
+/// let j = JointType::RevoluteZ;
+/// assert!(j.is_revolute());
+/// // Sᵢ for a z-revolute joint selects the angular-z row.
+/// assert_eq!(j.motion_subspace::<f64>().to_array()[2], 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JointType {
+    /// Rotation about the joint frame's x-axis.
+    RevoluteX,
+    /// Rotation about the joint frame's y-axis.
+    RevoluteY,
+    /// Rotation about the joint frame's z-axis.
+    RevoluteZ,
+    /// Translation along the joint frame's x-axis.
+    PrismaticX,
+    /// Translation along the joint frame's y-axis.
+    PrismaticY,
+    /// Translation along the joint frame's z-axis.
+    PrismaticZ,
+}
+
+impl JointType {
+    /// All joint types, in a stable order.
+    pub const ALL: [JointType; 6] = [
+        JointType::RevoluteX,
+        JointType::RevoluteY,
+        JointType::RevoluteZ,
+        JointType::PrismaticX,
+        JointType::PrismaticY,
+        JointType::PrismaticZ,
+    ];
+
+    /// The motion axis.
+    pub fn axis(self) -> Axis {
+        match self {
+            JointType::RevoluteX | JointType::PrismaticX => Axis::X,
+            JointType::RevoluteY | JointType::PrismaticY => Axis::Y,
+            JointType::RevoluteZ | JointType::PrismaticZ => Axis::Z,
+        }
+    }
+
+    /// Whether the joint is revolute (rotational).
+    pub fn is_revolute(self) -> bool {
+        matches!(
+            self,
+            JointType::RevoluteX | JointType::RevoluteY | JointType::RevoluteZ
+        )
+    }
+
+    /// The motion subspace column `Sᵢ`: a 6-vector of zeros with a single 1,
+    /// angular for revolute joints, linear for prismatic joints.
+    ///
+    /// "For many common joint types, the columns of `Sᵢ` are vectors of all
+    /// zeroes with a single 1 that filter out individual columns of matrices
+    /// multiplied by `Sᵢ`" (§5.2).
+    pub fn motion_subspace<S: Scalar>(self) -> Motion<S> {
+        let axis = self.axis().unit::<S>();
+        if self.is_revolute() {
+            Motion::new(axis, Vec3::zero())
+        } else {
+            Motion::new(Vec3::zero(), axis)
+        }
+    }
+
+    /// Index (0–5) of the single nonzero row selected by `Sᵢ` in a spatial
+    /// vector (angular rows first).
+    pub fn subspace_index(self) -> usize {
+        self.axis().index() + if self.is_revolute() { 0 } else { 3 }
+    }
+
+    /// The variable joint transform `X_J(q)` given the sine and cosine of
+    /// the joint position.
+    ///
+    /// The accelerator receives `sin q` / `cos q` as inputs ("cached from an
+    /// earlier stage of the optimization algorithm", §5.1), so this is the
+    /// form the hardware template uses. For prismatic joints `sin_q` carries
+    /// the displacement `q` itself and `cos_q` is ignored.
+    pub fn joint_transform_sincos<S: Scalar>(self, sin_q: S, cos_q: S) -> Transform<S> {
+        let z = S::zero();
+        let o = S::one();
+        match self {
+            JointType::RevoluteX => Transform::rotation(Mat3::from_rows(
+                [o, z, z],
+                [z, cos_q, sin_q],
+                [z, -sin_q, cos_q],
+            )),
+            JointType::RevoluteY => Transform::rotation(Mat3::from_rows(
+                [cos_q, z, -sin_q],
+                [z, o, z],
+                [sin_q, z, cos_q],
+            )),
+            JointType::RevoluteZ => Transform::rotation(Mat3::from_rows(
+                [cos_q, sin_q, z],
+                [-sin_q, cos_q, z],
+                [z, z, o],
+            )),
+            JointType::PrismaticX | JointType::PrismaticY | JointType::PrismaticZ => {
+                Transform::translation(self.axis().unit::<S>().scale(sin_q))
+            }
+        }
+    }
+
+    /// The variable joint transform `X_J(q)` at joint position `q`.
+    pub fn joint_transform<S: Scalar>(self, q: S) -> Transform<S> {
+        if self.is_revolute() {
+            self.joint_transform_sincos(q.sin(), q.cos())
+        } else {
+            self.joint_transform_sincos(q, S::one())
+        }
+    }
+
+    /// Canonical lower-case name used by the `.robo` text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JointType::RevoluteX => "revolute_x",
+            JointType::RevoluteY => "revolute_y",
+            JointType::RevoluteZ => "revolute_z",
+            JointType::PrismaticX => "prismatic_x",
+            JointType::PrismaticY => "prismatic_y",
+            JointType::PrismaticZ => "prismatic_z",
+        }
+    }
+
+    /// Parses a joint type from its canonical name.
+    pub fn parse(s: &str) -> Option<JointType> {
+        JointType::ALL.iter().copied().find(|j| j.as_str() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subspace_is_unit_selector() {
+        for j in JointType::ALL {
+            let s = j.motion_subspace::<f64>().to_array();
+            assert_eq!(s.iter().filter(|x| **x != 0.0).count(), 1);
+            assert_eq!(s[j.subspace_index()], 1.0);
+        }
+    }
+
+    #[test]
+    fn revolute_transform_matches_coord_rotation() {
+        let q = 0.61;
+        let from_joint = JointType::RevoluteZ.joint_transform::<f64>(q);
+        let expected = Transform::rotation(Mat3::coord_rotation_z(q));
+        assert!((from_joint.rot - expected.rot).max_abs() < 1e-15);
+        let from_joint_x = JointType::RevoluteX.joint_transform::<f64>(q);
+        assert!((from_joint_x.rot - Mat3::coord_rotation_x(q)).max_abs() < 1e-15);
+        let from_joint_y = JointType::RevoluteY.joint_transform::<f64>(q);
+        assert!((from_joint_y.rot - Mat3::coord_rotation_y(q)).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn prismatic_transform_translates() {
+        let x = JointType::PrismaticY.joint_transform::<f64>(0.3);
+        assert_eq!(x.pos, Vec3::new(0.0, 0.3, 0.0));
+        assert_eq!(x.rot, Mat3::identity());
+    }
+
+    #[test]
+    fn joint_velocity_is_subspace_times_rate() {
+        // v = S q̇ must match the time derivative of the joint transform:
+        // for a revolute-z joint at rate q̇, the child sees angular velocity
+        // q̇ about z.
+        let s = JointType::RevoluteZ.motion_subspace::<f64>();
+        let v = s.scale(2.5);
+        assert_eq!(v.ang, Vec3::new(0.0, 0.0, 2.5));
+        assert_eq!(v.lin, Vec3::zero());
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for j in JointType::ALL {
+            assert_eq!(JointType::parse(j.as_str()), Some(j));
+        }
+        assert_eq!(JointType::parse("ball"), None);
+    }
+
+    #[test]
+    fn sincos_consistency() {
+        let q = -1.2;
+        for j in JointType::ALL {
+            let direct = j.joint_transform::<f64>(q);
+            let sincos = if j.is_revolute() {
+                j.joint_transform_sincos(q.sin(), q.cos())
+            } else {
+                j.joint_transform_sincos(q, 1.0)
+            };
+            assert!((direct.rot - sincos.rot).max_abs() < 1e-15);
+            assert!((direct.pos - sincos.pos).max_abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Robot morphology models: joints, links, kinematic trees, and limbs.
+//!
+//! Robomorphic computing (the paper, §2.1) models a robot as "a topology of
+//! rigid links connected by joints", decomposable into `L` limbs of `N`
+//! links each. This crate is that model:
+//!
+//! * [`JointType`] — 1-DoF revolute/prismatic joints about x/y/z, each with
+//!   its motion subspace `Sᵢ` and variable transform `X_J(q)`;
+//! * [`Link`] / [`RobotModel`] — a validated kinematic tree with fixed
+//!   placements `X_T` and spatial inertias `Iᵢ`;
+//! * [`Limb`] and [`RobotModel::limbs`] — the limb decomposition that the
+//!   accelerator template turns into parallel processors;
+//! * [`robots`] — built-in models: the Kuka LBR iiwa-14 manipulator (the
+//!   paper's target), Panda, UR5, a HyQ-class quadruped (fixed and
+//!   floating base), an Atlas-class humanoid, and parametric chains;
+//! * [`parse_robo`] / [`to_robo`] — a small text description format —
+//!   and [`parse_urdf`], a URDF-subset loader (§7: description files);
+//! * [`with_floating_base`] — 6-DoF mobile-base emulation via a virtual
+//!   prismatic/revolute chain.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_model::robots;
+//!
+//! let iiwa = robots::iiwa14();
+//! // The §4 sparsity example: joint 2's transform has 13/36 nonzeros.
+//! let x = iiwa.joint_transform::<f64>(1, 0.3).to_mat6();
+//! assert_eq!(x.count_nonzero(1e-12), 13);
+//! ```
+
+#![warn(missing_docs)]
+
+mod joint;
+mod parse;
+mod urdf;
+mod robot;
+pub mod robots;
+
+pub use joint::{Axis, JointType};
+pub use parse::{parse_robo, to_robo, ParseRobotError};
+pub use urdf::{parse_urdf, UrdfError};
+pub use robot::{with_floating_base, JointLimits, Limb, Link, ModelError, RobotBuilder, RobotModel};

@@ -1,0 +1,393 @@
+//! The `.robo` text format: a small, dependency-free robot description
+//! format (in the spirit of URDF, §7: "parameters are already parsed and
+//! extracted from robot description files by existing robot dynamics
+//! software libraries").
+//!
+//! ```text
+//! # comment
+//! robot iiwa14
+//! link name=link1 parent=none joint=revolute_z rot=none trans=0,0,0.1575 \
+//!      mass=5.76 com=0,-0.03,0.12 inertia=0.033,0.0333,0.0123,0,0,0
+//! link name=link2 parent=0 joint=revolute_z rot=x:90 trans=0,0,0.2025 ...
+//! ```
+//!
+//! * `rot` is either `none`, a `;`-separated list of `axis:degrees` items
+//!   applied left to right, or `rotm=` with nine row-major entries.
+//! * `inertia` lists `ixx,iyy,izz,ixy,ixz,iyz` about the center of mass.
+
+use crate::{JointLimits, JointType, Link, ModelError, RobotModel};
+use robo_spatial::{Mat3, SpatialInertia, Transform, Vec3};
+use std::fmt;
+
+/// Error from parsing a `.robo` document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseRobotError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The document parsed but described an invalid robot.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseRobotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Model(e) => write!(f, "invalid robot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRobotError {}
+
+impl From<ModelError> for ParseRobotError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseRobotError {
+    ParseRobotError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_floats(line: usize, s: &str, n: usize) -> Result<Vec<f64>, ParseRobotError> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(|x| x.trim().parse::<f64>()).collect();
+    let vals = vals.map_err(|e| syntax(line, format!("bad number in `{s}`: {e}")))?;
+    if vals.len() != n {
+        return Err(syntax(line, format!("expected {n} numbers, got {}", vals.len())));
+    }
+    Ok(vals)
+}
+
+fn parse_rot(line: usize, spec: &str) -> Result<Mat3<f64>, ParseRobotError> {
+    if spec == "none" {
+        return Ok(Mat3::identity());
+    }
+    let mut rot = Mat3::identity();
+    for item in spec.split(';') {
+        let (axis, deg) = item
+            .split_once(':')
+            .ok_or_else(|| syntax(line, format!("bad rotation item `{item}`")))?;
+        let angle = deg
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| syntax(line, format!("bad angle `{deg}`: {e}")))?
+            .to_radians();
+        let step = match axis.trim() {
+            "x" => Mat3::coord_rotation_x(angle),
+            "y" => Mat3::coord_rotation_y(angle),
+            "z" => Mat3::coord_rotation_z(angle),
+            other => return Err(syntax(line, format!("unknown rotation axis `{other}`"))),
+        };
+        rot = step * rot;
+    }
+    Ok(rot)
+}
+
+/// Parses a robot model from `.robo` text.
+///
+/// # Errors
+///
+/// Returns [`ParseRobotError`] with a line number on malformed input, or
+/// wrapping a [`ModelError`] when the description is syntactically fine but
+/// topologically invalid.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// robot mini
+/// link name=a parent=none joint=revolute_z rot=none trans=0,0,0.1 \
+///   mass=1.0 com=0,0,0.05 inertia=0.01,0.01,0.001,0,0,0
+/// ";
+/// let robot = robo_model::parse_robo(text)?;
+/// assert_eq!(robot.name(), "mini");
+/// assert_eq!(robot.dof(), 1);
+/// # Ok::<(), robo_model::ParseRobotError>(())
+/// ```
+pub fn parse_robo(text: &str) -> Result<RobotModel, ParseRobotError> {
+    let mut name: Option<String> = None;
+    let mut links: Vec<Link> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("robot ") {
+            name = Some(rest.trim().to_owned());
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("link ") else {
+            return Err(syntax(lineno, format!("unrecognized directive `{line}`")));
+        };
+
+        let mut link_name = None;
+        let mut parent = None;
+        let mut joint = None;
+        let mut rot = Mat3::identity();
+        let mut trans = Vec3::zero();
+        let mut mass = None;
+        let mut com = Vec3::zero();
+        let mut inertia6 = [0.0_f64; 6];
+        let mut limits = JointLimits::none();
+
+        for field in rest.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| syntax(lineno, format!("bad field `{field}`")))?;
+            match key {
+                "name" => link_name = Some(value.to_owned()),
+                "parent" => {
+                    parent = if value == "none" {
+                        None
+                    } else {
+                        Some(value.parse::<usize>().map_err(|e| {
+                            syntax(lineno, format!("bad parent `{value}`: {e}"))
+                        })?)
+                    };
+                }
+                "joint" => {
+                    joint = Some(JointType::parse(value).ok_or_else(|| {
+                        syntax(lineno, format!("unknown joint type `{value}`"))
+                    })?);
+                }
+                "rot" => rot = parse_rot(lineno, value)?,
+                "rotm" => {
+                    let v = parse_floats(lineno, value, 9)?;
+                    rot = Mat3::from_rows(
+                        [v[0], v[1], v[2]],
+                        [v[3], v[4], v[5]],
+                        [v[6], v[7], v[8]],
+                    );
+                }
+                "trans" => {
+                    let v = parse_floats(lineno, value, 3)?;
+                    trans = Vec3::new(v[0], v[1], v[2]);
+                }
+                "mass" => {
+                    mass = Some(value.parse::<f64>().map_err(|e| {
+                        syntax(lineno, format!("bad mass `{value}`: {e}"))
+                    })?);
+                }
+                "com" => {
+                    let v = parse_floats(lineno, value, 3)?;
+                    com = Vec3::new(v[0], v[1], v[2]);
+                }
+                "inertia" => {
+                    let v = parse_floats(lineno, value, 6)?;
+                    inertia6.copy_from_slice(&v);
+                }
+                "limits" => {
+                    // lower,upper,velocity,effort with `none` wildcards.
+                    let parts: Vec<&str> = value.split(',').collect();
+                    if parts.len() != 4 {
+                        return Err(syntax(lineno, "limits needs 4 comma-separated values"));
+                    }
+                    let field = |s: &str| -> Result<Option<f64>, ParseRobotError> {
+                        if s == "none" {
+                            Ok(None)
+                        } else {
+                            s.parse::<f64>()
+                                .map(Some)
+                                .map_err(|e| syntax(lineno, format!("bad limit `{s}`: {e}")))
+                        }
+                    };
+                    limits = JointLimits {
+                        lower: field(parts[0])?,
+                        upper: field(parts[1])?,
+                        velocity: field(parts[2])?,
+                        effort: field(parts[3])?,
+                    };
+                }
+                other => return Err(syntax(lineno, format!("unknown field `{other}`"))),
+            }
+        }
+
+        let link_name = link_name.ok_or_else(|| syntax(lineno, "missing `name=`"))?;
+        let joint = joint.ok_or_else(|| syntax(lineno, "missing `joint=`"))?;
+        let mass = mass.ok_or_else(|| syntax(lineno, "missing `mass=`"))?;
+        let [ixx, iyy, izz, ixy, ixz, iyz] = inertia6;
+        let inertia_about_com = Mat3::from_rows(
+            [ixx, ixy, ixz],
+            [ixy, iyy, iyz],
+            [ixz, iyz, izz],
+        );
+        links.push(Link {
+            name: link_name,
+            parent,
+            joint,
+            tree: Transform::new(rot, trans),
+            inertia: SpatialInertia::from_com_params(mass, com, inertia_about_com),
+            limits,
+        });
+    }
+
+    Ok(RobotModel::new(name.unwrap_or_else(|| "robot".to_owned()), links)?)
+}
+
+/// Serializes a robot model to `.robo` text (lossless through
+/// [`parse_robo`] up to floating-point printing).
+pub fn to_robo(robot: &RobotModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "robot {}", robot.name());
+    for link in robot.links() {
+        let parent = match link.parent {
+            Some(p) => p.to_string(),
+            None => "none".to_owned(),
+        };
+        let r = link.tree.rot.m;
+        let t = link.tree.pos;
+        let com = link.inertia.com();
+        // Recover the inertia about the COM from Ī (inverse parallel axis).
+        let m = link.inertia.mass;
+        let c2 = com.dot(com);
+        let shift = (Mat3::identity().scale(c2) - Mat3::outer(com, com)).scale(m);
+        let icom = link.inertia.ibar - shift;
+        let fmt_limit = |v: Option<f64>| match v {
+            Some(x) => x.to_string(),
+            None => "none".to_owned(),
+        };
+        let limits_field = if link.limits == crate::JointLimits::none() {
+            String::new()
+        } else {
+            format!(
+                " limits={},{},{},{}",
+                fmt_limit(link.limits.lower),
+                fmt_limit(link.limits.upper),
+                fmt_limit(link.limits.velocity),
+                fmt_limit(link.limits.effort),
+            )
+        };
+        let _ = writeln!(
+            out,
+            "link name={} parent={} joint={} rotm={},{},{},{},{},{},{},{},{} \
+             trans={},{},{} mass={} com={},{},{} inertia={},{},{},{},{},{}{}",
+            link.name,
+            parent,
+            link.joint.as_str(),
+            r[0][0], r[0][1], r[0][2], r[1][0], r[1][1], r[1][2], r[2][0], r[2][1], r[2][2],
+            t.x, t.y, t.z,
+            m,
+            com.x, com.y, com.z,
+            icom.m[0][0], icom.m[1][1], icom.m[2][2],
+            icom.m[0][1], icom.m[0][2], icom.m[1][2],
+            limits_field,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robots;
+
+    #[test]
+    fn round_trip_builtins() {
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            let text = to_robo(&robot);
+            let parsed = parse_robo(&text).expect("round trip parses");
+            assert_eq!(parsed.name(), robot.name());
+            assert_eq!(parsed.dof(), robot.dof());
+            for (a, b) in parsed.links().iter().zip(robot.links().iter()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.parent, b.parent);
+                assert_eq!(a.joint, b.joint);
+                assert!((a.tree.rot - b.tree.rot).max_abs() < 1e-9);
+                assert!((a.tree.pos - b.tree.pos).max_abs() < 1e-9);
+                assert!((a.inertia.mass - b.inertia.mass).abs() < 1e-9);
+                assert!((a.inertia.h - b.inertia.h).max_abs() < 1e-9);
+                assert!((a.inertia.ibar - b.inertia.ibar).max_abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_spec_composition() {
+        let text = "\
+robot t
+link name=a parent=none joint=revolute_x rot=x:90;z:90 trans=0,0,0 mass=1 com=0,0,0 inertia=1,1,1,0,0,0
+";
+        let robot = parse_robo(text).unwrap();
+        let expected = Mat3::coord_rotation_z(90.0_f64.to_radians())
+            * Mat3::coord_rotation_x(90.0_f64.to_radians());
+        assert!((robot.links()[0].tree.rot - expected).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+# heading comment
+robot c
+
+link name=a parent=none joint=prismatic_z mass=2 inertia=1,1,1,0,0,0 # trailing
+";
+        let robot = parse_robo(text).unwrap();
+        assert_eq!(robot.dof(), 1);
+        assert_eq!(robot.links()[0].joint, JointType::PrismaticZ);
+    }
+
+    #[test]
+    fn limits_round_trip() {
+        let text = "\
+robot lim
+link name=a parent=none joint=revolute_z mass=1 inertia=1,1,1,0,0,0 limits=-2.9,2.9,1.5,176
+link name=b parent=0 joint=revolute_z mass=1 inertia=1,1,1,0,0,0 limits=none,none,2.0,none
+";
+        let robot = parse_robo(text).unwrap();
+        let l0 = robot.links()[0].limits;
+        assert_eq!(l0.lower, Some(-2.9));
+        assert_eq!(l0.effort, Some(176.0));
+        let l1 = robot.links()[1].limits;
+        assert_eq!(l1.lower, None);
+        assert_eq!(l1.velocity, Some(2.0));
+        // Serialize and re-parse.
+        let back = parse_robo(&to_robo(&robot)).unwrap();
+        assert_eq!(back.links()[0].limits, l0);
+        assert_eq!(back.links()[1].limits, l1);
+        // Clamping helpers.
+        assert_eq!(l0.clamp_position(4.0), 2.9);
+        assert_eq!(l0.clamp_effort(-500.0), -176.0);
+        assert_eq!(l1.clamp_position(4.0), 4.0);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let bad = "robot x\nlink name=a parent=none joint=warp mass=1\n";
+        match parse_robo(bad).unwrap_err() {
+            ParseRobotError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("warp"));
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        let bad = "robot x\nlink name=a parent=5 joint=revolute_z mass=1 inertia=1,1,1,0,0,0\n";
+        assert!(matches!(
+            parse_robo(bad).unwrap_err(),
+            ParseRobotError::Model(ModelError::BadParent { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_fields() {
+        let bad = "link parent=none joint=revolute_z mass=1\n";
+        assert!(matches!(
+            parse_robo(bad).unwrap_err(),
+            ParseRobotError::Syntax { .. }
+        ));
+    }
+}

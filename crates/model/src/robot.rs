@@ -1,0 +1,574 @@
+//! Kinematic trees: links, parents, placements, and limb decomposition.
+
+use crate::JointType;
+use robo_spatial::{Mat3, Scalar, SpatialInertia, Transform, Vec3};
+use std::fmt;
+
+/// Error raised when constructing an invalid robot model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A link's parent index does not precede it in topological order.
+    BadParent {
+        /// Index of the offending link.
+        link: usize,
+        /// The out-of-order parent index.
+        parent: usize,
+    },
+    /// A link has a non-positive mass.
+    BadMass {
+        /// Index of the offending link.
+        link: usize,
+    },
+    /// Two links share the same name.
+    DuplicateName(String),
+    /// The robot has no links.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadParent { link, parent } => {
+                write!(f, "link {link} has parent {parent} not preceding it")
+            }
+            Self::BadMass { link } => write!(f, "link {link} has non-positive mass"),
+            Self::DuplicateName(n) => write!(f, "duplicate link name `{n}`"),
+            Self::Empty => write!(f, "robot model has no links"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Actuation and motion limits of a joint (URDF `<limit>`; all optional).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JointLimits {
+    /// Lower position bound (rad or m).
+    pub lower: Option<f64>,
+    /// Upper position bound.
+    pub upper: Option<f64>,
+    /// Velocity magnitude bound.
+    pub velocity: Option<f64>,
+    /// Effort (torque/force) magnitude bound.
+    pub effort: Option<f64>,
+}
+
+impl JointLimits {
+    /// No limits.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Clamps a position into the limit interval (identity when unset).
+    pub fn clamp_position(&self, q: f64) -> f64 {
+        let mut out = q;
+        if let Some(lo) = self.lower {
+            out = out.max(lo);
+        }
+        if let Some(hi) = self.upper {
+            out = out.min(hi);
+        }
+        out
+    }
+
+    /// Clamps an effort into `[-effort, effort]` (identity when unset).
+    pub fn clamp_effort(&self, tau: f64) -> f64 {
+        match self.effort {
+            Some(e) => tau.clamp(-e, e),
+            None => tau,
+        }
+    }
+}
+
+/// One rigid link of a robot, together with the joint connecting it to its
+/// parent.
+///
+/// `tree` is the fixed transform `X_T` from the parent link frame to this
+/// joint's zero-position frame; the full joint transform at position `q` is
+/// `X = X_J(q) · X_T`. The link's inertial properties are expressed in the
+/// link's own frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Human-readable link name (unique within a robot).
+    pub name: String,
+    /// Index of the parent link, or `None` when attached to the fixed base.
+    pub parent: Option<usize>,
+    /// The joint connecting this link to its parent.
+    pub joint: JointType,
+    /// Fixed tree placement `X_T` (parent frame → joint zero frame).
+    pub tree: Transform<f64>,
+    /// Spatial inertia of the link, in the link frame.
+    pub inertia: SpatialInertia<f64>,
+    /// Joint limits (optional; `JointLimits::none()` when unspecified).
+    pub limits: JointLimits,
+}
+
+/// A maximal unbranching chain of links: one of the paper's `L` limbs of
+/// `N` links each (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limb {
+    /// Indices of the links in the limb, base-most first.
+    pub links: Vec<usize>,
+}
+
+impl Limb {
+    /// Number of links `N` in the limb.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the limb is empty (never true for decomposed robots).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// A robot morphology: a topology of limbs, rigid links, and joints
+/// (paper Figure 3).
+///
+/// Links are stored in topological order (every parent precedes its
+/// children), which is the order the RNEA's forward pass visits them.
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::robots;
+///
+/// let robot = robots::iiwa14();
+/// assert_eq!(robot.dof(), 7);
+/// assert_eq!(robot.limbs().len(), 1); // a single-limb manipulator
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobotModel {
+    name: String,
+    links: Vec<Link>,
+}
+
+impl RobotModel {
+    /// Creates a robot model, validating the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if links are out of topological order, a mass
+    /// is non-positive, names collide, or the link list is empty.
+    pub fn new(name: impl Into<String>, links: Vec<Link>) -> Result<Self, ModelError> {
+        if links.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        let mut names = std::collections::HashSet::new();
+        for (i, link) in links.iter().enumerate() {
+            if let Some(p) = link.parent {
+                if p >= i {
+                    return Err(ModelError::BadParent { link: i, parent: p });
+                }
+            }
+            if link.inertia.mass <= 0.0 {
+                return Err(ModelError::BadMass { link: i });
+            }
+            if !names.insert(link.name.clone()) {
+                return Err(ModelError::DuplicateName(link.name.clone()));
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            links,
+        })
+    }
+
+    /// The robot's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The links, in topological order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of links (= number of 1-DoF joints = degrees of freedom).
+    pub fn dof(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Parent of link `i` (`None` for base-attached links).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.links[i].parent
+    }
+
+    /// Children of each link, indexed by link; base-attached links appear in
+    /// the extra last entry.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let n = self.links.len();
+        let mut out = vec![Vec::new(); n + 1];
+        for (i, link) in self.links.iter().enumerate() {
+            match link.parent {
+                Some(p) => out[p].push(i),
+                None => out[n].push(i),
+            }
+        }
+        out
+    }
+
+    /// Decomposes the robot into limbs: maximal unbranching chains.
+    ///
+    /// A new limb starts at every base-attached link and at every child of a
+    /// branching link. For a serial manipulator this returns one limb; for
+    /// the quadruped it returns one limb per leg (§7: "4 parallel limb
+    /// processors, each with 3 parallel datapaths").
+    pub fn limbs(&self) -> Vec<Limb> {
+        let children = self.children();
+        let n = self.links.len();
+        let mut roots: Vec<usize> = children[n].clone();
+        for (i, ch) in children.iter().take(n).enumerate() {
+            if ch.len() > 1 {
+                roots.extend(ch.iter().copied());
+            }
+            let _ = i;
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        let mut limbs = Vec::new();
+        for root in roots {
+            let mut chain = vec![root];
+            let mut cur = root;
+            while children[cur].len() == 1 {
+                cur = children[cur][0];
+                chain.push(cur);
+            }
+            limbs.push(Limb { links: chain });
+        }
+        limbs
+    }
+
+    /// The number of links in the longest limb (`N` in the paper's
+    /// complexity analysis).
+    pub fn max_limb_len(&self) -> usize {
+        self.limbs().iter().map(Limb::len).max().unwrap_or(0)
+    }
+
+    /// The full joint transform `ᵢX_λᵢ = X_J(qᵢ) · X_T` for link `i` at
+    /// joint position `q`.
+    pub fn joint_transform<S: Scalar>(&self, i: usize, q: S) -> Transform<S> {
+        let link = &self.links[i];
+        link.joint
+            .joint_transform(q)
+            .compose(&link.tree.cast::<S>())
+    }
+
+    /// Same as [`RobotModel::joint_transform`] but from cached `sin q`,
+    /// `cos q` — the accelerator's input form.
+    pub fn joint_transform_sincos<S: Scalar>(&self, i: usize, sin_q: S, cos_q: S) -> Transform<S> {
+        let link = &self.links[i];
+        link.joint
+            .joint_transform_sincos(sin_q, cos_q)
+            .compose(&link.tree.cast::<S>())
+    }
+
+    /// Whether link `anc` is an ancestor of (or equal to) link `i`.
+    pub fn is_ancestor(&self, anc: usize, i: usize) -> bool {
+        let mut cur = Some(i);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.links[c].parent;
+        }
+        false
+    }
+
+    /// Total mass of the robot.
+    pub fn total_mass(&self) -> f64 {
+        self.links.iter().map(|l| l.inertia.mass).sum()
+    }
+}
+
+/// Wraps a fixed-base robot with an emulated 6-DoF floating base: a
+/// virtual chain of three prismatic (x, y, z) and three revolute (x, y, z)
+/// joints carrying the given torso inertia, with the original robot's
+/// base-attached links re-parented onto it.
+///
+/// This is the standard fixed-axis emulation of a free joint (exact
+/// kinematics; the Euler-angle rotation chain is singular at ±90° pitch,
+/// away from which all dynamics are valid). It lets the quadruped and
+/// humanoid models run with the mobile base they have in reality, through
+/// the same joint-space machinery the paper's accelerator targets.
+///
+/// The five leading virtual links carry a negligible (1 µg) bookkeeping
+/// mass; the sixth carries `torso_inertia`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::{robots, with_floating_base};
+/// use robo_spatial::{Mat3, SpatialInertia, Vec3};
+///
+/// let torso = SpatialInertia::from_com_params(
+///     60.0,
+///     Vec3::zero(),
+///     Mat3::identity().scale(2.0),
+/// );
+/// let hyq = with_floating_base(&robots::hyq(), torso);
+/// assert_eq!(hyq.dof(), 12 + 6);
+/// ```
+pub fn with_floating_base(
+    robot: &RobotModel,
+    torso_inertia: SpatialInertia<f64>,
+) -> RobotModel {
+    const VIRTUAL_MASS: f64 = 1e-9;
+    let virtual_inertia = SpatialInertia::from_com_params(
+        VIRTUAL_MASS,
+        Vec3::zero(),
+        Mat3::identity().scale(VIRTUAL_MASS),
+    );
+    let mut links = Vec::with_capacity(robot.dof() + 6);
+    let base_joints = [
+        ("base_tx", JointType::PrismaticX),
+        ("base_ty", JointType::PrismaticY),
+        ("base_tz", JointType::PrismaticZ),
+        ("base_rx", JointType::RevoluteX),
+        ("base_ry", JointType::RevoluteY),
+        ("base_rz", JointType::RevoluteZ),
+    ];
+    for (i, (name, joint)) in base_joints.iter().enumerate() {
+        links.push(Link {
+            name: (*name).to_owned(),
+            parent: if i == 0 { None } else { Some(i - 1) },
+            joint: *joint,
+            tree: Transform::identity(),
+            inertia: if i == 5 { torso_inertia } else { virtual_inertia },
+            limits: JointLimits::none(),
+        });
+    }
+    for link in robot.links() {
+        let mut l = link.clone();
+        l.parent = Some(match l.parent {
+            Some(p) => p + 6,
+            None => 5,
+        });
+        links.push(l);
+    }
+    RobotModel::new(format!("{}_floating", robot.name()), links)
+        .expect("floating-base wrapping preserves validity")
+}
+
+/// Incremental builder for [`RobotModel`] (see C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::{JointType, RobotBuilder};
+/// use robo_spatial::Vec3;
+///
+/// let robot = RobotBuilder::new("two_link")
+///     .link("shoulder", None, JointType::RevoluteZ)
+///     .placement_translation(Vec3::new(0.0, 0.0, 0.3))
+///     .uniform_rod_inertia(2.0, 0.4)
+///     .link("elbow", Some(0), JointType::RevoluteY)
+///     .placement_translation(Vec3::new(0.0, 0.0, 0.4))
+///     .uniform_rod_inertia(1.0, 0.3)
+///     .build()
+///     .expect("valid robot");
+/// assert_eq!(robot.dof(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RobotBuilder {
+    name: String,
+    links: Vec<Link>,
+}
+
+impl RobotBuilder {
+    /// Starts a new robot with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Index that the next added link will receive.
+    pub fn next_index(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Adds a link attached to `parent` by a joint of the given type, with
+    /// identity placement and a default unit point-mass inertia. Follow with
+    /// placement and inertia setters to refine it.
+    pub fn link(mut self, name: impl Into<String>, parent: Option<usize>, joint: JointType) -> Self {
+        self.links.push(Link {
+            name: name.into(),
+            parent,
+            joint,
+            tree: Transform::identity(),
+            inertia: SpatialInertia::from_com_params(
+                1.0,
+                Vec3::zero(),
+                Mat3::identity().scale(0.01),
+            ),
+            limits: JointLimits::none(),
+        });
+        self
+    }
+
+    /// Sets the tree placement of the most recently added link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link has been added yet.
+    pub fn placement(mut self, tree: Transform<f64>) -> Self {
+        self.last().tree = tree;
+        self
+    }
+
+    /// Sets a pure-translation placement for the most recent link.
+    pub fn placement_translation(self, pos: Vec3<f64>) -> Self {
+        self.placement(Transform::translation(pos))
+    }
+
+    /// Sets a placement that rotates by `deg` degrees about the parent's
+    /// x-axis then translates by `pos` (the iiwa-style alternating pattern).
+    pub fn placement_rot_x_deg(self, deg: f64, pos: Vec3<f64>) -> Self {
+        let rot = Mat3::coord_rotation_x(deg.to_radians());
+        self.placement(Transform::new(rot, pos))
+    }
+
+    /// Sets the inertia of the most recent link from mass, COM, and inertia
+    /// about the COM.
+    pub fn inertia(mut self, mass: f64, com: Vec3<f64>, inertia_about_com: Mat3<f64>) -> Self {
+        self.last().inertia = SpatialInertia::from_com_params(mass, com, inertia_about_com);
+        self
+    }
+
+    /// Sets the joint limits of the most recent link.
+    pub fn limits(mut self, limits: JointLimits) -> Self {
+        self.last().limits = limits;
+        self
+    }
+
+    /// Convenience inertia: a uniform rod of the given mass and length
+    /// extending along the link's z-axis.
+    pub fn uniform_rod_inertia(self, mass: f64, length: f64) -> Self {
+        let i = mass * length * length / 12.0;
+        let com = Vec3::new(0.0, 0.0, length / 2.0);
+        let about_com = Mat3::from_rows([i, 0.0, 0.0], [0.0, i, 0.0], [0.0, 0.0, i * 0.02]);
+        self.inertia(mass, com, about_com)
+    }
+
+    fn last(&mut self) -> &mut Link {
+        self.links.last_mut().expect("no link added yet")
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// See [`RobotModel::new`].
+    pub fn build(self) -> Result<RobotModel, ModelError> {
+        RobotModel::new(self.name, self.links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> RobotModel {
+        let mut b = RobotBuilder::new("chain");
+        for i in 0..n {
+            let parent = if i == 0 { None } else { Some(i - 1) };
+            b = b
+                .link(format!("l{i}"), parent, JointType::RevoluteZ)
+                .placement_translation(Vec3::new(0.0, 0.0, 0.2))
+                .uniform_rod_inertia(1.0, 0.2);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_is_single_limb() {
+        let r = chain(5);
+        let limbs = r.limbs();
+        assert_eq!(limbs.len(), 1);
+        assert_eq!(limbs[0].links, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.max_limb_len(), 5);
+    }
+
+    #[test]
+    fn branching_splits_limbs() {
+        // A torso with two 2-link legs: 1 + 2 + 2 links.
+        let r = RobotBuilder::new("biped")
+            .link("torso", None, JointType::RevoluteZ)
+            .uniform_rod_inertia(10.0, 0.5)
+            .link("l_hip", Some(0), JointType::RevoluteX)
+            .uniform_rod_inertia(2.0, 0.3)
+            .link("l_knee", Some(1), JointType::RevoluteX)
+            .uniform_rod_inertia(1.0, 0.3)
+            .link("r_hip", Some(0), JointType::RevoluteX)
+            .uniform_rod_inertia(2.0, 0.3)
+            .link("r_knee", Some(3), JointType::RevoluteX)
+            .uniform_rod_inertia(1.0, 0.3)
+            .build()
+            .unwrap();
+        let limbs = r.limbs();
+        assert_eq!(limbs.len(), 3); // torso, left leg, right leg
+        assert_eq!(limbs[0].links, vec![0]);
+        assert_eq!(limbs[1].links, vec![1, 2]);
+        assert_eq!(limbs[2].links, vec![3, 4]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parent() {
+        let link = Link {
+            name: "a".into(),
+            parent: Some(0), // self-parent at index 0
+            joint: JointType::RevoluteZ,
+            tree: Transform::identity(),
+            inertia: SpatialInertia::from_com_params(1.0, Vec3::zero(), Mat3::identity()),
+            limits: JointLimits::none(),
+        };
+        assert_eq!(
+            RobotModel::new("bad", vec![link]).unwrap_err(),
+            ModelError::BadParent { link: 0, parent: 0 }
+        );
+    }
+
+    #[test]
+    fn validation_rejects_duplicates_and_empty() {
+        assert_eq!(RobotModel::new("e", vec![]).unwrap_err(), ModelError::Empty);
+        let mk = |name: &str| Link {
+            name: name.into(),
+            parent: None,
+            joint: JointType::RevoluteZ,
+            tree: Transform::identity(),
+            inertia: SpatialInertia::from_com_params(1.0, Vec3::zero(), Mat3::identity()),
+            limits: JointLimits::none(),
+        };
+        assert_eq!(
+            RobotModel::new("d", vec![mk("x"), mk("x")]).unwrap_err(),
+            ModelError::DuplicateName("x".into())
+        );
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let r = chain(4);
+        assert!(r.is_ancestor(0, 3));
+        assert!(r.is_ancestor(2, 2));
+        assert!(!r.is_ancestor(3, 0));
+    }
+
+    #[test]
+    fn joint_transform_composes_tree_and_joint() {
+        let r = chain(2);
+        let x = r.joint_transform::<f64>(1, 0.0);
+        // At q = 0 the joint rotation is identity, leaving only the tree
+        // translation.
+        assert_eq!(x.pos, Vec3::new(0.0, 0.0, 0.2));
+        assert_eq!(x.rot, Mat3::identity());
+    }
+
+    #[test]
+    fn total_mass_adds_up() {
+        let r = chain(3);
+        assert!((r.total_mass() - 3.0).abs() < 1e-12);
+    }
+}

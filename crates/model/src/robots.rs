@@ -1,0 +1,373 @@
+//! Built-in robot models.
+//!
+//! The paper evaluates three robot classes (Figure 4): an industrial
+//! manipulator (Kuka LBR iiwa-14, the accelerator's target), a quadruped
+//! (HyQ), and a humanoid (Atlas). This module ships morphologically
+//! faithful models of each — link counts, joint types, and placement
+//! structure match the real platforms; inertial parameters are documented
+//! approximations of the public values (the paper's experiments depend on
+//! morphology, not on exact inertias).
+
+use crate::{JointType, RobotBuilder, RobotModel};
+use robo_spatial::{Mat3, Transform, Vec3};
+
+fn diag(ixx: f64, iyy: f64, izz: f64) -> Mat3<f64> {
+    Mat3::from_rows([ixx, 0.0, 0.0], [0.0, iyy, 0.0], [0.0, 0.0, izz])
+}
+
+/// The Kuka LBR iiwa-14 industrial manipulator: 7 links, revolute-z joints,
+/// alternating ±90° x-rotations between consecutive joint frames.
+///
+/// This is the paper's target robot (§5.3): `N = 7` links, all joints
+/// "revolute about the z-axis". The alternating placement produces the
+/// transform sparsity the paper reports — the joint between the first and
+/// second links has exactly 13 of 36 elements populated (§4).
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::robots;
+///
+/// let iiwa = robots::iiwa14();
+/// assert_eq!(iiwa.dof(), 7);
+/// assert!(iiwa.links().iter().all(|l| l.joint == robo_model::JointType::RevoluteZ));
+/// ```
+pub fn iiwa14() -> RobotModel {
+    RobotBuilder::new("iiwa14")
+        .link("link1", None, JointType::RevoluteZ)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.1575))
+        .inertia(5.76, Vec3::new(0.0, -0.03, 0.12), diag(0.033, 0.0333, 0.0123))
+        .link("link2", Some(0), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.2025))
+        .inertia(6.35, Vec3::new(0.0003, 0.059, 0.042), diag(0.0305, 0.0304, 0.011))
+        .link("link3", Some(1), JointType::RevoluteZ)
+        .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.2045, 0.0))
+        .inertia(3.5, Vec3::new(0.0, 0.03, 0.13), diag(0.025, 0.0238, 0.0076))
+        .link("link4", Some(2), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.06, 0.2155))
+        .inertia(3.5, Vec3::new(0.0, 0.067, 0.034), diag(0.017, 0.0164, 0.006))
+        .link("link5", Some(3), JointType::RevoluteZ)
+        .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.1845, 0.06))
+        .inertia(3.5, Vec3::new(0.0001, 0.021, 0.076), diag(0.01, 0.0087, 0.00449))
+        .link("link6", Some(4), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.2155))
+        .inertia(1.8, Vec3::new(0.0, 0.0006, 0.0004), diag(0.0049, 0.0047, 0.0036))
+        .link("link7", Some(5), JointType::RevoluteZ)
+        .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.081, 0.0))
+        .inertia(1.2, Vec3::new(0.0, 0.0, 0.02), diag(0.001, 0.001, 0.001))
+        .build()
+        .expect("iiwa14 model is valid")
+}
+
+/// A HyQ-class hydraulic quadruped: 4 legs × 3 links (hip
+/// abduction/adduction about x, hip flexion/extension about y, knee
+/// flexion/extension about y), torso welded to the world.
+///
+/// This is the `L = 4`, `N = 3` example of §2.1 and the multi-limb
+/// generalization target of §7 ("4 parallel limb processors, each with 3
+/// parallel datapaths"). The base is fixed; the paper's accelerator likewise
+/// operates on joint-space dynamics.
+pub fn hyq() -> RobotModel {
+    let mut b = RobotBuilder::new("hyq");
+    let legs = [
+        ("lf", 0.3735, 0.207),
+        ("rf", 0.3735, -0.207),
+        ("lh", -0.3735, 0.207),
+        ("rh", -0.3735, -0.207),
+    ];
+    for (name, px, py) in legs {
+        let hip = b.next_index();
+        b = b
+            .link(format!("{name}_haa"), None, JointType::RevoluteX)
+            .placement_translation(Vec3::new(px, py, 0.0))
+            .inertia(2.93, Vec3::new(0.04, 0.0, 0.0), diag(0.005, 0.0059, 0.0059))
+            .link(format!("{name}_hfe"), Some(hip), JointType::RevoluteY)
+            .placement_rot_x_deg(90.0, Vec3::new(0.08, 0.0, 0.0))
+            .inertia(2.64, Vec3::new(0.15, 0.0, -0.03), diag(0.0039, 0.026, 0.026))
+            .link(format!("{name}_kfe"), Some(hip + 1), JointType::RevoluteY)
+            .placement_translation(Vec3::new(0.35, 0.0, 0.0))
+            .inertia(0.88, Vec3::new(0.12, 0.0, -0.01), diag(0.0005, 0.0101, 0.0102));
+    }
+    b.build().expect("hyq model is valid")
+}
+
+/// An Atlas-class humanoid: 30 joints — 3-DoF torso, 1-DoF neck, two 7-DoF
+/// arms, two 6-DoF legs — pelvis welded to the world.
+///
+/// Used for the paper's complexity scaling (Figure 4's "humanoid" band) and
+/// the §7 discussion of the Atlas shoulder joint's sparsity pattern.
+pub fn atlas() -> RobotModel {
+    let mut b = RobotBuilder::new("atlas");
+    // Torso chain: yaw, pitch, roll.
+    b = b
+        .link("back_bkz", None, JointType::RevoluteZ)
+        .placement_translation(Vec3::new(-0.01, 0.0, 0.16))
+        .inertia(9.5, Vec3::new(-0.01, 0.0, 0.1), diag(0.12, 0.11, 0.1))
+        .link("back_bky", Some(0), JointType::RevoluteY)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.05))
+        .inertia(16.0, Vec3::new(-0.008, 0.1, 0.0), diag(0.22, 0.18, 0.22))
+        .link("back_bkx", Some(1), JointType::RevoluteX)
+        .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.05, 0.0))
+        .inertia(27.0, Vec3::new(-0.02, 0.0, 0.22), diag(0.95, 0.77, 0.56));
+    let chest = 2;
+    // Neck.
+    b = b
+        .link("neck_ry", Some(chest), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.02, 0.0, 0.42))
+        .inertia(1.5, Vec3::new(0.0, 0.0, 0.03), diag(0.002, 0.002, 0.002));
+    // Arms: 7 DoF each (Atlas v5-style shz, shx, ely, elx, wry, wrx, wry2).
+    for (side, sy) in [("l", 0.25), ("r", -0.25)] {
+        let base = b.next_index();
+        b = b
+            .link(format!("{side}_arm_shz"), Some(chest), JointType::RevoluteZ)
+            .placement_translation(Vec3::new(0.03, sy, 0.36))
+            .inertia(3.0, Vec3::new(0.0, sy.signum() * 0.05, 0.0), diag(0.003, 0.003, 0.003))
+            .link(format!("{side}_arm_shx"), Some(base), JointType::RevoluteX)
+            .placement_rot_x_deg(-90.0 * sy.signum(), Vec3::new(0.0, sy.signum() * 0.11, 0.0))
+            .inertia(3.5, Vec3::new(0.0, 0.0, -0.08), diag(0.02, 0.02, 0.004))
+            .link(format!("{side}_arm_ely"), Some(base + 1), JointType::RevoluteY)
+            .placement_translation(Vec3::new(0.0, 0.03, -0.19))
+            .inertia(3.0, Vec3::new(0.0, -0.02, -0.1), diag(0.01, 0.01, 0.003))
+            .link(format!("{side}_arm_elx"), Some(base + 2), JointType::RevoluteX)
+            .placement_rot_x_deg(90.0, Vec3::new(0.0, -0.03, -0.12))
+            .inertia(2.5, Vec3::new(0.0, 0.0, -0.08), diag(0.008, 0.008, 0.002))
+            .link(format!("{side}_arm_wry"), Some(base + 3), JointType::RevoluteY)
+            .placement_translation(Vec3::new(0.0, 0.0, -0.19))
+            .inertia(1.8, Vec3::new(0.0, 0.0, -0.05), diag(0.003, 0.003, 0.001))
+            .link(format!("{side}_arm_wrx"), Some(base + 4), JointType::RevoluteX)
+            .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.05, 0.0))
+            .inertia(1.0, Vec3::new(0.0, 0.0, -0.02), diag(0.001, 0.001, 0.0005))
+            .link(format!("{side}_arm_wry2"), Some(base + 5), JointType::RevoluteY)
+            .placement_translation(Vec3::new(0.0, 0.0, -0.08))
+            .inertia(0.5, Vec3::new(0.0, 0.0, -0.01), diag(0.0004, 0.0004, 0.0002));
+    }
+    // Legs: 6 DoF each (hpz, hpx, hpy, kny, aky, akx).
+    for (side, sy) in [("l", 0.089), ("r", -0.089)] {
+        let base = b.next_index();
+        b = b
+            .link(format!("{side}_leg_hpz"), None, JointType::RevoluteZ)
+            .placement_translation(Vec3::new(0.0, sy, -0.03))
+            .inertia(2.7, Vec3::new(0.0, 0.0, -0.04), diag(0.008, 0.008, 0.008))
+            .link(format!("{side}_leg_hpx"), Some(base), JointType::RevoluteX)
+            .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, -0.05))
+            .inertia(3.6, Vec3::new(0.0, 0.02, 0.0), diag(0.01, 0.009, 0.009))
+            .link(format!("{side}_leg_hpy"), Some(base + 1), JointType::RevoluteY)
+            .placement_rot_x_deg(-90.0, Vec3::new(0.05, 0.0, 0.0))
+            .inertia(8.0, Vec3::new(0.0, 0.0, -0.21), diag(0.15, 0.15, 0.02))
+            .link(format!("{side}_leg_kny"), Some(base + 2), JointType::RevoluteY)
+            .placement_translation(Vec3::new(-0.05, 0.0, -0.37))
+            .inertia(6.0, Vec3::new(0.0, 0.0, -0.18), diag(0.09, 0.09, 0.01))
+            .link(format!("{side}_leg_aky"), Some(base + 3), JointType::RevoluteY)
+            .placement_translation(Vec3::new(0.0, 0.0, -0.42))
+            .inertia(1.0, Vec3::new(0.0, 0.0, -0.01), diag(0.001, 0.001, 0.001))
+            .link(format!("{side}_leg_akx"), Some(base + 4), JointType::RevoluteX)
+            .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.01, 0.0))
+            .inertia(2.4, Vec3::new(0.02, 0.0, -0.05), diag(0.002, 0.007, 0.008));
+    }
+    b.build().expect("atlas model is valid")
+}
+
+/// A Franka Emika Panda-class manipulator: 7 revolute-z joints with
+/// alternating ±90° placements like the iiwa but a lighter, shorter
+/// kinematic structure (documented approximation of the public values).
+pub fn panda() -> RobotModel {
+    RobotBuilder::new("panda")
+        .link("panda_link1", None, JointType::RevoluteZ)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.333))
+        .inertia(3.06, Vec3::new(0.0, -0.03, -0.07), diag(0.017, 0.017, 0.006))
+        .link("panda_link2", Some(0), JointType::RevoluteZ)
+        .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.0, 0.0))
+        .inertia(2.34, Vec3::new(0.0, -0.07, 0.03), diag(0.018, 0.006, 0.017))
+        .link("panda_link3", Some(1), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, -0.316, 0.0))
+        .inertia(2.36, Vec3::new(0.044, 0.025, -0.038), diag(0.008, 0.008, 0.008))
+        .link("panda_link4", Some(2), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0825, 0.0, 0.0))
+        .inertia(2.38, Vec3::new(-0.038, 0.039, 0.025), diag(0.008, 0.008, 0.008))
+        .link("panda_link5", Some(3), JointType::RevoluteZ)
+        .placement_rot_x_deg(-90.0, Vec3::new(-0.0825, 0.384, 0.0))
+        .inertia(2.43, Vec3::new(0.0, 0.038, -0.11), diag(0.03, 0.028, 0.005))
+        .link("panda_link6", Some(4), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.0))
+        .inertia(1.47, Vec3::new(0.051, 0.007, 0.006), diag(0.002, 0.004, 0.005))
+        .link("panda_link7", Some(5), JointType::RevoluteZ)
+        .placement_rot_x_deg(90.0, Vec3::new(0.088, 0.0, 0.0))
+        .inertia(0.45, Vec3::new(0.01, 0.01, 0.08), diag(0.001, 0.001, 0.001))
+        .build()
+        .expect("panda model is valid")
+}
+
+/// A Universal Robots UR5-class manipulator: 6 joints mixing revolute-z
+/// and revolute-y axes — a different joint-type profile from the iiwa,
+/// exercising different transform sparsity patterns.
+pub fn ur5() -> RobotModel {
+    RobotBuilder::new("ur5")
+        .link("shoulder_pan", None, JointType::RevoluteZ)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.0892))
+        .inertia(3.7, Vec3::new(0.0, 0.0, 0.0), diag(0.0103, 0.0103, 0.0067))
+        .link("shoulder_lift", Some(0), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.0, 0.1358, 0.0))
+        .inertia(8.39, Vec3::new(0.0, 0.0, 0.2125), diag(0.226, 0.226, 0.0151))
+        .link("elbow", Some(1), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.0, -0.1197, 0.425))
+        .inertia(2.33, Vec3::new(0.0, 0.0, 0.196), diag(0.0494, 0.0494, 0.004))
+        .link("wrist_1", Some(2), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.3922))
+        .inertia(1.22, Vec3::new(0.0, 0.093, 0.0), diag(0.0021, 0.0021, 0.0021))
+        .link("wrist_2", Some(3), JointType::RevoluteZ)
+        .placement_translation(Vec3::new(0.0, 0.093, 0.0))
+        .inertia(1.22, Vec3::new(0.0, 0.0, 0.0946), diag(0.0021, 0.0021, 0.0021))
+        .link("wrist_3", Some(4), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.0946))
+        .inertia(0.19, Vec3::new(0.0, 0.0615, 0.0), diag(0.0003, 0.0003, 0.0003))
+        .build()
+        .expect("ur5 model is valid")
+}
+
+/// The HyQ-class quadruped on an emulated floating base: a 60 kg torso
+/// body carried by the 6-DoF virtual chain of
+/// [`with_floating_base`](crate::with_floating_base), with the four legs
+/// attached to it — the mobile-base configuration the real robot has.
+pub fn hyq_floating() -> RobotModel {
+    let torso = robo_spatial::SpatialInertia::from_com_params(
+        60.0,
+        Vec3::new(0.0, 0.0, 0.01),
+        diag(1.5, 4.0, 4.5),
+    );
+    crate::with_floating_base(&hyq(), torso)
+}
+
+/// A serial chain of `n` identical links with the given joint type —
+/// useful for scaling studies and property tests.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn serial_chain(n: usize, joint: JointType) -> RobotModel {
+    assert!(n > 0, "serial chain needs at least one link");
+    let mut b = RobotBuilder::new(format!("chain{n}"));
+    for i in 0..n {
+        let parent = if i == 0 { None } else { Some(i - 1) };
+        let rot = match i % 3 {
+            0 => Transform::translation(Vec3::new(0.0, 0.0, 0.25)),
+            1 => Transform::new(Mat3::coord_rotation_x(90.0_f64.to_radians()), Vec3::new(0.0, 0.0, 0.25)),
+            _ => Transform::new(Mat3::coord_rotation_x(-90.0_f64.to_radians()), Vec3::new(0.0, 0.2, 0.0)),
+        };
+        b = b
+            .link(format!("link{i}"), parent, joint)
+            .placement(rot)
+            .uniform_rod_inertia(1.5, 0.25);
+    }
+    b.build().expect("serial chain is valid")
+}
+
+/// A two-link planar pendulum (revolute-y joints, links along z), useful
+/// for analytically checkable tests and the quickstart example.
+pub fn double_pendulum() -> RobotModel {
+    RobotBuilder::new("double_pendulum")
+        .link("upper", None, JointType::RevoluteY)
+        .placement_translation(Vec3::zero())
+        .uniform_rod_inertia(1.0, 0.5)
+        .link("lower", Some(0), JointType::RevoluteY)
+        .placement_translation(Vec3::new(0.0, 0.0, 0.5))
+        .uniform_rod_inertia(1.0, 0.5)
+        .build()
+        .expect("double pendulum is valid")
+}
+
+/// The three robots of the paper's Figure 4, by increasing complexity:
+/// `(manipulator, quadruped, humanoid)`.
+pub fn figure4_robots() -> (RobotModel, RobotModel, RobotModel) {
+    (iiwa14(), hyq(), atlas())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iiwa_morphology() {
+        let r = iiwa14();
+        assert_eq!(r.dof(), 7);
+        assert_eq!(r.limbs().len(), 1);
+        assert_eq!(r.max_limb_len(), 7);
+        // Total mass ≈ 25.6 kg of moving links (documented approximation).
+        assert!(r.total_mass() > 20.0 && r.total_mass() < 35.0);
+    }
+
+    #[test]
+    fn iiwa_second_joint_has_paper_sparsity() {
+        // §4: "the first two links in the LBR iiwa manipulator are connected
+        // by a joint whose transformation matrix has only 13 of 36 elements
+        // populated."
+        let r = iiwa14();
+        let x = r.joint_transform::<f64>(1, 0.4).to_mat6();
+        assert_eq!(x.count_nonzero(1e-12), 13);
+    }
+
+    #[test]
+    fn hyq_morphology() {
+        let r = hyq();
+        assert_eq!(r.dof(), 12);
+        let limbs = r.limbs();
+        assert_eq!(limbs.len(), 4);
+        assert!(limbs.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn atlas_morphology() {
+        let r = atlas();
+        assert_eq!(r.dof(), 30);
+        let limbs = r.limbs();
+        // torso chain splits at the chest into neck + 2 arms; pelvis has
+        // 2 legs attached to the base.
+        assert!(limbs.len() >= 5, "expected >= 5 limbs, got {}", limbs.len());
+        assert_eq!(r.max_limb_len(), 7); // the arms
+    }
+
+    #[test]
+    fn hyq_floating_morphology() {
+        let r = hyq_floating();
+        assert_eq!(r.dof(), 18);
+        // The virtual chain forms the first limb; legs attach at link 5.
+        assert_eq!(r.links()[6].parent, Some(5));
+        assert!(r.total_mass() > 80.0);
+    }
+
+    #[test]
+    fn serial_chain_lengths() {
+        for n in [1, 3, 9] {
+            assert_eq!(serial_chain(n, JointType::RevoluteZ).dof(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_chain_panics() {
+        let _ = serial_chain(0, JointType::RevoluteZ);
+    }
+
+    #[test]
+    fn all_builtins_have_positive_masses() {
+        for r in [iiwa14(), hyq(), atlas(), double_pendulum(), panda(), ur5()] {
+            assert!(r.links().iter().all(|l| l.inertia.mass > 0.0));
+        }
+    }
+
+    #[test]
+    fn panda_morphology() {
+        let r = panda();
+        assert_eq!(r.dof(), 7);
+        assert_eq!(r.limbs().len(), 1);
+        assert!(r.total_mass() > 10.0 && r.total_mass() < 20.0);
+    }
+
+    #[test]
+    fn ur5_morphology_and_joint_mix() {
+        let r = ur5();
+        assert_eq!(r.dof(), 6);
+        let types: Vec<JointType> = r.links().iter().map(|l| l.joint).collect();
+        assert!(types.contains(&JointType::RevoluteZ));
+        assert!(types.contains(&JointType::RevoluteY));
+    }
+}

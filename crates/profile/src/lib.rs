@@ -1,0 +1,381 @@
+//! Workload analysis of the dynamics kernels.
+//!
+//! The paper's accelerator design is justified by workload analysis (§5.1,
+//! §8): the dynamics gradient is "compute-bound", spends "less than around
+//! 10% of clock cycles on memory stalls", its "working set fits in a 32 kB
+//! L1 cache", and most of its work is "matrix-vector multiplication using
+//! matrices that are small (6×6 elements) and middlingly sparse (around
+//! 30% to 60% sparse)". This crate reproduces that analysis from first
+//! principles:
+//!
+//! * [`Counted`] — an operation-counting scalar: every arithmetic op on it
+//!   increments thread-local counters, so running *the actual kernels*
+//!   over it yields exact operation counts (no hand math, no sampling);
+//! * [`count_ops`] — scoped counting;
+//! * [`kernel_workload`] / [`WorkloadReport`] — the §8-style report:
+//!   per-step operation counts, multiply fraction, working-set estimate
+//!   vs the 32 kB L1, and arithmetic intensity.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_profile::{count_ops, Counted};
+//! use robo_spatial::Scalar;
+//!
+//! let counts = count_ops(|| {
+//!     let a = Counted::from_f64(2.0);
+//!     let b = Counted::from_f64(3.0);
+//!     let _ = a * b + a;
+//! });
+//! assert_eq!(counts.muls, 1);
+//! assert_eq!(counts.adds, 1);
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over fixed-size matrix dimensions are clearer than
+// iterator chains in this numerical code.
+#![allow(clippy::needless_range_loop)]
+
+use core::cell::Cell;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use robo_dynamics::{
+    mass_matrix_inverse, rnea, rnea_derivatives, DynamicsModel,
+};
+use robo_model::RobotModel;
+use robo_spatial::Scalar;
+
+thread_local! {
+    static COUNTS: Cell<OpCounts> = const { Cell::new(OpCounts::zero()) };
+}
+
+/// Operation counts captured by [`count_ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Additions.
+    pub adds: u64,
+    /// Subtractions.
+    pub subs: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Divisions.
+    pub divs: u64,
+    /// Negations.
+    pub negs: u64,
+}
+
+impl OpCounts {
+    const fn zero() -> Self {
+        Self {
+            adds: 0,
+            subs: 0,
+            muls: 0,
+            divs: 0,
+            negs: 0,
+        }
+    }
+
+    /// Total floating-point operations (negations excluded — they are
+    /// sign-bit flips in hardware).
+    pub fn flops(&self) -> u64 {
+        self.adds + self.subs + self.muls + self.divs
+    }
+
+    /// Fraction of operations that are multiplies.
+    pub fn mul_fraction(&self) -> f64 {
+        if self.flops() == 0 {
+            0.0
+        } else {
+            self.muls as f64 / self.flops() as f64
+        }
+    }
+}
+
+fn bump(f: impl FnOnce(&mut OpCounts)) {
+    COUNTS.with(|c| {
+        let mut v = c.get();
+        f(&mut v);
+        c.set(v);
+    });
+}
+
+/// Runs `f` and returns the arithmetic operations performed on [`Counted`]
+/// values during the call (thread-local; nested calls compose).
+pub fn count_ops<F: FnOnce()>(f: F) -> OpCounts {
+    let before = COUNTS.with(|c| c.get());
+    f();
+    let after = COUNTS.with(|c| c.get());
+    OpCounts {
+        adds: after.adds - before.adds,
+        subs: after.subs - before.subs,
+        muls: after.muls - before.muls,
+        divs: after.divs - before.divs,
+        negs: after.negs - before.negs,
+    }
+}
+
+/// A counting scalar: `f64` semantics, with every arithmetic operation
+/// recorded in thread-local counters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Counted(f64);
+
+impl Counted {
+    /// The wrapped value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+macro_rules! counted_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $field:ident, $op:tt) => {
+        impl $trait for Counted {
+            type Output = Counted;
+
+            #[inline]
+            // The counter increment inside an arithmetic impl is the whole
+            // point of this type.
+            #[allow(clippy::suspicious_arithmetic_impl)]
+            fn $method(self, rhs: Counted) -> Counted {
+                bump(|c| c.$field += 1);
+                Counted(self.0 $op rhs.0)
+            }
+        }
+
+        impl $assign_trait for Counted {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Counted) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+counted_binop!(Add, add, AddAssign, add_assign, adds, +);
+counted_binop!(Sub, sub, SubAssign, sub_assign, subs, -);
+counted_binop!(Mul, mul, MulAssign, mul_assign, muls, *);
+counted_binop!(Div, div, DivAssign, div_assign, divs, /);
+
+impl Neg for Counted {
+    type Output = Counted;
+
+    #[inline]
+    fn neg(self) -> Counted {
+        bump(|c| c.negs += 1);
+        Counted(-self.0)
+    }
+}
+
+impl Scalar for Counted {
+    fn name() -> String {
+        "counted(f64)".to_owned()
+    }
+
+    fn zero() -> Self {
+        Counted(0.0)
+    }
+
+    fn one() -> Self {
+        Counted(1.0)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        Counted(value)
+    }
+
+    fn to_f64(self) -> f64 {
+        self.0
+    }
+
+    fn resolution() -> f64 {
+        f64::EPSILON
+    }
+}
+
+/// The §8-style workload report for the dynamics gradient kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadReport {
+    /// Degrees of freedom of the analyzed robot.
+    pub dof: usize,
+    /// Operations in step 1 (inverse dynamics).
+    pub id_ops: OpCounts,
+    /// Operations in step 2 (∇ inverse dynamics).
+    pub grad_ops: OpCounts,
+    /// Operations in step 3 (−M⁻¹ multiplication).
+    pub minv_ops: OpCounts,
+    /// Estimated working set in bytes (all per-link state, the joint
+    /// matrices, and the gradient outputs at 4 bytes per value — the
+    /// paper's 32-bit operands).
+    pub working_set_bytes: usize,
+}
+
+impl WorkloadReport {
+    /// Total operations across the kernel.
+    pub fn total(&self) -> OpCounts {
+        OpCounts {
+            adds: self.id_ops.adds + self.grad_ops.adds + self.minv_ops.adds,
+            subs: self.id_ops.subs + self.grad_ops.subs + self.minv_ops.subs,
+            muls: self.id_ops.muls + self.grad_ops.muls + self.minv_ops.muls,
+            divs: self.id_ops.divs + self.grad_ops.divs + self.minv_ops.divs,
+            negs: self.id_ops.negs + self.grad_ops.negs + self.minv_ops.negs,
+        }
+    }
+
+    /// Whether the working set fits a cache of the given size (the paper's
+    /// reference point is a 32 kB L1, §8).
+    pub fn fits_cache(&self, cache_bytes: usize) -> bool {
+        self.working_set_bytes <= cache_bytes
+    }
+
+    /// Arithmetic intensity: operations per byte of working set touched.
+    /// Values well above ~1 flop/byte mark a compute-bound kernel on any
+    /// modern machine.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total().flops() as f64 / self.working_set_bytes as f64
+    }
+}
+
+/// Measures the dynamics-gradient kernel's workload on a robot by running
+/// the real implementation over the counting scalar.
+pub fn kernel_workload(robot: &RobotModel) -> WorkloadReport {
+    let n = robot.dof();
+    let model = DynamicsModel::<Counted>::new(robot);
+    let q: Vec<Counted> = (0..n).map(|i| Counted::from_f64(0.3 * i as f64 - 0.5)).collect();
+    let qd: Vec<Counted> = (0..n).map(|i| Counted::from_f64(0.1 * i as f64)).collect();
+    let qdd: Vec<Counted> = (0..n).map(|i| Counted::from_f64(-0.2 * i as f64 + 0.4)).collect();
+
+    // M⁻¹ is a host-side input to the kernel; build it outside the counted
+    // sections so the report covers exactly Algorithm 1's three steps.
+    let minv = mass_matrix_inverse(&model, &q).expect("valid mass matrix");
+
+    let mut cache = None;
+    let id_ops = count_ops(|| {
+        cache = Some(rnea(&model, &q, &qd, &qdd));
+    });
+    let cache = cache.expect("rnea ran").cache;
+    let mut grad = None;
+    let grad_ops = count_ops(|| {
+        grad = Some(rnea_derivatives(&model, &qd, &cache));
+    });
+    let g = grad.expect("derivatives ran");
+    let minv_ops = count_ops(|| {
+        let _dq = minv.mul_mat(&g.dtau_dq);
+        let _dqd = minv.mul_mat(&g.dtau_dqd);
+    });
+
+    // Working set: per-link X (rot 9 + pos 3), I (10), S (6), v/a/f (18),
+    // per-datapath dv/da/df (18 each, 2n datapaths), q/q̇/q̈ (3n), M⁻¹ (n²)
+    // and the two n×n outputs — all 32-bit values (§6.2).
+    let per_link = 9 + 3 + 10 + 6 + 18;
+    let per_datapath = 18;
+    let words = n * per_link + 2 * n * per_datapath + 3 * n + n * n + 2 * n * n;
+    let working_set_bytes = 4 * words;
+
+    WorkloadReport {
+        dof: n,
+        id_ops,
+        grad_ops,
+        minv_ops,
+        working_set_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+
+    #[test]
+    fn counted_arithmetic_matches_f64() {
+        let a = Counted::from_f64(3.0);
+        let b = Counted::from_f64(4.0);
+        assert_eq!((a * b + a - b).value(), 11.0);
+        assert_eq!((a / b).value(), 0.75);
+        assert_eq!((-a).value(), -3.0);
+    }
+
+    #[test]
+    fn counting_is_exact() {
+        let c = count_ops(|| {
+            let a = Counted::from_f64(1.0);
+            let b = Counted::from_f64(2.0);
+            let _ = a + b;
+            let _ = a - b;
+            let _ = a * b;
+            let _ = a * b;
+            let _ = a / b;
+            let _ = -a;
+        });
+        assert_eq!(
+            c,
+            OpCounts {
+                adds: 1,
+                subs: 1,
+                muls: 2,
+                divs: 1,
+                negs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn nested_counting_composes() {
+        let outer = count_ops(|| {
+            let inner = count_ops(|| {
+                let _ = Counted::from_f64(1.0) * Counted::from_f64(2.0);
+            });
+            assert_eq!(inner.muls, 1);
+            let _ = Counted::from_f64(1.0) + Counted::from_f64(2.0);
+        });
+        assert_eq!(outer.muls, 1);
+        assert_eq!(outer.adds, 1);
+    }
+
+    #[test]
+    fn gradient_dominates_kernel_work() {
+        // §3: ∇ID is "the step of Algorithm 1 with the largest
+        // computational workload".
+        let report = kernel_workload(&robots::iiwa14());
+        assert!(report.grad_ops.flops() > report.id_ops.flops());
+        assert!(report.grad_ops.flops() > report.minv_ops.flops());
+    }
+
+    #[test]
+    fn workload_is_mostly_multiplies() {
+        // "Most of the workload is matrix-vector multiplication" (§5.1):
+        // the multiply fraction sits near one multiply per add.
+        let report = kernel_workload(&robots::iiwa14());
+        let frac = report.total().mul_fraction();
+        assert!((0.35..0.65).contains(&frac), "multiply fraction {frac:.2}");
+    }
+
+    #[test]
+    fn working_set_fits_l1() {
+        // §8: "working set fits in a 32 kB L1 cache".
+        let report = kernel_workload(&robots::iiwa14());
+        assert!(
+            report.fits_cache(32 * 1024),
+            "iiwa working set {} B exceeds 32 kB",
+            report.working_set_bytes
+        );
+        assert!(report.arithmetic_intensity() > 1.0, "compute-bound kernel");
+    }
+
+    #[test]
+    fn gradient_work_scales_quadratically() {
+        // §5.2: "the total amount of work in the ∇ID step grows with
+        // O(N²)" — doubling the links should roughly quadruple it.
+        let w4 = kernel_workload(&robots::serial_chain(4, robo_model::JointType::RevoluteZ));
+        let w8 = kernel_workload(&robots::serial_chain(8, robo_model::JointType::RevoluteZ));
+        let ratio = w8.grad_ops.flops() as f64 / w4.grad_ops.flops() as f64;
+        assert!((2.8..5.0).contains(&ratio), "∇ID scaling ratio {ratio:.2}");
+        // While ID scales linearly.
+        let id_ratio = w8.id_ops.flops() as f64 / w4.id_ops.flops() as f64;
+        assert!((1.6..2.6).contains(&id_ratio), "ID scaling ratio {id_ratio:.2}");
+    }
+}

@@ -1,0 +1,458 @@
+//! Functional simulation of the customized accelerator.
+//!
+//! [`AcceleratorSim`] executes the dynamics-gradient kernel exactly as the
+//! hardware is organized (Figure 8): an inverse-dynamics chain running one
+//! link ahead, `2N` parallel derivative datapaths (∂/∂q and ∂/∂q̇ per
+//! link), a backward pass with the `(∂X/∂q)ᵀ` seed, and the fused `−M⁻¹`
+//! MAC stage — all arithmetic routed through the pruned [`XUnit`]
+//! functional units in the accelerator's (fixed-point) scalar type, and all
+//! timing taken from the design's static [`CycleSchedule`].
+//!
+//! [`CycleSchedule`]: robomorphic_core::CycleSchedule
+
+use crate::xunit::XUnit;
+use robo_model::RobotModel;
+use robo_spatial::{Force, MatN, Motion, Scalar, SpatialInertia};
+use robo_sparsity::superposition_pattern;
+use robomorphic_core::{Accelerator, GradientTemplate};
+
+/// Output of one simulated gradient computation.
+#[derive(Debug, Clone)]
+pub struct SimOutput<S> {
+    /// `∂τ/∂q` (step 2 output).
+    pub dtau_dq: MatN<S>,
+    /// `∂τ/∂q̇` (step 2 output).
+    pub dtau_dqd: MatN<S>,
+    /// `∂q̈/∂q = −M⁻¹ ∂τ/∂q` (step 3 output).
+    pub dqdd_dq: MatN<S>,
+    /// `∂q̈/∂q̇ = −M⁻¹ ∂τ/∂q̇` (step 3 output).
+    pub dqdd_dqd: MatN<S>,
+    /// Cycles consumed (static schedule; pipelining ignored, as in the
+    /// paper's Figure 10 measurement).
+    pub cycles: usize,
+}
+
+/// A functional, cycle-accounted simulator of a robot-customized dynamics
+/// gradient accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use robo_fixed::Fix32_16;
+/// use robo_sim::AcceleratorSim;
+/// use robo_model::robots;
+/// use robo_spatial::{MatN, Scalar};
+///
+/// let robot = robots::iiwa14();
+/// let sim = AcceleratorSim::<Fix32_16>::new(&robot);
+/// let q = [0.1_f64; 7].map(Fix32_16::from_f64);
+/// let zero = [0.0_f64; 7].map(Fix32_16::from_f64);
+/// let minv = MatN::<Fix32_16>::identity(7);
+/// let out = sim.compute_gradient(&q, &zero, &zero, &minv);
+/// assert_eq!(out.cycles, 34);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorSim<S> {
+    design: Accelerator,
+    x_units: Vec<XUnit<S>>,
+    inertias: Vec<SpatialInertia<S>>,
+    subspaces: Vec<Motion<S>>,
+    parents: Vec<Option<usize>>,
+    ancestor_mask: Vec<u64>,
+    base_acceleration: Motion<S>,
+}
+
+impl<S: Scalar> AcceleratorSim<S> {
+    /// Customizes the paper-default template for `robot` and builds its
+    /// simulator (standard gravity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot has more than 64 links.
+    pub fn new(robot: &RobotModel) -> Self {
+        Self::with_design(robot, GradientTemplate::new().customize(robot))
+    }
+
+    /// Like [`AcceleratorSim::new`], but with the functional units'
+    /// dot-product trees in the given accumulation mode (see
+    /// [`crate::Accumulation`]).
+    pub fn with_accumulation(robot: &RobotModel, accumulation: crate::Accumulation) -> Self {
+        let mut sim = Self::new(robot);
+        for unit in &mut sim.x_units {
+            unit.set_accumulation(accumulation);
+        }
+        sim
+    }
+
+    /// Builds a simulator for an explicit customized design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot has more than 64 links.
+    pub fn with_design(robot: &RobotModel, design: Accelerator) -> Self {
+        let n = robot.dof();
+        assert!(n <= 64, "robots with more than 64 links are not supported");
+        let shared_mask = superposition_pattern(robot);
+        let mut ancestor_mask = vec![0u64; n];
+        for i in 0..n {
+            let mut mask = 1u64 << i;
+            if let Some(p) = robot.parent(i) {
+                mask |= ancestor_mask[p];
+            }
+            ancestor_mask[i] = mask;
+        }
+        Self {
+            design,
+            x_units: (0..n)
+                .map(|i| XUnit::with_mask(robot, i, shared_mask))
+                .collect(),
+            inertias: robot.links().iter().map(|l| l.inertia.cast()).collect(),
+            subspaces: robot
+                .links()
+                .iter()
+                .map(|l| l.joint.motion_subspace())
+                .collect(),
+            parents: (0..n).map(|i| robot.parent(i)).collect(),
+            ancestor_mask,
+            base_acceleration: Motion::new(
+                robo_spatial::Vec3::zero(),
+                robo_spatial::Vec3::new(
+                    S::zero(),
+                    S::zero(),
+                    S::from_f64(robo_dynamics::STANDARD_GRAVITY),
+                ),
+            ),
+        }
+    }
+
+    /// The underlying customized design (schedule, resources).
+    pub fn design(&self) -> &Accelerator {
+        &self.design
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> usize {
+        self.parents.len()
+    }
+
+    #[inline]
+    fn influences(&self, j: usize, i: usize) -> bool {
+        self.ancestor_mask[i] & (1u64 << j) != 0
+    }
+
+    /// Runs one gradient computation through the accelerator: Algorithm 1
+    /// with `q̈` and `M⁻¹` provided by the host (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths or `minv` dimensions differ from the DoF.
+    pub fn compute_gradient(
+        &self,
+        q: &[S],
+        qd: &[S],
+        qdd: &[S],
+        minv: &MatN<S>,
+    ) -> SimOutput<S> {
+        let n = self.dof();
+        assert_eq!(q.len(), n, "q length mismatch");
+        assert_eq!(qd.len(), n, "qd length mismatch");
+        assert_eq!(qdd.len(), n, "qdd length mismatch");
+        assert_eq!((minv.rows(), minv.cols()), (n, n), "minv shape mismatch");
+
+        // Host-cached trig inputs (§5.1: "the sin and cos of the link
+        // position q ... can also be cached from an earlier stage").
+        let trig: Vec<(S, S)> = (0..n).map(|i| self.x_units[i].inputs_for(q[i])).collect();
+
+        // --- ID chain (runs one link ahead of the datapaths) -------------
+        let mut v = vec![Motion::zero(); n];
+        let mut a = vec![Motion::zero(); n];
+        let mut f = vec![Force::zero(); n];
+        for i in 0..n {
+            let (s_q, c_q) = trig[i];
+            let xu = &self.x_units[i];
+            let s = self.subspaces[i];
+            let s_qd = s.scale(qd[i]);
+            let (vp, ap) = match self.parents[i] {
+                Some(p) => (
+                    xu.apply_motion(s_q, c_q, v[p]),
+                    xu.apply_motion(s_q, c_q, a[p]),
+                ),
+                None => (
+                    Motion::zero(),
+                    xu.apply_motion(s_q, c_q, self.base_acceleration),
+                ),
+            };
+            v[i] = vp + s_qd;
+            a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
+            f[i] = self.inertias[i].apply(a[i])
+                + v[i].cross_force(self.inertias[i].apply(v[i]));
+        }
+        for i in (0..n).rev() {
+            if let Some(p) = self.parents[i] {
+                let (s_q, c_q) = trig[i];
+                let fp = self.x_units[i].tr_apply_force(s_q, c_q, f[i]);
+                f[p] += fp;
+            }
+        }
+
+        // --- ∇ID datapaths -------------------------------------------------
+        let mut dtau_dq = MatN::zeros(n, n);
+        let mut dtau_dqd = MatN::zeros(n, n);
+        let mut dv_q = vec![Motion::zero(); n];
+        let mut da_q = vec![Motion::zero(); n];
+        let mut df_q = vec![Force::zero(); n];
+        let mut dv_qd = vec![Motion::zero(); n];
+        let mut da_qd = vec![Motion::zero(); n];
+        let mut df_qd = vec![Force::zero(); n];
+
+        for j in 0..n {
+            for slot in 0..n {
+                dv_q[slot] = Motion::zero();
+                da_q[slot] = Motion::zero();
+                df_q[slot] = Force::zero();
+                dv_qd[slot] = Motion::zero();
+                da_qd[slot] = Motion::zero();
+                df_qd[slot] = Force::zero();
+            }
+
+            for i in 0..n {
+                if !self.influences(j, i) {
+                    continue;
+                }
+                let (s_q, c_q) = trig[i];
+                let xu = &self.x_units[i];
+                let s = self.subspaces[i];
+                let s_qd = s.scale(qd[i]);
+                let parent = self.parents[i];
+
+                let (mut dv_q_i, mut dv_qd_i, mut da_q_i, mut da_qd_i) = match parent {
+                    Some(p) if self.influences(j, p) => (
+                        xu.apply_motion(s_q, c_q, dv_q[p]),
+                        xu.apply_motion(s_q, c_q, dv_qd[p]),
+                        xu.apply_motion(s_q, c_q, da_q[p]),
+                        xu.apply_motion(s_q, c_q, da_qd[p]),
+                    ),
+                    _ => (
+                        Motion::zero(),
+                        Motion::zero(),
+                        Motion::zero(),
+                        Motion::zero(),
+                    ),
+                };
+
+                if i == j {
+                    let v_parent = match parent {
+                        Some(p) => v[p],
+                        None => Motion::zero(),
+                    };
+                    let a_parent = match parent {
+                        Some(p) => a[p],
+                        None => self.base_acceleration,
+                    };
+                    let xv = xu.apply_motion(s_q, c_q, v_parent);
+                    let xa = xu.apply_motion(s_q, c_q, a_parent);
+                    dv_q_i -= s.cross_motion(xv);
+                    da_q_i -= s.cross_motion(xa);
+                    dv_qd_i += s;
+                    da_qd_i += v[i].cross_motion(s);
+                }
+
+                da_q_i += dv_q_i.cross_motion(s_qd);
+                da_qd_i += dv_qd_i.cross_motion(s_qd);
+
+                let inertia = &self.inertias[i];
+                let iv = inertia.apply(v[i]);
+                df_q[i] = inertia.apply(da_q_i)
+                    + dv_q_i.cross_force(iv)
+                    + v[i].cross_force(inertia.apply(dv_q_i));
+                df_qd[i] = inertia.apply(da_qd_i)
+                    + dv_qd_i.cross_force(iv)
+                    + v[i].cross_force(inertia.apply(dv_qd_i));
+
+                dv_q[i] = dv_q_i;
+                dv_qd[i] = dv_qd_i;
+                da_q[i] = da_q_i;
+                da_qd[i] = da_qd_i;
+            }
+
+            for i in (0..n).rev() {
+                dtau_dq[(i, j)] = self.subspaces[i].dot(df_q[i]);
+                dtau_dqd[(i, j)] = self.subspaces[i].dot(df_qd[i]);
+                if let Some(p) = self.parents[i] {
+                    let (s_q, c_q) = trig[i];
+                    let xu = &self.x_units[i];
+                    let mut dfp_q = xu.tr_apply_force(s_q, c_q, df_q[i]);
+                    if i == j {
+                        let seed = self.subspaces[i].cross_force(f[i]);
+                        dfp_q += xu.tr_apply_force(s_q, c_q, seed);
+                    }
+                    let dfp_qd = xu.tr_apply_force(s_q, c_q, df_qd[i]);
+                    df_q[p] += dfp_q;
+                    df_qd[p] += dfp_qd;
+                }
+            }
+        }
+
+        // --- Fused −M⁻¹ MAC stage (step 3, two cycles) ---------------------
+        let mut dqdd_dq = MatN::zeros(n, n);
+        let mut dqdd_dqd = MatN::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc_q = S::zero();
+                let mut acc_qd = S::zero();
+                for k in 0..n {
+                    acc_q += minv[(i, k)] * dtau_dq[(k, j)];
+                    acc_qd += minv[(i, k)] * dtau_dqd[(k, j)];
+                }
+                dqdd_dq[(i, j)] = -acc_q;
+                dqdd_dqd[(i, j)] = -acc_qd;
+            }
+        }
+
+        SimOutput {
+            dtau_dq,
+            dtau_dqd,
+            dqdd_dq,
+            dqdd_dqd,
+            cycles: self.design.schedule().single_latency_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_dynamics::{
+        dynamics_gradient_from_qdd, forward_dynamics, mass_matrix_inverse, DynamicsModel,
+    };
+    use robo_fixed::Fix32_16;
+    use robo_model::robots;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn reference_case(
+        robot: &robo_model::RobotModel,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, MatN<f64>, robo_dynamics::DynamicsGradient<f64>) {
+        let model = DynamicsModel::<f64>::new(robot);
+        let n = model.dof();
+        let mut s = seed;
+        let q: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+        let qd: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+        let tau: Vec<f64> = (0..n).map(|_| 2.0 * lcg(&mut s)).collect();
+        let qdd = forward_dynamics(&model, &q, &qd, &tau).unwrap();
+        let minv = mass_matrix_inverse(&model, &q).unwrap();
+        let grad = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+        (q, qd, qdd, minv, grad)
+    }
+
+    #[test]
+    fn f64_simulation_matches_reference_exactly() {
+        // In f64 the simulated netlist is algebraically identical to the
+        // reference implementation.
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            let (q, qd, qdd, minv, reference) = reference_case(&robot, 42);
+            let sim = AcceleratorSim::<f64>::new(&robot);
+            let out = sim.compute_gradient(&q, &qd, &qdd, &minv);
+            assert!(
+                out.dtau_dq.max_abs_diff(&reference.id_gradient.dtau_dq) < 1e-10,
+                "{}: ∂τ/∂q mismatch",
+                robot.name()
+            );
+            assert!(out.dtau_dqd.max_abs_diff(&reference.id_gradient.dtau_dqd) < 1e-10);
+            assert!(out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) < 1e-9);
+            assert!(out.dqdd_dqd.max_abs_diff(&reference.dqdd_dqd) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_point_simulation_close_to_reference() {
+        // Q16.16 arithmetic: errors bounded well below the levels that
+        // affect optimization convergence (Figure 12's conclusion).
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv, reference) = reference_case(&robot, 7);
+        let sim = AcceleratorSim::<Fix32_16>::new(&robot);
+        let to_fix = |v: &[f64]| -> Vec<Fix32_16> {
+            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
+        };
+        let out = sim.compute_gradient(
+            &to_fix(&q),
+            &to_fix(&qd),
+            &to_fix(&qdd),
+            &minv.cast::<Fix32_16>(),
+        );
+        let scale = reference.dqdd_dq.max_abs().max(1.0);
+        let err = out.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq);
+        assert!(
+            err / scale < 5e-3,
+            "relative fixed-point error {:.2e} too large",
+            err / scale
+        );
+    }
+
+    #[test]
+    fn narrow_fixed_point_kernel_error_is_large() {
+        // The precision floor: a 12-bit type that saturates on realistic
+        // link forces produces gradients with order-of-magnitude errors,
+        // while the paper's Q16.16 stays within a fraction of a percent.
+        use robo_fixed::Fix8_4;
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv, reference) = reference_case(&robot, 31);
+        let scale = reference.dqdd_dq.max_abs().max(1.0);
+
+        let to_s = |v: &[f64]| -> Vec<Fix8_4> { v.iter().map(|x| Fix8_4::from_f64(*x)).collect() };
+        let narrow = AcceleratorSim::<Fix8_4>::new(&robot).compute_gradient(
+            &to_s(&q),
+            &to_s(&qd),
+            &to_s(&qdd),
+            &minv.cast::<Fix8_4>(),
+        );
+        let narrow_err = narrow.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+
+        let to_f = |v: &[f64]| -> Vec<Fix32_16> {
+            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
+        };
+        let wide = AcceleratorSim::<Fix32_16>::new(&robot).compute_gradient(
+            &to_f(&q),
+            &to_f(&qd),
+            &to_f(&qdd),
+            &minv.cast::<Fix32_16>(),
+        );
+        let wide_err = wide.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+
+        assert!(wide_err < 5e-3, "Q16.16 error {wide_err:.2e}");
+        assert!(
+            narrow_err > 20.0 * wide_err,
+            "12-bit error {narrow_err:.2e} should dwarf Q16.16's {wide_err:.2e}"
+        );
+    }
+
+    #[test]
+    fn cycle_counts_by_robot() {
+        // Latency grows O(N) in the longest limb, not total joints (§5.2).
+        let iiwa = AcceleratorSim::<f64>::new(&robots::iiwa14());
+        let hyq = AcceleratorSim::<f64>::new(&robots::hyq());
+        let (q, qd, qdd, minv, _) = reference_case(&robots::iiwa14(), 3);
+        let out = iiwa.compute_gradient(&q, &qd, &qdd, &minv);
+        assert_eq!(out.cycles, 34);
+        assert!(
+            hyq.design().schedule().single_latency_cycles() < out.cycles,
+            "quadruped has shorter limbs → fewer cycles"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "minv shape mismatch")]
+    fn wrong_minv_shape_panics() {
+        let robot = robots::iiwa14();
+        let sim = AcceleratorSim::<f64>::new(&robot);
+        let z = vec![0.0; 7];
+        let _ = sim.compute_gradient(&z, &z, &z, &MatN::identity(3));
+    }
+}

@@ -1,0 +1,278 @@
+//! A cycle-by-cycle stepper for the accelerator's pipeline structure.
+//!
+//! [`crate::AcceleratorSim`] computes *values* with latency taken from the
+//! design's closed-form [`CycleSchedule`]. This module goes one level
+//! lower: it executes the schedule as a resource-constrained state machine
+//! — a folded forward-pass processor, a folded backward-pass processor,
+//! and the fused `−M⁻¹` stage, each occupied cycle by cycle — so the
+//! latency and initiation interval *emerge* from the execution instead of
+//! being computed. Tests cross-check the emergent numbers against the
+//! closed form, which is how the paper's own cycle counts were validated
+//! against RTL simulation.
+//!
+//! [`CycleSchedule`]: robomorphic_core::CycleSchedule
+
+use robomorphic_core::CycleSchedule;
+
+/// Which pipeline unit a trace entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// The folded forward-pass processor (all parallel datapaths advance
+    /// in lockstep through it).
+    Forward,
+    /// The folded backward-pass processor.
+    Backward,
+    /// The fused `−M⁻¹` MAC stage.
+    Minv,
+}
+
+/// One occupancy record: `unit` busy with `computation`'s link `slot`
+/// during `[start_cycle, start_cycle + cycles)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The occupied unit.
+    pub unit: Unit,
+    /// Index of the gradient computation in the stream.
+    pub computation: usize,
+    /// Link iteration within the pass (or 0 for the `−M⁻¹` stage).
+    pub slot: usize,
+    /// First busy cycle.
+    pub start_cycle: usize,
+    /// Busy duration in cycles.
+    pub cycles: usize,
+}
+
+/// The result of stepping a stream of computations through the pipeline.
+#[derive(Debug, Clone)]
+pub struct CycleTrace {
+    /// Occupancy records, in issue order.
+    pub entries: Vec<TraceEntry>,
+    /// Completion cycle of each computation (its `−M⁻¹` stage done).
+    pub completion_cycles: Vec<usize>,
+}
+
+impl CycleTrace {
+    /// Latency of computation `k` from its cycle-0-relative start.
+    ///
+    /// For `k = 0` this is the single-computation latency the paper's
+    /// Figure 10 reports.
+    pub fn latency_cycles(&self, k: usize) -> usize {
+        let start = self
+            .entries
+            .iter()
+            .filter(|e| e.computation == k)
+            .map(|e| e.start_cycle)
+            .min()
+            .expect("computation exists");
+        self.completion_cycles[k] - start
+    }
+
+    /// Emergent initiation interval: the steady-state spacing between
+    /// consecutive completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two computations were traced.
+    pub fn initiation_interval(&self) -> usize {
+        assert!(
+            self.completion_cycles.len() >= 2,
+            "need at least two computations to measure the interval"
+        );
+        let n = self.completion_cycles.len();
+        self.completion_cycles[n - 1] - self.completion_cycles[n - 2]
+    }
+
+    /// Utilization of a unit: busy cycles ÷ makespan.
+    pub fn utilization(&self, unit: Unit) -> f64 {
+        let busy: usize = self
+            .entries
+            .iter()
+            .filter(|e| e.unit == unit)
+            .map(|e| e.cycles)
+            .sum();
+        let end = *self.completion_cycles.last().expect("non-empty");
+        busy as f64 / end as f64
+    }
+}
+
+/// Steps `computations` back-to-back gradient computations through the
+/// pipeline described by `schedule`, with all inputs available at cycle 0.
+///
+/// The model: each computation makes `n_links + offset/2` passes through
+/// the folded forward processor (one extra for the ID chain's head start),
+/// each taking `fwd_stage_cycles`; the backward processor consumes links
+/// in the same order after the forward pass completes; the `−M⁻¹` stage
+/// finishes the computation. Units serve one computation's slot at a time
+/// — exactly the §5.2 folding discipline.
+///
+/// # Panics
+///
+/// Panics if `computations == 0`.
+pub fn step_pipeline(schedule: &CycleSchedule, computations: usize) -> CycleTrace {
+    assert!(computations > 0, "need at least one computation");
+    let fwd_slots = schedule.n_links + schedule.id_offset_iterations / 2;
+    let bwd_slots = schedule.n_links + schedule.id_offset_iterations / 2;
+    let minv_cycles = schedule.minv_cycles + schedule.limb_sync_cycles;
+
+    let mut entries = Vec::new();
+    let mut completion_cycles = Vec::with_capacity(computations);
+    // Next free cycle of each exclusive unit.
+    let mut fwd_free = 0usize;
+    let mut bwd_free = 0usize;
+    let mut minv_free = 0usize;
+
+    for k in 0..computations {
+        // Forward pass: sequential link slots on the folded processor.
+        let mut prev_done = 0usize; // data dependency within the computation
+        for slot in 0..fwd_slots {
+            let start = fwd_free.max(prev_done);
+            let cycles = schedule.fwd_stage_cycles;
+            entries.push(TraceEntry {
+                unit: Unit::Forward,
+                computation: k,
+                slot,
+                start_cycle: start,
+                cycles,
+            });
+            fwd_free = start + cycles;
+            prev_done = start + cycles;
+        }
+        let fwd_done = prev_done;
+
+        // Backward pass: needs the forward pass's results (through the
+        // interstage SRAM), then runs its own sequential link slots.
+        let mut prev_done = fwd_done;
+        for slot in 0..bwd_slots {
+            let start = bwd_free.max(prev_done);
+            let cycles = schedule.bwd_cycles_per_link;
+            entries.push(TraceEntry {
+                unit: Unit::Backward,
+                computation: k,
+                slot,
+                start_cycle: start,
+                cycles,
+            });
+            bwd_free = start + cycles;
+            prev_done = start + cycles;
+        }
+        let bwd_done = prev_done;
+
+        // Fused −M⁻¹ stage.
+        let start = minv_free.max(bwd_done);
+        entries.push(TraceEntry {
+            unit: Unit::Minv,
+            computation: k,
+            slot: 0,
+            start_cycle: start,
+            cycles: minv_cycles,
+        });
+        minv_free = start + minv_cycles;
+        completion_cycles.push(start + minv_cycles);
+    }
+
+    CycleTrace {
+        entries,
+        completion_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::robots;
+    use robomorphic_core::GradientTemplate;
+
+    fn iiwa_schedule() -> CycleSchedule {
+        GradientTemplate::new()
+            .customize(&robots::iiwa14())
+            .schedule()
+    }
+
+    #[test]
+    fn emergent_single_latency_matches_closed_form() {
+        let schedule = iiwa_schedule();
+        let trace = step_pipeline(&schedule, 1);
+        assert_eq!(
+            trace.latency_cycles(0),
+            schedule.single_latency_cycles(),
+            "cycle-stepped latency must equal the closed-form schedule"
+        );
+        assert_eq!(trace.completion_cycles[0], 34);
+    }
+
+    #[test]
+    fn emergent_initiation_interval_matches_closed_form() {
+        let schedule = iiwa_schedule();
+        let trace = step_pipeline(&schedule, 16);
+        assert_eq!(
+            trace.initiation_interval(),
+            schedule.initiation_interval(),
+            "steady-state spacing must equal the closed-form interval"
+        );
+    }
+
+    #[test]
+    fn emergent_numbers_for_all_builtin_robots() {
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas(), robots::hyq_floating()] {
+            let schedule = GradientTemplate::new().customize(&robot).schedule();
+            let trace = step_pipeline(&schedule, 8);
+            assert_eq!(
+                trace.latency_cycles(0),
+                schedule.single_latency_cycles(),
+                "{}",
+                robot.name()
+            );
+            assert_eq!(
+                trace.initiation_interval(),
+                schedule.initiation_interval(),
+                "{}",
+                robot.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_overlaps_forward_and_backward() {
+        // While computation k drains through the backward pass, k+1 must
+        // already occupy the forward processor.
+        let trace = step_pipeline(&iiwa_schedule(), 2);
+        let k0_bwd_start = trace
+            .entries
+            .iter()
+            .find(|e| e.computation == 0 && e.unit == Unit::Backward)
+            .unwrap()
+            .start_cycle;
+        let k1_fwd_start = trace
+            .entries
+            .iter()
+            .find(|e| e.computation == 1 && e.unit == Unit::Forward)
+            .unwrap()
+            .start_cycle;
+        assert!(
+            k1_fwd_start < trace.completion_cycles[0],
+            "no overlap: fwd(k=1) at {k1_fwd_start}, done(k=0) at {}",
+            trace.completion_cycles[0]
+        );
+        assert!(k0_bwd_start >= k1_fwd_start.min(k0_bwd_start));
+    }
+
+    #[test]
+    fn forward_processor_saturates_in_steady_state() {
+        // The forward pipe is the bottleneck (II = fwd slots × stage
+        // cycles), so its utilization approaches 1 for long streams.
+        let trace = step_pipeline(&iiwa_schedule(), 64);
+        assert!(
+            trace.utilization(Unit::Forward) > 0.95,
+            "forward utilization {:.2}",
+            trace.utilization(Unit::Forward)
+        );
+        // The backward pipe is lighter and mostly idle.
+        assert!(trace.utilization(Unit::Backward) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one computation")]
+    fn zero_computations_panics() {
+        let _ = step_pipeline(&iiwa_schedule(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The `X·` transform matrix-vector functional unit, as hardware would
+//! build it.
+//!
+//! Every entry of the joint transform `ᵢX_λᵢ(q) = X_J(q)·X_T` is *affine in
+//! the joint trigonometry*: `x_ij = α_ij·cos q + β_ij·sin q + γ_ij`, with
+//! the coefficients fixed per robot (for prismatic joints the same form
+//! holds with `sin q := q`, `cos q := 1`). The hardware unit therefore is:
+//! a bank of constant multipliers forming the live entries from the
+//! `sin`/`cos` inputs, feeding a pruned tree of variable multipliers and
+//! adders (Figure 7). [`XUnit`] is exactly that structure: coefficients
+//! extracted at customization time, dead entries pruned by the structural
+//! mask, evaluation generic over the (fixed-point) scalar.
+
+use robo_model::{JointType, RobotModel};
+use robo_spatial::{Force, Motion, Scalar};
+use robo_sparsity::{x_pattern, Mask6};
+
+/// How a functional unit's dot-product trees accumulate partial products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Accumulation {
+    /// Round after every multiply: discrete multiplier + adder-tree
+    /// hardware (the conservative model, and the default).
+    #[default]
+    PerOperation,
+    /// Accumulate full-width products and round once: DSP-block MAC
+    /// cascades (e.g. DSP48's 48-bit accumulator).
+    Wide,
+}
+
+/// Coefficients of one matrix entry: `α·cos + β·sin + γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EntryCoeffs<S> {
+    alpha: S,
+    beta: S,
+    gamma: S,
+}
+
+/// A pruned transform matrix-vector unit for one joint, evaluating
+/// `X(q)·m` and `X(q)ᵀ·f` from cached `sin q` / `cos q` inputs.
+#[derive(Debug, Clone)]
+pub struct XUnit<S> {
+    coeffs: [[EntryCoeffs<S>; 6]; 6],
+    mask: Mask6,
+    joint: JointType,
+    accumulation: Accumulation,
+}
+
+impl<S: Scalar> XUnit<S> {
+    /// Builds the unit for joint `i` of `robot`, pruned to the joint's own
+    /// structural pattern.
+    pub fn for_joint(robot: &RobotModel, i: usize) -> Self {
+        Self::with_mask(robot, i, x_pattern(robot, i))
+    }
+
+    /// Builds the unit for joint `i` with an explicit (e.g. superposed)
+    /// mask, as the paper's shared `X·` unit does (§6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the joint's own pattern is not contained
+    /// in `mask` (the unit would compute wrong results).
+    pub fn with_mask(robot: &RobotModel, i: usize, mask: Mask6) -> Self {
+        debug_assert!(
+            x_pattern(robot, i).is_subset_of(&mask),
+            "mask must cover joint {i}'s structural pattern"
+        );
+        // The affine decomposition: X(s,c) = c·A + s·B + C, recovered from
+        // three algebraic probe evaluations (s, c treated as independent).
+        let probe = |s: f64, c: f64| {
+            robot
+                .joint_transform_sincos::<f64>(i, s, c)
+                .to_mat6()
+        };
+        let m00 = probe(0.0, 0.0); // C
+        let m01 = probe(0.0, 1.0); // A + C
+        let m10 = probe(1.0, 0.0); // B + C
+        let mut coeffs = [[EntryCoeffs {
+            alpha: S::zero(),
+            beta: S::zero(),
+            gamma: S::zero(),
+        }; 6]; 6];
+        for r in 0..6 {
+            for cidx in 0..6 {
+                coeffs[r][cidx] = EntryCoeffs {
+                    alpha: S::from_f64(m01.m[r][cidx] - m00.m[r][cidx]),
+                    beta: S::from_f64(m10.m[r][cidx] - m00.m[r][cidx]),
+                    gamma: S::from_f64(m00.m[r][cidx]),
+                };
+            }
+        }
+        Self {
+            coeffs,
+            mask,
+            joint: robot.links()[i].joint,
+            accumulation: Accumulation::PerOperation,
+        }
+    }
+
+    /// The structural mask this unit was pruned to.
+    pub fn mask(&self) -> &Mask6 {
+        &self.mask
+    }
+
+    /// Sets the accumulation mode of the dot-product trees.
+    pub fn set_accumulation(&mut self, accumulation: Accumulation) {
+        self.accumulation = accumulation;
+    }
+
+    /// The current accumulation mode.
+    pub fn accumulation(&self) -> Accumulation {
+        self.accumulation
+    }
+
+    /// Forms the live matrix entries from the trig inputs (the constant
+    /// multiplier bank). For prismatic joints pass `sin_q = q`,
+    /// `cos_q = 1`; [`XUnit::inputs_for`] does this.
+    fn entries(&self, sin_q: S, cos_q: S) -> [[S; 6]; 6] {
+        let mut out = [[S::zero(); 6]; 6];
+        for r in 0..6 {
+            for c in 0..6 {
+                if self.mask.m[r][c] {
+                    let k = &self.coeffs[r][c];
+                    out[r][c] = k.alpha * cos_q + k.beta * sin_q + k.gamma;
+                }
+            }
+        }
+        out
+    }
+
+    /// The `(sin, cos)` input pair for joint position `q`, handling the
+    /// prismatic convention.
+    pub fn inputs_for(&self, q: S) -> (S, S) {
+        if self.joint.is_revolute() {
+            (q.sin(), q.cos())
+        } else {
+            (q, S::one())
+        }
+    }
+
+    #[inline]
+    fn row_dot(&self, pairs: &[(S, S)]) -> S {
+        match self.accumulation {
+            Accumulation::PerOperation => pairs
+                .iter()
+                .fold(S::zero(), |acc, (a, b)| acc + *a * *b),
+            Accumulation::Wide => S::dot_accumulate(pairs),
+        }
+    }
+
+    /// Evaluates `X(q)·m` through the pruned tree.
+    pub fn apply_motion(&self, sin_q: S, cos_q: S, m: Motion<S>) -> Motion<S> {
+        let x = self.entries(sin_q, cos_q);
+        let v = m.to_array();
+        let mut out = [S::zero(); 6];
+        let mut pairs = Vec::with_capacity(6);
+        for r in 0..6 {
+            pairs.clear();
+            for c in 0..6 {
+                if self.mask.m[r][c] {
+                    pairs.push((x[r][c], v[c]));
+                }
+            }
+            out[r] = self.row_dot(&pairs);
+        }
+        Motion::from_array(out)
+    }
+
+    /// Evaluates the backward-pass operation `X(q)ᵀ·f` through the same
+    /// (transposed) tree.
+    pub fn tr_apply_force(&self, sin_q: S, cos_q: S, f: Force<S>) -> Force<S> {
+        let x = self.entries(sin_q, cos_q);
+        let v = f.to_array();
+        let mut out = [S::zero(); 6];
+        let mut pairs = Vec::with_capacity(6);
+        for c in 0..6 {
+            pairs.clear();
+            for r in 0..6 {
+                if self.mask.m[r][c] {
+                    pairs.push((x[r][c], v[r]));
+                }
+            }
+            out[c] = self.row_dot(&pairs);
+        }
+        Force::from_array(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_fixed::Fix32_16;
+    use robo_model::robots;
+    use robo_sparsity::superposition_pattern;
+
+    fn rand_motion(seed: &mut u64) -> Motion<f64> {
+        let mut next = || {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        Motion::from_array([next(), next(), next(), next(), next(), next()])
+    }
+
+    #[test]
+    fn matches_reference_transform_f64() {
+        let robot = robots::iiwa14();
+        let mut seed = 4;
+        for i in 0..7 {
+            let unit = XUnit::<f64>::for_joint(&robot, i);
+            for q in [0.0, 0.7, -1.9, 2.4] {
+                let x_ref = robot.joint_transform::<f64>(i, q);
+                let m = rand_motion(&mut seed);
+                let (s, c) = unit.inputs_for(q);
+                let got = unit.apply_motion(s, c, m);
+                let want = x_ref.apply_motion(m);
+                assert!(
+                    (got - want).max_abs() < 1e-12,
+                    "joint {i} q={q}: {got:?} vs {want:?}"
+                );
+                let f = Force::new(m.ang, m.lin);
+                let got_f = unit.tr_apply_force(s, c, f);
+                let want_f = x_ref.tr_apply_force(f);
+                assert!((got_f - want_f).max_abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_mask_gives_same_results() {
+        // The shared unit covers every joint's pattern, so results match the
+        // per-joint units exactly.
+        let robot = robots::iiwa14();
+        let sup = superposition_pattern(&robot);
+        let mut seed = 9;
+        for i in 0..7 {
+            let own = XUnit::<f64>::for_joint(&robot, i);
+            let shared = XUnit::<f64>::with_mask(&robot, i, sup);
+            let m = rand_motion(&mut seed);
+            let (s, c) = own.inputs_for(1.1);
+            assert!(
+                (own.apply_motion(s, c, m) - shared.apply_motion(s, c, m)).max_abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn prismatic_affine_in_q() {
+        let robot = robots::serial_chain(3, robo_model::JointType::PrismaticY);
+        let unit = XUnit::<f64>::for_joint(&robot, 1);
+        let mut seed = 14;
+        let m = rand_motion(&mut seed);
+        for q in [0.0, 0.4, -0.8] {
+            let (s, c) = unit.inputs_for(q);
+            assert_eq!((s, c), (q, 1.0));
+            let want = robot.joint_transform::<f64>(1, q).apply_motion(m);
+            assert!((unit.apply_motion(s, c, m) - want).max_abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wide_accumulation_never_worse_for_narrow_types() {
+        // DSP-cascade accumulation rounds once per row instead of once per
+        // product: for a 6-fractional-bit type the row error shrinks.
+        use robo_fixed::Fix14_6;
+        let robot = robots::iiwa14();
+        let mut seed = 55;
+        let mut err_per_op = 0.0_f64;
+        let mut err_wide = 0.0_f64;
+        // Accumulated over many samples: a single rounding per row beats a
+        // rounding per product on average (individual rows can go either
+        // way).
+        for trial in 0..64 {
+            for i in 0..7 {
+                let mut unit = XUnit::<Fix14_6>::for_joint(&robot, i);
+                let m = rand_motion(&mut seed).scale(3.0);
+                let q = 0.17 * trial as f64 - 1.9;
+                let want = robot.joint_transform::<f64>(i, q).apply_motion(m);
+                let (s, c) = unit.inputs_for(Fix14_6::from_f64(q));
+                let per_op = unit.apply_motion(s, c, m.cast()).cast::<f64>();
+                unit.set_accumulation(Accumulation::Wide);
+                let wide = unit.apply_motion(s, c, m.cast()).cast::<f64>();
+                err_per_op += (per_op - want).max_abs();
+                err_wide += (wide - want).max_abs();
+            }
+        }
+        assert!(
+            err_wide < err_per_op,
+            "mean wide error {err_wide:.3e} should beat per-op {err_per_op:.3e}"
+        );
+    }
+
+    #[test]
+    fn accumulation_modes_identical_in_f64() {
+        let robot = robots::iiwa14();
+        let mut unit = XUnit::<f64>::for_joint(&robot, 3);
+        let m = Motion::from_array([0.4, -0.2, 0.9, 0.1, -0.6, 0.3]);
+        let (s, c) = unit.inputs_for(0.8);
+        let a = unit.apply_motion(s, c, m);
+        unit.set_accumulation(Accumulation::Wide);
+        let b = unit.apply_motion(s, c, m);
+        assert!((a - b).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn fixed_point_unit_close_to_reference() {
+        let robot = robots::iiwa14();
+        let mut seed = 23;
+        for i in 0..7 {
+            let unit = XUnit::<Fix32_16>::for_joint(&robot, i);
+            let q = 0.9_f64;
+            let m = rand_motion(&mut seed);
+            let (s, c) = unit.inputs_for(Fix32_16::from_f64(q));
+            let got = unit.apply_motion(s, c, m.cast()).cast::<f64>();
+            let want = robot.joint_transform::<f64>(i, q).apply_motion(m);
+            assert!(
+                (got - want).max_abs() < 1e-3,
+                "joint {i}: fixed-point error too large"
+            );
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Morphology-derived matrix sparsity analysis.
+//!
+//! Robomorphic computing's central hardware optimization (§4, §5.2): the
+//! joint transformation matrices `ᵢX_λᵢ`, link inertia matrices `Iᵢ`, and
+//! motion subspace matrices `Sᵢ` have *deterministic sparsity patterns
+//! derived from the robot model*, so the multiplier–adder trees of the
+//! matrix-vector functional units can be pruned per robot. This crate
+//! computes those patterns and the resulting operation counts:
+//!
+//! * [`Mask6`] — a 6×6 structural sparsity pattern;
+//! * [`x_pattern`] / [`superposition_pattern`] — per-joint and
+//!   superposed transform patterns (the paper's Figure 11 design choice);
+//! * [`matvec_ops`] — multiplier/adder counts for a pruned tree
+//!   implementation of a masked matrix-vector product;
+//! * [`fig11_report`] / [`joint_reduction`] — the paper's Figure 11 and §4
+//!   headline numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use robo_model::robots;
+//! use robo_sparsity::joint_reduction;
+//!
+//! // §4: the iiwa joint between links 1 and 2 has 13/36 nonzeros,
+//! // reducing multipliers by 64% and adders by 77%.
+//! let r = joint_reduction(&robots::iiwa14(), 1);
+//! assert_eq!(r.nonzeros, 13);
+//! assert_eq!(r.mul_reduction_pct.round(), 64.0);
+//! assert_eq!(r.add_reduction_pct.round(), 77.0);
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over fixed-size matrix dimensions are clearer than
+// iterator chains in this numerical code.
+#![allow(clippy::needless_range_loop)]
+
+use robo_model::RobotModel;
+use robo_spatial::Mat6;
+use std::fmt;
+
+/// Tolerance below which a sampled matrix entry is considered structurally
+/// zero.
+const STRUCTURAL_TOL: f64 = 1e-9;
+
+/// Joint positions used to probe the structural pattern of `X(q)` — chosen
+/// so that no trigonometric entry vanishes at all sample points.
+const PROBE_POSITIONS: [f64; 3] = [0.731, -1.303, 2.117];
+
+/// A 6×6 structural sparsity pattern (`true` = structurally nonzero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask6 {
+    /// Pattern entries, `m[row][col]`.
+    pub m: [[bool; 6]; 6],
+}
+
+impl Mask6 {
+    /// The fully dense pattern.
+    pub fn full() -> Self {
+        Self { m: [[true; 6]; 6] }
+    }
+
+    /// The empty pattern.
+    pub fn empty() -> Self {
+        Self { m: [[false; 6]; 6] }
+    }
+
+    /// The robot-agnostic transform pattern: the upper-right 3×3 quadrant of
+    /// any motion transform is zero regardless of robot model (Figure 11's
+    /// "Robot-Agnostic" baseline).
+    pub fn robot_agnostic_transform() -> Self {
+        let mut m = [[true; 6]; 6];
+        for row in m.iter_mut().take(3) {
+            for x in row.iter_mut().skip(3) {
+                *x = false;
+            }
+        }
+        Self { m }
+    }
+
+    /// Derives the structural pattern from a sampled matrix.
+    pub fn from_mat6(mat: &Mat6<f64>, tol: f64) -> Self {
+        let mut m = [[false; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                m[i][j] = mat.m[i][j].abs() > tol;
+            }
+        }
+        Self { m }
+    }
+
+    /// Number of structural nonzeros.
+    pub fn count(&self) -> usize {
+        self.m.iter().flatten().filter(|x| **x).count()
+    }
+
+    /// Number of nonzeros in a row.
+    pub fn row_count(&self, row: usize) -> usize {
+        self.m[row].iter().filter(|x| **x).count()
+    }
+
+    /// Union of two patterns (superposition, §6.2).
+    pub fn union(&self, other: &Mask6) -> Mask6 {
+        let mut m = [[false; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                m[i][j] = self.m[i][j] || other.m[i][j];
+            }
+        }
+        Mask6 { m }
+    }
+
+    /// Whether every nonzero of `self` is also nonzero in `other`.
+    pub fn is_subset_of(&self, other: &Mask6) -> bool {
+        for i in 0..6 {
+            for j in 0..6 {
+                if self.m[i][j] && !other.m[i][j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sparsity as a fraction of zero entries (the paper quotes "around 30%
+    /// to 60% sparse" for these matrices, §5.1).
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.count() as f64 / 36.0
+    }
+}
+
+impl fmt::Display for Mask6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.m {
+            for x in row {
+                write!(f, "{}", if *x { " *" } else { " ." })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Multiplier and adder counts of a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// Number of multipliers.
+    pub muls: usize,
+    /// Number of adders.
+    pub adds: usize,
+}
+
+impl OpCount {
+    /// Total operations.
+    pub fn total(&self) -> usize {
+        self.muls + self.adds
+    }
+}
+
+/// Operation counts for a masked 6×6 matrix-vector multiply implemented as
+/// a pruned tree of multipliers and adders (one dot-product tree per row,
+/// as in the paper's Figure 7).
+pub fn matvec_ops(mask: &Mask6) -> OpCount {
+    let mut muls = 0;
+    let mut adds = 0;
+    for row in 0..6 {
+        let nnz = mask.row_count(row);
+        muls += nnz;
+        adds += nnz.saturating_sub(1);
+    }
+    OpCount { muls, adds }
+}
+
+/// The structural pattern of joint `i`'s transform `ᵢX_λᵢ(q)`, as the union
+/// over probe positions (so every trigonometric entry registers).
+pub fn x_pattern(robot: &RobotModel, i: usize) -> Mask6 {
+    let mut mask = Mask6::empty();
+    for q in PROBE_POSITIONS {
+        let x = robot.joint_transform::<f64>(i, q).to_mat6();
+        mask = mask.union(&Mask6::from_mat6(&x, STRUCTURAL_TOL));
+    }
+    mask
+}
+
+/// The superposition of all joints' transform patterns — the paper's §6.2
+/// design choice: "we implemented a single transformation matrix-vector
+/// multiplication unit for all seven joints ... a superposition of the
+/// matrix sparsity patterns in all individual joints".
+pub fn superposition_pattern(robot: &RobotModel) -> Mask6 {
+    let mut mask = Mask6::empty();
+    for i in 0..robot.dof() {
+        mask = mask.union(&x_pattern(robot, i));
+    }
+    mask
+}
+
+/// The structural pattern of link `i`'s spatial inertia (fixed shape for
+/// all robots; entry-level sparsity depends on the link's inertia values).
+pub fn inertia_pattern(robot: &RobotModel, i: usize) -> Mask6 {
+    let mat = robot.links()[i].inertia.to_mat6();
+    Mask6::from_mat6(&mat, STRUCTURAL_TOL)
+}
+
+/// The §4 headline numbers for one joint: nonzeros and the multiplier /
+/// adder reductions of a pruned matvec tree vs a dense one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointReduction {
+    /// Structural nonzeros out of 36.
+    pub nonzeros: usize,
+    /// Percent reduction in multipliers vs dense (dense = 36).
+    pub mul_reduction_pct: f64,
+    /// Percent reduction in adders vs dense (dense = 30).
+    pub add_reduction_pct: f64,
+}
+
+/// Computes the multiplier/adder reduction for joint `i` (see [`Mask6`]).
+pub fn joint_reduction(robot: &RobotModel, i: usize) -> JointReduction {
+    let dense = matvec_ops(&Mask6::full());
+    let pruned = matvec_ops(&x_pattern(robot, i));
+    JointReduction {
+        nonzeros: x_pattern(robot, i).count(),
+        mul_reduction_pct: 100.0 * (1.0 - pruned.muls as f64 / dense.muls as f64),
+        add_reduction_pct: 100.0 * (1.0 - pruned.adds as f64 / dense.adds as f64),
+    }
+}
+
+/// The data behind the paper's Figure 11: operation counts of the
+/// transform matvec unit under four sparsity treatments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityReport {
+    /// Dense 6×6 (Figure 11 "No Sparsity").
+    pub dense: OpCount,
+    /// Upper-right quadrant pruned (Figure 11 "Robot-Agnostic").
+    pub robot_agnostic: OpCount,
+    /// Single unit covering the superposition of all joints (Figure 11
+    /// "Robomorphic, Superposition All Joints" — the paper's design choice).
+    pub superposition: OpCount,
+    /// Mean of per-joint pruned units (Figure 11 "Robomorphic, Average All
+    /// Joints" — the bound requiring one unit per joint).
+    pub average_muls: f64,
+    /// Adder counterpart of [`SparsityReport::average_muls`].
+    pub average_adds: f64,
+    /// Per-joint operation counts.
+    pub per_joint: Vec<OpCount>,
+    /// Fraction of the *robot-specific* sparsity (zeros beyond the
+    /// robot-agnostic pattern) that the single superposition unit retains,
+    /// relative to the average per-joint bound — §6.2's "recovered 33.3% of
+    /// the average robomorphic sparsity of the individual joint matrices in
+    /// a single matrix-vector multiplication unit".
+    pub recovered_sparsity_fraction: f64,
+}
+
+/// Computes the Figure 11 report for a robot.
+pub fn fig11_report(robot: &RobotModel) -> SparsityReport {
+    let dense = matvec_ops(&Mask6::full());
+    let robot_agnostic = matvec_ops(&Mask6::robot_agnostic_transform());
+    let superposition_mask = superposition_pattern(robot);
+    let superposition = matvec_ops(&superposition_mask);
+    let per_joint: Vec<OpCount> = (0..robot.dof())
+        .map(|i| matvec_ops(&x_pattern(robot, i)))
+        .collect();
+    let n = per_joint.len() as f64;
+    let average_muls = per_joint.iter().map(|c| c.muls as f64).sum::<f64>() / n;
+    let average_adds = per_joint.iter().map(|c| c.adds as f64).sum::<f64>() / n;
+
+    let avg_nnz: f64 = (0..robot.dof())
+        .map(|i| x_pattern(robot, i).count() as f64)
+        .sum::<f64>()
+        / n;
+    // Zeros recovered *beyond* the robot-agnostic pattern (27 nonzeros):
+    // superposition vs the per-joint average bound.
+    let ra_nnz = Mask6::robot_agnostic_transform().count() as f64;
+    let avg_specific_zeros = ra_nnz - avg_nnz;
+    let super_specific_zeros = ra_nnz - superposition_mask.count() as f64;
+    let recovered = if avg_specific_zeros > 0.0 {
+        (super_specific_zeros / avg_specific_zeros).max(0.0)
+    } else {
+        0.0
+    };
+
+    SparsityReport {
+        dense,
+        robot_agnostic,
+        superposition,
+        average_muls,
+        average_adds,
+        per_joint,
+        recovered_sparsity_fraction: recovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::{robots, JointType};
+
+    #[test]
+    fn dense_counts() {
+        let c = matvec_ops(&Mask6::full());
+        assert_eq!(c, OpCount { muls: 36, adds: 30 });
+        assert_eq!(c.total(), 66);
+    }
+
+    #[test]
+    fn robot_agnostic_counts() {
+        // Upper-right 3×3 pruned: 27 muls; top rows have 3 terms → 2 adds.
+        let c = matvec_ops(&Mask6::robot_agnostic_transform());
+        assert_eq!(c, OpCount { muls: 27, adds: 21 });
+    }
+
+    #[test]
+    fn section4_iiwa_joint2_numbers() {
+        let r = joint_reduction(&robots::iiwa14(), 1);
+        assert_eq!(r.nonzeros, 13);
+        assert!((r.mul_reduction_pct - 63.9).abs() < 1.0, "{r:?}");
+        assert!((r.add_reduction_pct - 76.7).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn x_pattern_is_stable_across_probes() {
+        // The structural mask must contain every per-sample mask.
+        let robot = robots::iiwa14();
+        for i in 0..7 {
+            let mask = x_pattern(&robot, i);
+            for q in [0.1, 0.9, -2.0, 3.0] {
+                let inst = Mask6::from_mat6(&robot.joint_transform::<f64>(i, q).to_mat6(), 1e-9);
+                assert!(inst.is_subset_of(&mask), "joint {i} at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_contains_all_joints() {
+        let robot = robots::hyq();
+        let sup = superposition_pattern(&robot);
+        for i in 0..robot.dof() {
+            assert!(x_pattern(&robot, i).is_subset_of(&sup));
+        }
+        // And respects the robot-agnostic bound.
+        assert!(sup.is_subset_of(&Mask6::robot_agnostic_transform()));
+    }
+
+    #[test]
+    fn iiwa_fig11_shape() {
+        // Figure 11's ordering: dense > robot-agnostic > superposition >
+        // average per-joint.
+        let rep = fig11_report(&robots::iiwa14());
+        assert!(rep.dense.muls > rep.robot_agnostic.muls);
+        assert!(rep.robot_agnostic.muls > rep.superposition.muls);
+        assert!(rep.superposition.muls as f64 > rep.average_muls);
+        // §6.2: superposition recovers roughly a third of the average
+        // per-joint sparsity.
+        assert!(
+            rep.recovered_sparsity_fraction > 0.2 && rep.recovered_sparsity_fraction < 0.55,
+            "recovered {:.3}",
+            rep.recovered_sparsity_fraction
+        );
+    }
+
+    #[test]
+    fn paper_sparsity_band() {
+        // §5.1: the matrices are "around 30% to 60% sparse".
+        let robot = robots::iiwa14();
+        for i in 0..7 {
+            let s = x_pattern(&robot, i).sparsity();
+            assert!((0.3..=0.7).contains(&s), "joint {i} sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn inertia_pattern_shape() {
+        // Spatial inertia: symmetric, diagonal mass block, zero diagonal in
+        // the skew blocks.
+        let robot = robots::iiwa14();
+        let p = inertia_pattern(&robot, 0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(p.m[i][j], p.m[j][i], "symmetry at ({i},{j})");
+            }
+        }
+        // Lower-right block is m·identity.
+        for i in 3..6 {
+            for j in 3..6 {
+                assert_eq!(p.m[i][j], i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn prismatic_chain_patterns_differ_from_revolute() {
+        let rev = superposition_pattern(&robots::serial_chain(4, JointType::RevoluteZ));
+        let pri = superposition_pattern(&robots::serial_chain(4, JointType::PrismaticZ));
+        assert_ne!(rev, pri);
+    }
+
+    #[test]
+    fn mask_display_is_grid() {
+        let s = format!("{}", Mask6::robot_agnostic_transform());
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains('*') && s.contains('.'));
+    }
+}

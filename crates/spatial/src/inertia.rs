@@ -1,0 +1,234 @@
+//! Spatial rigid-body inertia.
+
+use crate::{Force, Mat3, Mat6, Motion, Scalar, Vec3};
+use core::ops::Add;
+
+/// The spatial inertia of a rigid body, expressed at the body frame origin.
+///
+/// Stored structurally as mass `m`, first moment of mass `h = m·c` (`c` the
+/// center of mass), and the rotational inertia `Ī` about the body *origin*.
+/// As a 6×6:
+///
+/// ```text
+///     [ Ī     ĥ  ]
+/// I = [ ĥᵀ   m·1 ]
+/// ```
+///
+/// The fixed sparsity pattern of this matrix — dense symmetric 3×3 block, a
+/// skew block, and a diagonal block — is what the paper's `I·` functional
+/// units exploit: all entries are per-robot *constants*, so every multiplier
+/// in the unit is a constant multiplier (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::{SpatialInertia, Mat3, Vec3, Motion};
+///
+/// let i = SpatialInertia::<f64>::from_com_params(
+///     2.0,
+///     Vec3::new(0.0, 0.0, 0.1),
+///     Mat3::identity().scale(0.05),
+/// );
+/// let a = Motion::new(Vec3::zero(), Vec3::new(0.0, 0.0, 1.0));
+/// let f = i.apply(a);
+/// assert!((f.lin.z - 2.0).abs() < 1e-12); // F = m a for pure translation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialInertia<S> {
+    /// Mass.
+    pub mass: S,
+    /// First moment of mass `h = m·c`.
+    pub h: Vec3<S>,
+    /// Rotational inertia about the body origin (symmetric).
+    pub ibar: Mat3<S>,
+}
+
+impl<S: Scalar> SpatialInertia<S> {
+    /// Creates an inertia from mass, center of mass, and the rotational
+    /// inertia about the *center of mass* (applies the parallel-axis
+    /// theorem).
+    pub fn from_com_params(mass: S, com: Vec3<S>, inertia_about_com: Mat3<S>) -> Self {
+        // Parallel axis: Ī = I_c + m (cᵀc·1 − c cᵀ).
+        let c2 = com.dot(com);
+        let shift = (Mat3::identity().scale(c2) - Mat3::outer(com, com)).scale(mass);
+        Self {
+            mass,
+            h: com.scale(mass),
+            ibar: inertia_about_com + shift,
+        }
+    }
+
+    /// The zero inertia (massless body).
+    pub fn zero() -> Self {
+        Self {
+            mass: S::zero(),
+            h: Vec3::zero(),
+            ibar: Mat3::zero(),
+        }
+    }
+
+    /// Converts between scalar types through `f64`.
+    pub fn cast<T: Scalar>(self) -> SpatialInertia<T> {
+        SpatialInertia {
+            mass: T::from_f64(self.mass.to_f64()),
+            h: self.h.cast(),
+            ibar: self.ibar.cast(),
+        }
+    }
+
+    /// Applies the inertia to a motion vector: `f = I v`.
+    ///
+    /// ```text
+    /// f.ang = Ī ω + h × v
+    /// f.lin = m v − h × ω
+    /// ```
+    #[inline]
+    pub fn apply(&self, v: Motion<S>) -> Force<S> {
+        Force::new(
+            self.ibar.mul_vec(v.ang) + self.h.cross(v.lin),
+            v.lin.scale(self.mass) - self.h.cross(v.ang),
+        )
+    }
+
+    /// The dense 6×6 form (used to seed composite inertias in the CRBA).
+    pub fn to_mat6(&self) -> Mat6<S> {
+        let hhat = Mat3::skew(self.h);
+        Mat6::from_blocks(
+            self.ibar,
+            hhat,
+            hhat.transpose(),
+            Mat3::identity().scale(self.mass),
+        )
+    }
+
+    /// Center of mass `c = h / m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the mass is zero.
+    pub fn com(&self) -> Vec3<S> {
+        debug_assert!(self.mass != S::zero(), "center of mass of massless body");
+        let inv = S::one() / self.mass;
+        self.h.scale(inv)
+    }
+
+    /// Kinetic energy `½ vᵀ I v` of a body moving with spatial velocity `v`.
+    pub fn kinetic_energy(&self, v: Motion<S>) -> S {
+        let half = S::from_f64(0.5);
+        v.dot(self.apply(v)) * half
+    }
+
+    /// Re-expresses this inertia in the parent frame: given the transform
+    /// `x = ᴮX_A` (parent A → child B) with the inertia in B coordinates,
+    /// returns it in A coordinates (`I_A = Xᵀ I_B X`). Used to lump bodies
+    /// joined by fixed joints.
+    pub fn transformed_to_parent(&self, x: &crate::Transform<S>) -> SpatialInertia<S> {
+        let xm = x.to_mat6();
+        let dense = xm.transpose() * self.to_mat6() * xm;
+        let (tl, tr, _, br) = dense.to_blocks();
+        // Recover the structural form: mass from the lower-right m·1 block,
+        // h from the skew upper-right block, Ī from the upper-left block.
+        let third = S::from_f64(1.0 / 3.0);
+        let mass = (br.m[0][0] + br.m[1][1] + br.m[2][2]) * third;
+        let half = S::from_f64(0.5);
+        let h = Vec3::new(
+            (tr.m[2][1] - tr.m[1][2]) * half,
+            (tr.m[0][2] - tr.m[2][0]) * half,
+            (tr.m[1][0] - tr.m[0][1]) * half,
+        );
+        SpatialInertia { mass, h, ibar: tl }
+    }
+}
+
+impl<S: Scalar> Add for SpatialInertia<S> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            mass: self.mass + rhs.mass,
+            h: self.h + rhs.h,
+            ibar: self.ibar + rhs.ibar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpatialInertia<f64> {
+        SpatialInertia::from_com_params(
+            3.0,
+            Vec3::new(0.1, -0.05, 0.2),
+            Mat3::from_rows([0.02, 0.001, 0.0], [0.001, 0.03, 0.002], [0.0, 0.002, 0.025]),
+        )
+    }
+
+    #[test]
+    fn dense_and_structural_agree() {
+        let i = sample();
+        let v = Motion::new(Vec3::new(0.4, -0.2, 0.9), Vec3::new(-0.3, 0.8, 0.1));
+        let dense = i.to_mat6().mul_motion(v);
+        let structural = i.apply(v);
+        assert!((dense - structural).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = sample().to_mat6();
+        assert!((m - m.transpose()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_positive() {
+        let i = sample();
+        let v = Motion::new(Vec3::new(1.0, 0.5, -0.2), Vec3::new(0.1, 0.1, 0.9));
+        assert!(i.kinetic_energy(v) > 0.0);
+        assert_eq!(i.kinetic_energy(Motion::zero()), 0.0);
+    }
+
+    #[test]
+    fn com_round_trip() {
+        let com = Vec3::new(0.1, -0.05, 0.2);
+        let i = SpatialInertia::from_com_params(3.0, com, Mat3::identity().scale(0.01));
+        assert!((i.com() - com).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_translation_newton() {
+        let i = sample();
+        let a = Motion::new(Vec3::zero(), Vec3::new(0.0, 0.0, 2.0));
+        let f = i.apply(a);
+        assert!((f.lin.z - 6.0).abs() < 1e-12); // F = m a = 3·2
+    }
+
+    #[test]
+    fn transformed_inertia_preserves_dynamics() {
+        // Applying the transformed inertia in frame A must equal moving the
+        // motion to B, applying there, and moving the force back:
+        // I_A v = Xᵀ (I_B (X v)).
+        use crate::Transform;
+        let i_b = sample();
+        let x = Transform::new(
+            Mat3::coord_rotation_y(0.7) * Mat3::coord_rotation_z(-0.3),
+            Vec3::new(0.2, -0.4, 0.1),
+        );
+        let i_a = i_b.transformed_to_parent(&x);
+        let v = Motion::new(Vec3::new(0.5, -0.2, 0.8), Vec3::new(-0.1, 0.6, 0.3));
+        let direct = i_a.apply(v);
+        let routed = x.tr_apply_force(i_b.apply(x.apply_motion(v)));
+        assert!((direct - routed).max_abs() < 1e-12);
+        // Mass is invariant under rigid transforms.
+        assert!((i_a.mass - i_b.mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_composite_inertia() {
+        let a = sample();
+        let b = SpatialInertia::from_com_params(1.0, Vec3::new(0.0, 0.3, 0.0), Mat3::identity().scale(0.005));
+        let v = Motion::new(Vec3::new(0.2, 0.1, -0.4), Vec3::new(0.5, -0.6, 0.3));
+        let combined = (a + b).apply(v);
+        let separate = a.apply(v) + b.apply(v);
+        assert!((combined - separate).max_abs() < 1e-12);
+    }
+}

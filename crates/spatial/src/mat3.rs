@@ -1,0 +1,335 @@
+//! 3×3 matrices over a generic [`Scalar`].
+
+use crate::{Scalar, Vec3};
+use core::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A 3×3 matrix stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::{Mat3, Vec3};
+///
+/// let r = Mat3::<f64>::coord_rotation_z(core::f64::consts::FRAC_PI_2);
+/// // A coordinate rotation expresses parent-frame vectors in child
+/// // coordinates: the parent x-axis, seen from a child frame rotated +90°
+/// // about z, points along the child's -y axis.
+/// let v = r.mul_vec(Vec3::new(1.0, 0.0, 0.0));
+/// assert!((v.y - (-1.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat3<S> {
+    /// Rows of the matrix: `m[row][col]`.
+    pub m: [[S; 3]; 3],
+}
+
+impl<S: Scalar> Mat3<S> {
+    /// Builds a matrix from rows.
+    #[inline]
+    pub fn from_rows(r0: [S; 3], r1: [S; 3], r2: [S; 3]) -> Self {
+        Self { m: [r0, r1, r2] }
+    }
+
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Self {
+            m: [[S::zero(); 3]; 3],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            out.m[i][i] = S::one();
+        }
+        out
+    }
+
+    /// Converts an `f64` matrix into this scalar type.
+    pub fn from_f64(v: [[f64; 3]; 3]) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = S::from_f64(v[i][j]);
+            }
+        }
+        out
+    }
+
+    /// Converts to an `f64` matrix.
+    pub fn to_f64(self) -> [[f64; 3]; 3] {
+        let mut out = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                out[i][j] = self.m[i][j].to_f64();
+            }
+        }
+        out
+    }
+
+    /// Converts between scalar types through `f64`.
+    pub fn cast<T: Scalar>(self) -> Mat3<T> {
+        Mat3::from_f64(self.to_f64())
+    }
+
+    /// The skew-symmetric cross-product matrix `v̂` with `v̂ w = v × w`.
+    pub fn skew(v: Vec3<S>) -> Self {
+        Self::from_rows(
+            [S::zero(), -v.z, v.y],
+            [v.z, S::zero(), -v.x],
+            [-v.y, v.x, S::zero()],
+        )
+    }
+
+    /// Outer product `a bᵀ`.
+    pub fn outer(a: Vec3<S>, b: Vec3<S>) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = a[i] * b[j];
+            }
+        }
+        out
+    }
+
+    /// The *coordinate* rotation about x by angle `q`.
+    ///
+    /// This is Featherstone's `rotx`: the transpose of the usual rotation
+    /// matrix. It expresses the coordinates of a vector in a frame that has
+    /// been rotated by `+q` about the x-axis relative to the original frame.
+    pub fn coord_rotation_x(q: S) -> Self {
+        let (s, c) = (q.sin(), q.cos());
+        Self::from_rows(
+            [S::one(), S::zero(), S::zero()],
+            [S::zero(), c, s],
+            [S::zero(), -s, c],
+        )
+    }
+
+    /// The coordinate rotation about y by angle `q` (see [`Mat3::coord_rotation_x`]).
+    pub fn coord_rotation_y(q: S) -> Self {
+        let (s, c) = (q.sin(), q.cos());
+        Self::from_rows(
+            [c, S::zero(), -s],
+            [S::zero(), S::one(), S::zero()],
+            [s, S::zero(), c],
+        )
+    }
+
+    /// The coordinate rotation about z by angle `q` (see [`Mat3::coord_rotation_x`]).
+    pub fn coord_rotation_z(q: S) -> Self {
+        let (s, c) = (q.sin(), q.cos());
+        Self::from_rows(
+            [c, s, S::zero()],
+            [-s, c, S::zero()],
+            [S::zero(), S::zero(), S::one()],
+        )
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3<S>) -> Vec3<S> {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Transposed matrix–vector product `Mᵀ v` without forming `Mᵀ`.
+    #[inline]
+    pub fn tr_mul_vec(&self, v: Vec3<S>) -> Vec3<S> {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[1][0] * v.y + self.m[2][0] * v.z,
+            self.m[0][1] * v.x + self.m[1][1] * v.y + self.m[2][1] * v.z,
+            self.m[0][2] * v.x + self.m[1][2] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[j][i];
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: S) -> Self {
+        let mut out = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] *= s;
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry, as `f64`.
+    pub fn max_abs(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..3 {
+            for j in 0..3 {
+                best = best.max(self.m[i][j].abs().to_f64());
+            }
+        }
+        best
+    }
+
+    /// Whether every entry is finite / non-saturated.
+    pub fn is_valid(&self) -> bool {
+        self.m.iter().flatten().all(|x| x.is_valid())
+    }
+}
+
+impl<S: Scalar> Add for Mat3<S> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] += rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Sub for Mat3<S> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] -= rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Neg for Mat3<S> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        let mut out = self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = -out.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Mul for Mat3<S> {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = S::zero();
+                for (k, rhs_row) in rhs.m.iter().enumerate() {
+                    acc += self.m[i][k] * rhs_row[j];
+                }
+                out.m[i][j] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Index<(usize, usize)> for Mat3<S> {
+    type Output = S;
+
+    fn index(&self, (i, j): (usize, usize)) -> &S {
+        &self.m[i][j]
+    }
+}
+
+impl<S: Scalar> IndexMut<(usize, usize)> for Mat3<S> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
+        &mut self.m[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::FRAC_PI_2;
+
+    fn approx(a: Vec3<f64>, b: Vec3<f64>) {
+        assert!((a - b).max_abs() < 1e-12, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::identity().mul_vec(v), v);
+        let m = Mat3::skew(v);
+        assert_eq!(Mat3::identity() * m, m);
+        assert_eq!(m * Mat3::identity(), m);
+    }
+
+    #[test]
+    fn skew_matches_cross() {
+        let a = Vec3::new(0.3, -1.2, 2.0);
+        let b = Vec3::new(-0.5, 0.8, 1.1);
+        approx(Mat3::skew(a).mul_vec(b), a.cross(b));
+    }
+
+    #[test]
+    fn coord_rotation_z_quarter_turn() {
+        // A frame rotated +90° about z sees the parent's x-axis along -y?
+        // rotz(π/2) = [[0,1,0],[-1,0,0],[0,0,1]]: parent x ↦ child (0,-1,0).
+        let r = Mat3::<f64>::coord_rotation_z(FRAC_PI_2);
+        approx(r.mul_vec(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, -1.0, 0.0));
+        approx(r.mul_vec(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rotations_are_orthonormal() {
+        for q in [0.0, 0.3, -1.1, 2.7] {
+            for r in [
+                Mat3::<f64>::coord_rotation_x(q),
+                Mat3::<f64>::coord_rotation_y(q),
+                Mat3::<f64>::coord_rotation_z(q),
+            ] {
+                let should_be_identity = r * r.transpose();
+                let diff = should_be_identity - Mat3::identity();
+                assert!(diff.max_abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_mul_consistency() {
+        let m = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        let v = Vec3::new(-1.0, 0.5, 2.0);
+        approx(m.tr_mul_vec(v), m.transpose().mul_vec(v));
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        let o = Mat3::outer(a, b);
+        assert_eq!(o[(1, 2)], 12.0);
+        assert_eq!(o[(2, 0)], 12.0);
+    }
+
+    #[test]
+    fn mat_mul_associates_with_vec() {
+        let a = Mat3::<f64>::coord_rotation_x(0.4);
+        let b = Mat3::<f64>::coord_rotation_z(-0.9);
+        let v = Vec3::new(0.2, -0.7, 1.3);
+        approx((a * b).mul_vec(v), a.mul_vec(b.mul_vec(v)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Dense 6×6 matrices, used for composite inertias and sparsity analysis.
+
+use crate::{Force, Mat3, Motion, Scalar};
+use core::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense 6×6 matrix stored row-major.
+///
+/// Used where structural representations are inconvenient: composite rigid
+/// body inertias (CRBA), articulated-body inertias (ABA), and the dense view
+/// of joint transforms that the sparsity analysis inspects.
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::Mat6;
+///
+/// let i = Mat6::<f64>::identity();
+/// assert_eq!(i.mul_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])[4], 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat6<S> {
+    /// Rows of the matrix: `m[row][col]`.
+    pub m: [[S; 6]; 6],
+}
+
+impl<S: Scalar> Default for Mat6<S> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<S: Scalar> Mat6<S> {
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Self {
+            m: [[S::zero(); 6]; 6],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut out = Self::zero();
+        for i in 0..6 {
+            out.m[i][i] = S::one();
+        }
+        out
+    }
+
+    /// Assembles a 6×6 matrix from four 3×3 blocks:
+    ///
+    /// ```text
+    /// [ tl  tr ]
+    /// [ bl  br ]
+    /// ```
+    pub fn from_blocks(tl: Mat3<S>, tr: Mat3<S>, bl: Mat3<S>, br: Mat3<S>) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = tl.m[i][j];
+                out.m[i][j + 3] = tr.m[i][j];
+                out.m[i + 3][j] = bl.m[i][j];
+                out.m[i + 3][j + 3] = br.m[i][j];
+            }
+        }
+        out
+    }
+
+    /// Extracts the four 3×3 blocks `(tl, tr, bl, br)`.
+    pub fn to_blocks(&self) -> (Mat3<S>, Mat3<S>, Mat3<S>, Mat3<S>) {
+        let mut tl = Mat3::zero();
+        let mut tr = Mat3::zero();
+        let mut bl = Mat3::zero();
+        let mut br = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                tl.m[i][j] = self.m[i][j];
+                tr.m[i][j] = self.m[i][j + 3];
+                bl.m[i][j] = self.m[i + 3][j];
+                br.m[i][j] = self.m[i + 3][j + 3];
+            }
+        }
+        (tl, tr, bl, br)
+    }
+
+    /// Matrix–vector product on a raw 6-array.
+    pub fn mul_array(&self, v: [S; 6]) -> [S; 6] {
+        let mut out = [S::zero(); 6];
+        for (i, row) in self.m.iter().enumerate() {
+            let mut acc = S::zero();
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Applies the matrix to a motion vector, producing a force vector
+    /// (the shape of an inertia: `f = I v`).
+    pub fn mul_motion(&self, v: Motion<S>) -> Force<S> {
+        Force::from_array(self.mul_array(v.to_array()))
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] = self.m[j][i];
+            }
+        }
+        out
+    }
+
+    /// Converts to an `f64` matrix.
+    pub fn to_f64(&self) -> [[f64; 6]; 6] {
+        let mut out = [[0.0; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                out[i][j] = self.m[i][j].to_f64();
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry, as `f64`.
+    pub fn max_abs(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for row in &self.m {
+            for x in row {
+                best = best.max(x.abs().to_f64());
+            }
+        }
+        best
+    }
+
+    /// Counts entries whose magnitude exceeds `tol` (used by the sparsity
+    /// analysis to derive structural patterns from numeric samples).
+    pub fn count_nonzero(&self, tol: f64) -> usize {
+        self.m
+            .iter()
+            .flatten()
+            .filter(|x| x.abs().to_f64() > tol)
+            .count()
+    }
+}
+
+impl<S: Scalar> Add for Mat6<S> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] += rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Sub for Mat6<S> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] -= rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Neg for Mat6<S> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        let mut out = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] = -out.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Mul for Mat6<S> {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..6 {
+            for j in 0..6 {
+                let mut acc = S::zero();
+                for (k, rhs_row) in rhs.m.iter().enumerate() {
+                    acc += self.m[i][k] * rhs_row[j];
+                }
+                out.m[i][j] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> Index<(usize, usize)> for Mat6<S> {
+    type Output = S;
+
+    fn index(&self, (i, j): (usize, usize)) -> &S {
+        &self.m[i][j]
+    }
+}
+
+impl<S: Scalar> IndexMut<(usize, usize)> for Mat6<S> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
+        &mut self.m[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Transform, Vec3};
+
+    #[test]
+    fn block_round_trip() {
+        let tl = Mat3::coord_rotation_x(0.3);
+        let tr = Mat3::skew(Vec3::new(1.0, 2.0, 3.0));
+        let bl = Mat3::outer(Vec3::new(1.0, 0.0, 1.0), Vec3::new(0.0, 2.0, 0.0));
+        let br = Mat3::identity();
+        let m = Mat6::from_blocks(tl, tr, bl, br);
+        let (a, b, c, d) = m.to_blocks();
+        assert_eq!((a, b, c, d), (tl, tr, bl, br));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let x = Transform::<f64>::new(Mat3::coord_rotation_z(0.5), Vec3::new(0.1, 0.2, 0.3));
+        let m = x.to_mat6();
+        assert!(((Mat6::identity() * m) - m).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn transform_matrix_inverse() {
+        let x = Transform::<f64>::new(Mat3::coord_rotation_y(-0.8), Vec3::new(0.4, -0.1, 0.6));
+        let prod = x.to_mat6() * x.inverse().to_mat6();
+        assert!((prod - Mat6::identity()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_nonzero_on_transform() {
+        // A pure rotation about z has the classic 2×(4 trig + 1 unit) pattern
+        // in its two diagonal blocks: 10 nonzeros.
+        let x = Transform::<f64>::new(Mat3::coord_rotation_z(0.37), Vec3::zero());
+        assert_eq!(x.to_mat6().count_nonzero(1e-12), 10);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let x = Transform::<f64>::new(Mat3::coord_rotation_x(1.1), Vec3::new(0.2, 0.5, -0.3));
+        let m = x.to_mat6();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,243 @@
+//! Spatial (6-D) motion and force vectors.
+//!
+//! Following Featherstone's convention, a spatial vector stacks an angular
+//! 3-vector on top of a linear 3-vector. [`Motion`] vectors carry velocities
+//! and accelerations; [`Force`] vectors carry forces and momenta. Keeping
+//! them as distinct newtypes prevents the classic bug of applying a motion
+//! transform to a force (they transform differently).
+
+use crate::{Scalar, Vec3};
+use core::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A spatial *motion* vector `[ω; v]` (angular on top, linear below).
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::{Motion, Vec3};
+///
+/// let v = Motion::new(Vec3::new(0.0, 0.0, 1.0), Vec3::zero());
+/// // A pure rotation crossed with itself vanishes.
+/// assert_eq!(v.cross_motion(v), Motion::zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Motion<S> {
+    /// Angular component ω.
+    pub ang: Vec3<S>,
+    /// Linear component v.
+    pub lin: Vec3<S>,
+}
+
+/// A spatial *force* vector `[n; f]` (moment on top, linear force below).
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::{Force, Vec3};
+///
+/// let f = Force::new(Vec3::zero(), Vec3::new(0.0, 0.0, -9.81));
+/// assert_eq!((f + f).lin.z, -19.62);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Force<S> {
+    /// Angular component (moment) n.
+    pub ang: Vec3<S>,
+    /// Linear component f.
+    pub lin: Vec3<S>,
+}
+
+macro_rules! impl_spatial_common {
+    ($t:ident) => {
+        impl<S: Scalar> $t<S> {
+            /// Creates a spatial vector from its angular and linear parts.
+            #[inline]
+            pub fn new(ang: Vec3<S>, lin: Vec3<S>) -> Self {
+                Self { ang, lin }
+            }
+
+            /// The zero vector.
+            #[inline]
+            pub fn zero() -> Self {
+                Self::new(Vec3::zero(), Vec3::zero())
+            }
+
+            /// Builds from a 6-array `[ωx, ωy, ωz, vx, vy, vz]`.
+            pub fn from_array(a: [S; 6]) -> Self {
+                Self::new(
+                    Vec3::new(a[0], a[1], a[2]),
+                    Vec3::new(a[3], a[4], a[5]),
+                )
+            }
+
+            /// The components as a 6-array, angular first.
+            pub fn to_array(self) -> [S; 6] {
+                [
+                    self.ang.x, self.ang.y, self.ang.z,
+                    self.lin.x, self.lin.y, self.lin.z,
+                ]
+            }
+
+            /// Converts between scalar types through `f64`.
+            pub fn cast<T: Scalar>(self) -> $t<T> {
+                $t::new(self.ang.cast(), self.lin.cast())
+            }
+
+            /// Scales both parts by `s`.
+            #[inline]
+            pub fn scale(self, s: S) -> Self {
+                Self::new(self.ang.scale(s), self.lin.scale(s))
+            }
+
+            /// Largest absolute component, as `f64`.
+            pub fn max_abs(self) -> f64 {
+                self.ang.max_abs().max(self.lin.max_abs())
+            }
+
+            /// Whether every component is finite / non-saturated.
+            pub fn is_valid(self) -> bool {
+                self.ang.is_valid() && self.lin.is_valid()
+            }
+        }
+
+        impl<S: Scalar> Add for $t<S> {
+            type Output = Self;
+
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self::new(self.ang + rhs.ang, self.lin + rhs.lin)
+            }
+        }
+
+        impl<S: Scalar> Sub for $t<S> {
+            type Output = Self;
+
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self::new(self.ang - rhs.ang, self.lin - rhs.lin)
+            }
+        }
+
+        impl<S: Scalar> Neg for $t<S> {
+            type Output = Self;
+
+            #[inline]
+            fn neg(self) -> Self {
+                Self::new(-self.ang, -self.lin)
+            }
+        }
+
+        impl<S: Scalar> AddAssign for $t<S> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl<S: Scalar> SubAssign for $t<S> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+    };
+}
+
+impl_spatial_common!(Motion);
+impl_spatial_common!(Force);
+
+impl<S: Scalar> Motion<S> {
+    /// Spatial motion cross product `self × m`:
+    ///
+    /// ```text
+    /// [ ω̂   0 ] [m.ang]   [ ω × m.ang             ]
+    /// [ v̂   ω̂ ] [m.lin] = [ v × m.ang + ω × m.lin ]
+    /// ```
+    #[inline]
+    pub fn cross_motion(self, m: Motion<S>) -> Motion<S> {
+        Motion::new(
+            self.ang.cross(m.ang),
+            self.lin.cross(m.ang) + self.ang.cross(m.lin),
+        )
+    }
+
+    /// Spatial force cross product `self ×* f`:
+    ///
+    /// ```text
+    /// [ ω̂   v̂ ] [f.ang]   [ ω × f.ang + v × f.lin ]
+    /// [ 0   ω̂ ] [f.lin] = [ ω × f.lin             ]
+    /// ```
+    #[inline]
+    pub fn cross_force(self, f: Force<S>) -> Force<S> {
+        Force::new(
+            self.ang.cross(f.ang) + self.lin.cross(f.lin),
+            self.ang.cross(f.lin),
+        )
+    }
+
+    /// The scalar pairing `mᵀ f` between a motion and a force (power).
+    #[inline]
+    pub fn dot(self, f: Force<S>) -> S {
+        self.ang.dot(f.ang) + self.lin.dot(f.lin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_motion(seed: &mut u64) -> Motion<f64> {
+        let mut next = || {
+            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        Motion::new(
+            Vec3::new(next(), next(), next()),
+            Vec3::new(next(), next(), next()),
+        )
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(Motion::from_array(a).to_array(), a);
+        assert_eq!(Force::from_array(a).to_array(), a);
+    }
+
+    #[test]
+    fn cross_motion_is_anticommutative_in_first_arg() {
+        let mut seed = 42;
+        let a = rand_motion(&mut seed);
+        let b = rand_motion(&mut seed);
+        let ab = a.cross_motion(b);
+        let ba = b.cross_motion(a);
+        assert!((ab + ba).max_abs() < 1e-12, "v×w = -w×v for spatial motion");
+    }
+
+    #[test]
+    fn duality_identity() {
+        // The defining identity of ×*: (v × m) · f = -m · (v ×* f).
+        let mut seed = 7;
+        let v = rand_motion(&mut seed);
+        let m = rand_motion(&mut seed);
+        let f_as_motion = rand_motion(&mut seed);
+        let f = Force::new(f_as_motion.ang, f_as_motion.lin);
+        let lhs = v.cross_motion(m).dot(f);
+        let rhs = -(m.dot(v.cross_force(f)));
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_cross_vanishes() {
+        let mut seed = 99;
+        let v = rand_motion(&mut seed);
+        assert!(v.cross_motion(v).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let v = Motion::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(v.scale(2.0).ang.y, 4.0);
+        assert_eq!((-v).lin.z, -6.0);
+        assert_eq!((v - v).max_abs(), 0.0);
+    }
+}

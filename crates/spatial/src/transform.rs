@@ -1,0 +1,225 @@
+//! Plücker spatial coordinate transforms.
+
+use crate::{Force, Mat3, Mat6, Motion, Scalar, Vec3};
+
+/// A spatial coordinate transform `ᴮX_A` from frame A (parent) to frame B
+/// (child), represented structurally by a rotation and a translation.
+///
+/// `rot` is the coordinate rotation `E` (expresses A-frame vectors in B
+/// coordinates) and `pos` is the position `r` of B's origin, expressed in A
+/// coordinates. As a dense 6×6 acting on motion vectors this is
+///
+/// ```text
+///     [  E      0 ]
+/// X = [ -E r̂    E ]
+/// ```
+///
+/// and forces transform by `X⁻ᵀ = [[E, -E r̂], [0, E]]`.
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::{Transform, Mat3, Vec3, Motion};
+///
+/// // Pure translation along z: a rotation about the parent origin induces a
+/// // linear velocity -r × ω at the displaced child origin.
+/// let x = Transform::<f64>::new(Mat3::identity(), Vec3::new(0.0, 0.0, 2.0));
+/// let w = Motion::new(Vec3::new(1.0, 0.0, 0.0), Vec3::zero());
+/// let v = x.apply_motion(w);
+/// assert_eq!(v.lin, Vec3::new(0.0, -2.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transform<S> {
+    /// Coordinate rotation `E` from A to B.
+    pub rot: Mat3<S>,
+    /// Position `r` of B's origin in A coordinates.
+    pub pos: Vec3<S>,
+}
+
+impl<S: Scalar> Default for Transform<S> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<S: Scalar> Transform<S> {
+    /// Creates a transform from a coordinate rotation and a translation.
+    pub fn new(rot: Mat3<S>, pos: Vec3<S>) -> Self {
+        Self { rot, pos }
+    }
+
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self::new(Mat3::identity(), Vec3::zero())
+    }
+
+    /// A pure translation by `pos`.
+    pub fn translation(pos: Vec3<S>) -> Self {
+        Self::new(Mat3::identity(), pos)
+    }
+
+    /// A pure rotation.
+    pub fn rotation(rot: Mat3<S>) -> Self {
+        Self::new(rot, Vec3::zero())
+    }
+
+    /// Converts between scalar types through `f64`.
+    pub fn cast<T: Scalar>(self) -> Transform<T> {
+        Transform::new(self.rot.cast(), self.pos.cast())
+    }
+
+    /// Composition: if `self` is `ᶜX_B` and `inner` is `ᴮX_A`, returns `ᶜX_A`.
+    ///
+    /// ```
+    /// # use robo_spatial::{Transform, Mat3, Vec3, Motion};
+    /// let a2b = Transform::<f64>::new(Mat3::coord_rotation_z(0.3), Vec3::new(0.1, 0.0, 0.0));
+    /// let b2c = Transform::<f64>::new(Mat3::coord_rotation_x(-0.7), Vec3::new(0.0, 0.2, 0.0));
+    /// let a2c = b2c.compose(&a2b);
+    /// let m = Motion::new(Vec3::new(0.3, -0.1, 0.2), Vec3::new(1.0, 0.5, -0.4));
+    /// let direct = a2c.apply_motion(m);
+    /// let stepped = b2c.apply_motion(a2b.apply_motion(m));
+    /// assert!((direct.ang - stepped.ang).max_abs() < 1e-12);
+    /// ```
+    pub fn compose(&self, inner: &Transform<S>) -> Transform<S> {
+        Transform::new(
+            self.rot * inner.rot,
+            inner.pos + inner.rot.tr_mul_vec(self.pos),
+        )
+    }
+
+    /// Transforms a motion vector from A coordinates to B coordinates.
+    #[inline]
+    pub fn apply_motion(&self, m: Motion<S>) -> Motion<S> {
+        Motion::new(
+            self.rot.mul_vec(m.ang),
+            self.rot.mul_vec(m.lin - self.pos.cross(m.ang)),
+        )
+    }
+
+    /// Transforms a motion vector from B coordinates back to A coordinates
+    /// (applies `X⁻¹`).
+    #[inline]
+    pub fn inv_apply_motion(&self, m: Motion<S>) -> Motion<S> {
+        let ang = self.rot.tr_mul_vec(m.ang);
+        Motion::new(ang, self.rot.tr_mul_vec(m.lin) + self.pos.cross(ang))
+    }
+
+    /// Transforms a force vector from A coordinates to B coordinates
+    /// (applies `X⁻ᵀ`, the dual transform).
+    #[inline]
+    pub fn apply_force(&self, f: Force<S>) -> Force<S> {
+        Force::new(
+            self.rot.mul_vec(f.ang - self.pos.cross(f.lin)),
+            self.rot.mul_vec(f.lin),
+        )
+    }
+
+    /// Transforms a force vector from B coordinates back to A coordinates
+    /// (applies `Xᵀ`) — the operation in the backward pass of the RNEA,
+    /// `f_λ += ᵢXᵀ_λ f_i` (Algorithm 2, line 8).
+    #[inline]
+    pub fn tr_apply_force(&self, f: Force<S>) -> Force<S> {
+        let lin = self.rot.tr_mul_vec(f.lin);
+        Force::new(self.rot.tr_mul_vec(f.ang) + self.pos.cross(lin), lin)
+    }
+
+    /// The inverse transform `ᴬX_B`.
+    pub fn inverse(&self) -> Transform<S> {
+        Transform::new(self.rot.transpose(), -self.rot.mul_vec(self.pos))
+    }
+
+    /// The dense 6×6 motion-transform matrix (used by composite-rigid-body
+    /// style algorithms and by the sparsity analysis).
+    pub fn to_mat6(&self) -> Mat6<S> {
+        let e = self.rot;
+        let lower_left = -(e * Mat3::skew(self.pos));
+        Mat6::from_blocks(e, Mat3::zero(), lower_left, e)
+    }
+
+    /// Whether all entries are finite / non-saturated.
+    pub fn is_valid(&self) -> bool {
+        self.rot.is_valid() && self.pos.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transform<f64> {
+        Transform::new(
+            Mat3::coord_rotation_z(0.8) * Mat3::coord_rotation_x(-0.4),
+            Vec3::new(0.3, -0.2, 0.5),
+        )
+    }
+
+    fn sample_motion() -> Motion<f64> {
+        Motion::new(Vec3::new(0.1, 0.7, -0.3), Vec3::new(-0.9, 0.2, 0.4))
+    }
+
+    #[test]
+    fn inverse_round_trips_motion() {
+        let x = sample();
+        let m = sample_motion();
+        let back = x.inv_apply_motion(x.apply_motion(m));
+        assert!((back - m).max_abs() < 1e-12);
+        let back2 = x.inverse().apply_motion(x.apply_motion(m));
+        assert!((back2 - m).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_transform_is_dual() {
+        // Power is invariant: (X m) · (X⁻ᵀ f) = m · f.
+        let x = sample();
+        let m = sample_motion();
+        let f = Force::new(Vec3::new(0.5, -0.1, 0.2), Vec3::new(0.3, 0.9, -0.6));
+        let lhs = x.apply_motion(m).dot(x.apply_force(f));
+        assert!((lhs - m.dot(f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tr_apply_force_is_transpose_of_motion_transform() {
+        // mᵀ (Xᵀ f) = (X m)ᵀ f.
+        let x = sample();
+        let m = sample_motion();
+        let f = Force::new(Vec3::new(-0.4, 0.8, 0.1), Vec3::new(0.2, -0.3, 0.7));
+        let lhs = m.dot(x.tr_apply_force(f));
+        let rhs = x.apply_motion(m).dot(f);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_matrix_agrees_with_structural_apply() {
+        let x = sample();
+        let m = sample_motion();
+        let dense = x.to_mat6().mul_array(m.to_array());
+        let structural = x.apply_motion(m).to_array();
+        for i in 0..6 {
+            assert!((dense[i] - structural[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a2b = sample();
+        let b2c = Transform::new(Mat3::coord_rotation_y(1.2), Vec3::new(-0.1, 0.4, 0.2));
+        let a2c = b2c.compose(&a2b);
+        let m = sample_motion();
+        let direct = a2c.apply_motion(m);
+        let stepped = b2c.apply_motion(a2b.apply_motion(m));
+        assert!((direct - stepped).max_abs() < 1e-12);
+
+        let f = Force::new(Vec3::new(0.5, 0.1, -0.2), Vec3::new(0.9, -0.3, 0.6));
+        let direct_f = a2c.tr_apply_force(f);
+        let stepped_f = a2b.tr_apply_force(b2c.tr_apply_force(f));
+        assert!((direct_f - stepped_f).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = sample_motion();
+        let x = Transform::<f64>::identity();
+        assert_eq!(x.apply_motion(m), m);
+        assert_eq!(x.compose(&sample()), sample());
+    }
+}

@@ -1,0 +1,247 @@
+//! 3-vectors over a generic [`Scalar`].
+
+use crate::Scalar;
+use core::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3-dimensional vector.
+///
+/// Plain passive data in the C spirit; fields are public.
+///
+/// # Examples
+///
+/// ```
+/// use robo_spatial::Vec3;
+///
+/// let x = Vec3::new(1.0, 0.0, 0.0);
+/// let y = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3<S> {
+    /// x component.
+    pub x: S,
+    /// y component.
+    pub y: S,
+    /// z component.
+    pub z: S,
+}
+
+impl<S: Scalar> Vec3<S> {
+    /// Creates a vector from its components.
+    #[inline]
+    pub fn new(x: S, y: S, z: S) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::new(S::zero(), S::zero(), S::zero())
+    }
+
+    /// Converts an `f64` triple into this scalar type.
+    pub fn from_f64(v: [f64; 3]) -> Self {
+        Self::new(S::from_f64(v[0]), S::from_f64(v[1]), S::from_f64(v[2]))
+    }
+
+    /// Converts to an `f64` triple.
+    pub fn to_f64(self) -> [f64; 3] {
+        [self.x.to_f64(), self.y.to_f64(), self.z.to_f64()]
+    }
+
+    /// Converts between scalar types through `f64`.
+    pub fn cast<T: Scalar>(self) -> Vec3<T> {
+        Vec3::from_f64(self.to_f64())
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [S; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [S; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Self) -> S {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product `self × other`.
+    #[inline]
+    pub fn cross(self, other: Self) -> Self {
+        Self::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Scales every component by `s`.
+    #[inline]
+    pub fn scale(self, s: S) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> S {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_squared(self) -> S {
+        self.dot(self)
+    }
+
+    /// Largest absolute component, as `f64` (used by tests and error checks).
+    pub fn max_abs(self) -> f64 {
+        self.x
+            .abs()
+            .max(self.y.abs())
+            .max(self.z.abs())
+            .to_f64()
+    }
+
+    /// Whether every component is finite / non-saturated.
+    pub fn is_valid(self) -> bool {
+        self.x.is_valid() && self.y.is_valid() && self.z.is_valid()
+    }
+}
+
+impl<S: Scalar> Add for Vec3<S> {
+    type Output = Self;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl<S: Scalar> Sub for Vec3<S> {
+    type Output = Self;
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl<S: Scalar> Neg for Vec3<S> {
+    type Output = Self;
+
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl<S: Scalar> AddAssign for Vec3<S> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<S: Scalar> SubAssign for Vec3<S> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<S: Scalar> Mul<S> for Vec3<S> {
+    type Output = Self;
+
+    #[inline]
+    fn mul(self, rhs: S) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<S: Scalar> Index<usize> for Vec3<S> {
+    type Output = S;
+
+    fn index(&self, i: usize) -> &S {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl<S: Scalar> IndexMut<usize> for Vec3<S> {
+    fn index_mut(&mut self, i: usize) -> &mut S {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.dot(b), 32.0);
+        // a × b is orthogonal to both operands.
+        let c = a.cross(b);
+        assert_eq!(c.dot(a), 0.0);
+        assert_eq!(c.dot(b), 0.0);
+        // Anti-commutativity.
+        assert_eq!(a.cross(b), -b.cross(a));
+    }
+
+    #[test]
+    fn norm() {
+        let v = Vec3::new(3.0_f64, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[1], 2.0);
+        v[2] = 9.0;
+        assert_eq!(v.z, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let _ = v[3];
+    }
+
+    #[test]
+    fn conversions() {
+        let v = Vec3::<f64>::from_f64([1.5, -2.5, 0.25]);
+        assert_eq!(v.to_f64(), [1.5, -2.5, 0.25]);
+        let w: Vec3<f32> = v.cast();
+        assert_eq!(w.to_f64(), [1.5, -2.5, 0.25]);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+}

@@ -1,0 +1,175 @@
+//! The control-rate analytical model of Figures 4 and 15.
+//!
+//! The paper estimates nonlinear-MPC control rates from the per-time-step
+//! cost of the dynamics gradient: a planner running `I` optimization
+//! iterations over a trajectory of `T` time steps, where the gradient
+//! kernel is a fraction `g` of each step's work (30–90% across
+//! implementations, §3), achieves
+//!
+//! ```text
+//! rate = 1 / (I · T · t_step),    t_step = t_gradient / g.
+//! ```
+//!
+//! Figure 4 evaluates this with measured software gradient times against
+//! the 250 Hz (minimum for online nonlinear MPC) and 1 kHz (joint actuator
+//! rate) thresholds; Figure 15 swaps in the accelerator's round-trip
+//! gradient time.
+
+/// The 1 kHz threshold: "the control rate at which robot joint actuators
+/// are capable of responding" (§3).
+pub const ACTUATOR_RATE_HZ: f64 = 1000.0;
+
+/// The 250 Hz threshold: "a minimum suggested rate for nonlinear MPC to be
+/// run online" (§3).
+pub const MPC_MINIMUM_RATE_HZ: f64 = 250.0;
+
+/// The paper's assumed optimization iteration count ("we assume 10
+/// iterations of the optimization loop", Figure 4).
+pub const PAPER_OPT_ITERATIONS: usize = 10;
+
+/// The analytical control-rate model.
+///
+/// # Examples
+///
+/// ```
+/// use robo_trajopt::ControlRateModel;
+///
+/// // A manipulator with a 4 µs gradient at 40% of per-step work can hold
+/// // 1 kHz only for short horizons.
+/// let m = ControlRateModel::new(10, 4e-6, 0.4);
+/// assert!(m.control_rate_hz(5) > 1000.0);
+/// assert!(m.control_rate_hz(100) < 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlRateModel {
+    /// Optimization loop iterations per control step.
+    pub opt_iterations: usize,
+    /// Time of one dynamics-gradient evaluation (seconds).
+    pub gradient_time_s: f64,
+    /// Fraction of per-time-step work spent in the gradient kernel
+    /// (the paper's 30–90% band, §3).
+    pub gradient_fraction: f64,
+}
+
+impl ControlRateModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradient_fraction` is not in `(0, 1]` or any quantity is
+    /// non-positive.
+    pub fn new(opt_iterations: usize, gradient_time_s: f64, gradient_fraction: f64) -> Self {
+        assert!(opt_iterations > 0, "need at least one iteration");
+        assert!(gradient_time_s > 0.0, "gradient time must be positive");
+        assert!(
+            gradient_fraction > 0.0 && gradient_fraction <= 1.0,
+            "gradient fraction must be in (0, 1]"
+        );
+        Self {
+            opt_iterations,
+            gradient_time_s,
+            gradient_fraction,
+        }
+    }
+
+    /// Per-time-step optimization work (gradient plus everything else).
+    pub fn per_step_time_s(&self) -> f64 {
+        self.gradient_time_s / self.gradient_fraction
+    }
+
+    /// Achievable control rate for a `timesteps`-long trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0`.
+    pub fn control_rate_hz(&self, timesteps: usize) -> f64 {
+        assert!(timesteps > 0, "need at least one time step");
+        1.0 / (self.opt_iterations as f64 * timesteps as f64 * self.per_step_time_s())
+    }
+
+    /// Longest trajectory sustaining at least `rate_hz` (0 if even one step
+    /// is too slow) — Figure 15's "plan on longer time horizons" metric.
+    pub fn max_timesteps_at(&self, rate_hz: f64) -> usize {
+        let t = 1.0 / (rate_hz * self.opt_iterations as f64 * self.per_step_time_s());
+        t.floor().max(0.0) as usize
+    }
+
+    /// The model with the gradient kernel replaced by an accelerated
+    /// implementation taking `accelerated_gradient_s` per step; the
+    /// non-gradient work is unchanged (Amdahl's law, which is why Figure
+    /// 15's gains are smaller than the raw kernel speedup).
+    pub fn with_accelerated_gradient(&self, accelerated_gradient_s: f64) -> Self {
+        assert!(accelerated_gradient_s > 0.0);
+        let other = self.per_step_time_s() - self.gradient_time_s;
+        let new_step = other + accelerated_gradient_s;
+        Self {
+            opt_iterations: self.opt_iterations,
+            gradient_time_s: accelerated_gradient_s,
+            gradient_fraction: accelerated_gradient_s / new_step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manipulator_model() -> ControlRateModel {
+        // ~2.25 µs gradient at 45% of per-step work (5 µs per step):
+        // matches Figure 4's manipulator band (1 kHz up to ~20-25 steps,
+        // 250 Hz up to ~80) *and* Figure 15's accelerated horizons.
+        ControlRateModel::new(PAPER_OPT_ITERATIONS, 2.25e-6, 0.45)
+    }
+
+    #[test]
+    fn figure4_manipulator_thresholds() {
+        let m = manipulator_model();
+        let at_1khz = m.max_timesteps_at(ACTUATOR_RATE_HZ);
+        let at_250hz = m.max_timesteps_at(MPC_MINIMUM_RATE_HZ);
+        assert!(
+            (15..=35).contains(&at_1khz),
+            "1 kHz horizon {at_1khz} out of Figure 4 band"
+        );
+        assert!(
+            (60..=110).contains(&at_250hz),
+            "250 Hz horizon {at_250hz} out of Figure 4 band"
+        );
+    }
+
+    #[test]
+    fn rate_decreases_with_horizon() {
+        let m = manipulator_model();
+        assert!(m.control_rate_hz(10) > m.control_rate_hz(20));
+        assert!(m.control_rate_hz(20) > m.control_rate_hz(128));
+    }
+
+    #[test]
+    fn figure15_amdahl_improvement() {
+        // A 2.75× faster gradient (the FPGA coprocessor band) extends the
+        // 250 Hz horizon from ~80 to ~100-130 steps, not by 2.75×.
+        let m = manipulator_model();
+        let accel = m.with_accelerated_gradient(m.gradient_time_s / 2.75);
+        let before = m.max_timesteps_at(MPC_MINIMUM_RATE_HZ);
+        let after = accel.max_timesteps_at(MPC_MINIMUM_RATE_HZ);
+        assert!(after > before);
+        let gain = after as f64 / before as f64;
+        assert!(
+            (1.15..=1.75).contains(&gain),
+            "Amdahl-limited gain {gain:.2} out of Figure 15's band"
+        );
+    }
+
+    #[test]
+    fn full_fraction_means_full_speedup() {
+        let m = ControlRateModel::new(10, 4e-6, 1.0);
+        let accel = m.with_accelerated_gradient(2e-6);
+        let ratio = accel.control_rate_hz(50) / m.control_rate_hz(50);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient fraction")]
+    fn invalid_fraction_panics() {
+        let _ = ControlRateModel::new(10, 1e-6, 1.5);
+    }
+}

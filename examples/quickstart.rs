@@ -1,0 +1,78 @@
+//! Quickstart: the two-step robomorphic flow on the paper's target robot.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. Create the dynamics-gradient hardware template (once per algorithm).
+//! 2. Customize it for the Kuka LBR iiwa-14's morphology.
+//! 3. Run one gradient computation through the simulated accelerator in
+//!    the hardware's Q16.16 fixed point and check it against the f64
+//!    software reference.
+
+use robomorphic::baselines::random_inputs;
+use robomorphic::core::{AsicPlatform, FpgaPlatform, GradientTemplate};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::robots;
+use robomorphic::sim::AcceleratorSim;
+use robomorphic::spatial::Scalar;
+
+fn main() {
+    // --- Step 1: the template (created once per algorithm) --------------
+    let template = GradientTemplate::new();
+
+    // --- Step 2: customize per robot -------------------------------------
+    let robot = robots::iiwa14();
+    let accel = template.customize(&robot);
+
+    println!("robot: {} ({} links, {} limb(s))", robot.name(), robot.dof(), accel.params().l_limbs);
+    println!(
+        "shared X-unit sparsity: {}/36 nonzeros (superposition of all joints)",
+        accel.params().x_superposition.count()
+    );
+    let r = accel.resources();
+    let fpga = FpgaPlatform::xcvu9p();
+    println!(
+        "resources: {} variable muls, {} const muls, {} adders -> {} DSPs ({:.0}% of the XCVU9P)",
+        r.var_muls,
+        r.const_muls,
+        r.adds,
+        fpga.dsps_used(&r),
+        fpga.dsp_utilization(&r) * 100.0
+    );
+    println!(
+        "latency: {} cycles = {:.2} us at 55.6 MHz (FPGA), {:.3} us at 400 MHz (12 nm ASIC)",
+        accel.schedule().single_latency_cycles(),
+        accel.single_latency_s(fpga.clock_hz) * 1e6,
+        accel.single_latency_s(AsicPlatform::typical().clock_hz()) * 1e6
+    );
+
+    // --- Run the accelerator (simulated, fixed-point) --------------------
+    let input = &random_inputs(&robot, 1, 42)[0];
+    let sim = AcceleratorSim::<Fix32_16>::new(&robot);
+    let cast = |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
+    let out = sim.compute_gradient(
+        &cast(&input.q),
+        &cast(&input.qd),
+        &cast(&input.qdd),
+        &input.minv.cast(),
+    );
+
+    // Reference in f64.
+    let reference = AcceleratorSim::<f64>::new(&robot).compute_gradient(
+        &input.q,
+        &input.qd,
+        &input.qdd,
+        &input.minv,
+    );
+    let scale = reference.dqdd_dq.max_abs().max(1.0);
+    let rel = out.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+    println!(
+        "fixed-point gradient vs f64 reference: {:.3}% max relative error \
+         (gradient entries up to {scale:.1})",
+        rel * 100.0
+    );
+    println!("dqdd_dq[0][0..3] = {:?}", &reference.dqdd_dq.as_slice()[0..3]);
+    assert!(rel < 5e-3);
+    println!("ok: the Q16.16 accelerator matches the software reference");
+}

@@ -1,0 +1,17 @@
+//! The `robomorphic` command-line tool: inspect robot descriptions, run
+//! the two-step methodology, emit RTL, and sanity-check models.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match robomorphic::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(robomorphic::cli::CliError::Usage(u)) => {
+            eprint!("{u}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

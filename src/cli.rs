@@ -1,0 +1,280 @@
+//! Implementation of the `robomorphic` command-line tool.
+//!
+//! Kept as a library module so the commands are unit-testable; the binary
+//! in `src/bin/robomorphic.rs` is a thin argument dispatcher. See each
+//! command function for its report format.
+
+use robo_codegen::{generate_top, generate_x_unit, lint, to_verilog, RtlFormat};
+use robo_collision::CollisionTemplate;
+use robo_model::{parse_robo, parse_urdf, RobotModel};
+use robo_sparsity::{joint_reduction, superposition_pattern};
+use robomorphic_core::{FpgaPlatform, GradientTemplate, KinematicsTemplate};
+use std::fmt::Write as _;
+
+/// Error from a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The robot description could not be read or parsed.
+    Load(String),
+    /// Output files could not be written.
+    Io(std::io::Error),
+    /// The command line itself was malformed.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Load(m) => write!(f, "cannot load robot: {m}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Loads a robot description: built-in name (`iiwa14`, `hyq`, `atlas`),
+/// `.robo` file, or `.urdf`/`.xml` file.
+///
+/// # Errors
+///
+/// Returns [`CliError::Load`] when the source cannot be read or parsed.
+pub fn load_robot(source: &str) -> Result<RobotModel, CliError> {
+    match source {
+        "iiwa14" => return Ok(robo_model::robots::iiwa14()),
+        "hyq" => return Ok(robo_model::robots::hyq()),
+        "atlas" => return Ok(robo_model::robots::atlas()),
+        _ => {}
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| CliError::Load(format!("{source}: {e}")))?;
+    if source.ends_with(".urdf") || source.ends_with(".xml") || text.trim_start().starts_with('<')
+    {
+        parse_urdf(&text).map_err(|e| CliError::Load(format!("{source}: {e}")))
+    } else {
+        parse_robo(&text).map_err(|e| CliError::Load(format!("{source}: {e}")))
+    }
+}
+
+/// `robomorphic info <robot>` — morphology and sparsity summary.
+///
+/// # Errors
+///
+/// Propagates robot-loading failures.
+pub fn cmd_info(source: &str) -> Result<String, CliError> {
+    let robot = load_robot(source)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "robot `{}`:", robot.name());
+    let _ = writeln!(
+        out,
+        "  {} links, {} limb(s), longest limb {}, total mass {:.2} kg",
+        robot.dof(),
+        robot.limbs().len(),
+        robot.max_limb_len(),
+        robot.total_mass()
+    );
+    for (i, limb) in robot.limbs().iter().enumerate() {
+        let names: Vec<&str> = limb
+            .links
+            .iter()
+            .map(|l| robot.links()[*l].name.as_str())
+            .collect();
+        let _ = writeln!(out, "  limb {i}: {}", names.join(" -> "));
+    }
+    let _ = writeln!(out, "  joint transform sparsity (nonzeros / 36):");
+    for i in 0..robot.dof() {
+        let r = joint_reduction(&robot, i);
+        let _ = writeln!(
+            out,
+            "    {:<16} {} ({:>2}/36, -{:.0}% muls)",
+            robot.links()[i].name,
+            robot.links()[i].joint.as_str(),
+            r.nonzeros,
+            r.mul_reduction_pct
+        );
+    }
+    let sup = superposition_pattern(&robot);
+    let _ = writeln!(out, "  superposition: {}/36 nonzeros\n{}", sup.count(), sup);
+    Ok(out)
+}
+
+/// `robomorphic customize <robot> [--verilog-dir DIR]` — run the two-step
+/// methodology and report (optionally emitting RTL).
+///
+/// # Errors
+///
+/// Propagates loading failures and RTL-output I/O errors.
+pub fn cmd_customize(source: &str, verilog_dir: Option<&str>) -> Result<String, CliError> {
+    let robot = load_robot(source)?;
+    let accel = GradientTemplate::new().customize(&robot);
+    let fpga = FpgaPlatform::xcvu9p();
+    let r = accel.resources();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dynamics gradient accelerator for `{}`:", robot.name());
+    let _ = writeln!(
+        out,
+        "  {} limb processor(s), {} datapaths, {} cycles per gradient",
+        accel.params().l_limbs,
+        accel
+            .limb_plans()
+            .iter()
+            .map(|p| p.dq_datapaths + p.dqd_datapaths + 1)
+            .sum::<usize>(),
+        accel.schedule().single_latency_cycles()
+    );
+    let _ = writeln!(
+        out,
+        "  latency: {:.3} us @ 55.6 MHz (FPGA), {:.3} us @ 400 MHz (12 nm ASIC)",
+        accel.single_latency_s(fpga.clock_hz) * 1e6,
+        accel.single_latency_s(robomorphic_core::AsicPlatform::typical().clock_hz()) * 1e6
+    );
+    let _ = writeln!(
+        out,
+        "  resources: {} var muls / {} const muls / {} adders -> {} DSPs ({:.0}% of XCVU9P budget{})",
+        r.var_muls,
+        r.const_muls,
+        r.adds,
+        fpga.dsps_used(&r),
+        fpga.dsp_utilization(&r) * 100.0,
+        if fpga.fits(&r) { "" } else { "; DOES NOT FIT, target the ASIC" }
+    );
+    let fk = KinematicsTemplate::new().customize(&robot);
+    let col = CollisionTemplate::new().customize(&robot);
+    let _ = writeln!(
+        out,
+        "  companion kernels: FK {} cycles, collision {} pairs / {} cycles",
+        fk.latency_cycles(),
+        col.pairs,
+        col.latency_cycles()
+    );
+
+    if let Some(dir) = verilog_dir {
+        std::fs::create_dir_all(dir)?;
+        let mut files = Vec::new();
+        for j in 0..robot.dof() {
+            let unit = generate_x_unit(&robot, j);
+            let v = to_verilog(&unit, RtlFormat::q16_16());
+            lint(&v).map_err(CliError::Load)?;
+            let path = format!("{dir}/x_unit_joint{j}.v");
+            std::fs::write(&path, v)?;
+            files.push(path);
+        }
+        let top = generate_top(&accel, RtlFormat::q16_16());
+        let top_path = format!("{dir}/grad_accel_top.v");
+        std::fs::write(&top_path, top.verilog)?;
+        files.push(top_path);
+        let _ = writeln!(out, "  emitted {} RTL files under {dir}/", files.len());
+    }
+    Ok(out)
+}
+
+/// `robomorphic convert <in> <out.robo>` — normalize any supported
+/// description to the `.robo` format.
+///
+/// # Errors
+///
+/// Propagates loading and write failures.
+pub fn cmd_convert(source: &str, dest: &str) -> Result<String, CliError> {
+    let robot = load_robot(source)?;
+    std::fs::write(dest, robo_model::to_robo(&robot))?;
+    Ok(format!(
+        "wrote `{}` ({} links) to {dest}\n",
+        robot.name(),
+        robot.dof()
+    ))
+}
+
+/// `robomorphic check <robot>` — model validation plus a zero-config
+/// self-collision sanity check.
+///
+/// # Errors
+///
+/// Propagates loading failures.
+pub fn cmd_check(source: &str) -> Result<String, CliError> {
+    let robot = load_robot(source)?;
+    let model = robo_dynamics::DynamicsModel::<f64>::new(&robot);
+    let n = robot.dof();
+    let zero = vec![0.0; n];
+    let mut out = String::new();
+    let _ = writeln!(out, "checking `{}`:", robot.name());
+
+    let mass_ok = robo_dynamics::mass_matrix(&model, &zero).ldlt().is_ok();
+    let _ = writeln!(
+        out,
+        "  mass matrix positive definite at q = 0: {}",
+        if mass_ok { "ok" } else { "FAIL" }
+    );
+    let tau = robo_dynamics::bias_torques(&model, &zero, &zero);
+    let finite = tau.iter().all(|t| t.is_finite());
+    let _ = writeln!(
+        out,
+        "  gravity torques finite: {} (max {:.2} Nm)",
+        if finite { "ok" } else { "FAIL" },
+        tau.iter().fold(0.0_f64, |a, b| a.max(b.abs()))
+    );
+    let cm = robo_collision::CollisionModel::from_robot(&robot, 0.05);
+    let clearance = robo_collision::min_clearance(&model, &cm, &zero);
+    let _ = writeln!(
+        out,
+        "  self-clearance at q = 0: {:.3} m across {} pruned pairs{}",
+        clearance,
+        cm.pairs().len(),
+        if clearance > 0.0 { "" } else { " (WARNING: zero pose self-collides)" }
+    );
+    // Gradient spot-check against finite differences.
+    let input = &robo_baselines::random_inputs(&robot, 1, 0xC11)[0];
+    let g = robo_dynamics::dynamics_gradient_from_qdd(
+        &model, &input.q, &input.qd, &input.qdd, &input.minv,
+    );
+    let fd = robo_dynamics::findiff::rnea_gradient_fd(&model, &input.q, &input.qd, &input.qdd, 1e-6);
+    let err = g.id_gradient.dtau_dq.max_abs_diff(&fd.dtau_dq);
+    let _ = writeln!(
+        out,
+        "  analytic gradient vs finite differences: {:.2e} max abs error {}",
+        err,
+        if err < 1e-3 { "(ok)" } else { "(FAIL)" }
+    );
+    Ok(out)
+}
+
+/// The usage string.
+pub fn usage() -> &'static str {
+    "robomorphic — morphology-parameterized accelerator toolchain
+
+USAGE:
+    robomorphic info      <robot>                  morphology & sparsity summary
+    robomorphic customize <robot> [--verilog-dir D] run the two-step methodology
+    robomorphic convert   <robot> <out.robo>        normalize a description
+    robomorphic check     <robot>                   validate model & dynamics
+
+<robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
+.urdf/.xml file (supported subset; see robo-model docs).
+"
+}
+
+/// Dispatches a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands or missing arguments,
+/// and propagates command failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args {
+        [cmd, source] if cmd == "info" => cmd_info(source),
+        [cmd, source] if cmd == "customize" => cmd_customize(source, None),
+        [cmd, source, flag, dir] if cmd == "customize" && flag == "--verilog-dir" => {
+            cmd_customize(source, Some(dir))
+        }
+        [cmd, source, dest] if cmd == "convert" => cmd_convert(source, dest),
+        [cmd, source] if cmd == "check" => cmd_check(source),
+        _ => Err(CliError::Usage(usage().to_owned())),
+    }
+}

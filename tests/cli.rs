@@ -1,0 +1,89 @@
+//! Integration tests of the `robomorphic` CLI commands (exercised through
+//! the library entry points the binary dispatches to).
+
+use robomorphic::cli::{self, CliError};
+
+#[test]
+fn info_reports_morphology() {
+    let out = cli::cmd_info("iiwa14").expect("builtin robot");
+    assert!(out.contains("7 links, 1 limb(s)"));
+    assert!(out.contains("13/36"));
+    assert!(out.contains("superposition: 23/36"));
+}
+
+#[test]
+fn customize_reports_design_points() {
+    let out = cli::cmd_customize("iiwa14", None).expect("builtin robot");
+    assert!(out.contains("34 cycles per gradient"));
+    assert!(out.contains("71% of XCVU9P budget"));
+}
+
+#[test]
+fn customize_emits_rtl() {
+    let dir = std::env::temp_dir().join("robomorphic_cli_rtl_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = cli::cmd_customize("iiwa14", Some(dir.to_str().unwrap())).expect("emits");
+    assert!(out.contains("emitted 8 RTL files"));
+    let top = std::fs::read_to_string(dir.join("grad_accel_top.v")).expect("top exists");
+    assert!(top.contains("module grad_accel_iiwa14"));
+    let unit = std::fs::read_to_string(dir.join("x_unit_joint1.v")).expect("unit exists");
+    assert_eq!(unit.matches("// DSP multiplier").count(), 13);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_round_trips_through_robo() {
+    let dir = std::env::temp_dir().join("robomorphic_cli_convert_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dest = dir.join("hyq.robo");
+    let out = cli::cmd_convert("hyq", dest.to_str().unwrap()).expect("converts");
+    assert!(out.contains("12 links"));
+    let info = cli::cmd_info(dest.to_str().unwrap()).expect("reads back");
+    assert!(info.contains("4 limb(s)"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_validates_builtin() {
+    let out = cli::cmd_check("iiwa14").expect("checks");
+    assert!(out.contains("mass matrix positive definite at q = 0: ok"));
+    assert!(out.contains("(ok)"));
+    assert!(!out.contains("FAIL"));
+}
+
+#[test]
+fn urdf_sources_load() {
+    let dir = std::env::temp_dir().join("robomorphic_cli_urdf_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let urdf = r#"<robot name="cli_test">
+      <link name="base"/>
+      <link name="arm"><inertial><origin xyz="0 0 0.1"/><mass value="1.5"/>
+        <inertia ixx="0.01" iyy="0.01" izz="0.002"/></inertial></link>
+      <joint name="j" type="revolute"><parent link="base"/><child link="arm"/>
+        <origin xyz="0 0 0.2"/><axis xyz="0 0 1"/></joint>
+    </robot>"#;
+    let path = dir.join("arm.urdf");
+    std::fs::write(&path, urdf).unwrap();
+    let out = cli::cmd_info(path.to_str().unwrap()).expect("parses urdf");
+    assert!(out.contains("cli_test"));
+    assert!(out.contains("1 links"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inputs_are_reported() {
+    assert!(matches!(cli::load_robot("/nonexistent.robo"), Err(CliError::Load(_))));
+    assert!(matches!(
+        cli::run(&["frobnicate".to_owned()]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(cli::usage().contains("robomorphic"));
+}
+
+#[test]
+fn run_dispatches() {
+    let out = cli::run(&["info".to_owned(), "atlas".to_owned()]).expect("dispatch works");
+    assert!(out.contains("30 links"));
+}

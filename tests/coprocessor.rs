@@ -1,0 +1,128 @@
+//! Integration tests of the coprocessor deployment path: latency models,
+//! batch scaling shapes, and the relations the paper's Figures 10/13/14
+//! assert between platforms.
+
+use robomorphic::baselines::GpuModel;
+use robomorphic::core::{AsicPlatform, FpgaPlatform, GradientTemplate};
+use robomorphic::model::robots;
+use robomorphic::sim::{CoprocessorSystem, IoChannel};
+
+fn iiwa_coproc() -> CoprocessorSystem {
+    CoprocessorSystem::fpga_default(GradientTemplate::new().customize(&robots::iiwa14()))
+}
+
+#[test]
+fn figure10_shape_fpga_beats_modeled_gpu_by_orders() {
+    // The GPU's single-shot latency is ~two orders above the FPGA's.
+    let accel = GradientTemplate::new().customize(&robots::iiwa14());
+    let fpga_s = accel.single_latency_s(FpgaPlatform::xcvu9p().clock_hz);
+    let gpu_s = GpuModel::rtx2080().single_latency_s(7);
+    let ratio = gpu_s / fpga_s;
+    assert!((50.0..150.0).contains(&ratio), "GPU/FPGA ratio {ratio:.0}");
+}
+
+#[test]
+fn figure13_shape_gpu_flat_then_waves() {
+    let gpu = GpuModel::rtx2080();
+    let t10 = gpu.batch_latency_s(7, 10);
+    let t46 = gpu.batch_latency_s(7, 46);
+    let t128 = gpu.batch_latency_s(7, 128);
+    assert!((t46 - t10) / t10 < 0.1, "flat below the SM count");
+    assert!(t128 > 1.2 * t10, "waves beyond the SM count");
+}
+
+#[test]
+fn figure13_shape_fpga_throughput_bound() {
+    let sys = iiwa_coproc();
+    // Per-step cost converges to the initiation interval or I/O bound.
+    let per_step_128 = sys.round_trip(128).total_s / 128.0;
+    let ii_s = sys.accelerator().schedule().initiation_interval() as f64
+        / FpgaPlatform::xcvu9p().clock_hz;
+    let io_s = sys
+        .channel()
+        .transfer_time_s(sys.input_bytes_per_step().max(sys.output_bytes_per_step()));
+    let bound = ii_s.max(io_s);
+    assert!(per_step_128 >= bound * 0.99);
+    assert!(per_step_128 <= bound * 1.6, "overheads should amortize");
+}
+
+#[test]
+fn figure14_asic_scales_by_clock_ratio() {
+    let accel = GradientTemplate::new().customize(&robots::iiwa14());
+    let f = accel.single_latency_s(FpgaPlatform::xcvu9p().clock_hz);
+    let slow = accel.single_latency_s(AsicPlatform::slow().clock_hz());
+    let typ = accel.single_latency_s(AsicPlatform::typical().clock_hz());
+    assert!((f / slow - 4.5).abs() < 0.05);
+    assert!((f / typ - 7.2).abs() < 0.05);
+}
+
+#[test]
+fn table2_band_checks() {
+    let rows = robomorphic::core::table2_rows(&GradientTemplate::new().customize(&robots::iiwa14()));
+    assert_eq!(rows.len(), 3);
+    let slow = &rows[1];
+    let typ = &rows[2];
+    // Paper: 1.627 / 1.885 mm²; 0.921 / 1.095 W — our model within ±25%.
+    let a_s = slow.area_mm2.expect("asic has area");
+    let a_t = typ.area_mm2.expect("asic has area");
+    assert!((a_s / 1.627 - 1.0).abs() < 0.25, "slow area {a_s:.3}");
+    assert!((a_t / 1.885 - 1.0).abs() < 0.25, "typical area {a_t:.3}");
+    assert!((slow.power_w / 0.921 - 1.0).abs() < 0.25);
+    assert!((typ.power_w / 1.095 - 1.0).abs() < 0.25);
+    // §6.4: ASIC power nearly an order below the FPGA's.
+    assert!(rows[0].power_w / typ.power_w > 5.0);
+}
+
+#[test]
+fn faster_links_only_help_until_compute_bound() {
+    let accel = GradientTemplate::new().customize(&robots::iiwa14());
+    let clock = FpgaPlatform::xcvu9p().clock_hz;
+    let gen1 = CoprocessorSystem::new(accel.clone(), clock, IoChannel::pcie_gen1());
+    let gen3 = CoprocessorSystem::new(accel.clone(), clock, IoChannel::pcie_gen3());
+    let infinite = CoprocessorSystem::new(
+        accel,
+        clock,
+        IoChannel {
+            name: "infinite".into(),
+            bandwidth_bytes_per_s: 1e15,
+            per_call_overhead_s: 0.0,
+        },
+    );
+    let t1 = gen1.round_trip(128).total_s;
+    let t3 = gen3.round_trip(128).total_s;
+    let ti = infinite.round_trip(128).total_s;
+    assert!(t3 < t1);
+    assert!(ti <= t3);
+    // With infinite I/O the round trip is pure pipeline time.
+    let ii = accel_ii_seconds();
+    assert!(ti >= 127.0 * ii, "compute-bound floor");
+}
+
+fn accel_ii_seconds() -> f64 {
+    let accel = GradientTemplate::new().customize(&robots::iiwa14());
+    accel.schedule().initiation_interval() as f64 / FpgaPlatform::xcvu9p().clock_hz
+}
+
+#[test]
+fn quadruped_coprocessor_is_faster_per_batch() {
+    // Shorter limbs → lower II → better throughput, despite more joints
+    // (more I/O per step).
+    let clock = FpgaPlatform::xcvu9p().clock_hz;
+    let iiwa = CoprocessorSystem::new(
+        GradientTemplate::new().customize(&robots::iiwa14()),
+        clock,
+        IoChannel::pcie_gen1(),
+    );
+    let hyq = CoprocessorSystem::new(
+        GradientTemplate::new().customize(&robots::hyq()),
+        clock,
+        IoChannel::pcie_gen1(),
+    );
+    assert!(
+        hyq.accelerator().schedule().initiation_interval()
+            < iiwa.accelerator().schedule().initiation_interval()
+    );
+    // But the 12-DoF payload is bigger, so I/O may dominate — both effects
+    // must be visible in the model.
+    assert!(hyq.input_bytes_per_step() > iiwa.input_bytes_per_step());
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: robot model → customized accelerator →
+//! simulated fixed-point execution → software reference → finite
+//! differences, across every built-in robot. This is the cross-crate path
+//! a downstream user exercises.
+
+use robomorphic::baselines::{random_inputs, CpuBaseline};
+use robomorphic::core::{FpgaPlatform, GradientTemplate};
+use robomorphic::dynamics::{findiff, DynamicsModel};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::{robots, RobotModel};
+use robomorphic::sim::{AcceleratorSim, CoprocessorSystem};
+use robomorphic::spatial::Scalar;
+
+fn check_robot(robot: &RobotModel, rel_tol_fixed: f64) {
+    let input = &random_inputs(robot, 1, 2024)[0];
+
+    // Software reference (the CPU baseline's exact kernel).
+    let cpu = CpuBaseline::new(robot);
+    let reference = cpu.compute(input);
+
+    // Finite differences as ground truth for the reference itself.
+    let model = DynamicsModel::<f64>::new(robot);
+    let cache = robomorphic::dynamics::rnea(&model, &input.q, &input.qd, &input.qdd).cache;
+    let analytic = robomorphic::dynamics::rnea_derivatives(&model, &input.qd, &cache);
+    let numeric = findiff::rnea_gradient_fd(&model, &input.q, &input.qd, &input.qdd, 1e-6);
+    assert!(
+        analytic.dtau_dq.max_abs_diff(&numeric.dtau_dq) < 1e-3,
+        "{}: analytic ∂τ/∂q disagrees with finite differences",
+        robot.name()
+    );
+
+    // Simulated accelerator in f64: structurally identical result.
+    let sim = AcceleratorSim::<f64>::new(robot);
+    let out = sim.compute_gradient(&input.q, &input.qd, &input.qdd, &input.minv);
+    assert!(
+        out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) < 1e-9,
+        "{}: f64 accelerator deviates from software",
+        robot.name()
+    );
+
+    // Simulated accelerator in the hardware's Q16.16.
+    let simf = AcceleratorSim::<Fix32_16>::new(robot);
+    let cast = |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
+    let outf = simf.compute_gradient(
+        &cast(&input.q),
+        &cast(&input.qd),
+        &cast(&input.qdd),
+        &input.minv.cast(),
+    );
+    let scale = reference.dqdd_dq.max_abs().max(1.0);
+    let rel = outf.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+    assert!(
+        rel < rel_tol_fixed,
+        "{}: fixed-point accelerator error {rel:.2e} over tolerance",
+        robot.name()
+    );
+}
+
+#[test]
+fn iiwa_end_to_end() {
+    check_robot(&robots::iiwa14(), 5e-3);
+}
+
+#[test]
+fn quadruped_end_to_end() {
+    check_robot(&robots::hyq(), 5e-3);
+}
+
+#[test]
+fn humanoid_end_to_end() {
+    check_robot(&robots::atlas(), 2e-2);
+}
+
+#[test]
+fn prismatic_chain_end_to_end() {
+    check_robot(&robots::serial_chain(5, robomorphic::model::JointType::PrismaticY), 5e-3);
+}
+
+#[test]
+fn panda_end_to_end() {
+    // Lighter wrists → smaller inertia entries → larger relative Q16.16
+    // quantization than the iiwa; still well inside the usable band.
+    check_robot(&robots::panda(), 2e-2);
+}
+
+#[test]
+fn ur5_end_to_end() {
+    check_robot(&robots::ur5(), 2e-2);
+}
+
+#[test]
+fn full_pipeline_produces_paper_design_points() {
+    // The canonical numbers a reader checks first.
+    let robot = robots::iiwa14();
+    let accel = GradientTemplate::new().customize(&robot);
+    let fpga = FpgaPlatform::xcvu9p();
+
+    assert_eq!(accel.schedule().single_latency_cycles(), 34);
+    let latency_us = accel.single_latency_s(fpga.clock_hz) * 1e6;
+    assert!((0.55..=0.68).contains(&latency_us));
+    assert!(fpga.fits(&accel.resources()));
+
+    let coproc = CoprocessorSystem::fpga_default(accel);
+    let rt10 = coproc.round_trip(10).total_s;
+    let rt128 = coproc.round_trip(128).total_s;
+    assert!(rt10 < rt128);
+    // Amortization: per-step cost shrinks with batch size.
+    assert!(rt128 / 128.0 < rt10 / 10.0);
+}
+
+#[test]
+fn template_is_reusable_across_robots() {
+    // Step 1 happens once; step 2 is cheap and robot-specific.
+    let template = GradientTemplate::new();
+    let names: Vec<String> = [robots::iiwa14(), robots::hyq(), robots::atlas()]
+        .iter()
+        .map(|r| template.customize(r).robot_name().to_owned())
+        .collect();
+    assert_eq!(names, vec!["iiwa14", "hyq", "atlas"]);
+}

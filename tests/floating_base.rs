@@ -1,0 +1,145 @@
+//! Floating-base dynamics through the 6-DoF virtual-chain emulation:
+//! physics sanity checks that only hold if the whole stack (model →
+//! dynamics → gradients → accelerator) treats the mobile base correctly.
+
+use robomorphic::dynamics::{aba, forward_dynamics, rnea, DynamicsModel};
+use robomorphic::model::{robots, with_floating_base};
+use robomorphic::spatial::{Mat3, SpatialInertia, Vec3};
+
+fn free_body() -> robomorphic::model::RobotModel {
+    // A single 10 kg rigid body on the virtual 6-DoF chain.
+    let torso = SpatialInertia::from_com_params(
+        10.0,
+        Vec3::zero(),
+        Mat3::from_rows([0.4, 0.0, 0.0], [0.0, 0.5, 0.0], [0.0, 0.0, 0.3]),
+    );
+    let dummy = robomorphic::model::RobotBuilder::new("body")
+        .link("marker", None, robomorphic::model::JointType::RevoluteZ)
+        .uniform_rod_inertia(1e-6, 0.01)
+        .build()
+        .unwrap();
+    // Wrap a negligible marker link so the tree has something below the
+    // base; the torso carries essentially all inertia.
+    with_floating_base(&dummy, torso)
+}
+
+#[test]
+fn free_fall_accelerates_at_g() {
+    // An unactuated free body under gravity: base-z acceleration −9.81,
+    // everything else (from rest, at identity) zero.
+    let robot = free_body();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let n = robot.dof();
+    let zero = vec![0.0; n];
+    let qdd = forward_dynamics(&model, &zero, &zero, &zero).expect("spd");
+    assert!(
+        (qdd[2] + robomorphic::dynamics::STANDARD_GRAVITY).abs() < 1e-6,
+        "base tz acceleration {} should be -g",
+        qdd[2]
+    );
+    for (i, a) in qdd.iter().enumerate() {
+        if i != 2 {
+            assert!(a.abs() < 1e-6, "dof {i} should not accelerate, got {a}");
+        }
+    }
+}
+
+#[test]
+fn hovering_requires_weight_in_thrust() {
+    // Holding the floating body still takes exactly m·g on the base-z
+    // virtual joint and nothing elsewhere.
+    let robot = free_body();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let n = robot.dof();
+    let zero = vec![0.0; n];
+    let tau = rnea(&model, &zero, &zero, &zero).tau;
+    let weight = robot.total_mass() * robomorphic::dynamics::STANDARD_GRAVITY;
+    assert!(
+        (tau[2] - weight).abs() < 1e-6,
+        "hover force {} vs weight {weight}",
+        tau[2]
+    );
+}
+
+#[test]
+fn floating_quadruped_stack_works_end_to_end() {
+    // The full 18-DoF floating HyQ: forward/inverse dynamics agree, the
+    // analytical gradient matches finite differences, and the simulated
+    // accelerator matches the reference.
+    let robot = robots::hyq_floating();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let n = robot.dof();
+    assert_eq!(n, 18);
+
+    let mut seed = 5u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64 / (1u64 << 53) as f64) * 0.6 - 0.3
+    };
+    let q: Vec<f64> = (0..n).map(|_| next()).collect();
+    let qd: Vec<f64> = (0..n).map(|_| next()).collect();
+    let tau: Vec<f64> = (0..n).map(|_| 10.0 * next()).collect();
+
+    // FD ∘ ID round trip and ABA cross-check.
+    let qdd = forward_dynamics(&model, &q, &qd, &tau).expect("spd");
+    let back = rnea(&model, &q, &qd, &qdd).tau;
+    for i in 0..n {
+        assert!((back[i] - tau[i]).abs() < 1e-6, "dof {i}");
+    }
+    let via_aba = aba(&model, &q, &qd, &tau);
+    for i in 0..n {
+        assert!((via_aba[i] - qdd[i]).abs() < 1e-5, "aba dof {i}");
+    }
+
+    // Analytical gradient vs finite differences.
+    let cache = rnea(&model, &q, &qd, &qdd).cache;
+    let analytic = robomorphic::dynamics::rnea_derivatives(&model, &qd, &cache);
+    let numeric =
+        robomorphic::dynamics::findiff::rnea_gradient_fd(&model, &q, &qd, &qdd, 1e-6);
+    assert!(
+        analytic.dtau_dq.max_abs_diff(&numeric.dtau_dq) < 1e-3,
+        "floating-base ∂τ/∂q mismatch"
+    );
+
+    // The simulated accelerator handles the floating tree identically.
+    let minv = robomorphic::dynamics::mass_matrix_inverse(&model, &q).expect("spd");
+    let reference =
+        robomorphic::dynamics::dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+    let sim = robomorphic::sim::AcceleratorSim::<f64>::new(&robot);
+    let out = sim.compute_gradient(&q, &qd, &qdd, &minv);
+    assert!(out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) < 1e-9);
+}
+
+#[test]
+fn floating_base_changes_the_accelerator_design() {
+    // The virtual chain becomes part of the longest limb: latency grows,
+    // and prismatic virtual joints widen the superposition pattern.
+    let fixed = robomorphic::core::GradientTemplate::new().customize(&robots::hyq());
+    let floating =
+        robomorphic::core::GradientTemplate::new().customize(&robots::hyq_floating());
+    assert!(
+        floating.schedule().single_latency_cycles() > fixed.schedule().single_latency_cycles()
+    );
+    assert!(floating.params().dof == fixed.params().dof + 6);
+}
+
+#[test]
+fn momentum_conservation_without_gravity() {
+    // In zero gravity with zero torques, the free body's velocity is
+    // constant: q̈ = 0 from any pure-translation initial velocity.
+    let robot = free_body();
+    let model =
+        DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
+    let n = robot.dof();
+    let q = vec![0.0; n];
+    let mut qd = vec![0.0; n];
+    qd[0] = 0.7; // drifting along x
+    qd[2] = -0.2; // and down
+    let tau = vec![0.0; n];
+    let qdd = forward_dynamics(&model, &q, &qd, &tau).expect("spd");
+    for (i, a) in qdd.iter().enumerate() {
+        assert!(a.abs() < 1e-6, "dof {i} accelerates at {a} in free drift");
+    }
+}

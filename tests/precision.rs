@@ -1,0 +1,155 @@
+//! Property-based tests of the fixed-point substrate and the text formats
+//! (fuzz-style failure injection: arbitrary inputs must never panic).
+
+use proptest::prelude::*;
+use robomorphic::codegen::Netlist;
+use robomorphic::fixed::{Fix14_6, Fix32_16};
+use robomorphic::model::parse_robo;
+use robomorphic::spatial::Scalar;
+
+fn fix(v: f64) -> Fix32_16 {
+    Fix32_16::from_f64(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_add_commutes(a in -30000.0..30000.0f64, b in -30000.0..30000.0f64) {
+        prop_assert_eq!(fix(a) + fix(b), fix(b) + fix(a));
+    }
+
+    #[test]
+    fn fixed_mul_commutes(a in -170.0..170.0f64, b in -170.0..170.0f64) {
+        prop_assert_eq!(fix(a) * fix(b), fix(b) * fix(a));
+    }
+
+    #[test]
+    fn fixed_round_trip_error_within_half_ulp(v in -32000.0..32000.0f64) {
+        let err = (fix(v).to_f64() - v).abs();
+        prop_assert!(err <= Fix32_16::resolution() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn fixed_add_error_bounded(a in -15000.0..15000.0f64, b in -15000.0..15000.0f64) {
+        // Addition of representable values is exact inside the range.
+        let exact = fix(a).to_f64() + fix(b).to_f64();
+        prop_assert_eq!((fix(a) + fix(b)).to_f64(), exact);
+    }
+
+    #[test]
+    fn fixed_mul_error_bounded(a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let exact = fix(a).to_f64() * fix(b).to_f64();
+        let got = (fix(a) * fix(b)).to_f64();
+        prop_assert!((got - exact).abs() <= Fix32_16::resolution() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn fixed_saturation_is_monotone(v in proptest::num::f64::NORMAL) {
+        // from_f64 never panics and clamps monotonically for any finite
+        // input.
+        let a = Fix32_16::from_f64(v);
+        let b = Fix32_16::from_f64(v / 2.0);
+        if v >= 0.0 {
+            prop_assert!(b <= a);
+        } else {
+            prop_assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn fixed_ordering_matches_f64(a in -30000.0..30000.0f64, b in -30000.0..30000.0f64) {
+        let (fa, fb) = (fix(a), fix(b));
+        if fa < fb {
+            prop_assert!(fa.to_f64() <= fb.to_f64());
+        }
+    }
+
+    #[test]
+    fn wide_dot_matches_exact_within_one_ulp(
+        pairs in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..8),
+    ) {
+        let fixed_pairs: Vec<(Fix14_6, Fix14_6)> = pairs
+            .iter()
+            .map(|(a, b)| (Fix14_6::from_f64(*a), Fix14_6::from_f64(*b)))
+            .collect();
+        let exact: f64 = fixed_pairs
+            .iter()
+            .map(|(a, b)| a.to_f64() * b.to_f64())
+            .sum();
+        if exact.abs() < 4000.0 {
+            let wide = Fix14_6::dot_accumulate(&fixed_pairs).to_f64();
+            prop_assert!(
+                (wide - exact).abs() <= Fix14_6::resolution(),
+                "wide {} vs exact {}", wide, exact
+            );
+        }
+    }
+
+    #[test]
+    fn robo_parser_never_panics(text in ".{0,400}") {
+        let _ = parse_robo(&text);
+    }
+
+    #[test]
+    fn robo_parser_never_panics_on_linklike_input(
+        fields in prop::collection::vec("[a-z=0-9,.:x ]{0,30}", 0..8),
+    ) {
+        let line = format!("robot f\nlink {}\n", fields.join(" "));
+        let _ = parse_robo(&line);
+    }
+
+    #[test]
+    fn netlist_parser_never_panics(text in ".{0,400}") {
+        let _ = Netlist::parse(&text);
+    }
+
+    #[test]
+    fn netlist_parser_never_panics_on_oplike_input(
+        ops in prop::collection::vec("(0|1|2|3) (add|mul|neg|input|const|mulc|sub) [0-9 a-z.]{0,10}", 0..6),
+    ) {
+        let text = format!("netlist f\n{}\n", ops.join("\n"));
+        let _ = Netlist::parse(&text);
+    }
+}
+
+#[test]
+fn precision_ladder_is_ordered() {
+    // Error decreases with fractional bits on the simulated kernel.
+    use robomorphic::baselines::random_inputs;
+    use robomorphic::fixed::{Fix12_4, Fix14_18};
+    use robomorphic::model::robots;
+    use robomorphic::sim::AcceleratorSim;
+
+    let robot = robots::iiwa14();
+    let input = &random_inputs(&robot, 1, 9)[0];
+    let reference = AcceleratorSim::<f64>::new(&robot).compute_gradient(
+        &input.q,
+        &input.qd,
+        &input.qdd,
+        &input.minv,
+    );
+    let scale = reference.dqdd_dq.max_abs().max(1.0);
+
+    fn err<S: Scalar>(
+        robot: &robomorphic::model::RobotModel,
+        input: &robomorphic::baselines::GradientInput,
+        reference: &robomorphic::sim::SimOutput<f64>,
+        scale: f64,
+    ) -> f64 {
+        let cast = |v: &[f64]| -> Vec<S> { v.iter().map(|x| S::from_f64(*x)).collect() };
+        let out = AcceleratorSim::<S>::new(robot).compute_gradient(
+            &cast(&input.q),
+            &cast(&input.qd),
+            &cast(&input.qdd),
+            &input.minv.cast::<S>(),
+        );
+        out.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale
+    }
+
+    let e18 = err::<Fix14_18>(&robot, input, &reference, scale);
+    let e16 = err::<Fix32_16>(&robot, input, &reference, scale);
+    let e4 = err::<Fix12_4>(&robot, input, &reference, scale);
+    assert!(e18 < e16, "18 frac bits should beat 16: {e18:.2e} vs {e16:.2e}");
+    assert!(e16 < e4, "16 frac bits should beat 4: {e16:.2e} vs {e4:.2e}");
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over randomly generated robot morphologies.
+//!
+//! The paper's claim is that the methodology is *systematic*: any robot a
+//! description file can express gets a correct customized accelerator.
+//! These properties generate random kinematic trees (random joint types,
+//! placements, and inertial parameters) and check the invariants the whole
+//! stack rests on.
+
+use proptest::prelude::*;
+use robomorphic::dynamics::{
+    aba, findiff, forward_dynamics, mass_matrix, rnea, rnea_derivatives, DynamicsModel,
+};
+use robomorphic::model::{JointType, RobotBuilder, RobotModel};
+use robomorphic::sim::AcceleratorSim;
+use robomorphic::sparsity::{superposition_pattern, x_pattern, Mask6};
+use robomorphic::spatial::{Mat3, Transform, Vec3};
+
+fn joint_strategy() -> impl Strategy<Value = JointType> {
+    prop::sample::select(JointType::ALL.to_vec())
+}
+
+#[derive(Debug, Clone)]
+struct LinkSpec {
+    joint: JointType,
+    rot_axis: u8,
+    rot_deg: f64,
+    trans: [f64; 3],
+    mass: f64,
+    com: [f64; 3],
+    inertia_diag: [f64; 3],
+    branch_to: usize, // parent selector
+}
+
+fn link_strategy() -> impl Strategy<Value = LinkSpec> {
+    (
+        joint_strategy(),
+        0u8..4,
+        prop::sample::select(vec![-90.0, 0.0, 45.0, 90.0]),
+        [-0.3..0.3f64, -0.3..0.3f64, 0.05..0.4f64],
+        0.5..8.0f64,
+        [-0.1..0.1f64, -0.1..0.1f64, 0.0..0.2f64],
+        [0.005..0.08f64, 0.005..0.08f64, 0.002..0.05f64],
+        0usize..4,
+    )
+        .prop_map(
+            |(joint, rot_axis, rot_deg, trans, mass, com, inertia_diag, branch_to)| LinkSpec {
+                joint,
+                rot_axis,
+                rot_deg,
+                trans,
+                mass,
+                com,
+                inertia_diag,
+                branch_to,
+            },
+        )
+}
+
+fn build_robot(specs: &[LinkSpec]) -> RobotModel {
+    let mut b = RobotBuilder::new("random");
+    for (i, s) in specs.iter().enumerate() {
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(s.branch_to % i) // any earlier link; creates trees, not just chains
+        };
+        let rot = match s.rot_axis % 4 {
+            0 => Mat3::identity(),
+            1 => Mat3::coord_rotation_x(s.rot_deg.to_radians()),
+            2 => Mat3::coord_rotation_y(s.rot_deg.to_radians()),
+            _ => Mat3::coord_rotation_z(s.rot_deg.to_radians()),
+        };
+        b = b
+            .link(format!("l{i}"), parent, s.joint)
+            .placement(Transform::new(
+                rot,
+                Vec3::new(s.trans[0], s.trans[1], s.trans[2]),
+            ))
+            .inertia(
+                s.mass,
+                Vec3::new(s.com[0], s.com[1], s.com[2]),
+                Mat3::from_rows(
+                    [s.inertia_diag[0], 0.0, 0.0],
+                    [0.0, s.inertia_diag[1], 0.0],
+                    [0.0, 0.0, s.inertia_diag[2]],
+                ),
+            );
+    }
+    b.build().expect("generated robots are valid")
+}
+
+fn state_strategy(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(-1.5..1.5f64, n),
+        prop::collection::vec(-1.0..1.0f64, n),
+        prop::collection::vec(-3.0..3.0f64, n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mass_matrix_is_symmetric_positive_definite(
+        specs in prop::collection::vec(link_strategy(), 2..7),
+    ) {
+        let robot = build_robot(&specs);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let q: Vec<f64> = (0..model.dof()).map(|i| 0.3 * i as f64 - 0.5).collect();
+        let m = mass_matrix(&model, &q);
+        prop_assert!(m.is_symmetric(1e-9));
+        prop_assert!(m.ldlt().is_ok());
+    }
+
+    #[test]
+    fn forward_and_inverse_dynamics_are_inverses(
+        specs in prop::collection::vec(link_strategy(), 2..7),
+        seed in 0u64..1000,
+    ) {
+        let robot = build_robot(&specs);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let n = model.dof();
+        let mut s = seed.wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let q: Vec<f64> = (0..n).map(|_| next()).collect();
+        let qd: Vec<f64> = (0..n).map(|_| next()).collect();
+        let tau: Vec<f64> = (0..n).map(|_| 4.0 * next()).collect();
+        let qdd = forward_dynamics(&model, &q, &qd, &tau).expect("spd");
+        let back = rnea(&model, &q, &qd, &qdd).tau;
+        for i in 0..n {
+            prop_assert!((back[i] - tau[i]).abs() < 1e-7, "joint {}", i);
+        }
+        // And the O(n) ABA agrees with the CRBA route.
+        let via_aba = aba(&model, &q, &qd, &tau);
+        for i in 0..n {
+            prop_assert!((via_aba[i] - qdd[i]).abs() < 1e-6, "aba joint {}", i);
+        }
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences(
+        specs in prop::collection::vec(link_strategy(), 2..6),
+        (q, qd, qdd) in state_strategy(5),
+    ) {
+        let robot = build_robot(&specs);
+        let model = DynamicsModel::<f64>::new(&robot);
+        let n = model.dof();
+        let (q, qd, qdd) = (&q[..n], &qd[..n], &qdd[..n]);
+        let cache = rnea(&model, q, qd, qdd).cache;
+        let analytic = rnea_derivatives(&model, qd, &cache);
+        let numeric = findiff::rnea_gradient_fd(&model, q, qd, qdd, 1e-6);
+        prop_assert!(analytic.dtau_dq.max_abs_diff(&numeric.dtau_dq) < 5e-4);
+        prop_assert!(analytic.dtau_dqd.max_abs_diff(&numeric.dtau_dqd) < 5e-4);
+    }
+
+    #[test]
+    fn simulated_accelerator_equals_reference_on_random_morphologies(
+        specs in prop::collection::vec(link_strategy(), 2..7),
+    ) {
+        let robot = build_robot(&specs);
+        let input = &robomorphic::baselines::random_inputs(&robot, 1, 77)[0];
+        let reference = robomorphic::dynamics::dynamics_gradient_from_qdd(
+            &DynamicsModel::<f64>::new(&robot),
+            &input.q, &input.qd, &input.qdd, &input.minv,
+        );
+        let sim = AcceleratorSim::<f64>::new(&robot);
+        let out = sim.compute_gradient(&input.q, &input.qd, &input.qdd, &input.minv);
+        prop_assert!(out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) < 1e-9);
+        prop_assert!(out.dqdd_dqd.max_abs_diff(&reference.dqdd_dqd) < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_superposition_covers_every_joint(
+        specs in prop::collection::vec(link_strategy(), 1..8),
+    ) {
+        let robot = build_robot(&specs);
+        let sup = superposition_pattern(&robot);
+        for i in 0..robot.dof() {
+            prop_assert!(x_pattern(&robot, i).is_subset_of(&sup));
+        }
+        prop_assert!(sup.is_subset_of(&Mask6::robot_agnostic_transform()));
+    }
+
+    #[test]
+    fn robo_format_round_trips(
+        specs in prop::collection::vec(link_strategy(), 1..6),
+    ) {
+        let robot = build_robot(&specs);
+        let text = robomorphic::model::to_robo(&robot);
+        let parsed = robomorphic::model::parse_robo(&text).expect("round trip");
+        prop_assert_eq!(parsed.dof(), robot.dof());
+        for (a, b) in parsed.links().iter().zip(robot.links().iter()) {
+            prop_assert_eq!(a.joint, b.joint);
+            prop_assert_eq!(a.parent, b.parent);
+            prop_assert!((a.inertia.mass - b.inertia.mass).abs() < 1e-9);
+            prop_assert!((a.tree.rot - b.tree.rot).max_abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn customization_is_deterministic(
+        specs in prop::collection::vec(link_strategy(), 1..6),
+    ) {
+        let robot = build_robot(&specs);
+        let t = robomorphic::core::GradientTemplate::new();
+        let a = t.customize(&robot);
+        let b = t.customize(&robot);
+        prop_assert_eq!(a.resources(), b.resources());
+        prop_assert_eq!(a.schedule(), b.schedule());
+    }
+}
