@@ -6,8 +6,8 @@
 //! `robo-dynamics`), in Rust, actually measured on the machine running the
 //! experiments — a real baseline, not a model (see DESIGN.md).
 
-use crate::pool::ThreadPool;
 use crate::LatencySegments;
+use robo_dynamics::batch::{BatchEngine, GradientState};
 use robo_dynamics::{
     dynamics_gradient_from_qdd, forward_dynamics, mass_matrix_inverse, rnea, rnea_derivatives,
     DynamicsGradient, DynamicsModel,
@@ -50,20 +50,21 @@ impl GradientInput {
     }
 }
 
-/// The CPU baseline: dynamics-gradient kernel on the host, thread-pooled
-/// across time steps.
+/// The CPU baseline: dynamics-gradient kernel on the host, run through the
+/// process-wide [`BatchEngine`] across time steps.
 #[derive(Debug)]
 pub struct CpuBaseline {
     model: Arc<DynamicsModel<f64>>,
-    pool: ThreadPool,
+    engine: &'static BatchEngine,
 }
 
 impl CpuBaseline {
-    /// Builds the baseline for a robot with one worker per hardware thread.
+    /// Builds the baseline for a robot on the shared engine (one worker per
+    /// hardware thread).
     pub fn new(robot: &RobotModel) -> Self {
         Self {
             model: Arc::new(DynamicsModel::new(robot)),
-            pool: ThreadPool::with_default_size(),
+            engine: BatchEngine::global(),
         }
     }
 
@@ -74,7 +75,7 @@ impl CpuBaseline {
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.engine.threads()
     }
 
     /// Computes one dynamics gradient (the accelerator's exact kernel
@@ -83,17 +84,19 @@ impl CpuBaseline {
         dynamics_gradient_from_qdd(&self.model, &input.q, &input.qd, &input.qdd, &input.minv)
     }
 
-    /// Computes gradients for a batch of time steps in parallel.
+    /// Computes gradients for a batch of time steps in parallel, one
+    /// reusable workspace per worker (allocation-free steady state).
     pub fn compute_batch(&self, inputs: Arc<Vec<GradientInput>>) -> Vec<DynamicsGradient<f64>> {
-        let model = Arc::clone(&self.model);
-        let count = inputs.len();
-        self.pool.run_batch(
-            count,
-            Arc::new(move |i: usize| {
-                let inp = &inputs[i];
-                dynamics_gradient_from_qdd(&model, &inp.q, &inp.qd, &inp.qdd, &inp.minv)
-            }),
-        )
+        let states: Vec<GradientState<'_, f64>> = inputs
+            .iter()
+            .map(|inp| GradientState {
+                q: &inp.q,
+                qd: &inp.qd,
+                qdd: &inp.qdd,
+                minv: &inp.minv,
+            })
+            .collect();
+        self.engine.dynamics_gradient_batch(&self.model, &states)
     }
 
     /// Measures the single-computation latency (mean of `trials`), the
@@ -246,8 +249,7 @@ mod tests {
         let input = &random_inputs(&robot, 1, 5)[0];
         let got = cpu.compute(input);
         let model = DynamicsModel::<f64>::new(&robot);
-        let want =
-            dynamics_gradient_from_qdd(&model, &input.q, &input.qd, &input.qdd, &input.minv);
+        let want = dynamics_gradient_from_qdd(&model, &input.q, &input.qd, &input.qdd, &input.minv);
         assert!(got.dqdd_dq.max_abs_diff(&want.dqdd_dq) < 1e-12);
     }
 

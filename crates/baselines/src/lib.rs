@@ -2,9 +2,10 @@
 //! and a *modeled* GPU (see DESIGN.md's substitution table).
 //!
 //! * [`CpuBaseline`] — the dynamics-gradient kernel on the host CPU,
-//!   parallelized across trajectory time steps with a persistent
-//!   [`ThreadPool`], timed with `std::time::Instant` (the paper's
-//!   Pinocchio-on-i7 counterpart);
+//!   parallelized across trajectory time steps through the shared
+//!   [`robo_dynamics::batch::BatchEngine`] (a persistent [`ThreadPool`]
+//!   with per-worker workspaces), timed with `std::time::Instant` (the
+//!   paper's Pinocchio-on-i7 counterpart);
 //! * [`GpuModel`] — an analytic RTX 2080-class latency model encoding
 //!   kernel-launch overhead, the serialized forward/backward sync chain,
 //!   and SM-wave throughput;

@@ -3,192 +3,30 @@
 //! The paper's CPU baseline "was parallelized across the trajectory time
 //! steps using a thread pool so that the overheads of creating and joining
 //! threads did not impact the timing of the region of interest" (§6.1).
-//! This is that thread pool: workers live for the pool's lifetime and pull
-//! batch indices from a shared counter.
+//!
+//! The pool itself now lives in [`robo_dynamics::batch`], where the shared
+//! [`BatchEngine`](robo_dynamics::batch::BatchEngine) wraps it with
+//! per-worker workspaces; this module re-exports it so the historical
+//! `robo_baselines::ThreadPool` path keeps working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-enum Message {
-    Run(Job),
-    Shutdown,
-}
-
-/// A fixed-size pool of persistent worker threads.
-///
-/// # Examples
-///
-/// ```
-/// use robo_baselines::ThreadPool;
-/// use std::sync::Arc;
-///
-/// let pool = ThreadPool::new(4);
-/// let out = pool.run_batch(100, Arc::new(|i: usize| i * i));
-/// assert_eq!(out[9], 81);
-/// ```
-#[derive(Debug)]
-pub struct ThreadPool {
-    workers: Vec<JoinHandle<()>>,
-    sender: mpsc::Sender<Message>,
-}
-
-impl ThreadPool {
-    /// Spawns a pool with `threads` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "thread pool needs at least one worker");
-        let (sender, receiver) = mpsc::channel::<Message>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|_| {
-                let rx = Arc::clone(&receiver);
-                std::thread::spawn(move || loop {
-                    let msg = {
-                        let guard = rx.lock().expect("pool receiver poisoned");
-                        guard.recv()
-                    };
-                    match msg {
-                        Ok(Message::Run(job)) => job(),
-                        Ok(Message::Shutdown) | Err(_) => break,
-                    }
-                })
-            })
-            .collect();
-        Self { workers, sender }
-    }
-
-    /// A pool sized to the machine's available parallelism.
-    pub fn with_default_size() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        Self::new(n)
-    }
-
-    /// Number of worker threads.
-    pub fn threads(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Runs `f(0..count)` across the pool and returns the results in index
-    /// order. Work is distributed dynamically (an atomic index), so uneven
-    /// item costs balance out.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker panicked while processing an item.
-    pub fn run_batch<T, F>(&self, count: usize, f: Arc<F>) -> Vec<T>
-    where
-        T: Send + 'static,
-        F: Fn(usize) -> T + Send + Sync + 'static,
-    {
-        if count == 0 {
-            return Vec::new();
-        }
-        let results: Arc<Mutex<Vec<Option<T>>>> =
-            Arc::new(Mutex::new((0..count).map(|_| None).collect()));
-        let next = Arc::new(AtomicUsize::new(0));
-        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
-
-        let workers = self.workers.len().min(count);
-        for _ in 0..workers {
-            let f = Arc::clone(&f);
-            let results = Arc::clone(&results);
-            let next = Arc::clone(&next);
-            let done = Arc::clone(&done);
-            let job: Job = Box::new(move || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    let value = f(i);
-                    results.lock().expect("results poisoned")[i] = Some(value);
-                }
-                let (lock, cv) = &*done;
-                *lock.lock().expect("done poisoned") += 1;
-                cv.notify_all();
-            });
-            self.sender
-                .send(Message::Run(job))
-                .expect("pool workers gone");
-        }
-
-        let (lock, cv) = &*done;
-        let mut finished = lock.lock().expect("done poisoned");
-        while *finished < workers {
-            finished = cv.wait(finished).expect("done poisoned");
-        }
-        drop(finished);
-
-        // Workers may still hold their Arc clones for an instant after
-        // signalling completion, so take the data out under the lock rather
-        // than unwrapping the Arc.
-        let mut guard = results.lock().expect("results poisoned");
-        std::mem::take(&mut *guard)
-            .into_iter()
-            .map(|x| x.expect("worker panicked before storing a result"))
-            .collect()
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.sender.send(Message::Shutdown);
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
+pub use robo_dynamics::batch::ThreadPool;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn computes_in_order() {
+    fn reexported_pool_keeps_the_arc_api() {
+        // The pre-promotion `run_batch(count, Arc<F>)` surface must keep
+        // compiling and behaving for downstream users of this crate.
         let pool = ThreadPool::new(3);
         let out = pool.run_batch(50, Arc::new(|i: usize| 2 * i));
         assert_eq!(out.len(), 50);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2 * i);
         }
-    }
-
-    #[test]
-    fn empty_batch() {
-        let pool = ThreadPool::new(2);
-        let out: Vec<usize> = pool.run_batch(0, Arc::new(|i: usize| i));
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn batch_smaller_than_pool() {
-        let pool = ThreadPool::new(8);
-        let out = pool.run_batch(3, Arc::new(|i: usize| i + 1));
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn reusable_across_batches() {
-        let pool = ThreadPool::new(4);
-        for round in 0..5 {
-            let out = pool.run_batch(16, Arc::new(move |i: usize| i * round));
-            assert_eq!(out[3], 3 * round);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_panics() {
-        let _ = ThreadPool::new(0);
+        let empty: Vec<usize> = pool.run_batch(0, Arc::new(|i: usize| i));
+        assert!(empty.is_empty());
     }
 }

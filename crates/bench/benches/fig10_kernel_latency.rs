@@ -43,7 +43,9 @@ fn bench_simulated_accelerator(c: &mut Criterion) {
     let sim = AcceleratorSim::<f64>::new(&robot);
     let sim_fix = AcceleratorSim::<robo_fixed::Fix32_16>::new(&robot);
     let cast = |v: &[f64]| -> Vec<robo_fixed::Fix32_16> {
-        v.iter().map(|x| robo_spatial::Scalar::from_f64(*x)).collect()
+        v.iter()
+            .map(|x| robo_spatial::Scalar::from_f64(*x))
+            .collect()
     };
     let (qf, qdf, qddf) = (cast(&input.q), cast(&input.qd), cast(&input.qdd));
     let minvf = input.minv.cast::<robo_fixed::Fix32_16>();

@@ -26,9 +26,8 @@ fn bench_cpu_batches(c: &mut Criterion) {
 }
 
 fn bench_models(c: &mut Criterion) {
-    let coproc = CoprocessorSystem::fpga_default(
-        GradientTemplate::new().customize(&robots::iiwa14()),
-    );
+    let coproc =
+        CoprocessorSystem::fpga_default(GradientTemplate::new().customize(&robots::iiwa14()));
     let gpu = GpuModel::rtx2080();
     let mut g = c.benchmark_group("fig13_models");
     g.bench_function("fpga_roundtrip_eval", |b| {

@@ -12,7 +12,9 @@ use std::hint::black_box;
 fn state(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut s = seed.max(1);
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     };
     (

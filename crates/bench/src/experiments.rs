@@ -63,8 +63,11 @@ pub fn sec4_sparsity_example() -> String {
 /// Table 1: hardware system configurations (paper platforms vs our
 /// substitutions).
 pub fn table1_platforms() -> String {
-    let mut t = Table::new("Table 1: hardware system configurations")
-        .headers(["platform", "paper", "this reproduction"]);
+    let mut t = Table::new("Table 1: hardware system configurations").headers([
+        "platform",
+        "paper",
+        "this reproduction",
+    ]);
     t.row([
         "CPU",
         "Intel i7-7700, 4 cores, 3.6 GHz",
@@ -102,8 +105,12 @@ pub fn fig04_control_rates(quick: bool) -> String {
         })
         .collect();
 
-    let mut t = Table::new("Figure 4: control rates (Hz) vs trajectory time steps")
-        .headers(["time steps", "manipulator", "quadruped", "humanoid"]);
+    let mut t = Table::new("Figure 4: control rates (Hz) vs trajectory time steps").headers([
+        "time steps",
+        "manipulator",
+        "quadruped",
+        "humanoid",
+    ]);
     for steps in [10, 16, 25, 32, 50, 64, 80, 100, 128] {
         let mut row = vec![steps.to_string()];
         for m in &models {
@@ -141,14 +148,8 @@ pub fn fig10_single_latency(quick: bool) -> String {
     let cyc = |c: usize| c as f64 / fpga.clock_hz;
     let fpga_total = accel.single_latency_s(fpga.clock_hz);
 
-    let mut t = Table::new("Figure 10: single dynamics gradient latency (µs)").headers([
-        "platform",
-        "ID",
-        "grad-ID",
-        "Minv",
-        "total",
-        "vs FPGA",
-    ]);
+    let mut t = Table::new("Figure 10: single dynamics gradient latency (µs)")
+        .headers(["platform", "ID", "grad-ID", "Minv", "total", "vs FPGA"]);
     t.row([
         "CPU (measured)".to_string(),
         us(cpu_seg.id_s),
@@ -185,8 +186,12 @@ pub fn fig10_single_latency(quick: bool) -> String {
 /// sparsity treatments.
 pub fn fig11_sparsity_ops() -> String {
     let rep = robo_sparsity::fig11_report(&robots::iiwa14());
-    let mut t = Table::new("Figure 11: transform matvec unit operations (iiwa)")
-        .headers(["configuration", "muls", "adds", "total"]);
+    let mut t = Table::new("Figure 11: transform matvec unit operations (iiwa)").headers([
+        "configuration",
+        "muls",
+        "adds",
+        "total",
+    ]);
     t.row([
         "no sparsity (dense)".to_string(),
         rep.dense.muls.to_string(),
@@ -243,8 +248,8 @@ pub fn fig12_precision(quick: bool) -> String {
 
     let mut headers = vec!["iteration".to_string()];
     headers.extend(runs.iter().map(|(n, _)| n.clone()));
-    let mut t = Table::new("Figure 12: optimization cost vs iteration by numeric type")
-        .headers(headers);
+    let mut t =
+        Table::new("Figure 12: optimization cost vs iteration by numeric type").headers(headers);
     let iters = runs[0].1.len();
     for i in 0..iters {
         let mut row = vec![i.to_string()];
@@ -319,8 +324,8 @@ pub fn fig13_roundtrip(quick: bool) -> String {
     let host_threads = cpu.threads().max(1);
     let paper_cores = 4.0_f64;
     let dispatch_overhead_s = 12e-6;
-    let mut t = Table::new("Figure 13: coprocessor round-trip latency (µs) vs time steps")
-        .headers([
+    let mut t =
+        Table::new("Figure 13: coprocessor round-trip latency (µs) vs time steps").headers([
             "steps",
             "CPU measured",
             "CPU 4-core est.",
@@ -405,8 +410,12 @@ pub fn fig14_asic_latency() -> String {
     let accel = iiwa_accelerator();
     let fpga = FpgaPlatform::xcvu9p();
     let fpga_s = accel.single_latency_s(fpga.clock_hz);
-    let mut t = Table::new("Figure 14: single computation latency, FPGA vs ASIC")
-        .headers(["platform", "clock MHz", "latency µs", "speedup vs FPGA"]);
+    let mut t = Table::new("Figure 14: single computation latency, FPGA vs ASIC").headers([
+        "platform",
+        "clock MHz",
+        "latency µs",
+        "speedup vs FPGA",
+    ]);
     t.row([
         "FPGA".to_string(),
         format!("{:.1}", fpga.clock_hz / 1e6),
@@ -445,10 +454,12 @@ pub fn fig15_projected_rates(quick: bool) -> String {
         bandwidth_bytes_per_s: 50e9,
         per_call_overhead_s: 0.5e-6,
     };
-    let asic_slow =
-        CoprocessorSystem::new(accel.clone(), AsicPlatform::slow().clock_hz(), soc_channel.clone());
-    let asic_typ =
-        CoprocessorSystem::new(accel, AsicPlatform::typical().clock_hz(), soc_channel);
+    let asic_slow = CoprocessorSystem::new(
+        accel.clone(),
+        AsicPlatform::slow().clock_hz(),
+        soc_channel.clone(),
+    );
+    let asic_typ = CoprocessorSystem::new(accel, AsicPlatform::typical().clock_hz(), soc_channel);
 
     let mut t = Table::new("Figure 15: projected control rates (Hz) with the accelerator")
         .headers(["steps", "CPU baseline", "FPGA", "ASIC slow", "ASIC typical"]);
@@ -636,8 +647,14 @@ pub fn ablation_accumulator() -> String {
         ($ty:ty) => {
             t.row([
                 <$ty as Scalar>::name(),
-                format!("{:.2e}", err_for::<$ty>(&robot, input, &reference, scale, PerOperation)),
-                format!("{:.2e}", err_for::<$ty>(&robot, input, &reference, scale, Wide)),
+                format!(
+                    "{:.2e}",
+                    err_for::<$ty>(&robot, input, &reference, scale, PerOperation)
+                ),
+                format!(
+                    "{:.2e}",
+                    err_for::<$ty>(&robot, input, &reference, scale, Wide)
+                ),
             ]);
         };
     }
@@ -788,11 +805,8 @@ pub fn sec64_soc() -> String {
 
     let pipelines = asic.pipelines_per_die(&r, die_mm2);
     let per_pipeline_tput = accel.throughput_per_s(asic.clock_hz());
-    let mut t = Table::new("§6.4: system-on-chip projection (iiwa pipeline)").headers([
-        "quantity",
-        "paper",
-        "ours",
-    ]);
+    let mut t = Table::new("§6.4: system-on-chip projection (iiwa pipeline)")
+        .headers(["quantity", "paper", "ours"]);
     t.row([
         "pipeline area (typical corner)".to_string(),
         "1.885 mm²".into(),
@@ -884,10 +898,7 @@ mod tests {
     #[test]
     fn quick_experiments_all_render() {
         for (name, report) in all(true) {
-            assert!(
-                report.contains("=="),
-                "experiment {name} produced no table"
-            );
+            assert!(report.contains("=="), "experiment {name} produced no table");
             assert!(report.len() > 100, "experiment {name} suspiciously short");
         }
     }

@@ -163,7 +163,10 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::MissingInput`] if an input is absent.
-    pub fn eval<S: Scalar>(&self, inputs: &HashMap<String, S>) -> Result<Vec<(String, S)>, NetlistError> {
+    pub fn eval<S: Scalar>(
+        &self,
+        inputs: &HashMap<String, S>,
+    ) -> Result<Vec<(String, S)>, NetlistError> {
         let mut values: Vec<S> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let v = match node {
@@ -234,7 +237,9 @@ impl Netlist {
                 continue;
             }
             if first == "output" {
-                let name = parts.next().ok_or_else(|| err(lineno, "output needs a name"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "output needs a name"))?;
                 let id: NodeId = parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -372,7 +377,10 @@ mod tests {
     #[test]
     fn parse_rejects_sparse_ids() {
         let bad = "netlist x\n5 input a\n";
-        assert!(matches!(Netlist::parse(bad), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            Netlist::parse(bad),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -153,7 +153,11 @@ mod tests {
     ) -> Motion<f64> {
         let mut inputs = HashMap::new();
         let revolute = robot.links()[joint].joint.is_revolute();
-        let (s, c) = if revolute { (q.sin(), q.cos()) } else { (q, 1.0) };
+        let (s, c) = if revolute {
+            (q.sin(), q.cos())
+        } else {
+            (q, 1.0)
+        };
         inputs.insert("sin_q".to_owned(), s);
         inputs.insert("cos_q".to_owned(), c);
         let arr = m.to_array();
@@ -178,10 +182,7 @@ mod tests {
             for q in [0.0, 0.9, -1.7] {
                 let got = eval_unit(&unit, &robot, joint, q, m);
                 let want = robot.joint_transform::<f64>(joint, q).apply_motion(m);
-                assert!(
-                    (got - want).max_abs() < 1e-12,
-                    "joint {joint} at q={q}"
-                );
+                assert!((got - want).max_abs() < 1e-12, "joint {joint} at q={q}");
             }
         }
     }

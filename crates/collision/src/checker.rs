@@ -179,7 +179,10 @@ mod tests {
         let cm = CollisionModel::from_robot(&robot, 0.05);
         let q = vec![0.0; 7];
         let min = min_clearance(&model, &cm, &q);
-        assert!(min > 0.0, "straight iiwa should not self-collide, min {min}");
+        assert!(
+            min > 0.0,
+            "straight iiwa should not self-collide, min {min}"
+        );
     }
 
     #[test]
@@ -190,11 +193,7 @@ mod tests {
         let model = DynamicsModel::<f64>::new(&robot);
         let cm = CollisionModel::from_robot(&robot, 0.05);
         let extended = min_clearance(&model, &cm, &[0.0; 7]);
-        let folded = min_clearance(
-            &model,
-            &cm,
-            &[0.0, 2.8, 0.0, 2.9, 0.0, 2.8, 0.0],
-        );
+        let folded = min_clearance(&model, &cm, &[0.0, 2.8, 0.0, 2.9, 0.0, 2.8, 0.0]);
         assert!(
             folded < extended,
             "folded {folded} should be tighter than extended {extended}"

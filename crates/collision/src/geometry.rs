@@ -38,12 +38,7 @@ impl Capsule {
 /// Closest distance between the segments `[p1, q1]` and `[p2, q2]`
 /// (Ericson, *Real-Time Collision Detection* §5.1.9 — the reference the
 /// paper itself cites for collision detection \[11\]).
-pub fn segment_segment_distance(
-    p1: Vec3<f64>,
-    q1: Vec3<f64>,
-    p2: Vec3<f64>,
-    q2: Vec3<f64>,
-) -> f64 {
+pub fn segment_segment_distance(p1: Vec3<f64>, q1: Vec3<f64>, p2: Vec3<f64>, q2: Vec3<f64>) -> f64 {
     let d1 = q1 - p1;
     let d2 = q2 - p2;
     let r = p1 - p2;
@@ -101,35 +96,65 @@ mod tests {
 
     #[test]
     fn parallel_segments() {
-        let d = segment_segment_distance(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, 1.0, 0.0), v(1.0, 1.0, 0.0));
+        let d = segment_segment_distance(
+            v(0.0, 0.0, 0.0),
+            v(1.0, 0.0, 0.0),
+            v(0.0, 1.0, 0.0),
+            v(1.0, 1.0, 0.0),
+        );
         assert!((d - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn crossing_segments_touch() {
-        let d = segment_segment_distance(v(-1.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, -1.0, 0.0), v(0.0, 1.0, 0.0));
+        let d = segment_segment_distance(
+            v(-1.0, 0.0, 0.0),
+            v(1.0, 0.0, 0.0),
+            v(0.0, -1.0, 0.0),
+            v(0.0, 1.0, 0.0),
+        );
         assert!(d < 1e-12);
     }
 
     #[test]
     fn skew_segments() {
         // Perpendicular skew lines separated by 2 along z.
-        let d = segment_segment_distance(v(-1.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(0.0, -1.0, 2.0), v(0.0, 1.0, 2.0));
+        let d = segment_segment_distance(
+            v(-1.0, 0.0, 0.0),
+            v(1.0, 0.0, 0.0),
+            v(0.0, -1.0, 2.0),
+            v(0.0, 1.0, 2.0),
+        );
         assert!((d - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn endpoint_cases() {
         // Closest points at segment endpoints.
-        let d = segment_segment_distance(v(0.0, 0.0, 0.0), v(1.0, 0.0, 0.0), v(3.0, 0.0, 0.0), v(4.0, 0.0, 0.0));
+        let d = segment_segment_distance(
+            v(0.0, 0.0, 0.0),
+            v(1.0, 0.0, 0.0),
+            v(3.0, 0.0, 0.0),
+            v(4.0, 0.0, 0.0),
+        );
         assert!((d - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn degenerate_points() {
-        let d = segment_segment_distance(v(1.0, 1.0, 1.0), v(1.0, 1.0, 1.0), v(1.0, 1.0, 4.0), v(1.0, 1.0, 4.0));
+        let d = segment_segment_distance(
+            v(1.0, 1.0, 1.0),
+            v(1.0, 1.0, 1.0),
+            v(1.0, 1.0, 4.0),
+            v(1.0, 1.0, 4.0),
+        );
         assert!((d - 3.0).abs() < 1e-12);
-        let d2 = segment_segment_distance(v(0.0, 0.0, 0.0), v(0.0, 0.0, 0.0), v(-1.0, 2.0, 0.0), v(1.0, 2.0, 0.0));
+        let d2 = segment_segment_distance(
+            v(0.0, 0.0, 0.0),
+            v(0.0, 0.0, 0.0),
+            v(-1.0, 2.0, 0.0),
+            v(1.0, 2.0, 0.0),
+        );
         assert!((d2 - 2.0).abs() < 1e-12);
     }
 

@@ -68,10 +68,9 @@ impl CycleSchedule {
     pub fn breakdown(&self) -> LatencyBreakdown {
         // The ID chain runs one link ahead; its visible cost is the offset:
         // one extra forward iteration + one extra backward iteration.
-        let id_cycles = (self.id_offset_iterations / 2)
-            * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
-        let grad_cycles =
-            self.n_links * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
+        let id_cycles =
+            (self.id_offset_iterations / 2) * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
+        let grad_cycles = self.n_links * (self.fwd_stage_cycles + self.bwd_cycles_per_link);
         LatencyBreakdown {
             id_cycles,
             grad_cycles,
@@ -249,9 +248,7 @@ mod tests {
         let hyq = t.customize(&robots::hyq());
         let atlas = t.customize(&robots::atlas());
         assert!(atlas.resources().var_muls > hyq.resources().var_muls);
-        assert!(
-            atlas.schedule().single_latency_cycles() > hyq.schedule().single_latency_cycles()
-        );
+        assert!(atlas.schedule().single_latency_cycles() > hyq.schedule().single_latency_cycles());
     }
 
     #[test]

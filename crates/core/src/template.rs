@@ -88,7 +88,9 @@ impl MorphologyParams {
             joint_types: robot.links().iter().map(|l| l.joint).collect(),
             x_masks: (0..robot.dof()).map(|i| x_pattern(robot, i)).collect(),
             x_superposition: superposition_pattern(robot),
-            inertia_masks: (0..robot.dof()).map(|i| inertia_pattern(robot, i)).collect(),
+            inertia_masks: (0..robot.dof())
+                .map(|i| inertia_pattern(robot, i))
+                .collect(),
         }
     }
 }
@@ -155,8 +157,8 @@ impl GradientTemplate {
         fwd.add(&x_unit, x_trees_fwd);
         fwd.add(&FunctionalUnit::cross_motion(), 2); // v×Sq̇ and ∂v×Sq̇ chains
         fwd.add(&FunctionalUnit::cross_force(), 2); // ∂v×*(Iv), v×*(I∂v)
-        // I· units: constants per link; the folded processor holds the
-        // worst-case (superposed) inertia tree.
+                                                    // I· units: constants per link; the folded processor holds the
+                                                    // worst-case (superposed) inertia tree.
         let inertia_super = avg_inertia_mask
             .iter()
             .fold(Mask6::empty(), |acc, m| acc.union(m));
@@ -290,8 +292,6 @@ mod tests {
         // Shorter limbs → lower latency than the 7-link manipulator despite
         // more total joints.
         let iiwa = GradientTemplate::new().customize(&robots::iiwa14());
-        assert!(
-            accel.schedule().single_latency_cycles() < iiwa.schedule().single_latency_cycles()
-        );
+        assert!(accel.schedule().single_latency_cycles() < iiwa.schedule().single_latency_cycles());
     }
 }

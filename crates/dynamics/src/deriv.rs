@@ -27,7 +27,7 @@
 //! units as the main pass — which is why the hardware template needs no
 //! extra transform units for ∇ID.
 
-use crate::{forward_dynamics, mass_matrix, rnea, DynamicsModel, RneaCache};
+use crate::{forward_dynamics, mass_matrix, rnea_into, DynamicsModel, RneaCache, RneaWorkspace};
 use robo_spatial::{FactorizeError, Force, MatN, Motion, Scalar};
 
 /// The gradient of inverse dynamics: `∂τ/∂q` and `∂τ/∂q̇`, each `n×n` with
@@ -67,22 +67,180 @@ pub fn rnea_derivatives<S: Scalar>(
     qd: &[S],
     cache: &RneaCache<S>,
 ) -> InverseDynamicsGradient<S> {
+    let mut ws = GradWorkspace::new();
+    rnea_gradient_into(model, qd, cache, &mut ws);
+    InverseDynamicsGradient {
+        dtau_dq: ws.dtau_dq,
+        dtau_dqd: ws.dtau_dqd,
+    }
+}
+
+/// Reusable scratch buffers (and outputs) for the gradient pipeline:
+/// [`rnea_gradient_into`] and [`dynamics_gradient_into`].
+///
+/// Constructing the workspace allocates; every subsequent `_into` call
+/// through it (at the same or smaller degrees of freedom) performs **zero
+/// heap allocations**. Outputs are the public matrix fields; which of them
+/// are valid depends on the entry point used.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{
+///     dynamics_gradient_from_qdd, dynamics_gradient_into, mass_matrix, DynamicsModel,
+///     GradWorkspace,
+/// };
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let (q, qd, qdd) = (vec![0.1; 7], vec![0.2; 7], vec![0.3; 7]);
+/// let minv = mass_matrix(&model, &q).inverse_spd().unwrap();
+/// let mut ws = GradWorkspace::new();
+/// for _ in 0..3 {
+///     dynamics_gradient_into(&model, &q, &qd, &qdd, &minv, &mut ws);
+/// }
+/// let fresh = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+/// assert_eq!(ws.dqdd_dq, fresh.dqdd_dq);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradWorkspace<S> {
+    /// Step-1 workspace; `rnea.cache`/`rnea.tau` are valid outputs after
+    /// [`dynamics_gradient_into`].
+    pub rnea: RneaWorkspace<S>,
+    /// Output `∂τ/∂q`.
+    pub dtau_dq: MatN<S>,
+    /// Output `∂τ/∂q̇`.
+    pub dtau_dqd: MatN<S>,
+    /// Output `∂q̈/∂q` (valid after [`dynamics_gradient_into`]).
+    pub dqdd_dq: MatN<S>,
+    /// Output `∂q̈/∂q̇` (valid after [`dynamics_gradient_into`]).
+    pub dqdd_dqd: MatN<S>,
+    dv_q: Vec<Motion<S>>,
+    da_q: Vec<Motion<S>>,
+    df_q: Vec<Force<S>>,
+    dv_qd: Vec<Motion<S>>,
+    da_qd: Vec<Motion<S>>,
+    df_qd: Vec<Force<S>>,
+}
+
+impl<S: Scalar> Default for GradWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> GradWorkspace<S> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            rnea: RneaWorkspace::new(),
+            dtau_dq: MatN::zeros(0, 0),
+            dtau_dqd: MatN::zeros(0, 0),
+            dqdd_dq: MatN::zeros(0, 0),
+            dqdd_dqd: MatN::zeros(0, 0),
+            dv_q: Vec::new(),
+            da_q: Vec::new(),
+            df_q: Vec::new(),
+            dv_qd: Vec::new(),
+            da_qd: Vec::new(),
+            df_qd: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `model`, so even the first call through it
+    /// is allocation-free.
+    pub fn for_model(model: &DynamicsModel<S>) -> Self {
+        let n = model.dof();
+        Self {
+            rnea: RneaWorkspace::for_model(model),
+            dtau_dq: MatN::zeros(n, n),
+            dtau_dqd: MatN::zeros(n, n),
+            dqdd_dq: MatN::zeros(n, n),
+            dqdd_dqd: MatN::zeros(n, n),
+            dv_q: vec![Motion::zero(); n],
+            da_q: vec![Motion::zero(); n],
+            df_q: vec![Force::zero(); n],
+            dv_qd: vec![Motion::zero(); n],
+            da_qd: vec![Motion::zero(); n],
+            df_qd: vec![Force::zero(); n],
+        }
+    }
+
+    /// Consumes the workspace, yielding the last
+    /// [`dynamics_gradient_into`] result without copying.
+    pub fn into_dynamics_gradient(self) -> DynamicsGradient<S> {
+        DynamicsGradient {
+            dqdd_dq: self.dqdd_dq,
+            dqdd_dqd: self.dqdd_dqd,
+            id_gradient: InverseDynamicsGradient {
+                dtau_dq: self.dtau_dq,
+                dtau_dqd: self.dtau_dqd,
+            },
+        }
+    }
+}
+
+/// Computes the inverse-dynamics gradient (Algorithm 1, step 2) into a
+/// reusable workspace: the allocation-free core of [`rnea_derivatives`].
+/// Results land in `ws.dtau_dq` / `ws.dtau_dqd`, bit-identical to the
+/// allocating entry point.
+///
+/// # Panics
+///
+/// Panics if `qd.len() != model.dof()` or the cache size mismatches.
+pub fn rnea_gradient_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    qd: &[S],
+    cache: &RneaCache<S>,
+    ws: &mut GradWorkspace<S>,
+) {
+    let GradWorkspace {
+        dtau_dq,
+        dtau_dqd,
+        dv_q,
+        da_q,
+        df_q,
+        dv_qd,
+        da_qd,
+        df_qd,
+        ..
+    } = ws;
+    rnea_gradient_core(
+        model, qd, cache, dv_q, da_q, df_q, dv_qd, da_qd, df_qd, dtau_dq, dtau_dqd,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rnea_gradient_core<S: Scalar>(
+    model: &DynamicsModel<S>,
+    qd: &[S],
+    cache: &RneaCache<S>,
+    dv_q: &mut Vec<Motion<S>>,
+    da_q: &mut Vec<Motion<S>>,
+    df_q: &mut Vec<Force<S>>,
+    dv_qd: &mut Vec<Motion<S>>,
+    da_qd: &mut Vec<Motion<S>>,
+    df_qd: &mut Vec<Force<S>>,
+    dtau_dq: &mut MatN<S>,
+    dtau_dqd: &mut MatN<S>,
+) {
     let n = model.dof();
     assert_eq!(qd.len(), n, "qd length mismatch");
     assert_eq!(cache.x.len(), n, "cache size mismatch");
 
-    let mut dtau_dq = MatN::zeros(n, n);
-    let mut dtau_dqd = MatN::zeros(n, n);
+    dtau_dq.resize_zeroed(n, n);
+    dtau_dqd.resize_zeroed(n, n);
 
     // One datapath per differentiation joint j. Both the ∂/∂q_j and ∂/∂q̇_j
     // lanes run over the same inputs, as in the hardware (Figure 8's paired
-    // forward-pass blocks).
-    let mut dv_q = vec![Motion::zero(); n];
-    let mut da_q = vec![Motion::zero(); n];
-    let mut df_q = vec![Force::zero(); n];
-    let mut dv_qd = vec![Motion::zero(); n];
-    let mut da_qd = vec![Motion::zero(); n];
-    let mut df_qd = vec![Force::zero(); n];
+    // forward-pass blocks). The scratch vectors are re-zeroed at the top of
+    // each datapath, so reused workspace contents cannot leak through.
+    dv_q.resize(n, Motion::zero());
+    da_q.resize(n, Motion::zero());
+    df_q.resize(n, Force::zero());
+    dv_qd.resize(n, Motion::zero());
+    da_qd.resize(n, Motion::zero());
+    df_qd.resize(n, Force::zero());
 
     for j in 0..n {
         for slot in 0..n {
@@ -180,8 +338,6 @@ pub fn rnea_derivatives<S: Scalar>(
             }
         }
     }
-
-    InverseDynamicsGradient { dtau_dq, dtau_dqd }
 }
 
 /// The full forward-dynamics gradient (Algorithm 1's output), plus the
@@ -210,28 +366,63 @@ pub fn dynamics_gradient_from_qdd<S: Scalar>(
     qdd: &[S],
     minv: &MatN<S>,
 ) -> DynamicsGradient<S> {
+    let mut ws = GradWorkspace::for_model(model);
+    dynamics_gradient_into(model, q, qd, qdd, minv, &mut ws);
+    ws.into_dynamics_gradient()
+}
+
+/// The full gradient kernel (Algorithm 1, steps 1–3) into a reusable
+/// workspace: the allocation-free core of [`dynamics_gradient_from_qdd`].
+/// Results land in `ws.dqdd_dq`, `ws.dqdd_dqd`, `ws.dtau_dq`, `ws.dtau_dqd`
+/// (and `ws.rnea` holds the step-1 torques and cache), bit-identical to the
+/// allocating entry point.
+///
+/// # Panics
+///
+/// Panics if slice lengths or matrix dimensions differ from `model.dof()`.
+pub fn dynamics_gradient_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    qdd: &[S],
+    minv: &MatN<S>,
+    ws: &mut GradWorkspace<S>,
+) {
     let n = model.dof();
     assert_eq!(minv.rows(), n, "minv dimension mismatch");
     assert_eq!(minv.cols(), n, "minv dimension mismatch");
     // Step 1: inverse dynamics at q̈.
-    let id = rnea(model, q, qd, qdd);
-    // Step 2: ∇ID.
-    let id_gradient = rnea_derivatives(model, qd, &id.cache);
-    // Step 3: ∂q̈/∂u = −M⁻¹ ∂τ/∂u.
-    let neg_minv = {
-        let mut m = minv.clone();
-        for i in 0..n {
-            for j in 0..n {
-                m[(i, j)] = -m[(i, j)];
-            }
-        }
-        m
-    };
-    DynamicsGradient {
-        dqdd_dq: neg_minv.mul_mat(&id_gradient.dtau_dq),
-        dqdd_dqd: neg_minv.mul_mat(&id_gradient.dtau_dqd),
-        id_gradient,
-    }
+    rnea_into(model, q, qd, qdd, &mut ws.rnea);
+    // Step 2: ∇ID (split borrow: the RNEA cache is read-only input here).
+    let GradWorkspace {
+        rnea,
+        dtau_dq,
+        dtau_dqd,
+        dqdd_dq,
+        dqdd_dqd,
+        dv_q,
+        da_q,
+        df_q,
+        dv_qd,
+        da_qd,
+        df_qd,
+    } = ws;
+    rnea_gradient_core(
+        model,
+        qd,
+        &rnea.cache,
+        dv_q,
+        da_q,
+        df_q,
+        dv_qd,
+        da_qd,
+        df_qd,
+        dtau_dq,
+        dtau_dqd,
+    );
+    // Step 3: ∂q̈/∂u = −M⁻¹ ∂τ/∂u, without materializing −M⁻¹.
+    minv.neg_mul_mat_into(dtau_dq, dqdd_dq);
+    minv.neg_mul_mat_into(dtau_dqd, dqdd_dqd);
 }
 
 /// Convenience entry point: computes `q̈` and `M⁻¹` itself (as the host
@@ -255,7 +446,7 @@ pub fn forward_dynamics_gradient<S: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::findiff;
+    use crate::{findiff, rnea};
     use robo_model::{robots, JointType, RobotModel};
 
     fn lcg(seed: &mut u64) -> f64 {

@@ -57,11 +57,7 @@ pub fn link_origin_world<S: Scalar>(poses: &[Transform<S>], i: usize) -> Vec3<S>
 /// # Panics
 ///
 /// Panics if `q.len() != model.dof()` or `link` is out of range.
-pub fn geometric_jacobian<S: Scalar>(
-    model: &DynamicsModel<S>,
-    q: &[S],
-    link: usize,
-) -> MatN<S> {
+pub fn geometric_jacobian<S: Scalar>(model: &DynamicsModel<S>, q: &[S], link: usize) -> MatN<S> {
     let n = model.dof();
     assert!(link < n, "link index out of range");
     let poses = forward_kinematics(model, q);

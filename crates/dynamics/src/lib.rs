@@ -46,17 +46,24 @@
 mod crba;
 mod deriv;
 mod fd;
-mod fk;
 pub mod findiff;
+mod fk;
 mod model;
 mod rnea;
 
+pub mod batch;
+
 pub use crba::{mass_matrix, mass_matrix_inverse};
 pub use deriv::{
-    dynamics_gradient_from_qdd, forward_dynamics_gradient, rnea_derivatives, DynamicsGradient,
-    InverseDynamicsGradient,
+    dynamics_gradient_from_qdd, dynamics_gradient_into, forward_dynamics_gradient,
+    rnea_derivatives, rnea_gradient_into, DynamicsGradient, GradWorkspace, InverseDynamicsGradient,
 };
 pub use fd::{aba, forward_dynamics};
-pub use fk::{forward_kinematics, geometric_jacobian, jacobian_velocity, link_origin_world, position_jacobian};
+pub use fk::{
+    forward_kinematics, geometric_jacobian, jacobian_velocity, link_origin_world, position_jacobian,
+};
 pub use model::{DynamicsModel, STANDARD_GRAVITY};
-pub use rnea::{bias_torques, kinetic_energy, rnea, rnea_with_external, RneaCache, RneaResult};
+pub use rnea::{
+    bias_torques, kinetic_energy, rnea, rnea_into, rnea_with_external, rnea_with_external_into,
+    RneaCache, RneaResult, RneaWorkspace,
+};

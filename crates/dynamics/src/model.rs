@@ -117,9 +117,7 @@ impl<S: Scalar> DynamicsModel<S> {
 
     /// The full joint transform `ᵢX_λᵢ = X_J(qᵢ)·X_T` at joint position `q`.
     pub fn joint_transform(&self, i: usize, q: S) -> Transform<S> {
-        self.joints[i]
-            .joint_transform(q)
-            .compose(&self.trees[i])
+        self.joints[i].joint_transform(q).compose(&self.trees[i])
     }
 
     /// Whether link `j` is an ancestor of link `i` (or `i` itself) — i.e.
@@ -156,10 +154,8 @@ mod tests {
     fn gravity_encoded_as_base_acceleration() {
         let m = DynamicsModel::<f64>::new(&robots::iiwa14());
         assert_eq!(m.base_acceleration().lin.z, STANDARD_GRAVITY);
-        let moon = DynamicsModel::<f64>::with_gravity(
-            &robots::iiwa14(),
-            Vec3::new(0.0, 0.0, -1.62),
-        );
+        let moon =
+            DynamicsModel::<f64>::with_gravity(&robots::iiwa14(), Vec3::new(0.0, 0.0, -1.62));
         assert_eq!(moon.base_acceleration().lin.z, 1.62);
     }
 }

@@ -31,6 +31,91 @@ pub struct RneaResult<S> {
     pub cache: RneaCache<S>,
 }
 
+/// Reusable scratch buffers for [`rnea_into`].
+///
+/// Constructing the workspace allocates; every subsequent [`rnea_into`]
+/// call through it (at the same or smaller degrees of freedom) performs
+/// **zero heap allocations**. The buffers double as the outputs: after a
+/// call, `tau` holds the joint torques and `cache` the intermediate
+/// quantities.
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::{rnea, rnea_into, DynamicsModel, RneaWorkspace};
+/// use robo_model::robots;
+///
+/// let model = DynamicsModel::<f64>::new(&robots::iiwa14());
+/// let (q, qd, qdd) = (vec![0.1; 7], vec![0.2; 7], vec![0.3; 7]);
+/// let mut ws = RneaWorkspace::new();
+/// for _ in 0..3 {
+///     rnea_into(&model, &q, &qd, &qdd, &mut ws);
+/// }
+/// assert_eq!(ws.tau, rnea(&model, &q, &qd, &qdd).tau);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RneaWorkspace<S> {
+    /// Intermediate quantities (`x`, `v`, `a`, `f`), valid after a call.
+    pub cache: RneaCache<S>,
+    /// Joint torques `τ`, valid after a call.
+    pub tau: Vec<S>,
+}
+
+impl<S: Scalar> Default for RneaWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> RneaWorkspace<S> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            cache: RneaCache {
+                x: Vec::new(),
+                v: Vec::new(),
+                a: Vec::new(),
+                f: Vec::new(),
+            },
+            tau: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `model`, so even the first call through it
+    /// is allocation-free.
+    pub fn for_model(model: &DynamicsModel<S>) -> Self {
+        let n = model.dof();
+        Self {
+            cache: RneaCache {
+                x: Vec::with_capacity(n),
+                v: vec![Motion::zero(); n],
+                a: vec![Motion::zero(); n],
+                f: vec![Force::zero(); n],
+            },
+            tau: vec![S::zero(); n],
+        }
+    }
+
+    /// Consumes the workspace, yielding the last call's result without
+    /// copying.
+    pub fn into_result(self) -> RneaResult<S> {
+        RneaResult {
+            tau: self.tau,
+            cache: self.cache,
+        }
+    }
+
+    /// Sets buffer lengths for a `n`-dof computation. Every element is
+    /// overwritten by the subsequent passes, so stale values are fine.
+    fn reset(&mut self, n: usize) {
+        self.cache.x.clear();
+        self.cache.v.resize(n, Motion::zero());
+        self.cache.a.resize(n, Motion::zero());
+        self.cache.f.resize(n, Force::zero());
+        self.tau.resize(n, S::zero());
+    }
+}
+
 /// Computes inverse dynamics: joint torques that realize accelerations
 /// `qdd` at state `(q, qd)`, including gravity.
 ///
@@ -68,6 +153,42 @@ pub fn rnea_with_external<S: Scalar>(
     qdd: &[S],
     f_ext: Option<&[Force<S>]>,
 ) -> RneaResult<S> {
+    let mut ws = RneaWorkspace::for_model(model);
+    rnea_with_external_into(model, q, qd, qdd, f_ext, &mut ws);
+    ws.into_result()
+}
+
+/// Inverse dynamics into a reusable workspace: the allocation-free core of
+/// [`rnea`]. Results land in `ws.tau` and `ws.cache`, bit-identical to the
+/// allocating entry points.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ from `model.dof()`.
+pub fn rnea_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    qdd: &[S],
+    ws: &mut RneaWorkspace<S>,
+) {
+    rnea_with_external_into(model, q, qd, qdd, None, ws);
+}
+
+/// Inverse dynamics with optional external link forces into a reusable
+/// workspace. See [`rnea_into`].
+///
+/// # Panics
+///
+/// Panics if slice lengths differ from `model.dof()`.
+pub fn rnea_with_external_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    qdd: &[S],
+    f_ext: Option<&[Force<S>]>,
+    ws: &mut RneaWorkspace<S>,
+) {
     let n = model.dof();
     assert_eq!(q.len(), n, "q length mismatch");
     assert_eq!(qd.len(), n, "qd length mismatch");
@@ -76,10 +197,9 @@ pub fn rnea_with_external<S: Scalar>(
         assert_eq!(fe.len(), n, "f_ext length mismatch");
     }
 
-    let mut x = Vec::with_capacity(n);
-    let mut v = vec![Motion::zero(); n];
-    let mut a = vec![Motion::zero(); n];
-    let mut f = vec![Force::zero(); n];
+    ws.reset(n);
+    let RneaWorkspace { cache, tau } = ws;
+    let (x, v, a, f) = (&mut cache.x, &mut cache.v, &mut cache.a, &mut cache.f);
 
     // Forward pass (Algorithm 2, lines 2-6).
     for i in 0..n {
@@ -88,10 +208,7 @@ pub fn rnea_with_external<S: Scalar>(
         let s_qd = s.scale(qd[i]);
         let (vp, ap) = match model.parent(i) {
             Some(p) => (xi.apply_motion(v[p]), xi.apply_motion(a[p])),
-            None => (
-                Motion::zero(),
-                xi.apply_motion(model.base_acceleration()),
-            ),
+            None => (Motion::zero(), xi.apply_motion(model.base_acceleration())),
         };
         v[i] = vp + s_qd;
         a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
@@ -104,18 +221,12 @@ pub fn rnea_with_external<S: Scalar>(
     }
 
     // Backward pass (lines 7-9).
-    let mut tau = vec![S::zero(); n];
     for i in (0..n).rev() {
         tau[i] = model.subspace(i).dot(f[i]);
         if let Some(p) = model.parent(i) {
             let fp = x[i].tr_apply_force(f[i]);
             f[p] += fp;
         }
-    }
-
-    RneaResult {
-        tau,
-        cache: RneaCache { x, v, a, f },
     }
 }
 
@@ -252,10 +363,7 @@ mod tests {
         let e1 = kinetic_energy(&model, &q, &qd);
         let e2 = kinetic_energy(&model, &q2, &qd2);
         let dedt = (e2 - e1) / h;
-        assert!(
-            (power - dedt).abs() < 1e-4,
-            "power {power} vs dE/dt {dedt}"
-        );
+        assert!((power - dedt).abs() < 1e-4, "power {power} vs dE/dt {dedt}");
     }
 
     #[test]

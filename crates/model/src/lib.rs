@@ -33,11 +33,13 @@
 
 mod joint;
 mod parse;
-mod urdf;
 mod robot;
 pub mod robots;
+mod urdf;
 
 pub use joint::{Axis, JointType};
 pub use parse::{parse_robo, to_robo, ParseRobotError};
+pub use robot::{
+    with_floating_base, JointLimits, Limb, Link, ModelError, RobotBuilder, RobotModel,
+};
 pub use urdf::{parse_urdf, UrdfError};
-pub use robot::{with_floating_base, JointLimits, Limb, Link, ModelError, RobotBuilder, RobotModel};

@@ -61,7 +61,10 @@ fn parse_floats(line: usize, s: &str, n: usize) -> Result<Vec<f64>, ParseRobotEr
     let vals: Result<Vec<f64>, _> = s.split(',').map(|x| x.trim().parse::<f64>()).collect();
     let vals = vals.map_err(|e| syntax(line, format!("bad number in `{s}`: {e}")))?;
     if vals.len() != n {
-        return Err(syntax(line, format!("expected {n} numbers, got {}", vals.len())));
+        return Err(syntax(
+            line,
+            format!("expected {n} numbers, got {}", vals.len()),
+        ));
     }
     Ok(vals)
 }
@@ -147,36 +150,37 @@ pub fn parse_robo(text: &str) -> Result<RobotModel, ParseRobotError> {
             match key {
                 "name" => link_name = Some(value.to_owned()),
                 "parent" => {
-                    parent = if value == "none" {
-                        None
-                    } else {
-                        Some(value.parse::<usize>().map_err(|e| {
-                            syntax(lineno, format!("bad parent `{value}`: {e}"))
-                        })?)
-                    };
+                    parent =
+                        if value == "none" {
+                            None
+                        } else {
+                            Some(value.parse::<usize>().map_err(|e| {
+                                syntax(lineno, format!("bad parent `{value}`: {e}"))
+                            })?)
+                        };
                 }
                 "joint" => {
-                    joint = Some(JointType::parse(value).ok_or_else(|| {
-                        syntax(lineno, format!("unknown joint type `{value}`"))
-                    })?);
+                    joint =
+                        Some(JointType::parse(value).ok_or_else(|| {
+                            syntax(lineno, format!("unknown joint type `{value}`"))
+                        })?);
                 }
                 "rot" => rot = parse_rot(lineno, value)?,
                 "rotm" => {
                     let v = parse_floats(lineno, value, 9)?;
-                    rot = Mat3::from_rows(
-                        [v[0], v[1], v[2]],
-                        [v[3], v[4], v[5]],
-                        [v[6], v[7], v[8]],
-                    );
+                    rot =
+                        Mat3::from_rows([v[0], v[1], v[2]], [v[3], v[4], v[5]], [v[6], v[7], v[8]]);
                 }
                 "trans" => {
                     let v = parse_floats(lineno, value, 3)?;
                     trans = Vec3::new(v[0], v[1], v[2]);
                 }
                 "mass" => {
-                    mass = Some(value.parse::<f64>().map_err(|e| {
-                        syntax(lineno, format!("bad mass `{value}`: {e}"))
-                    })?);
+                    mass = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|e| syntax(lineno, format!("bad mass `{value}`: {e}")))?,
+                    );
                 }
                 "com" => {
                     let v = parse_floats(lineno, value, 3)?;
@@ -216,11 +220,7 @@ pub fn parse_robo(text: &str) -> Result<RobotModel, ParseRobotError> {
         let joint = joint.ok_or_else(|| syntax(lineno, "missing `joint=`"))?;
         let mass = mass.ok_or_else(|| syntax(lineno, "missing `mass=`"))?;
         let [ixx, iyy, izz, ixy, ixz, iyz] = inertia6;
-        let inertia_about_com = Mat3::from_rows(
-            [ixx, ixy, ixz],
-            [ixy, iyy, iyz],
-            [ixz, iyz, izz],
-        );
+        let inertia_about_com = Mat3::from_rows([ixx, ixy, ixz], [ixy, iyy, iyz], [ixz, iyz, izz]);
         links.push(Link {
             name: link_name,
             parent,
@@ -231,7 +231,10 @@ pub fn parse_robo(text: &str) -> Result<RobotModel, ParseRobotError> {
         });
     }
 
-    Ok(RobotModel::new(name.unwrap_or_else(|| "robot".to_owned()), links)?)
+    Ok(RobotModel::new(
+        name.unwrap_or_else(|| "robot".to_owned()),
+        links,
+    )?)
 }
 
 /// Serializes a robot model to `.robo` text (lossless through
@@ -275,12 +278,28 @@ pub fn to_robo(robot: &RobotModel) -> String {
             link.name,
             parent,
             link.joint.as_str(),
-            r[0][0], r[0][1], r[0][2], r[1][0], r[1][1], r[1][2], r[2][0], r[2][1], r[2][2],
-            t.x, t.y, t.z,
+            r[0][0],
+            r[0][1],
+            r[0][2],
+            r[1][0],
+            r[1][1],
+            r[1][2],
+            r[2][0],
+            r[2][1],
+            r[2][2],
+            t.x,
+            t.y,
+            t.z,
             m,
-            com.x, com.y, com.z,
-            icom.m[0][0], icom.m[1][1], icom.m[2][2],
-            icom.m[0][1], icom.m[0][2], icom.m[1][2],
+            com.x,
+            com.y,
+            com.z,
+            icom.m[0][0],
+            icom.m[1][1],
+            icom.m[2][2],
+            icom.m[0][1],
+            icom.m[0][2],
+            icom.m[1][2],
             limits_field,
         );
     }

@@ -310,10 +310,7 @@ impl RobotModel {
 /// let hyq = with_floating_base(&robots::hyq(), torso);
 /// assert_eq!(hyq.dof(), 12 + 6);
 /// ```
-pub fn with_floating_base(
-    robot: &RobotModel,
-    torso_inertia: SpatialInertia<f64>,
-) -> RobotModel {
+pub fn with_floating_base(robot: &RobotModel, torso_inertia: SpatialInertia<f64>) -> RobotModel {
     const VIRTUAL_MASS: f64 = 1e-9;
     let virtual_inertia = SpatialInertia::from_com_params(
         VIRTUAL_MASS,
@@ -335,7 +332,11 @@ pub fn with_floating_base(
             parent: if i == 0 { None } else { Some(i - 1) },
             joint: *joint,
             tree: Transform::identity(),
-            inertia: if i == 5 { torso_inertia } else { virtual_inertia },
+            inertia: if i == 5 {
+                torso_inertia
+            } else {
+                virtual_inertia
+            },
             limits: JointLimits::none(),
         });
     }
@@ -393,7 +394,12 @@ impl RobotBuilder {
     /// Adds a link attached to `parent` by a joint of the given type, with
     /// identity placement and a default unit point-mass inertia. Follow with
     /// placement and inertia setters to refine it.
-    pub fn link(mut self, name: impl Into<String>, parent: Option<usize>, joint: JointType) -> Self {
+    pub fn link(
+        mut self,
+        name: impl Into<String>,
+        parent: Option<usize>,
+        joint: JointType,
+    ) -> Self {
         self.links.push(Link {
             name: name.into(),
             parent,

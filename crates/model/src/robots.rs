@@ -36,22 +36,42 @@ pub fn iiwa14() -> RobotModel {
     RobotBuilder::new("iiwa14")
         .link("link1", None, JointType::RevoluteZ)
         .placement_translation(Vec3::new(0.0, 0.0, 0.1575))
-        .inertia(5.76, Vec3::new(0.0, -0.03, 0.12), diag(0.033, 0.0333, 0.0123))
+        .inertia(
+            5.76,
+            Vec3::new(0.0, -0.03, 0.12),
+            diag(0.033, 0.0333, 0.0123),
+        )
         .link("link2", Some(0), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.2025))
-        .inertia(6.35, Vec3::new(0.0003, 0.059, 0.042), diag(0.0305, 0.0304, 0.011))
+        .inertia(
+            6.35,
+            Vec3::new(0.0003, 0.059, 0.042),
+            diag(0.0305, 0.0304, 0.011),
+        )
         .link("link3", Some(1), JointType::RevoluteZ)
         .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.2045, 0.0))
         .inertia(3.5, Vec3::new(0.0, 0.03, 0.13), diag(0.025, 0.0238, 0.0076))
         .link("link4", Some(2), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.06, 0.2155))
-        .inertia(3.5, Vec3::new(0.0, 0.067, 0.034), diag(0.017, 0.0164, 0.006))
+        .inertia(
+            3.5,
+            Vec3::new(0.0, 0.067, 0.034),
+            diag(0.017, 0.0164, 0.006),
+        )
         .link("link5", Some(3), JointType::RevoluteZ)
         .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.1845, 0.06))
-        .inertia(3.5, Vec3::new(0.0001, 0.021, 0.076), diag(0.01, 0.0087, 0.00449))
+        .inertia(
+            3.5,
+            Vec3::new(0.0001, 0.021, 0.076),
+            diag(0.01, 0.0087, 0.00449),
+        )
         .link("link6", Some(4), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.2155))
-        .inertia(1.8, Vec3::new(0.0, 0.0006, 0.0004), diag(0.0049, 0.0047, 0.0036))
+        .inertia(
+            1.8,
+            Vec3::new(0.0, 0.0006, 0.0004),
+            diag(0.0049, 0.0047, 0.0036),
+        )
         .link("link7", Some(5), JointType::RevoluteZ)
         .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.081, 0.0))
         .inertia(1.2, Vec3::new(0.0, 0.0, 0.02), diag(0.001, 0.001, 0.001))
@@ -83,10 +103,18 @@ pub fn hyq() -> RobotModel {
             .inertia(2.93, Vec3::new(0.04, 0.0, 0.0), diag(0.005, 0.0059, 0.0059))
             .link(format!("{name}_hfe"), Some(hip), JointType::RevoluteY)
             .placement_rot_x_deg(90.0, Vec3::new(0.08, 0.0, 0.0))
-            .inertia(2.64, Vec3::new(0.15, 0.0, -0.03), diag(0.0039, 0.026, 0.026))
+            .inertia(
+                2.64,
+                Vec3::new(0.15, 0.0, -0.03),
+                diag(0.0039, 0.026, 0.026),
+            )
             .link(format!("{name}_kfe"), Some(hip + 1), JointType::RevoluteY)
             .placement_translation(Vec3::new(0.35, 0.0, 0.0))
-            .inertia(0.88, Vec3::new(0.12, 0.0, -0.01), diag(0.0005, 0.0101, 0.0102));
+            .inertia(
+                0.88,
+                Vec3::new(0.12, 0.0, -0.01),
+                diag(0.0005, 0.0101, 0.0102),
+            );
     }
     b.build().expect("hyq model is valid")
 }
@@ -121,25 +149,53 @@ pub fn atlas() -> RobotModel {
         b = b
             .link(format!("{side}_arm_shz"), Some(chest), JointType::RevoluteZ)
             .placement_translation(Vec3::new(0.03, sy, 0.36))
-            .inertia(3.0, Vec3::new(0.0, sy.signum() * 0.05, 0.0), diag(0.003, 0.003, 0.003))
+            .inertia(
+                3.0,
+                Vec3::new(0.0, sy.signum() * 0.05, 0.0),
+                diag(0.003, 0.003, 0.003),
+            )
             .link(format!("{side}_arm_shx"), Some(base), JointType::RevoluteX)
             .placement_rot_x_deg(-90.0 * sy.signum(), Vec3::new(0.0, sy.signum() * 0.11, 0.0))
             .inertia(3.5, Vec3::new(0.0, 0.0, -0.08), diag(0.02, 0.02, 0.004))
-            .link(format!("{side}_arm_ely"), Some(base + 1), JointType::RevoluteY)
+            .link(
+                format!("{side}_arm_ely"),
+                Some(base + 1),
+                JointType::RevoluteY,
+            )
             .placement_translation(Vec3::new(0.0, 0.03, -0.19))
             .inertia(3.0, Vec3::new(0.0, -0.02, -0.1), diag(0.01, 0.01, 0.003))
-            .link(format!("{side}_arm_elx"), Some(base + 2), JointType::RevoluteX)
+            .link(
+                format!("{side}_arm_elx"),
+                Some(base + 2),
+                JointType::RevoluteX,
+            )
             .placement_rot_x_deg(90.0, Vec3::new(0.0, -0.03, -0.12))
             .inertia(2.5, Vec3::new(0.0, 0.0, -0.08), diag(0.008, 0.008, 0.002))
-            .link(format!("{side}_arm_wry"), Some(base + 3), JointType::RevoluteY)
+            .link(
+                format!("{side}_arm_wry"),
+                Some(base + 3),
+                JointType::RevoluteY,
+            )
             .placement_translation(Vec3::new(0.0, 0.0, -0.19))
             .inertia(1.8, Vec3::new(0.0, 0.0, -0.05), diag(0.003, 0.003, 0.001))
-            .link(format!("{side}_arm_wrx"), Some(base + 4), JointType::RevoluteX)
+            .link(
+                format!("{side}_arm_wrx"),
+                Some(base + 4),
+                JointType::RevoluteX,
+            )
             .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.05, 0.0))
             .inertia(1.0, Vec3::new(0.0, 0.0, -0.02), diag(0.001, 0.001, 0.0005))
-            .link(format!("{side}_arm_wry2"), Some(base + 5), JointType::RevoluteY)
+            .link(
+                format!("{side}_arm_wry2"),
+                Some(base + 5),
+                JointType::RevoluteY,
+            )
             .placement_translation(Vec3::new(0.0, 0.0, -0.08))
-            .inertia(0.5, Vec3::new(0.0, 0.0, -0.01), diag(0.0004, 0.0004, 0.0002));
+            .inertia(
+                0.5,
+                Vec3::new(0.0, 0.0, -0.01),
+                diag(0.0004, 0.0004, 0.0002),
+            );
     }
     // Legs: 6 DoF each (hpz, hpx, hpy, kny, aky, akx).
     for (side, sy) in [("l", 0.089), ("r", -0.089)] {
@@ -151,16 +207,32 @@ pub fn atlas() -> RobotModel {
             .link(format!("{side}_leg_hpx"), Some(base), JointType::RevoluteX)
             .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, -0.05))
             .inertia(3.6, Vec3::new(0.0, 0.02, 0.0), diag(0.01, 0.009, 0.009))
-            .link(format!("{side}_leg_hpy"), Some(base + 1), JointType::RevoluteY)
+            .link(
+                format!("{side}_leg_hpy"),
+                Some(base + 1),
+                JointType::RevoluteY,
+            )
             .placement_rot_x_deg(-90.0, Vec3::new(0.05, 0.0, 0.0))
             .inertia(8.0, Vec3::new(0.0, 0.0, -0.21), diag(0.15, 0.15, 0.02))
-            .link(format!("{side}_leg_kny"), Some(base + 2), JointType::RevoluteY)
+            .link(
+                format!("{side}_leg_kny"),
+                Some(base + 2),
+                JointType::RevoluteY,
+            )
             .placement_translation(Vec3::new(-0.05, 0.0, -0.37))
             .inertia(6.0, Vec3::new(0.0, 0.0, -0.18), diag(0.09, 0.09, 0.01))
-            .link(format!("{side}_leg_aky"), Some(base + 3), JointType::RevoluteY)
+            .link(
+                format!("{side}_leg_aky"),
+                Some(base + 3),
+                JointType::RevoluteY,
+            )
             .placement_translation(Vec3::new(0.0, 0.0, -0.42))
             .inertia(1.0, Vec3::new(0.0, 0.0, -0.01), diag(0.001, 0.001, 0.001))
-            .link(format!("{side}_leg_akx"), Some(base + 4), JointType::RevoluteX)
+            .link(
+                format!("{side}_leg_akx"),
+                Some(base + 4),
+                JointType::RevoluteX,
+            )
             .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.01, 0.0))
             .inertia(2.4, Vec3::new(0.02, 0.0, -0.05), diag(0.002, 0.007, 0.008));
     }
@@ -174,22 +246,38 @@ pub fn panda() -> RobotModel {
     RobotBuilder::new("panda")
         .link("panda_link1", None, JointType::RevoluteZ)
         .placement_translation(Vec3::new(0.0, 0.0, 0.333))
-        .inertia(3.06, Vec3::new(0.0, -0.03, -0.07), diag(0.017, 0.017, 0.006))
+        .inertia(
+            3.06,
+            Vec3::new(0.0, -0.03, -0.07),
+            diag(0.017, 0.017, 0.006),
+        )
         .link("panda_link2", Some(0), JointType::RevoluteZ)
         .placement_rot_x_deg(-90.0, Vec3::new(0.0, 0.0, 0.0))
         .inertia(2.34, Vec3::new(0.0, -0.07, 0.03), diag(0.018, 0.006, 0.017))
         .link("panda_link3", Some(1), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0, -0.316, 0.0))
-        .inertia(2.36, Vec3::new(0.044, 0.025, -0.038), diag(0.008, 0.008, 0.008))
+        .inertia(
+            2.36,
+            Vec3::new(0.044, 0.025, -0.038),
+            diag(0.008, 0.008, 0.008),
+        )
         .link("panda_link4", Some(2), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0825, 0.0, 0.0))
-        .inertia(2.38, Vec3::new(-0.038, 0.039, 0.025), diag(0.008, 0.008, 0.008))
+        .inertia(
+            2.38,
+            Vec3::new(-0.038, 0.039, 0.025),
+            diag(0.008, 0.008, 0.008),
+        )
         .link("panda_link5", Some(3), JointType::RevoluteZ)
         .placement_rot_x_deg(-90.0, Vec3::new(-0.0825, 0.384, 0.0))
         .inertia(2.43, Vec3::new(0.0, 0.038, -0.11), diag(0.03, 0.028, 0.005))
         .link("panda_link6", Some(4), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.0, 0.0, 0.0))
-        .inertia(1.47, Vec3::new(0.051, 0.007, 0.006), diag(0.002, 0.004, 0.005))
+        .inertia(
+            1.47,
+            Vec3::new(0.051, 0.007, 0.006),
+            diag(0.002, 0.004, 0.005),
+        )
         .link("panda_link7", Some(5), JointType::RevoluteZ)
         .placement_rot_x_deg(90.0, Vec3::new(0.088, 0.0, 0.0))
         .inertia(0.45, Vec3::new(0.01, 0.01, 0.08), diag(0.001, 0.001, 0.001))
@@ -207,19 +295,39 @@ pub fn ur5() -> RobotModel {
         .inertia(3.7, Vec3::new(0.0, 0.0, 0.0), diag(0.0103, 0.0103, 0.0067))
         .link("shoulder_lift", Some(0), JointType::RevoluteY)
         .placement_translation(Vec3::new(0.0, 0.1358, 0.0))
-        .inertia(8.39, Vec3::new(0.0, 0.0, 0.2125), diag(0.226, 0.226, 0.0151))
+        .inertia(
+            8.39,
+            Vec3::new(0.0, 0.0, 0.2125),
+            diag(0.226, 0.226, 0.0151),
+        )
         .link("elbow", Some(1), JointType::RevoluteY)
         .placement_translation(Vec3::new(0.0, -0.1197, 0.425))
-        .inertia(2.33, Vec3::new(0.0, 0.0, 0.196), diag(0.0494, 0.0494, 0.004))
+        .inertia(
+            2.33,
+            Vec3::new(0.0, 0.0, 0.196),
+            diag(0.0494, 0.0494, 0.004),
+        )
         .link("wrist_1", Some(2), JointType::RevoluteY)
         .placement_translation(Vec3::new(0.0, 0.0, 0.3922))
-        .inertia(1.22, Vec3::new(0.0, 0.093, 0.0), diag(0.0021, 0.0021, 0.0021))
+        .inertia(
+            1.22,
+            Vec3::new(0.0, 0.093, 0.0),
+            diag(0.0021, 0.0021, 0.0021),
+        )
         .link("wrist_2", Some(3), JointType::RevoluteZ)
         .placement_translation(Vec3::new(0.0, 0.093, 0.0))
-        .inertia(1.22, Vec3::new(0.0, 0.0, 0.0946), diag(0.0021, 0.0021, 0.0021))
+        .inertia(
+            1.22,
+            Vec3::new(0.0, 0.0, 0.0946),
+            diag(0.0021, 0.0021, 0.0021),
+        )
         .link("wrist_3", Some(4), JointType::RevoluteY)
         .placement_translation(Vec3::new(0.0, 0.0, 0.0946))
-        .inertia(0.19, Vec3::new(0.0, 0.0615, 0.0), diag(0.0003, 0.0003, 0.0003))
+        .inertia(
+            0.19,
+            Vec3::new(0.0, 0.0615, 0.0),
+            diag(0.0003, 0.0003, 0.0003),
+        )
         .build()
         .expect("ur5 model is valid")
 }
@@ -250,8 +358,14 @@ pub fn serial_chain(n: usize, joint: JointType) -> RobotModel {
         let parent = if i == 0 { None } else { Some(i - 1) };
         let rot = match i % 3 {
             0 => Transform::translation(Vec3::new(0.0, 0.0, 0.25)),
-            1 => Transform::new(Mat3::coord_rotation_x(90.0_f64.to_radians()), Vec3::new(0.0, 0.0, 0.25)),
-            _ => Transform::new(Mat3::coord_rotation_x(-90.0_f64.to_radians()), Vec3::new(0.0, 0.2, 0.0)),
+            1 => Transform::new(
+                Mat3::coord_rotation_x(90.0_f64.to_radians()),
+                Vec3::new(0.0, 0.0, 0.25),
+            ),
+            _ => Transform::new(
+                Mat3::coord_rotation_x(-90.0_f64.to_radians()),
+                Vec3::new(0.0, 0.2, 0.0),
+            ),
         };
         b = b
             .link(format!("link{i}"), parent, joint)

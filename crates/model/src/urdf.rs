@@ -156,9 +156,7 @@ fn parse_triple(s: &str, what: &str) -> Result<[f64; 3], UrdfError> {
 /// URDF rpy → the *coordinate* rotation of our Transform: URDF gives the
 /// child-to-parent rotation `R = Rz(y)·Ry(p)·Rx(r)`; we store `E = Rᵀ`.
 fn rpy_to_coord_rotation(rpy: [f64; 3]) -> Mat3<f64> {
-    Mat3::coord_rotation_x(rpy[0])
-        * Mat3::coord_rotation_y(rpy[1])
-        * Mat3::coord_rotation_z(rpy[2])
+    Mat3::coord_rotation_x(rpy[0]) * Mat3::coord_rotation_y(rpy[1]) * Mat3::coord_rotation_z(rpy[2])
 }
 
 // --- Intermediate URDF structures -------------------------------------------
@@ -204,7 +202,11 @@ pub fn parse_urdf(text: &str) -> Result<RobotModel, UrdfError> {
 
     for ev in &events {
         match ev {
-            XmlEvent::Open { name, attrs, self_closing } => match name.as_str() {
+            XmlEvent::Open {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
                 "robot" => {
                     if let Some(n) = attrs.get("name") {
                         robot_name = n.clone();
@@ -243,38 +245,36 @@ pub fn parse_urdf(text: &str) -> Result<RobotModel, UrdfError> {
                         l.inertia_origin_rpy = rpy;
                     }
                 }
-                "mass"
-                    if in_inertial => {
-                        let v = attrs
-                            .get("value")
-                            .ok_or_else(|| UrdfError::Xml("mass without value".into()))?
-                            .parse::<f64>()
-                            .map_err(|e| UrdfError::Xml(format!("bad mass: {e}")))?;
-                        let link = cur_link.as_ref().expect("in a link");
-                        links.get_mut(link).expect("current link exists").mass = v;
-                    }
-                "inertia"
-                    if in_inertial => {
-                        let get = |k: &str| -> Result<f64, UrdfError> {
-                            attrs
-                                .get(k)
-                                .map(|s| {
-                                    s.parse::<f64>()
-                                        .map_err(|e| UrdfError::Xml(format!("bad {k}: {e}")))
-                                })
-                                .transpose()
-                                .map(|v| v.unwrap_or(0.0))
-                        };
-                        let link = cur_link.as_ref().expect("in a link");
-                        links.get_mut(link).expect("current link exists").inertia = [
-                            get("ixx")?,
-                            get("iyy")?,
-                            get("izz")?,
-                            get("ixy")?,
-                            get("ixz")?,
-                            get("iyz")?,
-                        ];
-                    }
+                "mass" if in_inertial => {
+                    let v = attrs
+                        .get("value")
+                        .ok_or_else(|| UrdfError::Xml("mass without value".into()))?
+                        .parse::<f64>()
+                        .map_err(|e| UrdfError::Xml(format!("bad mass: {e}")))?;
+                    let link = cur_link.as_ref().expect("in a link");
+                    links.get_mut(link).expect("current link exists").mass = v;
+                }
+                "inertia" if in_inertial => {
+                    let get = |k: &str| -> Result<f64, UrdfError> {
+                        attrs
+                            .get(k)
+                            .map(|s| {
+                                s.parse::<f64>()
+                                    .map_err(|e| UrdfError::Xml(format!("bad {k}: {e}")))
+                            })
+                            .transpose()
+                            .map(|v| v.unwrap_or(0.0))
+                    };
+                    let link = cur_link.as_ref().expect("in a link");
+                    links.get_mut(link).expect("current link exists").inertia = [
+                        get("ixx")?,
+                        get("iyy")?,
+                        get("izz")?,
+                        get("ixy")?,
+                        get("ixz")?,
+                        get("iyz")?,
+                    ];
+                }
                 "joint" => {
                     // Transmissions also contain <joint/>; only track real
                     // joints (they carry a type attribute).
@@ -346,7 +346,11 @@ pub fn parse_urdf(text: &str) -> Result<RobotModel, UrdfError> {
     assemble(robot_name, &links, &link_order, joints)
 }
 
-fn axis_joint_type(axis: [f64; 3], revolute: bool, name: &str) -> Result<(JointType, f64), UrdfError> {
+fn axis_joint_type(
+    axis: [f64; 3],
+    revolute: bool,
+    name: &str,
+) -> Result<(JointType, f64), UrdfError> {
     const TOL: f64 = 1e-9;
     let mut major = None;
     for (i, v) in axis.iter().enumerate() {
@@ -359,9 +363,8 @@ fn axis_joint_type(axis: [f64; 3], revolute: bool, name: &str) -> Result<(JointT
             major = Some((i, *v));
         }
     }
-    let (idx, v) = major.ok_or_else(|| {
-        UrdfError::Unsupported(format!("joint `{name}` has a zero axis"))
-    })?;
+    let (idx, v) =
+        major.ok_or_else(|| UrdfError::Unsupported(format!("joint `{name}` has a zero axis")))?;
     if (v.abs() - 1.0).abs() > 1e-6 {
         return Err(UrdfError::Unsupported(format!(
             "joint `{name}` axis must be unit length, got {axis:?}"
@@ -539,11 +542,7 @@ fn urdf_inertia(l: &UrdfLink) -> SpatialInertia<f64> {
     // inertial origin.
     let e = rpy_to_coord_rotation(l.inertia_origin_rpy); // link→inertial coords
     let i_com = e.transpose() * i_com_local * e;
-    SpatialInertia::from_com_params(
-        l.mass,
-        Vec3::new(l.com[0], l.com[1], l.com[2]),
-        i_com,
-    )
+    SpatialInertia::from_com_params(l.mass, Vec3::new(l.com[0], l.com[1], l.com[2]), i_com)
 }
 
 #[cfg(test)]

@@ -39,9 +39,7 @@
 use core::cell::Cell;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
-use robo_dynamics::{
-    mass_matrix_inverse, rnea, rnea_derivatives, DynamicsModel,
-};
+use robo_dynamics::{mass_matrix_inverse, rnea, rnea_derivatives, DynamicsModel};
 use robo_model::RobotModel;
 use robo_spatial::Scalar;
 
@@ -245,9 +243,13 @@ impl WorkloadReport {
 pub fn kernel_workload(robot: &RobotModel) -> WorkloadReport {
     let n = robot.dof();
     let model = DynamicsModel::<Counted>::new(robot);
-    let q: Vec<Counted> = (0..n).map(|i| Counted::from_f64(0.3 * i as f64 - 0.5)).collect();
+    let q: Vec<Counted> = (0..n)
+        .map(|i| Counted::from_f64(0.3 * i as f64 - 0.5))
+        .collect();
     let qd: Vec<Counted> = (0..n).map(|i| Counted::from_f64(0.1 * i as f64)).collect();
-    let qdd: Vec<Counted> = (0..n).map(|i| Counted::from_f64(-0.2 * i as f64 + 0.4)).collect();
+    let qdd: Vec<Counted> = (0..n)
+        .map(|i| Counted::from_f64(-0.2 * i as f64 + 0.4))
+        .collect();
 
     // M⁻¹ is a host-side input to the kernel; build it outside the counted
     // sections so the report covers exactly Algorithm 1's three steps.
@@ -376,6 +378,9 @@ mod tests {
         assert!((2.8..5.0).contains(&ratio), "∇ID scaling ratio {ratio:.2}");
         // While ID scales linearly.
         let id_ratio = w8.id_ops.flops() as f64 / w4.id_ops.flops() as f64;
-        assert!((1.6..2.6).contains(&id_ratio), "ID scaling ratio {id_ratio:.2}");
+        assert!(
+            (1.6..2.6).contains(&id_ratio),
+            "ID scaling ratio {id_ratio:.2}"
+        );
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::xunit::XUnit;
 use robo_model::RobotModel;
-use robo_spatial::{Force, MatN, Motion, Scalar, SpatialInertia};
 use robo_sparsity::superposition_pattern;
+use robo_spatial::{Force, MatN, Motion, Scalar, SpatialInertia};
 use robomorphic_core::{Accelerator, GradientTemplate};
 
 /// Output of one simulated gradient computation.
@@ -30,6 +30,98 @@ pub struct SimOutput<S> {
     /// Cycles consumed (static schedule; pipelining ignored, as in the
     /// paper's Figure 10 measurement).
     pub cycles: usize,
+}
+
+/// Reusable buffers for [`AcceleratorSim::compute_gradient_into`]:
+/// the simulated on-chip state (link quantities, datapath registers) plus
+/// the output matrices.
+///
+/// Constructing the workspace allocates; every subsequent
+/// `compute_gradient_into` call through it (at the same or smaller degrees
+/// of freedom) performs **zero heap allocations** — the software analogue
+/// of the accelerator's statically-provisioned registers.
+#[derive(Debug, Clone)]
+pub struct SimWorkspace<S> {
+    /// Output `∂τ/∂q`, valid after a call.
+    pub dtau_dq: MatN<S>,
+    /// Output `∂τ/∂q̇`, valid after a call.
+    pub dtau_dqd: MatN<S>,
+    /// Output `∂q̈/∂q`, valid after a call.
+    pub dqdd_dq: MatN<S>,
+    /// Output `∂q̈/∂q̇`, valid after a call.
+    pub dqdd_dqd: MatN<S>,
+    trig: Vec<(S, S)>,
+    v: Vec<Motion<S>>,
+    a: Vec<Motion<S>>,
+    f: Vec<Force<S>>,
+    dv_q: Vec<Motion<S>>,
+    da_q: Vec<Motion<S>>,
+    df_q: Vec<Force<S>>,
+    dv_qd: Vec<Motion<S>>,
+    da_qd: Vec<Motion<S>>,
+    df_qd: Vec<Force<S>>,
+}
+
+impl<S: Scalar> Default for SimWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> SimWorkspace<S> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            dtau_dq: MatN::zeros(0, 0),
+            dtau_dqd: MatN::zeros(0, 0),
+            dqdd_dq: MatN::zeros(0, 0),
+            dqdd_dqd: MatN::zeros(0, 0),
+            trig: Vec::new(),
+            v: Vec::new(),
+            a: Vec::new(),
+            f: Vec::new(),
+            dv_q: Vec::new(),
+            da_q: Vec::new(),
+            df_q: Vec::new(),
+            dv_qd: Vec::new(),
+            da_qd: Vec::new(),
+            df_qd: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `sim`, so even the first call through it
+    /// is allocation-free.
+    pub fn for_sim(sim: &AcceleratorSim<S>) -> Self {
+        let n = sim.dof();
+        Self {
+            dtau_dq: MatN::zeros(n, n),
+            dtau_dqd: MatN::zeros(n, n),
+            dqdd_dq: MatN::zeros(n, n),
+            dqdd_dqd: MatN::zeros(n, n),
+            trig: Vec::with_capacity(n),
+            v: vec![Motion::zero(); n],
+            a: vec![Motion::zero(); n],
+            f: vec![Force::zero(); n],
+            dv_q: vec![Motion::zero(); n],
+            da_q: vec![Motion::zero(); n],
+            df_q: vec![Force::zero(); n],
+            dv_qd: vec![Motion::zero(); n],
+            da_qd: vec![Motion::zero(); n],
+            df_qd: vec![Force::zero(); n],
+        }
+    }
+
+    /// Consumes the workspace, yielding the last call's output without
+    /// copying. `cycles` is the value returned by that call.
+    pub fn into_output(self, cycles: usize) -> SimOutput<S> {
+        SimOutput {
+            dtau_dq: self.dtau_dq,
+            dtau_dqd: self.dtau_dqd,
+            dqdd_dq: self.dqdd_dq,
+            dqdd_dqd: self.dqdd_dqd,
+            cycles,
+        }
+    }
 }
 
 /// A functional, cycle-accounted simulator of a robot-customized dynamics
@@ -146,27 +238,63 @@ impl<S: Scalar> AcceleratorSim<S> {
     /// # Panics
     ///
     /// Panics if slice lengths or `minv` dimensions differ from the DoF.
-    pub fn compute_gradient(
+    pub fn compute_gradient(&self, q: &[S], qd: &[S], qdd: &[S], minv: &MatN<S>) -> SimOutput<S> {
+        let mut ws = SimWorkspace::for_sim(self);
+        let cycles = self.compute_gradient_into(q, qd, qdd, minv, &mut ws);
+        ws.into_output(cycles)
+    }
+
+    /// Like [`AcceleratorSim::compute_gradient`], but writing into a
+    /// reusable [`SimWorkspace`] (zero heap allocations once the workspace
+    /// is warm) and returning the cycle count. Results are bit-identical to
+    /// the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths or `minv` dimensions differ from the DoF.
+    pub fn compute_gradient_into(
         &self,
         q: &[S],
         qd: &[S],
         qdd: &[S],
         minv: &MatN<S>,
-    ) -> SimOutput<S> {
+        ws: &mut SimWorkspace<S>,
+    ) -> usize {
         let n = self.dof();
         assert_eq!(q.len(), n, "q length mismatch");
         assert_eq!(qd.len(), n, "qd length mismatch");
         assert_eq!(qdd.len(), n, "qdd length mismatch");
         assert_eq!((minv.rows(), minv.cols()), (n, n), "minv shape mismatch");
 
+        let SimWorkspace {
+            dtau_dq,
+            dtau_dqd,
+            dqdd_dq,
+            dqdd_dqd,
+            trig,
+            v,
+            a,
+            f,
+            dv_q,
+            da_q,
+            df_q,
+            dv_qd,
+            da_qd,
+            df_qd,
+        } = ws;
+
         // Host-cached trig inputs (§5.1: "the sin and cos of the link
         // position q ... can also be cached from an earlier stage").
-        let trig: Vec<(S, S)> = (0..n).map(|i| self.x_units[i].inputs_for(q[i])).collect();
+        trig.clear();
+        trig.extend((0..n).map(|i| self.x_units[i].inputs_for(q[i])));
 
         // --- ID chain (runs one link ahead of the datapaths) -------------
-        let mut v = vec![Motion::zero(); n];
-        let mut a = vec![Motion::zero(); n];
-        let mut f = vec![Force::zero(); n];
+        v.clear();
+        v.resize(n, Motion::zero());
+        a.clear();
+        a.resize(n, Motion::zero());
+        f.clear();
+        f.resize(n, Force::zero());
         for i in 0..n {
             let (s_q, c_q) = trig[i];
             let xu = &self.x_units[i];
@@ -184,8 +312,7 @@ impl<S: Scalar> AcceleratorSim<S> {
             };
             v[i] = vp + s_qd;
             a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
-            f[i] = self.inertias[i].apply(a[i])
-                + v[i].cross_force(self.inertias[i].apply(v[i]));
+            f[i] = self.inertias[i].apply(a[i]) + v[i].cross_force(self.inertias[i].apply(v[i]));
         }
         for i in (0..n).rev() {
             if let Some(p) = self.parents[i] {
@@ -196,14 +323,20 @@ impl<S: Scalar> AcceleratorSim<S> {
         }
 
         // --- ∇ID datapaths -------------------------------------------------
-        let mut dtau_dq = MatN::zeros(n, n);
-        let mut dtau_dqd = MatN::zeros(n, n);
-        let mut dv_q = vec![Motion::zero(); n];
-        let mut da_q = vec![Motion::zero(); n];
-        let mut df_q = vec![Force::zero(); n];
-        let mut dv_qd = vec![Motion::zero(); n];
-        let mut da_qd = vec![Motion::zero(); n];
-        let mut df_qd = vec![Force::zero(); n];
+        dtau_dq.resize_zeroed(n, n);
+        dtau_dqd.resize_zeroed(n, n);
+        dv_q.clear();
+        dv_q.resize(n, Motion::zero());
+        da_q.clear();
+        da_q.resize(n, Motion::zero());
+        df_q.clear();
+        df_q.resize(n, Force::zero());
+        dv_qd.clear();
+        dv_qd.resize(n, Motion::zero());
+        da_qd.clear();
+        da_qd.resize(n, Motion::zero());
+        df_qd.clear();
+        df_qd.resize(n, Force::zero());
 
         for j in 0..n {
             for slot in 0..n {
@@ -294,8 +427,8 @@ impl<S: Scalar> AcceleratorSim<S> {
         }
 
         // --- Fused −M⁻¹ MAC stage (step 3, two cycles) ---------------------
-        let mut dqdd_dq = MatN::zeros(n, n);
-        let mut dqdd_dqd = MatN::zeros(n, n);
+        dqdd_dq.resize_zeroed(n, n);
+        dqdd_dqd.resize_zeroed(n, n);
         for i in 0..n {
             for j in 0..n {
                 let mut acc_q = S::zero();
@@ -309,13 +442,7 @@ impl<S: Scalar> AcceleratorSim<S> {
             }
         }
 
-        SimOutput {
-            dtau_dq,
-            dtau_dqd,
-            dqdd_dq,
-            dqdd_dqd,
-            cycles: self.design.schedule().single_latency_cycles(),
-        }
+        self.design.schedule().single_latency_cycles()
     }
 }
 
@@ -339,7 +466,13 @@ mod tests {
     fn reference_case(
         robot: &robo_model::RobotModel,
         seed: u64,
-    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, MatN<f64>, robo_dynamics::DynamicsGradient<f64>) {
+    ) -> (
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        MatN<f64>,
+        robo_dynamics::DynamicsGradient<f64>,
+    ) {
         let model = DynamicsModel::<f64>::new(robot);
         let n = model.dof();
         let mut s = seed;
@@ -378,9 +511,8 @@ mod tests {
         let robot = robots::iiwa14();
         let (q, qd, qdd, minv, reference) = reference_case(&robot, 7);
         let sim = AcceleratorSim::<Fix32_16>::new(&robot);
-        let to_fix = |v: &[f64]| -> Vec<Fix32_16> {
-            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
-        };
+        let to_fix =
+            |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
         let out = sim.compute_gradient(
             &to_fix(&q),
             &to_fix(&qd),
@@ -413,11 +545,14 @@ mod tests {
             &to_s(&qdd),
             &minv.cast::<Fix8_4>(),
         );
-        let narrow_err = narrow.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+        let narrow_err = narrow
+            .dqdd_dq
+            .cast::<f64>()
+            .max_abs_diff(&reference.dqdd_dq)
+            / scale;
 
-        let to_f = |v: &[f64]| -> Vec<Fix32_16> {
-            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
-        };
+        let to_f =
+            |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
         let wide = AcceleratorSim::<Fix32_16>::new(&robot).compute_gradient(
             &to_f(&q),
             &to_f(&qd),
@@ -445,6 +580,29 @@ mod tests {
             hyq.design().schedule().single_latency_cycles() < out.cycles,
             "quadruped has shorter limbs → fewer cycles"
         );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // The same workspace driven through several different states (and
+        // even a different robot) must reproduce the allocating path bit
+        // for bit — stale buffer contents may never leak into results.
+        let mut ws = SimWorkspace::<f64>::new();
+        for (robot, seed) in [
+            (robots::iiwa14(), 1u64),
+            (robots::hyq(), 2),
+            (robots::iiwa14(), 3),
+        ] {
+            let (q, qd, qdd, minv, _) = reference_case(&robot, seed);
+            let sim = AcceleratorSim::<f64>::new(&robot);
+            let fresh = sim.compute_gradient(&q, &qd, &qdd, &minv);
+            let cycles = sim.compute_gradient_into(&q, &qd, &qdd, &minv, &mut ws);
+            assert_eq!(cycles, fresh.cycles);
+            assert_eq!(ws.dtau_dq, fresh.dtau_dq, "{}", robot.name());
+            assert_eq!(ws.dtau_dqd, fresh.dtau_dqd);
+            assert_eq!(ws.dqdd_dq, fresh.dqdd_dq);
+            assert_eq!(ws.dqdd_dqd, fresh.dqdd_dqd);
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl CoprocessorSystem {
     /// Builds the paper's deployment: the accelerator on the XCVU9P behind
     /// PCIe Gen 1.
     pub fn fpga_default(accel: Accelerator) -> Self {
-        Self::new(accel, FpgaPlatform::xcvu9p().clock_hz, IoChannel::pcie_gen1())
+        Self::new(
+            accel,
+            FpgaPlatform::xcvu9p().clock_hz,
+            IoChannel::pcie_gen1(),
+        )
     }
 
     /// Builds a coprocessor system with an explicit clock and channel
@@ -237,6 +241,12 @@ pub struct KernelInput<S> {
 /// combined behavior a host integration test would observe on real
 /// hardware.
 ///
+/// The numeric simulations run data-parallel on the process-wide
+/// [`BatchEngine`](robo_dynamics::batch::BatchEngine), each worker driving
+/// its own simulator clone through a reusable [`crate::SimWorkspace`]
+/// (mirroring the parallel accelerator instances of §6.3's multi-robot
+/// deployment).
+///
 /// # Panics
 ///
 /// Panics if `inputs` is empty or the simulator and system were built for
@@ -252,10 +262,21 @@ pub fn stream_batch<S: robo_spatial::Scalar>(
         system.accelerator().params().dof,
         "simulator and coprocessor system must target the same robot"
     );
-    let outputs = inputs
-        .iter()
-        .map(|inp| sim.compute_gradient(&inp.q, &inp.qd, &inp.qdd, &inp.minv))
-        .collect();
+    let outputs = robo_dynamics::batch::BatchEngine::global().run_with_state(
+        inputs.len(),
+        || (sim.clone(), crate::SimWorkspace::for_sim(sim)),
+        |(sim, ws), i| {
+            let inp = &inputs[i];
+            let cycles = sim.compute_gradient_into(&inp.q, &inp.qd, &inp.qdd, &inp.minv, ws);
+            crate::SimOutput {
+                dtau_dq: ws.dtau_dq.clone(),
+                dtau_dqd: ws.dtau_dqd.clone(),
+                dqdd_dq: ws.dqdd_dq.clone(),
+                dqdd_dqd: ws.dqdd_dqd.clone(),
+                cycles,
+            }
+        },
+    );
     let timeline = system.stream_timeline(inputs.len());
     (outputs, timeline)
 }
@@ -282,7 +303,7 @@ mod tests {
     #[test]
     fn round_trip_scales_sublinearly_at_first() {
         // Fixed overhead dominates small batches (the paper's Figure 13
-    // shows flattened scaling at 10-32 time steps).
+        // shows flattened scaling at 10-32 time steps).
         let s = system();
         let t10 = s.round_trip(10).total_s;
         let t20 = s.round_trip(20).total_s;
@@ -358,7 +379,9 @@ mod tests {
         assert_eq!(timeline.len(), 6);
         // Every output is a real gradient (nonzero) and timing is ordered.
         assert!(outputs.iter().all(|o| o.dqdd_dq.max_abs() > 0.0));
-        assert!(timeline.windows(2).all(|w| w[1].output_done_s > w[0].output_done_s));
+        assert!(timeline
+            .windows(2)
+            .all(|w| w[1].output_done_s > w[0].output_done_s));
     }
 
     /// Local input builder (robo-sim cannot depend on robo-baselines).

@@ -45,7 +45,7 @@ mod coproc;
 mod stepper;
 mod xunit;
 
-pub use accel_sim::{AcceleratorSim, SimOutput};
+pub use accel_sim::{AcceleratorSim, SimOutput, SimWorkspace};
 pub use coproc::{stream_batch, CoprocessorSystem, IoChannel, KernelInput, RoundTrip, StreamEvent};
 pub use stepper::{step_pipeline, CycleTrace, TraceEntry, Unit};
 pub use xunit::{Accumulation, XUnit};

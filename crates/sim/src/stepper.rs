@@ -137,11 +137,9 @@ pub fn step_pipeline(schedule: &CycleSchedule, computations: usize) -> CycleTrac
             fwd_free = start + cycles;
             prev_done = start + cycles;
         }
-        let fwd_done = prev_done;
-
         // Backward pass: needs the forward pass's results (through the
-        // interstage SRAM), then runs its own sequential link slots.
-        let mut prev_done = fwd_done;
+        // interstage SRAM, carried in `prev_done`), then runs its own
+        // sequential link slots.
         for slot in 0..bwd_slots {
             let start = bwd_free.max(prev_done);
             let cycles = schedule.bwd_cycles_per_link;
@@ -213,7 +211,12 @@ mod tests {
 
     #[test]
     fn emergent_numbers_for_all_builtin_robots() {
-        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas(), robots::hyq_floating()] {
+        for robot in [
+            robots::iiwa14(),
+            robots::hyq(),
+            robots::atlas(),
+            robots::hyq_floating(),
+        ] {
             let schedule = GradientTemplate::new().customize(&robot).schedule();
             let trace = step_pipeline(&schedule, 8);
             assert_eq!(

@@ -12,8 +12,8 @@
 //! mask, evaluation generic over the (fixed-point) scalar.
 
 use robo_model::{JointType, RobotModel};
-use robo_spatial::{Force, Motion, Scalar};
 use robo_sparsity::{x_pattern, Mask6};
+use robo_spatial::{Force, Motion, Scalar};
 
 /// How a functional unit's dot-product trees accumulate partial products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,11 +66,7 @@ impl<S: Scalar> XUnit<S> {
         );
         // The affine decomposition: X(s,c) = c·A + s·B + C, recovered from
         // three algebraic probe evaluations (s, c treated as independent).
-        let probe = |s: f64, c: f64| {
-            robot
-                .joint_transform_sincos::<f64>(i, s, c)
-                .to_mat6()
-        };
+        let probe = |s: f64, c: f64| robot.joint_transform_sincos::<f64>(i, s, c).to_mat6();
         let m00 = probe(0.0, 0.0); // C
         let m01 = probe(0.0, 1.0); // A + C
         let m10 = probe(1.0, 0.0); // B + C
@@ -140,46 +136,48 @@ impl<S: Scalar> XUnit<S> {
     #[inline]
     fn row_dot(&self, pairs: &[(S, S)]) -> S {
         match self.accumulation {
-            Accumulation::PerOperation => pairs
-                .iter()
-                .fold(S::zero(), |acc, (a, b)| acc + *a * *b),
+            Accumulation::PerOperation => pairs.iter().fold(S::zero(), |acc, (a, b)| acc + *a * *b),
             Accumulation::Wide => S::dot_accumulate(pairs),
         }
     }
 
-    /// Evaluates `X(q)·m` through the pruned tree.
+    /// Evaluates `X(q)·m` through the pruned tree. Heap-free: a row never
+    /// has more than six live products, so the pair list lives on the
+    /// stack (like the hardware's fixed wiring).
     pub fn apply_motion(&self, sin_q: S, cos_q: S, m: Motion<S>) -> Motion<S> {
         let x = self.entries(sin_q, cos_q);
         let v = m.to_array();
         let mut out = [S::zero(); 6];
-        let mut pairs = Vec::with_capacity(6);
+        let mut pairs = [(S::zero(), S::zero()); 6];
         for r in 0..6 {
-            pairs.clear();
+            let mut len = 0;
             for c in 0..6 {
                 if self.mask.m[r][c] {
-                    pairs.push((x[r][c], v[c]));
+                    pairs[len] = (x[r][c], v[c]);
+                    len += 1;
                 }
             }
-            out[r] = self.row_dot(&pairs);
+            out[r] = self.row_dot(&pairs[..len]);
         }
         Motion::from_array(out)
     }
 
     /// Evaluates the backward-pass operation `X(q)ᵀ·f` through the same
-    /// (transposed) tree.
+    /// (transposed) tree. Heap-free, like [`XUnit::apply_motion`].
     pub fn tr_apply_force(&self, sin_q: S, cos_q: S, f: Force<S>) -> Force<S> {
         let x = self.entries(sin_q, cos_q);
         let v = f.to_array();
         let mut out = [S::zero(); 6];
-        let mut pairs = Vec::with_capacity(6);
+        let mut pairs = [(S::zero(), S::zero()); 6];
         for c in 0..6 {
-            pairs.clear();
+            let mut len = 0;
             for r in 0..6 {
                 if self.mask.m[r][c] {
-                    pairs.push((x[r][c], v[r]));
+                    pairs[len] = (x[r][c], v[r]);
+                    len += 1;
                 }
             }
-            out[c] = self.row_dot(&pairs);
+            out[c] = self.row_dot(&pairs[..len]);
         }
         Force::from_array(out)
     }
@@ -238,9 +236,7 @@ mod tests {
             let shared = XUnit::<f64>::with_mask(&robot, i, sup);
             let m = rand_motion(&mut seed);
             let (s, c) = own.inputs_for(1.1);
-            assert!(
-                (own.apply_motion(s, c, m) - shared.apply_motion(s, c, m)).max_abs() < 1e-12
-            );
+            assert!((own.apply_motion(s, c, m) - shared.apply_motion(s, c, m)).max_abs() < 1e-12);
         }
     }
 

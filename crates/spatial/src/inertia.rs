@@ -160,7 +160,11 @@ mod tests {
         SpatialInertia::from_com_params(
             3.0,
             Vec3::new(0.1, -0.05, 0.2),
-            Mat3::from_rows([0.02, 0.001, 0.0], [0.001, 0.03, 0.002], [0.0, 0.002, 0.025]),
+            Mat3::from_rows(
+                [0.02, 0.001, 0.0],
+                [0.001, 0.03, 0.002],
+                [0.0, 0.002, 0.025],
+            ),
         )
     }
 
@@ -225,7 +229,11 @@ mod tests {
     #[test]
     fn addition_is_composite_inertia() {
         let a = sample();
-        let b = SpatialInertia::from_com_params(1.0, Vec3::new(0.0, 0.3, 0.0), Mat3::identity().scale(0.005));
+        let b = SpatialInertia::from_com_params(
+            1.0,
+            Vec3::new(0.0, 0.3, 0.0),
+            Mat3::identity().scale(0.005),
+        );
         let v = Motion::new(Vec3::new(0.2, 0.1, -0.4), Vec3::new(0.5, -0.6, 0.3));
         let combined = (a + b).apply(v);
         let separate = a.apply(v) + b.apply(v);

@@ -290,8 +290,14 @@ mod tests {
         // A frame rotated +90° about z sees the parent's x-axis along -y?
         // rotz(π/2) = [[0,1,0],[-1,0,0],[0,0,1]]: parent x ↦ child (0,-1,0).
         let r = Mat3::<f64>::coord_rotation_z(FRAC_PI_2);
-        approx(r.mul_vec(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, -1.0, 0.0));
-        approx(r.mul_vec(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(1.0, 0.0, 0.0));
+        approx(
+            r.mul_vec(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(0.0, -1.0, 0.0),
+        );
+        approx(
+            r.mul_vec(Vec3::new(0.0, 1.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
     }
 
     #[test]

@@ -131,6 +131,36 @@ impl<S: Scalar> MatN<S> {
         out
     }
 
+    /// Matrix–vector product written into `out`, which is resized as
+    /// needed. Steady-state reuse of the same `out` performs no heap
+    /// allocation. Produces bit-identical results to [`MatN::mul_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec_into(&self, v: &[S], out: &mut Vec<S>) {
+        assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
+        out.clear();
+        out.resize(self.rows, S::zero());
+        for i in 0..self.rows {
+            let mut acc = S::zero();
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Reshapes to `rows × cols` and sets every entry to zero, reusing the
+    /// existing storage when its capacity allows.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, S::zero());
+    }
+
     /// Matrix–matrix product.
     ///
     /// # Panics
@@ -151,6 +181,32 @@ impl<S: Scalar> MatN<S> {
             }
         }
         out
+    }
+
+    /// Computes `out = (−self) · rhs` without materializing the negated
+    /// matrix, writing into `out` (resized as needed).
+    ///
+    /// The loop order, accumulation order, and the skip of zero entries all
+    /// replicate [`MatN::mul_mat`] applied to an explicitly negated copy of
+    /// `self`, so the result is bit-identical to that two-step form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn neg_mul_mat_into(&self, rhs: &MatN<S>, out: &mut MatN<S>) {
+        assert_eq!(self.cols, rhs.rows, "mul_mat dimension mismatch");
+        out.resize_zeroed(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = -self[(i, k)];
+                if a == S::zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
     }
 
     /// The transpose.
@@ -275,30 +331,42 @@ impl<S: Scalar> Ldlt<S> {
     /// Returns [`FactorizeError::DimensionMismatch`] if `b.len()` differs
     /// from the factored dimension.
     pub fn solve(&self, b: &[S]) -> Result<Vec<S>, FactorizeError> {
+        let mut y = b.to_vec();
+        self.solve_in_place(&mut y)?;
+        Ok(y)
+    }
+
+    /// Solves `A x = b` in place: on entry `b` holds the right-hand side,
+    /// on successful return it holds the solution. No heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError::DimensionMismatch`] if `b.len()` differs
+    /// from the factored dimension (in which case `b` is untouched).
+    pub fn solve_in_place(&self, b: &mut [S]) -> Result<(), FactorizeError> {
         let n = self.d.len();
         if b.len() != n {
             return Err(FactorizeError::DimensionMismatch);
         }
         // Forward substitution: L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
                 let lik = self.l[(i, k)];
-                y[i] = y[i] - lik * y[k];
+                b[i] -= lik * b[k];
             }
         }
         // Diagonal: D z = y.
         for i in 0..n {
-            y[i] /= self.d[i];
+            b[i] /= self.d[i];
         }
         // Back substitution: Lᵀ x = z.
         for i in (0..n).rev() {
             for k in (i + 1)..n {
                 let lki = self.l[(k, i)];
-                y[i] = y[i] - lki * y[k];
+                b[i] -= lki * b[k];
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// The unit lower-triangular factor `L`.
@@ -423,5 +491,61 @@ mod tests {
         let m = MatN::<f64>::zeros(2, 5);
         let t = m.transpose();
         assert_eq!((t.rows(), t.cols()), (5, 2));
+    }
+
+    #[test]
+    fn mul_vec_into_matches_allocating() {
+        let m = spd(6, 29);
+        let v: Vec<f64> = (0..6).map(|i| 0.7 * i as f64 - 2.0).collect();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            m.mul_vec_into(&v, &mut out);
+            assert_eq!(out, m.mul_vec(&v));
+        }
+        // Reused buffer of the wrong size is corrected.
+        let mut wrong = vec![9.0; 11];
+        m.mul_vec_into(&v, &mut wrong);
+        assert_eq!(wrong, m.mul_vec(&v));
+    }
+
+    #[test]
+    fn neg_mul_mat_into_matches_negated_mul_mat() {
+        let a = spd(5, 31);
+        let b = spd(5, 37);
+        let mut negated = a.clone();
+        for i in 0..5 {
+            for j in 0..5 {
+                negated[(i, j)] = -negated[(i, j)];
+            }
+        }
+        let expected = negated.mul_mat(&b);
+        let mut out = MatN::zeros(1, 1);
+        for _ in 0..2 {
+            a.neg_mul_mat_into(&b, &mut out);
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let m = spd(7, 41);
+        let f = m.ldlt().unwrap();
+        let b: Vec<f64> = (0..7).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let mut x = b.clone();
+        f.solve_in_place(&mut x).unwrap();
+        assert_eq!(x, f.solve(&b).unwrap());
+        let mut short = vec![0.0; 3];
+        assert_eq!(
+            f.solve_in_place(&mut short).unwrap_err(),
+            FactorizeError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn resize_zeroed_clears_and_reshapes() {
+        let mut m = spd(4, 43);
+        m.resize_zeroed(2, 6);
+        assert_eq!((m.rows(), m.cols()), (2, 6));
+        assert_eq!(m.max_abs(), 0.0);
     }
 }

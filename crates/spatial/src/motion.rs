@@ -63,17 +63,13 @@ macro_rules! impl_spatial_common {
 
             /// Builds from a 6-array `[ωx, ωy, ωz, vx, vy, vz]`.
             pub fn from_array(a: [S; 6]) -> Self {
-                Self::new(
-                    Vec3::new(a[0], a[1], a[2]),
-                    Vec3::new(a[3], a[4], a[5]),
-                )
+                Self::new(Vec3::new(a[0], a[1], a[2]), Vec3::new(a[3], a[4], a[5]))
             }
 
             /// The components as a 6-array, angular first.
             pub fn to_array(self) -> [S; 6] {
                 [
-                    self.ang.x, self.ang.y, self.ang.z,
-                    self.lin.x, self.lin.y, self.lin.z,
+                    self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y, self.lin.z,
                 ]
             }
 
@@ -187,7 +183,9 @@ mod tests {
 
     fn rand_motion(seed: &mut u64) -> Motion<f64> {
         let mut next = || {
-            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         Motion::new(

@@ -129,9 +129,7 @@ pub trait Scalar:
     /// Xilinx DSP48 slices) — the same dot product, one rounding error
     /// instead of `n`.
     fn dot_accumulate(terms: &[(Self, Self)]) -> Self {
-        terms
-            .iter()
-            .fold(Self::zero(), |acc, (a, b)| acc + *a * *b)
+        terms.iter().fold(Self::zero(), |acc, (a, b)| acc + *a * *b)
     }
 }
 

@@ -100,11 +100,7 @@ impl<S: Scalar> Vec3<S> {
 
     /// Largest absolute component, as `f64` (used by tests and error checks).
     pub fn max_abs(self) -> f64 {
-        self.x
-            .abs()
-            .max(self.y.abs())
-            .max(self.z.abs())
-            .to_f64()
+        self.x.abs().max(self.y.abs()).max(self.z.abs()).to_f64()
     }
 
     /// Whether every component is finite / non-saturated.

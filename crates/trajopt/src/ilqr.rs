@@ -160,15 +160,19 @@ struct Rollout {
 /// `(q, q̇, q̈, M⁻¹)`, return `(∂q̈/∂q, ∂q̈/∂q̇)` in `f64`. This is exactly
 /// the accelerator's interface (Figure 9), so a simulated accelerator — or
 /// real hardware — can be dropped in.
+///
+/// Providers must be `Sync`: the backward pass linearizes all time steps
+/// data-parallel on the shared batch engine (the per-time-step parallelism
+/// of §6.1), so the provider is called from several workers at once.
 pub type GradientFn<'a> =
-    dyn Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> + 'a;
+    dyn Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> + Sync + 'a;
 
 /// Builds the software gradient provider computing the kernel in scalar
 /// type `S` (the paper's type-generic study).
 #[allow(clippy::type_complexity)]
 pub fn software_gradient<S: Scalar>(
     robot: &robo_model::RobotModel,
-) -> impl Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> {
+) -> impl Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> + Sync {
     let model_s = DynamicsModel::<S>::new(robot);
     move |q, qd, qdd, minv| {
         let grad = dynamics_gradient_from_qdd(
@@ -219,11 +223,7 @@ pub fn solve_with_gradient(
     // Warm start with gravity compensation at the initial posture: keeps
     // the first rollout near-stationary (a zero-torque arm free-falls and
     // can blow up the explicit integration over long horizons).
-    let mut hold = robo_dynamics::bias_torques(
-        &model,
-        &task.x0[..n],
-        &vec![0.0; n],
-    );
+    let mut hold = robo_dynamics::bias_torques(&model, &task.x0[..n], &vec![0.0; n]);
     task.clamp_u(&mut hold);
     let mut us = vec![hold; task.horizon];
     let mut rollout = roll(task, &model, &us);
@@ -231,8 +231,7 @@ pub fn solve_with_gradient(
     let mut reg = opts.initial_reg;
 
     for _ in 0..opts.iterations {
-        let Some((ks, kmats)) = backward_pass(task, &model, gradient, &rollout.xs, &us, reg)
-        else {
+        let Some((ks, kmats)) = backward_pass(task, &model, gradient, &rollout.xs, &us, reg) else {
             // Backward pass failed (e.g. fixed-point garbage made Q_uu
             // indefinite): raise regularization and record a flat step.
             reg *= 10.0;
@@ -411,16 +410,25 @@ fn backward_pass(
     let mut ks = vec![vec![0.0; n]; horizon];
     let mut kmats = vec![MatN::zeros(n, 2 * n); horizon];
 
+    // Linearize every time step up front, data-parallel across the shared
+    // batch engine (the per-time-step parallelism of §6.1): the host
+    // computes q̈ and M⁻¹ in float, then calls the gradient provider — the
+    // accelerator's exact interface. The Riccati recursion below stays
+    // inherently sequential, but consumes these precomputed linearizations.
+    let mut lin: Vec<Option<(MatN<f64>, MatN<f64>, MatN<f64>)>> =
+        robo_dynamics::batch::BatchEngine::global().run(horizon, |t| {
+            let (q, qd) = xs[t].split_at(n);
+            let qdd = forward_dynamics(model, q, qd, &us[t]).ok()?;
+            let minv = mass_matrix_inverse(model, q).ok()?;
+            let (dqdd_dq, dqdd_dqd) = gradient(q, qd, &qdd, &minv)?;
+            Some((dqdd_dq, dqdd_dqd, minv))
+        });
+
     for t in (0..horizon).rev() {
         let x = &xs[t];
         let u = &us[t];
-        let (q, qd) = x.split_at(n);
 
-        // Linearization: the host computes q̈ and M⁻¹ in float, then calls
-        // the gradient provider — the accelerator's exact interface.
-        let qdd = forward_dynamics(model, q, qd, u).ok()?;
-        let minv = mass_matrix_inverse(model, q).ok()?;
-        let (dqdd_dq, dqdd_dqd) = gradient(q, qd, &qdd, &minv)?;
+        let (dqdd_dq, dqdd_dqd, minv) = std::mem::take(&mut lin[t])?;
 
         // A = ∂x'/∂x and B = ∂x'/∂u of the semi-implicit Euler step.
         let dt = task.dt;
@@ -499,7 +507,8 @@ fn backward_pass(
         for i in 0..2 * n {
             let mut acc = q_x[i];
             for a_idx in 0..n {
-                acc += kmat[(a_idx, i)] * (q_uu_k[a_idx] + q_u[a_idx]) + q_ux[(a_idx, i)] * k[a_idx];
+                acc +=
+                    kmat[(a_idx, i)] * (q_uu_k[a_idx] + q_u[a_idx]) + q_ux[(a_idx, i)] * k[a_idx];
             }
             new_v_x[i] = acc;
         }

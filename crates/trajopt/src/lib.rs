@@ -32,8 +32,9 @@ mod ilqr;
 mod mpc;
 mod rate;
 
-pub use ilqr::{software_gradient, solve, solve_with_gradient, GradientFn, IlqrOptions, IlqrResult, ReachingTask};
-pub use mpc::{run_mpc, MpcConfig, MpcResult};
-pub use rate::{
-    ControlRateModel, ACTUATOR_RATE_HZ, MPC_MINIMUM_RATE_HZ, PAPER_OPT_ITERATIONS,
+pub use ilqr::{
+    software_gradient, solve, solve_with_gradient, GradientFn, IlqrOptions, IlqrResult,
+    ReachingTask,
 };
+pub use mpc::{run_mpc, MpcConfig, MpcResult};
+pub use rate::{ControlRateModel, ACTUATOR_RATE_HZ, MPC_MINIMUM_RATE_HZ, PAPER_OPT_ITERATIONS};

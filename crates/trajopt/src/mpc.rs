@@ -75,10 +75,11 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
     let mut tracking_errors = Vec::with_capacity(config.control_steps);
     let mut gradient_calls = 0usize;
 
-    // Count kernel invocations through a wrapper.
-    let calls = std::cell::Cell::new(0usize);
+    // Count kernel invocations through a wrapper. Atomic, because the
+    // optimizer linearizes time steps in parallel on the batch engine.
+    let calls = std::sync::atomic::AtomicUsize::new(0);
     let counting = |q: &[f64], qd: &[f64], qdd: &[f64], minv: &robo_spatial::MatN<f64>| {
-        calls.set(calls.get() + 1);
+        calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         gradient(q, qd, qdd, minv)
     };
 
@@ -111,7 +112,7 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
             .sqrt();
         tracking_errors.push(err);
     }
-    gradient_calls += calls.get();
+    gradient_calls += calls.load(std::sync::atomic::Ordering::Relaxed);
 
     MpcResult {
         states,

@@ -19,7 +19,9 @@ fn main() {
     let fpga = FpgaPlatform::xcvu9p();
 
     println!("one template, three robots:");
-    println!("  robot      | dof | limbs | N (max) | cycles | latency us | DSP util | fits XCVU9P?");
+    println!(
+        "  robot      | dof | limbs | N (max) | cycles | latency us | DSP util | fits XCVU9P?"
+    );
     for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
         let accel = template.customize(&robot);
         println!(
@@ -31,7 +33,11 @@ fn main() {
             accel.schedule().single_latency_cycles(),
             accel.single_latency_s(fpga.clock_hz) * 1e6,
             fpga.dsp_utilization(&accel.resources()) * 100.0,
-            if fpga.fits(&accel.resources()) { "yes" } else { "no (needs ASIC, cf. Table 2)" },
+            if fpga.fits(&accel.resources()) {
+                "yes"
+            } else {
+                "no (needs ASIC, cf. Table 2)"
+            },
         );
     }
     println!(

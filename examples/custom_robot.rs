@@ -30,7 +30,11 @@ fn main() {
         "parsed `{}`: {} links, joints: {:?}",
         robot.name(),
         robot.dof(),
-        robot.links().iter().map(|l| l.joint.as_str()).collect::<Vec<_>>()
+        robot
+            .links()
+            .iter()
+            .map(|l| l.joint.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Customize the (algorithm-level) template for this brand-new robot.

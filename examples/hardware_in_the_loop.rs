@@ -32,15 +32,18 @@ fn main() {
     // --- Accelerator in the loop (Q16.16) ----------------------------------
     let sim = AcceleratorSim::<Fix32_16>::new(&task.robot);
     let accel_provider = |q: &[f64], qd: &[f64], qdd: &[f64], minv: &MatN<f64>| {
-        let cast = |v: &[f64]| -> Vec<Fix32_16> {
-            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
-        };
+        let cast =
+            |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
         let out = sim.compute_gradient(&cast(q), &cast(qd), &cast(qdd), &minv.cast());
         Some((out.dqdd_dq.cast::<f64>(), out.dqdd_dqd.cast::<f64>()))
     };
     let hw = run_mpc(&task, &config, &accel_provider);
 
-    println!("closed-loop MPC on {} with a {} Nm unmodeled disturbance:", task.robot.name(), config.disturbance);
+    println!(
+        "closed-loop MPC on {} with a {} Nm unmodeled disturbance:",
+        task.robot.name(),
+        config.disturbance
+    );
     println!("  step | err (software f64) | err (accelerator Q16.16)");
     for (i, (a, b)) in sw
         .tracking_errors
@@ -59,8 +62,7 @@ fn main() {
 
     let cycles_per_call = sim.design().schedule().single_latency_cycles();
     let fpga = FpgaPlatform::xcvu9p();
-    let accel_time_ms =
-        hw.gradient_calls as f64 * cycles_per_call as f64 / fpga.clock_hz * 1e3;
+    let accel_time_ms = hw.gradient_calls as f64 * cycles_per_call as f64 / fpga.clock_hz * 1e3;
     println!(
         "\naccelerator accounting: {} kernel calls x {} cycles = {:.2} ms of FPGA time\n\
          across {:.1} ms of simulated robot motion (dt = {} s x {} steps)",

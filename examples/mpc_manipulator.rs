@@ -16,8 +16,7 @@ use robomorphic::fixed::Fix32_16;
 use robomorphic::model::robots;
 use robomorphic::sim::CoprocessorSystem;
 use robomorphic::trajopt::{
-    solve, ControlRateModel, IlqrOptions, ReachingTask, MPC_MINIMUM_RATE_HZ,
-    PAPER_OPT_ITERATIONS,
+    solve, ControlRateModel, IlqrOptions, ReachingTask, MPC_MINIMUM_RATE_HZ, PAPER_OPT_ITERATIONS,
 };
 
 fn main() {
@@ -27,7 +26,12 @@ fn main() {
 
     let float = solve::<f32>(&task, &opts);
     let fixed = solve::<Fix32_16>(&task, &opts);
-    println!("iLQR on {} ({} steps, dt {} s):", task.robot.name(), task.horizon, task.dt);
+    println!(
+        "iLQR on {} ({} steps, dt {} s):",
+        task.robot.name(),
+        task.horizon,
+        task.dt
+    );
     println!("  iter |      f32 | Fixed{{16,16}}");
     for (i, (a, b)) in float.costs.iter().zip(fixed.costs.iter()).enumerate() {
         println!("  {i:>4} | {a:>8.2} | {b:>8.2}");

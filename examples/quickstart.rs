@@ -25,7 +25,12 @@ fn main() {
     let robot = robots::iiwa14();
     let accel = template.customize(&robot);
 
-    println!("robot: {} ({} links, {} limb(s))", robot.name(), robot.dof(), accel.params().l_limbs);
+    println!(
+        "robot: {} ({} links, {} limb(s))",
+        robot.name(),
+        robot.dof(),
+        accel.params().l_limbs
+    );
     println!(
         "shared X-unit sparsity: {}/36 nonzeros (superposition of all joints)",
         accel.params().x_superposition.count()
@@ -72,7 +77,10 @@ fn main() {
          (gradient entries up to {scale:.1})",
         rel * 100.0
     );
-    println!("dqdd_dq[0][0..3] = {:?}", &reference.dqdd_dq.as_slice()[0..3]);
+    println!(
+        "dqdd_dq[0][0..3] = {:?}",
+        &reference.dqdd_dq.as_slice()[0..3]
+    );
     assert!(rel < 5e-3);
     println!("ok: the Q16.16 accelerator matches the software reference");
 }

@@ -11,9 +11,7 @@
 //! *executes* identically to the reference transform, and prints the
 //! Figure 8 top level for the quadruped with its limb processors.
 
-use robomorphic::codegen::{
-    generate_top, generate_x_unit, lint, to_verilog, RtlFormat,
-};
+use robomorphic::codegen::{generate_top, generate_x_unit, lint, to_verilog, RtlFormat};
 use robomorphic::core::GradientTemplate;
 use robomorphic::model::robots;
 use robomorphic::spatial::Motion;

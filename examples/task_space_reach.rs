@@ -60,19 +60,30 @@ fn main() {
         task.dt
     );
     println!("  target: {:?}", target.to_f64());
-    println!("  start EE:  {:?}  (distance {:.3} m)", start.to_f64(), (start - target).norm());
-    println!("  final EE:  {:?}  (distance {:.3} m)", end.to_f64(), (end - target).norm());
+    println!(
+        "  start EE:  {:?}  (distance {:.3} m)",
+        start.to_f64(),
+        (start - target).norm()
+    );
+    println!(
+        "  final EE:  {:?}  (distance {:.3} m)",
+        end.to_f64(),
+        (end - target).norm()
+    );
     let max_u = result
         .controls
         .iter()
         .flatten()
         .fold(0.0_f64, |a, b| a.max(b.abs()));
     println!("  peak commanded torque: {max_u:.1} Nm (limit 40)");
-    println!("  cost trace: {:?}", result
-        .costs
-        .iter()
-        .map(|c| (c * 10.0).round() / 10.0)
-        .collect::<Vec<_>>());
+    println!(
+        "  cost trace: {:?}",
+        result
+            .costs
+            .iter()
+            .map(|c| (c * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     assert!((end - target).norm() < 0.12, "reach failed");
     assert!(max_u <= 40.0 + 1e-9, "effort limit violated");
     println!("ok: reached the target within limits");

@@ -53,10 +53,9 @@ pub fn load_robot(source: &str) -> Result<RobotModel, CliError> {
         "atlas" => return Ok(robo_model::robots::atlas()),
         _ => {}
     }
-    let text = std::fs::read_to_string(source)
-        .map_err(|e| CliError::Load(format!("{source}: {e}")))?;
-    if source.ends_with(".urdf") || source.ends_with(".xml") || text.trim_start().starts_with('<')
-    {
+    let text =
+        std::fs::read_to_string(source).map_err(|e| CliError::Load(format!("{source}: {e}")))?;
+    if source.ends_with(".urdf") || source.ends_with(".xml") || text.trim_start().starts_with('<') {
         parse_urdf(&text).map_err(|e| CliError::Load(format!("{source}: {e}")))
     } else {
         parse_robo(&text).map_err(|e| CliError::Load(format!("{source}: {e}")))
@@ -227,14 +226,23 @@ pub fn cmd_check(source: &str) -> Result<String, CliError> {
         "  self-clearance at q = 0: {:.3} m across {} pruned pairs{}",
         clearance,
         cm.pairs().len(),
-        if clearance > 0.0 { "" } else { " (WARNING: zero pose self-collides)" }
+        if clearance > 0.0 {
+            ""
+        } else {
+            " (WARNING: zero pose self-collides)"
+        }
     );
     // Gradient spot-check against finite differences.
     let input = &robo_baselines::random_inputs(&robot, 1, 0xC11)[0];
     let g = robo_dynamics::dynamics_gradient_from_qdd(
-        &model, &input.q, &input.qd, &input.qdd, &input.minv,
+        &model,
+        &input.q,
+        &input.qd,
+        &input.qdd,
+        &input.minv,
     );
-    let fd = robo_dynamics::findiff::rnea_gradient_fd(&model, &input.q, &input.qd, &input.qdd, 1e-6);
+    let fd =
+        robo_dynamics::findiff::rnea_gradient_fd(&model, &input.q, &input.qd, &input.qdd, 1e-6);
     let err = g.id_gradient.dtau_dq.max_abs_diff(&fd.dtau_dq);
     let _ = writeln!(
         out,

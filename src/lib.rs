@@ -52,10 +52,10 @@
 pub use robo_baselines as baselines;
 pub use robo_codegen as codegen;
 pub use robo_collision as collision;
-pub use robo_profile as profile;
 pub use robo_dynamics as dynamics;
 pub use robo_fixed as fixed;
 pub use robo_model as model;
+pub use robo_profile as profile;
 pub use robo_sim as sim;
 pub use robo_sparsity as sparsity;
 pub use robo_spatial as spatial;

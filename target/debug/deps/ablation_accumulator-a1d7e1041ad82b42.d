@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_accumulator-a1d7e1041ad82b42.d: crates/bench/src/bin/ablation_accumulator.rs
+
+/root/repo/target/debug/deps/ablation_accumulator-a1d7e1041ad82b42: crates/bench/src/bin/ablation_accumulator.rs
+
+crates/bench/src/bin/ablation_accumulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_folding-4c33422f9b2aef49.d: crates/bench/src/bin/ablation_folding.rs
+
+/root/repo/target/debug/deps/ablation_folding-4c33422f9b2aef49: crates/bench/src/bin/ablation_folding.rs
+
+crates/bench/src/bin/ablation_folding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_folding-ad7c15fbb105e30c.d: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_folding-ad7c15fbb105e30c.rmeta: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_folding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-7d51b9f48f77a162.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-7d51b9f48f77a162: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

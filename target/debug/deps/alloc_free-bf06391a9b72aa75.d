@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-bf06391a9b72aa75.d: tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-bf06391a9b72aa75: tests/alloc_free.rs
+
+tests/alloc_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-d1511c9aa870b3a1.d: tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-d1511c9aa870b3a1.rmeta: tests/alloc_free.rs Cargo.toml
+
+tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

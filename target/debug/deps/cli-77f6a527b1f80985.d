@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli-77f6a527b1f80985.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-77f6a527b1f80985: tests/cli.rs
+
+tests/cli.rs:

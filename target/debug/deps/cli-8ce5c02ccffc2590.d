@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli-8ce5c02ccffc2590.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-8ce5c02ccffc2590.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

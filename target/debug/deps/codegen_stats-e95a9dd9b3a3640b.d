@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_stats-e95a9dd9b3a3640b.d: crates/bench/src/bin/codegen_stats.rs
+
+/root/repo/target/debug/deps/codegen_stats-e95a9dd9b3a3640b: crates/bench/src/bin/codegen_stats.rs
+
+crates/bench/src/bin/codegen_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coprocessor-2c97c7c29b4b568b.d: tests/coprocessor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoprocessor-2c97c7c29b4b568b.rmeta: tests/coprocessor.rs Cargo.toml
+
+tests/coprocessor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coprocessor-f77a77bf06e4d209.d: tests/coprocessor.rs
+
+/root/repo/target/debug/deps/coprocessor-f77a77bf06e4d209: tests/coprocessor.rs
+
+tests/coprocessor.rs:

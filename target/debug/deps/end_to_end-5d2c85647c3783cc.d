@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5d2c85647c3783cc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5d2c85647c3783cc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

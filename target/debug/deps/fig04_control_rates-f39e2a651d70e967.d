@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_control_rates-f39e2a651d70e967.d: crates/bench/src/bin/fig04_control_rates.rs
+
+/root/repo/target/debug/deps/fig04_control_rates-f39e2a651d70e967: crates/bench/src/bin/fig04_control_rates.rs
+
+crates/bench/src/bin/fig04_control_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_kernel_latency-670a46bc349f9cd2.d: crates/bench/benches/fig10_kernel_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_kernel_latency-670a46bc349f9cd2.rmeta: crates/bench/benches/fig10_kernel_latency.rs Cargo.toml
+
+crates/bench/benches/fig10_kernel_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_single_latency-5bdd60976cc2dcab.d: crates/bench/src/bin/fig10_single_latency.rs
+
+/root/repo/target/debug/deps/fig10_single_latency-5bdd60976cc2dcab: crates/bench/src/bin/fig10_single_latency.rs
+
+crates/bench/src/bin/fig10_single_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_sparsity_ops-78ccc199c9e13174.d: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+/root/repo/target/debug/deps/fig11_sparsity_ops-78ccc199c9e13174: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:

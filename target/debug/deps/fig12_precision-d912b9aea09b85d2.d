@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_precision-d912b9aea09b85d2.d: crates/bench/src/bin/fig12_precision.rs
+
+/root/repo/target/debug/deps/fig12_precision-d912b9aea09b85d2: crates/bench/src/bin/fig12_precision.rs
+
+crates/bench/src/bin/fig12_precision.rs:

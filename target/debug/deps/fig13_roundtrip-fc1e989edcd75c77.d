@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_roundtrip-fc1e989edcd75c77.d: crates/bench/src/bin/fig13_roundtrip.rs
+
+/root/repo/target/debug/deps/fig13_roundtrip-fc1e989edcd75c77: crates/bench/src/bin/fig13_roundtrip.rs
+
+crates/bench/src/bin/fig13_roundtrip.rs:

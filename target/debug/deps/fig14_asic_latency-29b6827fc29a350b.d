@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_asic_latency-29b6827fc29a350b.d: crates/bench/src/bin/fig14_asic_latency.rs
+
+/root/repo/target/debug/deps/fig14_asic_latency-29b6827fc29a350b: crates/bench/src/bin/fig14_asic_latency.rs
+
+crates/bench/src/bin/fig14_asic_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_projected_rates-6b9c84bc34f8e2be.d: crates/bench/src/bin/fig15_projected_rates.rs
+
+/root/repo/target/debug/deps/fig15_projected_rates-6b9c84bc34f8e2be: crates/bench/src/bin/fig15_projected_rates.rs
+
+crates/bench/src/bin/fig15_projected_rates.rs:

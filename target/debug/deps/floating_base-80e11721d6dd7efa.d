@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/floating_base-80e11721d6dd7efa.d: tests/floating_base.rs
+
+/root/repo/target/debug/deps/floating_base-80e11721d6dd7efa: tests/floating_base.rs
+
+tests/floating_base.rs:

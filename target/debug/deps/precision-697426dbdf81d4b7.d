@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-697426dbdf81d4b7.d: tests/precision.rs
+
+/root/repo/target/debug/deps/precision-697426dbdf81d4b7: tests/precision.rs
+
+tests/precision.rs:

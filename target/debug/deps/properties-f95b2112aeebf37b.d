@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f95b2112aeebf37b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f95b2112aeebf37b: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/robo_baselines-1dbf3c30e84f6127.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_baselines-1dbf3c30e84f6127.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/robo_baselines-a159a2456c7674af.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/debug/deps/robo_baselines-a159a2456c7674af: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robo_baselines-db1379f9c631adbd.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/debug/deps/librobo_baselines-db1379f9c631adbd.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/debug/deps/librobo_baselines-db1379f9c631adbd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pool.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/robo_codegen-5886de5036e57b18.d: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/debug/deps/librobo_codegen-5886de5036e57b18.rlib: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/debug/deps/librobo_codegen-5886de5036e57b18.rmeta: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_codegen-c68348f505b9829b.d: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/debug/deps/robo_codegen-c68348f505b9829b: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

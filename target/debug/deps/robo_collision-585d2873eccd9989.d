@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/robo_collision-585d2873eccd9989.d: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_collision-585d2873eccd9989.rmeta: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs Cargo.toml
+
+crates/collision/src/lib.rs:
+crates/collision/src/checker.rs:
+crates/collision/src/geometry.rs:
+crates/collision/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

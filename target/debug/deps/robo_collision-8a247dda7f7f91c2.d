@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/robo_collision-8a247dda7f7f91c2.d: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/debug/deps/robo_collision-8a247dda7f7f91c2: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/checker.rs:
+crates/collision/src/geometry.rs:
+crates/collision/src/template.rs:

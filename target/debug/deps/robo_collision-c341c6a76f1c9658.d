@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robo_collision-c341c6a76f1c9658.d: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/debug/deps/librobo_collision-c341c6a76f1c9658.rlib: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/debug/deps/librobo_collision-c341c6a76f1c9658.rmeta: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/checker.rs:
+crates/collision/src/geometry.rs:
+crates/collision/src/template.rs:

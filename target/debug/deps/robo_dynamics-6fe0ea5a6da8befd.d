@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/robo_dynamics-6fe0ea5a6da8befd.d: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/debug/deps/robo_dynamics-6fe0ea5a6da8befd: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/crba.rs:
+crates/dynamics/src/deriv.rs:
+crates/dynamics/src/fd.rs:
+crates/dynamics/src/findiff.rs:
+crates/dynamics/src/fk.rs:
+crates/dynamics/src/model.rs:
+crates/dynamics/src/rnea.rs:
+crates/dynamics/src/batch.rs:

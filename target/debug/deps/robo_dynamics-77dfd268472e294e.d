@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/robo_dynamics-77dfd268472e294e.d: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_dynamics-77dfd268472e294e.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs Cargo.toml
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/crba.rs:
+crates/dynamics/src/deriv.rs:
+crates/dynamics/src/fd.rs:
+crates/dynamics/src/findiff.rs:
+crates/dynamics/src/fk.rs:
+crates/dynamics/src/model.rs:
+crates/dynamics/src/rnea.rs:
+crates/dynamics/src/batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

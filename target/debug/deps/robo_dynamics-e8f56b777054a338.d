@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/robo_dynamics-e8f56b777054a338.d: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/debug/deps/librobo_dynamics-e8f56b777054a338.rlib: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/debug/deps/librobo_dynamics-e8f56b777054a338.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/crba.rs:
+crates/dynamics/src/deriv.rs:
+crates/dynamics/src/fd.rs:
+crates/dynamics/src/findiff.rs:
+crates/dynamics/src/fk.rs:
+crates/dynamics/src/model.rs:
+crates/dynamics/src/rnea.rs:
+crates/dynamics/src/batch.rs:

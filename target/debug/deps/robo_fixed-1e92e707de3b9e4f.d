@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robo_fixed-1e92e707de3b9e4f.d: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_fixed-1e92e707de3b9e4f.rlib: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_fixed-1e92e707de3b9e4f.rmeta: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_fixed-3594fe32246f75ca.d: crates/fixed/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_fixed-3594fe32246f75ca.rmeta: crates/fixed/src/lib.rs Cargo.toml
+
+crates/fixed/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

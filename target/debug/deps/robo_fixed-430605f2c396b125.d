@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_fixed-430605f2c396b125.d: crates/fixed/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_fixed-430605f2c396b125.rmeta: crates/fixed/src/lib.rs Cargo.toml
+
+crates/fixed/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robo_fixed-5d107fd98d3da5c2.d: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/robo_fixed-5d107fd98d3da5c2: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robo_model-0c9ce088f89ba161.d: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/debug/deps/robo_model-0c9ce088f89ba161: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/joint.rs:
+crates/model/src/parse.rs:
+crates/model/src/robot.rs:
+crates/model/src/robots.rs:
+crates/model/src/urdf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/robo_model-90c1bae6191998cc.d: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/debug/deps/librobo_model-90c1bae6191998cc.rlib: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/debug/deps/librobo_model-90c1bae6191998cc.rmeta: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/joint.rs:
+crates/model/src/parse.rs:
+crates/model/src/robot.rs:
+crates/model/src/robots.rs:
+crates/model/src/urdf.rs:

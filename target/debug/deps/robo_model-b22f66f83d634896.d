@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/robo_model-b22f66f83d634896.d: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_model-b22f66f83d634896.rmeta: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/joint.rs:
+crates/model/src/parse.rs:
+crates/model/src/robot.rs:
+crates/model/src/robots.rs:
+crates/model/src/urdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robo_profile-4e1a000ee3bfa8dd.d: crates/profile/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_profile-4e1a000ee3bfa8dd.rlib: crates/profile/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_profile-4e1a000ee3bfa8dd.rmeta: crates/profile/src/lib.rs
+
+crates/profile/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robo_profile-952133bab0c1ac2d.d: crates/profile/src/lib.rs
+
+/root/repo/target/debug/deps/robo_profile-952133bab0c1ac2d: crates/profile/src/lib.rs
+
+crates/profile/src/lib.rs:

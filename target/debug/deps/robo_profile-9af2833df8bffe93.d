@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_profile-9af2833df8bffe93.d: crates/profile/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_profile-9af2833df8bffe93.rmeta: crates/profile/src/lib.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

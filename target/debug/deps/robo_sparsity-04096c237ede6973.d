@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robo_sparsity-04096c237ede6973.d: crates/sparsity/src/lib.rs
+
+/root/repo/target/debug/deps/robo_sparsity-04096c237ede6973: crates/sparsity/src/lib.rs
+
+crates/sparsity/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robo_sparsity-418ee96bfc442050.d: crates/sparsity/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_sparsity-418ee96bfc442050.rlib: crates/sparsity/src/lib.rs
+
+/root/repo/target/debug/deps/librobo_sparsity-418ee96bfc442050.rmeta: crates/sparsity/src/lib.rs
+
+crates/sparsity/src/lib.rs:

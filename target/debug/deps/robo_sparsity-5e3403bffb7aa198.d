@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_sparsity-5e3403bffb7aa198.d: crates/sparsity/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_sparsity-5e3403bffb7aa198.rmeta: crates/sparsity/src/lib.rs Cargo.toml
+
+crates/sparsity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/robo_spatial-00b2d551f79a1982.d: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+/root/repo/target/debug/deps/robo_spatial-00b2d551f79a1982: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/inertia.rs:
+crates/spatial/src/mat3.rs:
+crates/spatial/src/mat6.rs:
+crates/spatial/src/matn.rs:
+crates/spatial/src/motion.rs:
+crates/spatial/src/scalar.rs:
+crates/spatial/src/transform.rs:
+crates/spatial/src/vec3.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/robo_spatial-3fcef59cf5d9dd87.d: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+/root/repo/target/debug/deps/librobo_spatial-3fcef59cf5d9dd87.rlib: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+/root/repo/target/debug/deps/librobo_spatial-3fcef59cf5d9dd87.rmeta: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/inertia.rs:
+crates/spatial/src/mat3.rs:
+crates/spatial/src/mat6.rs:
+crates/spatial/src/matn.rs:
+crates/spatial/src/motion.rs:
+crates/spatial/src/scalar.rs:
+crates/spatial/src/transform.rs:
+crates/spatial/src/vec3.rs:

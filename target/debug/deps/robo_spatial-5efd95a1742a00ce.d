@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/robo_spatial-5efd95a1742a00ce.d: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_spatial-5efd95a1742a00ce.rmeta: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs Cargo.toml
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/inertia.rs:
+crates/spatial/src/mat3.rs:
+crates/spatial/src/mat6.rs:
+crates/spatial/src/matn.rs:
+crates/spatial/src/motion.rs:
+crates/spatial/src/scalar.rs:
+crates/spatial/src/transform.rs:
+crates/spatial/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/robo_trajopt-5c6429ddf889ccd9.d: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_trajopt-5c6429ddf889ccd9.rmeta: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs Cargo.toml
+
+crates/trajopt/src/lib.rs:
+crates/trajopt/src/ilqr.rs:
+crates/trajopt/src/mpc.rs:
+crates/trajopt/src/rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robo_trajopt-601eabb79bb4500d.d: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/debug/deps/librobo_trajopt-601eabb79bb4500d.rlib: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/debug/deps/librobo_trajopt-601eabb79bb4500d.rmeta: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+crates/trajopt/src/lib.rs:
+crates/trajopt/src/ilqr.rs:
+crates/trajopt/src/mpc.rs:
+crates/trajopt/src/rate.rs:

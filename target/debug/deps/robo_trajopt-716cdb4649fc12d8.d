@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/robo_trajopt-716cdb4649fc12d8.d: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/debug/deps/robo_trajopt-716cdb4649fc12d8: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+crates/trajopt/src/lib.rs:
+crates/trajopt/src/ilqr.rs:
+crates/trajopt/src/mpc.rs:
+crates/trajopt/src/rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robomorphic-241d1ea73f8fe318.d: src/bin/robomorphic.rs
+
+/root/repo/target/debug/deps/robomorphic-241d1ea73f8fe318: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/robomorphic-2a09d285536aaf44.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/robomorphic-2a09d285536aaf44: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robomorphic-46e30a55da696647.d: src/bin/robomorphic.rs
+
+/root/repo/target/debug/deps/robomorphic-46e30a55da696647: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robomorphic-7006386606b6990b.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic-7006386606b6990b.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/robomorphic-f259202a5b834fbc.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/librobomorphic-f259202a5b834fbc.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/librobomorphic-f259202a5b834fbc.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

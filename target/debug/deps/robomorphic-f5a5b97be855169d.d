@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robomorphic-f5a5b97be855169d.d: src/bin/robomorphic.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic-f5a5b97be855169d.rmeta: src/bin/robomorphic.rs Cargo.toml
+
+src/bin/robomorphic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/robomorphic_core-64e4797cbddd93eb.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/librobomorphic_core-64e4797cbddd93eb.rlib: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/librobomorphic_core-64e4797cbddd93eb.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/kinematics.rs:
+crates/core/src/platform.rs:
+crates/core/src/template.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/robomorphic_core-910b042dbc6b9e7b.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic_core-910b042dbc6b9e7b.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/kinematics.rs:
+crates/core/src/platform.rs:
+crates/core/src/template.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robomorphic_core-e472ad0f5909b27d.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/robomorphic_core-e472ad0f5909b27d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/kinematics.rs:
+crates/core/src/platform.rs:
+crates/core/src/template.rs:
+crates/core/src/units.rs:

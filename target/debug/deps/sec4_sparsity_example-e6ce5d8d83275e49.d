@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_sparsity_example-e6ce5d8d83275e49.d: crates/bench/src/bin/sec4_sparsity_example.rs
+
+/root/repo/target/debug/deps/sec4_sparsity_example-e6ce5d8d83275e49: crates/bench/src/bin/sec4_sparsity_example.rs
+
+crates/bench/src/bin/sec4_sparsity_example.rs:

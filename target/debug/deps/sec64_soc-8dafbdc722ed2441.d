@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec64_soc-8dafbdc722ed2441.d: crates/bench/src/bin/sec64_soc.rs
+
+/root/repo/target/debug/deps/sec64_soc-8dafbdc722ed2441: crates/bench/src/bin/sec64_soc.rs
+
+crates/bench/src/bin/sec64_soc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec64_soc-d9d0e5454017b4b5.d: crates/bench/src/bin/sec64_soc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec64_soc-d9d0e5454017b4b5.rmeta: crates/bench/src/bin/sec64_soc.rs Cargo.toml
+
+crates/bench/src/bin/sec64_soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7_other_kernels-d4cfac20a1aebec5.d: crates/bench/src/bin/sec7_other_kernels.rs
+
+/root/repo/target/debug/deps/sec7_other_kernels-d4cfac20a1aebec5: crates/bench/src/bin/sec7_other_kernels.rs
+
+crates/bench/src/bin/sec7_other_kernels.rs:

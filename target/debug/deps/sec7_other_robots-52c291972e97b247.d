@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7_other_robots-52c291972e97b247.d: crates/bench/src/bin/sec7_other_robots.rs
+
+/root/repo/target/debug/deps/sec7_other_robots-52c291972e97b247: crates/bench/src/bin/sec7_other_robots.rs
+
+crates/bench/src/bin/sec7_other_robots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec8_workload-aed35ab2376d8078.d: crates/bench/src/bin/sec8_workload.rs
+
+/root/repo/target/debug/deps/sec8_workload-aed35ab2376d8078: crates/bench/src/bin/sec8_workload.rs
+
+crates/bench/src/bin/sec8_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_extras-2bd13c619b9fff52.d: crates/bench/benches/substrate_extras.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_extras-2bd13c619b9fff52.rmeta: crates/bench/benches/substrate_extras.rs Cargo.toml
+
+crates/bench/benches/substrate_extras.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_kernels-2720d7347ecffd0d.d: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_kernels-2720d7347ecffd0d.rmeta: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+crates/bench/benches/substrate_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_links-f9a194c42a4bcc68.d: crates/bench/src/bin/sweep_links.rs
+
+/root/repo/target/debug/deps/sweep_links-f9a194c42a4bcc68: crates/bench/src/bin/sweep_links.rs
+
+crates/bench/src/bin/sweep_links.rs:

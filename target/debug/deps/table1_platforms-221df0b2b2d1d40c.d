@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_platforms-221df0b2b2d1d40c.d: crates/bench/src/bin/table1_platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_platforms-221df0b2b2d1d40c.rmeta: crates/bench/src/bin/table1_platforms.rs Cargo.toml
+
+crates/bench/src/bin/table1_platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-2dfc2a3a7c537406.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/table1_platforms-2dfc2a3a7c537406: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_asic-70e8987dc51233e8.d: crates/bench/src/bin/table2_asic.rs
+
+/root/repo/target/debug/deps/table2_asic-70e8987dc51233e8: crates/bench/src/bin/table2_asic.rs
+
+crates/bench/src/bin/table2_asic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_parity-349cae2ec1f1d7b0.d: tests/workspace_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_parity-349cae2ec1f1d7b0.rmeta: tests/workspace_parity.rs Cargo.toml
+
+tests/workspace_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

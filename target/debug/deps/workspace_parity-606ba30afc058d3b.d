@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_parity-606ba30afc058d3b.d: tests/workspace_parity.rs
+
+/root/repo/target/debug/deps/workspace_parity-606ba30afc058d3b: tests/workspace_parity.rs
+
+tests/workspace_parity.rs:

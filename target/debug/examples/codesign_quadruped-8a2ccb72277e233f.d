@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codesign_quadruped-8a2ccb72277e233f.d: examples/codesign_quadruped.rs
+
+/root/repo/target/debug/examples/codesign_quadruped-8a2ccb72277e233f: examples/codesign_quadruped.rs
+
+examples/codesign_quadruped.rs:

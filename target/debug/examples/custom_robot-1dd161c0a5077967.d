@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_robot-1dd161c0a5077967.d: examples/custom_robot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_robot-1dd161c0a5077967.rmeta: examples/custom_robot.rs Cargo.toml
+
+examples/custom_robot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

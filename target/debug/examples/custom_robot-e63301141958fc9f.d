@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_robot-e63301141958fc9f.d: examples/custom_robot.rs
+
+/root/repo/target/debug/examples/custom_robot-e63301141958fc9f: examples/custom_robot.rs
+
+examples/custom_robot.rs:

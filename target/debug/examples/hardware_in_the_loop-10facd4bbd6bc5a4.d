@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_the_loop-10facd4bbd6bc5a4.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/debug/examples/hardware_in_the_loop-10facd4bbd6bc5a4: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mpc_manipulator-3e798bda70196544.d: examples/mpc_manipulator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmpc_manipulator-3e798bda70196544.rmeta: examples/mpc_manipulator.rs Cargo.toml
+
+examples/mpc_manipulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpc_manipulator-d8eb267a3df2bcef.d: examples/mpc_manipulator.rs
+
+/root/repo/target/debug/examples/mpc_manipulator-d8eb267a3df2bcef: examples/mpc_manipulator.rs
+
+examples/mpc_manipulator.rs:

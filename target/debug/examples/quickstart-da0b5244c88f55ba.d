@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da0b5244c88f55ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da0b5244c88f55ba: examples/quickstart.rs
+
+examples/quickstart.rs:

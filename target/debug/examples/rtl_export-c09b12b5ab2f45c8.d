@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rtl_export-c09b12b5ab2f45c8.d: examples/rtl_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/librtl_export-c09b12b5ab2f45c8.rmeta: examples/rtl_export.rs Cargo.toml
+
+examples/rtl_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

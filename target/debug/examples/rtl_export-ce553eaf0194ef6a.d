@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtl_export-ce553eaf0194ef6a.d: examples/rtl_export.rs
+
+/root/repo/target/debug/examples/rtl_export-ce553eaf0194ef6a: examples/rtl_export.rs
+
+examples/rtl_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_space_reach-0d1ad4a2c7b84c45.d: examples/task_space_reach.rs
+
+/root/repo/target/debug/examples/task_space_reach-0d1ad4a2c7b84c45: examples/task_space_reach.rs
+
+examples/task_space_reach.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accumulator-bf042cfb7fe121a6.d: crates/bench/src/bin/ablation_accumulator.rs
+
+/root/repo/target/release/deps/ablation_accumulator-bf042cfb7fe121a6: crates/bench/src/bin/ablation_accumulator.rs
+
+crates/bench/src/bin/ablation_accumulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_folding-840677f12063d142.d: crates/bench/src/bin/ablation_folding.rs
+
+/root/repo/target/release/deps/ablation_folding-840677f12063d142: crates/bench/src/bin/ablation_folding.rs
+
+crates/bench/src/bin/ablation_folding.rs:

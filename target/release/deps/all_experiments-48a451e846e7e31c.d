@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-48a451e846e7e31c.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-48a451e846e7e31c: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_gradient_throughput-02897c69b30e5665.d: crates/bench/benches/batch_gradient_throughput.rs
+
+/root/repo/target/release/deps/batch_gradient_throughput-02897c69b30e5665: crates/bench/benches/batch_gradient_throughput.rs
+
+crates/bench/benches/batch_gradient_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_stats-ee229bfb5e8775cd.d: crates/bench/src/bin/codegen_stats.rs
+
+/root/repo/target/release/deps/codegen_stats-ee229bfb5e8775cd: crates/bench/src/bin/codegen_stats.rs
+
+crates/bench/src/bin/codegen_stats.rs:

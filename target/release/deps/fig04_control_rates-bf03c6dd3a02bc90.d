@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_control_rates-bf03c6dd3a02bc90.d: crates/bench/src/bin/fig04_control_rates.rs
+
+/root/repo/target/release/deps/fig04_control_rates-bf03c6dd3a02bc90: crates/bench/src/bin/fig04_control_rates.rs
+
+crates/bench/src/bin/fig04_control_rates.rs:

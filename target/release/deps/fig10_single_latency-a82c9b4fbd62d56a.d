@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_single_latency-a82c9b4fbd62d56a.d: crates/bench/src/bin/fig10_single_latency.rs
+
+/root/repo/target/release/deps/fig10_single_latency-a82c9b4fbd62d56a: crates/bench/src/bin/fig10_single_latency.rs
+
+crates/bench/src/bin/fig10_single_latency.rs:

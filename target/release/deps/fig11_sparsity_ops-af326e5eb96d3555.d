@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_sparsity_ops-af326e5eb96d3555.d: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+/root/repo/target/release/deps/fig11_sparsity_ops-af326e5eb96d3555: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:

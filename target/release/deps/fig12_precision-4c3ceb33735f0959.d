@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_precision-4c3ceb33735f0959.d: crates/bench/src/bin/fig12_precision.rs
+
+/root/repo/target/release/deps/fig12_precision-4c3ceb33735f0959: crates/bench/src/bin/fig12_precision.rs
+
+crates/bench/src/bin/fig12_precision.rs:

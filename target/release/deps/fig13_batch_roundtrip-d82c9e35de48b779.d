@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_batch_roundtrip-d82c9e35de48b779.d: crates/bench/benches/fig13_batch_roundtrip.rs
+
+/root/repo/target/release/deps/fig13_batch_roundtrip-d82c9e35de48b779: crates/bench/benches/fig13_batch_roundtrip.rs
+
+crates/bench/benches/fig13_batch_roundtrip.rs:

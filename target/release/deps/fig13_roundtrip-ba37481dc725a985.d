@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_roundtrip-ba37481dc725a985.d: crates/bench/src/bin/fig13_roundtrip.rs
+
+/root/repo/target/release/deps/fig13_roundtrip-ba37481dc725a985: crates/bench/src/bin/fig13_roundtrip.rs
+
+crates/bench/src/bin/fig13_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_asic_latency-d0527dfc4afdb7d8.d: crates/bench/src/bin/fig14_asic_latency.rs
+
+/root/repo/target/release/deps/fig14_asic_latency-d0527dfc4afdb7d8: crates/bench/src/bin/fig14_asic_latency.rs
+
+crates/bench/src/bin/fig14_asic_latency.rs:

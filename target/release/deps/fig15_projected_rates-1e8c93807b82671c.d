@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_projected_rates-1e8c93807b82671c.d: crates/bench/src/bin/fig15_projected_rates.rs
+
+/root/repo/target/release/deps/fig15_projected_rates-1e8c93807b82671c: crates/bench/src/bin/fig15_projected_rates.rs
+
+crates/bench/src/bin/fig15_projected_rates.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/robo_baselines-9bdbd0d99fcf04f2.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/release/deps/librobo_baselines-9bdbd0d99fcf04f2.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/release/deps/librobo_baselines-9bdbd0d99fcf04f2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pool.rs:

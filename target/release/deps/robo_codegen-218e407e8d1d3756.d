@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/robo_codegen-218e407e8d1d3756.d: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/release/deps/librobo_codegen-218e407e8d1d3756.rlib: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/release/deps/librobo_codegen-218e407e8d1d3756.rmeta: crates/codegen/src/lib.rs crates/codegen/src/netlist.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

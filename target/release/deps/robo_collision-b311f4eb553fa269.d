@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/robo_collision-b311f4eb553fa269.d: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/release/deps/librobo_collision-b311f4eb553fa269.rlib: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/release/deps/librobo_collision-b311f4eb553fa269.rmeta: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/checker.rs:
+crates/collision/src/geometry.rs:
+crates/collision/src/template.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/robo_dynamics-d18f395b0d6db2f0.d: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/release/deps/librobo_dynamics-d18f395b0d6db2f0.rlib: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/release/deps/librobo_dynamics-d18f395b0d6db2f0.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/crba.rs:
+crates/dynamics/src/deriv.rs:
+crates/dynamics/src/fd.rs:
+crates/dynamics/src/findiff.rs:
+crates/dynamics/src/fk.rs:
+crates/dynamics/src/model.rs:
+crates/dynamics/src/rnea.rs:
+crates/dynamics/src/batch.rs:

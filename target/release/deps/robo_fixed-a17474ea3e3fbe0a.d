@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/robo_fixed-a17474ea3e3fbe0a.d: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/librobo_fixed-a17474ea3e3fbe0a.rlib: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/librobo_fixed-a17474ea3e3fbe0a.rmeta: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/robo_model-ec8577002800b439.d: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/release/deps/librobo_model-ec8577002800b439.rlib: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/release/deps/librobo_model-ec8577002800b439.rmeta: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/joint.rs:
+crates/model/src/parse.rs:
+crates/model/src/robot.rs:
+crates/model/src/robots.rs:
+crates/model/src/urdf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/robo_profile-f6736d1f76a42d11.d: crates/profile/src/lib.rs
+
+/root/repo/target/release/deps/librobo_profile-f6736d1f76a42d11.rlib: crates/profile/src/lib.rs
+
+/root/repo/target/release/deps/librobo_profile-f6736d1f76a42d11.rmeta: crates/profile/src/lib.rs
+
+crates/profile/src/lib.rs:

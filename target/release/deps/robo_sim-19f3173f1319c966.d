@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/robo_sim-19f3173f1319c966.d: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/release/deps/librobo_sim-19f3173f1319c966.rlib: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/release/deps/librobo_sim-19f3173f1319c966.rmeta: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/accel_sim.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/xunit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/robo_sparsity-333e0c05a4eaa948.d: crates/sparsity/src/lib.rs
+
+/root/repo/target/release/deps/librobo_sparsity-333e0c05a4eaa948.rlib: crates/sparsity/src/lib.rs
+
+/root/repo/target/release/deps/librobo_sparsity-333e0c05a4eaa948.rmeta: crates/sparsity/src/lib.rs
+
+crates/sparsity/src/lib.rs:

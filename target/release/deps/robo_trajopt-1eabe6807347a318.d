@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/robo_trajopt-1eabe6807347a318.d: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/release/deps/librobo_trajopt-1eabe6807347a318.rlib: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/release/deps/librobo_trajopt-1eabe6807347a318.rmeta: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+crates/trajopt/src/lib.rs:
+crates/trajopt/src/ilqr.rs:
+crates/trajopt/src/mpc.rs:
+crates/trajopt/src/rate.rs:

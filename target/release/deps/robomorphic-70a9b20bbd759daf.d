@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/robomorphic-70a9b20bbd759daf.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/librobomorphic-70a9b20bbd759daf.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/librobomorphic-70a9b20bbd759daf.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

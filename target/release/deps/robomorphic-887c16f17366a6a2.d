@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robomorphic-887c16f17366a6a2.d: src/bin/robomorphic.rs
+
+/root/repo/target/release/deps/robomorphic-887c16f17366a6a2: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/robomorphic_core-001f8e1ba9aee26a.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/librobomorphic_core-001f8e1ba9aee26a.rlib: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/librobomorphic_core-001f8e1ba9aee26a.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/kinematics.rs:
+crates/core/src/platform.rs:
+crates/core/src/template.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec4_sparsity_example-8cececae5650faee.d: crates/bench/src/bin/sec4_sparsity_example.rs
+
+/root/repo/target/release/deps/sec4_sparsity_example-8cececae5650faee: crates/bench/src/bin/sec4_sparsity_example.rs
+
+crates/bench/src/bin/sec4_sparsity_example.rs:

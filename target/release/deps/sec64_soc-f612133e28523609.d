@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec64_soc-f612133e28523609.d: crates/bench/src/bin/sec64_soc.rs
+
+/root/repo/target/release/deps/sec64_soc-f612133e28523609: crates/bench/src/bin/sec64_soc.rs
+
+crates/bench/src/bin/sec64_soc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_kernels-54a4cceb940f446a.d: crates/bench/src/bin/sec7_other_kernels.rs
+
+/root/repo/target/release/deps/sec7_other_kernels-54a4cceb940f446a: crates/bench/src/bin/sec7_other_kernels.rs
+
+crates/bench/src/bin/sec7_other_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_robots-180736776ba7222c.d: crates/bench/src/bin/sec7_other_robots.rs
+
+/root/repo/target/release/deps/sec7_other_robots-180736776ba7222c: crates/bench/src/bin/sec7_other_robots.rs
+
+crates/bench/src/bin/sec7_other_robots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec8_workload-d8e322cd4b70f812.d: crates/bench/src/bin/sec8_workload.rs
+
+/root/repo/target/release/deps/sec8_workload-d8e322cd4b70f812: crates/bench/src/bin/sec8_workload.rs
+
+crates/bench/src/bin/sec8_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_links-e0570b0fb45c75a5.d: crates/bench/src/bin/sweep_links.rs
+
+/root/repo/target/release/deps/sweep_links-e0570b0fb45c75a5: crates/bench/src/bin/sweep_links.rs
+
+crates/bench/src/bin/sweep_links.rs:

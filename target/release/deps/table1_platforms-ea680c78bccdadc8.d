@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_platforms-ea680c78bccdadc8.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/release/deps/table1_platforms-ea680c78bccdadc8: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

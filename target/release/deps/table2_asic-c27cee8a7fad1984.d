@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_asic-c27cee8a7fad1984.d: crates/bench/src/bin/table2_asic.rs
+
+/root/repo/target/release/deps/table2_asic-c27cee8a7fad1984: crates/bench/src/bin/table2_asic.rs
+
+crates/bench/src/bin/table2_asic.rs:

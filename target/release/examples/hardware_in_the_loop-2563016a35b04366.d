@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_in_the_loop-2563016a35b04366.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/release/examples/hardware_in_the_loop-2563016a35b04366: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mpc_manipulator-cfb5eb18684bf3d7.d: examples/mpc_manipulator.rs
+
+/root/repo/target/release/examples/mpc_manipulator-cfb5eb18684bf3d7: examples/mpc_manipulator.rs
+
+examples/mpc_manipulator.rs:

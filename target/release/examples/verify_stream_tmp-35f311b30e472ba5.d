@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_stream_tmp-35f311b30e472ba5.d: examples/verify_stream_tmp.rs
+
+/root/repo/target/release/examples/verify_stream_tmp-35f311b30e472ba5: examples/verify_stream_tmp.rs
+
+examples/verify_stream_tmp.rs:

@@ -1,0 +1,101 @@
+//! Proof that the workspace kernels hit zero steady-state heap traffic.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up call sizes every buffer, repeated `rnea_into` /
+//! `dynamics_gradient_into` / `compute_gradient_into` calls must perform
+//! **zero** allocations — the property that makes the kernels safe for
+//! real-time control loops (and honest stand-ins for the accelerator's
+//! statically-provisioned registers).
+//!
+//! Kept as its own integration binary with a single `#[test]` so no
+//! concurrent test can allocate while the counter is being watched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use robomorphic::dynamics::{
+    dynamics_gradient_into, mass_matrix_inverse, rnea_into, DynamicsModel, GradWorkspace,
+    RneaWorkspace,
+};
+use robomorphic::model::robots;
+use robomorphic::sim::{AcceleratorSim, SimWorkspace};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn workspace_kernels_are_allocation_free_after_warmup() {
+    let robot = robots::iiwa14();
+    let model = DynamicsModel::<f64>::new(&robot);
+    let sim = AcceleratorSim::<f64>::new(&robot);
+    let n = model.dof();
+    let q: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 - 0.3).collect();
+    let qd: Vec<f64> = (0..n).map(|i| 0.05 * i as f64).collect();
+    let qdd: Vec<f64> = (0..n).map(|i| 0.2 - 0.03 * i as f64).collect();
+    let minv = mass_matrix_inverse(&model, &q).expect("SPD mass matrix");
+
+    let mut rnea_ws = RneaWorkspace::<f64>::new();
+    let mut grad_ws = GradWorkspace::<f64>::new();
+    let mut sim_ws = SimWorkspace::<f64>::new();
+
+    // Warm-up: the first call through each workspace may size buffers.
+    rnea_into(&model, &q, &qd, &qdd, &mut rnea_ws);
+    dynamics_gradient_into(&model, &q, &qd, &qdd, &minv, &mut grad_ws);
+    sim.compute_gradient_into(&q, &qd, &qdd, &minv, &mut sim_ws);
+
+    let before = allocations();
+    for _ in 0..32 {
+        rnea_into(&model, &q, &qd, &qdd, &mut rnea_ws);
+    }
+    assert_eq!(allocations(), before, "rnea_into allocated in steady state");
+
+    let before = allocations();
+    for _ in 0..32 {
+        dynamics_gradient_into(&model, &q, &qd, &qdd, &minv, &mut grad_ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "dynamics_gradient_into allocated in steady state"
+    );
+
+    let before = allocations();
+    for _ in 0..32 {
+        sim.compute_gradient_into(&q, &qd, &qdd, &minv, &mut sim_ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "compute_gradient_into allocated in steady state"
+    );
+
+    // Sanity: the counter itself is live (building a workspace allocates).
+    let before = allocations();
+    let fresh = GradWorkspace::<f64>::for_model(&model);
+    assert!(allocations() > before, "allocation counter is not counting");
+    drop(fresh);
+}

@@ -74,7 +74,10 @@ fn urdf_sources_load() {
 
 #[test]
 fn bad_inputs_are_reported() {
-    assert!(matches!(cli::load_robot("/nonexistent.robo"), Err(CliError::Load(_))));
+    assert!(matches!(
+        cli::load_robot("/nonexistent.robo"),
+        Err(CliError::Load(_))
+    ));
     assert!(matches!(
         cli::run(&["frobnicate".to_owned()]),
         Err(CliError::Usage(_))

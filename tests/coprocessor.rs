@@ -36,8 +36,8 @@ fn figure13_shape_fpga_throughput_bound() {
     let sys = iiwa_coproc();
     // Per-step cost converges to the initiation interval or I/O bound.
     let per_step_128 = sys.round_trip(128).total_s / 128.0;
-    let ii_s = sys.accelerator().schedule().initiation_interval() as f64
-        / FpgaPlatform::xcvu9p().clock_hz;
+    let ii_s =
+        sys.accelerator().schedule().initiation_interval() as f64 / FpgaPlatform::xcvu9p().clock_hz;
     let io_s = sys
         .channel()
         .transfer_time_s(sys.input_bytes_per_step().max(sys.output_bytes_per_step()));
@@ -58,7 +58,8 @@ fn figure14_asic_scales_by_clock_ratio() {
 
 #[test]
 fn table2_band_checks() {
-    let rows = robomorphic::core::table2_rows(&GradientTemplate::new().customize(&robots::iiwa14()));
+    let rows =
+        robomorphic::core::table2_rows(&GradientTemplate::new().customize(&robots::iiwa14()));
     assert_eq!(rows.len(), 3);
     let slow = &rows[1];
     let typ = &rows[2];

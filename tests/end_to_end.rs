@@ -73,7 +73,10 @@ fn humanoid_end_to_end() {
 
 #[test]
 fn prismatic_chain_end_to_end() {
-    check_robot(&robots::serial_chain(5, robomorphic::model::JointType::PrismaticY), 5e-3);
+    check_robot(
+        &robots::serial_chain(5, robomorphic::model::JointType::PrismaticY),
+        5e-3,
+    );
 }
 
 #[test]

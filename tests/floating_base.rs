@@ -96,8 +96,7 @@ fn floating_quadruped_stack_works_end_to_end() {
     // Analytical gradient vs finite differences.
     let cache = rnea(&model, &q, &qd, &qdd).cache;
     let analytic = robomorphic::dynamics::rnea_derivatives(&model, &qd, &cache);
-    let numeric =
-        robomorphic::dynamics::findiff::rnea_gradient_fd(&model, &q, &qd, &qdd, 1e-6);
+    let numeric = robomorphic::dynamics::findiff::rnea_gradient_fd(&model, &q, &qd, &qdd, 1e-6);
     assert!(
         analytic.dtau_dq.max_abs_diff(&numeric.dtau_dq) < 1e-3,
         "floating-base ∂τ/∂q mismatch"
@@ -105,8 +104,7 @@ fn floating_quadruped_stack_works_end_to_end() {
 
     // The simulated accelerator handles the floating tree identically.
     let minv = robomorphic::dynamics::mass_matrix_inverse(&model, &q).expect("spd");
-    let reference =
-        robomorphic::dynamics::dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+    let reference = robomorphic::dynamics::dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
     let sim = robomorphic::sim::AcceleratorSim::<f64>::new(&robot);
     let out = sim.compute_gradient(&q, &qd, &qdd, &minv);
     assert!(out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) < 1e-9);
@@ -117,11 +115,8 @@ fn floating_base_changes_the_accelerator_design() {
     // The virtual chain becomes part of the longest limb: latency grows,
     // and prismatic virtual joints widen the superposition pattern.
     let fixed = robomorphic::core::GradientTemplate::new().customize(&robots::hyq());
-    let floating =
-        robomorphic::core::GradientTemplate::new().customize(&robots::hyq_floating());
-    assert!(
-        floating.schedule().single_latency_cycles() > fixed.schedule().single_latency_cycles()
-    );
+    let floating = robomorphic::core::GradientTemplate::new().customize(&robots::hyq_floating());
+    assert!(floating.schedule().single_latency_cycles() > fixed.schedule().single_latency_cycles());
     assert!(floating.params().dof == fixed.params().dof + 6);
 }
 
@@ -130,8 +125,7 @@ fn momentum_conservation_without_gravity() {
     // In zero gravity with zero torques, the free body's velocity is
     // constant: q̈ = 0 from any pure-translation initial velocity.
     let robot = free_body();
-    let model =
-        DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
+    let model = DynamicsModel::<f64>::with_gravity(&robot, Vec3::zero());
     let n = robot.dof();
     let q = vec![0.0; n];
     let mut qd = vec![0.0; n];

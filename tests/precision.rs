@@ -150,6 +150,12 @@ fn precision_ladder_is_ordered() {
     let e18 = err::<Fix14_18>(&robot, input, &reference, scale);
     let e16 = err::<Fix32_16>(&robot, input, &reference, scale);
     let e4 = err::<Fix12_4>(&robot, input, &reference, scale);
-    assert!(e18 < e16, "18 frac bits should beat 16: {e18:.2e} vs {e16:.2e}");
-    assert!(e16 < e4, "16 frac bits should beat 4: {e16:.2e} vs {e4:.2e}");
+    assert!(
+        e18 < e16,
+        "18 frac bits should beat 16: {e18:.2e} vs {e16:.2e}"
+    );
+    assert!(
+        e16 < e4,
+        "16 frac bits should beat 4: {e16:.2e} vs {e4:.2e}"
+    );
 }

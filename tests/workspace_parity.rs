@@ -1,0 +1,160 @@
+//! Bit-identity of every workspace (`_into`) API against its allocating
+//! counterpart.
+//!
+//! The workspace kernels are advertised as *exactly* the allocating
+//! functions minus the allocations: same loop orders, same operation
+//! sequences, so results must match bit for bit — in every scalar type the
+//! accelerator study uses, across every built-in robot, and under repeated
+//! reuse of the same workspace (stale state from a previous call, even one
+//! for a different robot, must never leak into a result).
+
+use proptest::prelude::*;
+use robomorphic::dynamics::{
+    dynamics_gradient_from_qdd, dynamics_gradient_into, mass_matrix_inverse, rnea,
+    rnea_derivatives, rnea_gradient_into, rnea_into, DynamicsModel, GradWorkspace, RneaWorkspace,
+};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::{robots, RobotModel};
+use robomorphic::sim::{AcceleratorSim, SimWorkspace};
+use robomorphic::spatial::{MatN, Scalar};
+
+fn test_robots() -> Vec<RobotModel> {
+    vec![
+        robots::iiwa14(),
+        robots::hyq(),
+        robots::atlas(),
+        robots::panda(),
+        robots::ur5(),
+        robots::double_pendulum(),
+    ]
+}
+
+/// Deterministically expands `vals` into an `n`-length state vector.
+fn take(vals: &[f64], offset: usize, n: usize, scale: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| scale * vals[(offset + i) % vals.len()])
+        .collect()
+}
+
+fn cast_vec<S: Scalar>(v: &[f64]) -> Vec<S> {
+    v.iter().map(|x| S::from_f64(*x)).collect()
+}
+
+/// Runs every `_into` kernel against its allocating twin for one scalar
+/// type, reusing the same workspaces across all robots and repetitions.
+fn check_dynamics_parity<S: Scalar>(vals: &[f64]) {
+    let mut rnea_ws = RneaWorkspace::<S>::new();
+    let mut grad_ws = GradWorkspace::<S>::new();
+    let mut sim_ws = SimWorkspace::<S>::new();
+    for (r, robot) in test_robots().into_iter().enumerate() {
+        let n = robot.dof();
+        let model = DynamicsModel::<S>::new(&robot);
+        let model64 = DynamicsModel::<f64>::new(&robot);
+        let sim = AcceleratorSim::<S>::new(&robot);
+        // M⁻¹ is a host-provided input; its f64 value (cast to S) is as
+        // good as any for bit-identity purposes.
+        let q64 = take(vals, 5 * r, n, 1.0);
+        let minv = mass_matrix_inverse(&model64, &q64)
+            .expect("built-in robots have SPD mass matrices")
+            .cast::<S>();
+        let q = cast_vec::<S>(&q64);
+        let qd = cast_vec::<S>(&take(vals, 5 * r + 1, n, 1.5));
+        let qdd = cast_vec::<S>(&take(vals, 5 * r + 2, n, 2.0));
+
+        // Two passes through the same workspaces: the second runs on
+        // buffers still warm (and possibly sized) from the previous call.
+        for _ in 0..2 {
+            let fresh = rnea(&model, &q, &qd, &qdd);
+            rnea_into(&model, &q, &qd, &qdd, &mut rnea_ws);
+            assert_eq!(rnea_ws.tau, fresh.tau, "{}: rnea_into tau", robot.name());
+
+            let alloc = rnea_derivatives(&model, &qd, &fresh.cache);
+            rnea_gradient_into(&model, &qd, &fresh.cache, &mut grad_ws);
+            assert_eq!(grad_ws.dtau_dq, alloc.dtau_dq, "{}: ∂τ/∂q", robot.name());
+            assert_eq!(grad_ws.dtau_dqd, alloc.dtau_dqd, "{}: ∂τ/∂q̇", robot.name());
+
+            let alloc = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+            dynamics_gradient_into(&model, &q, &qd, &qdd, &minv, &mut grad_ws);
+            assert_eq!(grad_ws.dtau_dq, alloc.id_gradient.dtau_dq);
+            assert_eq!(grad_ws.dtau_dqd, alloc.id_gradient.dtau_dqd);
+            assert_eq!(grad_ws.dqdd_dq, alloc.dqdd_dq, "{}: ∂q̈/∂q", robot.name());
+            assert_eq!(grad_ws.dqdd_dqd, alloc.dqdd_dqd, "{}: ∂q̈/∂q̇", robot.name());
+
+            let out = sim.compute_gradient(&q, &qd, &qdd, &minv);
+            let cycles = sim.compute_gradient_into(&q, &qd, &qdd, &minv, &mut sim_ws);
+            assert_eq!(cycles, out.cycles);
+            assert_eq!(sim_ws.dtau_dq, out.dtau_dq, "{}: sim ∂τ/∂q", robot.name());
+            assert_eq!(sim_ws.dtau_dqd, out.dtau_dqd);
+            assert_eq!(sim_ws.dqdd_dq, out.dqdd_dq);
+            assert_eq!(sim_ws.dqdd_dqd, out.dqdd_dqd);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn dynamics_into_apis_are_bit_identical_f64(
+        vals in proptest::collection::vec(-1.0..1.0f64, 64)
+    ) {
+        check_dynamics_parity::<f64>(&vals);
+    }
+
+    #[test]
+    fn dynamics_into_apis_are_bit_identical_f32(
+        vals in proptest::collection::vec(-1.0..1.0f64, 64)
+    ) {
+        check_dynamics_parity::<f32>(&vals);
+    }
+
+    #[test]
+    fn dynamics_into_apis_are_bit_identical_fix32_16(
+        vals in proptest::collection::vec(-1.0..1.0f64, 64)
+    ) {
+        check_dynamics_parity::<Fix32_16>(&vals);
+    }
+
+    #[test]
+    fn matn_into_ops_are_bit_identical(
+        vals in proptest::collection::vec(-2.0..2.0f64, 64),
+        n in 1usize..8
+    ) {
+        let mut a = MatN::<f64>::zeros(n, n);
+        let mut b = MatN::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = vals[(i * n + j) % vals.len()];
+                b[(i, j)] = vals[(7 + i * n + j) % vals.len()];
+            }
+        }
+        let v: Vec<f64> = (0..n).map(|i| vals[(3 + i) % vals.len()]).collect();
+
+        // mul_vec_into, reused across two differently-sized products.
+        let mut out = vec![0.0; n + 3];
+        a.mul_vec_into(&v, &mut out);
+        prop_assert_eq!(&out, &a.mul_vec(&v));
+        b.mul_vec_into(&v, &mut out);
+        prop_assert_eq!(&out, &b.mul_vec(&v));
+
+        // neg_mul_mat_into vs negate-then-multiply.
+        let mut neg_a = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                neg_a[(i, j)] = -neg_a[(i, j)];
+            }
+        }
+        let mut prod = MatN::<f64>::zeros(0, 0);
+        a.neg_mul_mat_into(&b, &mut prod);
+        prop_assert_eq!(&prod, &neg_a.mul_mat(&b));
+
+        // In-place LDLᵀ solve vs allocating solve, on an SPD system.
+        let mut spd = a.transpose().mul_mat(&a);
+        for i in 0..n {
+            spd[(i, i)] += (n + 1) as f64;
+        }
+        let factor = spd.ldlt().expect("SPD by construction");
+        let solved = factor.solve(&v).expect("matching dimension");
+        let mut in_place = v.clone();
+        factor.solve_in_place(&mut in_place).expect("matching dimension");
+        prop_assert_eq!(in_place, solved);
+    }
+}

@@ -1,0 +1,634 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds in fully offline environments, so the real
+//! `proptest` (and its dependency tree) cannot be fetched from crates.io.
+//! This vendored crate implements the subset of the proptest API the
+//! repository's property tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map`, implemented for numeric ranges,
+//!   tuples, arrays, string patterns (a small regex subset), and the
+//!   combinators in [`collection`] and [`sample`];
+//! - the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros;
+//! - [`ProptestConfig`] with a `cases` knob.
+//!
+//! Differences from real proptest, by design: generation is **deterministic**
+//! (seeded from the test's module path and name, so failures reproduce across
+//! runs and machines) and failing cases are **not shrunk** — the failing
+//! input is reported by the panic message instead.
+
+use core::fmt::Debug;
+use core::ops::Range;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+    /// Shrink-iteration cap. Accepted for source compatibility with real
+    /// proptest's `ProptestConfig { cases, ..Default::default() }` idiom;
+    /// this stand-in never shrinks, so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic pseudo-random generator (splitmix64) used by all
+/// strategies. Not cryptographic; stable across platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds the deterministic RNG for one property-test function.
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        core::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// String strategy from a regex-subset pattern (see [`string_from_pattern`]).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string_from_pattern(self, rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty vec-length range");
+            Self {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use core::fmt::Debug;
+
+    /// Strategy choosing uniformly among a fixed set of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks one of `options` uniformly at random.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy generating normal (non-zero, non-subnormal, finite)
+        /// `f64` values across the full exponent range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// Generates arbitrary normal `f64` values.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = core::primitive::f64;
+
+            fn generate(&self, rng: &mut TestRng) -> core::primitive::f64 {
+                loop {
+                    let v = core::primitive::f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Generates a string matching a small regex subset: literals, `.`,
+/// character classes `[a-z0-9,. ]` (with ranges), alternation groups
+/// `(a|bc|d)`, escapes `\x`, and the quantifiers `{m}`, `{m,n}`, `*`, `+`,
+/// `?` (unbounded quantifiers are capped at 8 repetitions).
+pub fn string_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_pattern(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    for node in &nodes {
+        node.emit(rng, &mut out);
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    AnyChar,
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation: one branch is chosen uniformly.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+impl Node {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Literal(c) => out.push(*c),
+            // Printable ASCII keeps generated text debuggable.
+            Node::AnyChar => out.push((b' ' + rng.below(95) as u8) as char),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u64 - *lo as u64 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(branches) => {
+                let i = rng.below(branches.len() as u64) as usize;
+                for node in &branches[i] {
+                    node.emit(rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let count = *min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..count {
+                    inner.emit(rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parses a node sequence, stopping at `|`, `)`, or end of input. The input
+/// slice is advanced past what was consumed.
+fn parse_pattern(input: &mut &[char]) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == '|' || c == ')' {
+            break;
+        }
+        *input = &input[1..];
+        let atom = match c {
+            '.' => Node::AnyChar,
+            '[' => parse_class(input),
+            '(' => parse_group(input),
+            '\\' => {
+                let escaped = input.first().copied().unwrap_or('\\');
+                if !input.is_empty() {
+                    *input = &input[1..];
+                }
+                Node::Literal(escaped)
+            }
+            other => Node::Literal(other),
+        };
+        nodes.push(apply_quantifier(atom, input));
+    }
+    nodes
+}
+
+fn parse_group(input: &mut &[char]) -> Node {
+    let mut branches = vec![parse_pattern(input)];
+    while input.first() == Some(&'|') {
+        *input = &input[1..];
+        branches.push(parse_pattern(input));
+    }
+    if input.first() == Some(&')') {
+        *input = &input[1..];
+    }
+    Node::Group(branches)
+}
+
+fn parse_class(input: &mut &[char]) -> Node {
+    let mut ranges = Vec::new();
+    while let Some(&c) = input.first() {
+        *input = &input[1..];
+        if c == ']' {
+            break;
+        }
+        // `a-z` forms a range unless `-` is the last char before `]`.
+        if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+            let hi = input[1];
+            *input = &input[2..];
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class in pattern");
+    Node::Class(ranges)
+}
+
+fn apply_quantifier(atom: Node, input: &mut &[char]) -> Node {
+    match input.first() {
+        Some('{') => {
+            let close = input
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {} quantifier");
+            let spec: String = input[1..close].iter().collect();
+            *input = &input[close + 1..];
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier min"),
+                    hi.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        Some('*') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('?') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        _ => atom,
+    }
+}
+
+/// Runs each contained `#[test] fn name(pattern in strategy, ..) { .. }`
+/// for `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $pat:pat_param in $strat:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    let ( $( $pat, )* ) =
+                        ( $( $crate::Strategy::generate(&($strat), &mut rng), )* );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = test_rng("ranges");
+        for _ in 0..200 {
+            let f = (1.5..2.5f64).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let u = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&u));
+            let i = (-5i32..-1).generate(&mut rng);
+            assert!((-5..-1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = test_rng("same");
+        let mut b = test_rng("same");
+        let s: &str = "[a-f]{8}";
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = test_rng("shapes");
+        for _ in 0..100 {
+            let s = "(ab|c) [0-9x]{2,4}z?".generate(&mut rng);
+            let (head, tail) = s.split_once(' ').expect("space literal present");
+            assert!(head == "ab" || head == "c", "head {head:?}");
+            let tail = tail.strip_suffix('z').unwrap_or(tail);
+            assert!((2..=4).contains(&tail.len()), "tail {tail:?}");
+            assert!(tail.chars().all(|c| c.is_ascii_digit() || c == 'x'));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_cover_range() {
+        let mut rng = test_rng("lens");
+        let strat = collection::vec(0.0..1.0f64, 2..5);
+        let mut seen = [false; 5];
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[2] && seen[3] && seen[4]);
+    }
+
+    #[test]
+    fn select_and_map_compose() {
+        let mut rng = test_rng("compose");
+        let strat = sample::select(vec![1, 2, 3]).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 10 || v == 20 || v == 30);
+        }
+    }
+
+    #[test]
+    fn normal_floats_are_normal() {
+        let mut rng = test_rng("normal");
+        for _ in 0..100 {
+            assert!(num::f64::NORMAL.generate(&mut rng).is_normal());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_tuples((a, b) in (0u32..10, 10u32..20), v in 0.0..1.0f64) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
