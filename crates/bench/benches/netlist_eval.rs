@@ -1,0 +1,122 @@
+//! Netlist evaluation throughput: the interpreter vs the compiled tape,
+//! on the iiwa-14 gradient netlists (every joint's superposed `X·`/`Xᵀ·`
+//! unit — the exact circuits the simulator's serving path executes).
+//!
+//! * `interpreter` — string-keyed `Netlist::eval`: HashMap lookups, a
+//!   fresh value vector, and per-call constant conversion (the reference
+//!   oracle's cost);
+//! * `interpreter_ref` — `Netlist::eval_ref`, the borrowed-output variant
+//!   (removes the output-name clones, keeps the interpretive loop);
+//! * `compiled` — `CompiledNetlist::eval_into` through a warm workspace:
+//!   dense input slots, hoisted constants, a register-recycled flat tape,
+//!   zero steady-state allocations;
+//! * `compiled_batch` — the same tape streaming states through the shared
+//!   `BatchEngine`.
+//!
+//! Measured numbers are recorded in EXPERIMENTS.md; the acceptance floor
+//! for this PR is compiled ≥ 2× interpreter, single-threaded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robo_codegen::{
+    generate_x_unit_with_mask, generate_xt_unit_with_mask, optimize, CompiledNetlist,
+    EvalWorkspace, Netlist,
+};
+use robo_dynamics::batch::BatchEngine;
+use robo_model::robots;
+use robo_sparsity::superposition_pattern;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// One evaluation state per joint unit, deterministic.
+fn states(n_units: usize, n_inputs: usize) -> Vec<Vec<f64>> {
+    (0..n_units)
+        .map(|u| {
+            (0..n_inputs)
+                .map(|i| 0.17 * (u * n_inputs + i) as f64 % 1.9 - 0.95)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_netlist_eval(c: &mut Criterion) {
+    let robot = robots::iiwa14();
+    let sup = superposition_pattern(&robot);
+    let units: Vec<Netlist> = (0..robot.dof())
+        .flat_map(|j| {
+            [
+                generate_x_unit_with_mask(&robot, j, sup),
+                generate_xt_unit_with_mask(&robot, j, sup),
+            ]
+        })
+        .collect();
+    let compiled: Vec<CompiledNetlist<f64>> = units
+        .iter()
+        .map(|u| CompiledNetlist::compile(&optimize(u)))
+        .collect();
+    let n_inputs = compiled[0].input_names().len();
+    let vals = states(units.len(), n_inputs);
+    let maps: Vec<HashMap<String, f64>> = compiled
+        .iter()
+        .zip(&vals)
+        .map(|(c, v)| {
+            c.input_names()
+                .iter()
+                .cloned()
+                .zip(v.iter().copied())
+                .collect()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("netlist_eval");
+    // One element = one full sweep over all 14 units.
+    g.throughput(Throughput::Elements(units.len() as u64));
+
+    g.bench_function(BenchmarkId::new("interpreter", "iiwa14"), |b| {
+        b.iter(|| {
+            for (unit, inputs) in units.iter().zip(&maps) {
+                black_box(unit.eval(inputs).unwrap());
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("interpreter_ref", "iiwa14"), |b| {
+        b.iter(|| {
+            for (unit, inputs) in units.iter().zip(&maps) {
+                black_box(unit.eval_ref(inputs).unwrap());
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("compiled", "iiwa14"), |b| {
+        let mut ws = EvalWorkspace::new();
+        let mut out = vec![0.0_f64; compiled[0].num_outputs()];
+        b.iter(|| {
+            for (tape, inputs) in compiled.iter().zip(&vals) {
+                tape.eval_into(inputs, &mut ws, &mut out);
+                black_box(&out);
+            }
+        });
+    });
+
+    // Batch: one tape, many states (the §6.3 trajectory workload shape).
+    let engine = BatchEngine::global();
+    let tape = &compiled[2]; // joint 1 forward: the §4 example unit
+    for batch in [64usize, 512] {
+        let batch_states = states(batch, n_inputs);
+        g.bench_with_input(
+            BenchmarkId::new("compiled_batch", batch),
+            &batch_states,
+            |b, s| {
+                b.iter(|| black_box(tape.eval_batch(engine, s)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_netlist_eval
+}
+criterion_main!(benches);

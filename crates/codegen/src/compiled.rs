@@ -1,0 +1,558 @@
+//! A compiled, allocation-free netlist evaluator.
+//!
+//! [`Netlist::eval`] is the reference oracle: it re-allocates a value
+//! vector per call, looks inputs up in a string-keyed map, and converts
+//! every constant from `f64` on every evaluation. [`CompiledNetlist`] is
+//! the serving-path form of the same circuit, compiled once per scalar
+//! type:
+//!
+//! * **inputs interned to dense slots** — callers pass a `&[S]` in
+//!   [`CompiledNetlist::input_names`] order, no hashing;
+//! * **constants hoisted** — every literal is converted to `S` exactly
+//!   once, at compile time, into a deduplicated table;
+//! * **a flat tape** — nodes become fixed-width instructions executed in
+//!   one linear sweep (the software analogue of Dadu-RBD-style compiled
+//!   dataflow pipelines);
+//! * **liveness-based register reuse** — values are assigned to a small
+//!   recycled slot file instead of one slot per node, so the working set
+//!   stays cache-resident;
+//! * **zero steady-state heap allocations** — [`CompiledNetlist::eval_into`]
+//!   through a warm [`EvalWorkspace`] never touches the allocator (proved
+//!   by the counting-allocator suite in `tests/alloc_free.rs`);
+//! * **batching** — [`CompiledNetlist::eval_batch`] streams many states
+//!   through one tape on the shared
+//!   [`BatchEngine`](robo_dynamics::batch::BatchEngine), one workspace per
+//!   worker.
+//!
+//! Evaluation order is exactly the netlist's topological node order, so
+//! compiled results are bit-identical to the interpreter's in every scalar
+//! type.
+
+use crate::netlist::{Netlist, Node};
+use robo_dynamics::batch::BatchEngine;
+use robo_spatial::Scalar;
+
+/// One tape instruction. Operands and destinations are register-file
+/// slots; `Const`/`MulConst` reference the hoisted constant table.
+#[derive(Debug, Clone, Copy)]
+enum Instr {
+    Const { idx: u32, dst: u32 },
+    Mul { a: u32, b: u32, dst: u32 },
+    MulConst { a: u32, idx: u32, dst: u32 },
+    Add { a: u32, b: u32, dst: u32 },
+    Sub { a: u32, b: u32, dst: u32 },
+    Neg { a: u32, dst: u32 },
+}
+
+/// Reusable register file for [`CompiledNetlist::eval_into`]. The first
+/// call through a fresh workspace sizes the buffer; every later call is
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct EvalWorkspace<S> {
+    regs: Vec<S>,
+}
+
+impl<S: Scalar> EvalWorkspace<S> {
+    /// An empty workspace; the register file grows on first use.
+    pub fn new() -> Self {
+        Self { regs: Vec::new() }
+    }
+
+    /// A workspace pre-sized for `compiled`, so even the first evaluation
+    /// through it allocates nothing.
+    pub fn for_netlist(compiled: &CompiledNetlist<S>) -> Self {
+        Self {
+            regs: vec![S::zero(); compiled.num_regs()],
+        }
+    }
+}
+
+/// A netlist compiled to a flat, register-allocated tape for one scalar
+/// type.
+///
+/// # Examples
+///
+/// ```
+/// use robo_codegen::{generate_x_unit, optimize, CompiledNetlist, EvalWorkspace};
+/// use robo_model::robots;
+///
+/// let robot = robots::iiwa14();
+/// let netlist = optimize(&generate_x_unit(&robot, 1));
+/// let compiled = CompiledNetlist::<f64>::compile(&netlist);
+/// assert_eq!(compiled.input_names()[0], "sin_q");
+///
+/// let mut ws = EvalWorkspace::for_netlist(&compiled);
+/// let inputs = [0.5_f64, 0.8, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// let mut outputs = [0.0_f64; 6];
+/// compiled.eval_into(&inputs, &mut ws, &mut outputs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist<S> {
+    name: String,
+    input_names: Vec<String>,
+    consts: Vec<S>,
+    tape: Vec<Instr>,
+    num_regs: usize,
+    outputs: Vec<(String, u32)>,
+}
+
+/// Register allocator state during compilation.
+struct RegAlloc {
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl RegAlloc {
+    fn get(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let r = self.next;
+            self.next += 1;
+            r
+        })
+    }
+
+    fn release(&mut self, reg: u32) {
+        self.free.push(reg);
+    }
+}
+
+impl<S: Scalar> CompiledNetlist<S> {
+    /// Compiles a netlist for scalar type `S`.
+    ///
+    /// Run [`crate::optimize`] first when the netlist may contain dead or
+    /// redundant nodes — compilation itself preserves the given program
+    /// (it only skips nodes nothing consumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than `u32::MAX` nodes.
+    pub fn compile(netlist: &Netlist) -> Self {
+        let nodes = netlist.nodes();
+        assert!(nodes.len() < u32::MAX as usize, "netlist too large");
+
+        // Input slot interning: first-appearance order, repeated names
+        // share a slot.
+        let mut input_names: Vec<String> = Vec::new();
+        let mut input_slot = vec![0u32; nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            if let Node::Input(name) = node {
+                let slot = match input_names.iter().position(|n| n == name) {
+                    Some(s) => s as u32,
+                    None => {
+                        input_names.push(name.clone());
+                        (input_names.len() - 1) as u32
+                    }
+                };
+                input_slot[id] = slot;
+            }
+        }
+        let n_inputs = input_names.len();
+
+        // Liveness: the tape index of each node's final consumer. Outputs
+        // stay live to the end of the program.
+        const LIVE_TO_END: usize = usize::MAX;
+        let mut last_use = vec![0usize; nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            match node {
+                Node::Input(_) | Node::Const(_) => {}
+                Node::Mul(a, b) | Node::Add(a, b) | Node::Sub(a, b) => {
+                    last_use[*a] = id;
+                    last_use[*b] = id;
+                }
+                Node::MulConst(a, _) | Node::Neg(a) => last_use[*a] = id,
+            }
+        }
+        for (_, id) in netlist.outputs() {
+            last_use[*id] = LIVE_TO_END;
+        }
+
+        // Constant table, deduplicated by bit pattern, converted to `S`
+        // once here rather than per evaluation.
+        let mut const_bits: Vec<u64> = Vec::new();
+        let mut consts: Vec<S> = Vec::new();
+        let mut intern_const = |c: f64| -> u32 {
+            let bits = c.to_bits();
+            match const_bits.iter().position(|b| *b == bits) {
+                Some(i) => i as u32,
+                None => {
+                    const_bits.push(bits);
+                    consts.push(S::from_f64(c));
+                    (const_bits.len() - 1) as u32
+                }
+            }
+        };
+
+        // Tape emission with register recycling: input values occupy the
+        // first `n_inputs` registers (reloaded on every evaluation), and a
+        // slot returns to the free list at its holder's last use.
+        let mut alloc = RegAlloc {
+            free: Vec::new(),
+            next: n_inputs as u32,
+        };
+        let mut reg_of = vec![u32::MAX; nodes.len()];
+        let mut tape = Vec::new();
+        for (id, node) in nodes.iter().enumerate() {
+            if let Node::Input(_) = node {
+                reg_of[id] = input_slot[id];
+                continue;
+            }
+            // A node no one consumes (and that is not an output) computes
+            // a value that can never be observed.
+            if last_use[id] == 0 {
+                continue;
+            }
+            let mut operands = [0usize; 2];
+            let n_ops: usize;
+            match node {
+                Node::Mul(a, b) | Node::Add(a, b) | Node::Sub(a, b) => {
+                    operands = [*a, *b];
+                    n_ops = 2;
+                }
+                Node::MulConst(a, _) | Node::Neg(a) => {
+                    operands[0] = *a;
+                    n_ops = 1;
+                }
+                Node::Const(_) => n_ops = 0,
+                Node::Input(_) => unreachable!(),
+            }
+            // Release operands dying here before claiming the destination,
+            // so `dst` can recycle an operand's register (reads happen
+            // before the write at run time). Inputs below `n_inputs` are
+            // recyclable too: they are reloaded at the start of each run.
+            for k in 0..n_ops {
+                let op = operands[k];
+                if last_use[op] == id && !(k == 1 && operands[0] == operands[1]) {
+                    alloc.release(reg_of[op]);
+                }
+            }
+            let dst = alloc.get();
+            reg_of[id] = dst;
+            let instr = match node {
+                Node::Const(c) => Instr::Const {
+                    idx: intern_const(*c),
+                    dst,
+                },
+                Node::Mul(a, b) => Instr::Mul {
+                    a: reg_of[*a],
+                    b: reg_of[*b],
+                    dst,
+                },
+                Node::MulConst(a, c) => Instr::MulConst {
+                    a: reg_of[*a],
+                    idx: intern_const(*c),
+                    dst,
+                },
+                Node::Add(a, b) => Instr::Add {
+                    a: reg_of[*a],
+                    b: reg_of[*b],
+                    dst,
+                },
+                Node::Sub(a, b) => Instr::Sub {
+                    a: reg_of[*a],
+                    b: reg_of[*b],
+                    dst,
+                },
+                Node::Neg(a) => Instr::Neg { a: reg_of[*a], dst },
+                Node::Input(_) => unreachable!(),
+            };
+            tape.push(instr);
+        }
+
+        let outputs = netlist
+            .outputs()
+            .iter()
+            .map(|(name, id)| (name.clone(), reg_of[*id]))
+            .collect();
+
+        Self {
+            name: netlist.name().to_owned(),
+            input_names,
+            consts,
+            tape,
+            num_regs: alloc.next as usize,
+            outputs,
+        }
+    }
+
+    /// The module name of the source netlist.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input names in slot order — the order the `inputs` slice of
+    /// [`CompiledNetlist::eval_into`] must follow.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output names in declaration order — the order results are written
+    /// into the `outputs` slice.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.outputs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of declared outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Size of the recycled register file (inputs included). With liveness
+    /// reuse this is far below the node count.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Number of tape instructions (live non-input nodes).
+    pub fn tape_len(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// Evaluates the tape into `outputs`, reusing the workspace's register
+    /// file. Zero heap allocations once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` lengths do not match
+    /// [`CompiledNetlist::input_names`] / [`CompiledNetlist::num_outputs`].
+    pub fn eval_into(&self, inputs: &[S], ws: &mut EvalWorkspace<S>, outputs: &mut [S]) {
+        if ws.regs.len() < self.num_regs {
+            ws.regs.resize(self.num_regs, S::zero());
+        }
+        self.eval_into_regs(inputs, &mut ws.regs, outputs);
+    }
+
+    /// Like [`CompiledNetlist::eval_into`], but with a caller-provided
+    /// register slice (at least [`CompiledNetlist::num_regs`] long) — the
+    /// form the simulator uses with stack-allocated register files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length is insufficient.
+    pub fn eval_into_regs(&self, inputs: &[S], regs: &mut [S], outputs: &mut [S]) {
+        let n_in = self.input_names.len();
+        assert_eq!(inputs.len(), n_in, "input slot count mismatch");
+        assert_eq!(outputs.len(), self.outputs.len(), "output count mismatch");
+        assert!(regs.len() >= self.num_regs, "register file too small");
+        regs[..n_in].copy_from_slice(inputs);
+        for instr in &self.tape {
+            match *instr {
+                Instr::Const { idx, dst } => regs[dst as usize] = self.consts[idx as usize],
+                Instr::Mul { a, b, dst } => {
+                    regs[dst as usize] = regs[a as usize] * regs[b as usize];
+                }
+                Instr::MulConst { a, idx, dst } => {
+                    regs[dst as usize] = regs[a as usize] * self.consts[idx as usize];
+                }
+                Instr::Add { a, b, dst } => {
+                    regs[dst as usize] = regs[a as usize] + regs[b as usize];
+                }
+                Instr::Sub { a, b, dst } => {
+                    regs[dst as usize] = regs[a as usize] - regs[b as usize];
+                }
+                Instr::Neg { a, dst } => regs[dst as usize] = -regs[a as usize],
+            }
+        }
+        for (slot, (_, reg)) in outputs.iter_mut().zip(&self.outputs) {
+            *slot = regs[*reg as usize];
+        }
+    }
+
+    /// Convenience single-shot evaluation returning a fresh output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` length does not match the input slot count.
+    pub fn eval(&self, inputs: &[S]) -> Vec<S> {
+        let mut ws = EvalWorkspace::for_netlist(self);
+        let mut out = vec![S::zero(); self.outputs.len()];
+        self.eval_into(inputs, &mut ws, &mut out);
+        out
+    }
+
+    /// Streams a batch of input states through the tape on `engine`, one
+    /// reusable [`EvalWorkspace`] per participating worker, returning one
+    /// output vector per state in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's length does not match the input slot count.
+    pub fn eval_batch<I: AsRef<[S]> + Sync>(
+        &self,
+        engine: &BatchEngine,
+        states: &[I],
+    ) -> Vec<Vec<S>> {
+        engine.run_with_state(
+            states.len(),
+            || EvalWorkspace::for_netlist(self),
+            |ws, i| {
+                let mut out = vec![S::zero(); self.outputs.len()];
+                self.eval_into(states[i].as_ref(), ws, &mut out);
+                out
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::optimize;
+    use std::collections::HashMap;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("tiny");
+        let a = n.push(Node::Input("a".into()));
+        let b = n.push(Node::Input("b".into()));
+        let c = n.push(Node::Input("c".into()));
+        let ab = n.push(Node::Mul(a, b));
+        let c2 = n.push(Node::MulConst(c, 2.0));
+        let sum = n.push(Node::Add(ab, c2));
+        let out = n.push(Node::Neg(sum));
+        n.output("o", out).unwrap();
+        n
+    }
+
+    #[test]
+    fn matches_interpreter() {
+        let n = tiny();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert_eq!(compiled.input_names(), &["a", "b", "c"]);
+        assert_eq!(compiled.eval(&[3.0, 4.0, 5.0]), vec![-22.0]);
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut n = Netlist::new("consts");
+        let x = n.push(Node::Input("x".into()));
+        let a = n.push(Node::MulConst(x, 2.5));
+        let b = n.push(Node::MulConst(x, 2.5));
+        let c = n.push(Node::Const(2.5));
+        let s1 = n.push(Node::Add(a, b));
+        let s2 = n.push(Node::Add(s1, c));
+        n.output("o", s2).unwrap();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert_eq!(compiled.consts.len(), 1);
+        assert_eq!(compiled.eval(&[1.0]), vec![7.5]);
+    }
+
+    #[test]
+    fn registers_are_recycled() {
+        // A long chain of unary ops needs O(1) registers, not O(n).
+        let mut n = Netlist::new("chain");
+        let mut cur = n.push(Node::Input("x".into()));
+        for i in 0..40 {
+            cur = n.push(Node::MulConst(cur, 1.0 + 0.01 * f64::from(i)));
+        }
+        n.output("o", cur).unwrap();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert!(
+            compiled.num_regs() <= 3,
+            "chain should recycle registers, used {}",
+            compiled.num_regs()
+        );
+    }
+
+    #[test]
+    fn dead_nodes_emit_no_instructions() {
+        let mut n = Netlist::new("dead");
+        let x = n.push(Node::Input("x".into()));
+        let y = n.push(Node::Input("y".into()));
+        let _dead = n.push(Node::Mul(x, y));
+        let live = n.push(Node::Neg(x));
+        n.output("o", live).unwrap();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert_eq!(compiled.tape_len(), 1);
+        assert_eq!(compiled.eval(&[2.0, 9.0]), vec![-2.0]);
+    }
+
+    #[test]
+    fn repeated_input_names_share_a_slot() {
+        let mut n = Netlist::new("dupin");
+        let a1 = n.push(Node::Input("a".into()));
+        let a2 = n.push(Node::Input("a".into()));
+        let s = n.push(Node::Add(a1, a2));
+        n.output("o", s).unwrap();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert_eq!(compiled.input_names(), &["a"]);
+        assert_eq!(compiled.eval(&[1.5]), vec![3.0]);
+    }
+
+    #[test]
+    fn output_aliasing_an_input_or_midpoint_survives_reuse() {
+        // An output register must never be recycled even when later nodes
+        // could otherwise claim it.
+        let mut n = Netlist::new("alias");
+        let x = n.push(Node::Input("x".into()));
+        let mid = n.push(Node::MulConst(x, 3.0));
+        let mut cur = mid;
+        for _ in 0..8 {
+            cur = n.push(Node::Neg(cur));
+        }
+        n.output("mid", mid).unwrap();
+        n.output("in", x).unwrap();
+        n.output("end", cur).unwrap();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        assert_eq!(compiled.eval(&[2.0]), vec![6.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let n = tiny();
+        let compiled = CompiledNetlist::<f64>::compile(&n);
+        let engine = BatchEngine::new(2);
+        let states: Vec<[f64; 3]> = (0..16)
+            .map(|i| [i as f64, 0.5 * i as f64, -(i as f64)])
+            .collect();
+        let batch = compiled.eval_batch(&engine, &states);
+        for (out, s) in batch.iter().zip(&states) {
+            assert_eq!(out, &compiled.eval(s));
+        }
+    }
+
+    #[test]
+    fn compiled_optimized_x_unit_matches_interpreter() {
+        use crate::xunit_gen::generate_x_unit;
+        use robo_model::robots;
+        let robot = robots::iiwa14();
+        for joint in 0..robot.dof() {
+            let raw = generate_x_unit(&robot, joint);
+            let opt = optimize(&raw);
+            let compiled = CompiledNetlist::<f64>::compile(&opt);
+            let values: Vec<f64> = (0..8).map(|i| 0.3 * i as f64 - 0.9).collect();
+            let inputs: HashMap<String, f64> = compiled
+                .input_names()
+                .iter()
+                .zip(&values)
+                .map(|(n, v)| (n.clone(), *v))
+                .collect();
+            let want = raw.eval(&inputs).unwrap();
+            let got = compiled.eval(&values);
+            for ((name, w), g) in want.iter().zip(&got) {
+                assert_eq!(w, g, "joint {joint} output {name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input slot count mismatch")]
+    fn wrong_input_arity_panics() {
+        let compiled = CompiledNetlist::<f64>::compile(&tiny());
+        let _ = compiled.eval(&[1.0]);
+    }
+
+    #[test]
+    fn fixed_point_matches_interpreter_bit_for_bit() {
+        use robo_fixed::Fix32_16;
+        let n = tiny();
+        let compiled = CompiledNetlist::<Fix32_16>::compile(&n);
+        let vals = [1.5, -2.0, 0.25].map(Fix32_16::from_f64);
+        let inputs: HashMap<String, Fix32_16> = ["a", "b", "c"]
+            .iter()
+            .zip(vals)
+            .map(|(n, v)| ((*n).to_owned(), v))
+            .collect();
+        let want = n.eval(&inputs).unwrap();
+        let got = compiled.eval(&vals);
+        assert_eq!(want[0].1, got[0]);
+    }
+}

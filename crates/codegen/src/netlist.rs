@@ -71,6 +71,12 @@ pub enum NetlistError {
         /// The offending node.
         node: NodeId,
     },
+    /// Two outputs were declared with the same name (the lowered module
+    /// would have colliding ports).
+    DuplicateOutput {
+        /// The name declared twice.
+        name: String,
+    },
     /// The text form could not be parsed.
     Parse {
         /// 1-based line number.
@@ -85,6 +91,7 @@ impl fmt::Display for NetlistError {
         match self {
             Self::MissingInput(name) => write!(f, "missing input `{name}`"),
             Self::BadReference { node } => write!(f, "node {node} has a bad reference"),
+            Self::DuplicateOutput { name } => write!(f, "duplicate output `{name}`"),
             Self::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
     }
@@ -138,9 +145,24 @@ impl Netlist {
     }
 
     /// Declares a named output.
-    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateOutput`] if an output with the same
+    /// name was already declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist (a builder programming error, like
+    /// [`Netlist::push`]'s topological-order check).
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), NetlistError> {
         assert!(node < self.nodes.len(), "output references missing node");
-        self.outputs.push((name.into(), node));
+        let name = name.into();
+        if self.outputs.iter().any(|(n, _)| *n == name) {
+            return Err(NetlistError::DuplicateOutput { name });
+        }
+        self.outputs.push((name, node));
+        Ok(())
     }
 
     /// Hardware-relevant node counts.
@@ -160,6 +182,12 @@ impl Netlist {
 
     /// Evaluates the netlist with the given named inputs.
     ///
+    /// This is the reference interpreter: simple, string-keyed, and kept as
+    /// the oracle the optimizer ([`crate::optimize`]) and the compiled
+    /// evaluator ([`crate::CompiledNetlist`]) are checked against. For
+    /// repeated evaluation use the compiled form, which interns inputs to
+    /// dense slots and allocates nothing in steady state.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::MissingInput`] if an input is absent.
@@ -167,6 +195,23 @@ impl Netlist {
         &self,
         inputs: &HashMap<String, S>,
     ) -> Result<Vec<(String, S)>, NetlistError> {
+        Ok(self
+            .eval_ref(inputs)?
+            .into_iter()
+            .map(|(name, v)| (name.to_owned(), v))
+            .collect())
+    }
+
+    /// Like [`Netlist::eval`], but borrowing the output names from the
+    /// netlist instead of cloning a `String` per output per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingInput`] if an input is absent.
+    pub fn eval_ref<S: Scalar>(
+        &self,
+        inputs: &HashMap<String, S>,
+    ) -> Result<Vec<(&str, S)>, NetlistError> {
         let mut values: Vec<S> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let v = match node {
@@ -185,7 +230,7 @@ impl Netlist {
         Ok(self
             .outputs
             .iter()
-            .map(|(name, id)| (name.clone(), values[*id]))
+            .map(|(name, id)| (name.as_str(), values[*id]))
             .collect())
     }
 
@@ -246,6 +291,11 @@ impl Netlist {
                     .ok_or_else(|| err(lineno, "output needs a node id"))?;
                 if id >= netlist.nodes.len() {
                     return Err(NetlistError::BadReference { node: id });
+                }
+                if netlist.outputs.iter().any(|(n, _)| n == name) {
+                    return Err(NetlistError::DuplicateOutput {
+                        name: name.to_owned(),
+                    });
                 }
                 netlist.outputs.push((name.to_owned(), id));
                 continue;
@@ -321,7 +371,7 @@ mod tests {
         let c2 = n.push(Node::MulConst(c, 2.0));
         let sum = n.push(Node::Add(ab, c2));
         let out = n.push(Node::Neg(sum));
-        n.output("o", out);
+        n.output("o", out).unwrap();
         n
     }
 
@@ -341,6 +391,45 @@ mod tests {
         let n = tiny();
         let err = n.eval::<f64>(&HashMap::new()).unwrap_err();
         assert!(matches!(err, NetlistError::MissingInput(_)));
+    }
+
+    #[test]
+    fn eval_ref_borrows_output_names() {
+        let n = tiny();
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_owned(), 3.0_f64);
+        inputs.insert("b".to_owned(), 4.0);
+        inputs.insert("c".to_owned(), 5.0);
+        let out = n.eval_ref(&inputs).unwrap();
+        assert_eq!(out, vec![("o", -22.0)]);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_output_names() {
+        let mut n = Netlist::new("dup");
+        let a = n.push(Node::Input("a".into()));
+        let b = n.push(Node::Input("b".into()));
+        n.output("o", a).unwrap();
+        let err = n.output("o", b).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::DuplicateOutput {
+                name: "o".to_owned()
+            }
+        );
+        // The netlist is unchanged by the rejected declaration.
+        assert_eq!(n.outputs(), &[("o".to_owned(), a)]);
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_output_names() {
+        let bad = "netlist x\n0 input a\n1 input b\noutput o 0\noutput o 1\n";
+        assert_eq!(
+            Netlist::parse(bad),
+            Err(NetlistError::DuplicateOutput {
+                name: "o".to_owned()
+            })
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub fn x_unit_output_names() -> Vec<String> {
     (0..6).map(|i| format!("o{i}")).collect()
 }
 
-fn affine_coefficients(robot: &RobotModel, joint: usize) -> [[(f64, f64, f64); 6]; 6] {
+pub(crate) fn affine_coefficients(robot: &RobotModel, joint: usize) -> [[(f64, f64, f64); 6]; 6] {
     let probe = |s: f64, c: f64| robot.joint_transform_sincos::<f64>(joint, s, c).to_mat6();
     let m00 = probe(0.0, 0.0);
     let m01 = probe(0.0, 1.0);
@@ -33,16 +33,32 @@ fn affine_coefficients(robot: &RobotModel, joint: usize) -> [[(f64, f64, f64); 6
     for r in 0..6 {
         for c in 0..6 {
             out[r][c] = (
-                m01.m[r][c] - m00.m[r][c], // α (cos coefficient)
-                m10.m[r][c] - m00.m[r][c], // β (sin coefficient)
-                m00.m[r][c],               // γ (constant)
+                snap(m01.m[r][c] - m00.m[r][c]), // α (cos coefficient)
+                snap(m10.m[r][c] - m00.m[r][c]), // β (sin coefficient)
+                snap(m00.m[r][c]),               // γ (constant)
             );
         }
     }
     out
 }
 
-const FOLD_TOL: f64 = 1e-12;
+pub(crate) const FOLD_TOL: f64 = 1e-12;
+
+/// Snaps a customization-time coefficient to exactly 0/±1 when it is a
+/// trig/geometry residue within [`FOLD_TOL`] of one. The hardware folds
+/// such coefficients to dead wires, plain wires, or negations (§5.2) — it
+/// genuinely computes without the residue term — so every software model
+/// of the unit must use the snapped value for results to match the
+/// generated circuit bit for bit. `robo-sim`'s coefficient reference path
+/// applies the same function.
+pub fn snap(k: f64) -> f64 {
+    for target in [0.0, 1.0, -1.0] {
+        if (k - target).abs() < FOLD_TOL {
+            return target;
+        }
+    }
+    k
+}
 
 /// Emits a term `k·src`, folding `k ∈ {0, ±1}` to nothing / a wire / a
 /// negation. Returns `None` for a zero coefficient.
@@ -70,6 +86,12 @@ pub fn generate_x_unit(robot: &RobotModel, joint: usize) -> Netlist {
     generate_x_unit_with_mask(robot, joint, x_pattern(robot, joint))
 }
 
+/// Generates the transposed unit (`Xᵀ·f`, the backward-pass operation) for
+/// `joint` of `robot`, using the joint's own structural mask.
+pub fn generate_xt_unit(robot: &RobotModel, joint: usize) -> Netlist {
+    generate_xt_unit_with_mask(robot, joint, x_pattern(robot, joint))
+}
+
 /// Generates the X-unit with an explicit (e.g. superposed) mask, as the
 /// paper's shared unit does (§6.2).
 ///
@@ -78,12 +100,31 @@ pub fn generate_x_unit(robot: &RobotModel, joint: usize) -> Netlist {
 /// Panics in debug builds if `mask` does not cover the joint's own
 /// structural pattern.
 pub fn generate_x_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
+    generate_unit(robot, joint, mask, false)
+}
+
+/// Generates the transposed unit (`Xᵀ·f`) with an explicit mask. The same
+/// entry-forming constant-multiplier bank as the forward unit feeds
+/// *column* trees instead of row trees — in hardware the two directions
+/// share one unit (§5.2), so the inputs keep the forward declaration order
+/// (`sin_q`, `cos_q`, `v0..v5`) and outputs stay `o0..o5`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `mask` does not cover the joint's own
+/// structural pattern.
+pub fn generate_xt_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
+    generate_unit(robot, joint, mask, true)
+}
+
+fn generate_unit(robot: &RobotModel, joint: usize, mask: Mask6, transpose: bool) -> Netlist {
     debug_assert!(
         x_pattern(robot, joint).is_subset_of(&mask),
         "mask must cover joint {joint}'s structural pattern"
     );
     let coeffs = affine_coefficients(robot, joint);
-    let mut n = Netlist::new(format!("x_unit_{}_joint{}", robot.name(), joint));
+    let direction = if transpose { "xt_unit" } else { "x_unit" };
+    let mut n = Netlist::new(format!("{direction}_{}_joint{}", robot.name(), joint));
 
     let sin = n.push(Node::Input("sin_q".into()));
     let cos = n.push(Node::Input("cos_q".into()));
@@ -119,19 +160,26 @@ pub fn generate_x_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) 
         }
     }
 
-    // Pruned dot-product trees, one per output row.
-    for r in 0..6 {
+    // Pruned dot-product trees: one per output row (`X·v`), or one per
+    // output column for the transposed `Xᵀ·f` direction.
+    for out_idx in 0..6 {
         let mut products = Vec::new();
-        for c in 0..6 {
-            if let Some(e) = entries[r][c] {
-                products.push(n.push(Node::Mul(e, v[c])));
+        for in_idx in 0..6 {
+            let entry = if transpose {
+                entries[in_idx][out_idx]
+            } else {
+                entries[out_idx][in_idx]
+            };
+            if let Some(e) = entry {
+                products.push(n.push(Node::Mul(e, v[in_idx])));
             }
         }
         let out = match sum_terms(&mut n, &products) {
             Some(id) => id,
             None => n.push(Node::Const(0.0)), // fully pruned row
         };
-        n.output(format!("o{r}"), out);
+        n.output(format!("o{out_idx}"), out)
+            .expect("row output names are unique");
     }
     n
 }
@@ -244,5 +292,90 @@ mod tests {
         let unit = generate_x_unit(&robot, 2);
         let parsed = Netlist::parse(&unit.to_text()).unwrap();
         assert_eq!(parsed, unit);
+    }
+
+    #[test]
+    fn transposed_unit_matches_reference_transform() {
+        use robo_spatial::Force;
+        let robot = robots::iiwa14();
+        for joint in 0..7 {
+            let unit = generate_xt_unit(&robot, joint);
+            let f = Force::new(
+                robo_spatial::Vec3::new(0.4, -0.7, 0.2),
+                robo_spatial::Vec3::new(1.3, 0.5, -0.9),
+            );
+            for q in [0.0, 1.2, -0.6] {
+                let m = Motion::new(f.ang, f.lin);
+                let got = eval_unit(&unit, &robot, joint, q, m);
+                let want = robot.joint_transform::<f64>(joint, q).tr_apply_force(f);
+                let want = Motion::new(want.ang, want.lin);
+                assert!((got - want).max_abs() < 1e-12, "joint {joint} at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_multiplier_counts_never_exceed_raw() {
+        // Satellite of the §5.2 software pruning: lowering from the
+        // optimized netlist can only shrink the DSP-multiplier budget (the
+        // Figure 9 metric), never grow it — for every built-in robot, both
+        // transform directions, own and superposed masks.
+        use crate::opt::optimize_with_report;
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            let sup = superposition_pattern(&robot);
+            for joint in 0..robot.dof() {
+                for unit in [
+                    generate_x_unit(&robot, joint),
+                    generate_xt_unit(&robot, joint),
+                    generate_x_unit_with_mask(&robot, joint, sup),
+                    generate_xt_unit_with_mask(&robot, joint, sup),
+                ] {
+                    let (_, report) = optimize_with_report(&unit);
+                    assert!(
+                        report.after.muls <= report.before.muls,
+                        "{} joint {joint} ({}): muls grew {} -> {}",
+                        robot.name(),
+                        unit.name(),
+                        report.before.muls,
+                        report.after.muls,
+                    );
+                    assert!(
+                        report.after.muls + report.after.const_muls
+                            <= report.before.muls + report.before.const_muls,
+                        "{} joint {joint}: total multiplier budget grew",
+                        robot.name(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_eligible_coefficients_are_exact() {
+        // The generator folds coefficients within 1e-12 of 0/±1 to wires
+        // and negations. Bit-identity with the simulator's coefficient
+        // reference path (asserted by the parity suites) requires every
+        // fold-eligible coefficient to be *exactly* 0, 1, or −1 — which
+        // `snap` guarantees (real robots have trig residues like
+        // cos(π/2) ≈ 6.1e-17 that would otherwise slip through). Guard
+        // the post-snap invariant here for every built-in robot.
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            for joint in 0..robot.dof() {
+                let coeffs = affine_coefficients(&robot, joint);
+                for row in &coeffs {
+                    for (alpha, beta, gamma) in row {
+                        for k in [*alpha, *beta, *gamma] {
+                            let near = |t: f64| (k - t).abs() < FOLD_TOL && k != t;
+                            assert!(
+                                !(near(0.0) || near(1.0) || near(-1.0)),
+                                "{} joint {joint}: coefficient {k:e} within fold \
+                                 tolerance but not exact",
+                                robot.name(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

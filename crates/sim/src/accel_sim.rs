@@ -176,6 +176,15 @@ impl<S: Scalar> AcceleratorSim<S> {
         sim
     }
 
+    /// Selects which evaluator executes the functional units' arithmetic
+    /// (see [`crate::XUnitBackend`]). The default is the compiled netlist
+    /// tape; results are bit-identical either way.
+    pub fn set_backend(&mut self, backend: crate::XUnitBackend) {
+        for unit in &mut self.x_units {
+            unit.set_backend(backend);
+        }
+    }
+
     /// Builds a simulator for an explicit customized design.
     ///
     /// # Panics

@@ -6,7 +6,11 @@
 //!
 //! * [`XUnit`] — the pruned transform matrix-vector functional unit, built
 //!   from per-robot affine trig coefficients exactly as the hardware's
-//!   constant-multiplier banks and pruned multiplier–adder trees are;
+//!   constant-multiplier banks and pruned multiplier–adder trees are; by
+//!   default it executes the optimized netlist compiled to a flat register
+//!   tape (the same IR `robo-codegen` lowers to Verilog), with the
+//!   coefficient path kept as a bit-identical reference oracle
+//!   ([`XUnitBackend`]);
 //! * [`AcceleratorSim`] — executes the full dynamics-gradient kernel
 //!   (Algorithm 1) through those units in any scalar type (notably the
 //!   accelerator's Q16.16 fixed point), with latency taken from the
@@ -48,4 +52,4 @@ mod xunit;
 pub use accel_sim::{AcceleratorSim, SimOutput, SimWorkspace};
 pub use coproc::{stream_batch, CoprocessorSystem, IoChannel, KernelInput, RoundTrip, StreamEvent};
 pub use stepper::{step_pipeline, CycleTrace, TraceEntry, Unit};
-pub use xunit::{Accumulation, XUnit};
+pub use xunit::{Accumulation, XUnit, XUnitBackend};

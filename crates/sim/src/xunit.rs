@@ -10,7 +10,18 @@
 //! adders (Figure 7). [`XUnit`] is exactly that structure: coefficients
 //! extracted at customization time, dead entries pruned by the structural
 //! mask, evaluation generic over the (fixed-point) scalar.
+//!
+//! Since the netlist pipeline landed, the unit carries *two* evaluators of
+//! the same circuit ([`XUnitBackend`]): the optimized netlist compiled to
+//! a flat register tape (the default serving path — the identical IR the
+//! Verilog backend lowers), and the original coefficient arithmetic (the
+//! reference oracle, and the model of wide MAC accumulation). The two are
+//! bit-identical in every scalar type because fold-eligible coefficients
+//! are snapped to exact 0/±1 on both sides.
 
+use robo_codegen::{
+    generate_x_unit_with_mask, generate_xt_unit_with_mask, optimize, snap, CompiledNetlist,
+};
 use robo_model::{JointType, RobotModel};
 use robo_sparsity::{x_pattern, Mask6};
 use robo_spatial::{Force, Motion, Scalar};
@@ -26,6 +37,28 @@ pub enum Accumulation {
     /// cascades (e.g. DSP48's 48-bit accumulator).
     Wide,
 }
+
+/// Which evaluator executes a unit's arithmetic.
+///
+/// Both backends model the same pruned circuit and produce bit-identical
+/// results (the parity suites assert this); they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XUnitBackend {
+    /// The optimized netlist compiled to a flat register tape
+    /// ([`CompiledNetlist`]) — the same IR the Verilog backend lowers, and
+    /// the fast path (the default).
+    #[default]
+    Compiled,
+    /// Direct evaluation from the cached affine coefficients — the
+    /// reference oracle, and the only model of
+    /// [`Wide`](Accumulation::Wide) accumulation.
+    Coefficients,
+}
+
+/// Register budget for the stack-allocated file the compiled tapes run in.
+/// The widest built-in unit (a superposed Atlas joint) needs well under
+/// this; construction asserts the bound so evaluation never re-checks it.
+const STACK_REGS: usize = 96;
 
 /// Coefficients of one matrix entry: `α·cos + β·sin + γ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +76,11 @@ pub struct XUnit<S> {
     mask: Mask6,
     joint: JointType,
     accumulation: Accumulation,
+    backend: XUnitBackend,
+    /// Compiled forward tape (`X·v`), from the optimized netlist.
+    fwd: CompiledNetlist<S>,
+    /// Compiled transposed tape (`Xᵀ·f`).
+    bwd: CompiledNetlist<S>,
 }
 
 impl<S: Scalar> XUnit<S> {
@@ -66,6 +104,9 @@ impl<S: Scalar> XUnit<S> {
         );
         // The affine decomposition: X(s,c) = c·A + s·B + C, recovered from
         // three algebraic probe evaluations (s, c treated as independent).
+        // Coefficients are snapped exactly like the netlist generator's, so
+        // both backends model the identical folded circuit (trig residues
+        // like cos(π/2) ≈ 6e-17 are dead wires in hardware).
         let probe = |s: f64, c: f64| robot.joint_transform_sincos::<f64>(i, s, c).to_mat6();
         let m00 = probe(0.0, 0.0); // C
         let m01 = probe(0.0, 1.0); // A + C
@@ -78,17 +119,26 @@ impl<S: Scalar> XUnit<S> {
         for r in 0..6 {
             for cidx in 0..6 {
                 coeffs[r][cidx] = EntryCoeffs {
-                    alpha: S::from_f64(m01.m[r][cidx] - m00.m[r][cidx]),
-                    beta: S::from_f64(m10.m[r][cidx] - m00.m[r][cidx]),
-                    gamma: S::from_f64(m00.m[r][cidx]),
+                    alpha: S::from_f64(snap(m01.m[r][cidx] - m00.m[r][cidx])),
+                    beta: S::from_f64(snap(m10.m[r][cidx] - m00.m[r][cidx])),
+                    gamma: S::from_f64(snap(m00.m[r][cidx])),
                 };
             }
         }
+        let fwd = CompiledNetlist::compile(&optimize(&generate_x_unit_with_mask(robot, i, mask)));
+        let bwd = CompiledNetlist::compile(&optimize(&generate_xt_unit_with_mask(robot, i, mask)));
+        assert!(
+            fwd.num_regs() <= STACK_REGS && bwd.num_regs() <= STACK_REGS,
+            "compiled unit exceeds the stack register budget"
+        );
         Self {
             coeffs,
             mask,
             joint: robot.links()[i].joint,
             accumulation: Accumulation::PerOperation,
+            backend: XUnitBackend::Compiled,
+            fwd,
+            bwd,
         }
     }
 
@@ -105,6 +155,38 @@ impl<S: Scalar> XUnit<S> {
     /// The current accumulation mode.
     pub fn accumulation(&self) -> Accumulation {
         self.accumulation
+    }
+
+    /// Selects which evaluator runs the unit's arithmetic.
+    pub fn set_backend(&mut self, backend: XUnitBackend) {
+        self.backend = backend;
+    }
+
+    /// The currently selected evaluator.
+    pub fn backend(&self) -> XUnitBackend {
+        self.backend
+    }
+
+    /// The compiled tape models per-operation rounding only; wide MAC
+    /// accumulation always takes the coefficient path.
+    #[inline]
+    fn use_compiled(&self) -> bool {
+        self.backend == XUnitBackend::Compiled && self.accumulation == Accumulation::PerOperation
+    }
+
+    /// Runs one of the compiled tapes entirely on the stack: inputs in
+    /// netlist declaration order (`sin_q`, `cos_q`, `v0..v5`), a
+    /// fixed-size register file, outputs `o0..o5`.
+    #[inline]
+    fn run_compiled(&self, tape: &CompiledNetlist<S>, sin_q: S, cos_q: S, v: [S; 6]) -> [S; 6] {
+        let mut inputs = [S::zero(); 8];
+        inputs[0] = sin_q;
+        inputs[1] = cos_q;
+        inputs[2..].copy_from_slice(&v);
+        let mut regs = [S::zero(); STACK_REGS];
+        let mut out = [S::zero(); 6];
+        tape.eval_into_regs(&inputs, &mut regs, &mut out);
+        out
     }
 
     /// Forms the live matrix entries from the trig inputs (the constant
@@ -145,6 +227,9 @@ impl<S: Scalar> XUnit<S> {
     /// has more than six live products, so the pair list lives on the
     /// stack (like the hardware's fixed wiring).
     pub fn apply_motion(&self, sin_q: S, cos_q: S, m: Motion<S>) -> Motion<S> {
+        if self.use_compiled() {
+            return Motion::from_array(self.run_compiled(&self.fwd, sin_q, cos_q, m.to_array()));
+        }
         let x = self.entries(sin_q, cos_q);
         let v = m.to_array();
         let mut out = [S::zero(); 6];
@@ -165,6 +250,9 @@ impl<S: Scalar> XUnit<S> {
     /// Evaluates the backward-pass operation `X(q)ᵀ·f` through the same
     /// (transposed) tree. Heap-free, like [`XUnit::apply_motion`].
     pub fn tr_apply_force(&self, sin_q: S, cos_q: S, f: Force<S>) -> Force<S> {
+        if self.use_compiled() {
+            return Force::from_array(self.run_compiled(&self.bwd, sin_q, cos_q, f.to_array()));
+        }
         let x = self.entries(sin_q, cos_q);
         let v = f.to_array();
         let mut out = [S::zero(); 6];
@@ -296,6 +384,86 @@ mod tests {
         unit.set_accumulation(Accumulation::Wide);
         let b = unit.apply_motion(s, c, m);
         assert!((a - b).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn backends_bit_identical_across_scalars() {
+        // The tentpole invariant: the compiled tape and the coefficient
+        // oracle are the same circuit. f64 compares with == (±0 counts as
+        // equal); fixed point is exact bit equality.
+        let mut seed = 77;
+        for robot in [robots::iiwa14(), robots::hyq()] {
+            let sup = superposition_pattern(&robot);
+            for i in 0..robot.dof() {
+                for unit in [
+                    XUnit::<f64>::for_joint(&robot, i),
+                    XUnit::<f64>::with_mask(&robot, i, sup),
+                ] {
+                    let mut oracle = unit.clone();
+                    oracle.set_backend(XUnitBackend::Coefficients);
+                    assert_eq!(unit.backend(), XUnitBackend::Compiled);
+                    for q in [0.0, 0.9, -2.3] {
+                        let m = rand_motion(&mut seed);
+                        let (s, c) = unit.inputs_for(q);
+                        assert_eq!(
+                            unit.apply_motion(s, c, m).to_array(),
+                            oracle.apply_motion(s, c, m).to_array(),
+                            "{} joint {i} q={q}",
+                            robot.name()
+                        );
+                        let f = Force::new(m.ang, m.lin);
+                        assert_eq!(
+                            unit.tr_apply_force(s, c, f).to_array(),
+                            oracle.tr_apply_force(s, c, f).to_array(),
+                            "{} joint {i} q={q} (transpose)",
+                            robot.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_bit_identical_in_fixed_point() {
+        let robot = robots::iiwa14();
+        let mut seed = 101;
+        for i in 0..7 {
+            let unit = XUnit::<Fix32_16>::for_joint(&robot, i);
+            let mut oracle = unit.clone();
+            oracle.set_backend(XUnitBackend::Coefficients);
+            let m = rand_motion(&mut seed).cast::<Fix32_16>();
+            let (s, c) = unit.inputs_for(Fix32_16::from_f64(0.6));
+            assert_eq!(
+                unit.apply_motion(s, c, m).to_array(),
+                oracle.apply_motion(s, c, m).to_array(),
+                "joint {i}"
+            );
+            let f = Force::new(m.ang, m.lin);
+            assert_eq!(
+                unit.tr_apply_force(s, c, f).to_array(),
+                oracle.tr_apply_force(s, c, f).to_array(),
+                "joint {i} (transpose)"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_accumulation_bypasses_compiled_tape() {
+        // The compiled tape models per-operation rounding; in Wide mode the
+        // unit must route through the coefficient path's dot_accumulate.
+        use robo_fixed::Fix14_6;
+        let robot = robots::iiwa14();
+        let mut wide = XUnit::<Fix14_6>::for_joint(&robot, 2);
+        wide.set_accumulation(Accumulation::Wide);
+        let mut oracle = wide.clone();
+        oracle.set_backend(XUnitBackend::Coefficients);
+        let m = Motion::from_array([1.9, -0.7, 0.4, 2.2, -1.1, 0.6]).cast::<Fix14_6>();
+        let (s, c) = wide.inputs_for(Fix14_6::from_f64(1.2));
+        assert_eq!(
+            wide.apply_motion(s, c, m).to_array(),
+            oracle.apply_motion(s, c, m).to_array()
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! *executes* identically to the reference transform, and prints the
 //! Figure 8 top level for the quadruped with its limb processors.
 
-use robomorphic::codegen::{generate_top, generate_x_unit, lint, to_verilog, RtlFormat};
+use robomorphic::codegen::{
+    generate_top, generate_x_unit, lint, optimize_with_report, to_verilog, RtlFormat,
+};
 use robomorphic::core::GradientTemplate;
 use robomorphic::model::robots;
 use robomorphic::spatial::Motion;
@@ -47,8 +49,10 @@ fn main() {
     println!("generated netlist vs reference transform: max error {max_err:.2e}");
     assert!(max_err < 1e-12);
 
-    // --- Verilog lowering --------------------------------------------------
-    let verilog = to_verilog(&unit, RtlFormat::q16_16());
+    // --- Verilog lowering (from the optimized netlist) ---------------------
+    let (opt, report) = optimize_with_report(&unit);
+    println!("optimizer: {report}");
+    let verilog = to_verilog(&opt, RtlFormat::q16_16());
     lint(&verilog).expect("structurally valid RTL");
     println!("\n--- x_unit_iiwa14_joint1.v (first 14 lines) ---");
     for line in verilog.lines().take(14) {

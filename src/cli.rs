@@ -4,7 +4,7 @@
 //! in `src/bin/robomorphic.rs` is a thin argument dispatcher. See each
 //! command function for its report format.
 
-use robo_codegen::{generate_top, generate_x_unit, lint, to_verilog, RtlFormat};
+use robo_codegen::{generate_top, generate_x_unit, lint, optimize, to_verilog, RtlFormat};
 use robo_collision::CollisionTemplate;
 use robo_model::{parse_robo, parse_urdf, RobotModel};
 use robo_sparsity::{joint_reduction, superposition_pattern};
@@ -159,7 +159,7 @@ pub fn cmd_customize(source: &str, verilog_dir: Option<&str>) -> Result<String, 
         std::fs::create_dir_all(dir)?;
         let mut files = Vec::new();
         for j in 0..robot.dof() {
-            let unit = generate_x_unit(&robot, j);
+            let unit = optimize(&generate_x_unit(&robot, j));
             let v = to_verilog(&unit, RtlFormat::q16_16());
             lint(&v).map_err(CliError::Load)?;
             let path = format!("{dir}/x_unit_joint{j}.v");

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_accumulator-1deb7961ff89f4d5.d: crates/bench/src/bin/ablation_accumulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_accumulator-1deb7961ff89f4d5.rmeta: crates/bench/src/bin/ablation_accumulator.rs Cargo.toml
+
+crates/bench/src/bin/ablation_accumulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

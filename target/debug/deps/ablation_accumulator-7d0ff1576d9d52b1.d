@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_accumulator-7d0ff1576d9d52b1.d: crates/bench/src/bin/ablation_accumulator.rs
+
+/root/repo/target/debug/deps/ablation_accumulator-7d0ff1576d9d52b1: crates/bench/src/bin/ablation_accumulator.rs
+
+crates/bench/src/bin/ablation_accumulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_folding-a7b26e0cb5064cfc.d: crates/bench/src/bin/ablation_folding.rs
+
+/root/repo/target/debug/deps/ablation_folding-a7b26e0cb5064cfc: crates/bench/src/bin/ablation_folding.rs
+
+crates/bench/src/bin/ablation_folding.rs:

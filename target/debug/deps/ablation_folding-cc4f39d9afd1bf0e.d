@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_folding-cc4f39d9afd1bf0e.d: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_folding-cc4f39d9afd1bf0e.rmeta: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_folding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

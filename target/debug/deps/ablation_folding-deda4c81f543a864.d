@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_folding-deda4c81f543a864.d: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_folding-deda4c81f543a864.rmeta: crates/bench/src/bin/ablation_folding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_folding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-55bb883b6e59c41d.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-55bb883b6e59c41d: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

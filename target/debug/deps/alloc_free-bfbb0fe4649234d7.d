@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-bfbb0fe4649234d7.d: tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-bfbb0fe4649234d7: tests/alloc_free.rs
+
+tests/alloc_free.rs:

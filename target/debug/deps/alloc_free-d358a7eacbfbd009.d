@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-d358a7eacbfbd009.d: tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-d358a7eacbfbd009.rmeta: tests/alloc_free.rs Cargo.toml
+
+tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

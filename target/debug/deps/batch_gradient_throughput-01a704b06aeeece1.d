@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_gradient_throughput-01a704b06aeeece1.d: crates/bench/benches/batch_gradient_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_gradient_throughput-01a704b06aeeece1.rmeta: crates/bench/benches/batch_gradient_throughput.rs Cargo.toml
+
+crates/bench/benches/batch_gradient_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli-376de98469a780bf.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-376de98469a780bf: tests/cli.rs
+
+tests/cli.rs:

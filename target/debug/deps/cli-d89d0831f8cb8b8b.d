@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli-d89d0831f8cb8b8b.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-d89d0831f8cb8b8b.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegen_stats-6eb0f102d34a2984.d: crates/bench/src/bin/codegen_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegen_stats-6eb0f102d34a2984.rmeta: crates/bench/src/bin/codegen_stats.rs Cargo.toml
+
+crates/bench/src/bin/codegen_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_stats-ff2e6ad8cade426c.d: crates/bench/src/bin/codegen_stats.rs
+
+/root/repo/target/debug/deps/codegen_stats-ff2e6ad8cade426c: crates/bench/src/bin/codegen_stats.rs
+
+crates/bench/src/bin/codegen_stats.rs:

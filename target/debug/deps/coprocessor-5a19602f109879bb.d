@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coprocessor-5a19602f109879bb.d: tests/coprocessor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoprocessor-5a19602f109879bb.rmeta: tests/coprocessor.rs Cargo.toml
+
+tests/coprocessor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

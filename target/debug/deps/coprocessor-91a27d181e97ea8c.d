@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coprocessor-91a27d181e97ea8c.d: tests/coprocessor.rs
+
+/root/repo/target/debug/deps/coprocessor-91a27d181e97ea8c: tests/coprocessor.rs
+
+tests/coprocessor.rs:

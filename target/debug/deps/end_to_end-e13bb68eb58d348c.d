@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e13bb68eb58d348c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e13bb68eb58d348c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_control_rates-7cc2c5ee3dcf7eb8.d: crates/bench/src/bin/fig04_control_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_control_rates-7cc2c5ee3dcf7eb8.rmeta: crates/bench/src/bin/fig04_control_rates.rs Cargo.toml
+
+crates/bench/src/bin/fig04_control_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

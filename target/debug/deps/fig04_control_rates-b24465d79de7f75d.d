@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_control_rates-b24465d79de7f75d.d: crates/bench/src/bin/fig04_control_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_control_rates-b24465d79de7f75d.rmeta: crates/bench/src/bin/fig04_control_rates.rs Cargo.toml
+
+crates/bench/src/bin/fig04_control_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_control_rates-edbc7e6078fbe08d.d: crates/bench/src/bin/fig04_control_rates.rs
+
+/root/repo/target/debug/deps/fig04_control_rates-edbc7e6078fbe08d: crates/bench/src/bin/fig04_control_rates.rs
+
+crates/bench/src/bin/fig04_control_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_kernel_latency-6ccc4c7900a3e51b.d: crates/bench/benches/fig10_kernel_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_kernel_latency-6ccc4c7900a3e51b.rmeta: crates/bench/benches/fig10_kernel_latency.rs Cargo.toml
+
+crates/bench/benches/fig10_kernel_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_single_latency-2b0af6307f9525ba.d: crates/bench/src/bin/fig10_single_latency.rs
+
+/root/repo/target/debug/deps/fig10_single_latency-2b0af6307f9525ba: crates/bench/src/bin/fig10_single_latency.rs
+
+crates/bench/src/bin/fig10_single_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_single_latency-dd18d1271aa39c3f.d: crates/bench/src/bin/fig10_single_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_single_latency-dd18d1271aa39c3f.rmeta: crates/bench/src/bin/fig10_single_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig10_single_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_sparsity_ops-2b1f8a69a5f35d14.d: crates/bench/src/bin/fig11_sparsity_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_sparsity_ops-2b1f8a69a5f35d14.rmeta: crates/bench/src/bin/fig11_sparsity_ops.rs Cargo.toml
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

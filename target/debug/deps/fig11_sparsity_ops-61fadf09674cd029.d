@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_sparsity_ops-61fadf09674cd029.d: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+/root/repo/target/debug/deps/fig11_sparsity_ops-61fadf09674cd029: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:

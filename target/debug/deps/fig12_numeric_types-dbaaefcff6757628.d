@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_numeric_types-dbaaefcff6757628.d: crates/bench/benches/fig12_numeric_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_numeric_types-dbaaefcff6757628.rmeta: crates/bench/benches/fig12_numeric_types.rs Cargo.toml
+
+crates/bench/benches/fig12_numeric_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_precision-5bb00ffa956f9359.d: crates/bench/src/bin/fig12_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_precision-5bb00ffa956f9359.rmeta: crates/bench/src/bin/fig12_precision.rs Cargo.toml
+
+crates/bench/src/bin/fig12_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_precision-5e9e54915091a387.d: crates/bench/src/bin/fig12_precision.rs
+
+/root/repo/target/debug/deps/fig12_precision-5e9e54915091a387: crates/bench/src/bin/fig12_precision.rs
+
+crates/bench/src/bin/fig12_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_precision-ff5cbd8bde9a9482.d: crates/bench/src/bin/fig12_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_precision-ff5cbd8bde9a9482.rmeta: crates/bench/src/bin/fig12_precision.rs Cargo.toml
+
+crates/bench/src/bin/fig12_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

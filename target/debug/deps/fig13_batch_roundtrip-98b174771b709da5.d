@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_batch_roundtrip-98b174771b709da5.d: crates/bench/benches/fig13_batch_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_batch_roundtrip-98b174771b709da5.rmeta: crates/bench/benches/fig13_batch_roundtrip.rs Cargo.toml
+
+crates/bench/benches/fig13_batch_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

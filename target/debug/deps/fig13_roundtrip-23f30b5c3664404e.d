@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_roundtrip-23f30b5c3664404e.d: crates/bench/src/bin/fig13_roundtrip.rs
+
+/root/repo/target/debug/deps/fig13_roundtrip-23f30b5c3664404e: crates/bench/src/bin/fig13_roundtrip.rs
+
+crates/bench/src/bin/fig13_roundtrip.rs:

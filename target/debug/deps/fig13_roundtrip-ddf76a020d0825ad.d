@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_roundtrip-ddf76a020d0825ad.d: crates/bench/src/bin/fig13_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_roundtrip-ddf76a020d0825ad.rmeta: crates/bench/src/bin/fig13_roundtrip.rs Cargo.toml
+
+crates/bench/src/bin/fig13_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_asic_latency-1ad1a9cf56aa9a87.d: crates/bench/src/bin/fig14_asic_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_asic_latency-1ad1a9cf56aa9a87.rmeta: crates/bench/src/bin/fig14_asic_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig14_asic_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_asic_latency-7152b37d478d1e8c.d: crates/bench/src/bin/fig14_asic_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_asic_latency-7152b37d478d1e8c.rmeta: crates/bench/src/bin/fig14_asic_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig14_asic_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_asic_latency-84226d8763fcb5a1.d: crates/bench/src/bin/fig14_asic_latency.rs
+
+/root/repo/target/debug/deps/fig14_asic_latency-84226d8763fcb5a1: crates/bench/src/bin/fig14_asic_latency.rs
+
+crates/bench/src/bin/fig14_asic_latency.rs:

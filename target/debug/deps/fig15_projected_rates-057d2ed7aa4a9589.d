@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_projected_rates-057d2ed7aa4a9589.d: crates/bench/src/bin/fig15_projected_rates.rs
+
+/root/repo/target/debug/deps/fig15_projected_rates-057d2ed7aa4a9589: crates/bench/src/bin/fig15_projected_rates.rs
+
+crates/bench/src/bin/fig15_projected_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_projected_rates-eba3942ba2d7de71.d: crates/bench/src/bin/fig15_projected_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_projected_rates-eba3942ba2d7de71.rmeta: crates/bench/src/bin/fig15_projected_rates.rs Cargo.toml
+
+crates/bench/src/bin/fig15_projected_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

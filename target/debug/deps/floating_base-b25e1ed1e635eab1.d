@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/floating_base-b25e1ed1e635eab1.d: tests/floating_base.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfloating_base-b25e1ed1e635eab1.rmeta: tests/floating_base.rs Cargo.toml
+
+tests/floating_base.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

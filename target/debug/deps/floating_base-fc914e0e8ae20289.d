@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/floating_base-fc914e0e8ae20289.d: tests/floating_base.rs
+
+/root/repo/target/debug/deps/floating_base-fc914e0e8ae20289: tests/floating_base.rs
+
+tests/floating_base.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netlist_eval-b19e2e2440594915.d: crates/bench/benches/netlist_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlist_eval-b19e2e2440594915.rmeta: crates/bench/benches/netlist_eval.rs Cargo.toml
+
+crates/bench/benches/netlist_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

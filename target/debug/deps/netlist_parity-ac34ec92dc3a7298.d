@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_parity-ac34ec92dc3a7298.d: tests/netlist_parity.rs
+
+/root/repo/target/debug/deps/netlist_parity-ac34ec92dc3a7298: tests/netlist_parity.rs
+
+tests/netlist_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netlist_parity-cf812d086e1bce3c.d: tests/netlist_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlist_parity-cf812d086e1bce3c.rmeta: tests/netlist_parity.rs Cargo.toml
+
+tests/netlist_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

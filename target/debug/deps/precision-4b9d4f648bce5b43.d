@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision-4b9d4f648bce5b43.d: tests/precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision-4b9d4f648bce5b43.rmeta: tests/precision.rs Cargo.toml
+
+tests/precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

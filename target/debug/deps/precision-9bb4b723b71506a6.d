@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-9bb4b723b71506a6.d: tests/precision.rs
+
+/root/repo/target/debug/deps/precision-9bb4b723b71506a6: tests/precision.rs
+
+tests/precision.rs:

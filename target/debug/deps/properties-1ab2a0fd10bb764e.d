@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ab2a0fd10bb764e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ab2a0fd10bb764e: tests/properties.rs
+
+tests/properties.rs:

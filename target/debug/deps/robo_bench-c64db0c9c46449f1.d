@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/robo_bench-c64db0c9c46449f1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_bench-c64db0c9c46449f1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

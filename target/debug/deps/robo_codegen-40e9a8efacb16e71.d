@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/robo_codegen-40e9a8efacb16e71.d: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/debug/deps/librobo_codegen-40e9a8efacb16e71.rlib: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/debug/deps/librobo_codegen-40e9a8efacb16e71.rmeta: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/compiled.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/opt.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

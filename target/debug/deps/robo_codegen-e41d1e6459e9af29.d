@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/robo_codegen-e41d1e6459e9af29.d: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_codegen-e41d1e6459e9af29.rmeta: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/compiled.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/opt.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/robo_sim-14657ceaba18f2ab.d: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobo_sim-14657ceaba18f2ab.rmeta: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/accel_sim.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/xunit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

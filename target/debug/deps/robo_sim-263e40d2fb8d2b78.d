@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/robo_sim-263e40d2fb8d2b78.d: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/debug/deps/librobo_sim-263e40d2fb8d2b78.rlib: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/debug/deps/librobo_sim-263e40d2fb8d2b78.rmeta: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/accel_sim.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/xunit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robo_sim-6cb39b1352a4d8d9.d: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/debug/deps/robo_sim-6cb39b1352a4d8d9: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/accel_sim.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/xunit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robomorphic-301e8fc821a4dc6f.d: src/bin/robomorphic.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic-301e8fc821a4dc6f.rmeta: src/bin/robomorphic.rs Cargo.toml
+
+src/bin/robomorphic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

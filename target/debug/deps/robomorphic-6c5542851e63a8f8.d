@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robomorphic-6c5542851e63a8f8.d: src/bin/robomorphic.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic-6c5542851e63a8f8.rmeta: src/bin/robomorphic.rs Cargo.toml
+
+src/bin/robomorphic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/robomorphic-710de52c2498028c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/librobomorphic-710de52c2498028c.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/librobomorphic-710de52c2498028c.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/robomorphic-72d7a52b6f643a7d.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/robomorphic-72d7a52b6f643a7d: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

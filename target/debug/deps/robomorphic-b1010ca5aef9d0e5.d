@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robomorphic-b1010ca5aef9d0e5.d: src/bin/robomorphic.rs
+
+/root/repo/target/debug/deps/robomorphic-b1010ca5aef9d0e5: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

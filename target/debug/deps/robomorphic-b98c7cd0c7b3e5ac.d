@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robomorphic-b98c7cd0c7b3e5ac.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobomorphic-b98c7cd0c7b3e5ac.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robomorphic-f93139d26fa6219d.d: src/bin/robomorphic.rs
+
+/root/repo/target/debug/deps/robomorphic-f93139d26fa6219d: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec4_sparsity_example-db303064a48d2549.d: crates/bench/src/bin/sec4_sparsity_example.rs
+
+/root/repo/target/debug/deps/sec4_sparsity_example-db303064a48d2549: crates/bench/src/bin/sec4_sparsity_example.rs
+
+crates/bench/src/bin/sec4_sparsity_example.rs:

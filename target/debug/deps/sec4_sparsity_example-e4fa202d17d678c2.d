@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec4_sparsity_example-e4fa202d17d678c2.d: crates/bench/src/bin/sec4_sparsity_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec4_sparsity_example-e4fa202d17d678c2.rmeta: crates/bench/src/bin/sec4_sparsity_example.rs Cargo.toml
+
+crates/bench/src/bin/sec4_sparsity_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec64_soc-01f2d1b8607e8334.d: crates/bench/src/bin/sec64_soc.rs
+
+/root/repo/target/debug/deps/sec64_soc-01f2d1b8607e8334: crates/bench/src/bin/sec64_soc.rs
+
+crates/bench/src/bin/sec64_soc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec64_soc-4bd5c12d3f88cf23.d: crates/bench/src/bin/sec64_soc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec64_soc-4bd5c12d3f88cf23.rmeta: crates/bench/src/bin/sec64_soc.rs Cargo.toml
+
+crates/bench/src/bin/sec64_soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec7_other_kernels-4ff4077597d02bf8.d: crates/bench/src/bin/sec7_other_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec7_other_kernels-4ff4077597d02bf8.rmeta: crates/bench/src/bin/sec7_other_kernels.rs Cargo.toml
+
+crates/bench/src/bin/sec7_other_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7_other_kernels-f20c6c2871718daa.d: crates/bench/src/bin/sec7_other_kernels.rs
+
+/root/repo/target/debug/deps/sec7_other_kernels-f20c6c2871718daa: crates/bench/src/bin/sec7_other_kernels.rs
+
+crates/bench/src/bin/sec7_other_kernels.rs:

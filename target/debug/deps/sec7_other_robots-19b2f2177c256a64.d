@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7_other_robots-19b2f2177c256a64.d: crates/bench/src/bin/sec7_other_robots.rs
+
+/root/repo/target/debug/deps/sec7_other_robots-19b2f2177c256a64: crates/bench/src/bin/sec7_other_robots.rs
+
+crates/bench/src/bin/sec7_other_robots.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec7_other_robots-2d9104ed14d5c0a0.d: crates/bench/src/bin/sec7_other_robots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec7_other_robots-2d9104ed14d5c0a0.rmeta: crates/bench/src/bin/sec7_other_robots.rs Cargo.toml
+
+crates/bench/src/bin/sec7_other_robots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec8_workload-69b32116c6359228.d: crates/bench/src/bin/sec8_workload.rs
+
+/root/repo/target/debug/deps/sec8_workload-69b32116c6359228: crates/bench/src/bin/sec8_workload.rs
+
+crates/bench/src/bin/sec8_workload.rs:

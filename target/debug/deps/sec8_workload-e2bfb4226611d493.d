@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec8_workload-e2bfb4226611d493.d: crates/bench/src/bin/sec8_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec8_workload-e2bfb4226611d493.rmeta: crates/bench/src/bin/sec8_workload.rs Cargo.toml
+
+crates/bench/src/bin/sec8_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

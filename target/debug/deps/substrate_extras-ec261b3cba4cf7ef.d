@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_extras-ec261b3cba4cf7ef.d: crates/bench/benches/substrate_extras.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_extras-ec261b3cba4cf7ef.rmeta: crates/bench/benches/substrate_extras.rs Cargo.toml
+
+crates/bench/benches/substrate_extras.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

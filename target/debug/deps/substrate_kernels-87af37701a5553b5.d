@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_kernels-87af37701a5553b5.d: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_kernels-87af37701a5553b5.rmeta: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+crates/bench/benches/substrate_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_links-3fa9d6c4e3b86ac2.d: crates/bench/src/bin/sweep_links.rs
+
+/root/repo/target/debug/deps/sweep_links-3fa9d6c4e3b86ac2: crates/bench/src/bin/sweep_links.rs
+
+crates/bench/src/bin/sweep_links.rs:

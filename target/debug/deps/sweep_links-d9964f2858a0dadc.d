@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_links-d9964f2858a0dadc.d: crates/bench/src/bin/sweep_links.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_links-d9964f2858a0dadc.rmeta: crates/bench/src/bin/sweep_links.rs Cargo.toml
+
+crates/bench/src/bin/sweep_links.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-42c6620097928aed.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/table1_platforms-42c6620097928aed: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

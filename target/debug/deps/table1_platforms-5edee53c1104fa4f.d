@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_platforms-5edee53c1104fa4f.d: crates/bench/src/bin/table1_platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_platforms-5edee53c1104fa4f.rmeta: crates/bench/src/bin/table1_platforms.rs Cargo.toml
+
+crates/bench/src/bin/table1_platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_asic-4f3787c98d9f17c2.d: crates/bench/src/bin/table2_asic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_asic-4f3787c98d9f17c2.rmeta: crates/bench/src/bin/table2_asic.rs Cargo.toml
+
+crates/bench/src/bin/table2_asic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_asic-b53e03cdc40f14db.d: crates/bench/src/bin/table2_asic.rs
+
+/root/repo/target/debug/deps/table2_asic-b53e03cdc40f14db: crates/bench/src/bin/table2_asic.rs
+
+crates/bench/src/bin/table2_asic.rs:

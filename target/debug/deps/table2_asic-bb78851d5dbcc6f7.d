@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_asic-bb78851d5dbcc6f7.d: crates/bench/src/bin/table2_asic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_asic-bb78851d5dbcc6f7.rmeta: crates/bench/src/bin/table2_asic.rs Cargo.toml
+
+crates/bench/src/bin/table2_asic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_parity-008ab1c68d04786f.d: tests/workspace_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_parity-008ab1c68d04786f.rmeta: tests/workspace_parity.rs Cargo.toml
+
+tests/workspace_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_parity-11b144520b304573.d: tests/workspace_parity.rs
+
+/root/repo/target/debug/deps/workspace_parity-11b144520b304573: tests/workspace_parity.rs
+
+tests/workspace_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codesign_quadruped-13b6c88f0ae8a698.d: examples/codesign_quadruped.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodesign_quadruped-13b6c88f0ae8a698.rmeta: examples/codesign_quadruped.rs Cargo.toml
+
+examples/codesign_quadruped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

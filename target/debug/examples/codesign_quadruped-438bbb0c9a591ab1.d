@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codesign_quadruped-438bbb0c9a591ab1.d: examples/codesign_quadruped.rs
+
+/root/repo/target/debug/examples/codesign_quadruped-438bbb0c9a591ab1: examples/codesign_quadruped.rs
+
+examples/codesign_quadruped.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_robot-1d1c41eda2477dd6.d: examples/custom_robot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_robot-1d1c41eda2477dd6.rmeta: examples/custom_robot.rs Cargo.toml
+
+examples/custom_robot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_robot-4095171a470e70f3.d: examples/custom_robot.rs
+
+/root/repo/target/debug/examples/custom_robot-4095171a470e70f3: examples/custom_robot.rs
+
+examples/custom_robot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_in_the_loop-2e39cd2618713299.d: examples/hardware_in_the_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_in_the_loop-2e39cd2618713299.rmeta: examples/hardware_in_the_loop.rs Cargo.toml
+
+examples/hardware_in_the_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_the_loop-bf8df7bd931ffa7c.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/debug/examples/hardware_in_the_loop-bf8df7bd931ffa7c: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

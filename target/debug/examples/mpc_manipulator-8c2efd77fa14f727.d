@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpc_manipulator-8c2efd77fa14f727.d: examples/mpc_manipulator.rs
+
+/root/repo/target/debug/examples/mpc_manipulator-8c2efd77fa14f727: examples/mpc_manipulator.rs
+
+examples/mpc_manipulator.rs:

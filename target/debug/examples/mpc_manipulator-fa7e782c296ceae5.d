@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mpc_manipulator-fa7e782c296ceae5.d: examples/mpc_manipulator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmpc_manipulator-fa7e782c296ceae5.rmeta: examples/mpc_manipulator.rs Cargo.toml
+
+examples/mpc_manipulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

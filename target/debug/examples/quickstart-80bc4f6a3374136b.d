@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-80bc4f6a3374136b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-80bc4f6a3374136b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtl_export-01fb9885d66237fc.d: examples/rtl_export.rs
+
+/root/repo/target/debug/examples/rtl_export-01fb9885d66237fc: examples/rtl_export.rs
+
+examples/rtl_export.rs:

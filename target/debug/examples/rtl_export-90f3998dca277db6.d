@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rtl_export-90f3998dca277db6.d: examples/rtl_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/librtl_export-90f3998dca277db6.rmeta: examples/rtl_export.rs Cargo.toml
+
+examples/rtl_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_space_reach-08887d7f031f9939.d: examples/task_space_reach.rs
+
+/root/repo/target/debug/examples/task_space_reach-08887d7f031f9939: examples/task_space_reach.rs
+
+examples/task_space_reach.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/task_space_reach-67860c54bb6cfffb.d: examples/task_space_reach.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtask_space_reach-67860c54bb6cfffb.rmeta: examples/task_space_reach.rs Cargo.toml
+
+examples/task_space_reach.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

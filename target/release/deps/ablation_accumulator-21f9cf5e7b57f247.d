@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accumulator-21f9cf5e7b57f247.d: crates/bench/src/bin/ablation_accumulator.rs
+
+/root/repo/target/release/deps/ablation_accumulator-21f9cf5e7b57f247: crates/bench/src/bin/ablation_accumulator.rs
+
+crates/bench/src/bin/ablation_accumulator.rs:

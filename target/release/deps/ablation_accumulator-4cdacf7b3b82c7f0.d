@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accumulator-4cdacf7b3b82c7f0.d: crates/bench/src/bin/ablation_accumulator.rs
+
+/root/repo/target/release/deps/ablation_accumulator-4cdacf7b3b82c7f0: crates/bench/src/bin/ablation_accumulator.rs
+
+crates/bench/src/bin/ablation_accumulator.rs:

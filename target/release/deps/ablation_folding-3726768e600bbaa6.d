@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_folding-3726768e600bbaa6.d: crates/bench/src/bin/ablation_folding.rs
+
+/root/repo/target/release/deps/ablation_folding-3726768e600bbaa6: crates/bench/src/bin/ablation_folding.rs
+
+crates/bench/src/bin/ablation_folding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_folding-41fea507cb28a131.d: crates/bench/src/bin/ablation_folding.rs
+
+/root/repo/target/release/deps/ablation_folding-41fea507cb28a131: crates/bench/src/bin/ablation_folding.rs
+
+crates/bench/src/bin/ablation_folding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-99661d3903c1742b.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-99661d3903c1742b: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

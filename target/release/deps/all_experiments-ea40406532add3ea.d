@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-ea40406532add3ea.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-ea40406532add3ea: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_gradient_throughput-608796f1983b55a2.d: crates/bench/benches/batch_gradient_throughput.rs
+
+/root/repo/target/release/deps/batch_gradient_throughput-608796f1983b55a2: crates/bench/benches/batch_gradient_throughput.rs
+
+crates/bench/benches/batch_gradient_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_stats-9a85667423a0e68f.d: crates/bench/src/bin/codegen_stats.rs
+
+/root/repo/target/release/deps/codegen_stats-9a85667423a0e68f: crates/bench/src/bin/codegen_stats.rs
+
+crates/bench/src/bin/codegen_stats.rs:

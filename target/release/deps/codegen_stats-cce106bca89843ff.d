@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_stats-cce106bca89843ff.d: crates/bench/src/bin/codegen_stats.rs
+
+/root/repo/target/release/deps/codegen_stats-cce106bca89843ff: crates/bench/src/bin/codegen_stats.rs
+
+crates/bench/src/bin/codegen_stats.rs:

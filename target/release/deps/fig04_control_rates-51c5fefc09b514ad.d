@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_control_rates-51c5fefc09b514ad.d: crates/bench/src/bin/fig04_control_rates.rs
+
+/root/repo/target/release/deps/fig04_control_rates-51c5fefc09b514ad: crates/bench/src/bin/fig04_control_rates.rs
+
+crates/bench/src/bin/fig04_control_rates.rs:

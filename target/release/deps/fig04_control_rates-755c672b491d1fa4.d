@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_control_rates-755c672b491d1fa4.d: crates/bench/src/bin/fig04_control_rates.rs
+
+/root/repo/target/release/deps/fig04_control_rates-755c672b491d1fa4: crates/bench/src/bin/fig04_control_rates.rs
+
+crates/bench/src/bin/fig04_control_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_kernel_latency-eeb33ab83cb82e30.d: crates/bench/benches/fig10_kernel_latency.rs
+
+/root/repo/target/release/deps/fig10_kernel_latency-eeb33ab83cb82e30: crates/bench/benches/fig10_kernel_latency.rs
+
+crates/bench/benches/fig10_kernel_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_single_latency-4fcebf1f7bd210c5.d: crates/bench/src/bin/fig10_single_latency.rs
+
+/root/repo/target/release/deps/fig10_single_latency-4fcebf1f7bd210c5: crates/bench/src/bin/fig10_single_latency.rs
+
+crates/bench/src/bin/fig10_single_latency.rs:

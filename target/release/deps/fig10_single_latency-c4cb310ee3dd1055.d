@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_single_latency-c4cb310ee3dd1055.d: crates/bench/src/bin/fig10_single_latency.rs
+
+/root/repo/target/release/deps/fig10_single_latency-c4cb310ee3dd1055: crates/bench/src/bin/fig10_single_latency.rs
+
+crates/bench/src/bin/fig10_single_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_sparsity_ops-bde31ba7ae7e44ee.d: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+/root/repo/target/release/deps/fig11_sparsity_ops-bde31ba7ae7e44ee: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_sparsity_ops-f9117aac69a6b085.d: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+/root/repo/target/release/deps/fig11_sparsity_ops-f9117aac69a6b085: crates/bench/src/bin/fig11_sparsity_ops.rs
+
+crates/bench/src/bin/fig11_sparsity_ops.rs:

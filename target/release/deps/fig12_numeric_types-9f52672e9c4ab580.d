@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_numeric_types-9f52672e9c4ab580.d: crates/bench/benches/fig12_numeric_types.rs
+
+/root/repo/target/release/deps/fig12_numeric_types-9f52672e9c4ab580: crates/bench/benches/fig12_numeric_types.rs
+
+crates/bench/benches/fig12_numeric_types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_precision-0580b2008f5e385a.d: crates/bench/src/bin/fig12_precision.rs
+
+/root/repo/target/release/deps/fig12_precision-0580b2008f5e385a: crates/bench/src/bin/fig12_precision.rs
+
+crates/bench/src/bin/fig12_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_precision-cba4eb0a96e56573.d: crates/bench/src/bin/fig12_precision.rs
+
+/root/repo/target/release/deps/fig12_precision-cba4eb0a96e56573: crates/bench/src/bin/fig12_precision.rs
+
+crates/bench/src/bin/fig12_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_batch_roundtrip-c4faa6b1232acbcf.d: crates/bench/benches/fig13_batch_roundtrip.rs
+
+/root/repo/target/release/deps/fig13_batch_roundtrip-c4faa6b1232acbcf: crates/bench/benches/fig13_batch_roundtrip.rs
+
+crates/bench/benches/fig13_batch_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_roundtrip-0bc0de543eb0659b.d: crates/bench/src/bin/fig13_roundtrip.rs
+
+/root/repo/target/release/deps/fig13_roundtrip-0bc0de543eb0659b: crates/bench/src/bin/fig13_roundtrip.rs
+
+crates/bench/src/bin/fig13_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_roundtrip-833d5e09b0d12e31.d: crates/bench/src/bin/fig13_roundtrip.rs
+
+/root/repo/target/release/deps/fig13_roundtrip-833d5e09b0d12e31: crates/bench/src/bin/fig13_roundtrip.rs
+
+crates/bench/src/bin/fig13_roundtrip.rs:

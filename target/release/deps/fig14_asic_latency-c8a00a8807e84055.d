@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_asic_latency-c8a00a8807e84055.d: crates/bench/src/bin/fig14_asic_latency.rs
+
+/root/repo/target/release/deps/fig14_asic_latency-c8a00a8807e84055: crates/bench/src/bin/fig14_asic_latency.rs
+
+crates/bench/src/bin/fig14_asic_latency.rs:

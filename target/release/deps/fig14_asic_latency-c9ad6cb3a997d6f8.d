@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_asic_latency-c9ad6cb3a997d6f8.d: crates/bench/src/bin/fig14_asic_latency.rs
+
+/root/repo/target/release/deps/fig14_asic_latency-c9ad6cb3a997d6f8: crates/bench/src/bin/fig14_asic_latency.rs
+
+crates/bench/src/bin/fig14_asic_latency.rs:

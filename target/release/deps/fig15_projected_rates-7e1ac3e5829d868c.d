@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_projected_rates-7e1ac3e5829d868c.d: crates/bench/src/bin/fig15_projected_rates.rs
+
+/root/repo/target/release/deps/fig15_projected_rates-7e1ac3e5829d868c: crates/bench/src/bin/fig15_projected_rates.rs
+
+crates/bench/src/bin/fig15_projected_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_projected_rates-bdaa4df215858e26.d: crates/bench/src/bin/fig15_projected_rates.rs
+
+/root/repo/target/release/deps/fig15_projected_rates-bdaa4df215858e26: crates/bench/src/bin/fig15_projected_rates.rs
+
+crates/bench/src/bin/fig15_projected_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netlist_eval-2be068a00598b1d0.d: crates/bench/benches/netlist_eval.rs
+
+/root/repo/target/release/deps/netlist_eval-2be068a00598b1d0: crates/bench/benches/netlist_eval.rs
+
+crates/bench/benches/netlist_eval.rs:

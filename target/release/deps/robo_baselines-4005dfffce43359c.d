@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/robo_baselines-4005dfffce43359c.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+/root/repo/target/release/deps/robo_baselines-4005dfffce43359c: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/pool.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/robo_codegen-8d02b05dd2ad16a3.d: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/release/deps/librobo_codegen-8d02b05dd2ad16a3.rlib: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/release/deps/librobo_codegen-8d02b05dd2ad16a3.rmeta: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/compiled.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/opt.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

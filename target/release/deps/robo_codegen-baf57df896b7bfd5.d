@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/robo_codegen-baf57df896b7bfd5.d: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+/root/repo/target/release/deps/robo_codegen-baf57df896b7bfd5: crates/codegen/src/lib.rs crates/codegen/src/compiled.rs crates/codegen/src/netlist.rs crates/codegen/src/opt.rs crates/codegen/src/top.rs crates/codegen/src/verilog.rs crates/codegen/src/xunit_gen.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/compiled.rs:
+crates/codegen/src/netlist.rs:
+crates/codegen/src/opt.rs:
+crates/codegen/src/top.rs:
+crates/codegen/src/verilog.rs:
+crates/codegen/src/xunit_gen.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/robo_collision-1190666183f9abaa.d: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+/root/repo/target/release/deps/robo_collision-1190666183f9abaa: crates/collision/src/lib.rs crates/collision/src/checker.rs crates/collision/src/geometry.rs crates/collision/src/template.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/checker.rs:
+crates/collision/src/geometry.rs:
+crates/collision/src/template.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/robo_dynamics-f7762b700ee1be89.d: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+/root/repo/target/release/deps/robo_dynamics-f7762b700ee1be89: crates/dynamics/src/lib.rs crates/dynamics/src/crba.rs crates/dynamics/src/deriv.rs crates/dynamics/src/fd.rs crates/dynamics/src/findiff.rs crates/dynamics/src/fk.rs crates/dynamics/src/model.rs crates/dynamics/src/rnea.rs crates/dynamics/src/batch.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/crba.rs:
+crates/dynamics/src/deriv.rs:
+crates/dynamics/src/fd.rs:
+crates/dynamics/src/findiff.rs:
+crates/dynamics/src/fk.rs:
+crates/dynamics/src/model.rs:
+crates/dynamics/src/rnea.rs:
+crates/dynamics/src/batch.rs:

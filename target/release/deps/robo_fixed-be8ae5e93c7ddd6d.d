@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robo_fixed-be8ae5e93c7ddd6d.d: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/robo_fixed-be8ae5e93c7ddd6d: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

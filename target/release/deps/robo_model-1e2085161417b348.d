@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/robo_model-1e2085161417b348.d: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+/root/repo/target/release/deps/robo_model-1e2085161417b348: crates/model/src/lib.rs crates/model/src/joint.rs crates/model/src/parse.rs crates/model/src/robot.rs crates/model/src/robots.rs crates/model/src/urdf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/joint.rs:
+crates/model/src/parse.rs:
+crates/model/src/robot.rs:
+crates/model/src/robots.rs:
+crates/model/src/urdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robo_profile-a3b60cf8104f25e5.d: crates/profile/src/lib.rs
+
+/root/repo/target/release/deps/robo_profile-a3b60cf8104f25e5: crates/profile/src/lib.rs
+
+crates/profile/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/robo_sim-f7c7e7da1a4229df.d: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/release/deps/librobo_sim-f7c7e7da1a4229df.rlib: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+/root/repo/target/release/deps/librobo_sim-f7c7e7da1a4229df.rmeta: crates/sim/src/lib.rs crates/sim/src/accel_sim.rs crates/sim/src/coproc.rs crates/sim/src/stepper.rs crates/sim/src/xunit.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/accel_sim.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/xunit.rs:

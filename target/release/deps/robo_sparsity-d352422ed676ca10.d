@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robo_sparsity-d352422ed676ca10.d: crates/sparsity/src/lib.rs
+
+/root/repo/target/release/deps/robo_sparsity-d352422ed676ca10: crates/sparsity/src/lib.rs
+
+crates/sparsity/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/robo_spatial-f40351468a806f6e.d: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+/root/repo/target/release/deps/robo_spatial-f40351468a806f6e: crates/spatial/src/lib.rs crates/spatial/src/inertia.rs crates/spatial/src/mat3.rs crates/spatial/src/mat6.rs crates/spatial/src/matn.rs crates/spatial/src/motion.rs crates/spatial/src/scalar.rs crates/spatial/src/transform.rs crates/spatial/src/vec3.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/inertia.rs:
+crates/spatial/src/mat3.rs:
+crates/spatial/src/mat6.rs:
+crates/spatial/src/matn.rs:
+crates/spatial/src/motion.rs:
+crates/spatial/src/scalar.rs:
+crates/spatial/src/transform.rs:
+crates/spatial/src/vec3.rs:

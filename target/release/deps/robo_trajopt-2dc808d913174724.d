@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/robo_trajopt-2dc808d913174724.d: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+/root/repo/target/release/deps/robo_trajopt-2dc808d913174724: crates/trajopt/src/lib.rs crates/trajopt/src/ilqr.rs crates/trajopt/src/mpc.rs crates/trajopt/src/rate.rs
+
+crates/trajopt/src/lib.rs:
+crates/trajopt/src/ilqr.rs:
+crates/trajopt/src/mpc.rs:
+crates/trajopt/src/rate.rs:

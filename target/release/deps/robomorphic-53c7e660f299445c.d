@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/robomorphic-53c7e660f299445c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/librobomorphic-53c7e660f299445c.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/librobomorphic-53c7e660f299445c.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robomorphic-6c152930732c2eb5.d: src/bin/robomorphic.rs
+
+/root/repo/target/release/deps/robomorphic-6c152930732c2eb5: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/robomorphic-ac2751c58fce83c9.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/robomorphic-ac2751c58fce83c9: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

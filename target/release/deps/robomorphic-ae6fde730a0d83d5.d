@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robomorphic-ae6fde730a0d83d5.d: src/bin/robomorphic.rs
+
+/root/repo/target/release/deps/robomorphic-ae6fde730a0d83d5: src/bin/robomorphic.rs
+
+src/bin/robomorphic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/robomorphic_core-9a7b778ab9e03e08.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/robomorphic_core-9a7b778ab9e03e08: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/kinematics.rs crates/core/src/platform.rs crates/core/src/template.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/kinematics.rs:
+crates/core/src/platform.rs:
+crates/core/src/template.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec4_sparsity_example-72f5b232fbee3bb6.d: crates/bench/src/bin/sec4_sparsity_example.rs
+
+/root/repo/target/release/deps/sec4_sparsity_example-72f5b232fbee3bb6: crates/bench/src/bin/sec4_sparsity_example.rs
+
+crates/bench/src/bin/sec4_sparsity_example.rs:

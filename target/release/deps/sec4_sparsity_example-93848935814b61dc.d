@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec4_sparsity_example-93848935814b61dc.d: crates/bench/src/bin/sec4_sparsity_example.rs
+
+/root/repo/target/release/deps/sec4_sparsity_example-93848935814b61dc: crates/bench/src/bin/sec4_sparsity_example.rs
+
+crates/bench/src/bin/sec4_sparsity_example.rs:

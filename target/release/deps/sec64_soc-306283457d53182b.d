@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec64_soc-306283457d53182b.d: crates/bench/src/bin/sec64_soc.rs
+
+/root/repo/target/release/deps/sec64_soc-306283457d53182b: crates/bench/src/bin/sec64_soc.rs
+
+crates/bench/src/bin/sec64_soc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec64_soc-442e600b9b3aab69.d: crates/bench/src/bin/sec64_soc.rs
+
+/root/repo/target/release/deps/sec64_soc-442e600b9b3aab69: crates/bench/src/bin/sec64_soc.rs
+
+crates/bench/src/bin/sec64_soc.rs:

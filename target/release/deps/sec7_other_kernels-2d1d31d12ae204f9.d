@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_kernels-2d1d31d12ae204f9.d: crates/bench/src/bin/sec7_other_kernels.rs
+
+/root/repo/target/release/deps/sec7_other_kernels-2d1d31d12ae204f9: crates/bench/src/bin/sec7_other_kernels.rs
+
+crates/bench/src/bin/sec7_other_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_kernels-dfd4c68ebabe4a41.d: crates/bench/src/bin/sec7_other_kernels.rs
+
+/root/repo/target/release/deps/sec7_other_kernels-dfd4c68ebabe4a41: crates/bench/src/bin/sec7_other_kernels.rs
+
+crates/bench/src/bin/sec7_other_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_robots-21b569eede109416.d: crates/bench/src/bin/sec7_other_robots.rs
+
+/root/repo/target/release/deps/sec7_other_robots-21b569eede109416: crates/bench/src/bin/sec7_other_robots.rs
+
+crates/bench/src/bin/sec7_other_robots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7_other_robots-fd8b7466f782b109.d: crates/bench/src/bin/sec7_other_robots.rs
+
+/root/repo/target/release/deps/sec7_other_robots-fd8b7466f782b109: crates/bench/src/bin/sec7_other_robots.rs
+
+crates/bench/src/bin/sec7_other_robots.rs:

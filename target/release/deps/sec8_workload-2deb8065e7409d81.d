@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec8_workload-2deb8065e7409d81.d: crates/bench/src/bin/sec8_workload.rs
+
+/root/repo/target/release/deps/sec8_workload-2deb8065e7409d81: crates/bench/src/bin/sec8_workload.rs
+
+crates/bench/src/bin/sec8_workload.rs:

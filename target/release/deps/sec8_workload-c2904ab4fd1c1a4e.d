@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec8_workload-c2904ab4fd1c1a4e.d: crates/bench/src/bin/sec8_workload.rs
+
+/root/repo/target/release/deps/sec8_workload-c2904ab4fd1c1a4e: crates/bench/src/bin/sec8_workload.rs
+
+crates/bench/src/bin/sec8_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_extras-304b7e2bcdf10f69.d: crates/bench/benches/substrate_extras.rs
+
+/root/repo/target/release/deps/substrate_extras-304b7e2bcdf10f69: crates/bench/benches/substrate_extras.rs
+
+crates/bench/benches/substrate_extras.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_kernels-4bce239420cebcc5.d: crates/bench/benches/substrate_kernels.rs
+
+/root/repo/target/release/deps/substrate_kernels-4bce239420cebcc5: crates/bench/benches/substrate_kernels.rs
+
+crates/bench/benches/substrate_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_links-521b251f8d885291.d: crates/bench/src/bin/sweep_links.rs
+
+/root/repo/target/release/deps/sweep_links-521b251f8d885291: crates/bench/src/bin/sweep_links.rs
+
+crates/bench/src/bin/sweep_links.rs:

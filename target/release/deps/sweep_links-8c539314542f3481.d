@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_links-8c539314542f3481.d: crates/bench/src/bin/sweep_links.rs
+
+/root/repo/target/release/deps/sweep_links-8c539314542f3481: crates/bench/src/bin/sweep_links.rs
+
+crates/bench/src/bin/sweep_links.rs:

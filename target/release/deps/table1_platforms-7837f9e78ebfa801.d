@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_platforms-7837f9e78ebfa801.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/release/deps/table1_platforms-7837f9e78ebfa801: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

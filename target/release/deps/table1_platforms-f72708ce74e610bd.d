@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_platforms-f72708ce74e610bd.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/release/deps/table1_platforms-f72708ce74e610bd: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_asic-20113131bc36529d.d: crates/bench/src/bin/table2_asic.rs
+
+/root/repo/target/release/deps/table2_asic-20113131bc36529d: crates/bench/src/bin/table2_asic.rs
+
+crates/bench/src/bin/table2_asic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_asic-40008601c2184b99.d: crates/bench/src/bin/table2_asic.rs
+
+/root/repo/target/release/deps/table2_asic-40008601c2184b99: crates/bench/src/bin/table2_asic.rs
+
+crates/bench/src/bin/table2_asic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rtl_export-e19a9dc9d39ca1b7.d: examples/rtl_export.rs
+
+/root/repo/target/release/examples/rtl_export-e19a9dc9d39ca1b7: examples/rtl_export.rs
+
+examples/rtl_export.rs:

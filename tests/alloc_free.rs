@@ -13,6 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use robomorphic::codegen::{generate_x_unit, optimize, CompiledNetlist, EvalWorkspace};
 use robomorphic::dynamics::{
     dynamics_gradient_into, mass_matrix_inverse, rnea_into, DynamicsModel, GradWorkspace,
     RneaWorkspace,
@@ -91,6 +92,27 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         allocations(),
         before,
         "compute_gradient_into allocated in steady state"
+    );
+
+    // The compiled netlist evaluator: a warm EvalWorkspace makes
+    // eval_into pure register traffic. (compute_gradient_into above
+    // already exercises the compiled tapes inside the simulator, on
+    // stack-allocated register files.)
+    let compiled = CompiledNetlist::<f64>::compile(&optimize(&generate_x_unit(&robot, 1)));
+    let mut tape_ws = EvalWorkspace::for_netlist(&compiled);
+    let inputs: Vec<f64> = (0..compiled.input_names().len())
+        .map(|i| 0.2 * i as f64 - 0.5)
+        .collect();
+    let mut outputs = vec![0.0_f64; compiled.num_outputs()];
+    compiled.eval_into(&inputs, &mut tape_ws, &mut outputs);
+    let before = allocations();
+    for _ in 0..64 {
+        compiled.eval_into(&inputs, &mut tape_ws, &mut outputs);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "CompiledNetlist::eval_into allocated in steady state"
     );
 
     // Sanity: the counter itself is live (building a workspace allocates).

@@ -27,7 +27,9 @@ fn customize_emits_rtl() {
     let top = std::fs::read_to_string(dir.join("grad_accel_top.v")).expect("top exists");
     assert!(top.contains("module grad_accel_iiwa14"));
     let unit = std::fs::read_to_string(dir.join("x_unit_joint1.v")).expect("unit exists");
-    assert_eq!(unit.matches("// DSP multiplier").count(), 13);
+    // Sparsity pruning leaves 13 of 36 DSP multipliers (§4); the netlist
+    // optimizer's CSE then merges repeated entry subtrees down to 10.
+    assert_eq!(unit.matches("// DSP multiplier").count(), 10);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

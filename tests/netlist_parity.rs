@@ -1,0 +1,135 @@
+//! Parity suite for the netlist pipeline: the interpreted netlist, the
+//! optimized netlist, and the compiled register tape must be **bit
+//! identical** in every scalar type — and the simulator's gradients must
+//! not change when its functional units switch between the compiled tape
+//! and the coefficient oracle.
+//!
+//! This is the contract that lets the simulator serve results from the
+//! same optimized IR the Verilog backend lowers: every optimizer rewrite
+//! (×0/×1 folding, Sub→Add∘Neg canonicalization, CSE, dead-node removal)
+//! is exact in IEEE floats and two's-complement fixed point, so pruning
+//! the circuit never changes what it computes.
+
+use proptest::prelude::*;
+use robomorphic::codegen::{
+    generate_x_unit, generate_x_unit_with_mask, generate_xt_unit, generate_xt_unit_with_mask,
+    optimize, CompiledNetlist, Netlist,
+};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::{robots, RobotModel};
+use robomorphic::sim::{AcceleratorSim, XUnitBackend};
+use robomorphic::sparsity::superposition_pattern;
+use robomorphic::spatial::Scalar;
+use std::collections::HashMap;
+
+fn built_in_robots() -> [RobotModel; 3] {
+    [robots::iiwa14(), robots::hyq(), robots::atlas()]
+}
+
+/// Every generated unit for `robot`: both transform directions, own and
+/// superposed masks, all joints.
+fn units_for(robot: &RobotModel) -> Vec<Netlist> {
+    let sup = superposition_pattern(robot);
+    let mut units = Vec::new();
+    for joint in 0..robot.dof() {
+        units.push(generate_x_unit(robot, joint));
+        units.push(generate_xt_unit(robot, joint));
+        units.push(generate_x_unit_with_mask(robot, joint, sup));
+        units.push(generate_xt_unit_with_mask(robot, joint, sup));
+    }
+    units
+}
+
+/// Asserts raw-interpreted == optimized-interpreted == compiled, bitwise
+/// (`==`; the only tolerated difference is the sign of zero, which `==`
+/// already treats as equal).
+fn assert_parity<S: Scalar>(unit: &Netlist, vals: &[S]) {
+    let opt = optimize(unit);
+    let compiled = CompiledNetlist::<S>::compile(&opt);
+    let inputs: HashMap<String, S> = compiled
+        .input_names()
+        .iter()
+        .cloned()
+        .zip(vals.iter().copied())
+        .collect();
+    let raw_out = unit.eval(&inputs).expect("raw netlist evaluates");
+    let opt_out = opt.eval(&inputs).expect("optimized netlist evaluates");
+    let compiled_out = compiled.eval(vals);
+    assert_eq!(raw_out.len(), compiled_out.len());
+    for (((name, raw), (opt_name, optimized)), compiled) in
+        raw_out.iter().zip(&opt_out).zip(&compiled_out)
+    {
+        assert_eq!(name, opt_name, "{}: output order changed", unit.name());
+        assert_eq!(
+            raw,
+            optimized,
+            "{}: optimizer changed output {name}",
+            unit.name()
+        );
+        assert_eq!(
+            raw,
+            compiled,
+            "{}: compiled tape changed output {name}",
+            unit.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interpreted_optimized_compiled_bit_identical(
+        vals in prop::collection::vec(-2.0..2.0f64, 8),
+        robot_idx in 0usize..3,
+    ) {
+        let robot = &built_in_robots()[robot_idx];
+        for unit in units_for(robot) {
+            assert_parity::<f64>(&unit, &vals);
+            let f32_vals: Vec<f32> = vals.iter().map(|v| *v as f32).collect();
+            assert_parity::<f32>(&unit, &f32_vals);
+            let fix_vals: Vec<Fix32_16> = vals.iter().map(|v| Fix32_16::from_f64(*v)).collect();
+            assert_parity::<Fix32_16>(&unit, &fix_vals);
+        }
+    }
+
+    #[test]
+    fn simulator_gradients_identical_across_backends_f64(
+        robot_idx in 0usize..3,
+        seed in 0u64..4096,
+    ) {
+        let robot = &built_in_robots()[robot_idx];
+        let input = &robomorphic::baselines::random_inputs(robot, 1, seed)[0];
+        let mut sim = AcceleratorSim::<f64>::new(robot);
+        let compiled = sim.compute_gradient(&input.q, &input.qd, &input.qdd, &input.minv);
+        sim.set_backend(XUnitBackend::Coefficients);
+        let oracle = sim.compute_gradient(&input.q, &input.qd, &input.qdd, &input.minv);
+        prop_assert_eq!(&compiled.dtau_dq, &oracle.dtau_dq);
+        prop_assert_eq!(&compiled.dtau_dqd, &oracle.dtau_dqd);
+        prop_assert_eq!(&compiled.dqdd_dq, &oracle.dqdd_dq);
+        prop_assert_eq!(&compiled.dqdd_dqd, &oracle.dqdd_dqd);
+        prop_assert_eq!(compiled.cycles, oracle.cycles);
+    }
+
+    #[test]
+    fn simulator_gradients_identical_across_backends_fixed(
+        robot_idx in 0usize..3,
+        seed in 0u64..4096,
+    ) {
+        let robot = &built_in_robots()[robot_idx];
+        let input = &robomorphic::baselines::random_inputs(robot, 1, seed)[0];
+        let to_fix = |v: &[f64]| -> Vec<Fix32_16> {
+            v.iter().map(|x| Fix32_16::from_f64(*x)).collect()
+        };
+        let (q, qd, qdd) = (to_fix(&input.q), to_fix(&input.qd), to_fix(&input.qdd));
+        let minv = input.minv.cast::<Fix32_16>();
+        let mut sim = AcceleratorSim::<Fix32_16>::new(robot);
+        let compiled = sim.compute_gradient(&q, &qd, &qdd, &minv);
+        sim.set_backend(XUnitBackend::Coefficients);
+        let oracle = sim.compute_gradient(&q, &qd, &qdd, &minv);
+        prop_assert_eq!(&compiled.dtau_dq, &oracle.dtau_dq);
+        prop_assert_eq!(&compiled.dtau_dqd, &oracle.dtau_dqd);
+        prop_assert_eq!(&compiled.dqdd_dq, &oracle.dqdd_dq);
+        prop_assert_eq!(&compiled.dqdd_dqd, &oracle.dqdd_dqd);
+    }
+}
