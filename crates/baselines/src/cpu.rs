@@ -8,9 +8,9 @@
 
 use crate::LatencySegments;
 use robo_dynamics::batch::{BatchEngine, GradientState};
+use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientOutput};
 use robo_dynamics::{
-    dynamics_gradient_from_qdd, forward_dynamics, mass_matrix_inverse, rnea, rnea_derivatives,
-    DynamicsGradient, DynamicsModel,
+    forward_dynamics, mass_matrix_inverse, rnea, rnea_derivatives, DynamicsGradient, DynamicsModel,
 };
 use robo_model::RobotModel;
 use robo_spatial::MatN;
@@ -50,11 +50,12 @@ impl GradientInput {
     }
 }
 
-/// The CPU baseline: dynamics-gradient kernel on the host, run through the
-/// process-wide [`BatchEngine`] across time steps.
+/// The CPU baseline: the engine layer's [`CpuAnalytic`] backend on the
+/// host, run through the process-wide [`BatchEngine`] across time steps.
 #[derive(Debug)]
 pub struct CpuBaseline {
-    model: Arc<DynamicsModel<f64>>,
+    backend: CpuAnalytic<f64>,
+    out: GradientOutput,
     engine: &'static BatchEngine,
 }
 
@@ -62,15 +63,17 @@ impl CpuBaseline {
     /// Builds the baseline for a robot on the shared engine (one worker per
     /// hardware thread).
     pub fn new(robot: &RobotModel) -> Self {
+        let backend = CpuAnalytic::new(robot);
         Self {
-            model: Arc::new(DynamicsModel::new(robot)),
+            out: GradientOutput::for_dof(backend.dof()),
+            backend,
             engine: BatchEngine::global(),
         }
     }
 
     /// The prepared dynamics model.
     pub fn model(&self) -> &DynamicsModel<f64> {
-        &self.model
+        self.backend.model()
     }
 
     /// Number of worker threads.
@@ -79,13 +82,28 @@ impl CpuBaseline {
     }
 
     /// Computes one dynamics gradient (the accelerator's exact kernel
-    /// scope: Algorithm 1 given `q̈` and `M⁻¹`).
-    pub fn compute(&self, input: &GradientInput) -> DynamicsGradient<f64> {
-        dynamics_gradient_from_qdd(&self.model, &input.q, &input.qd, &input.qdd, &input.minv)
+    /// scope: Algorithm 1 given `q̈` and `M⁻¹`) through the engine layer's
+    /// warm [`CpuAnalytic`] backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's dimensions disagree with the robot's joint
+    /// count.
+    pub fn compute(&mut self, input: &GradientInput) -> DynamicsGradient<f64> {
+        self.backend
+            .gradient_into(&input.q, &input.qd, &input.qdd, &input.minv, &mut self.out)
+            .expect("input dimensions must match the model");
+        self.out.to_dynamics_gradient()
     }
 
     /// Computes gradients for a batch of time steps in parallel, one
-    /// reusable workspace per worker (allocation-free steady state).
+    /// backend fork with a reusable workspace per worker (allocation-free
+    /// steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's dimensions disagree with the robot's joint
+    /// count.
     pub fn compute_batch(&self, inputs: Arc<Vec<GradientInput>>) -> Vec<DynamicsGradient<f64>> {
         let states: Vec<GradientState<'_, f64>> = inputs
             .iter()
@@ -96,12 +114,14 @@ impl CpuBaseline {
                 minv: &inp.minv,
             })
             .collect();
-        self.engine.dynamics_gradient_batch(&self.model, &states)
+        self.backend
+            .gradient_batch_on(self.engine, &states)
+            .expect("input dimensions must match the model")
     }
 
     /// Measures the single-computation latency (mean of `trials`), the
     /// paper's Figure 10 CPU quantity.
-    pub fn time_single(&self, input: &GradientInput, trials: usize) -> f64 {
+    pub fn time_single(&mut self, input: &GradientInput, trials: usize) -> f64 {
         // Warm up caches and the branch predictor.
         for _ in 0..trials.min(100) {
             std::hint::black_box(self.compute(input));
@@ -116,7 +136,7 @@ impl CpuBaseline {
     /// Measures the single-computation latency broken into Algorithm 1's
     /// three steps (Figure 10's stacked segments).
     pub fn time_segments(&self, input: &GradientInput, trials: usize) -> LatencySegments {
-        let model = &self.model;
+        let model = self.backend.model();
         let n = model.dof();
         // Step 1: ID.
         let start = Instant::now();
@@ -245,18 +265,25 @@ mod tests {
     #[test]
     fn compute_matches_direct_call() {
         let robot = robots::iiwa14();
-        let cpu = CpuBaseline::new(&robot);
+        let mut cpu = CpuBaseline::new(&robot);
         let input = &random_inputs(&robot, 1, 5)[0];
         let got = cpu.compute(input);
         let model = DynamicsModel::<f64>::new(&robot);
-        let want = dynamics_gradient_from_qdd(&model, &input.q, &input.qd, &input.qdd, &input.minv);
+        // Reference oracle: the raw kernel the backend wraps.
+        let want = robo_dynamics::dynamics_gradient_from_qdd(
+            &model,
+            &input.q,
+            &input.qd,
+            &input.qdd,
+            &input.minv,
+        );
         assert!(got.dqdd_dq.max_abs_diff(&want.dqdd_dq) < 1e-12);
     }
 
     #[test]
     fn batch_matches_serial() {
         let robot = robots::hyq();
-        let cpu = CpuBaseline::new(&robot);
+        let mut cpu = CpuBaseline::new(&robot);
         let inputs = Arc::new(random_inputs(&robot, 12, 9));
         let batch = cpu.compute_batch(Arc::clone(&inputs));
         assert_eq!(batch.len(), 12);
@@ -293,7 +320,7 @@ mod tests {
     #[test]
     fn timing_is_positive_and_sane() {
         let robot = robots::iiwa14();
-        let cpu = CpuBaseline::new(&robot);
+        let mut cpu = CpuBaseline::new(&robot);
         let input = &random_inputs(&robot, 1, 11)[0];
         let t = cpu.time_single(input, 50);
         assert!(t > 0.0 && t < 1e-2, "single gradient took {t} s");

@@ -19,7 +19,7 @@
 //! use robo_model::robots;
 //!
 //! let robot = robots::iiwa14();
-//! let cpu = CpuBaseline::new(&robot);
+//! let mut cpu = CpuBaseline::new(&robot);
 //! let input = &robo_baselines::random_inputs(&robot, 1, 42)[0];
 //! let grad = cpu.compute(input);
 //! assert_eq!(grad.dqdd_dq.rows(), 7);

@@ -6,6 +6,7 @@
 
 use crate::report::{speedup, us, Table};
 use robo_baselines::{random_inputs, CpuBaseline, GpuModel};
+use robo_dynamics::engine::GradientBackend;
 use robo_fixed::{Fix12_4, Fix14_18, Fix14_6, Fix18_14, Fix32_16, Fix8_4};
 use robo_model::{robots, RobotModel};
 use robo_sim::{CoprocessorSystem, IoChannel};
@@ -29,7 +30,7 @@ fn iiwa_accelerator() -> Accelerator {
 }
 
 fn measured_gradient_time(robot: &RobotModel, trials: usize) -> f64 {
-    let cpu = CpuBaseline::new(robot);
+    let mut cpu = CpuBaseline::new(robot);
     let input = &random_inputs(robot, 1, 0xFEED)[0];
     cpu.time_single(input, trials)
 }
@@ -262,30 +263,24 @@ pub fn fig12_precision(quick: bool) -> String {
     t.note("including the 20-bit Fixed{14,6}");
 
     // Companion table: raw kernel precision per type on the simulated
-    // accelerator, showing the floor below the paper's sweep.
+    // accelerator, via the engine layer's f64 boundary (the backend
+    // marshals inputs to `S` and outputs back, as the hardware I/O does).
     let robot = robots::iiwa14();
     let input = &random_inputs(&robot, 1, 0xF12)[0];
-    let reference = robo_sim::AcceleratorSim::<f64>::new(&robot).compute_gradient(
-        &input.q,
-        &input.qd,
-        &input.qdd,
-        &input.minv,
-    );
+    let reference = robo_sim::AcceleratorBackend::<f64>::new(&robot)
+        .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+        .expect("input matches robot");
     let scale = reference.dqdd_dq.max_abs().max(1.0);
     fn kernel_err<S: Scalar>(
         robot: &RobotModel,
         input: &robo_baselines::GradientInput,
-        reference: &robo_sim::SimOutput<f64>,
+        reference: &robo_dynamics::DynamicsGradient<f64>,
         scale: f64,
     ) -> (String, f64) {
-        let cast = |v: &[f64]| -> Vec<S> { v.iter().map(|x| S::from_f64(*x)).collect() };
-        let out = robo_sim::AcceleratorSim::<S>::new(robot).compute_gradient(
-            &cast(&input.q),
-            &cast(&input.qd),
-            &cast(&input.qdd),
-            &input.minv.cast::<S>(),
-        );
-        let err = out.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale;
+        let out = robo_sim::AcceleratorBackend::<S>::new(robot)
+            .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+            .expect("input matches robot");
+        let err = out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) / scale;
         (S::name(), err)
     }
     let errors = vec![
@@ -611,30 +606,23 @@ pub fn ablation_folding() -> String {
 pub fn ablation_accumulator() -> String {
     let robot = robots::iiwa14();
     let input = &random_inputs(&robot, 1, 0xACC)[0];
-    let reference = robo_sim::AcceleratorSim::<f64>::new(&robot).compute_gradient(
-        &input.q,
-        &input.qd,
-        &input.qdd,
-        &input.minv,
-    );
+    let reference = robo_sim::AcceleratorBackend::<f64>::new(&robot)
+        .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+        .expect("input matches robot");
     let scale = reference.dqdd_dq.max_abs().max(1.0);
 
     fn err_for<S: Scalar>(
         robot: &RobotModel,
         input: &robo_baselines::GradientInput,
-        reference: &robo_sim::SimOutput<f64>,
+        reference: &robo_dynamics::DynamicsGradient<f64>,
         scale: f64,
         accumulation: robo_sim::Accumulation,
     ) -> f64 {
-        let cast = |v: &[f64]| -> Vec<S> { v.iter().map(|x| S::from_f64(*x)).collect() };
         let sim = robo_sim::AcceleratorSim::<S>::with_accumulation(robot, accumulation);
-        let out = sim.compute_gradient(
-            &cast(&input.q),
-            &cast(&input.qd),
-            &cast(&input.qdd),
-            &input.minv.cast::<S>(),
-        );
-        out.dqdd_dq.cast::<f64>().max_abs_diff(&reference.dqdd_dq) / scale
+        let out = robo_sim::AcceleratorBackend::from_sim(sim)
+            .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+            .expect("input matches robot");
+        out.dqdd_dq.max_abs_diff(&reference.dqdd_dq) / scale
     }
 
     let mut t = Table::new("Ablation: accumulator width in the fixed-point datapath").headers([

@@ -45,7 +45,7 @@ pub(crate) fn affine_coefficients(robot: &RobotModel, joint: usize) -> [[(f64, f
 pub(crate) const FOLD_TOL: f64 = 1e-12;
 
 /// Snaps a customization-time coefficient to exactly 0/±1 when it is a
-/// trig/geometry residue within [`FOLD_TOL`] of one. The hardware folds
+/// trig/geometry residue within `FOLD_TOL` (1e-12) of one. The hardware folds
 /// such coefficients to dead wires, plain wires, or negations (§5.2) — it
 /// genuinely computes without the residue term — so every software model
 /// of the unit must use the snapped value for results to match the

@@ -43,7 +43,7 @@ pub struct InverseDynamicsGradient<S> {
 /// Computes the analytical gradient of inverse dynamics (Algorithm 1,
 /// step 2) from the RNEA's intermediate quantities.
 ///
-/// `cache` must come from [`rnea`] evaluated at the same `(q, q̇)` (and the
+/// `cache` must come from [`crate::rnea`] evaluated at the same `(q, q̇)` (and the
 /// `q̈` about which the gradient is taken).
 ///
 /// # Examples

@@ -1,0 +1,582 @@
+//! The engine layer: *plan once, execute many*.
+//!
+//! The paper's methodology parameterizes a hardware template per robot
+//! morphology once, then reuses the resulting datapath for every control
+//! iteration (§4–5). This module is the software seam that mirrors that
+//! discipline: every consumer of the dynamics-gradient kernel — the iLQR /
+//! MPC linearization, the CPU baseline, the coprocessor stream, the
+//! experiment harness, the CLI — obtains gradients through one trait,
+//! [`GradientBackend`], instead of hand-wiring a specific kernel entry
+//! point.
+//!
+//! Three families of backends implement the trait:
+//!
+//! * [`CpuAnalytic`] — the host's analytical workspace kernels
+//!   ([`crate::dynamics_gradient_into`]), in any scalar type `S`;
+//! * `AcceleratorBackend` (in `robo-sim`) — the morphology-customized
+//!   accelerator simulation executing compiled netlists;
+//! * [`FiniteDiff`] — a finite-difference oracle for validation.
+//!
+//! The trait boundary is `f64`: backends computing in another scalar type
+//! (the accelerator's Q16.16, the Figure 12 sweep types) cast at the
+//! boundary exactly as the hardware's I/O marshalling does (§6.2). Each
+//! backend owns its warm workspaces, so `gradient_into` is allocation-free
+//! in steady state; [`GradientBackend::fork`] hands each worker of the
+//! shared [`BatchEngine`] a private instance over the same immutable plan.
+
+use crate::batch::{BatchEngine, GradientState};
+use crate::{
+    dynamics_gradient_into, findiff, DynamicsGradient, DynamicsModel, GradWorkspace,
+    InverseDynamicsGradient,
+};
+use robo_model::RobotModel;
+use robo_spatial::{MatN, Scalar};
+use std::sync::Arc;
+
+/// Error from an engine-boundary gradient call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An input's length (or matrix dimension) disagrees with the plan's
+    /// joint count.
+    DimensionMismatch {
+        /// Which input was malformed (`"q"`, `"qd"`, `"qdd"`, `"minv"`).
+        what: &'static str,
+        /// The backend's joint count.
+        expected: usize,
+        /// The offending dimension.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "dimension mismatch: `{what}` has dimension {got}, backend expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Validates one gradient evaluation point against a backend's joint
+/// count; every [`GradientBackend`] implementation calls this at entry.
+///
+/// # Errors
+///
+/// Returns [`EngineError::DimensionMismatch`] naming the first offending
+/// input.
+pub fn check_dims<S: Scalar>(
+    dof: usize,
+    q: &[S],
+    qd: &[S],
+    qdd: &[S],
+    minv: &MatN<S>,
+) -> Result<(), EngineError> {
+    let checks: [(&'static str, usize); 5] = [
+        ("q", q.len()),
+        ("qd", qd.len()),
+        ("qdd", qdd.len()),
+        ("minv", minv.rows()),
+        ("minv", minv.cols()),
+    ];
+    for (what, got) in checks {
+        if got != dof {
+            return Err(EngineError::DimensionMismatch {
+                what,
+                expected: dof,
+                got,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The engine's output buffer: the four gradient matrices in host `f64`,
+/// reusable across calls (warm buffers make repeated `gradient_into`
+/// calls allocation-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientOutput {
+    /// `∂q̈/∂q` (Algorithm 1 output).
+    pub dqdd_dq: MatN<f64>,
+    /// `∂q̈/∂q̇` (Algorithm 1 output).
+    pub dqdd_dqd: MatN<f64>,
+    /// `∂τ/∂q` (step 2 intermediate).
+    pub dtau_dq: MatN<f64>,
+    /// `∂τ/∂q̇` (step 2 intermediate).
+    pub dtau_dqd: MatN<f64>,
+}
+
+impl Default for GradientOutput {
+    fn default() -> Self {
+        Self::for_dof(0)
+    }
+}
+
+impl GradientOutput {
+    /// An empty output; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An output pre-sized for `dof` joints, so even the first call
+    /// through it is allocation-free.
+    pub fn for_dof(dof: usize) -> Self {
+        Self {
+            dqdd_dq: MatN::zeros(dof, dof),
+            dqdd_dqd: MatN::zeros(dof, dof),
+            dtau_dq: MatN::zeros(dof, dof),
+            dtau_dqd: MatN::zeros(dof, dof),
+        }
+    }
+
+    /// Converts into the crate's [`DynamicsGradient`] without copying.
+    pub fn into_dynamics_gradient(self) -> DynamicsGradient<f64> {
+        DynamicsGradient {
+            dqdd_dq: self.dqdd_dq,
+            dqdd_dqd: self.dqdd_dqd,
+            id_gradient: InverseDynamicsGradient {
+                dtau_dq: self.dtau_dq,
+                dtau_dqd: self.dtau_dqd,
+            },
+        }
+    }
+
+    /// Clones into a [`DynamicsGradient`] (for batch collection).
+    pub fn to_dynamics_gradient(&self) -> DynamicsGradient<f64> {
+        self.clone().into_dynamics_gradient()
+    }
+}
+
+/// A dynamics-gradient provider behind the accelerator's exact interface
+/// (Figure 9): given the host's `(q, q̇, q̈, M⁻¹)`, fill in
+/// `(∂q̈/∂q, ∂q̈/∂q̇)` and the step-2 intermediates.
+///
+/// Backends own their warm workspaces (hence `&mut self`); sharing across
+/// the [`BatchEngine`]'s workers goes through [`GradientBackend::fork`],
+/// which hands each worker a private instance over the same immutable,
+/// `Arc`-shared per-robot plan. [`gradient_batch`](Self::gradient_batch)
+/// is the batch entry point built on that mechanism.
+pub trait GradientBackend: Send + Sync {
+    /// Short name for reports (`"cpu"`, `"accel"`, `"fd"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The plan's joint count; inputs must match it.
+    fn dof(&self) -> usize;
+
+    /// Computes one dynamics gradient (Algorithm 1 given host-computed
+    /// `q̈` and `M⁻¹`) into `out`. Allocation-free once the backend and
+    /// `out` are warm (except [`FiniteDiff`], which is an oracle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DimensionMismatch`] when any input dimension
+    /// disagrees with [`GradientBackend::dof`].
+    fn gradient_into(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+        out: &mut GradientOutput,
+    ) -> Result<(), EngineError>;
+
+    /// A private instance for one batch worker, sharing this backend's
+    /// immutable plan (model, netlists) but owning fresh workspaces.
+    fn fork(&self) -> Box<dyn GradientBackend + '_>;
+
+    /// Computes a batch of gradients data-parallel on `engine`, one forked
+    /// backend instance per participating worker (the paper's §6.1 batch
+    /// structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first item's [`EngineError`] if any evaluation point is
+    /// malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while processing an item.
+    fn gradient_batch_on(
+        &self,
+        engine: &BatchEngine,
+        states: &[GradientState<'_, f64>],
+    ) -> Result<Vec<DynamicsGradient<f64>>, EngineError> {
+        let results = engine.run_with_state(
+            states.len(),
+            || (self.fork(), GradientOutput::for_dof(self.dof())),
+            |(backend, out), i| {
+                let s = &states[i];
+                backend
+                    .gradient_into(s.q, s.qd, s.qdd, s.minv, out)
+                    .map(|()| out.to_dynamics_gradient())
+            },
+        );
+        results.into_iter().collect()
+    }
+
+    /// Like [`GradientBackend::gradient_batch_on`], on the process-wide
+    /// [`BatchEngine::global`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first item's [`EngineError`] if any evaluation point is
+    /// malformed.
+    fn gradient_batch(
+        &self,
+        states: &[GradientState<'_, f64>],
+    ) -> Result<Vec<DynamicsGradient<f64>>, EngineError> {
+        self.gradient_batch_on(BatchEngine::global(), states)
+    }
+
+    /// Convenience allocating entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DimensionMismatch`] when any input dimension
+    /// disagrees with [`GradientBackend::dof`].
+    fn gradient(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+    ) -> Result<DynamicsGradient<f64>, EngineError> {
+        let mut out = GradientOutput::for_dof(self.dof());
+        self.gradient_into(q, qd, qdd, minv, &mut out)?;
+        Ok(out.into_dynamics_gradient())
+    }
+}
+
+/// Casts a borrowed `f64` slice into a warm scratch vector (identity for
+/// `S = f64`), without allocating once the scratch has capacity. Shared by
+/// every backend that computes in a non-host scalar type — the software
+/// analogue of the coprocessor's I/O marshalling (§6.2).
+pub fn cast_slice_into<S: Scalar>(src: &[f64], dst: &mut Vec<S>) {
+    dst.clear();
+    dst.extend(src.iter().map(|x| S::from_f64(*x)));
+}
+
+/// Casts a borrowed `f64` matrix into a warm scratch matrix.
+pub fn cast_mat_into<S: Scalar>(src: &MatN<f64>, dst: &mut MatN<S>) {
+    dst.resize_zeroed(src.rows(), src.cols());
+    for i in 0..src.rows() {
+        for j in 0..src.cols() {
+            dst[(i, j)] = S::from_f64(src[(i, j)]);
+        }
+    }
+}
+
+/// Casts a scalar matrix back into an `f64` output matrix.
+pub fn cast_mat_out<S: Scalar>(src: &MatN<S>, dst: &mut MatN<f64>) {
+    dst.resize_zeroed(src.rows(), src.cols());
+    for i in 0..src.rows() {
+        for j in 0..src.cols() {
+            dst[(i, j)] = src[(i, j)].to_f64();
+        }
+    }
+}
+
+/// The host's analytical kernel (Algorithm 1 via the allocation-free
+/// workspace path), computing in scalar type `S` — `f64` for the CPU
+/// baseline, or any `Fixed{i,f}` for the paper's numeric-type study.
+///
+/// Forks share the `Arc`-held [`DynamicsModel`]; each fork owns a warm
+/// [`GradWorkspace`] plus cast scratch, so steady-state calls are
+/// allocation-free. For `S = f64` the boundary casts are exact identities
+/// and results are bit-identical to [`crate::dynamics_gradient_into`].
+///
+/// # Examples
+///
+/// ```
+/// use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientOutput};
+/// use robo_dynamics::{forward_dynamics, mass_matrix_inverse, DynamicsModel};
+/// use robo_model::robots;
+///
+/// let robot = robots::iiwa14();
+/// let model = DynamicsModel::<f64>::new(&robot);
+/// let (q, qd, tau) = (vec![0.1; 7], vec![0.0; 7], vec![0.5; 7]);
+/// let qdd = forward_dynamics(&model, &q, &qd, &tau).unwrap();
+/// let minv = mass_matrix_inverse(&model, &q).unwrap();
+///
+/// let mut backend = CpuAnalytic::<f64>::new(&robot);
+/// let mut out = GradientOutput::for_dof(7);
+/// backend.gradient_into(&q, &qd, &qdd, &minv, &mut out).unwrap();
+/// assert_eq!(out.dqdd_dq.rows(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuAnalytic<S: Scalar> {
+    model: Arc<DynamicsModel<S>>,
+    ws: GradWorkspace<S>,
+    q_s: Vec<S>,
+    qd_s: Vec<S>,
+    qdd_s: Vec<S>,
+    minv_s: MatN<S>,
+}
+
+impl<S: Scalar> CpuAnalytic<S> {
+    /// Builds the backend (and its dynamics model) for a robot.
+    pub fn new(robot: &RobotModel) -> Self {
+        Self::with_model(Arc::new(DynamicsModel::new(robot)))
+    }
+
+    /// Builds the backend over an existing shared model — the plan-once
+    /// path: every fork and every consumer reuses the same `Arc`.
+    pub fn with_model(model: Arc<DynamicsModel<S>>) -> Self {
+        let n = model.dof();
+        Self {
+            ws: GradWorkspace::for_model(&model),
+            q_s: Vec::with_capacity(n),
+            qd_s: Vec::with_capacity(n),
+            qdd_s: Vec::with_capacity(n),
+            minv_s: MatN::zeros(n, n),
+            model,
+        }
+    }
+
+    /// The shared dynamics model.
+    pub fn model(&self) -> &Arc<DynamicsModel<S>> {
+        &self.model
+    }
+}
+
+impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn dof(&self) -> usize {
+        self.model.dof()
+    }
+
+    fn gradient_into(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+        out: &mut GradientOutput,
+    ) -> Result<(), EngineError> {
+        check_dims(self.dof(), q, qd, qdd, minv)?;
+        cast_slice_into(q, &mut self.q_s);
+        cast_slice_into(qd, &mut self.qd_s);
+        cast_slice_into(qdd, &mut self.qdd_s);
+        cast_mat_into(minv, &mut self.minv_s);
+        dynamics_gradient_into(
+            &self.model,
+            &self.q_s,
+            &self.qd_s,
+            &self.qdd_s,
+            &self.minv_s,
+            &mut self.ws,
+        );
+        cast_mat_out(&self.ws.dqdd_dq, &mut out.dqdd_dq);
+        cast_mat_out(&self.ws.dqdd_dqd, &mut out.dqdd_dqd);
+        cast_mat_out(&self.ws.dtau_dq, &mut out.dtau_dq);
+        cast_mat_out(&self.ws.dtau_dqd, &mut out.dtau_dqd);
+        Ok(())
+    }
+
+    fn fork(&self) -> Box<dyn GradientBackend + '_> {
+        Box::new(Self::with_model(Arc::clone(&self.model)))
+    }
+}
+
+/// The finite-difference oracle: central differences of the RNEA for the
+/// step-2 gradient, then the exact `−M⁻¹` step 3. Used to validate the
+/// analytical backends; allocates per call (it is a test oracle, not a
+/// control-loop kernel).
+#[derive(Debug, Clone)]
+pub struct FiniteDiff {
+    model: Arc<DynamicsModel<f64>>,
+    step: f64,
+}
+
+impl FiniteDiff {
+    /// Default central-difference step, stable for the built-in robots.
+    pub const DEFAULT_STEP: f64 = 1e-6;
+
+    /// Builds the oracle with the default step.
+    pub fn new(robot: &RobotModel) -> Self {
+        Self::with_model(Arc::new(DynamicsModel::new(robot)))
+    }
+
+    /// Builds the oracle over an existing shared model.
+    pub fn with_model(model: Arc<DynamicsModel<f64>>) -> Self {
+        Self {
+            model,
+            step: Self::DEFAULT_STEP,
+        }
+    }
+
+    /// Overrides the central-difference step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn with_step(mut self, step: f64) -> Self {
+        assert!(step > 0.0, "finite-difference step must be positive");
+        self.step = step;
+        self
+    }
+}
+
+impl GradientBackend for FiniteDiff {
+    fn name(&self) -> &'static str {
+        "fd"
+    }
+
+    fn dof(&self) -> usize {
+        self.model.dof()
+    }
+
+    fn gradient_into(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+        out: &mut GradientOutput,
+    ) -> Result<(), EngineError> {
+        check_dims(self.dof(), q, qd, qdd, minv)?;
+        let id = findiff::rnea_gradient_fd(&self.model, q, qd, qdd, self.step);
+        minv.neg_mul_mat_into(&id.dtau_dq, &mut out.dqdd_dq);
+        minv.neg_mul_mat_into(&id.dtau_dqd, &mut out.dqdd_dqd);
+        out.dtau_dq = id.dtau_dq;
+        out.dtau_dqd = id.dtau_dqd;
+        Ok(())
+    }
+
+    fn fork(&self) -> Box<dyn GradientBackend + '_> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dynamics_gradient_from_qdd, forward_dynamics, mass_matrix_inverse};
+    use robo_model::robots;
+
+    fn case(robot: &RobotModel, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, MatN<f64>) {
+        let model = DynamicsModel::<f64>::new(robot);
+        let n = model.dof();
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let q: Vec<f64> = (0..n).map(|_| next()).collect();
+        let qd: Vec<f64> = (0..n).map(|_| next()).collect();
+        let tau: Vec<f64> = (0..n).map(|_| 2.0 * next()).collect();
+        let qdd = forward_dynamics(&model, &q, &qd, &tau).unwrap();
+        let minv = mass_matrix_inverse(&model, &q).unwrap();
+        (q, qd, qdd, minv)
+    }
+
+    #[test]
+    fn cpu_backend_is_bit_identical_to_direct_kernel() {
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv) = case(&robot, 11);
+        let mut backend = CpuAnalytic::<f64>::new(&robot);
+        let got = backend.gradient(&q, &qd, &qdd, &minv).unwrap();
+        let model = DynamicsModel::<f64>::new(&robot);
+        let want = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+        assert_eq!(got.dqdd_dq, want.dqdd_dq);
+        assert_eq!(got.dqdd_dqd, want.dqdd_dqd);
+        assert_eq!(got.id_gradient.dtau_dq, want.id_gradient.dtau_dq);
+    }
+
+    #[test]
+    fn fd_backend_close_to_analytic() {
+        let robot = robots::hyq();
+        let (q, qd, qdd, minv) = case(&robot, 23);
+        let mut cpu = CpuAnalytic::<f64>::new(&robot);
+        let mut fd = FiniteDiff::new(&robot);
+        let a = cpu.gradient(&q, &qd, &qdd, &minv).unwrap();
+        let b = fd.gradient(&q, &qd, &qdd, &minv).unwrap();
+        let scale = a.dqdd_dq.max_abs().max(1.0);
+        assert!(a.dqdd_dq.max_abs_diff(&b.dqdd_dq) / scale < 1e-4);
+        assert!(a.dqdd_dqd.max_abs_diff(&b.dqdd_dqd) / scale < 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv) = case(&robot, 3);
+        let mut backend = CpuAnalytic::<f64>::new(&robot);
+        let mut out = GradientOutput::new();
+        let short = &q[..5];
+        assert_eq!(
+            backend.gradient_into(short, &qd, &qdd, &minv, &mut out),
+            Err(EngineError::DimensionMismatch {
+                what: "q",
+                expected: 7,
+                got: 5
+            })
+        );
+        let bad_minv = MatN::<f64>::identity(3);
+        let err = backend
+            .gradient_into(&q, &qd, &qdd, &bad_minv, &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("minv"));
+    }
+
+    #[test]
+    fn batch_matches_serial_through_trait() {
+        let robot = robots::iiwa14();
+        let cases: Vec<_> = (0..5).map(|k| case(&robot, 100 + k)).collect();
+        let states: Vec<GradientState<'_, f64>> = cases
+            .iter()
+            .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+            .collect();
+        let backend = CpuAnalytic::<f64>::new(&robot);
+        let batch = backend.gradient_batch(&states).unwrap();
+        let mut serial = CpuAnalytic::<f64>::new(&robot);
+        for (got, (q, qd, qdd, minv)) in batch.iter().zip(cases.iter()) {
+            let want = serial.gradient(q, qd, qdd, minv).unwrap();
+            assert_eq!(got.dqdd_dq, want.dqdd_dq);
+            assert_eq!(got.dqdd_dqd, want.dqdd_dqd);
+        }
+    }
+
+    #[test]
+    fn batch_propagates_dimension_errors() {
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv) = case(&robot, 9);
+        let bad = MatN::<f64>::identity(2);
+        let states = [
+            GradientState {
+                q: &q,
+                qd: &qd,
+                qdd: &qdd,
+                minv: &minv,
+            },
+            GradientState {
+                q: &q,
+                qd: &qd,
+                qdd: &qdd,
+                minv: &bad,
+            },
+        ];
+        let backend = CpuAnalytic::<f64>::new(&robot);
+        assert!(backend.gradient_batch(&states).is_err());
+    }
+
+    #[test]
+    fn forks_share_the_model() {
+        let backend = CpuAnalytic::<f64>::new(&robots::iiwa14());
+        let before = Arc::strong_count(backend.model());
+        let fork = backend.fork();
+        assert_eq!(Arc::strong_count(backend.model()), before + 1);
+        assert_eq!(fork.dof(), 7);
+    }
+}

@@ -52,6 +52,7 @@ mod model;
 mod rnea;
 
 pub mod batch;
+pub mod engine;
 
 pub use crba::{mass_matrix, mass_matrix_inverse};
 pub use deriv::{

@@ -241,16 +241,19 @@ pub struct KernelInput<S> {
 /// combined behavior a host integration test would observe on real
 /// hardware.
 ///
-/// The numeric simulations run data-parallel on the process-wide
-/// [`BatchEngine`](robo_dynamics::batch::BatchEngine), each worker driving
-/// its own simulator clone through a reusable [`crate::SimWorkspace`]
-/// (mirroring the parallel accelerator instances of §6.3's multi-robot
-/// deployment).
+/// The numeric simulations go through the engine layer: one
+/// [`AcceleratorBackend`](crate::AcceleratorBackend) is built over the
+/// `Arc`-shared simulator, and each worker of the process-wide
+/// [`BatchEngine`](robo_dynamics::batch::BatchEngine) drives its own fork
+/// (private warm [`crate::SimWorkspace`], shared compiled netlists) —
+/// mirroring the parallel accelerator instances of §6.3's multi-robot
+/// deployment.
 ///
 /// # Panics
 ///
-/// Panics if `inputs` is empty or the simulator and system were built for
-/// different robots.
+/// Panics if `inputs` is empty, the simulator and system were built for
+/// different robots, or any input's dimensions disagree with the robot's
+/// joint count.
 pub fn stream_batch<S: robo_spatial::Scalar>(
     sim: &crate::AcceleratorSim<S>,
     system: &CoprocessorSystem,
@@ -262,19 +265,15 @@ pub fn stream_batch<S: robo_spatial::Scalar>(
         system.accelerator().params().dof,
         "simulator and coprocessor system must target the same robot"
     );
+    let backend = crate::AcceleratorBackend::from_sim(sim.clone());
     let outputs = robo_dynamics::batch::BatchEngine::global().run_with_state(
         inputs.len(),
-        || (sim.clone(), crate::SimWorkspace::for_sim(sim)),
-        |(sim, ws), i| {
+        || backend.fork_native(),
+        |backend, i| {
             let inp = &inputs[i];
-            let cycles = sim.compute_gradient_into(&inp.q, &inp.qd, &inp.qdd, &inp.minv, ws);
-            crate::SimOutput {
-                dtau_dq: ws.dtau_dq.clone(),
-                dtau_dqd: ws.dtau_dqd.clone(),
-                dqdd_dq: ws.dqdd_dq.clone(),
-                dqdd_dqd: ws.dqdd_dqd.clone(),
-                cycles,
-            }
+            backend
+                .compute(&inp.q, &inp.qd, &inp.qdd, &inp.minv)
+                .expect("stream_batch input dimensions must match the robot")
         },
     );
     let timeline = system.stream_timeline(inputs.len());

@@ -1,0 +1,409 @@
+//! The sim-side half of the engine layer: the accelerator backend and the
+//! per-robot [`RobotPlan`].
+//!
+//! `robo-dynamics::engine` defines the [`GradientBackend`] seam and the
+//! host-side backends; this module adds the piece only the simulator crate
+//! can provide — [`AcceleratorBackend`], which routes `gradient_into`
+//! through the morphology-customized [`AcceleratorSim`] (compiled netlists,
+//! pruned multiplier trees, static cycle schedule) — and ties everything
+//! together in [`RobotPlan`]: *customize once per robot, hand out backends
+//! many times* (the paper's §4–5 methodology as a software object).
+
+use crate::{AcceleratorSim, SimOutput, SimWorkspace};
+use robo_dynamics::engine::{
+    cast_mat_into, cast_mat_out, cast_slice_into, check_dims, CpuAnalytic, EngineError, FiniteDiff,
+    GradientBackend, GradientOutput,
+};
+use robo_dynamics::DynamicsModel;
+use robo_model::RobotModel;
+use robo_sparsity::{superposition_pattern, Mask6};
+use robo_spatial::{MatN, Scalar};
+use robomorphic_core::Accelerator;
+use std::sync::Arc;
+
+/// A [`GradientBackend`] executing on the simulated morphology-customized
+/// accelerator, in the accelerator's scalar type `S` (`f64` for parity
+/// studies, `Fix32_16` for the paper's Q16.16 datapath).
+///
+/// The simulator — holding the customized design and every link unit's
+/// compiled netlist — is `Arc`-shared: [`GradientBackend::fork`] gives each
+/// batch worker a private warm [`SimWorkspace`] over the *same* netlists,
+/// exactly as parallel host threads would share one memory-mapped
+/// accelerator (§6.3). The trait boundary is `f64`; inputs are marshalled
+/// to `S` and outputs back, mirroring the coprocessor's I/O conversion
+/// (§6.2). Use [`AcceleratorBackend::compute`] to stay in `S` end to end.
+#[derive(Debug, Clone)]
+pub struct AcceleratorBackend<S: Scalar> {
+    sim: Arc<AcceleratorSim<S>>,
+    ws: SimWorkspace<S>,
+    q_s: Vec<S>,
+    qd_s: Vec<S>,
+    qdd_s: Vec<S>,
+    minv_s: MatN<S>,
+}
+
+impl<S: Scalar> AcceleratorBackend<S> {
+    /// Customizes the paper-default template for `robot` and builds the
+    /// backend over its simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot has more than 64 links.
+    pub fn new(robot: &RobotModel) -> Self {
+        Self::from_sim(AcceleratorSim::new(robot))
+    }
+
+    /// Wraps an explicitly configured simulator (custom design,
+    /// accumulation mode, or evaluator backend).
+    pub fn from_sim(sim: AcceleratorSim<S>) -> Self {
+        Self::from_shared(Arc::new(sim))
+    }
+
+    /// Builds the backend over an already-shared simulator — the plan-once
+    /// path: every fork and every consumer reuses the same compiled
+    /// netlists.
+    pub fn from_shared(sim: Arc<AcceleratorSim<S>>) -> Self {
+        let ws = SimWorkspace::for_sim(&sim);
+        let n = sim.dof();
+        Self {
+            ws,
+            q_s: Vec::with_capacity(n),
+            qd_s: Vec::with_capacity(n),
+            qdd_s: Vec::with_capacity(n),
+            minv_s: MatN::zeros(n, n),
+            sim,
+        }
+    }
+
+    /// The shared simulator.
+    pub fn sim(&self) -> &Arc<AcceleratorSim<S>> {
+        &self.sim
+    }
+
+    /// Cycles one gradient takes on the design's static schedule
+    /// (constant per design — Figure 10's latency measurement).
+    pub fn cycles_per_gradient(&self) -> usize {
+        self.sim.design().schedule().single_latency_cycles()
+    }
+
+    /// A concretely-typed fork (same shared simulator, fresh warm
+    /// workspace) for callers that need the native-scalar entry point.
+    pub fn fork_native(&self) -> Self {
+        Self::from_shared(Arc::clone(&self.sim))
+    }
+
+    /// Runs one gradient natively in `S`, without the `f64` boundary
+    /// marshalling — the entry point for consumers that already hold
+    /// accelerator-typed data (e.g. the coprocessor stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DimensionMismatch`] when any input dimension
+    /// disagrees with the plan's joint count.
+    pub fn compute(
+        &mut self,
+        q: &[S],
+        qd: &[S],
+        qdd: &[S],
+        minv: &MatN<S>,
+    ) -> Result<SimOutput<S>, EngineError> {
+        check_dims(self.sim.dof(), q, qd, qdd, minv)?;
+        let cycles = self
+            .sim
+            .compute_gradient_into(q, qd, qdd, minv, &mut self.ws);
+        Ok(SimOutput {
+            dtau_dq: self.ws.dtau_dq.clone(),
+            dtau_dqd: self.ws.dtau_dqd.clone(),
+            dqdd_dq: self.ws.dqdd_dq.clone(),
+            dqdd_dqd: self.ws.dqdd_dqd.clone(),
+            cycles,
+        })
+    }
+}
+
+impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
+    fn name(&self) -> &'static str {
+        "accel"
+    }
+
+    fn dof(&self) -> usize {
+        self.sim.dof()
+    }
+
+    fn gradient_into(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+        out: &mut GradientOutput,
+    ) -> Result<(), EngineError> {
+        check_dims(self.dof(), q, qd, qdd, minv)?;
+        cast_slice_into(q, &mut self.q_s);
+        cast_slice_into(qd, &mut self.qd_s);
+        cast_slice_into(qdd, &mut self.qdd_s);
+        cast_mat_into(minv, &mut self.minv_s);
+        let _cycles = self.sim.compute_gradient_into(
+            &self.q_s,
+            &self.qd_s,
+            &self.qdd_s,
+            &self.minv_s,
+            &mut self.ws,
+        );
+        cast_mat_out(&self.ws.dqdd_dq, &mut out.dqdd_dq);
+        cast_mat_out(&self.ws.dqdd_dqd, &mut out.dqdd_dqd);
+        cast_mat_out(&self.ws.dtau_dq, &mut out.dtau_dq);
+        cast_mat_out(&self.ws.dtau_dqd, &mut out.dtau_dqd);
+        Ok(())
+    }
+
+    fn fork(&self) -> Box<dyn GradientBackend + '_> {
+        Box::new(self.fork_native())
+    }
+}
+
+/// Which [`GradientBackend`] a consumer wants — the CLI's `--backend`
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// [`CpuAnalytic`]: the host's analytical workspace kernels.
+    #[default]
+    Cpu,
+    /// [`AcceleratorBackend`]: the simulated customized accelerator.
+    Accel,
+    /// [`FiniteDiff`]: the finite-difference oracle.
+    FiniteDiff,
+}
+
+impl BackendKind {
+    /// All kinds, in the CLI's listing order.
+    pub const ALL: [Self; 3] = [Self::Cpu, Self::Accel, Self::FiniteDiff];
+
+    /// The CLI spelling (`cpu`, `accel`, `fd`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Cpu => "cpu",
+            Self::Accel => "accel",
+            Self::FiniteDiff => "fd",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu" => Ok(Self::Cpu),
+            "accel" => Ok(Self::Accel),
+            "fd" => Ok(Self::FiniteDiff),
+            other => Err(format!(
+                "unknown backend `{other}` (expected cpu, accel, or fd)"
+            )),
+        }
+    }
+}
+
+/// Everything derived from one robot morphology, built once and executed
+/// many times — the software mirror of the paper's design flow (Figure 5):
+/// parameterize the template per robot, then reuse the resulting datapath
+/// for every control iteration.
+///
+/// The plan holds the dynamics model, the morphology-derived superposition
+/// sparsity mask, the customized accelerator design with its optimized,
+/// compiled per-link netlists, and hands out [`GradientBackend`]s whose
+/// warm workspaces execute over those `Arc`-shared artifacts. Cloning the
+/// plan, forking a backend, or spreading work across [`BatchEngine`]
+/// threads never re-derives any of it.
+///
+/// [`BatchEngine`]: robo_dynamics::batch::BatchEngine
+///
+/// # Examples
+///
+/// ```
+/// use robo_model::robots;
+/// use robo_sim::engine::{BackendKind, RobotPlan};
+///
+/// let plan = RobotPlan::new(&robots::iiwa14());
+/// assert_eq!(plan.dof(), 7);
+/// let mut backend = plan.backend(BackendKind::Accel);
+/// assert_eq!(backend.name(), "accel");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobotPlan {
+    robot: RobotModel,
+    model: Arc<DynamicsModel<f64>>,
+    mask: Mask6,
+    sim: Arc<AcceleratorSim<f64>>,
+}
+
+impl RobotPlan {
+    /// Builds the complete plan for `robot`: dynamics model, sparsity
+    /// analysis, template customization, and netlist compilation all
+    /// happen here, once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot has more than 64 links.
+    pub fn new(robot: &RobotModel) -> Self {
+        Self {
+            robot: robot.clone(),
+            model: Arc::new(DynamicsModel::new(robot)),
+            mask: superposition_pattern(robot),
+            sim: Arc::new(AcceleratorSim::new(robot)),
+        }
+    }
+
+    /// The source morphology.
+    pub fn robot(&self) -> &RobotModel {
+        &self.robot
+    }
+
+    /// The shared host dynamics model.
+    pub fn model(&self) -> &Arc<DynamicsModel<f64>> {
+        &self.model
+    }
+
+    /// The customized accelerator design (schedule, resources).
+    pub fn design(&self) -> &Accelerator {
+        self.sim.design()
+    }
+
+    /// The morphology-derived superposition sparsity mask shared by every
+    /// link's transform unit (§4).
+    pub fn superposition_mask(&self) -> Mask6 {
+        self.mask
+    }
+
+    /// The shared accelerator simulator (compiled netlists included).
+    pub fn sim(&self) -> &Arc<AcceleratorSim<f64>> {
+        &self.sim
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> usize {
+        self.model.dof()
+    }
+
+    /// A CPU analytical backend over the plan's shared model.
+    pub fn cpu_backend(&self) -> CpuAnalytic<f64> {
+        CpuAnalytic::with_model(Arc::clone(&self.model))
+    }
+
+    /// An accelerator backend over the plan's shared simulator.
+    pub fn accelerator_backend(&self) -> AcceleratorBackend<f64> {
+        AcceleratorBackend::from_shared(Arc::clone(&self.sim))
+    }
+
+    /// A finite-difference oracle over the plan's shared model.
+    pub fn finite_diff_backend(&self) -> FiniteDiff {
+        FiniteDiff::with_model(Arc::clone(&self.model))
+    }
+
+    /// A boxed backend of the requested kind — the CLI/`--backend` entry
+    /// point.
+    pub fn backend(&self, kind: BackendKind) -> Box<dyn GradientBackend> {
+        match kind {
+            BackendKind::Cpu => Box::new(self.cpu_backend()),
+            BackendKind::Accel => Box::new(self.accelerator_backend()),
+            BackendKind::FiniteDiff => Box::new(self.finite_diff_backend()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_dynamics::{forward_dynamics, mass_matrix_inverse};
+    use robo_model::robots;
+
+    fn case(plan: &RobotPlan) -> (Vec<f64>, Vec<f64>, Vec<f64>, MatN<f64>) {
+        let n = plan.dof();
+        let q: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let qd: Vec<f64> = (0..n).map(|i| 0.05 * i as f64).collect();
+        let tau = vec![0.4; n];
+        let qdd = forward_dynamics(plan.model(), &q, &qd, &tau).unwrap();
+        let minv = mass_matrix_inverse(plan.model(), &q).unwrap();
+        (q, qd, qdd, minv)
+    }
+
+    #[test]
+    fn plan_shares_artifacts_across_backends() {
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let model_count = Arc::strong_count(plan.model());
+        let _cpu = plan.cpu_backend();
+        let _fd = plan.finite_diff_backend();
+        assert_eq!(Arc::strong_count(plan.model()), model_count + 2);
+        let sim_count = Arc::strong_count(plan.sim());
+        let accel = plan.accelerator_backend();
+        let _fork = accel.fork_native();
+        assert_eq!(Arc::strong_count(plan.sim()), sim_count + 2);
+    }
+
+    #[test]
+    fn accel_backend_matches_raw_sim() {
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let (q, qd, qdd, minv) = case(&plan);
+        let mut backend = plan.accelerator_backend();
+        let got = backend.gradient(&q, &qd, &qdd, &minv).unwrap();
+        let want = plan.sim().compute_gradient(&q, &qd, &qdd, &minv);
+        assert_eq!(got.dqdd_dq, want.dqdd_dq);
+        assert_eq!(got.dqdd_dqd, want.dqdd_dqd);
+        assert_eq!(got.id_gradient.dtau_dq, want.dtau_dq);
+    }
+
+    #[test]
+    fn native_compute_reports_schedule_cycles() {
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let (q, qd, qdd, minv) = case(&plan);
+        let mut backend = plan.accelerator_backend();
+        let out = backend.compute(&q, &qd, &qdd, &minv).unwrap();
+        assert_eq!(out.cycles, backend.cycles_per_gradient());
+        assert_eq!(out.cycles, 34);
+    }
+
+    #[test]
+    fn boxed_backends_agree_on_dof_and_reject_bad_dims() {
+        let plan = RobotPlan::new(&robots::hyq());
+        let (q, qd, qdd, minv) = case(&plan);
+        for kind in BackendKind::ALL {
+            let mut b = plan.backend(kind);
+            assert_eq!(b.dof(), 12, "{kind}");
+            assert_eq!(kind.as_str().parse::<BackendKind>().unwrap(), kind);
+            let mut out = GradientOutput::new();
+            let err = b
+                .gradient_into(&q[..3], &qd, &qdd, &minv, &mut out)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                EngineError::DimensionMismatch {
+                    what: "q",
+                    expected: 12,
+                    got: 3
+                }
+            );
+        }
+        assert!("verilog".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn fixed_point_backend_marshals_at_boundary() {
+        use robo_fixed::Fix32_16;
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let (q, qd, qdd, minv) = case(&plan);
+        let mut fx = AcceleratorBackend::<Fix32_16>::new(plan.robot());
+        let fx_grad = fx.gradient(&q, &qd, &qdd, &minv).unwrap();
+        let mut f64_backend = plan.accelerator_backend();
+        let ref_grad = f64_backend.gradient(&q, &qd, &qdd, &minv).unwrap();
+        // Q16.16 keeps ~4 fractional digits; the marshalled result must be
+        // near the f64 reference but generally not equal.
+        let scale = ref_grad.dqdd_dq.max_abs().max(1.0);
+        assert!(fx_grad.dqdd_dq.max_abs_diff(&ref_grad.dqdd_dq) / scale < 1e-2);
+    }
+}

@@ -46,10 +46,12 @@
 
 mod accel_sim;
 mod coproc;
+pub mod engine;
 mod stepper;
 mod xunit;
 
 pub use accel_sim::{AcceleratorSim, SimOutput, SimWorkspace};
 pub use coproc::{stream_batch, CoprocessorSystem, IoChannel, KernelInput, RoundTrip, StreamEvent};
+pub use engine::{AcceleratorBackend, BackendKind, RobotPlan};
 pub use stepper::{step_pipeline, CycleTrace, TraceEntry, Unit};
 pub use xunit::{Accumulation, XUnit, XUnitBackend};

@@ -14,9 +14,10 @@
 //! on the host. Sweeping `S` reproduces Figure 12's cost-convergence
 //! comparison.
 
+use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientOutput};
 use robo_dynamics::{
-    dynamics_gradient_from_qdd, forward_dynamics, forward_kinematics, link_origin_world,
-    mass_matrix_inverse, position_jacobian, DynamicsModel,
+    forward_dynamics, forward_kinematics, link_origin_world, mass_matrix_inverse,
+    position_jacobian, DynamicsModel,
 };
 use robo_model::RobotModel;
 use robo_spatial::{MatN, Scalar, Vec3};
@@ -156,63 +157,34 @@ struct Rollout {
     cost: f64,
 }
 
-/// The dynamics-gradient kernel as the optimizer sees it: given the host's
-/// `(q, q̇, q̈, M⁻¹)`, return `(∂q̈/∂q, ∂q̈/∂q̇)` in `f64`. This is exactly
-/// the accelerator's interface (Figure 9), so a simulated accelerator — or
-/// real hardware — can be dropped in.
-///
-/// Providers must be `Sync`: the backward pass linearizes all time steps
-/// data-parallel on the shared batch engine (the per-time-step parallelism
-/// of §6.1), so the provider is called from several workers at once.
-pub type GradientFn<'a> =
-    dyn Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> + Sync + 'a;
-
-/// Builds the software gradient provider computing the kernel in scalar
-/// type `S` (the paper's type-generic study).
-#[allow(clippy::type_complexity)]
-pub fn software_gradient<S: Scalar>(
-    robot: &robo_model::RobotModel,
-) -> impl Fn(&[f64], &[f64], &[f64], &MatN<f64>) -> Option<(MatN<f64>, MatN<f64>)> + Sync {
-    let model_s = DynamicsModel::<S>::new(robot);
-    move |q, qd, qdd, minv| {
-        let grad = dynamics_gradient_from_qdd(
-            &model_s,
-            &cast_vec::<S>(q),
-            &cast_vec::<S>(qd),
-            &cast_vec::<S>(qdd),
-            &minv.cast::<S>(),
-        );
-        let dq = grad.dqdd_dq.cast::<f64>();
-        let dqd = grad.dqdd_dqd.cast::<f64>();
-        if dq.as_slice().iter().all(|v| v.is_finite()) {
-            Some((dq, dqd))
-        } else {
-            None
-        }
-    }
-}
-
 /// Solves the task with iLQR, computing the dynamics gradient in scalar
-/// type `S` (the accelerator's arithmetic) and everything else in `f64`.
+/// type `S` (the accelerator's arithmetic) and everything else in `f64`,
+/// through a [`CpuAnalytic`] engine backend (the paper's type-generic
+/// study).
 ///
 /// # Panics
 ///
 /// Panics if the task dimensions are inconsistent.
 pub fn solve<S: Scalar>(task: &ReachingTask, opts: &IlqrOptions) -> IlqrResult {
-    let provider = software_gradient::<S>(&task.robot);
-    solve_with_gradient(task, opts, &provider)
+    let backend = CpuAnalytic::<S>::new(&task.robot);
+    solve_with_backend(task, opts, &backend)
 }
 
-/// Solves the task with iLQR using an arbitrary gradient provider — e.g.
-/// a simulated (or real) accelerator in the loop.
+/// Solves the task with iLQR using an arbitrary [`GradientBackend`] — e.g.
+/// a simulated (or real) accelerator in the loop, swapped in one line.
+///
+/// The backward pass linearizes all time steps data-parallel on the shared
+/// batch engine (the per-time-step parallelism of §6.1); each worker
+/// receives a [`GradientBackend::fork`] of `backend` over the same shared
+/// plan.
 ///
 /// # Panics
 ///
 /// Panics if the task dimensions are inconsistent.
-pub fn solve_with_gradient(
+pub fn solve_with_backend(
     task: &ReachingTask,
     opts: &IlqrOptions,
-    gradient: &GradientFn<'_>,
+    backend: &dyn GradientBackend,
 ) -> IlqrResult {
     let n = task.n();
     assert_eq!(task.x0.len(), 2 * n, "x0 must have length 2n");
@@ -231,7 +203,7 @@ pub fn solve_with_gradient(
     let mut reg = opts.initial_reg;
 
     for _ in 0..opts.iterations {
-        let Some((ks, kmats)) = backward_pass(task, &model, gradient, &rollout.xs, &us, reg) else {
+        let Some((ks, kmats)) = backward_pass(task, &model, backend, &rollout.xs, &us, reg) else {
             // Backward pass failed (e.g. fixed-point garbage made Q_uu
             // indefinite): raise regularization and record a flat step.
             reg *= 10.0;
@@ -266,10 +238,6 @@ pub fn solve_with_gradient(
         controls: us,
         states: rollout.xs,
     }
-}
-
-fn cast_vec<S: Scalar>(v: &[f64]) -> Vec<S> {
-    v.iter().map(|x| S::from_f64(*x)).collect()
 }
 
 fn dynamics_step(
@@ -364,7 +332,7 @@ fn feedback_roll(
 fn backward_pass(
     task: &ReachingTask,
     model: &DynamicsModel<f64>,
-    gradient: &GradientFn<'_>,
+    backend: &dyn GradientBackend,
     xs: &[Vec<f64>],
     us: &[Vec<f64>],
     reg: f64,
@@ -412,17 +380,28 @@ fn backward_pass(
 
     // Linearize every time step up front, data-parallel across the shared
     // batch engine (the per-time-step parallelism of §6.1): the host
-    // computes q̈ and M⁻¹ in float, then calls the gradient provider — the
-    // accelerator's exact interface. The Riccati recursion below stays
-    // inherently sequential, but consumes these precomputed linearizations.
+    // computes q̈ and M⁻¹ in float, then calls the gradient backend — the
+    // accelerator's exact interface — through a private fork per worker
+    // (shared plan, warm per-worker workspaces). The Riccati recursion
+    // below stays inherently sequential, but consumes these precomputed
+    // linearizations. Dimension errors and non-finite gradients (e.g.
+    // fixed-point garbage) map to None, triggering the regularization
+    // retry in `solve_with_backend`.
     let mut lin: Vec<Option<(MatN<f64>, MatN<f64>, MatN<f64>)>> =
-        robo_dynamics::batch::BatchEngine::global().run(horizon, |t| {
-            let (q, qd) = xs[t].split_at(n);
-            let qdd = forward_dynamics(model, q, qd, &us[t]).ok()?;
-            let minv = mass_matrix_inverse(model, q).ok()?;
-            let (dqdd_dq, dqdd_dqd) = gradient(q, qd, &qdd, &minv)?;
-            Some((dqdd_dq, dqdd_dqd, minv))
-        });
+        robo_dynamics::batch::BatchEngine::global().run_with_state(
+            horizon,
+            || (backend.fork(), GradientOutput::for_dof(n)),
+            |(backend, out), t| {
+                let (q, qd) = xs[t].split_at(n);
+                let qdd = forward_dynamics(model, q, qd, &us[t]).ok()?;
+                let minv = mass_matrix_inverse(model, q).ok()?;
+                backend.gradient_into(q, qd, &qdd, &minv, out).ok()?;
+                if !out.dqdd_dq.as_slice().iter().all(|v| v.is_finite()) {
+                    return None;
+                }
+                Some((out.dqdd_dq.clone(), out.dqdd_dqd.clone(), minv))
+            },
+        );
 
     for t in (0..horizon).rev() {
         let x = &xs[t];

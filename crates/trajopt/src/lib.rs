@@ -5,9 +5,12 @@
 //!   gradient runs in any [`robo_spatial::Scalar`] (the accelerator's
 //!   fixed point) while the solver shell stays in `f64`, reproducing the
 //!   paper's Figure 12 numeric-type study;
-//! * [`run_mpc`] — closed-loop receding-horizon MPC with the gradient
-//!   kernel behind the accelerator's interface ([`GradientFn`]), so
-//!   simulated hardware can run in the loop;
+//! * [`run_mpc`] / [`solve_with_backend`] — closed-loop receding-horizon
+//!   MPC and single-trajectory optimization with the gradient kernel
+//!   behind the engine layer's
+//!   [`GradientBackend`](robo_dynamics::engine::GradientBackend) trait, so
+//!   a simulated (or real) accelerator runs in the loop as a one-line
+//!   backend swap;
 //! * [`ControlRateModel`] — the analytical model converting per-step
 //!   gradient cost into achievable MPC control rates against the 250 Hz /
 //!   1 kHz thresholds (Figures 4 and 15).
@@ -32,9 +35,6 @@ mod ilqr;
 mod mpc;
 mod rate;
 
-pub use ilqr::{
-    software_gradient, solve, solve_with_gradient, GradientFn, IlqrOptions, IlqrResult,
-    ReachingTask,
-};
+pub use ilqr::{solve, solve_with_backend, IlqrOptions, IlqrResult, ReachingTask};
 pub use mpc::{run_mpc, MpcConfig, MpcResult};
 pub use rate::{ControlRateModel, ACTUATOR_RATE_HZ, MPC_MINIMUM_RATE_HZ, PAPER_OPT_ITERATIONS};

@@ -10,8 +10,11 @@
 //! interface the accelerator exposes, so hardware (simulated or real) can
 //! run in the loop.
 
-use crate::ilqr::{solve_with_gradient, GradientFn, IlqrOptions, ReachingTask};
+use crate::ilqr::{solve_with_backend, IlqrOptions, ReachingTask};
+use robo_dynamics::engine::{EngineError, GradientBackend, GradientOutput};
 use robo_dynamics::{forward_dynamics, DynamicsModel};
+use robo_spatial::MatN;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration of a closed-loop MPC run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,14 +63,56 @@ impl MpcResult {
     }
 }
 
+/// A [`GradientBackend`] decorator counting kernel invocations. Atomic,
+/// because the optimizer linearizes time steps in parallel on the batch
+/// engine, and forks share the counter.
+struct CountingBackend<'a> {
+    inner: Box<dyn GradientBackend + 'a>,
+    calls: &'a AtomicUsize,
+}
+
+impl GradientBackend for CountingBackend<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn dof(&self) -> usize {
+        self.inner.dof()
+    }
+
+    fn gradient_into(
+        &mut self,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+        minv: &MatN<f64>,
+        out: &mut GradientOutput,
+    ) -> Result<(), EngineError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.gradient_into(q, qd, qdd, minv, out)
+    }
+
+    fn fork(&self) -> Box<dyn GradientBackend + '_> {
+        Box::new(CountingBackend {
+            inner: self.inner.fork(),
+            calls: self.calls,
+        })
+    }
+}
+
 /// Runs closed-loop MPC on the task's robot with the given gradient
-/// provider.
+/// backend — software, simulated accelerator, or (eventually) real
+/// hardware behind the same trait.
 ///
 /// # Panics
 ///
 /// Panics if the task dimensions are inconsistent or the plant's mass
 /// matrix becomes singular.
-pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_>) -> MpcResult {
+pub fn run_mpc(
+    task: &ReachingTask,
+    config: &MpcConfig,
+    backend: &dyn GradientBackend,
+) -> MpcResult {
     let n = task.robot.dof();
     let plant = DynamicsModel::<f64>::new(&task.robot);
     let mut x = task.x0.clone();
@@ -75,12 +120,10 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
     let mut tracking_errors = Vec::with_capacity(config.control_steps);
     let mut gradient_calls = 0usize;
 
-    // Count kernel invocations through a wrapper. Atomic, because the
-    // optimizer linearizes time steps in parallel on the batch engine.
-    let calls = std::sync::atomic::AtomicUsize::new(0);
-    let counting = |q: &[f64], qd: &[f64], qdd: &[f64], minv: &robo_spatial::MatN<f64>| {
-        calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        gradient(q, qd, qdd, minv)
+    let calls = AtomicUsize::new(0);
+    let counting = CountingBackend {
+        inner: backend.fork(),
+        calls: &calls,
     };
 
     for _ in 0..config.control_steps {
@@ -91,7 +134,7 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
             iterations: config.iterations_per_step,
             ..Default::default()
         };
-        let solved = solve_with_gradient(&step_task, &opts, &counting);
+        let solved = solve_with_backend(&step_task, &opts, &counting);
         let u0 = solved.controls.first().expect("horizon >= 1").clone();
 
         // Plant step with the (unmodeled) disturbance.
@@ -112,7 +155,7 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
             .sqrt();
         tracking_errors.push(err);
     }
-    gradient_calls += calls.load(std::sync::atomic::Ordering::Relaxed);
+    gradient_calls += calls.load(Ordering::Relaxed);
 
     MpcResult {
         states,
@@ -124,7 +167,7 @@ pub fn run_mpc(task: &ReachingTask, config: &MpcConfig, gradient: &GradientFn<'_
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ilqr::software_gradient;
+    use robo_dynamics::engine::CpuAnalytic;
 
     fn quick_task() -> ReachingTask {
         let mut t = ReachingTask::iiwa_reach();
@@ -139,7 +182,7 @@ mod tests {
             control_steps: 30,
             ..Default::default()
         };
-        let provider = software_gradient::<f64>(&task.robot);
+        let provider = CpuAnalytic::<f64>::new(&task.robot);
         let result = run_mpc(&task, &config, &provider);
         let initial: f64 = (0..task.robot.dof())
             .map(|i| (task.x0[i] - task.x_goal[i]).powi(2))
@@ -164,7 +207,7 @@ mod tests {
             disturbance: 0.5,
             ..Default::default()
         };
-        let provider = software_gradient::<f64>(&task.robot);
+        let provider = CpuAnalytic::<f64>::new(&task.robot);
         let result = run_mpc(&task, &config, &provider);
         assert!(result.final_error() < 1.0, "error {}", result.final_error());
         assert!(result.states.iter().flatten().all(|v| v.is_finite()));
@@ -179,7 +222,7 @@ mod tests {
             horizon: 8,
             disturbance: 0.0,
         };
-        let provider = software_gradient::<f64>(&task.robot);
+        let provider = CpuAnalytic::<f64>::new(&task.robot);
         let result = run_mpc(&task, &config, &provider);
         // Each optimizer iteration linearizes the full horizon.
         assert_eq!(result.gradient_calls, 5 * 3 * 8);

@@ -6,16 +6,15 @@
 //! cargo run --release --example hardware_in_the_loop
 //! ```
 //!
-//! Runs the same receding-horizon controller twice — once with an `f64`
-//! software gradient, once with the Q16.16 accelerator simulation — and
-//! compares tracking. Also accounts the accelerator's cycle budget for the
-//! whole run.
+//! Runs the same receding-horizon controller twice — once with the plan's
+//! CPU analytic backend, once with the Q16.16 accelerator simulation —
+//! swapping nothing but the [`GradientBackend`] handed to `run_mpc`. Also
+//! accounts the accelerator's cycle budget for the whole run.
 
 use robomorphic::core::FpgaPlatform;
+use robomorphic::engine::{AcceleratorBackend, RobotPlan};
 use robomorphic::fixed::Fix32_16;
-use robomorphic::sim::AcceleratorSim;
-use robomorphic::spatial::{MatN, Scalar};
-use robomorphic::trajopt::{run_mpc, software_gradient, MpcConfig, ReachingTask};
+use robomorphic::trajopt::{run_mpc, MpcConfig, ReachingTask};
 
 fn main() {
     let task = ReachingTask::iiwa_reach();
@@ -25,19 +24,17 @@ fn main() {
         ..Default::default()
     };
 
+    // Plan once per morphology; every backend below shares it or derives
+    // from the same robot description.
+    let plan = RobotPlan::new(&task.robot);
+
     // --- Software gradient (host f64) -------------------------------------
-    let provider = software_gradient::<f64>(&task.robot);
-    let sw = run_mpc(&task, &config, &provider);
+    let sw = run_mpc(&task, &config, &plan.cpu_backend());
 
     // --- Accelerator in the loop (Q16.16) ----------------------------------
-    let sim = AcceleratorSim::<Fix32_16>::new(&task.robot);
-    let accel_provider = |q: &[f64], qd: &[f64], qdd: &[f64], minv: &MatN<f64>| {
-        let cast =
-            |v: &[f64]| -> Vec<Fix32_16> { v.iter().map(|x| Fix32_16::from_f64(*x)).collect() };
-        let out = sim.compute_gradient(&cast(q), &cast(qd), &cast(qdd), &minv.cast());
-        Some((out.dqdd_dq.cast::<f64>(), out.dqdd_dqd.cast::<f64>()))
-    };
-    let hw = run_mpc(&task, &config, &accel_provider);
+    // The one-line swap: same trait, fixed-point datapath underneath.
+    let hw_backend = AcceleratorBackend::<Fix32_16>::new(&task.robot);
+    let hw = run_mpc(&task, &config, &hw_backend);
 
     println!(
         "closed-loop MPC on {} with a {} Nm unmodeled disturbance:",
@@ -60,7 +57,7 @@ fn main() {
         hw.final_error()
     );
 
-    let cycles_per_call = sim.design().schedule().single_latency_cycles();
+    let cycles_per_call = hw_backend.cycles_per_gradient();
     let fpga = FpgaPlatform::xcvu9p();
     let accel_time_ms = hw.gradient_calls as f64 * cycles_per_call as f64 / fpga.clock_hz * 1e3;
     println!(

@@ -44,7 +44,7 @@ fn main() {
 
     // --- What acceleration buys at the control-loop level ----------------
     let robot = robots::iiwa14();
-    let cpu = CpuBaseline::new(&robot);
+    let mut cpu = CpuBaseline::new(&robot);
     let input = &random_inputs(&robot, 1, 7)[0];
     let grad_cpu_s = cpu.time_single(input, 2000);
     let base = ControlRateModel::new(PAPER_OPT_ITERATIONS, grad_cpu_s, 0.45);

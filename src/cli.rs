@@ -192,26 +192,44 @@ pub fn cmd_convert(source: &str, dest: &str) -> Result<String, CliError> {
 }
 
 /// `robomorphic check <robot>` — model validation plus a zero-config
-/// self-collision sanity check.
+/// self-collision sanity check, with the gradient spot-check on the
+/// default (CPU) engine backend.
 ///
 /// # Errors
 ///
 /// Propagates loading failures.
 pub fn cmd_check(source: &str) -> Result<String, CliError> {
+    cmd_check_with_backend(source, robo_sim::BackendKind::Cpu)
+}
+
+/// `robomorphic check <robot> --backend {cpu,accel,fd}` — like
+/// [`cmd_check`], but running the gradient spot-check through the chosen
+/// [`GradientBackend`](robo_dynamics::engine::GradientBackend) of a
+/// once-built [`robo_sim::RobotPlan`].
+///
+/// # Errors
+///
+/// Propagates loading failures.
+pub fn cmd_check_with_backend(
+    source: &str,
+    kind: robo_sim::BackendKind,
+) -> Result<String, CliError> {
     let robot = load_robot(source)?;
-    let model = robo_dynamics::DynamicsModel::<f64>::new(&robot);
+    // Plan once: model, sparsity, customized design, compiled netlists.
+    let plan = robo_sim::RobotPlan::new(&robot);
+    let model: &robo_dynamics::DynamicsModel<f64> = plan.model();
     let n = robot.dof();
     let zero = vec![0.0; n];
     let mut out = String::new();
     let _ = writeln!(out, "checking `{}`:", robot.name());
 
-    let mass_ok = robo_dynamics::mass_matrix(&model, &zero).ldlt().is_ok();
+    let mass_ok = robo_dynamics::mass_matrix(model, &zero).ldlt().is_ok();
     let _ = writeln!(
         out,
         "  mass matrix positive definite at q = 0: {}",
         if mass_ok { "ok" } else { "FAIL" }
     );
-    let tau = robo_dynamics::bias_torques(&model, &zero, &zero);
+    let tau = robo_dynamics::bias_torques(model, &zero, &zero);
     let finite = tau.iter().all(|t| t.is_finite());
     let _ = writeln!(
         out,
@@ -220,7 +238,7 @@ pub fn cmd_check(source: &str) -> Result<String, CliError> {
         tau.iter().fold(0.0_f64, |a, b| a.max(b.abs()))
     );
     let cm = robo_collision::CollisionModel::from_robot(&robot, 0.05);
-    let clearance = robo_collision::min_clearance(&model, &cm, &zero);
+    let clearance = robo_collision::min_clearance(model, &cm, &zero);
     let _ = writeln!(
         out,
         "  self-clearance at q = 0: {:.3} m across {} pruned pairs{}",
@@ -232,21 +250,18 @@ pub fn cmd_check(source: &str) -> Result<String, CliError> {
             " (WARNING: zero pose self-collides)"
         }
     );
-    // Gradient spot-check against finite differences.
+    // Gradient spot-check through the selected engine backend, against
+    // the finite-difference oracle.
     let input = &robo_baselines::random_inputs(&robot, 1, 0xC11)[0];
-    let g = robo_dynamics::dynamics_gradient_from_qdd(
-        &model,
-        &input.q,
-        &input.qd,
-        &input.qdd,
-        &input.minv,
-    );
-    let fd =
-        robo_dynamics::findiff::rnea_gradient_fd(&model, &input.q, &input.qd, &input.qdd, 1e-6);
+    let g = plan
+        .backend(kind)
+        .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+        .expect("generated input matches the robot");
+    let fd = robo_dynamics::findiff::rnea_gradient_fd(model, &input.q, &input.qd, &input.qdd, 1e-6);
     let err = g.id_gradient.dtau_dq.max_abs_diff(&fd.dtau_dq);
     let _ = writeln!(
         out,
-        "  analytic gradient vs finite differences: {:.2e} max abs error {}",
+        "  `{kind}` backend gradient vs finite differences: {:.2e} max abs error {}",
         err,
         if err < 1e-3 { "(ok)" } else { "(FAIL)" }
     );
@@ -261,10 +276,14 @@ USAGE:
     robomorphic info      <robot>                  morphology & sparsity summary
     robomorphic customize <robot> [--verilog-dir D] run the two-step methodology
     robomorphic convert   <robot> <out.robo>        normalize a description
-    robomorphic check     <robot>                   validate model & dynamics
+    robomorphic check     <robot> [--backend B]     validate model & dynamics
 
 <robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
 .urdf/.xml file (supported subset; see robo-model docs).
+
+--backend selects the engine gradient backend for check's spot-check:
+cpu (analytical kernels, default) | accel (simulated accelerator) |
+fd (finite differences).
 "
 }
 
@@ -283,6 +302,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         [cmd, source, dest] if cmd == "convert" => cmd_convert(source, dest),
         [cmd, source] if cmd == "check" => cmd_check(source),
+        [cmd, source, flag, backend] if cmd == "check" && flag == "--backend" => {
+            let kind = backend.parse().map_err(CliError::Usage)?;
+            cmd_check_with_backend(source, kind)
+        }
         _ => Err(CliError::Usage(usage().to_owned())),
     }
 }

@@ -23,6 +23,7 @@
 //! | [`profile`] | `robo-profile` | workload analysis via an operation-counting scalar |
 //! | [`collision`] | `robo-collision` | capsule collision checking and its robomorphic template |
 //! | [`trajopt`] | `robo-trajopt` | iLQR nonlinear MPC and the control-rate analysis |
+//! | [`engine`] | `robo-dynamics` + `robo-sim` | the plan-once/execute-many engine layer: [`RobotPlan`](engine::RobotPlan) and the [`GradientBackend`](engine::GradientBackend) trait every gradient consumer goes through |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,27 @@ pub use robo_sparsity as sparsity;
 pub use robo_spatial as spatial;
 pub use robo_trajopt as trajopt;
 pub use robomorphic_core as core;
+
+/// The engine layer in one place: build a [`engine::RobotPlan`] once per
+/// morphology, then hand out [`engine::GradientBackend`]s — CPU analytic,
+/// simulated accelerator, or finite differences — to every consumer.
+///
+/// # Examples
+///
+/// ```
+/// use robomorphic::engine::{BackendKind, GradientBackend, RobotPlan};
+/// use robomorphic::model::robots;
+///
+/// let plan = RobotPlan::new(&robots::iiwa14());
+/// let mut backend = plan.backend(BackendKind::Cpu);
+/// assert_eq!(backend.dof(), 7);
+/// ```
+pub mod engine {
+    pub use robo_dynamics::engine::{
+        CpuAnalytic, EngineError, FiniteDiff, GradientBackend, GradientOutput,
+    };
+    pub use robo_sim::engine::{AcceleratorBackend, BackendKind, RobotPlan};
+}
 
 #[doc(hidden)]
 pub mod cli;

@@ -115,6 +115,32 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         "CompiledNetlist::eval_into allocated in steady state"
     );
 
+    // The engine layer on top: once a RobotPlan is built and a backend
+    // warmed, trait-object gradient calls are pure workspace traffic too.
+    // (FiniteDiff is exempt by design — the oracle allocates per call.)
+    let plan = robomorphic::engine::RobotPlan::new(&robot);
+    let mut out = robomorphic::engine::GradientOutput::for_dof(plan.dof());
+    for kind in [
+        robomorphic::engine::BackendKind::Cpu,
+        robomorphic::engine::BackendKind::Accel,
+    ] {
+        let mut backend = plan.backend(kind);
+        backend
+            .gradient_into(&q, &qd, &qdd, &minv, &mut out)
+            .expect("dimensions match the plan");
+        let before = allocations();
+        for _ in 0..32 {
+            backend
+                .gradient_into(&q, &qd, &qdd, &minv, &mut out)
+                .expect("dimensions match the plan");
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "`{kind}` backend allocated in steady state"
+        );
+    }
+
     // Sanity: the counter itself is live (building a workspace allocates).
     let before = allocations();
     let fresh = GradWorkspace::<f64>::for_model(&model);

@@ -55,6 +55,39 @@ fn check_validates_builtin() {
 }
 
 #[test]
+fn check_accepts_backend_flag() {
+    // Every engine backend passes the spot-check on the same robot; the
+    // report names the backend it ran.
+    for backend in ["cpu", "accel", "fd"] {
+        let out = cli::run(&[
+            "check".to_owned(),
+            "iiwa14".to_owned(),
+            "--backend".to_owned(),
+            backend.to_owned(),
+        ])
+        .expect("backend checks");
+        assert!(out.contains(&format!("`{backend}` backend gradient")));
+        assert!(out.contains("(ok)"));
+        assert!(!out.contains("FAIL"));
+    }
+}
+
+#[test]
+fn check_rejects_unknown_backend() {
+    let err = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--backend".to_owned(),
+        "gpu".to_owned(),
+    ])
+    .expect_err("unknown backend");
+    match err {
+        CliError::Usage(msg) => assert!(msg.contains("unknown backend `gpu`")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+}
+
+#[test]
 fn urdf_sources_load() {
     let dir = std::env::temp_dir().join("robomorphic_cli_urdf_test");
     let _ = std::fs::remove_dir_all(&dir);

@@ -15,7 +15,7 @@ fn check_robot(robot: &RobotModel, rel_tol_fixed: f64) {
     let input = &random_inputs(robot, 1, 2024)[0];
 
     // Software reference (the CPU baseline's exact kernel).
-    let cpu = CpuBaseline::new(robot);
+    let mut cpu = CpuBaseline::new(robot);
     let reference = cpu.compute(input);
 
     // Finite differences as ground truth for the reference itself.

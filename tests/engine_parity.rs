@@ -1,0 +1,204 @@
+//! Cross-backend parity of the engine layer: every `GradientBackend` of a
+//! [`RobotPlan`] must agree on the same morphology and state, for every
+//! built-in robot, through the *trait object* interface the consumers
+//! (iLQR, MPC, the CPU baseline, `stream_batch`, the CLI) actually use.
+//!
+//! Tolerances, and why they differ:
+//!
+//! * **cpu vs the raw kernel** — bit-identical. `CpuAnalytic` is a thin
+//!   wrapper over `dynamics_gradient_into`; any difference is a bug.
+//! * **cpu vs accel (both f64)** — tight *relative* tolerance (1e-12),
+//!   not bit-identity. The accelerator simulation evaluates the ∂X/∂q
+//!   stage through compiled netlists whose CSE/constant-folding reorders
+//!   floating-point sums relative to the software kernel, so the two
+//!   paths round differently in the last few ulps (measured 9e-16..2e-13
+//!   across the built-in robots). What *is* bit-identical is the accel
+//!   path across its own X-unit execution modes, asserted below.
+//! * **fd vs cpu** — finite differences with step 1e-6 is an oracle with
+//!   O(step) truncation error; 5e-3 scaled by the gradient's magnitude.
+
+use proptest::prelude::*;
+use robomorphic::dynamics::{dynamics_gradient_from_qdd, mass_matrix_inverse, DynamicsModel};
+use robomorphic::engine::{
+    AcceleratorBackend, BackendKind, GradientBackend, GradientOutput, RobotPlan,
+};
+use robomorphic::model::{robots, RobotModel};
+use robomorphic::sim::{AcceleratorSim, XUnitBackend};
+use robomorphic::spatial::MatN;
+
+fn test_robots() -> Vec<RobotModel> {
+    vec![
+        robots::iiwa14(),
+        robots::hyq(),
+        robots::atlas(),
+        robots::panda(),
+        robots::ur5(),
+        robots::double_pendulum(),
+    ]
+}
+
+/// Deterministically expands `vals` into an `n`-length state vector.
+fn take(vals: &[f64], offset: usize, n: usize, scale: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| scale * vals[(offset + i) % vals.len()])
+        .collect()
+}
+
+fn rel_diff(a: &MatN<f64>, b: &MatN<f64>) -> f64 {
+    a.max_abs_diff(b) / a.max_abs().max(1.0)
+}
+
+fn check_robot(robot: &RobotModel, vals: &[f64], r: usize) {
+    let n = robot.dof();
+    let model = DynamicsModel::<f64>::new(robot);
+    let q = take(vals, 5 * r, n, 1.0);
+    let qd = take(vals, 5 * r + 1, n, 1.5);
+    let qdd = take(vals, 5 * r + 2, n, 2.0);
+    let minv = mass_matrix_inverse(&model, &q).expect("built-in robots have SPD mass matrices");
+
+    let plan = RobotPlan::new(robot);
+    let mut outs = Vec::new();
+    for kind in BackendKind::ALL {
+        let mut backend = plan.backend(kind);
+        assert_eq!(backend.dof(), n, "{}: `{kind}` dof", robot.name());
+        let mut out = GradientOutput::for_dof(n);
+        backend
+            .gradient_into(&q, &qd, &qdd, &minv, &mut out)
+            .expect("dimensions match the plan");
+        outs.push(out);
+    }
+    let [cpu, accel, fd] = <[GradientOutput; 3]>::try_from(outs).expect("three backends");
+
+    // The cpu backend is the raw analytical kernel, bit for bit.
+    let oracle = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+    assert_eq!(cpu.dqdd_dq, oracle.dqdd_dq, "{}: cpu ∂q̈/∂q", robot.name());
+    assert_eq!(cpu.dqdd_dqd, oracle.dqdd_dqd);
+    assert_eq!(cpu.dtau_dq, oracle.id_gradient.dtau_dq);
+    assert_eq!(cpu.dtau_dqd, oracle.id_gradient.dtau_dqd);
+
+    // cpu vs accel: last-ulps disagreement only (see module docs).
+    for (name, a, b) in [
+        ("∂q̈/∂q", &cpu.dqdd_dq, &accel.dqdd_dq),
+        ("∂q̈/∂q̇", &cpu.dqdd_dqd, &accel.dqdd_dqd),
+        ("∂τ/∂q", &cpu.dtau_dq, &accel.dtau_dq),
+        ("∂τ/∂q̇", &cpu.dtau_dqd, &accel.dtau_dqd),
+    ] {
+        let d = rel_diff(a, b);
+        assert!(
+            d < 1e-12,
+            "{}: cpu vs accel {name} relative diff {d:.2e}",
+            robot.name()
+        );
+    }
+
+    // fd vs cpu: truncation-limited oracle agreement.
+    for (name, a, b) in [
+        ("∂q̈/∂q", &cpu.dqdd_dq, &fd.dqdd_dq),
+        ("∂q̈/∂q̇", &cpu.dqdd_dqd, &fd.dqdd_dqd),
+        ("∂τ/∂q", &cpu.dtau_dq, &fd.dtau_dq),
+        ("∂τ/∂q̇", &cpu.dtau_dqd, &fd.dtau_dqd),
+    ] {
+        let d = rel_diff(a, b);
+        assert!(
+            d < 5e-3,
+            "{}: cpu vs fd {name} relative diff {d:.2e}",
+            robot.name()
+        );
+    }
+
+    // The accel path IS bit-identical across its own X-unit execution
+    // modes: compiled netlists vs the factored-coefficient evaluator.
+    let mut coeff_sim = AcceleratorSim::<f64>::new(robot);
+    coeff_sim.set_backend(XUnitBackend::Coefficients);
+    let mut coeff = AcceleratorBackend::from_sim(coeff_sim);
+    let mut out = GradientOutput::for_dof(n);
+    coeff
+        .gradient_into(&q, &qd, &qdd, &minv, &mut out)
+        .expect("dimensions match the robot");
+    assert_eq!(out.dqdd_dq, accel.dqdd_dq, "{}: X-unit modes", robot.name());
+    assert_eq!(out.dqdd_dqd, accel.dqdd_dqd);
+    assert_eq!(out.dtau_dq, accel.dtau_dq);
+    assert_eq!(out.dtau_dqd, accel.dtau_dqd);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #[test]
+    fn backends_agree_on_every_builtin_robot(
+        vals in proptest::collection::vec(-1.0..1.0f64, 64)
+    ) {
+        for (r, robot) in test_robots().into_iter().enumerate() {
+            check_robot(&robot, &vals, r);
+        }
+    }
+}
+
+#[test]
+fn every_backend_rejects_mismatched_dimensions() {
+    let robot = robots::iiwa14();
+    let plan = RobotPlan::new(&robot);
+    let n = plan.dof();
+    let good = vec![0.1; n];
+    let minv = MatN::<f64>::identity(n);
+    let mut out = GradientOutput::for_dof(n);
+    for kind in BackendKind::ALL {
+        let mut backend = plan.backend(kind);
+        let err = backend
+            .gradient_into(&good[..n - 1], &good, &good, &minv, &mut out)
+            .expect_err("short q must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("q"), "`{kind}`: {msg}");
+        assert!(msg.contains(&n.to_string()), "`{kind}`: {msg}");
+        let bad_minv = MatN::<f64>::identity(n + 1);
+        assert!(backend
+            .gradient_into(&good, &good, &good, &bad_minv, &mut out)
+            .is_err());
+    }
+}
+
+#[test]
+fn batch_entry_point_matches_serial_calls() {
+    // The trait's batch path (what stream_batch and iLQR's backward pass
+    // build on) must equal one-at-a-time calls for every backend.
+    use robomorphic::dynamics::batch::GradientState;
+    let robot = robots::hyq();
+    let plan = RobotPlan::new(&robot);
+    let n = plan.dof();
+    let model = DynamicsModel::<f64>::new(&robot);
+
+    let mut s = 42u64;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+    };
+    type OwnedState = (Vec<f64>, Vec<f64>, Vec<f64>, MatN<f64>);
+    let states: Vec<OwnedState> = (0..12)
+        .map(|_| {
+            let q: Vec<f64> = (0..n).map(|_| next()).collect();
+            let qd: Vec<f64> = (0..n).map(|_| 1.5 * next()).collect();
+            let qdd: Vec<f64> = (0..n).map(|_| 2.0 * next()).collect();
+            let minv = mass_matrix_inverse(&model, &q).expect("SPD");
+            (q, qd, qdd, minv)
+        })
+        .collect();
+    let views: Vec<GradientState<'_, f64>> = states
+        .iter()
+        .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+        .collect();
+
+    for kind in BackendKind::ALL {
+        let mut backend = plan.backend(kind);
+        let batch = backend.gradient_batch(&views).expect("dimensions match");
+        assert_eq!(batch.len(), states.len());
+        let mut out = GradientOutput::for_dof(n);
+        for ((q, qd, qdd, minv), b) in states.iter().zip(&batch) {
+            backend
+                .gradient_into(q, qd, qdd, minv, &mut out)
+                .expect("dimensions match");
+            assert_eq!(out.dqdd_dq, b.dqdd_dq, "`{kind}` batch vs serial");
+            assert_eq!(out.dqdd_dqd, b.dqdd_dqd);
+        }
+    }
+}

@@ -217,7 +217,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Length specification for [`vec`](fn@vec): an exact `usize` or a `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
