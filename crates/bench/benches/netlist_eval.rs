@@ -114,9 +114,22 @@ fn bench_netlist_eval(c: &mut Criterion) {
     g.finish();
 }
 
+/// `BENCH_QUICK=1` (CI smoke mode) shrinks sampling to a fraction of the
+/// default; numbers are then indicative only.
+fn config() -> Criterion {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+    if quick {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(20))
+    } else {
+        Criterion::default().sample_size(50)
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(50);
+    config = config();
     targets = bench_netlist_eval
 }
 criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Plain-text table rendering for the experiment harness.
+//! Plain-text table rendering for the experiment harness, plus the
+//! machine-readable benchmark report consumed by CI.
 
 use std::fmt::Write as _;
 
@@ -88,6 +89,107 @@ impl Table {
     }
 }
 
+/// A machine-readable benchmark report: bench name → median nanoseconds,
+/// plus named speedup ratios. Serialized as JSON by hand (the workspace
+/// builds fully offline, so there is no serde) and uploaded as a CI
+/// artifact (`BENCH_5.json`) by the bench runners.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    medians_ns: Vec<(String, f64)>,
+    speedups: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one bench's median time (nanoseconds per evaluated item).
+    pub fn record_median_ns(&mut self, name: impl Into<String>, median_ns: f64) -> &mut Self {
+        self.medians_ns.push((name.into(), median_ns));
+        self
+    }
+
+    /// Records a named speedup ratio (e.g. lane path over scalar path).
+    pub fn record_speedup(&mut self, name: impl Into<String>, ratio: f64) -> &mut Self {
+        self.speedups.push((name.into(), ratio));
+        self
+    }
+
+    /// Looks up a recorded median by name.
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.medians_ns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a recorded speedup by name.
+    pub fn speedup_of(&self, name: &str) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the report as a JSON object:
+    /// `{"medians_ns": {name: ns, ...}, "speedups": {name: ratio, ...}}`.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn object(entries: &[(String, f64)]) -> String {
+            let fields: Vec<String> = entries
+                .iter()
+                .map(|(k, v)| format!("    \"{}\": {:.3}", escape(k), v))
+                .collect();
+            if fields.is_empty() {
+                "{}".to_string()
+            } else {
+                format!("{{\n{}\n  }}", fields.join(",\n"))
+            }
+        }
+        format!(
+            "{{\n  \"medians_ns\": {},\n  \"speedups\": {}\n}}\n",
+            object(&self.medians_ns),
+            object(&self.speedups),
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The median of a sample set (averaging the middle pair for even sizes).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("comparable samples"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        0.5 * (samples[mid - 1] + samples[mid])
+    }
+}
+
 /// Formats seconds as a microsecond string with two decimals.
 pub fn us(seconds: f64) -> String {
     format!("{:.2}", seconds * 1e6)
@@ -125,5 +227,35 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(us(1.5e-6), "1.50");
         assert_eq!(speedup(8.04), "8.0x");
+    }
+
+    #[test]
+    fn median_odd_even_and_order() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn bench_report_json_shape() {
+        let mut r = BenchReport::new();
+        r.record_median_ns("tape_scalar", 1234.5678);
+        r.record_median_ns("tape_lanes4", 400.0);
+        r.record_speedup("tape_lanes4_vs_scalar", 3.086);
+        let json = r.to_json();
+        assert!(json.contains("\"medians_ns\""));
+        assert!(json.contains("\"tape_scalar\": 1234.568"));
+        assert!(json.contains("\"speedups\""));
+        assert!(json.contains("\"tape_lanes4_vs_scalar\": 3.086"));
+        assert_eq!(r.median_ns("tape_lanes4"), Some(400.0));
+        assert_eq!(r.speedup_of("missing"), None);
+    }
+
+    #[test]
+    fn bench_report_escapes_names() {
+        let mut r = BenchReport::new();
+        r.record_median_ns("quote\"back\\slash", 1.0);
+        let json = r.to_json();
+        assert!(json.contains("quote\\\"back\\\\slash"));
     }
 }

@@ -30,18 +30,251 @@
 
 use crate::netlist::{Netlist, Node};
 use robo_dynamics::batch::BatchEngine;
-use robo_spatial::Scalar;
+use robo_spatial::{Lanes, Scalar, SERVE_LANES};
 
 /// One tape instruction. Operands and destinations are register-file
-/// slots; `Const`/`MulConst` reference the hoisted constant table.
+/// slots; `Const`/`MulConst`/`MulConstAdd` reference the hoisted constant
+/// table.
+///
+/// The `*Add` forms are produced by the post-compile fusion pass: a
+/// producer whose only consumer is one `Add` is folded into that `Add`,
+/// halving dispatch and register traffic for the dominant
+/// multiply-accumulate chains. Each fused instruction still executes its
+/// two arithmetic steps separately (product, then sum), so results stay
+/// bit-identical in every scalar type — this is instruction fusion, not
+/// FMA contraction.
 #[derive(Debug, Clone, Copy)]
 enum Instr {
-    Const { idx: u32, dst: u32 },
-    Mul { a: u32, b: u32, dst: u32 },
-    MulConst { a: u32, idx: u32, dst: u32 },
-    Add { a: u32, b: u32, dst: u32 },
-    Sub { a: u32, b: u32, dst: u32 },
-    Neg { a: u32, dst: u32 },
+    Const {
+        idx: u32,
+        dst: u32,
+    },
+    Mul {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    MulConst {
+        a: u32,
+        idx: u32,
+        dst: u32,
+    },
+    Add {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Sub {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Neg {
+        a: u32,
+        dst: u32,
+    },
+    /// `dst = (a · b) + c`, two rounding steps.
+    MulAdd {
+        a: u32,
+        b: u32,
+        c: u32,
+        dst: u32,
+    },
+    /// `dst = (a · consts[idx]) + c`, two rounding steps.
+    MulConstAdd {
+        a: u32,
+        idx: u32,
+        c: u32,
+        dst: u32,
+    },
+    /// `dst = (a + b) + c`, two rounding steps.
+    AddAdd {
+        a: u32,
+        b: u32,
+        c: u32,
+        dst: u32,
+    },
+    /// `dst = (−a) + c` (from the optimizer's `a−b → a+(−b)` form).
+    NegAdd {
+        a: u32,
+        c: u32,
+        dst: u32,
+    },
+}
+
+impl Instr {
+    /// The register this instruction writes.
+    fn dst(self) -> u32 {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::MulConst { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::Neg { dst, .. }
+            | Instr::MulAdd { dst, .. }
+            | Instr::MulConstAdd { dst, .. }
+            | Instr::AddAdd { dst, .. }
+            | Instr::NegAdd { dst, .. } => dst,
+        }
+    }
+
+    /// Calls `f` with every register this instruction reads.
+    fn for_each_read(self, mut f: impl FnMut(u32)) {
+        match self {
+            Instr::Const { .. } => {}
+            Instr::MulConst { a, .. } | Instr::Neg { a, .. } => f(a),
+            Instr::Mul { a, b, .. } | Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::MulConstAdd { a, c, .. } | Instr::NegAdd { a, c, .. } => {
+                f(a);
+                f(c);
+            }
+            Instr::MulAdd { a, b, c, .. } | Instr::AddAdd { a, b, c, .. } => {
+                f(a);
+                f(b);
+                f(c);
+            }
+        }
+    }
+}
+
+/// How many producers the tape-fusion pass folded into their consuming
+/// `Add`, by fused opcode. Each fusion removes one tape instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionCounts {
+    /// `Mul` + `Add` → `Instr::MulAdd`.
+    pub mul_add: usize,
+    /// `MulConst` + `Add` → `Instr::MulConstAdd`.
+    pub mul_const_add: usize,
+    /// `Add` + `Add` → `Instr::AddAdd`.
+    pub add_add: usize,
+    /// `Neg` + `Add` → `Instr::NegAdd`.
+    pub neg_add: usize,
+}
+
+impl FusionCounts {
+    /// Total fused pairs — the number of instructions the pass removed
+    /// from the tape.
+    pub fn total(&self) -> usize {
+        self.mul_add + self.mul_const_add + self.add_add + self.neg_add
+    }
+}
+
+impl core::fmt::Display for FusionCounts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} fused (mul+add {}, cmul+add {}, add+add {}, neg+add {})",
+            self.total(),
+            self.mul_add,
+            self.mul_const_add,
+            self.add_add,
+            self.neg_add,
+        )
+    }
+}
+
+/// Peephole fusion over a freshly emitted tape: folds a producer
+/// (`Mul`/`MulConst`/`Add`/`Neg`) into the single `Add` that consumes its
+/// value, in place.
+///
+/// Legality for fusing producer `i` (writing register `r`) into the `Add`
+/// at `j`:
+///
+/// * `r` is not an output register (the fused form no longer writes it);
+/// * the `Add` at `j` is the only instruction reading `r` after `i`
+///   (scanning stops at the next write of `r`, after which the old value
+///   is dead anyway);
+/// * none of the producer's source registers is overwritten between `i`
+///   and `j`, so deferring the producer's arithmetic to `j` reads the
+///   same values.
+///
+/// The fused form computes the producer's value `t` first and then `t +
+/// other`, so the only bit-level liberty taken is commuting the final
+/// addition when the producer fed the `Add`'s right operand — exact in
+/// IEEE floats (non-NaN) and in saturating two's-complement fixed point.
+fn fuse_tape(tape: &mut Vec<Instr>, outputs: &[(String, u32)]) -> FusionCounts {
+    let mut counts = FusionCounts::default();
+    let mut removed = vec![false; tape.len()];
+    'adds: for j in 0..tape.len() {
+        let Instr::Add { a, b, dst } = tape[j] else {
+            continue;
+        };
+        if a == b {
+            continue;
+        }
+        for (r, z) in [(a, b), (b, a)] {
+            if outputs.iter().any(|(_, reg)| *reg == r) {
+                continue;
+            }
+            // Latest live writer of `r` before the Add.
+            let Some(i) = (0..j).rev().find(|&k| !removed[k] && tape[k].dst() == r) else {
+                continue;
+            };
+            let (srcs, n_srcs) = match tape[i] {
+                Instr::Mul { a, b, .. } | Instr::Add { a, b, .. } => ([a, b], 2),
+                Instr::MulConst { a, .. } | Instr::Neg { a, .. } => ([a, 0], 1),
+                _ => continue,
+            };
+            let mut legal = true;
+            for k in i + 1..tape.len() {
+                if removed[k] {
+                    continue;
+                }
+                if k == j {
+                    if dst == r {
+                        // The Add recycled `r` as its destination; later
+                        // reads see the fused result as before.
+                        break;
+                    }
+                    continue;
+                }
+                let mut reads_r = false;
+                tape[k].for_each_read(|reg| reads_r |= reg == r);
+                if reads_r {
+                    legal = false;
+                    break;
+                }
+                if k < j && srcs[..n_srcs].contains(&tape[k].dst()) {
+                    legal = false;
+                    break;
+                }
+                if tape[k].dst() == r {
+                    break;
+                }
+            }
+            if !legal {
+                continue;
+            }
+            tape[j] = match tape[i] {
+                Instr::Mul { a, b, .. } => {
+                    counts.mul_add += 1;
+                    Instr::MulAdd { a, b, c: z, dst }
+                }
+                Instr::MulConst { a, idx, .. } => {
+                    counts.mul_const_add += 1;
+                    Instr::MulConstAdd { a, idx, c: z, dst }
+                }
+                Instr::Add { a, b, .. } => {
+                    counts.add_add += 1;
+                    Instr::AddAdd { a, b, c: z, dst }
+                }
+                Instr::Neg { a, .. } => {
+                    counts.neg_add += 1;
+                    Instr::NegAdd { a, c: z, dst }
+                }
+                _ => unreachable!("producer match guards fusible opcodes"),
+            };
+            removed[i] = true;
+            continue 'adds;
+        }
+    }
+    let mut keep = removed.iter().map(|r| !*r);
+    tape.retain(|_| keep.next().unwrap());
+    counts
 }
 
 /// Reusable register file for [`CompiledNetlist::eval_into`]. The first
@@ -94,6 +327,7 @@ pub struct CompiledNetlist<S> {
     tape: Vec<Instr>,
     num_regs: usize,
     outputs: Vec<(String, u32)>,
+    fusion: FusionCounts,
 }
 
 /// Register allocator state during compilation.
@@ -258,11 +492,13 @@ impl<S: Scalar> CompiledNetlist<S> {
             tape.push(instr);
         }
 
-        let outputs = netlist
+        let outputs: Vec<(String, u32)> = netlist
             .outputs()
             .iter()
             .map(|(name, id)| (name.clone(), reg_of[*id]))
             .collect();
+
+        let fusion = fuse_tape(&mut tape, &outputs);
 
         Self {
             name: netlist.name().to_owned(),
@@ -271,6 +507,7 @@ impl<S: Scalar> CompiledNetlist<S> {
             tape,
             num_regs: alloc.next as usize,
             outputs,
+            fusion,
         }
     }
 
@@ -302,9 +539,33 @@ impl<S: Scalar> CompiledNetlist<S> {
         self.num_regs
     }
 
-    /// Number of tape instructions (live non-input nodes).
+    /// Number of tape instructions (live non-input nodes, after fusion).
     pub fn tape_len(&self) -> usize {
         self.tape.len()
+    }
+
+    /// What the post-compile fusion pass folded. The pre-fusion tape length
+    /// is `tape_len() + fusion_counts().total()`.
+    pub fn fusion_counts(&self) -> FusionCounts {
+        self.fusion
+    }
+
+    /// Re-targets this tape at the wide scalar `Lanes<S, W>`, evaluating
+    /// `W` independent states per instruction.
+    ///
+    /// The instruction stream, register assignment, and fusion are reused
+    /// verbatim; constants are splat per lane, so every lane of a wide
+    /// evaluation is bit-identical to a scalar run of the same tape.
+    pub fn widen<const W: usize>(&self) -> CompiledNetlist<Lanes<S, W>> {
+        CompiledNetlist {
+            name: self.name.clone(),
+            input_names: self.input_names.clone(),
+            consts: self.consts.iter().map(|&c| Lanes::splat(c)).collect(),
+            tape: self.tape.clone(),
+            num_regs: self.num_regs,
+            outputs: self.outputs.clone(),
+            fusion: self.fusion,
+        }
     }
 
     /// Evaluates the tape into `outputs`, reusing the workspace's register
@@ -350,6 +611,22 @@ impl<S: Scalar> CompiledNetlist<S> {
                     regs[dst as usize] = regs[a as usize] - regs[b as usize];
                 }
                 Instr::Neg { a, dst } => regs[dst as usize] = -regs[a as usize],
+                Instr::MulAdd { a, b, c, dst } => {
+                    let t = regs[a as usize] * regs[b as usize];
+                    regs[dst as usize] = t + regs[c as usize];
+                }
+                Instr::MulConstAdd { a, idx, c, dst } => {
+                    let t = regs[a as usize] * self.consts[idx as usize];
+                    regs[dst as usize] = t + regs[c as usize];
+                }
+                Instr::AddAdd { a, b, c, dst } => {
+                    let t = regs[a as usize] + regs[b as usize];
+                    regs[dst as usize] = t + regs[c as usize];
+                }
+                Instr::NegAdd { a, c, dst } => {
+                    let t = -regs[a as usize];
+                    regs[dst as usize] = t + regs[c as usize];
+                }
             }
         }
         for (slot, (_, reg)) in outputs.iter_mut().zip(&self.outputs) {
@@ -369,9 +646,76 @@ impl<S: Scalar> CompiledNetlist<S> {
         out
     }
 
-    /// Streams a batch of input states through the tape on `engine`, one
-    /// reusable [`EvalWorkspace`] per participating worker, returning one
-    /// output vector per state in order.
+    /// Evaluates a batch of states into a caller-provided flat buffer with
+    /// zero per-state allocation: full groups of `W` states run through the
+    /// widened tape one instruction for all `W` lanes at a time, and the
+    /// ragged tail falls back to the scalar tape.
+    ///
+    /// Results land row-major: state `i`'s outputs occupy
+    /// `out[i * num_outputs() .. (i + 1) * num_outputs()]`, bit-identical
+    /// to `W` independent [`CompiledNetlist::eval_into`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` was built for a different netlist, `out` is not
+    /// exactly `states.len() * num_outputs()` long, or any state's length
+    /// does not match the input slot count.
+    pub fn eval_batch_into<I: AsRef<[S]>, const W: usize>(
+        &self,
+        states: &[I],
+        ws: &mut BatchEvalWorkspace<S, W>,
+        out: &mut [S],
+    ) {
+        let n_in = self.input_names.len();
+        let n_out = self.outputs.len();
+        assert_eq!(
+            ws.wide.tape.len(),
+            self.tape.len(),
+            "workspace built for a different netlist"
+        );
+        assert_eq!(ws.in_w.len(), n_in, "workspace input width mismatch");
+        assert_eq!(ws.out_w.len(), n_out, "workspace output width mismatch");
+        assert_eq!(
+            out.len(),
+            states.len() * n_out,
+            "flat output buffer length mismatch"
+        );
+        let full = states.len() / W;
+        for chunk in 0..full {
+            let base = chunk * W;
+            for (l, state) in states[base..base + W].iter().enumerate() {
+                let state = state.as_ref();
+                assert_eq!(state.len(), n_in, "input slot count mismatch");
+                for (k, lane) in ws.in_w.iter_mut().enumerate() {
+                    lane.set_lane(l, state[k]);
+                }
+            }
+            ws.wide
+                .eval_into(&ws.in_w, &mut ws.wide_regs, &mut ws.out_w);
+            for (o, wide) in ws.out_w.iter().enumerate() {
+                for l in 0..W {
+                    out[(base + l) * n_out + o] = wide.lane(l);
+                }
+            }
+        }
+        for (i, state) in states.iter().enumerate().skip(full * W) {
+            self.eval_into(
+                state.as_ref(),
+                &mut ws.scalar_regs,
+                &mut out[i * n_out..(i + 1) * n_out],
+            );
+        }
+    }
+
+    /// Streams a batch of input states through the tape on `engine`,
+    /// returning one output vector per state in order.
+    ///
+    /// Convenience wrapper over [`CompiledNetlist::eval_batch_into`]:
+    /// workers claim lane-group chunks of states (threads × lanes
+    /// parallelism), each through a reusable [`BatchEvalWorkspace`], and
+    /// the flat per-chunk results are carved into the legacy
+    /// vector-per-state shape. Callers on the serving path should use
+    /// [`CompiledNetlist::eval_batch_into`] directly and keep buffers warm.
     ///
     /// # Panics
     ///
@@ -381,15 +725,55 @@ impl<S: Scalar> CompiledNetlist<S> {
         engine: &BatchEngine,
         states: &[I],
     ) -> Vec<Vec<S>> {
-        engine.run_with_state(
-            states.len(),
-            || EvalWorkspace::for_netlist(self),
-            |ws, i| {
-                let mut out = vec![S::zero(); self.outputs.len()];
-                self.eval_into(states[i].as_ref(), ws, &mut out);
-                out
+        // Several lane groups per claimed chunk amortizes the claim; small
+        // enough to keep all workers fed on modest batches.
+        const GROUPS_PER_CHUNK: usize = 4;
+        let chunk_len = GROUPS_PER_CHUNK * SERVE_LANES;
+        let n_out = self.outputs.len();
+        let chunks = engine.run_with_state(
+            states.len().div_ceil(chunk_len),
+            || BatchEvalWorkspace::<S, SERVE_LANES>::for_netlist(self),
+            |ws, ci| {
+                let lo = ci * chunk_len;
+                let hi = usize::min(lo + chunk_len, states.len());
+                let mut flat = vec![S::zero(); (hi - lo) * n_out];
+                self.eval_batch_into(&states[lo..hi], ws, &mut flat);
+                flat
             },
-        )
+        );
+        let mut per_state = Vec::with_capacity(states.len());
+        for flat in &chunks {
+            per_state.extend(flat.chunks_exact(n_out).map(<[S]>::to_vec));
+        }
+        per_state
+    }
+}
+
+/// Reusable buffers for [`CompiledNetlist::eval_batch_into`]: the widened
+/// tape, its register file, lane-transposed input/output staging, and a
+/// scalar register file for the ragged tail. Build once per worker; every
+/// evaluation through it is allocation-free.
+#[derive(Debug, Clone)]
+pub struct BatchEvalWorkspace<S: Scalar, const W: usize = SERVE_LANES> {
+    wide: CompiledNetlist<Lanes<S, W>>,
+    wide_regs: EvalWorkspace<Lanes<S, W>>,
+    scalar_regs: EvalWorkspace<S>,
+    in_w: Vec<Lanes<S, W>>,
+    out_w: Vec<Lanes<S, W>>,
+}
+
+impl<S: Scalar, const W: usize> BatchEvalWorkspace<S, W> {
+    /// Widens `compiled` and pre-sizes every buffer, so even the first
+    /// batch evaluation allocates nothing.
+    pub fn for_netlist(compiled: &CompiledNetlist<S>) -> Self {
+        let wide = compiled.widen::<W>();
+        Self {
+            wide_regs: EvalWorkspace::for_netlist(&wide),
+            scalar_regs: EvalWorkspace::for_netlist(compiled),
+            in_w: vec![Lanes::splat(S::zero()); compiled.input_names.len()],
+            out_w: vec![Lanes::splat(S::zero()); compiled.outputs.len()],
+            wide,
+        }
     }
 }
 
@@ -538,6 +922,83 @@ mod tests {
     fn wrong_input_arity_panics() {
         let compiled = CompiledNetlist::<f64>::compile(&tiny());
         let _ = compiled.eval(&[1.0]);
+    }
+
+    #[test]
+    fn fusion_shrinks_tiny_tape() {
+        // tiny() is Mul, MulConst, Add, Neg; the Mul feeds only the Add,
+        // so the pass folds them into one MulAdd.
+        let compiled = CompiledNetlist::<f64>::compile(&tiny());
+        assert_eq!(compiled.fusion_counts().mul_add, 1);
+        assert_eq!(compiled.fusion_counts().total(), 1);
+        assert_eq!(compiled.tape_len(), 3);
+        assert_eq!(compiled.eval(&[3.0, 4.0, 5.0]), vec![-22.0]);
+    }
+
+    #[test]
+    fn fusion_shrinks_optimized_x_unit_tapes() {
+        use crate::xunit_gen::generate_x_unit;
+        use robo_model::robots;
+        let robot = robots::iiwa14();
+        let mut total_fused = 0;
+        for joint in 0..robot.dof() {
+            let opt = optimize(&generate_x_unit(&robot, joint));
+            let compiled = CompiledNetlist::<f64>::compile(&opt);
+            let fused = compiled.fusion_counts().total();
+            assert!(
+                fused > 0,
+                "joint {joint}: multiply-accumulate netlist should fuse"
+            );
+            total_fused += fused;
+        }
+        assert!(total_fused >= robot.dof());
+    }
+
+    #[test]
+    fn eval_batch_into_matches_scalar_bit_for_bit() {
+        let compiled = CompiledNetlist::<f64>::compile(&tiny());
+        let n_out = compiled.num_outputs();
+        // 11 states: two full Lanes<_, 4> groups plus a ragged tail of 3.
+        let states: Vec<[f64; 3]> = (0..11)
+            .map(|i| {
+                let x = f64::from(i);
+                [0.3 * x, 1.0 - x, 0.5 * x - 2.0]
+            })
+            .collect();
+        let mut ws = BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+        let mut flat = vec![0.0; states.len() * n_out];
+        compiled.eval_batch_into(&states, &mut ws, &mut flat);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(&flat[i * n_out..(i + 1) * n_out], &compiled.eval(s)[..]);
+        }
+    }
+
+    #[test]
+    fn widened_x_unit_lanes_match_scalar_bit_for_bit() {
+        use crate::xunit_gen::generate_x_unit;
+        use robo_model::robots;
+        let robot = robots::iiwa14();
+        let opt = optimize(&generate_x_unit(&robot, 2));
+        let compiled = CompiledNetlist::<f64>::compile(&opt);
+        let n_in = compiled.input_names().len();
+        let n_out = compiled.num_outputs();
+        let states: Vec<Vec<f64>> = (0..6)
+            .map(|s| {
+                (0..n_in)
+                    .map(|k| 0.17 * (s * n_in + k) as f64 - 1.1)
+                    .collect()
+            })
+            .collect();
+        let mut ws = BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+        let mut flat = vec![0.0; states.len() * n_out];
+        compiled.eval_batch_into(&states, &mut ws, &mut flat);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(
+                &flat[i * n_out..(i + 1) * n_out],
+                &compiled.eval(s)[..],
+                "state {i}"
+            );
+        }
     }
 
     #[test]

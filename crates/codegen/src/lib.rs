@@ -57,7 +57,7 @@ mod top;
 mod verilog;
 mod xunit_gen;
 
-pub use compiled::{CompiledNetlist, EvalWorkspace};
+pub use compiled::{BatchEvalWorkspace, CompiledNetlist, EvalWorkspace, FusionCounts};
 pub use netlist::{Netlist, NetlistError, NetlistStats, Node, NodeId};
 pub use opt::{optimize, optimize_with_report, OptReport};
 pub use top::{generate_top, TopLevel};

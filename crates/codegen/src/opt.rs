@@ -31,6 +31,7 @@
 //!
 //! [`Scalar`]: robo_spatial::Scalar
 
+use crate::compiled::FusionCounts;
 use crate::netlist::{Netlist, NetlistStats, Node, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -47,6 +48,21 @@ pub struct OptReport {
     pub nodes_before: usize,
     /// Total node count after optimization.
     pub nodes_after: usize,
+    /// What the compiled tape's fusion pass folded, when the netlist was
+    /// subsequently compiled (attached via [`OptReport::with_fusion`];
+    /// `None` straight out of [`optimize_with_report`], which never
+    /// compiles).
+    pub fusion: Option<FusionCounts>,
+}
+
+impl OptReport {
+    /// Attaches the compile-time fusion counts of the tape this netlist
+    /// was lowered into, so one report covers both reduction stages.
+    #[must_use]
+    pub fn with_fusion(mut self, counts: FusionCounts) -> Self {
+        self.fusion = Some(counts);
+        self
+    }
 }
 
 impl fmt::Display for OptReport {
@@ -64,7 +80,11 @@ impl fmt::Display for OptReport {
             self.after.negs,
             self.nodes_before,
             self.nodes_after,
-        )
+        )?;
+        if let Some(fusion) = &self.fusion {
+            write!(f, ", tape {fusion}")?;
+        }
+        Ok(())
     }
 }
 
@@ -288,6 +308,7 @@ pub fn optimize_with_report(netlist: &Netlist) -> (Netlist, OptReport) {
         after: current.stats(),
         nodes_before,
         nodes_after: current.nodes().len(),
+        fusion: None,
     };
     (current, report)
 }

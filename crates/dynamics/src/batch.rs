@@ -219,22 +219,6 @@ impl ThreadPool {
             .map(|x| x.expect("worker panicked before storing a result"))
             .collect()
     }
-
-    /// Runs `f(0..count)` across the pool with a shared, `'static` closure.
-    ///
-    /// Kept for API compatibility with earlier revisions; [`ThreadPool::run`]
-    /// accepts borrowing closures and needs no `Arc`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker panicked while processing an item.
-    pub fn run_batch<T, F>(&self, count: usize, f: Arc<F>) -> Vec<T>
-    where
-        T: Send + 'static,
-        F: Fn(usize) -> T + Send + Sync + 'static,
-    {
-        self.run(count, move |i| f(i))
-    }
 }
 
 impl Drop for ThreadPool {
@@ -387,7 +371,7 @@ mod tests {
     #[test]
     fn computes_in_order() {
         let pool = ThreadPool::new(3);
-        let out = pool.run_batch(50, Arc::new(|i: usize| 2 * i));
+        let out = pool.run(50, |i| 2 * i);
         assert_eq!(out.len(), 50);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2 * i);
@@ -397,14 +381,14 @@ mod tests {
     #[test]
     fn empty_batch() {
         let pool = ThreadPool::new(2);
-        let out: Vec<usize> = pool.run_batch(0, Arc::new(|i: usize| i));
+        let out: Vec<usize> = pool.run(0, |i| i);
         assert!(out.is_empty());
     }
 
     #[test]
     fn batch_smaller_than_pool() {
         let pool = ThreadPool::new(8);
-        let out = pool.run_batch(3, Arc::new(|i: usize| i + 1));
+        let out = pool.run(3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
     }
 
@@ -412,7 +396,7 @@ mod tests {
     fn reusable_across_batches() {
         let pool = ThreadPool::new(4);
         for round in 0..5 {
-            let out = pool.run_batch(16, Arc::new(move |i: usize| i * round));
+            let out = pool.run(16, |i| i * round);
             assert_eq!(out[3], 3 * round);
         }
     }

@@ -30,7 +30,7 @@ use crate::{
     InverseDynamicsGradient,
 };
 use robo_model::RobotModel;
-use robo_spatial::{MatN, Scalar};
+use robo_spatial::{Lanes, MatN, Scalar, SERVE_LANES};
 use std::sync::Arc;
 
 /// Error from an engine-boundary gradient call.
@@ -154,6 +154,136 @@ impl GradientOutput {
     }
 }
 
+/// Flat structure-of-arrays output for a whole gradient batch: four
+/// buffers of `count · dof · dof` values, state-major then row-major, so
+/// batch producers write (and consumers like the iLQR linearization read)
+/// contiguous per-state blocks with zero per-state allocation once warm.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GradientBatchOutput {
+    count: usize,
+    dof: usize,
+    /// `∂q̈/∂q` for every state; state `i` owns
+    /// `[i·dof², (i+1)·dof²)`, row-major within the block.
+    pub dqdd_dq: Vec<f64>,
+    /// `∂q̈/∂q̇`, same layout.
+    pub dqdd_dqd: Vec<f64>,
+    /// `∂τ/∂q`, same layout.
+    pub dtau_dq: Vec<f64>,
+    /// `∂τ/∂q̇`, same layout.
+    pub dtau_dqd: Vec<f64>,
+}
+
+impl GradientBatchOutput {
+    /// An empty output; [`GradientBatchOutput::reset`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for `count` states of `dof` joints. Shrinking or
+    /// re-using at the same size never reallocates, so a warm output makes
+    /// repeated batch calls allocation-free.
+    pub fn reset(&mut self, count: usize, dof: usize) {
+        self.count = count;
+        self.dof = dof;
+        let len = count * dof * dof;
+        self.dqdd_dq.resize(len, 0.0);
+        self.dqdd_dqd.resize(len, 0.0);
+        self.dtau_dq.resize(len, 0.0);
+        self.dtau_dqd.resize(len, 0.0);
+    }
+
+    /// Number of states the output currently holds.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Joint count of every block.
+    pub fn dof(&self) -> usize {
+        self.dof
+    }
+
+    fn block(&self, buf: &'static str, i: usize) -> core::ops::Range<usize> {
+        assert!(i < self.count, "state {i} out of range for {buf}");
+        let n2 = self.dof * self.dof;
+        i * n2..(i + 1) * n2
+    }
+
+    /// State `i`'s `∂q̈/∂q` block (row-major `dof × dof`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()` (all four accessors).
+    pub fn dqdd_dq_at(&self, i: usize) -> &[f64] {
+        &self.dqdd_dq[self.block("dqdd_dq", i)]
+    }
+
+    /// State `i`'s `∂q̈/∂q̇` block.
+    pub fn dqdd_dqd_at(&self, i: usize) -> &[f64] {
+        &self.dqdd_dqd[self.block("dqdd_dqd", i)]
+    }
+
+    /// State `i`'s `∂τ/∂q` block.
+    pub fn dtau_dq_at(&self, i: usize) -> &[f64] {
+        &self.dtau_dq[self.block("dtau_dq", i)]
+    }
+
+    /// State `i`'s `∂τ/∂q̇` block.
+    pub fn dtau_dqd_at(&self, i: usize) -> &[f64] {
+        &self.dtau_dqd[self.block("dtau_dqd", i)]
+    }
+
+    /// Copies one dense [`GradientOutput`] into state `i`'s blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()` or `out`'s matrices are not `dof × dof`.
+    pub fn store(&mut self, i: usize, out: &GradientOutput) {
+        let n = self.dof;
+        let range = self.block("store", i);
+        for (flat, mat) in [
+            (&mut self.dqdd_dq, &out.dqdd_dq),
+            (&mut self.dqdd_dqd, &out.dqdd_dqd),
+            (&mut self.dtau_dq, &out.dtau_dq),
+            (&mut self.dtau_dqd, &out.dtau_dqd),
+        ] {
+            assert_eq!((mat.rows(), mat.cols()), (n, n), "gradient block shape");
+            let dst = &mut flat[range.clone()];
+            for r in 0..n {
+                for c in 0..n {
+                    dst[r * n + c] = mat[(r, c)];
+                }
+            }
+        }
+    }
+
+    /// Reassembles state `i`'s blocks into an owned [`DynamicsGradient`]
+    /// (for callers on the legacy vector-of-gradients shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    pub fn gradient_at(&self, i: usize) -> DynamicsGradient<f64> {
+        let n = self.dof;
+        let unflatten = |flat: &[f64]| {
+            let mut m = MatN::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    m[(r, c)] = flat[r * n + c];
+                }
+            }
+            m
+        };
+        DynamicsGradient {
+            dqdd_dq: unflatten(self.dqdd_dq_at(i)),
+            dqdd_dqd: unflatten(self.dqdd_dqd_at(i)),
+            id_gradient: InverseDynamicsGradient {
+                dtau_dq: unflatten(self.dtau_dq_at(i)),
+                dtau_dqd: unflatten(self.dtau_dqd_at(i)),
+            },
+        }
+    }
+}
+
 /// A dynamics-gradient provider behind the accelerator's exact interface
 /// (Figure 9): given the host's `(q, q̇, q̈, M⁻¹)`, fill in
 /// `(∂q̈/∂q, ∂q̈/∂q̇)` and the step-2 intermediates.
@@ -191,9 +321,85 @@ pub trait GradientBackend: Send + Sync {
     /// immutable plan (model, netlists) but owning fresh workspaces.
     fn fork(&self) -> Box<dyn GradientBackend + '_>;
 
+    /// Computes a batch of gradients serially into a flat SoA output.
+    ///
+    /// The default loops [`GradientBackend::gradient_into`] through one
+    /// dense scratch block. Wide backends ([`CpuAnalytic`], the
+    /// accelerator) override it to run [`SERVE_LANES`] states per
+    /// instruction, allocation-free once `self` and `out` are warm, with
+    /// per-state results bit-identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed evaluation point's [`EngineError`];
+    /// `out` contents are unspecified on error.
+    fn gradient_batch_into(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+    ) -> Result<(), EngineError> {
+        out.reset(states.len(), self.dof());
+        let mut scratch = GradientOutput::for_dof(self.dof());
+        for (i, s) in states.iter().enumerate() {
+            self.gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)?;
+            out.store(i, &scratch);
+        }
+        Ok(())
+    }
+
+    /// Computes a batch of gradients data-parallel on `engine` into a flat
+    /// SoA output — two-level parallelism: workers claim lane-group chunks
+    /// of [`SERVE_LANES`] states, and each chunk runs through the worker's
+    /// (possibly wide) [`GradientBackend::gradient_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing chunk's [`EngineError`]; `out` contents
+    /// are unspecified on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while processing a chunk.
+    fn gradient_batch_on_into(
+        &self,
+        engine: &BatchEngine,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+    ) -> Result<(), EngineError> {
+        let dof = self.dof();
+        let chunk_len = SERVE_LANES;
+        let parts = engine.run_with_state(
+            states.len().div_ceil(chunk_len),
+            || self.fork(),
+            |backend, ci| {
+                let lo = ci * chunk_len;
+                let hi = usize::min(lo + chunk_len, states.len());
+                let mut part = GradientBatchOutput::new();
+                backend
+                    .gradient_batch_into(&states[lo..hi], &mut part)
+                    .map(|()| part)
+            },
+        );
+        out.reset(states.len(), dof);
+        let n2 = dof * dof;
+        for (ci, part) in parts.into_iter().enumerate() {
+            let part = part?;
+            let lo = ci * chunk_len * n2;
+            let hi = lo + part.count() * n2;
+            out.dqdd_dq[lo..hi].copy_from_slice(&part.dqdd_dq);
+            out.dqdd_dqd[lo..hi].copy_from_slice(&part.dqdd_dqd);
+            out.dtau_dq[lo..hi].copy_from_slice(&part.dtau_dq);
+            out.dtau_dqd[lo..hi].copy_from_slice(&part.dtau_dqd);
+        }
+        Ok(())
+    }
+
     /// Computes a batch of gradients data-parallel on `engine`, one forked
     /// backend instance per participating worker (the paper's §6.1 batch
-    /// structure).
+    /// structure). Convenience wrapper over
+    /// [`GradientBackend::gradient_batch_on_into`] returning owned
+    /// per-state gradients; serving-path callers should use the `_into`
+    /// form and keep its flat buffers warm.
     ///
     /// # Errors
     ///
@@ -208,17 +414,9 @@ pub trait GradientBackend: Send + Sync {
         engine: &BatchEngine,
         states: &[GradientState<'_, f64>],
     ) -> Result<Vec<DynamicsGradient<f64>>, EngineError> {
-        let results = engine.run_with_state(
-            states.len(),
-            || (self.fork(), GradientOutput::for_dof(self.dof())),
-            |(backend, out), i| {
-                let s = &states[i];
-                backend
-                    .gradient_into(s.q, s.qd, s.qdd, s.minv, out)
-                    .map(|()| out.to_dynamics_gradient())
-            },
-        );
-        results.into_iter().collect()
+        let mut out = GradientBatchOutput::new();
+        self.gradient_batch_on_into(engine, states, &mut out)?;
+        Ok((0..states.len()).map(|i| out.gradient_at(i)).collect())
     }
 
     /// Like [`GradientBackend::gradient_batch_on`], on the process-wide
@@ -318,6 +516,16 @@ pub struct CpuAnalytic<S: Scalar> {
     qd_s: Vec<S>,
     qdd_s: Vec<S>,
     minv_s: MatN<S>,
+    // Wide serving path: the same plan splat into `SERVE_LANES` lanes,
+    // plus lane-transposed staging, so `gradient_batch_into` runs
+    // `SERVE_LANES` states per kernel instruction.
+    wide_model: Arc<DynamicsModel<Lanes<S, SERVE_LANES>>>,
+    wide_ws: GradWorkspace<Lanes<S, SERVE_LANES>>,
+    q_w: Vec<Lanes<S, SERVE_LANES>>,
+    qd_w: Vec<Lanes<S, SERVE_LANES>>,
+    qdd_w: Vec<Lanes<S, SERVE_LANES>>,
+    minv_w: MatN<Lanes<S, SERVE_LANES>>,
+    scratch: GradientOutput,
 }
 
 impl<S: Scalar> CpuAnalytic<S> {
@@ -329,6 +537,16 @@ impl<S: Scalar> CpuAnalytic<S> {
     /// Builds the backend over an existing shared model — the plan-once
     /// path: every fork and every consumer reuses the same `Arc`.
     pub fn with_model(model: Arc<DynamicsModel<S>>) -> Self {
+        let wide_model = Arc::new(model.widen::<SERVE_LANES>());
+        Self::from_plans(model, wide_model)
+    }
+
+    /// Builds over already-shared scalar and wide plans — how forks avoid
+    /// re-widening the model.
+    fn from_plans(
+        model: Arc<DynamicsModel<S>>,
+        wide_model: Arc<DynamicsModel<Lanes<S, SERVE_LANES>>>,
+    ) -> Self {
         let n = model.dof();
         Self {
             ws: GradWorkspace::for_model(&model),
@@ -336,7 +554,14 @@ impl<S: Scalar> CpuAnalytic<S> {
             qd_s: Vec::with_capacity(n),
             qdd_s: Vec::with_capacity(n),
             minv_s: MatN::zeros(n, n),
+            wide_ws: GradWorkspace::for_model(&wide_model),
+            q_w: vec![Lanes::splat(S::zero()); n],
+            qd_w: vec![Lanes::splat(S::zero()); n],
+            qdd_w: vec![Lanes::splat(S::zero()); n],
+            minv_w: MatN::zeros(n, n),
+            scratch: GradientOutput::for_dof(n),
             model,
+            wide_model,
         }
     }
 
@@ -384,7 +609,74 @@ impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
     }
 
     fn fork(&self) -> Box<dyn GradientBackend + '_> {
-        Box::new(Self::with_model(Arc::clone(&self.model)))
+        Box::new(Self::from_plans(
+            Arc::clone(&self.model),
+            Arc::clone(&self.wide_model),
+        ))
+    }
+
+    /// The wide SoA override: full groups of [`SERVE_LANES`] states are
+    /// lane-transposed into `Lanes` staging and run through one wide
+    /// [`dynamics_gradient_into`] call; the ragged tail takes the scalar
+    /// path. Allocation-free once `self` and `out` are warm, and per-state
+    /// bit-identical to serial [`CpuAnalytic::gradient_into`] calls.
+    fn gradient_batch_into(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+    ) -> Result<(), EngineError> {
+        let n = self.dof();
+        for s in states {
+            check_dims(n, s.q, s.qd, s.qdd, s.minv)?;
+        }
+        out.reset(states.len(), n);
+        const W: usize = SERVE_LANES;
+        let n2 = n * n;
+        let full = states.len() / W;
+        for chunk in 0..full {
+            let base = chunk * W;
+            for (l, s) in states[base..base + W].iter().enumerate() {
+                for k in 0..n {
+                    self.q_w[k].set_lane(l, S::from_f64(s.q[k]));
+                    self.qd_w[k].set_lane(l, S::from_f64(s.qd[k]));
+                    self.qdd_w[k].set_lane(l, S::from_f64(s.qdd[k]));
+                }
+                for r in 0..n {
+                    for c in 0..n {
+                        self.minv_w[(r, c)].set_lane(l, S::from_f64(s.minv[(r, c)]));
+                    }
+                }
+            }
+            dynamics_gradient_into(
+                &self.wide_model,
+                &self.q_w,
+                &self.qd_w,
+                &self.qdd_w,
+                &self.minv_w,
+                &mut self.wide_ws,
+            );
+            for l in 0..W {
+                let dst = (base + l) * n2;
+                for r in 0..n {
+                    for c in 0..n {
+                        let k = dst + r * n + c;
+                        out.dqdd_dq[k] = self.wide_ws.dqdd_dq[(r, c)].lane(l).to_f64();
+                        out.dqdd_dqd[k] = self.wide_ws.dqdd_dqd[(r, c)].lane(l).to_f64();
+                        out.dtau_dq[k] = self.wide_ws.dtau_dq[(r, c)].lane(l).to_f64();
+                        out.dtau_dqd[k] = self.wide_ws.dtau_dqd[(r, c)].lane(l).to_f64();
+                    }
+                }
+            }
+        }
+        // Ragged tail through the scalar kernel; `scratch` is a warm field
+        // (temporarily moved out to satisfy the borrow checker).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (i, s) in states.iter().enumerate().skip(full * W) {
+            self.gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)?;
+            out.store(i, &scratch);
+        }
+        self.scratch = scratch;
+        Ok(())
     }
 }
 
@@ -569,6 +861,98 @@ mod tests {
         ];
         let backend = CpuAnalytic::<f64>::new(&robot);
         assert!(backend.gradient_batch(&states).is_err());
+    }
+
+    #[test]
+    fn wide_batch_into_is_bit_identical_to_serial() {
+        let robot = robots::iiwa14();
+        // 7 states: one full Lanes<_, 4> group plus a ragged tail of 3.
+        let cases: Vec<_> = (0..7).map(|k| case(&robot, 400 + k)).collect();
+        let states: Vec<GradientState<'_, f64>> = cases
+            .iter()
+            .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+            .collect();
+        let mut backend = CpuAnalytic::<f64>::new(&robot);
+        let mut out = GradientBatchOutput::new();
+        backend.gradient_batch_into(&states, &mut out).unwrap();
+        assert_eq!(out.count(), 7);
+        assert_eq!(out.dof(), 7);
+        let mut serial = CpuAnalytic::<f64>::new(&robot);
+        for (i, (q, qd, qdd, minv)) in cases.iter().enumerate() {
+            let want = serial.gradient(q, qd, qdd, minv).unwrap();
+            let got = out.gradient_at(i);
+            assert_eq!(got.dqdd_dq, want.dqdd_dq, "state {i}");
+            assert_eq!(got.dqdd_dqd, want.dqdd_dqd, "state {i}");
+            assert_eq!(got.id_gradient.dtau_dq, want.id_gradient.dtau_dq);
+            assert_eq!(got.id_gradient.dtau_dqd, want.id_gradient.dtau_dqd);
+        }
+    }
+
+    #[test]
+    fn engine_batch_into_matches_serial_batch_into() {
+        let robot = robots::hyq();
+        let cases: Vec<_> = (0..10).map(|k| case(&robot, 900 + k)).collect();
+        let states: Vec<GradientState<'_, f64>> = cases
+            .iter()
+            .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+            .collect();
+        let backend = CpuAnalytic::<f64>::new(&robot);
+        let engine = BatchEngine::new(3);
+        let mut parallel = GradientBatchOutput::new();
+        backend
+            .gradient_batch_on_into(&engine, &states, &mut parallel)
+            .unwrap();
+        let mut serial = GradientBatchOutput::new();
+        CpuAnalytic::<f64>::new(&robot)
+            .gradient_batch_into(&states, &mut serial)
+            .unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn batch_into_default_matches_override_for_fd() {
+        // FiniteDiff uses the trait's default (serial, per-state) path;
+        // sanity-check the SoA plumbing end to end on it too.
+        let robot = robots::iiwa14();
+        let cases: Vec<_> = (0..3).map(|k| case(&robot, 50 + k)).collect();
+        let states: Vec<GradientState<'_, f64>> = cases
+            .iter()
+            .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+            .collect();
+        let mut fd = FiniteDiff::new(&robot);
+        let mut out = GradientBatchOutput::new();
+        fd.gradient_batch_into(&states, &mut out).unwrap();
+        for (i, (q, qd, qdd, minv)) in cases.iter().enumerate() {
+            let want = fd.gradient(q, qd, qdd, minv).unwrap();
+            assert_eq!(out.gradient_at(i).dqdd_dq, want.dqdd_dq);
+        }
+    }
+
+    #[test]
+    fn batch_into_propagates_dimension_errors() {
+        let robot = robots::iiwa14();
+        let (q, qd, qdd, minv) = case(&robot, 77);
+        let bad = MatN::<f64>::identity(2);
+        let states = [
+            GradientState {
+                q: &q,
+                qd: &qd,
+                qdd: &qdd,
+                minv: &minv,
+            },
+            GradientState {
+                q: &q,
+                qd: &qd,
+                qdd: &qdd,
+                minv: &bad,
+            },
+        ];
+        let mut backend = CpuAnalytic::<f64>::new(&robot);
+        let mut out = GradientBatchOutput::new();
+        assert!(backend.gradient_batch_into(&states, &mut out).is_err());
+        assert!(backend
+            .gradient_batch_on_into(BatchEngine::global(), &states, &mut out)
+            .is_err());
     }
 
     #[test]

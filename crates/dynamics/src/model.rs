@@ -1,7 +1,7 @@
 //! A robot model pre-converted to a given scalar type for dynamics.
 
 use robo_model::{JointType, RobotModel};
-use robo_spatial::{Motion, Scalar, SpatialInertia, Transform, Vec3};
+use robo_spatial::{Lanes, Motion, Scalar, SpatialInertia, Transform, Vec3};
 
 /// Standard gravitational acceleration (m/s²).
 pub const STANDARD_GRAVITY: f64 = 9.81;
@@ -77,6 +77,27 @@ impl<S: Scalar> DynamicsModel<S> {
                 .collect(),
             ancestor_mask,
             base_acceleration: Motion::new(Vec3::zero(), (-gravity).cast()),
+        }
+    }
+
+    /// Re-targets the plan at the wide scalar `Lanes<S, W>` for the SoA
+    /// serving path: every per-robot constant is broadcast into all `W`
+    /// lanes, so a wide kernel run is bit-identical, lane for lane, to `W`
+    /// scalar runs over this model.
+    ///
+    /// The splat is exact: casting goes through `f64`, and for every
+    /// supported scalar type the round trip `S::from_f64(s.to_f64())`
+    /// reproduces `s` (floats trivially; fixed point because `to_f64` of
+    /// an `i64` raw value is an exact dyadic rational).
+    pub fn widen<const W: usize>(&self) -> DynamicsModel<Lanes<S, W>> {
+        DynamicsModel {
+            parents: self.parents.clone(),
+            joints: self.joints.clone(),
+            trees: self.trees.iter().map(|t| t.cast()).collect(),
+            inertias: self.inertias.iter().map(|i| i.cast()).collect(),
+            subspaces: self.subspaces.iter().map(|s| s.cast()).collect(),
+            ancestor_mask: self.ancestor_mask.clone(),
+            base_acceleration: self.base_acceleration.cast(),
         }
     }
 

@@ -181,7 +181,7 @@ impl<const INT: u32, const FRAC: u32> Scalar for Fixed<INT, FRAC> {
         1.0 / (1u64 << FRAC) as f64
     }
 
-    fn dot_accumulate(terms: &[(Self, Self)]) -> Self {
+    fn dot_accumulate_from(terms: impl Iterator<Item = (Self, Self)>) -> Self {
         // DSP-cascade behavior: accumulate the full 2·FRAC-bit products in
         // a wide register, round once at the end.
         let mut acc: i128 = 0;

@@ -13,7 +13,7 @@
 use crate::xunit::XUnit;
 use robo_model::RobotModel;
 use robo_sparsity::superposition_pattern;
-use robo_spatial::{Force, MatN, Motion, Scalar, SpatialInertia};
+use robo_spatial::{Force, Lanes, MatN, Motion, Scalar, SpatialInertia};
 use robomorphic_core::{Accelerator, GradientTemplate};
 
 /// Output of one simulated gradient computation.
@@ -145,6 +145,7 @@ impl<S: Scalar> SimWorkspace<S> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AcceleratorSim<S> {
+    robot: RobotModel,
     design: Accelerator,
     x_units: Vec<XUnit<S>>,
     inertias: Vec<SpatialInertia<S>>,
@@ -203,6 +204,7 @@ impl<S: Scalar> AcceleratorSim<S> {
             ancestor_mask[i] = mask;
         }
         Self {
+            robot: robot.clone(),
             design,
             x_units: (0..n)
                 .map(|i| XUnit::with_mask(robot, i, shared_mask))
@@ -229,6 +231,27 @@ impl<S: Scalar> AcceleratorSim<S> {
     /// The underlying customized design (schedule, resources).
     pub fn design(&self) -> &Accelerator {
         &self.design
+    }
+
+    /// The source morphology the simulator was customized for.
+    pub fn robot(&self) -> &RobotModel {
+        &self.robot
+    }
+
+    /// Re-targets the simulator at the wide scalar `Lanes<S, W>` for the
+    /// SoA serving path: the same customized design is rebuilt at the wide
+    /// type, then every functional unit's accumulation mode and evaluator
+    /// backend are carried over. All unit constants are derived from
+    /// snapped `f64` probes through `S::from_f64` — a lane splat on
+    /// `Lanes` — so one wide run is bit-identical, lane for lane, to `W`
+    /// scalar runs through `self`.
+    pub fn widen<const W: usize>(&self) -> AcceleratorSim<Lanes<S, W>> {
+        let mut wide = AcceleratorSim::<Lanes<S, W>>::with_design(&self.robot, self.design.clone());
+        for (w, s) in wide.x_units.iter_mut().zip(&self.x_units) {
+            w.set_accumulation(s.accumulation());
+            w.set_backend(s.backend());
+        }
+        wide
     }
 
     /// Degrees of freedom.
@@ -611,6 +634,50 @@ mod tests {
             assert_eq!(ws.dtau_dqd, fresh.dtau_dqd);
             assert_eq!(ws.dqdd_dq, fresh.dqdd_dq);
             assert_eq!(ws.dqdd_dqd, fresh.dqdd_dqd);
+        }
+    }
+
+    #[test]
+    fn widened_sim_lanes_match_scalar_bit_for_bit() {
+        // The wide simulator must reproduce W independent scalar runs
+        // exactly — the correctness contract of the SoA serving path.
+        const W: usize = 4;
+        let robot = robots::hyq();
+        let sim = AcceleratorSim::<f64>::new(&robot);
+        let wide = sim.widen::<W>();
+        let n = sim.dof();
+        let cases: Vec<_> = (0..W)
+            .map(|k| reference_case(&robot, 100 + k as u64))
+            .collect();
+
+        let mut q_w = vec![Lanes::<f64, W>::splat(0.0); n];
+        let mut qd_w = vec![Lanes::<f64, W>::splat(0.0); n];
+        let mut qdd_w = vec![Lanes::<f64, W>::splat(0.0); n];
+        let mut minv_w = MatN::<Lanes<f64, W>>::zeros(n, n);
+        for (l, (q, qd, qdd, minv, _)) in cases.iter().enumerate() {
+            for k in 0..n {
+                q_w[k].set_lane(l, q[k]);
+                qd_w[k].set_lane(l, qd[k]);
+                qdd_w[k].set_lane(l, qdd[k]);
+            }
+            for r in 0..n {
+                for c in 0..n {
+                    minv_w[(r, c)].set_lane(l, minv[(r, c)]);
+                }
+            }
+        }
+        let out = wide.compute_gradient(&q_w, &qd_w, &qdd_w, &minv_w);
+        for (l, (q, qd, qdd, minv, _)) in cases.iter().enumerate() {
+            let scalar = sim.compute_gradient(q, qd, qdd, minv);
+            assert_eq!(out.cycles, scalar.cycles);
+            for r in 0..n {
+                for c in 0..n {
+                    assert_eq!(out.dtau_dq[(r, c)].lane(l), scalar.dtau_dq[(r, c)]);
+                    assert_eq!(out.dtau_dqd[(r, c)].lane(l), scalar.dtau_dqd[(r, c)]);
+                    assert_eq!(out.dqdd_dq[(r, c)].lane(l), scalar.dqdd_dq[(r, c)]);
+                    assert_eq!(out.dqdd_dqd[(r, c)].lane(l), scalar.dqdd_dqd[(r, c)]);
+                }
+            }
         }
     }
 

@@ -243,9 +243,13 @@ pub struct KernelInput<S> {
 ///
 /// The numeric simulations go through the engine layer: one
 /// [`AcceleratorBackend`](crate::AcceleratorBackend) is built over the
-/// `Arc`-shared simulator, and each worker of the process-wide
+/// `Arc`-shared simulator (widened once to
+/// [`SERVE_LANES`](robo_spatial::SERVE_LANES) states per lane group), and
+/// each worker of the process-wide
 /// [`BatchEngine`](robo_dynamics::batch::BatchEngine) drives its own fork
-/// (private warm [`crate::SimWorkspace`], shared compiled netlists) —
+/// (private warm [`crate::SimWorkspace`]s, shared compiled netlists)
+/// through [`AcceleratorBackend::compute_batch`](crate::AcceleratorBackend::compute_batch)
+/// over lane-group chunks — two-level (threads × lanes) parallelism
 /// mirroring the parallel accelerator instances of §6.3's multi-robot
 /// deployment.
 ///
@@ -266,16 +270,21 @@ pub fn stream_batch<S: robo_spatial::Scalar>(
         "simulator and coprocessor system must target the same robot"
     );
     let backend = crate::AcceleratorBackend::from_sim(sim.clone());
-    let outputs = robo_dynamics::batch::BatchEngine::global().run_with_state(
-        inputs.len(),
+    let chunk_len = robo_spatial::SERVE_LANES;
+    let parts = robo_dynamics::batch::BatchEngine::global().run_with_state(
+        inputs.len().div_ceil(chunk_len),
         || backend.fork_native(),
-        |backend, i| {
-            let inp = &inputs[i];
+        |backend, ci| {
+            let lo = ci * chunk_len;
+            let hi = usize::min(lo + chunk_len, inputs.len());
+            let mut outs = Vec::with_capacity(hi - lo);
             backend
-                .compute(&inp.q, &inp.qd, &inp.qdd, &inp.minv)
-                .expect("stream_batch input dimensions must match the robot")
+                .compute_batch(&inputs[lo..hi], &mut outs)
+                .expect("stream_batch input dimensions must match the robot");
+            outs
         },
     );
+    let outputs: Vec<crate::SimOutput<S>> = parts.into_iter().flatten().collect();
     let timeline = system.stream_timeline(inputs.len());
     (outputs, timeline)
 }

@@ -9,15 +9,16 @@
 //! together in [`RobotPlan`]: *customize once per robot, hand out backends
 //! many times* (the paper's §4–5 methodology as a software object).
 
-use crate::{AcceleratorSim, SimOutput, SimWorkspace};
+use crate::{AcceleratorSim, KernelInput, SimOutput, SimWorkspace};
+use robo_dynamics::batch::GradientState;
 use robo_dynamics::engine::{
     cast_mat_into, cast_mat_out, cast_slice_into, check_dims, CpuAnalytic, EngineError, FiniteDiff,
-    GradientBackend, GradientOutput,
+    GradientBackend, GradientBatchOutput, GradientOutput,
 };
 use robo_dynamics::DynamicsModel;
 use robo_model::RobotModel;
 use robo_sparsity::{superposition_pattern, Mask6};
-use robo_spatial::{MatN, Scalar};
+use robo_spatial::{Lanes, MatN, Scalar, SERVE_LANES};
 use robomorphic_core::Accelerator;
 use std::sync::Arc;
 
@@ -40,6 +41,16 @@ pub struct AcceleratorBackend<S: Scalar> {
     qd_s: Vec<S>,
     qdd_s: Vec<S>,
     minv_s: MatN<S>,
+    // Wide serving path: the same customized design rebuilt at
+    // `Lanes<S, SERVE_LANES>`, plus lane-transposed staging, so batch
+    // entry points run `SERVE_LANES` states per simulated instruction.
+    wide: Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>>,
+    wide_ws: SimWorkspace<Lanes<S, SERVE_LANES>>,
+    q_w: Vec<Lanes<S, SERVE_LANES>>,
+    qd_w: Vec<Lanes<S, SERVE_LANES>>,
+    qdd_w: Vec<Lanes<S, SERVE_LANES>>,
+    minv_w: MatN<Lanes<S, SERVE_LANES>>,
+    scratch: GradientOutput,
 }
 
 impl<S: Scalar> AcceleratorBackend<S> {
@@ -61,9 +72,21 @@ impl<S: Scalar> AcceleratorBackend<S> {
 
     /// Builds the backend over an already-shared simulator — the plan-once
     /// path: every fork and every consumer reuses the same compiled
-    /// netlists.
+    /// netlists. Widens the simulator to [`SERVE_LANES`] once; forks share
+    /// the result.
     pub fn from_shared(sim: Arc<AcceleratorSim<S>>) -> Self {
+        let wide = Arc::new(sim.widen::<SERVE_LANES>());
+        Self::from_parts(sim, wide)
+    }
+
+    /// Builds over already-shared scalar and wide simulators — how forks
+    /// (and [`RobotPlan`]) avoid re-widening the design.
+    fn from_parts(
+        sim: Arc<AcceleratorSim<S>>,
+        wide: Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>>,
+    ) -> Self {
         let ws = SimWorkspace::for_sim(&sim);
+        let wide_ws = SimWorkspace::for_sim(&wide);
         let n = sim.dof();
         Self {
             ws,
@@ -71,7 +94,14 @@ impl<S: Scalar> AcceleratorBackend<S> {
             qd_s: Vec::with_capacity(n),
             qdd_s: Vec::with_capacity(n),
             minv_s: MatN::zeros(n, n),
+            wide_ws,
+            q_w: vec![Lanes::splat(S::zero()); n],
+            qd_w: vec![Lanes::splat(S::zero()); n],
+            qdd_w: vec![Lanes::splat(S::zero()); n],
+            minv_w: MatN::zeros(n, n),
+            scratch: GradientOutput::for_dof(n),
             sim,
+            wide,
         }
     }
 
@@ -80,16 +110,23 @@ impl<S: Scalar> AcceleratorBackend<S> {
         &self.sim
     }
 
+    /// The shared wide ([`SERVE_LANES`]-state) simulator behind the batch
+    /// entry points.
+    pub fn wide_sim(&self) -> &Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>> {
+        &self.wide
+    }
+
     /// Cycles one gradient takes on the design's static schedule
     /// (constant per design — Figure 10's latency measurement).
     pub fn cycles_per_gradient(&self) -> usize {
         self.sim.design().schedule().single_latency_cycles()
     }
 
-    /// A concretely-typed fork (same shared simulator, fresh warm
-    /// workspace) for callers that need the native-scalar entry point.
+    /// A concretely-typed fork (same shared simulators — scalar and wide —
+    /// fresh warm workspaces) for callers that need the native-scalar
+    /// entry point.
     pub fn fork_native(&self) -> Self {
-        Self::from_shared(Arc::clone(&self.sim))
+        Self::from_parts(Arc::clone(&self.sim), Arc::clone(&self.wide))
     }
 
     /// Runs one gradient natively in `S`, without the `f64` boundary
@@ -118,6 +155,76 @@ impl<S: Scalar> AcceleratorBackend<S> {
             dqdd_dqd: self.ws.dqdd_dqd.clone(),
             cycles,
         })
+    }
+
+    /// Runs a native-`S` batch through the wide simulator: full groups of
+    /// [`SERVE_LANES`] states are lane-transposed and computed by one wide
+    /// pass each, the ragged tail by the scalar simulator. Outputs are
+    /// appended to `outputs` in input order, each bit-identical to a
+    /// serial [`AcceleratorBackend::compute`] call on the same state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DimensionMismatch`] (before any output is
+    /// appended) when any input's dimensions disagree with the plan's
+    /// joint count.
+    pub fn compute_batch(
+        &mut self,
+        inputs: &[KernelInput<S>],
+        outputs: &mut Vec<SimOutput<S>>,
+    ) -> Result<(), EngineError> {
+        let n = self.sim.dof();
+        for inp in inputs {
+            check_dims(n, &inp.q, &inp.qd, &inp.qdd, &inp.minv)?;
+        }
+        const W: usize = SERVE_LANES;
+        let full = inputs.len() / W;
+        outputs.reserve(inputs.len());
+        for chunk in 0..full {
+            let base = chunk * W;
+            for (l, inp) in inputs[base..base + W].iter().enumerate() {
+                for k in 0..n {
+                    self.q_w[k].set_lane(l, inp.q[k]);
+                    self.qd_w[k].set_lane(l, inp.qd[k]);
+                    self.qdd_w[k].set_lane(l, inp.qdd[k]);
+                }
+                for r in 0..n {
+                    for c in 0..n {
+                        self.minv_w[(r, c)].set_lane(l, inp.minv[(r, c)]);
+                    }
+                }
+            }
+            let cycles = self.wide.compute_gradient_into(
+                &self.q_w,
+                &self.qd_w,
+                &self.qdd_w,
+                &self.minv_w,
+                &mut self.wide_ws,
+            );
+            for l in 0..W {
+                let unlane = |m: &MatN<Lanes<S, W>>| {
+                    let mut out = MatN::zeros(n, n);
+                    for r in 0..n {
+                        for c in 0..n {
+                            out[(r, c)] = m[(r, c)].lane(l);
+                        }
+                    }
+                    out
+                };
+                outputs.push(SimOutput {
+                    dtau_dq: unlane(&self.wide_ws.dtau_dq),
+                    dtau_dqd: unlane(&self.wide_ws.dtau_dqd),
+                    dqdd_dq: unlane(&self.wide_ws.dqdd_dq),
+                    dqdd_dqd: unlane(&self.wide_ws.dqdd_dqd),
+                    cycles,
+                });
+            }
+        }
+        for inp in &inputs[full * W..] {
+            let out = self.compute(&inp.q, &inp.qd, &inp.qdd, &inp.minv)?;
+            outputs.push(out);
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +266,69 @@ impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
 
     fn fork(&self) -> Box<dyn GradientBackend + '_> {
         Box::new(self.fork_native())
+    }
+
+    /// The wide SoA override: full groups of [`SERVE_LANES`] states are
+    /// marshalled to `S`, lane-transposed, and run through one wide
+    /// simulated pass; the ragged tail takes the scalar simulator.
+    /// Allocation-free once `self` and `out` are warm, and per-state
+    /// bit-identical to serial [`GradientBackend::gradient_into`] calls.
+    fn gradient_batch_into(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+    ) -> Result<(), EngineError> {
+        let n = self.dof();
+        for s in states {
+            check_dims(n, s.q, s.qd, s.qdd, s.minv)?;
+        }
+        out.reset(states.len(), n);
+        const W: usize = SERVE_LANES;
+        let n2 = n * n;
+        let full = states.len() / W;
+        for chunk in 0..full {
+            let base = chunk * W;
+            for (l, s) in states[base..base + W].iter().enumerate() {
+                for k in 0..n {
+                    self.q_w[k].set_lane(l, S::from_f64(s.q[k]));
+                    self.qd_w[k].set_lane(l, S::from_f64(s.qd[k]));
+                    self.qdd_w[k].set_lane(l, S::from_f64(s.qdd[k]));
+                }
+                for r in 0..n {
+                    for c in 0..n {
+                        self.minv_w[(r, c)].set_lane(l, S::from_f64(s.minv[(r, c)]));
+                    }
+                }
+            }
+            let _cycles = self.wide.compute_gradient_into(
+                &self.q_w,
+                &self.qd_w,
+                &self.qdd_w,
+                &self.minv_w,
+                &mut self.wide_ws,
+            );
+            for l in 0..W {
+                let dst = (base + l) * n2;
+                for r in 0..n {
+                    for c in 0..n {
+                        let k = dst + r * n + c;
+                        out.dqdd_dq[k] = self.wide_ws.dqdd_dq[(r, c)].lane(l).to_f64();
+                        out.dqdd_dqd[k] = self.wide_ws.dqdd_dqd[(r, c)].lane(l).to_f64();
+                        out.dtau_dq[k] = self.wide_ws.dtau_dq[(r, c)].lane(l).to_f64();
+                        out.dtau_dqd[k] = self.wide_ws.dtau_dqd[(r, c)].lane(l).to_f64();
+                    }
+                }
+            }
+        }
+        // Ragged tail through the scalar simulator; `scratch` is a warm
+        // field (temporarily moved out to satisfy the borrow checker).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (i, s) in states.iter().enumerate().skip(full * W) {
+            self.gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)?;
+            out.store(i, &scratch);
+        }
+        self.scratch = scratch;
+        Ok(())
     }
 }
 
@@ -241,6 +411,7 @@ pub struct RobotPlan {
     model: Arc<DynamicsModel<f64>>,
     mask: Mask6,
     sim: Arc<AcceleratorSim<f64>>,
+    wide_sim: Arc<AcceleratorSim<Lanes<f64, SERVE_LANES>>>,
 }
 
 impl RobotPlan {
@@ -252,11 +423,14 @@ impl RobotPlan {
     ///
     /// Panics if the robot has more than 64 links.
     pub fn new(robot: &RobotModel) -> Self {
+        let sim = Arc::new(AcceleratorSim::new(robot));
+        let wide_sim = Arc::new(sim.widen::<SERVE_LANES>());
         Self {
             robot: robot.clone(),
             model: Arc::new(DynamicsModel::new(robot)),
             mask: superposition_pattern(robot),
-            sim: Arc::new(AcceleratorSim::new(robot)),
+            sim,
+            wide_sim,
         }
     }
 
@@ -286,6 +460,12 @@ impl RobotPlan {
         &self.sim
     }
 
+    /// The shared wide ([`SERVE_LANES`]-state) simulator driving the
+    /// accelerator backend's batch entry points.
+    pub fn wide_sim(&self) -> &Arc<AcceleratorSim<Lanes<f64, SERVE_LANES>>> {
+        &self.wide_sim
+    }
+
     /// Degrees of freedom.
     pub fn dof(&self) -> usize {
         self.model.dof()
@@ -296,9 +476,10 @@ impl RobotPlan {
         CpuAnalytic::with_model(Arc::clone(&self.model))
     }
 
-    /// An accelerator backend over the plan's shared simulator.
+    /// An accelerator backend over the plan's shared simulators (scalar
+    /// and wide — nothing is re-customized or re-widened per backend).
     pub fn accelerator_backend(&self) -> AcceleratorBackend<f64> {
-        AcceleratorBackend::from_shared(Arc::clone(&self.sim))
+        AcceleratorBackend::from_parts(Arc::clone(&self.sim), Arc::clone(&self.wide_sim))
     }
 
     /// A finite-difference oracle over the plan's shared model.
@@ -341,9 +522,96 @@ mod tests {
         let _fd = plan.finite_diff_backend();
         assert_eq!(Arc::strong_count(plan.model()), model_count + 2);
         let sim_count = Arc::strong_count(plan.sim());
+        let wide_count = Arc::strong_count(plan.wide_sim());
         let accel = plan.accelerator_backend();
         let _fork = accel.fork_native();
         assert_eq!(Arc::strong_count(plan.sim()), sim_count + 2);
+        // The wide simulator is widened once in the plan and shared by
+        // every backend and fork — never rebuilt.
+        assert_eq!(Arc::strong_count(plan.wide_sim()), wide_count + 2);
+    }
+
+    #[test]
+    fn accel_wide_batch_into_bit_identical_to_serial() {
+        // 7 states: one full lane group of 4 plus a ragged tail of 3.
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let n = plan.dof();
+        let cases: Vec<_> = (0..7)
+            .map(|k| {
+                let q: Vec<f64> = (0..n).map(|i| 0.07 * (i + k) as f64 - 0.2).collect();
+                let qd: Vec<f64> = (0..n).map(|i| 0.03 * i as f64 - 0.01 * k as f64).collect();
+                let tau = vec![0.3 + 0.1 * k as f64; n];
+                let qdd = forward_dynamics(plan.model(), &q, &qd, &tau).unwrap();
+                let minv = mass_matrix_inverse(plan.model(), &q).unwrap();
+                (q, qd, qdd, minv)
+            })
+            .collect();
+        let states: Vec<GradientState<'_, f64>> = cases
+            .iter()
+            .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
+            .collect();
+
+        let mut wide = plan.accelerator_backend();
+        let mut got = GradientBatchOutput::new();
+        wide.gradient_batch_into(&states, &mut got).unwrap();
+
+        // Serial reference through the same backend's scalar path.
+        let mut serial = plan.accelerator_backend();
+        let mut scratch = GradientOutput::for_dof(n);
+        let mut want = GradientBatchOutput::new();
+        want.reset(states.len(), n);
+        for (i, s) in states.iter().enumerate() {
+            serial
+                .gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)
+                .unwrap();
+            want.store(i, &scratch);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn native_compute_batch_matches_serial_compute() {
+        // The native-S wide path must be bit-identical to serial compute()
+        // calls — including in the accelerator's fixed-point type.
+        use robo_fixed::Fix32_16;
+        let robot = robots::iiwa14();
+        let plan = RobotPlan::new(&robot);
+        let mut backend = AcceleratorBackend::<Fix32_16>::new(&robot);
+        let n = plan.dof();
+        // 6 inputs: one full lane group plus a tail of 2.
+        let inputs: Vec<crate::KernelInput<Fix32_16>> = (0..6)
+            .map(|k| {
+                let (q, qd, qdd, minv) = {
+                    let q: Vec<f64> = (0..n).map(|i| 0.1 * (i + k) as f64 - 0.3).collect();
+                    let qd: Vec<f64> = (0..n).map(|i| 0.05 * i as f64).collect();
+                    let tau = vec![0.5; n];
+                    let qdd = forward_dynamics(plan.model(), &q, &qd, &tau).unwrap();
+                    let minv = mass_matrix_inverse(plan.model(), &q).unwrap();
+                    (q, qd, qdd, minv)
+                };
+                crate::KernelInput {
+                    q: q.iter().map(|x| Fix32_16::from_f64(*x)).collect(),
+                    qd: qd.iter().map(|x| Fix32_16::from_f64(*x)).collect(),
+                    qdd: qdd.iter().map(|x| Fix32_16::from_f64(*x)).collect(),
+                    minv: minv.cast(),
+                }
+            })
+            .collect();
+
+        let mut batched = Vec::new();
+        backend.compute_batch(&inputs, &mut batched).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        let mut serial = backend.fork_native();
+        for (inp, got) in inputs.iter().zip(&batched) {
+            let want = serial
+                .compute(&inp.q, &inp.qd, &inp.qdd, &inp.minv)
+                .unwrap();
+            assert_eq!(got.dtau_dq, want.dtau_dq);
+            assert_eq!(got.dtau_dqd, want.dtau_dqd);
+            assert_eq!(got.dqdd_dq, want.dqdd_dq);
+            assert_eq!(got.dqdd_dqd, want.dqdd_dqd);
+            assert_eq!(got.cycles, want.cycles);
+        }
     }
 
     #[test]

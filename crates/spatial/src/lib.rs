@@ -37,6 +37,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod inertia;
+mod lanes;
 mod mat3;
 mod mat6;
 mod matn;
@@ -46,6 +47,7 @@ mod transform;
 mod vec3;
 
 pub use inertia::SpatialInertia;
+pub use lanes::{Lanes, SERVE_LANES};
 pub use mat3::Mat3;
 pub use mat6::Mat6;
 pub use matn::{FactorizeError, Ldlt, MatN};

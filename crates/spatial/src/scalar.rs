@@ -124,12 +124,20 @@ pub trait Scalar:
     ///
     /// The default rounds after every multiply (`fold` of `*` and `+`) —
     /// the behavior of discrete multiplier/adder trees. Fixed-point types
-    /// override this to accumulate the full-width products and round once,
-    /// modeling a DSP-block MAC cascade (e.g. the 48-bit accumulators of
-    /// Xilinx DSP48 slices) — the same dot product, one rounding error
-    /// instead of `n`.
+    /// override [`Scalar::dot_accumulate_from`] to accumulate the
+    /// full-width products and round once, modeling a DSP-block MAC cascade
+    /// (e.g. the 48-bit accumulators of Xilinx DSP48 slices) — the same dot
+    /// product, one rounding error instead of `n`.
     fn dot_accumulate(terms: &[(Self, Self)]) -> Self {
-        terms.iter().fold(Self::zero(), |acc, (a, b)| acc + *a * *b)
+        Self::dot_accumulate_from(terms.iter().copied())
+    }
+
+    /// Iterator form of [`Scalar::dot_accumulate`] — the override point for
+    /// types with a genuinely wide accumulator. The iterator form lets
+    /// wide-lane wrappers feed one lane's terms through without building a
+    /// per-lane slice.
+    fn dot_accumulate_from(terms: impl Iterator<Item = (Self, Self)>) -> Self {
+        terms.fold(Self::zero(), |acc, (a, b)| acc + a * b)
     }
 }
 

@@ -14,7 +14,8 @@
 //! on the host. Sweeping `S` reproduces Figure 12's cost-convergence
 //! comparison.
 
-use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientOutput};
+use robo_dynamics::batch::{BatchEngine, GradientState};
+use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientBatchOutput};
 use robo_dynamics::{
     forward_dynamics, forward_kinematics, link_origin_world, mass_matrix_inverse,
     position_jacobian, DynamicsModel,
@@ -378,36 +379,60 @@ fn backward_pass(
     let mut ks = vec![vec![0.0; n]; horizon];
     let mut kmats = vec![MatN::zeros(n, 2 * n); horizon];
 
-    // Linearize every time step up front, data-parallel across the shared
-    // batch engine (the per-time-step parallelism of §6.1): the host
-    // computes q̈ and M⁻¹ in float, then calls the gradient backend — the
-    // accelerator's exact interface — through a private fork per worker
-    // (shared plan, warm per-worker workspaces). The Riccati recursion
-    // below stays inherently sequential, but consumes these precomputed
-    // linearizations. Dimension errors and non-finite gradients (e.g.
-    // fixed-point garbage) map to None, triggering the regularization
-    // retry in `solve_with_backend`.
-    let mut lin: Vec<Option<(MatN<f64>, MatN<f64>, MatN<f64>)>> =
-        robo_dynamics::batch::BatchEngine::global().run_with_state(
-            horizon,
-            || (backend.fork(), GradientOutput::for_dof(n)),
-            |(backend, out), t| {
-                let (q, qd) = xs[t].split_at(n);
-                let qdd = forward_dynamics(model, q, qd, &us[t]).ok()?;
-                let minv = mass_matrix_inverse(model, q).ok()?;
-                backend.gradient_into(q, qd, &qdd, &minv, out).ok()?;
-                if !out.dqdd_dq.as_slice().iter().all(|v| v.is_finite()) {
-                    return None;
-                }
-                Some((out.dqdd_dq.clone(), out.dqdd_dqd.clone(), minv))
-            },
-        );
+    // Linearize every time step up front (the per-time-step parallelism of
+    // §6.1), in two stages. First the host computes q̈ and M⁻¹ in float,
+    // data-parallel on the shared batch engine; any singular mass matrix
+    // maps to None, triggering the regularization retry in
+    // `solve_with_backend`. Then the whole horizon goes through the
+    // backend's SoA batch path — two-level (threads × lanes) parallelism:
+    // workers fork the backend over the shared plan, and wide backends run
+    // `SERVE_LANES` time steps per kernel instruction — filling one flat
+    // `GradientBatchOutput` whose per-step blocks the Riccati recursion
+    // below indexes directly. Non-finite gradients (e.g. fixed-point
+    // garbage) also map to None.
+    let prep: Vec<Option<(Vec<f64>, MatN<f64>)>> = BatchEngine::global().run_with_state(
+        horizon,
+        || (),
+        |(), t| {
+            let (q, qd) = xs[t].split_at(n);
+            let qdd = forward_dynamics(model, q, qd, &us[t]).ok()?;
+            let minv = mass_matrix_inverse(model, q).ok()?;
+            Some((qdd, minv))
+        },
+    );
+    let mut prep_ok: Vec<(Vec<f64>, MatN<f64>)> = Vec::with_capacity(horizon);
+    for p in prep {
+        prep_ok.push(p?);
+    }
+    let states: Vec<GradientState<'_, f64>> = (0..horizon)
+        .map(|t| {
+            let (q, qd) = xs[t].split_at(n);
+            GradientState {
+                q,
+                qd,
+                qdd: &prep_ok[t].0,
+                minv: &prep_ok[t].1,
+            }
+        })
+        .collect();
+    let mut lin = GradientBatchOutput::new();
+    backend
+        .gradient_batch_on_into(BatchEngine::global(), &states, &mut lin)
+        .ok()?;
+    drop(states);
+    for t in 0..horizon {
+        if !lin.dqdd_dq_at(t).iter().all(|v| v.is_finite()) {
+            return None;
+        }
+    }
 
     for t in (0..horizon).rev() {
         let x = &xs[t];
         let u = &us[t];
 
-        let (dqdd_dq, dqdd_dqd, minv) = std::mem::take(&mut lin[t])?;
+        let dqdd_dq = lin.dqdd_dq_at(t);
+        let dqdd_dqd = lin.dqdd_dqd_at(t);
+        let minv = &prep_ok[t].1;
 
         // A = ∂x'/∂x and B = ∂x'/∂u of the semi-implicit Euler step.
         let dt = task.dt;
@@ -415,8 +440,8 @@ fn backward_pass(
         let mut b = MatN::zeros(2 * n, n);
         for i in 0..n {
             for j in 0..n {
-                let dq = dqdd_dq[(i, j)];
-                let dv = dqdd_dqd[(i, j)];
+                let dq = dqdd_dq[i * n + j];
+                let dv = dqdd_dqd[i * n + j];
                 let mi = minv[(i, j)];
                 // q̇' rows.
                 a[(n + i, j)] = dt * dq;

@@ -78,8 +78,9 @@ pub use robomorphic_core as core;
 /// assert_eq!(backend.dof(), 7);
 /// ```
 pub mod engine {
+    pub use robo_dynamics::batch::GradientState;
     pub use robo_dynamics::engine::{
-        CpuAnalytic, EngineError, FiniteDiff, GradientBackend, GradientOutput,
+        CpuAnalytic, EngineError, FiniteDiff, GradientBackend, GradientBatchOutput, GradientOutput,
     };
     pub use robo_sim::engine::{AcceleratorBackend, BackendKind, RobotPlan};
 }

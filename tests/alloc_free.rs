@@ -115,6 +115,30 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         "CompiledNetlist::eval_into allocated in steady state"
     );
 
+    // The SoA batch tape path: with a warm BatchEvalWorkspace and a
+    // caller-provided flat output buffer, eval_batch_into is pure lane
+    // traffic — including the ragged scalar tail (7 states, W = 4).
+    let batch_states: Vec<Vec<f64>> = (0..7)
+        .map(|s| {
+            (0..compiled.input_names().len())
+                .map(|i| 0.11 * (s * 3 + i) as f64 - 0.4)
+                .collect()
+        })
+        .collect();
+    let mut batch_tape_ws =
+        robomorphic::codegen::BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+    let mut batch_flat = vec![0.0_f64; batch_states.len() * compiled.num_outputs()];
+    compiled.eval_batch_into(&batch_states, &mut batch_tape_ws, &mut batch_flat);
+    let before = allocations();
+    for _ in 0..64 {
+        compiled.eval_batch_into(&batch_states, &mut batch_tape_ws, &mut batch_flat);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "CompiledNetlist::eval_batch_into allocated in steady state"
+    );
+
     // The engine layer on top: once a RobotPlan is built and a backend
     // warmed, trait-object gradient calls are pure workspace traffic too.
     // (FiniteDiff is exempt by design — the oracle allocates per call.)
@@ -138,6 +162,51 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
             allocations(),
             before,
             "`{kind}` backend allocated in steady state"
+        );
+    }
+
+    // The wide SoA batch overrides: with a warm backend and a warm
+    // GradientBatchOutput, whole lane-grouped batches (full W-groups plus
+    // the scalar tail) are allocation-free as well. The GradientState
+    // views are built outside the counted region — they are borrows the
+    // caller constructs once per batch. (The trait's serial default, used
+    // by FiniteDiff, allocates a scratch per call and is exempt.)
+    let batch_cases: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..7)
+        .map(|k| {
+            let q: Vec<f64> = (0..n).map(|i| 0.09 * (i + k) as f64 - 0.25).collect();
+            let qd: Vec<f64> = (0..n).map(|i| 0.03 * i as f64 - 0.01 * k as f64).collect();
+            let qdd: Vec<f64> = (0..n).map(|i| 0.15 - 0.02 * (i + k) as f64).collect();
+            (q, qd, qdd)
+        })
+        .collect();
+    let states: Vec<robomorphic::engine::GradientState<'_, f64>> = batch_cases
+        .iter()
+        .map(|(q, qd, qdd)| robomorphic::engine::GradientState {
+            q,
+            qd,
+            qdd,
+            minv: &minv,
+        })
+        .collect();
+    let mut batch_out = robomorphic::engine::GradientBatchOutput::new();
+    for kind in [
+        robomorphic::engine::BackendKind::Cpu,
+        robomorphic::engine::BackendKind::Accel,
+    ] {
+        let mut backend = plan.backend(kind);
+        backend
+            .gradient_batch_into(&states, &mut batch_out)
+            .expect("dimensions match the plan");
+        let before = allocations();
+        for _ in 0..16 {
+            backend
+                .gradient_batch_into(&states, &mut batch_out)
+                .expect("dimensions match the plan");
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "`{kind}` wide batch path allocated in steady state"
         );
     }
 
