@@ -23,7 +23,7 @@
 //! written to `BENCH_5.json` at the repository root — the CI artifact —
 //! and recorded in EXPERIMENTS.md. Set `BENCH_QUICK=1` for a fast CI run.
 
-use robo_bench::report::{median, speedup, BenchReport};
+use robo_bench::report::{median, speedup, BenchReport, HostInfo};
 use robo_codegen::{
     generate_x_unit_with_mask, optimize, BatchEvalWorkspace, CompiledNetlist, EvalWorkspace,
 };
@@ -33,6 +33,7 @@ use robo_dynamics::{forward_dynamics, mass_matrix_inverse, DynamicsModel};
 use robo_model::robots;
 use robo_sim::AcceleratorBackend;
 use robo_sparsity::superposition_pattern;
+use robo_spatial::Lanes;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -105,6 +106,7 @@ fn main() {
     let tape_batch = if quick { 64 } else { 512 };
     let grad_batch = if quick { 12 } else { 48 };
     let mut report = BenchReport::new();
+    report.set_host(HostInfo::detect());
 
     // --- Compiled tape: scalar vs SoA lanes -----------------------------
     let robot = robots::iiwa14();
@@ -123,7 +125,7 @@ fn main() {
         }
     });
 
-    let mut batch_ws = BatchEvalWorkspace::<f64, 4>::for_netlist(&tape);
+    let mut batch_ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&tape);
     let mut out_flat = vec![0.0_f64; tape_batch * n_out];
     let tape_lanes = time_median_ns(reps, tape_batch, || {
         tape.eval_batch_into(&states, &mut batch_ws, &mut out_flat);

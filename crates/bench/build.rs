@@ -1,0 +1,15 @@
+//! Captures the compiler version at build time so bench reports can
+//! record it (`HostInfo::detect` reads `ROBO_BENCH_RUSTC`).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
+    let version = std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=ROBO_BENCH_RUSTC={version}");
+}

@@ -1,0 +1,80 @@
+//! CI bench-regression guard.
+//!
+//! ```text
+//! bench_guard <baseline.json> <current.json> [--tolerance T]
+//! ```
+//!
+//! Compares the machine-relative speedup ratios of `current` against the
+//! committed `baseline` (see `robo_bench::regression` for the policy) and
+//! exits nonzero listing every regression. Medians are printed for
+//! context but never gate — they are machine-specific.
+
+use robo_bench::regression::{compare, parse_report, GuardConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_guard: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> robo_bench::report::BenchReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    parse_report(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = GuardConfig::default();
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let t = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--tolerance needs a value"));
+                config.speedup_tolerance = t
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad tolerance `{t}`")));
+            }
+            p => paths.push(p.to_owned()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        fail("usage: bench_guard <baseline.json> <current.json> [--tolerance T]");
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    println!("bench_guard: {current_path} vs baseline {baseline_path}");
+    for (name, ns) in current.medians() {
+        let delta = baseline
+            .median_ns(name)
+            .map(|b| format!(" (baseline {b:.1} ns — context only, not gated)"))
+            .unwrap_or_default();
+        println!("  median  {name:<24} {ns:10.1} ns{delta}");
+    }
+    for (name, ratio) in current.speedups() {
+        let delta = baseline
+            .speedup_of(name)
+            .map(|b| format!(" (baseline {b:.3}x)"))
+            .unwrap_or_default();
+        println!("  speedup {name:<24} {ratio:10.3}x{delta}");
+    }
+
+    let failures = compare(&baseline, &current, config);
+    if failures.is_empty() {
+        println!(
+            "bench_guard: ok ({:.0}% tolerance band)",
+            config.speedup_tolerance * 100.0
+        );
+    } else {
+        for f in &failures {
+            eprintln!("bench_guard: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

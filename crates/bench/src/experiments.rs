@@ -697,6 +697,7 @@ pub fn codegen_stats() -> String {
         "X-unit DSP muls (min..max, dense=36)",
         "opt: nodes pre->post",
         "tape: instrs pre->post fusion",
+        "threaded: instrs->blocks",
         "top-level instances",
         "verilog lint",
     ]);
@@ -707,6 +708,7 @@ pub fn codegen_stats() -> String {
         let mut nodes_after = 0;
         let mut tape_before = 0;
         let mut tape_after = 0;
+        let mut threaded_blocks = 0;
         let mut lint_ok = true;
         for j in 0..robot.dof() {
             let (opt, report) = optimize_with_report(&generate_x_unit(&robot, j));
@@ -719,6 +721,7 @@ pub fn codegen_stats() -> String {
             nodes_after += report.nodes_after;
             tape_before += compiled.tape_len() + compiled.fusion_counts().total();
             tape_after += compiled.tape_len();
+            threaded_blocks += compiled.threaded_blocks();
             lint_ok &= lint(&to_verilog(&opt, RtlFormat::q16_16())).is_ok();
         }
         let accel = GradientTemplate::new().customize(&robot);
@@ -728,15 +731,26 @@ pub fn codegen_stats() -> String {
             format!("{lo}..{hi}"),
             format!("{nodes_before}->{nodes_after}"),
             format!("{tape_before}->{tape_after}"),
+            format!("{tape_after}->{threaded_blocks}"),
             top.manifest.len().to_string(),
             if lint_ok { "ok" } else { "FAIL" }.to_string(),
         ]);
     }
+    let tier = robo_spatial::ExecTier::detect();
     t.note("RTL is lowered from the *optimized* netlist (constant folding, CSE,");
     t.note("dead-node elimination); every generated netlist also *executes* and");
     t.note("matches the reference transform exactly (tested in robo-codegen)");
     t.note("tape column: peephole fusion (mul+add etc.) shrinking the compiled");
     t.note("register tape, two rounding steps preserved (bit-identical, not FMA)");
+    t.note("threaded column: direct-threaded dispatch blocks after opcode-affinity");
+    t.note("scheduling clusters same-opcode runs and tiling folds them into");
+    t.note("x2/x4 superinstructions (shared by the scalar and wide lowerings)");
+    t.note(format!(
+        "serving tier on this host: {} ({} f64 / {} f32 states per wide instruction)",
+        tier,
+        f64::preferred_lanes(tier),
+        f32::preferred_lanes(tier),
+    ));
     t.render()
 }
 

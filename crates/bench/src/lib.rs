@@ -12,4 +12,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod regression;
 pub mod report;

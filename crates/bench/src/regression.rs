@@ -1,0 +1,231 @@
+//! CI bench-regression guard: compares a current [`BenchReport`] JSON
+//! artifact against a committed baseline and fails on slowdowns.
+//!
+//! Absolute medians are machine-specific (a laptop, a CI runner, and the
+//! paper's Xeon all differ), so the guard's primary signal is the
+//! *machine-relative speedup ratios* each bench records — wide-over-scalar,
+//! threaded-over-interpreted, and so on. A tiered serving path that stops
+//! being faster than its own scalar fallback shows up identically on every
+//! host, with no cross-machine calibration. Ratios still jitter run to
+//! run, so comparisons carry a tolerance band (default
+//! [`GuardConfig::DEFAULT_TOLERANCE`]).
+//!
+//! The parser is hand-rolled for the exact JSON shape
+//! [`BenchReport::to_json`] emits (the workspace builds fully offline, so
+//! there is no serde); unknown sections such as `host` are skipped.
+
+use crate::report::BenchReport;
+
+/// Tolerances for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Maximum allowed relative drop in any speedup ratio present in both
+    /// reports: current must be ≥ baseline × (1 − this).
+    pub speedup_tolerance: f64,
+    /// Speedups the baseline records above 1.0 (i.e. the optimized path
+    /// won) must stay above this floor in the current run, regardless of
+    /// the tolerance band — catching "the fast path silently became the
+    /// slow path" even against a generous baseline.
+    pub speedup_floor: f64,
+}
+
+impl GuardConfig {
+    /// Default tolerance band: single-run medians on shared CI runners
+    /// jitter, so a ratio may drop 30% before the guard fails.
+    pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+    /// Default floor for ratios that were wins in the baseline.
+    pub const DEFAULT_FLOOR: f64 = 1.0;
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            speedup_tolerance: Self::DEFAULT_TOLERANCE,
+            speedup_floor: Self::DEFAULT_FLOOR,
+        }
+    }
+}
+
+/// Parses a [`BenchReport::to_json`] artifact back into a report
+/// (medians and speedups; the `host` block is ignored).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line when a section entry is
+/// not a `"name": number` pair.
+pub fn parse_report(json: &str) -> Result<BenchReport, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Medians,
+        Speedups,
+        Skip,
+    }
+    let mut report = BenchReport::new();
+    let mut section = Section::None;
+    for raw in json.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('"') {
+            if let Some((key, after)) = rest.split_once('"') {
+                let after = after.trim_start();
+                if let Some(value) = after.strip_prefix(':') {
+                    let value = value.trim();
+                    if value.starts_with('{') {
+                        section = match key {
+                            "medians_ns" => Section::Medians,
+                            "speedups" => Section::Speedups,
+                            _ => Section::Skip,
+                        };
+                        // One-line empty section: `"speedups": {}`.
+                        if value.contains('}') {
+                            section = Section::None;
+                        }
+                        continue;
+                    }
+                    match section {
+                        Section::None => {
+                            return Err(format!("entry outside any section: `{line}`"))
+                        }
+                        Section::Skip => continue,
+                        Section::Medians | Section::Speedups => {
+                            let num: f64 = value
+                                .parse()
+                                .map_err(|_| format!("malformed number in `{line}`"))?;
+                            if section == Section::Medians {
+                                report.record_median_ns(key, num);
+                            } else {
+                                report.record_speedup(key, num);
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+            return Err(format!("malformed entry `{line}`"));
+        }
+        // A bare `}` closing a section (possibly followed by a comma,
+        // already stripped).
+        if line == "}" || line.starts_with('}') {
+            section = Section::None;
+        }
+    }
+    Ok(report)
+}
+
+/// Compares `current` against `baseline`, returning one human-readable
+/// message per regression (empty means the guard passes).
+///
+/// Only speedups present in *both* reports are compared — adding or
+/// renaming benches never trips the guard. Medians are reported for
+/// context by the `bench_guard` binary but never gate, since they are
+/// machine-specific.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, config: GuardConfig) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline.speedups() {
+        let Some(cur) = current.speedup_of(name) else {
+            continue;
+        };
+        let allowed = base * (1.0 - config.speedup_tolerance);
+        if cur < allowed {
+            failures.push(format!(
+                "speedup `{name}` regressed: {cur:.3}x vs baseline {base:.3}x \
+                 (allowed ≥ {allowed:.3}x with {:.0}% tolerance)",
+                config.speedup_tolerance * 100.0
+            ));
+        } else if *base >= 1.0 && cur < config.speedup_floor {
+            failures.push(format!(
+                "speedup `{name}` fell below the floor: {cur:.3}x < {:.3}x \
+                 (baseline {base:.3}x was a win; the optimized path lost to its fallback)",
+                config.speedup_floor
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::HostInfo;
+
+    fn report(speedups: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new();
+        r.record_median_ns("some_bench", 123.4);
+        for (name, ratio) in speedups {
+            r.record_speedup(*name, *ratio);
+        }
+        r
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut r = report(&[("wide_vs_scalar", 2.5), ("threaded_vs_interp", 1.4)]);
+        r.set_host(HostInfo {
+            cpu_model: "Test".into(),
+            features: "sse2".into(),
+            cores: 2,
+            rustc: "rustc x".into(),
+            tier: "sse2".into(),
+        });
+        let parsed = parse_report(&r.to_json()).expect("parses own output");
+        assert_eq!(parsed.median_ns("some_bench"), Some(123.4));
+        assert_eq!(parsed.speedup_of("wide_vs_scalar"), Some(2.5));
+        assert_eq!(parsed.speedup_of("threaded_vs_interp"), Some(1.4));
+        // The host block is provenance, not data — skipped on parse.
+        assert!(parsed.host().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_report("{\n  \"medians_ns\": {\n    \"a\": nope\n  }\n}").is_err());
+        assert!(parse_report("\"floating\": 1.0").is_err());
+        // Empty sections are fine.
+        let r = parse_report("{\n  \"medians_ns\": {},\n  \"speedups\": {}\n}").unwrap();
+        assert_eq!(r.median_ns("anything"), None);
+    }
+
+    #[test]
+    fn matching_reports_pass() {
+        let base = report(&[("wide_vs_scalar", 2.0)]);
+        let cur = report(&[("wide_vs_scalar", 2.0)]);
+        assert!(compare(&base, &cur, GuardConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn injected_slowdown_fails() {
+        // The demonstration required by this PR: cut a 2x win in half
+        // (as if the wide path silently fell back to scalar) and the
+        // guard must fail.
+        let base = report(&[("wide_vs_scalar", 2.0), ("threaded_vs_interp", 1.5)]);
+        let slow = report(&[("wide_vs_scalar", 0.9), ("threaded_vs_interp", 1.5)]);
+        let failures = compare(&base, &slow, GuardConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wide_vs_scalar"));
+        assert!(failures[0].contains("regressed"));
+    }
+
+    #[test]
+    fn jitter_within_tolerance_passes_but_floor_still_gates() {
+        let base = report(&[("wide_vs_scalar", 1.35)]);
+        // 1.35 → 1.05 is a 22% drop: inside the 30% band, above the floor.
+        let jitter = report(&[("wide_vs_scalar", 1.05)]);
+        assert!(compare(&base, &jitter, GuardConfig::default()).is_empty());
+        // 1.35 → 0.97 is still inside the band (allowed ≥ 0.945) but the
+        // optimized path now loses to its fallback: the floor catches it.
+        let lost = report(&[("wide_vs_scalar", 0.97)]);
+        let failures = compare(&base, &lost, GuardConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("floor"));
+    }
+
+    #[test]
+    fn unmatched_names_never_gate() {
+        let base = report(&[("removed_bench", 9.0)]);
+        let cur = report(&[("brand_new_bench", 0.1)]);
+        assert!(compare(&base, &cur, GuardConfig::default()).is_empty());
+    }
+}

@@ -89,12 +89,73 @@ impl Table {
     }
 }
 
+/// Host provenance for a benchmark report: what machine and compiler the
+/// numbers came from. Absolute medians are machine-specific, so the CI
+/// regression guard compares machine-relative speedup ratios — but the
+/// host block makes any cross-machine comparison explicit in the
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// CPU model string (from `/proc/cpuinfo` on Linux, else `unknown`).
+    pub cpu_model: String,
+    /// Comma-separated SIMD feature/tier summary (e.g. `sse2,avx2`).
+    pub features: String,
+    /// Available hardware parallelism (logical cores).
+    pub cores: usize,
+    /// `rustc --version` of the compiler that built the bench.
+    pub rustc: String,
+    /// The [`ExecTier`](robo_spatial::ExecTier) the host serves at.
+    pub tier: String,
+}
+
+impl HostInfo {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_owned())
+            })
+            .unwrap_or_else(|| "unknown".to_owned());
+        let mut features = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            features.push("sse2");
+            if std::arch::is_x86_feature_detected!("avx2") {
+                features.push("avx2");
+            }
+            if std::arch::is_x86_feature_detected!("fma") {
+                // Present on the host, but never used by the kernels —
+                // two-rounding semantics are part of the bit-identity
+                // contract.
+                features.push("fma(unused)");
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            features.push("neon");
+        }
+        Self {
+            cpu_model,
+            features: features.join(","),
+            cores: std::thread::available_parallelism().map_or(1, usize::from),
+            rustc: env!("ROBO_BENCH_RUSTC").to_owned(),
+            tier: robo_spatial::ExecTier::detect().to_string(),
+        }
+    }
+}
+
 /// A machine-readable benchmark report: bench name → median nanoseconds,
-/// plus named speedup ratios. Serialized as JSON by hand (the workspace
-/// builds fully offline, so there is no serde) and uploaded as a CI
-/// artifact (`BENCH_5.json`) by the bench runners.
+/// plus named speedup ratios and optional [`HostInfo`] provenance.
+/// Serialized as JSON by hand (the workspace builds fully offline, so
+/// there is no serde) and uploaded as a CI artifact (`BENCH_5.json`,
+/// `BENCH_6.json`) by the bench runners.
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
+    host: Option<HostInfo>,
     medians_ns: Vec<(String, f64)>,
     speedups: Vec<(String, f64)>,
 }
@@ -103,6 +164,18 @@ impl BenchReport {
     /// An empty report.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches host provenance (CPU model, SIMD features, core count,
+    /// compiler version, serving tier) to the report.
+    pub fn set_host(&mut self, host: HostInfo) -> &mut Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// The attached host provenance, if any.
+    pub fn host(&self) -> Option<&HostInfo> {
+        self.host.as_ref()
     }
 
     /// Records one bench's median time (nanoseconds per evaluated item).
@@ -133,8 +206,20 @@ impl BenchReport {
             .map(|(_, v)| *v)
     }
 
+    /// All recorded medians, in insertion order.
+    pub fn medians(&self) -> impl Iterator<Item = &(String, f64)> {
+        self.medians_ns.iter()
+    }
+
+    /// All recorded speedups, in insertion order.
+    pub fn speedups(&self) -> impl Iterator<Item = &(String, f64)> {
+        self.speedups.iter()
+    }
+
     /// Renders the report as a JSON object:
-    /// `{"medians_ns": {name: ns, ...}, "speedups": {name: ratio, ...}}`.
+    /// `{"host": {...}, "medians_ns": {name: ns, ...},
+    /// "speedups": {name: ratio, ...}}` (the `host` field is present only
+    /// when [`BenchReport::set_host`] was called).
     pub fn to_json(&self) -> String {
         fn escape(s: &str) -> String {
             s.chars()
@@ -157,8 +242,19 @@ impl BenchReport {
                 format!("{{\n{}\n  }}", fields.join(",\n"))
             }
         }
+        let host = match &self.host {
+            None => String::new(),
+            Some(h) => format!(
+                "  \"host\": {{\n    \"cpu_model\": \"{}\",\n    \"features\": \"{}\",\n    \"cores\": {},\n    \"rustc\": \"{}\",\n    \"tier\": \"{}\"\n  }},\n",
+                escape(&h.cpu_model),
+                escape(&h.features),
+                h.cores,
+                escape(&h.rustc),
+                escape(&h.tier),
+            ),
+        };
         format!(
-            "{{\n  \"medians_ns\": {},\n  \"speedups\": {}\n}}\n",
+            "{{\n{host}  \"medians_ns\": {},\n  \"speedups\": {}\n}}\n",
             object(&self.medians_ns),
             object(&self.speedups),
         )
@@ -249,6 +345,43 @@ mod tests {
         assert!(json.contains("\"tape_lanes4_vs_scalar\": 3.086"));
         assert_eq!(r.median_ns("tape_lanes4"), Some(400.0));
         assert_eq!(r.speedup_of("missing"), None);
+    }
+
+    #[test]
+    fn bench_report_host_block() {
+        let mut r = BenchReport::new();
+        r.record_median_ns("x", 1.0);
+        assert!(!r.to_json().contains("\"host\""));
+        r.set_host(HostInfo {
+            cpu_model: "Test CPU".to_owned(),
+            features: "sse2,avx2".to_owned(),
+            cores: 4,
+            rustc: "rustc 1.0.0".to_owned(),
+            tier: "avx2".to_owned(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"host\""));
+        assert!(json.contains("\"cpu_model\": \"Test CPU\""));
+        assert!(json.contains("\"cores\": 4"));
+        assert!(json.contains("\"tier\": \"avx2\""));
+        // The medians/speedups sections keep their shape alongside host.
+        assert!(json.contains("\"medians_ns\""));
+        assert!(json.contains("\"speedups\""));
+    }
+
+    #[test]
+    fn host_detection_populates_every_field() {
+        let h = HostInfo::detect();
+        assert!(!h.cpu_model.is_empty());
+        assert!(h.cores >= 1);
+        assert!(h.rustc.contains("rustc") || h.rustc == "unknown");
+        assert!(
+            "auto"
+                .parse::<robo_spatial::ExecTier>()
+                .unwrap()
+                .to_string()
+                == h.tier
+        );
     }
 
     #[test]

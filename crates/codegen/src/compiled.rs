@@ -29,8 +29,9 @@
 //! type.
 
 use crate::netlist::{Netlist, Node};
+use crate::threaded::{Opcode, ThreadedTape};
 use robo_dynamics::batch::BatchEngine;
-use robo_spatial::{Lanes, Scalar, SERVE_LANES};
+use robo_spatial::{ExecTier, Lanes, Scalar, WideScalar, WideVisit};
 
 /// One tape instruction. Operands and destinations are register-file
 /// slots; `Const`/`MulConst`/`MulConstAdd` reference the hoisted constant
@@ -139,6 +140,28 @@ impl Instr {
             }
         }
     }
+
+    /// Lowers this instruction to the direct-threaded `(opcode, operands)`
+    /// form of the `threaded` module.
+    fn decode(self) -> (Opcode, crate::threaded::OpArgs) {
+        match self {
+            Instr::Const { idx, dst } => Opcode::Const.args(idx, 0, 0, dst),
+            Instr::Mul { a, b, dst } => Opcode::Mul.args(a, b, 0, dst),
+            Instr::MulConst { a, idx, dst } => Opcode::MulConst.args(a, idx, 0, dst),
+            Instr::Add { a, b, dst } => Opcode::Add.args(a, b, 0, dst),
+            Instr::Sub { a, b, dst } => Opcode::Sub.args(a, b, 0, dst),
+            Instr::Neg { a, dst } => Opcode::Neg.args(a, 0, 0, dst),
+            Instr::MulAdd { a, b, c, dst } => Opcode::MulAdd.args(a, b, c, dst),
+            Instr::MulConstAdd { a, idx, c, dst } => Opcode::MulConstAdd.args(a, idx, c, dst),
+            Instr::AddAdd { a, b, c, dst } => Opcode::AddAdd.args(a, b, c, dst),
+            Instr::NegAdd { a, c, dst } => Opcode::NegAdd.args(a, 0, c, dst),
+        }
+    }
+}
+
+/// Lowers a full tape for [`ThreadedTape::build`].
+fn decode_tape(tape: &[Instr]) -> Vec<(Opcode, crate::threaded::OpArgs)> {
+    tape.iter().map(|i| i.decode()).collect()
 }
 
 /// How many producers the tape-fusion pass folded into their consuming
@@ -277,6 +300,132 @@ fn fuse_tape(tape: &mut Vec<Instr>, outputs: &[(String, u32)]) -> FusionCounts {
     counts
 }
 
+/// Scheduler bucket per opcode — one entry per `Instr` variant.
+const N_OPCODES: usize = 10;
+
+/// The scheduler bucket this instruction belongs to.
+fn opcode_bucket(i: Instr) -> usize {
+    match i {
+        Instr::Const { .. } => 0,
+        Instr::Mul { .. } => 1,
+        Instr::MulConst { .. } => 2,
+        Instr::Add { .. } => 3,
+        Instr::Sub { .. } => 4,
+        Instr::Neg { .. } => 5,
+        Instr::MulAdd { .. } => 6,
+        Instr::MulConstAdd { .. } => 7,
+        Instr::AddAdd { .. } => 8,
+        Instr::NegAdd { .. } => 9,
+    }
+}
+
+/// Opcode-affinity list scheduling over the fused tape.
+///
+/// The direct-threaded executor tiles *runs* of one opcode into ×4/×2
+/// superinstruction blocks, so its dispatch count is the number of runs,
+/// not instructions — and the natural topological emission order
+/// interleaves opcodes so freely that runs average barely over one
+/// instruction. This pass reorders the tape to cluster ready same-opcode
+/// instructions while preserving every register hazard. It feeds only
+/// the *threaded* lowering (the superinstruction blocks
+/// [`ThreadedTape::build`] tiles): longer runs mean fewer indirect
+/// dispatches, and — just as important on long tapes — few enough
+/// distinct handler targets that the indirect-branch predictor can
+/// follow the cycle. The stored tape (what the `match` oracle
+/// interprets) keeps fusion order. Hazards preserved:
+///
+/// * RAW — an instruction stays after the last writer of each register
+///   it reads;
+/// * WAR — a write stays after every prior read of the old value;
+/// * WAW — writes to one register keep their order.
+///
+/// With all three preserved, every instruction reads exactly the values
+/// it read in the original order, so results are bit-identical in every
+/// scalar type — the wide-vs-scalar parity tests pin this.
+fn schedule_tape(tape: &[Instr]) -> Vec<Instr> {
+    let n = tape.len();
+    let mut max_reg = 0u32;
+    for ins in tape {
+        max_reg = max_reg.max(ins.dst());
+        ins.for_each_read(|r| max_reg = max_reg.max(r));
+    }
+    let nr = max_reg as usize + 1;
+
+    // Dependency edges via per-register def/use chains. Duplicate edges
+    // (e.g. RAW and WAW between one pair) are fine: `indeg` counts edge
+    // instances, and release decrements once per instance.
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indeg: Vec<u32> = vec![0; n];
+    let mut last_writer: Vec<Option<u32>> = vec![None; nr];
+    let mut readers: Vec<Vec<u32>> = vec![Vec::new(); nr];
+    for (i, ins) in tape.iter().enumerate() {
+        let ii = i as u32;
+        ins.for_each_read(|r| {
+            if let Some(w) = last_writer[r as usize] {
+                succs[w as usize].push(ii);
+                indeg[i] += 1;
+            }
+            readers[r as usize].push(ii);
+        });
+        let d = ins.dst() as usize;
+        if let Some(w) = last_writer[d] {
+            succs[w as usize].push(ii);
+            indeg[i] += 1;
+        }
+        for &rd in &readers[d] {
+            // An instruction reading its own destination needs no
+            // self-edge; the in-instruction read-before-write order and
+            // the WAW chain cover it.
+            if rd != ii {
+                succs[rd as usize].push(ii);
+                indeg[i] += 1;
+            }
+        }
+        last_writer[d] = Some(ii);
+        readers[d].clear();
+    }
+
+    // Greedy emission: drain the current opcode's ready set (lowest
+    // original index first, for determinism), then switch to whichever
+    // opcode has the most ready instructions — starting the longest
+    // possible next run.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); N_OPCODES];
+    for (i, &ins) in tape.iter().enumerate() {
+        if indeg[i] == 0 {
+            buckets[opcode_bucket(ins)].push(i as u32);
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut current = N_OPCODES;
+    while out.len() < n {
+        if current == N_OPCODES || buckets[current].is_empty() {
+            current = (0..N_OPCODES)
+                .max_by_key(|&b| buckets[b].len())
+                .expect("bucket count is fixed and nonzero");
+            debug_assert!(
+                !buckets[current].is_empty(),
+                "hazard graph of a straight-line tape is acyclic"
+            );
+        }
+        let pos = buckets[current]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &id)| id)
+            .expect("current bucket is nonempty")
+            .0;
+        let id = buckets[current].swap_remove(pos) as usize;
+        out.push(tape[id]);
+        for &s in &succs[id] {
+            let s = s as usize;
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                buckets[opcode_bucket(tape[s])].push(s as u32);
+            }
+        }
+    }
+    out
+}
+
 /// Reusable register file for [`CompiledNetlist::eval_into`]. The first
 /// call through a fresh workspace sizes the buffer; every later call is
 /// allocation-free.
@@ -325,6 +474,9 @@ pub struct CompiledNetlist<S> {
     input_names: Vec<String>,
     consts: Vec<S>,
     tape: Vec<Instr>,
+    /// The same tape lowered to direct-threaded form — what
+    /// [`CompiledNetlist::eval_into_regs`] actually executes.
+    threaded: ThreadedTape<S>,
     num_regs: usize,
     outputs: Vec<(String, u32)>,
     fusion: FusionCounts,
@@ -499,13 +651,17 @@ impl<S: Scalar> CompiledNetlist<S> {
             .collect();
 
         let fusion = fuse_tape(&mut tape, &outputs);
+        let num_regs = alloc.next as usize;
+        let threaded =
+            ThreadedTape::build(&decode_tape(&schedule_tape(&tape)), num_regs, consts.len());
 
         Self {
             name: netlist.name().to_owned(),
             input_names,
             consts,
             tape,
-            num_regs: alloc.next as usize,
+            threaded,
+            num_regs,
             outputs,
             fusion,
         }
@@ -544,24 +700,46 @@ impl<S: Scalar> CompiledNetlist<S> {
         self.tape.len()
     }
 
+    /// Number of direct-threaded dispatches (superinstruction blocks) per
+    /// evaluation — at most [`CompiledNetlist::tape_len`], usually far
+    /// fewer thanks to run grouping.
+    pub fn threaded_blocks(&self) -> usize {
+        self.threaded.block_count()
+    }
+
     /// What the post-compile fusion pass folded. The pre-fusion tape length
     /// is `tape_len() + fusion_counts().total()`.
     pub fn fusion_counts(&self) -> FusionCounts {
         self.fusion
     }
 
-    /// Re-targets this tape at the wide scalar `Lanes<S, W>`, evaluating
-    /// `W` independent states per instruction.
+    /// Re-targets this tape at the portable wide scalar `Lanes<S, W>`,
+    /// evaluating `W` independent states per instruction. Shorthand for
+    /// [`CompiledNetlist::widen_to`] at the portable lane type.
+    pub fn widen<const W: usize>(&self) -> CompiledNetlist<Lanes<S, W>> {
+        self.widen_to::<Lanes<S, W>>()
+    }
+
+    /// Re-targets this tape at any wide scalar over the same element type
+    /// — portable [`Lanes`] or a native SIMD lane bundle.
     ///
     /// The instruction stream, register assignment, and fusion are reused
-    /// verbatim; constants are splat per lane, so every lane of a wide
+    /// verbatim (the threaded form is re-lowered through the same
+    /// scheduling pass so `V`'s handler table — e.g. the AVX2 one — is
+    /// selected); constants are splat per lane, so every lane of a wide
     /// evaluation is bit-identical to a scalar run of the same tape.
-    pub fn widen<const W: usize>(&self) -> CompiledNetlist<Lanes<S, W>> {
+    pub fn widen_to<V: WideScalar<Elem = S>>(&self) -> CompiledNetlist<V> {
+        let threaded = ThreadedTape::build(
+            &decode_tape(&schedule_tape(&self.tape)),
+            self.num_regs,
+            self.consts.len(),
+        );
         CompiledNetlist {
             name: self.name.clone(),
             input_names: self.input_names.clone(),
-            consts: self.consts.iter().map(|&c| Lanes::splat(c)).collect(),
+            consts: self.consts.iter().map(|&c| V::splat(c)).collect(),
             tape: self.tape.clone(),
+            threaded,
             num_regs: self.num_regs,
             outputs: self.outputs.clone(),
             fusion: self.fusion,
@@ -586,10 +764,35 @@ impl<S: Scalar> CompiledNetlist<S> {
     /// register slice (at least [`CompiledNetlist::num_regs`] long) — the
     /// form the simulator uses with stack-allocated register files.
     ///
+    /// Executes the direct-threaded form of the tape: per-block handler
+    /// function pointers over pre-resolved register offsets, with no
+    /// central dispatch. Bit-identical to
+    /// [`CompiledNetlist::eval_into_regs_interp`] for every scalar type.
+    ///
     /// # Panics
     ///
     /// Panics if a slice length is insufficient.
     pub fn eval_into_regs(&self, inputs: &[S], regs: &mut [S], outputs: &mut [S]) {
+        let n_in = self.input_names.len();
+        assert_eq!(inputs.len(), n_in, "input slot count mismatch");
+        assert_eq!(outputs.len(), self.outputs.len(), "output count mismatch");
+        assert!(regs.len() >= self.num_regs, "register file too small");
+        regs[..n_in].copy_from_slice(inputs);
+        self.threaded.run(regs, &self.consts);
+        for (slot, (_, reg)) in outputs.iter_mut().zip(&self.outputs) {
+            *slot = regs[*reg as usize];
+        }
+    }
+
+    /// The `match`-dispatch interpreter over the same tape — the oracle
+    /// the direct-threaded [`CompiledNetlist::eval_into_regs`] is proven
+    /// bit-identical to (`tests/tier_parity.rs`), kept for that purpose
+    /// and for dispatch-cost comparisons in the benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length is insufficient.
+    pub fn eval_into_regs_interp(&self, inputs: &[S], regs: &mut [S], outputs: &mut [S]) {
         let n_in = self.input_names.len();
         assert_eq!(inputs.len(), n_in, "input slot count mismatch");
         assert_eq!(outputs.len(), self.outputs.len(), "output count mismatch");
@@ -647,25 +850,32 @@ impl<S: Scalar> CompiledNetlist<S> {
     }
 
     /// Evaluates a batch of states into a caller-provided flat buffer with
-    /// zero per-state allocation: full groups of `W` states run through the
-    /// widened tape one instruction for all `W` lanes at a time, and the
-    /// ragged tail falls back to the scalar tape.
+    /// zero per-state allocation: full groups of `V::WIDTH` states run
+    /// through the widened tape one instruction for all lanes at a time,
+    /// and the ragged tail falls back to the scalar tape.
+    ///
+    /// `V` is the wide lane type the workspace was built at — the portable
+    /// [`Lanes`] or a native SIMD bundle; pick it per host with
+    /// [`CompiledNetlist::tiered_workspace`] or
+    /// [`Scalar::dispatch_wide`](robo_spatial::Scalar::dispatch_wide).
     ///
     /// Results land row-major: state `i`'s outputs occupy
     /// `out[i * num_outputs() .. (i + 1) * num_outputs()]`, bit-identical
-    /// to `W` independent [`CompiledNetlist::eval_into`] calls.
+    /// to `states.len()` independent [`CompiledNetlist::eval_into`] calls
+    /// whichever `V` is used.
     ///
     /// # Panics
     ///
     /// Panics if `ws` was built for a different netlist, `out` is not
     /// exactly `states.len() * num_outputs()` long, or any state's length
     /// does not match the input slot count.
-    pub fn eval_batch_into<I: AsRef<[S]>, const W: usize>(
+    pub fn eval_batch_into<I: AsRef<[S]>, V: WideScalar<Elem = S>>(
         &self,
         states: &[I],
-        ws: &mut BatchEvalWorkspace<S, W>,
+        ws: &mut BatchEvalWorkspace<V>,
         out: &mut [S],
     ) {
+        let w = V::WIDTH;
         let n_in = self.input_names.len();
         let n_out = self.outputs.len();
         assert_eq!(
@@ -673,32 +883,81 @@ impl<S: Scalar> CompiledNetlist<S> {
             self.tape.len(),
             "workspace built for a different netlist"
         );
-        assert_eq!(ws.in_w.len(), n_in, "workspace input width mismatch");
-        assert_eq!(ws.out_w.len(), n_out, "workspace output width mismatch");
         assert_eq!(
             out.len(),
             states.len() * n_out,
             "flat output buffer length mismatch"
         );
-        let full = states.len() / W;
+        if ws.wide_regs.regs.len() < self.num_regs {
+            ws.wide_regs.regs.resize(self.num_regs, V::zero());
+        }
+        let full = states.len() / w;
+
+        // When the widened tape runs AVX2-attributed handlers and `V` is
+        // the four-`f64` bundle, the lane transposition around each sweep
+        // runs as 4×4 `ymm` transposes too — a scalar gather/scatter
+        // costs `4 · (n_in + n_out)` strided moves per group and rivals
+        // the tape itself on small units.
+        #[cfg(target_arch = "x86_64")]
+        let f64x4_fast = ws.wide.threaded.uses_avx2()
+            && core::any::TypeId::of::<V>() == core::any::TypeId::of::<robo_spatial::simd::F64x4>();
+
         for chunk in 0..full {
-            let base = chunk * W;
-            for (l, state) in states[base..base + W].iter().enumerate() {
+            let base = chunk * w;
+            #[cfg(target_arch = "x86_64")]
+            if f64x4_fast {
+                let mut rows = [core::ptr::null::<f64>(); 4];
+                for (l, state) in states[base..base + w].iter().enumerate() {
+                    let state = state.as_ref();
+                    assert_eq!(state.len(), n_in, "input slot count mismatch");
+                    rows[l] = state.as_ptr().cast::<f64>();
+                }
+                // SAFETY: `f64x4_fast` proves AVX2 was detected (the
+                // widened tape only installs attributed handlers then)
+                // and `V` *is* `F64x4`, so the register file really holds
+                // 32-byte-aligned `F64x4` and `S` is `f64` (pointer casts
+                // are between identical types). Each row was length-
+                // checked against `n_in` just above, the register file
+                // holds `num_regs >= n_in` entries, every output slot was
+                // build-validated below `num_regs`, and each output row
+                // is the `n_out`-long subslice of `out` for one state.
+                unsafe {
+                    let regs = ws
+                        .wide_regs
+                        .regs
+                        .as_mut_ptr()
+                        .cast::<robo_spatial::simd::F64x4>();
+                    crate::threaded::gather4_f64(rows, n_in, regs);
+                    ws.wide
+                        .threaded
+                        .run(&mut ws.wide_regs.regs, &ws.wide.consts);
+                    let out_rows = core::array::from_fn(|l| {
+                        out[(base + l) * n_out..(base + l + 1) * n_out]
+                            .as_mut_ptr()
+                            .cast::<f64>()
+                    });
+                    crate::threaded::scatter4_f64(regs.cast_const(), &ws.out_slots, out_rows);
+                }
+                continue;
+            }
+            for (l, state) in states[base..base + w].iter().enumerate() {
                 let state = state.as_ref();
                 assert_eq!(state.len(), n_in, "input slot count mismatch");
-                for (k, lane) in ws.in_w.iter_mut().enumerate() {
+                for (k, lane) in ws.wide_regs.regs[..n_in].iter_mut().enumerate() {
                     lane.set_lane(l, state[k]);
                 }
             }
             ws.wide
-                .eval_into(&ws.in_w, &mut ws.wide_regs, &mut ws.out_w);
-            for (o, wide) in ws.out_w.iter().enumerate() {
-                for l in 0..W {
-                    out[(base + l) * n_out + o] = wide.lane(l);
+                .threaded
+                .run(&mut ws.wide_regs.regs, &ws.wide.consts);
+            for l in 0..w {
+                let row = &mut out[(base + l) * n_out..(base + l + 1) * n_out];
+                for (slot, reg) in row.iter_mut().zip(&ws.out_slots) {
+                    *slot = ws.wide_regs.regs[*reg as usize].lane(l);
                 }
             }
         }
-        for (i, state) in states.iter().enumerate().skip(full * W) {
+        for (i, state) in states.iter().enumerate().skip(full * w) {
             self.eval_into(
                 state.as_ref(),
                 &mut ws.scalar_regs,
@@ -707,8 +966,42 @@ impl<S: Scalar> CompiledNetlist<S> {
         }
     }
 
-    /// Streams a batch of input states through the tape on `engine`,
-    /// returning one output vector per state in order.
+    /// A type-erased batch workspace for the lane type `tier` serves on
+    /// this host — the runtime entry to the tiered serving path when the
+    /// caller cannot be generic over the lane type.
+    pub fn tiered_workspace(&self, tier: ExecTier) -> TieredBatchEval<S> {
+        struct MkWs<'a, S: Scalar>(&'a CompiledNetlist<S>);
+        impl<S: Scalar> WideVisit<S> for MkWs<'_, S> {
+            type Out = TieredBatchEval<S>;
+            fn visit<V: WideScalar<Elem = S>>(self) -> TieredBatchEval<S> {
+                TieredBatchEval {
+                    inner: Box::new(ErasedWs {
+                        ws: BatchEvalWorkspace::<V>::for_netlist(self.0),
+                    }),
+                }
+            }
+        }
+        S::dispatch_wide(tier, MkWs(self))
+    }
+
+    /// Streams a batch of input states through the tape on `engine` at
+    /// the host's detected [`ExecTier`], returning one output vector per
+    /// state in order. See [`CompiledNetlist::eval_batch_tiered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's length does not match the input slot count.
+    pub fn eval_batch<I: AsRef<[S]> + Sync>(
+        &self,
+        engine: &BatchEngine,
+        states: &[I],
+    ) -> Vec<Vec<S>> {
+        self.eval_batch_tiered(engine, states, ExecTier::detect())
+    }
+
+    /// Streams a batch of input states through the tape on `engine` with
+    /// the lane type `tier` serves, returning one output vector per state
+    /// in order.
     ///
     /// Convenience wrapper over [`CompiledNetlist::eval_batch_into`]:
     /// workers claim lane-group chunks of states (threads × lanes
@@ -720,7 +1013,35 @@ impl<S: Scalar> CompiledNetlist<S> {
     /// # Panics
     ///
     /// Panics if any state's length does not match the input slot count.
-    pub fn eval_batch<I: AsRef<[S]> + Sync>(
+    pub fn eval_batch_tiered<I: AsRef<[S]> + Sync>(
+        &self,
+        engine: &BatchEngine,
+        states: &[I],
+        tier: ExecTier,
+    ) -> Vec<Vec<S>> {
+        struct Batch<'a, S: Scalar, I> {
+            nl: &'a CompiledNetlist<S>,
+            engine: &'a BatchEngine,
+            states: &'a [I],
+        }
+        impl<S: Scalar, I: AsRef<[S]> + Sync> WideVisit<S> for Batch<'_, S, I> {
+            type Out = Vec<Vec<S>>;
+            fn visit<V: WideScalar<Elem = S>>(self) -> Vec<Vec<S>> {
+                self.nl.eval_batch_wide::<I, V>(self.engine, self.states)
+            }
+        }
+        S::dispatch_wide(
+            tier,
+            Batch {
+                nl: self,
+                engine,
+                states,
+            },
+        )
+    }
+
+    /// [`CompiledNetlist::eval_batch_tiered`] at a concrete lane type.
+    fn eval_batch_wide<I: AsRef<[S]> + Sync, V: WideScalar<Elem = S>>(
         &self,
         engine: &BatchEngine,
         states: &[I],
@@ -728,11 +1049,11 @@ impl<S: Scalar> CompiledNetlist<S> {
         // Several lane groups per claimed chunk amortizes the claim; small
         // enough to keep all workers fed on modest batches.
         const GROUPS_PER_CHUNK: usize = 4;
-        let chunk_len = GROUPS_PER_CHUNK * SERVE_LANES;
+        let chunk_len = GROUPS_PER_CHUNK * V::WIDTH;
         let n_out = self.outputs.len();
         let chunks = engine.run_with_state(
             states.len().div_ceil(chunk_len),
-            || BatchEvalWorkspace::<S, SERVE_LANES>::for_netlist(self),
+            || BatchEvalWorkspace::<V>::for_netlist(self),
             |ws, ci| {
                 let lo = ci * chunk_len;
                 let hi = usize::min(lo + chunk_len, states.len());
@@ -749,31 +1070,100 @@ impl<S: Scalar> CompiledNetlist<S> {
     }
 }
 
-/// Reusable buffers for [`CompiledNetlist::eval_batch_into`]: the widened
-/// tape, its register file, lane-transposed input/output staging, and a
-/// scalar register file for the ragged tail. Build once per worker; every
-/// evaluation through it is allocation-free.
+/// Reusable buffers for [`CompiledNetlist::eval_batch_into`]: the tape
+/// widened to lane type `V`, its wide register file (states are
+/// lane-transposed straight into the input registers and results read
+/// straight out of the output registers — no staging copies), and a
+/// scalar register file for the ragged tail. Build once per worker;
+/// every evaluation through it is allocation-free.
+///
+/// `V` is any [`WideScalar`] over the netlist's element type — the
+/// portable `Lanes<S, W>` or one of the native SIMD bundles in
+/// [`robo_spatial::simd`].
 #[derive(Debug, Clone)]
-pub struct BatchEvalWorkspace<S: Scalar, const W: usize = SERVE_LANES> {
-    wide: CompiledNetlist<Lanes<S, W>>,
-    wide_regs: EvalWorkspace<Lanes<S, W>>,
-    scalar_regs: EvalWorkspace<S>,
-    in_w: Vec<Lanes<S, W>>,
-    out_w: Vec<Lanes<S, W>>,
+pub struct BatchEvalWorkspace<V: WideScalar> {
+    wide: CompiledNetlist<V>,
+    wide_regs: EvalWorkspace<V>,
+    scalar_regs: EvalWorkspace<V::Elem>,
+    /// Output register slots in declaration order — the scatter reads
+    /// `wide_regs[out_slots[o]]` for output `o`.
+    out_slots: Vec<u32>,
 }
 
-impl<S: Scalar, const W: usize> BatchEvalWorkspace<S, W> {
-    /// Widens `compiled` and pre-sizes every buffer, so even the first
-    /// batch evaluation allocates nothing.
-    pub fn for_netlist(compiled: &CompiledNetlist<S>) -> Self {
-        let wide = compiled.widen::<W>();
+impl<V: WideScalar> BatchEvalWorkspace<V> {
+    /// Widens `compiled` to `V` and pre-sizes every buffer, so even the
+    /// first batch evaluation allocates nothing.
+    pub fn for_netlist(compiled: &CompiledNetlist<V::Elem>) -> Self {
+        let wide = compiled.widen_to::<V>();
         Self {
             wide_regs: EvalWorkspace::for_netlist(&wide),
             scalar_regs: EvalWorkspace::for_netlist(compiled),
-            in_w: vec![Lanes::splat(S::zero()); compiled.input_names.len()],
-            out_w: vec![Lanes::splat(S::zero()); compiled.outputs.len()],
+            out_slots: compiled.outputs.iter().map(|(_, reg)| *reg).collect(),
             wide,
         }
+    }
+}
+
+/// Object-safe face of a [`BatchEvalWorkspace`] at an erased lane type.
+trait DynBatchEval<S: Scalar>: Send {
+    fn width(&self) -> usize;
+    fn lane_name(&self) -> String;
+    fn eval_batch_refs(&mut self, netlist: &CompiledNetlist<S>, states: &[&[S]], out: &mut [S]);
+}
+
+/// The concrete workspace behind a [`TieredBatchEval`].
+struct ErasedWs<V: WideScalar> {
+    ws: BatchEvalWorkspace<V>,
+}
+
+impl<S: Scalar, V: WideScalar<Elem = S>> DynBatchEval<S> for ErasedWs<V> {
+    fn width(&self) -> usize {
+        V::WIDTH
+    }
+
+    fn lane_name(&self) -> String {
+        V::name()
+    }
+
+    fn eval_batch_refs(&mut self, netlist: &CompiledNetlist<S>, states: &[&[S]], out: &mut [S]) {
+        netlist.eval_batch_into(states, &mut self.ws, out);
+    }
+}
+
+/// A [`BatchEvalWorkspace`] whose lane type was chosen at runtime from an
+/// [`ExecTier`] and erased — built by
+/// [`CompiledNetlist::tiered_workspace`] for callers that cannot be
+/// generic over the lane type. Evaluations through it are allocation-free
+/// once warm, like the generic workspace it wraps.
+pub struct TieredBatchEval<S: Scalar> {
+    inner: Box<dyn DynBatchEval<S> + Send>,
+}
+
+impl<S: Scalar> TieredBatchEval<S> {
+    /// The erased lane type's width (states per wide instruction).
+    pub fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    /// The erased lane type's [`Scalar::name`] — e.g. `"F64x4(avx2)"` or
+    /// `"Lanes<f64, 4>"` — for stats and reports.
+    pub fn lane_name(&self) -> String {
+        self.inner.lane_name()
+    }
+
+    /// [`CompiledNetlist::eval_batch_into`] through the erased workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`CompiledNetlist::eval_batch_into`].
+    pub fn eval_batch_into(
+        &mut self,
+        netlist: &CompiledNetlist<S>,
+        states: &[&[S]],
+        out: &mut [S],
+    ) {
+        self.inner.eval_batch_refs(netlist, states, out);
     }
 }
 
@@ -965,7 +1355,7 @@ mod tests {
                 [0.3 * x, 1.0 - x, 0.5 * x - 2.0]
             })
             .collect();
-        let mut ws = BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+        let mut ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&compiled);
         let mut flat = vec![0.0; states.len() * n_out];
         compiled.eval_batch_into(&states, &mut ws, &mut flat);
         for (i, s) in states.iter().enumerate() {
@@ -989,7 +1379,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let mut ws = BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+        let mut ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&compiled);
         let mut flat = vec![0.0; states.len() * n_out];
         compiled.eval_batch_into(&states, &mut ws, &mut flat);
         for (i, s) in states.iter().enumerate() {
@@ -999,6 +1389,73 @@ mod tests {
                 "state {i}"
             );
         }
+    }
+
+    #[test]
+    fn threaded_execution_matches_match_interpreter_bitwise() {
+        use crate::xunit_gen::generate_x_unit;
+        use robo_model::robots;
+        let robot = robots::iiwa14();
+        for joint in 0..robot.dof() {
+            let opt = optimize(&generate_x_unit(&robot, joint));
+            let compiled = CompiledNetlist::<f64>::compile(&opt);
+            let n_in = compiled.input_names().len();
+            let inputs: Vec<f64> = (0..n_in).map(|k| 0.37 * k as f64 - 1.3).collect();
+            let mut regs = vec![0.0; compiled.num_regs()];
+            let mut threaded = vec![0.0; compiled.num_outputs()];
+            let mut interp = vec![0.0; compiled.num_outputs()];
+            compiled.eval_into_regs(&inputs, &mut regs, &mut threaded);
+            compiled.eval_into_regs_interp(&inputs, &mut regs, &mut interp);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&threaded), bits(&interp), "joint {joint}");
+        }
+    }
+
+    #[test]
+    fn superinstruction_blocks_shrink_dispatch_count() {
+        use crate::xunit_gen::generate_x_unit;
+        use robo_model::robots;
+        let robot = robots::iiwa14();
+        let opt = optimize(&generate_x_unit(&robot, 1));
+        let compiled = CompiledNetlist::<f64>::compile(&opt);
+        assert!(compiled.threaded_blocks() >= 1);
+        assert!(
+            compiled.threaded_blocks() < compiled.tape_len(),
+            "x-unit tapes have fusable opcode runs: {} blocks vs {} instrs",
+            compiled.threaded_blocks(),
+            compiled.tape_len()
+        );
+    }
+
+    #[test]
+    fn scheduling_shrinks_threaded_dispatch_count() {
+        use crate::xunit_gen::generate_x_pipeline;
+        use robo_model::robots;
+        use robo_sparsity::superposition_pattern;
+        // The threaded lowering runs the opcode-affinity scheduler before
+        // tiling; on the merged pipeline tape clustering must yield
+        // strictly fewer superinstruction blocks than tiling fusion order
+        // directly, and the wide lowering shares the same schedule.
+        let robot = robots::iiwa14();
+        let sup = superposition_pattern(&robot);
+        let compiled =
+            CompiledNetlist::<f64>::compile(&optimize(&generate_x_pipeline(&robot, sup)));
+        let naive = ThreadedTape::<f64>::build(
+            &decode_tape(&compiled.tape),
+            compiled.num_regs,
+            compiled.consts.len(),
+        );
+        assert!(
+            compiled.threaded_blocks() < naive.block_count(),
+            "scheduled {} blocks vs fusion-order {} blocks",
+            compiled.threaded_blocks(),
+            naive.block_count()
+        );
+        assert_eq!(
+            compiled.widen::<4>().threaded_blocks(),
+            compiled.threaded_blocks(),
+            "wide lowering shares the scalar schedule"
+        );
     }
 
     #[test]

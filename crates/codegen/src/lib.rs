@@ -53,16 +53,19 @@
 mod compiled;
 mod netlist;
 mod opt;
+mod threaded;
 mod top;
 mod verilog;
 mod xunit_gen;
 
-pub use compiled::{BatchEvalWorkspace, CompiledNetlist, EvalWorkspace, FusionCounts};
+pub use compiled::{
+    BatchEvalWorkspace, CompiledNetlist, EvalWorkspace, FusionCounts, TieredBatchEval,
+};
 pub use netlist::{Netlist, NetlistError, NetlistStats, Node, NodeId};
 pub use opt::{optimize, optimize_with_report, OptReport};
 pub use top::{generate_top, TopLevel};
 pub use verilog::{lint, to_verilog, RtlFormat};
 pub use xunit_gen::{
-    generate_x_unit, generate_x_unit_with_mask, generate_xt_unit, generate_xt_unit_with_mask, snap,
-    x_unit_input_names, x_unit_output_names,
+    generate_x_pipeline, generate_x_unit, generate_x_unit_with_mask, generate_xt_unit,
+    generate_xt_unit_with_mask, snap, x_unit_input_names, x_unit_output_names,
 };

@@ -1,0 +1,890 @@
+//! Direct-threaded execution of compiled tapes.
+//!
+//! The `match`-dispatch interpreter in `compiled.rs` pays a branch per
+//! instruction and a bounds check per operand. This module lowers a
+//! compiled tape once, at build time, into *direct-threaded* form:
+//!
+//! * each instruction becomes a **function pointer** paired with an index
+//!   into a flat array of pre-resolved register offsets ([`OpArgs`]), so
+//!   the hot loop is `call, call, call …` with no central dispatch;
+//! * runs of consecutive identical opcodes — ubiquitous in the
+//!   multiply-accumulate chains the fusion pass produces — are grouped
+//!   into **superinstruction blocks** (×4, then ×2, then singles) whose
+//!   handlers execute the run straight-line, cutting indirect calls by up
+//!   to 4×;
+//! * for the AVX2-width lane bundles
+//!   ([`F64x4`](robo_spatial::simd::F64x4) /
+//!   [`F32x8`](robo_spatial::simd::F32x8) on x86-64) a table of
+//!   `#[target_feature(enable = "avx2")]` handlers is selected instead
+//!   when the host supports AVX2, computing each op in one 256-bit
+//!   register operation per lane bundle. This is the only place AVX2
+//!   instructions are emitted — attributed handlers called through
+//!   function pointers are the standard runtime-dispatch pattern that
+//!   keeps the rest of the crate portable.
+//!
+//! # Bit-identity
+//!
+//! Threaded execution preserves the interpreter's semantics exactly: the
+//! instruction order is unchanged (superinstruction blocks run their ops
+//! strictly in sequence), every handler reads all operands before its
+//! single write (so destination-aliases-operand recycling behaves
+//! identically), and the fused ops keep their two rounding steps — the
+//! AVX2 handlers use separate multiply and add instructions, **never
+//! FMA**. The `match` interpreter is retained as the oracle
+//! (`CompiledNetlist::eval_into_regs_interp`) and proptests pin
+//! bit-equality for `f64`/`f32`/fixed point.
+//!
+//! # Safety model
+//!
+//! All register and constant indices are validated against the register
+//! file and constant table sizes when the threaded form is built
+//! ([`ThreadedTape::build`] panics on violation — a compiler bug, not a
+//! user error). [`ThreadedTape::run`] re-checks the buffer lengths, so
+//! every unchecked pointer offset inside a handler is in bounds by
+//! construction; handlers only ever touch memory through the `regs`,
+//! `consts`, and `args` pointers they are handed.
+
+use robo_spatial::Scalar;
+
+/// Pre-resolved operand/destination offsets for one tape instruction.
+///
+/// Field meaning depends on the opcode: `a` is the constant-table index
+/// for `Const` and the first register operand otherwise; `b` is the
+/// constant-table index for `MulConst`/`MulConstAdd` and the second
+/// register operand otherwise; `c` is the fused addend register.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OpArgs {
+    a: u32,
+    b: u32,
+    c: u32,
+    dst: u32,
+}
+
+/// One threaded handler: executes one superinstruction block of 1, 2, or
+/// 4 decoded instructions starting at `args`.
+///
+/// # Safety
+///
+/// Callers must guarantee that `regs` points to at least
+/// `ThreadedTape::min_regs` initialized values, `consts` to exactly
+/// `ThreadedTape::n_consts` values, and `args` to at least as many
+/// [`OpArgs`] entries as the block width — with every index inside them
+/// below those bounds (validated by [`ThreadedTape::build`]).
+type OpFn<S> = unsafe fn(regs: *mut S, consts: *const S, args: *const OpArgs);
+
+/// Opcode classes, mirroring `Instr` in `compiled.rs` (kept in sync by
+/// `decode` there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Opcode {
+    /// `dst = consts[a]`.
+    Const,
+    /// `dst = r[a] · r[b]`.
+    Mul,
+    /// `dst = r[a] · consts[b]`.
+    MulConst,
+    /// `dst = r[a] + r[b]`.
+    Add,
+    /// `dst = r[a] − r[b]`.
+    Sub,
+    /// `dst = −r[a]`.
+    Neg,
+    /// `dst = (r[a] · r[b]) + r[c]`, two rounding steps.
+    MulAdd,
+    /// `dst = (r[a] · consts[b]) + r[c]`, two rounding steps.
+    MulConstAdd,
+    /// `dst = (r[a] + r[b]) + r[c]`, two rounding steps.
+    AddAdd,
+    /// `dst = (−r[a]) + r[c]`.
+    NegAdd,
+}
+
+impl Opcode {
+    /// Builds the uniform argument record for this opcode.
+    pub(crate) fn args(self, a: u32, b: u32, c: u32, dst: u32) -> (Opcode, OpArgs) {
+        (self, OpArgs { a, b, c, dst })
+    }
+}
+
+/// Superinstruction block widths; runs of one opcode are tiled greedily
+/// as ⌊k/4⌋ four-blocks, then a two-block, then a single.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockWidth {
+    One,
+    Two,
+    Four,
+}
+
+impl BlockWidth {
+    fn len(self) -> usize {
+        match self {
+            BlockWidth::One => 1,
+            BlockWidth::Two => 2,
+            BlockWidth::Four => 4,
+        }
+    }
+}
+
+/// Generates the three block-width handlers for one opcode. The body is
+/// written once against `$a` (one decoded instruction's [`OpArgs`]); the
+/// ×2/×4 forms run it over consecutive entries, strictly in order, which
+/// the optimizer unrolls into straight-line code.
+macro_rules! portable_handlers {
+    ($one:ident, $two:ident, $four:ident, ($regs:ident, $consts:ident, $a:ident) => $body:block) => {
+        unsafe fn $one<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+            // SAFETY: `args` points to at least one entry (caller
+            // contract of `OpFn`).
+            let $a = unsafe { &*args };
+            $body
+        }
+
+        unsafe fn $two<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+            for k in 0..2 {
+                // SAFETY: `args` points to at least two entries (caller
+                // contract of `OpFn` for a ×2 block).
+                let $a = unsafe { &*args.add(k) };
+                $body
+            }
+        }
+
+        unsafe fn $four<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+            for k in 0..4 {
+                // SAFETY: `args` points to at least four entries (caller
+                // contract of `OpFn` for a ×4 block).
+                let $a = unsafe { &*args.add(k) };
+                $body
+            }
+        }
+    };
+}
+
+// Each body reads every operand before its single write, so an
+// instruction whose destination recycles an operand register behaves
+// exactly as in the interpreter. The SAFETY arguments are identical in
+// all bodies: every index was validated against the register-file /
+// constant-table bounds by `ThreadedTape::build`, and `run` checked the
+// buffers are at least that large.
+portable_handlers!(h_const1, h_const2, h_const4, (regs, consts, a) => {
+    // SAFETY: `a.a < n_consts` and `a.dst < min_regs` (build-validated).
+    unsafe { *regs.add(a.dst as usize) = *consts.add(a.a as usize) };
+});
+portable_handlers!(h_mul1, h_mul2, h_mul4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs (build-validated).
+    unsafe { *regs.add(a.dst as usize) = *regs.add(a.a as usize) * *regs.add(a.b as usize) };
+});
+portable_handlers!(h_mulconst1, h_mulconst2, h_mulconst4, (regs, consts, a) => {
+    // SAFETY: `a.a`, `a.dst` < min_regs; `a.b < n_consts`
+    // (build-validated).
+    unsafe { *regs.add(a.dst as usize) = *regs.add(a.a as usize) * *consts.add(a.b as usize) };
+});
+portable_handlers!(h_add1, h_add2, h_add4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs (build-validated).
+    unsafe { *regs.add(a.dst as usize) = *regs.add(a.a as usize) + *regs.add(a.b as usize) };
+});
+portable_handlers!(h_sub1, h_sub2, h_sub4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs (build-validated).
+    unsafe { *regs.add(a.dst as usize) = *regs.add(a.a as usize) - *regs.add(a.b as usize) };
+});
+portable_handlers!(h_neg1, h_neg2, h_neg4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.dst` < min_regs (build-validated).
+    unsafe { *regs.add(a.dst as usize) = -*regs.add(a.a as usize) };
+});
+portable_handlers!(h_muladd1, h_muladd2, h_muladd4, (regs, consts, a) => {
+    let _ = consts;
+    // Two rounding steps, exactly as the interpreter computes MulAdd.
+    // SAFETY: `a.a`, `a.b`, `a.c`, `a.dst` < min_regs (build-validated).
+    unsafe {
+        let t = *regs.add(a.a as usize) * *regs.add(a.b as usize);
+        *regs.add(a.dst as usize) = t + *regs.add(a.c as usize);
+    }
+});
+portable_handlers!(h_mulconstadd1, h_mulconstadd2, h_mulconstadd4, (regs, consts, a) => {
+    // SAFETY: `a.a`, `a.c`, `a.dst` < min_regs; `a.b < n_consts`
+    // (build-validated).
+    unsafe {
+        let t = *regs.add(a.a as usize) * *consts.add(a.b as usize);
+        *regs.add(a.dst as usize) = t + *regs.add(a.c as usize);
+    }
+});
+portable_handlers!(h_addadd1, h_addadd2, h_addadd4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.b`, `a.c`, `a.dst` < min_regs (build-validated).
+    unsafe {
+        let t = *regs.add(a.a as usize) + *regs.add(a.b as usize);
+        *regs.add(a.dst as usize) = t + *regs.add(a.c as usize);
+    }
+});
+portable_handlers!(h_negadd1, h_negadd2, h_negadd4, (regs, consts, a) => {
+    let _ = consts;
+    // SAFETY: `a.a`, `a.c`, `a.dst` < min_regs (build-validated).
+    unsafe {
+        let t = -*regs.add(a.a as usize);
+        *regs.add(a.dst as usize) = t + *regs.add(a.c as usize);
+    }
+});
+
+/// The portable handler for `(op, width)`, generic over any scalar.
+fn portable_handler<S: Scalar>(op: Opcode, width: BlockWidth) -> OpFn<S> {
+    use BlockWidth as W;
+    match (op, width) {
+        (Opcode::Const, W::One) => h_const1::<S>,
+        (Opcode::Const, W::Two) => h_const2::<S>,
+        (Opcode::Const, W::Four) => h_const4::<S>,
+        (Opcode::Mul, W::One) => h_mul1::<S>,
+        (Opcode::Mul, W::Two) => h_mul2::<S>,
+        (Opcode::Mul, W::Four) => h_mul4::<S>,
+        (Opcode::MulConst, W::One) => h_mulconst1::<S>,
+        (Opcode::MulConst, W::Two) => h_mulconst2::<S>,
+        (Opcode::MulConst, W::Four) => h_mulconst4::<S>,
+        (Opcode::Add, W::One) => h_add1::<S>,
+        (Opcode::Add, W::Two) => h_add2::<S>,
+        (Opcode::Add, W::Four) => h_add4::<S>,
+        (Opcode::Sub, W::One) => h_sub1::<S>,
+        (Opcode::Sub, W::Two) => h_sub2::<S>,
+        (Opcode::Sub, W::Four) => h_sub4::<S>,
+        (Opcode::Neg, W::One) => h_neg1::<S>,
+        (Opcode::Neg, W::Two) => h_neg2::<S>,
+        (Opcode::Neg, W::Four) => h_neg4::<S>,
+        (Opcode::MulAdd, W::One) => h_muladd1::<S>,
+        (Opcode::MulAdd, W::Two) => h_muladd2::<S>,
+        (Opcode::MulAdd, W::Four) => h_muladd4::<S>,
+        (Opcode::MulConstAdd, W::One) => h_mulconstadd1::<S>,
+        (Opcode::MulConstAdd, W::Two) => h_mulconstadd2::<S>,
+        (Opcode::MulConstAdd, W::Four) => h_mulconstadd4::<S>,
+        (Opcode::AddAdd, W::One) => h_addadd1::<S>,
+        (Opcode::AddAdd, W::Two) => h_addadd2::<S>,
+        (Opcode::AddAdd, W::Four) => h_addadd4::<S>,
+        (Opcode::NegAdd, W::One) => h_negadd1::<S>,
+        (Opcode::NegAdd, W::Two) => h_negadd2::<S>,
+        (Opcode::NegAdd, W::Four) => h_negadd4::<S>,
+    }
+}
+
+/// AVX2-attributed handler tables for the 256-bit lane bundles. Selected
+/// only when the host reports AVX2 at tape-build time; everything else
+/// in the crate remains free of AVX instructions.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{BlockWidth, OpArgs, OpFn, Opcode};
+    use core::arch::x86_64::*;
+    use robo_spatial::simd::{F32x8, F64x4};
+
+    /// Generates the three block-width handlers for one opcode at one
+    /// lane-bundle type, with the op body written once against `$a`.
+    ///
+    /// Every handler carries `#[target_feature(enable = "avx2")]`: the
+    /// intrinsics only inline (and only run) inside attributed
+    /// functions, and the coercion to an `unsafe fn` pointer is what
+    /// makes runtime dispatch of attributed code sound — the pointer is
+    /// only installed after `is_x86_feature_detected!("avx2")`.
+    macro_rules! avx2_handlers {
+        ($one:ident, $two:ident, $four:ident, $t:ty, ($regs:ident, $consts:ident, $a:ident) => $body:block) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $one($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+                // SAFETY: `args` points to at least one entry (caller
+                // contract of `OpFn`).
+                let $a = unsafe { &*args };
+                $body
+            }
+
+            #[target_feature(enable = "avx2")]
+            unsafe fn $two($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+                for k in 0..2 {
+                    // SAFETY: `args` points to at least two entries
+                    // (caller contract of `OpFn` for a ×2 block).
+                    let $a = unsafe { &*args.add(k) };
+                    $body
+                }
+            }
+
+            #[target_feature(enable = "avx2")]
+            unsafe fn $four($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+                for k in 0..4 {
+                    // SAFETY: `args` points to at least four entries
+                    // (caller contract of `OpFn` for a ×4 block).
+                    let $a = unsafe { &*args.add(k) };
+                    $body
+                }
+            }
+        };
+    }
+
+    /// Expands the ten opcode bodies for one element type. `$ld`/`$st`
+    /// are the aligned 256-bit load/store intrinsics (sound because the
+    /// lane bundles are `repr(align(32))` and both `Vec<F64x4>` and
+    /// `[F64x4; N]` register files preserve element alignment), and
+    /// `$mul`/`$add`/`$sub`/`$xor`/`$set1` the elementwise arithmetic.
+    /// Fused ops issue separate `$mul`/`$add` — never FMA — preserving
+    /// both rounding steps. Handler names are taken explicitly because
+    /// stable `macro_rules!` cannot concatenate identifiers.
+    macro_rules! avx2_ops {
+        ($t:ty, $elem:ty, $ld:ident, $st:ident, $mul:ident, $add:ident, $sub:ident, $xor:ident, $set1:ident,
+         $c1:ident $c2:ident $c4:ident, $m1:ident $m2:ident $m4:ident, $mc1:ident $mc2:ident $mc4:ident,
+         $a1:ident $a2:ident $a4:ident, $s1:ident $s2:ident $s4:ident, $n1:ident $n2:ident $n4:ident,
+         $ma1:ident $ma2:ident $ma4:ident, $mca1:ident $mca2:ident $mca4:ident,
+         $aa1:ident $aa2:ident $aa4:ident, $na1:ident $na2:ident $na4:ident,
+         $handler:ident) => {
+            avx2_handlers!($c1, $c2, $c4, $t, (regs, consts, a) => {
+                // SAFETY: `a.a < n_consts`, `a.dst < min_regs`
+                // (build-validated); pointers are 32-byte aligned
+                // (`repr(align(32))` elements).
+                unsafe {
+                    let v = $ld(consts.add(a.a as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), v);
+                }
+            });
+            avx2_handlers!($m1, $m2, $m4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(regs.add(a.b as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $mul(x, y));
+                }
+            });
+            avx2_handlers!($mc1, $mc2, $mc4, $t, (regs, consts, a) => {
+                // SAFETY: `a.a`, `a.dst` < min_regs, `a.b < n_consts`
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(consts.add(a.b as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $mul(x, y));
+                }
+            });
+            avx2_handlers!($a1, $a2, $a4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(regs.add(a.b as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $add(x, y));
+                }
+            });
+            avx2_handlers!($s1, $s2, $s4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // SAFETY: `a.a`, `a.b`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(regs.add(a.b as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $sub(x, y));
+                }
+            });
+            avx2_handlers!($n1, $n2, $n4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // XOR with the sign mask is the exact IEEE sign flip.
+                // SAFETY: `a.a`, `a.dst` < min_regs (build-validated);
+                // 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $xor(x, $set1(-0.0)));
+                }
+            });
+            avx2_handlers!($ma1, $ma2, $ma4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // Separate multiply then add — two rounding steps, no FMA.
+                // SAFETY: `a.a`, `a.b`, `a.c`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(regs.add(a.b as usize).cast::<$elem>());
+                    let c = $ld(regs.add(a.c as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $add($mul(x, y), c));
+                }
+            });
+            avx2_handlers!($mca1, $mca2, $mca4, $t, (regs, consts, a) => {
+                // Separate multiply then add — two rounding steps, no FMA.
+                // SAFETY: `a.a`, `a.c`, `a.dst` < min_regs,
+                // `a.b < n_consts` (build-validated); 32-byte-aligned
+                // pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(consts.add(a.b as usize).cast::<$elem>());
+                    let c = $ld(regs.add(a.c as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $add($mul(x, y), c));
+                }
+            });
+            avx2_handlers!($aa1, $aa2, $aa4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // SAFETY: `a.a`, `a.b`, `a.c`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let y = $ld(regs.add(a.b as usize).cast::<$elem>());
+                    let c = $ld(regs.add(a.c as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $add($add(x, y), c));
+                }
+            });
+            avx2_handlers!($na1, $na2, $na4, $t, (regs, consts, a) => {
+                let _ = consts;
+                // SAFETY: `a.a`, `a.c`, `a.dst` < min_regs
+                // (build-validated); 32-byte-aligned pointers.
+                unsafe {
+                    let x = $ld(regs.add(a.a as usize).cast::<$elem>());
+                    let c = $ld(regs.add(a.c as usize).cast::<$elem>());
+                    $st(regs.add(a.dst as usize).cast::<$elem>(), $add($xor(x, $set1(-0.0)), c));
+                }
+            });
+
+            /// The AVX2 handler for `(op, width)` at this lane type.
+            fn $handler(op: Opcode, width: BlockWidth) -> OpFn<$t> {
+                use BlockWidth as W;
+                match (op, width) {
+                    (Opcode::Const, W::One) => $c1,
+                    (Opcode::Const, W::Two) => $c2,
+                    (Opcode::Const, W::Four) => $c4,
+                    (Opcode::Mul, W::One) => $m1,
+                    (Opcode::Mul, W::Two) => $m2,
+                    (Opcode::Mul, W::Four) => $m4,
+                    (Opcode::MulConst, W::One) => $mc1,
+                    (Opcode::MulConst, W::Two) => $mc2,
+                    (Opcode::MulConst, W::Four) => $mc4,
+                    (Opcode::Add, W::One) => $a1,
+                    (Opcode::Add, W::Two) => $a2,
+                    (Opcode::Add, W::Four) => $a4,
+                    (Opcode::Sub, W::One) => $s1,
+                    (Opcode::Sub, W::Two) => $s2,
+                    (Opcode::Sub, W::Four) => $s4,
+                    (Opcode::Neg, W::One) => $n1,
+                    (Opcode::Neg, W::Two) => $n2,
+                    (Opcode::Neg, W::Four) => $n4,
+                    (Opcode::MulAdd, W::One) => $ma1,
+                    (Opcode::MulAdd, W::Two) => $ma2,
+                    (Opcode::MulAdd, W::Four) => $ma4,
+                    (Opcode::MulConstAdd, W::One) => $mca1,
+                    (Opcode::MulConstAdd, W::Two) => $mca2,
+                    (Opcode::MulConstAdd, W::Four) => $mca4,
+                    (Opcode::AddAdd, W::One) => $aa1,
+                    (Opcode::AddAdd, W::Two) => $aa2,
+                    (Opcode::AddAdd, W::Four) => $aa4,
+                    (Opcode::NegAdd, W::One) => $na1,
+                    (Opcode::NegAdd, W::Two) => $na2,
+                    (Opcode::NegAdd, W::Four) => $na4,
+                }
+            }
+        };
+    }
+
+    avx2_ops!(
+        F64x4, f64, _mm256_load_pd, _mm256_store_pd, _mm256_mul_pd, _mm256_add_pd,
+        _mm256_sub_pd, _mm256_xor_pd, _mm256_set1_pd,
+        dc1 dc2 dc4, dm1 dm2 dm4, dmc1 dmc2 dmc4, da1 da2 da4, ds1 ds2 ds4,
+        dn1 dn2 dn4, dma1 dma2 dma4, dmca1 dmca2 dmca4, daa1 daa2 daa4, dna1 dna2 dna4,
+        f64_handler
+    );
+
+    avx2_ops!(
+        F32x8, f32, _mm256_load_ps, _mm256_store_ps, _mm256_mul_ps, _mm256_add_ps,
+        _mm256_sub_ps, _mm256_xor_ps, _mm256_set1_ps,
+        sc1 sc2 sc4, sm1 sm2 sm4, smc1 smc2 smc4, sa1 sa2 sa4, ss1 ss2 ss4,
+        sn1 sn2 sn4, sma1 sma2 sma4, smca1 smca2 smca4, saa1 saa2 saa4, sna1 sna2 sna4,
+        f32_handler
+    );
+
+    /// Whether the AVX2 handler table serves `S` on this host — `S` is a
+    /// 256-bit lane bundle and the CPU reports AVX2. Mirrors the
+    /// condition under which [`handler`] returns `Some`.
+    pub(super) fn active<S: super::Scalar>() -> bool {
+        use core::any::TypeId;
+        std::arch::is_x86_feature_detected!("avx2")
+            && (TypeId::of::<S>() == TypeId::of::<F64x4>()
+                || TypeId::of::<S>() == TypeId::of::<F32x8>())
+    }
+
+    /// Drives every superinstruction block of an already-lowered tape
+    /// from inside one AVX2-attributed frame.
+    ///
+    /// The per-block handlers are attributed, so calling them from an
+    /// unattributed dispatch loop ends the AVX region at every return —
+    /// the compiler inserts an AVX-to-SSE transition (`vzeroupper`) per
+    /// block, and with blocks averaging only a couple of instructions
+    /// those transitions cost more than the arithmetic they bracket. One
+    /// attributed driver frame makes the whole run a single AVX region
+    /// with a single transition at the end.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee AVX2 is available (established by
+    /// [`active`] when the table was built) and the [`OpFn`] contract
+    /// for every `(handler, offset)` pair in `ops` — `regs`, `consts`,
+    /// and `args` at least as large as the bounds the tape was
+    /// build-validated against.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_blocks<S>(
+        ops: &[(OpFn<S>, u32)],
+        args: *const OpArgs,
+        regs: *mut S,
+        consts: *const S,
+    ) {
+        for &(f, at) in ops {
+            // SAFETY: forwarded from the caller — every index inside the
+            // entries at `args.add(at)` was build-validated against the
+            // buffers behind `regs`/`consts`.
+            unsafe { f(regs, consts, args.add(at as usize)) }
+        }
+    }
+
+    /// Transposes four `ymm` registers: lane `l` of output `i` is lane
+    /// `i` of input `l`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn transpose4(
+        a: __m256d,
+        b: __m256d,
+        c: __m256d,
+        d: __m256d,
+    ) -> (__m256d, __m256d, __m256d, __m256d) {
+        let t0 = _mm256_unpacklo_pd(a, b); // a0 b0 a2 b2
+        let t1 = _mm256_unpackhi_pd(a, b); // a1 b1 a3 b3
+        let t2 = _mm256_unpacklo_pd(c, d); // c0 d0 c2 d2
+        let t3 = _mm256_unpackhi_pd(c, d); // c1 d1 c3 d3
+        (
+            _mm256_permute2f128_pd::<0x20>(t0, t2), // a0 b0 c0 d0
+            _mm256_permute2f128_pd::<0x20>(t1, t3), // a1 b1 c1 d1
+            _mm256_permute2f128_pd::<0x31>(t0, t2), // a2 b2 c2 d2
+            _mm256_permute2f128_pd::<0x31>(t1, t3), // a3 b3 c3 d3
+        )
+    }
+
+    /// Lane-transposes one four-state group straight into the first
+    /// `n_in` wide registers: `regs[k].lane(l) = rows[l][k]`, via 4×4
+    /// `ymm` transposes of four-input chunks (a scalar gather costs four
+    /// strided moves per input and dominated the batch path's overhead).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available; each `rows[l]` must point to at least
+    /// `n_in` readable `f64`s and `regs` to at least `n_in` writable
+    /// `F64x4` (32-byte-aligned by their `repr`).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn gather4_f64(rows: [*const f64; 4], n_in: usize, regs: *mut F64x4) {
+        let mut k = 0;
+        while k + 4 <= n_in {
+            // SAFETY: `k + 4 <= n_in` keeps every row read and the four
+            // register stores inside the caller-guaranteed bounds;
+            // register stores are 32-byte aligned, row loads use the
+            // unaligned form.
+            unsafe {
+                let (r0, r1, r2, r3) = transpose4(
+                    _mm256_loadu_pd(rows[0].add(k)),
+                    _mm256_loadu_pd(rows[1].add(k)),
+                    _mm256_loadu_pd(rows[2].add(k)),
+                    _mm256_loadu_pd(rows[3].add(k)),
+                );
+                let dst = regs.add(k).cast::<f64>();
+                _mm256_store_pd(dst, r0);
+                _mm256_store_pd(dst.add(4), r1);
+                _mm256_store_pd(dst.add(8), r2);
+                _mm256_store_pd(dst.add(12), r3);
+            }
+            k += 4;
+        }
+        while k < n_in {
+            // SAFETY: `k < n_in`, so the four scalar reads and the
+            // aligned register store are in bounds.
+            unsafe {
+                let v = _mm256_set_pd(
+                    *rows[3].add(k),
+                    *rows[2].add(k),
+                    *rows[1].add(k),
+                    *rows[0].add(k),
+                );
+                _mm256_store_pd(regs.add(k).cast::<f64>(), v);
+            }
+            k += 1;
+        }
+    }
+
+    /// Scatters one evaluated four-state group from the wide register
+    /// file into per-state output rows: `rows[l][o] = regs[slots[o]].lane(l)`,
+    /// via 4×4 `ymm` transposes of four-output chunks.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available; every `slots[o]` must index a readable
+    /// `F64x4` behind `regs` (32-byte-aligned by their `repr`), and each
+    /// `rows[l]` must point to at least `slots.len()` writable `f64`s.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn scatter4_f64(regs: *const F64x4, slots: &[u32], rows: [*mut f64; 4]) {
+        let n_out = slots.len();
+        let mut o = 0;
+        while o + 4 <= n_out {
+            // SAFETY: `o + 4 <= n_out` keeps the slot reads in range of
+            // `slots`, every slot is caller-guaranteed in bounds of
+            // `regs` (aligned loads), and the four row stores write
+            // `rows[l][o..o + 4]` — within the guaranteed row length.
+            unsafe {
+                let (r0, r1, r2, r3) = transpose4(
+                    _mm256_load_pd(regs.add(slots[o] as usize).cast::<f64>()),
+                    _mm256_load_pd(regs.add(slots[o + 1] as usize).cast::<f64>()),
+                    _mm256_load_pd(regs.add(slots[o + 2] as usize).cast::<f64>()),
+                    _mm256_load_pd(regs.add(slots[o + 3] as usize).cast::<f64>()),
+                );
+                _mm256_storeu_pd(rows[0].add(o), r0);
+                _mm256_storeu_pd(rows[1].add(o), r1);
+                _mm256_storeu_pd(rows[2].add(o), r2);
+                _mm256_storeu_pd(rows[3].add(o), r3);
+            }
+            o += 4;
+        }
+        while o < n_out {
+            // SAFETY: `o < n_out`, the slot is in bounds of `regs`, and
+            // each row write lands at `rows[l][o]`.
+            unsafe {
+                let src = regs.add(slots[o] as usize).cast::<f64>();
+                *rows[0].add(o) = *src;
+                *rows[1].add(o) = *src.add(1);
+                *rows[2].add(o) = *src.add(2);
+                *rows[3].add(o) = *src.add(3);
+            }
+            o += 1;
+        }
+    }
+
+    /// The AVX2 handler for `(op, width)` when `S` is one of the
+    /// 256-bit lane bundles and the host supports AVX2; `None` otherwise.
+    pub(super) fn handler<S: super::Scalar>(op: Opcode, width: BlockWidth) -> Option<OpFn<S>> {
+        use core::any::TypeId;
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return None;
+        }
+        if TypeId::of::<S>() == TypeId::of::<F64x4>() {
+            let f: OpFn<F64x4> = f64_handler(op, width);
+            // SAFETY: `TypeId` equality of two `'static` types proves
+            // `S` *is* `F64x4`, so `OpFn<S>` and `OpFn<F64x4>` are the
+            // same function-pointer type.
+            return Some(unsafe { core::mem::transmute::<OpFn<F64x4>, OpFn<S>>(f) });
+        }
+        if TypeId::of::<S>() == TypeId::of::<F32x8>() {
+            let f: OpFn<F32x8> = f32_handler(op, width);
+            // SAFETY: as above, with `S` = `F32x8`.
+            return Some(unsafe { core::mem::transmute::<OpFn<F32x8>, OpFn<S>>(f) });
+        }
+        None
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::{gather4_f64, scatter4_f64};
+
+/// The handler for `(op, width)` at scalar type `S`: the AVX2 table when
+/// `S` is a 256-bit lane bundle on an AVX2 host, the portable generic
+/// handler otherwise.
+fn handler_for<S: Scalar>(op: Opcode, width: BlockWidth) -> OpFn<S> {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(f) = avx2::handler::<S>(op, width) {
+        return f;
+    }
+    portable_handler::<S>(op, width)
+}
+
+/// A compiled tape lowered to direct-threaded form: a list of handler
+/// function pointers over a flat array of pre-resolved operand offsets.
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadedTape<S> {
+    /// `(handler, index into args)` per superinstruction block.
+    ops: Vec<(OpFn<S>, u32)>,
+    /// Decoded per-instruction operands, in original tape order.
+    args: Vec<OpArgs>,
+    /// Minimum register-file length the handlers were validated against.
+    min_regs: usize,
+    /// Exact constant-table length the handlers were validated against.
+    n_consts: usize,
+    /// Whether every handler in `ops` is AVX2-attributed (x86-64 lane
+    /// bundles on an AVX2 host) — selects the attributed driver loop in
+    /// [`ThreadedTape::run`] so the whole run is one AVX region.
+    #[cfg(target_arch = "x86_64")]
+    avx2: bool,
+}
+
+impl<S: Scalar> ThreadedTape<S> {
+    /// Lowers a decoded tape, validating every index so the handlers'
+    /// unchecked pointer offsets are in bounds by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction references a register `>= num_regs` or
+    /// a constant `>= n_consts` — a compiler invariant violation, never
+    /// a user error.
+    pub(crate) fn build(decoded: &[(Opcode, OpArgs)], num_regs: usize, n_consts: usize) -> Self {
+        let reg = |r: u32| {
+            assert!((r as usize) < num_regs, "register index out of bounds");
+        };
+        let konst = |k: u32| {
+            assert!((k as usize) < n_consts, "constant index out of bounds");
+        };
+        for &(op, a) in decoded {
+            reg(a.dst);
+            match op {
+                Opcode::Const => konst(a.a),
+                Opcode::Mul | Opcode::Add | Opcode::Sub => {
+                    reg(a.a);
+                    reg(a.b);
+                }
+                Opcode::MulConst => {
+                    reg(a.a);
+                    konst(a.b);
+                }
+                Opcode::Neg => reg(a.a),
+                Opcode::MulAdd | Opcode::AddAdd => {
+                    reg(a.a);
+                    reg(a.b);
+                    reg(a.c);
+                }
+                Opcode::MulConstAdd => {
+                    reg(a.a);
+                    konst(a.b);
+                    reg(a.c);
+                }
+                Opcode::NegAdd => {
+                    reg(a.a);
+                    reg(a.c);
+                }
+            }
+        }
+        assert!(decoded.len() < u32::MAX as usize, "tape too large");
+
+        let args: Vec<OpArgs> = decoded.iter().map(|&(_, a)| a).collect();
+        let mut ops = Vec::new();
+        let mut i = 0;
+        while i < decoded.len() {
+            let op = decoded[i].0;
+            let mut j = i;
+            while j < decoded.len() && decoded[j].0 == op {
+                j += 1;
+            }
+            // Tile the run greedily: ×4 blocks, then ×2, then a single.
+            let mut at = i;
+            for width in [BlockWidth::Four, BlockWidth::Two, BlockWidth::One] {
+                while j - at >= width.len() {
+                    ops.push((handler_for::<S>(op, width), at as u32));
+                    at += width.len();
+                }
+            }
+            i = j;
+        }
+
+        Self {
+            ops,
+            args,
+            min_regs: num_regs,
+            n_consts,
+            #[cfg(target_arch = "x86_64")]
+            avx2: avx2::active::<S>(),
+        }
+    }
+
+    /// Number of dispatches (superinstruction blocks) per evaluation —
+    /// at most the instruction count, typically far fewer.
+    pub(crate) fn block_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether this tape runs through the AVX2-attributed driver (and so
+    /// the AVX2 batch gather/scatter may accompany it).
+    pub(crate) fn uses_avx2(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.avx2
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Executes the tape over `regs`, reading constants from `consts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` is shorter than the register file this tape was
+    /// validated against, or `consts` is not exactly the validated
+    /// constant table length.
+    pub(crate) fn run(&self, regs: &mut [S], consts: &[S]) {
+        assert!(regs.len() >= self.min_regs, "register file too small");
+        assert_eq!(consts.len(), self.n_consts, "constant table mismatch");
+        let regs = regs.as_mut_ptr();
+        let consts = consts.as_ptr();
+        let args = self.args.as_ptr();
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2 {
+            // SAFETY: `self.avx2` is only set when `avx2::active` saw the
+            // feature at build time, and the per-block contract is the
+            // one the portable loop below discharges: `build` validated
+            // every index in `args` against `min_regs`/`n_consts`, the
+            // assertions above guarantee the buffers are at least that
+            // large, and each block's `at` was emitted with
+            // `at + block_width <= args.len()`.
+            unsafe { avx2::run_blocks(&self.ops, args, regs, consts) };
+            return;
+        }
+        for &(f, at) in &self.ops {
+            // SAFETY: `build` validated every index in `args` against
+            // `min_regs`/`n_consts`, the assertions above guarantee the
+            // buffers are at least that large, and each block's `at` was
+            // emitted with `at + block_width <= args.len()`. All reads
+            // and writes go through these three in-bounds pointers.
+            unsafe { f(regs, consts, args.add(at as usize)) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decoded_mac_chain(n: usize) -> Vec<(Opcode, OpArgs)> {
+        // r2 = r0*r1 + r2, repeated — one long fusable run.
+        (0..n).map(|_| Opcode::MulAdd.args(0, 1, 2, 2)).collect()
+    }
+
+    #[test]
+    fn runs_tile_into_superinstruction_blocks() {
+        // 11 identical ops → 2×4 + 1×2 + 1×1 = 4 dispatches.
+        let tape = ThreadedTape::<f64>::build(&decoded_mac_chain(11), 3, 0);
+        assert_eq!(tape.block_count(), 4);
+        // 1 op → 1 dispatch; 0 ops → 0 dispatches.
+        assert_eq!(
+            ThreadedTape::<f64>::build(&decoded_mac_chain(1), 3, 0).block_count(),
+            1
+        );
+        assert_eq!(ThreadedTape::<f64>::build(&[], 3, 0).block_count(), 0);
+    }
+
+    #[test]
+    fn superinstruction_blocks_execute_in_order() {
+        // Each step reads the previous result: any reordering inside a
+        // block would change the value.
+        let decoded: Vec<(Opcode, OpArgs)> =
+            (0..7).map(|_| Opcode::MulAdd.args(0, 2, 1, 2)).collect();
+        let tape = ThreadedTape::<f64>::build(&decoded, 3, 0);
+        let mut regs = [2.0, 1.0, 1.0];
+        tape.run(&mut regs, &[]);
+        // r2 ← 2·r2 + 1, seven times, from 1: 3,7,15,31,63,127,255.
+        assert_eq!(regs[2], 255.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of bounds")]
+    fn build_rejects_out_of_bounds_registers() {
+        let _ = ThreadedTape::<f64>::build(&[Opcode::Add.args(0, 7, 0, 1)], 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant index out of bounds")]
+    fn build_rejects_out_of_bounds_constants() {
+        let _ = ThreadedTape::<f64>::build(&[Opcode::Const.args(3, 0, 0, 0)], 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "register file too small")]
+    fn run_rejects_short_register_files() {
+        let tape = ThreadedTape::<f64>::build(&decoded_mac_chain(2), 3, 0);
+        tape.run(&mut [0.0; 2], &[]);
+    }
+}

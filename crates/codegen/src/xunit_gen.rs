@@ -117,6 +117,42 @@ pub fn generate_xt_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6)
     generate_unit(robot, joint, mask, true)
 }
 
+/// Merges every joint's X-unit into one netlist — the per-state transform
+/// work of a whole forward sweep, as one module.
+///
+/// Joint `k`'s unit keeps its internal structure; its inputs and outputs
+/// are prefixed `j<k>_` (`j3_sin_q`, `j3_o0`, …) so the joints stay
+/// independent. This is the serving-path workload shape: one compiled
+/// tape per robot instead of one per joint, long enough that dispatch and
+/// batching costs are measured against realistic per-state work.
+/// [`crate::optimize`] still applies across the merged module, so
+/// constants and identical sub-circuits shared between joints fold
+/// together exactly as a shared hardware unit would.
+pub fn generate_x_pipeline(robot: &RobotModel, mask: Mask6) -> Netlist {
+    let mut n = Netlist::new(format!("x_pipeline_{}", robot.name()));
+    for joint in 0..robot.dof() {
+        let unit = generate_x_unit_with_mask(robot, joint, mask);
+        let offset = n.nodes().len();
+        for node in unit.nodes() {
+            let remapped = match node.clone() {
+                Node::Input(name) => Node::Input(format!("j{joint}_{name}")),
+                Node::Const(c) => Node::Const(c),
+                Node::Mul(a, b) => Node::Mul(a + offset, b + offset),
+                Node::MulConst(a, c) => Node::MulConst(a + offset, c),
+                Node::Add(a, b) => Node::Add(a + offset, b + offset),
+                Node::Sub(a, b) => Node::Sub(a + offset, b + offset),
+                Node::Neg(a) => Node::Neg(a + offset),
+            };
+            n.push(remapped);
+        }
+        for (name, id) in unit.outputs() {
+            n.output(format!("j{joint}_{name}"), id + offset)
+                .expect("joint prefixes keep output names unique");
+        }
+    }
+    n
+}
+
 fn generate_unit(robot: &RobotModel, joint: usize, mask: Mask6, transpose: bool) -> Netlist {
     debug_assert!(
         x_pattern(robot, joint).is_subset_of(&mask),
@@ -346,6 +382,34 @@ mod tests {
                         robot.name(),
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_netlist_matches_per_joint_units() {
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let pipeline = generate_x_pipeline(&robot, mask);
+        let m = Motion::from_array([0.3, -0.8, 0.5, 1.1, -0.2, 0.7]);
+        let mut inputs = HashMap::new();
+        for joint in 0..robot.dof() {
+            let q = 0.3 * joint as f64 - 0.9;
+            inputs.insert(format!("j{joint}_sin_q"), q.sin());
+            inputs.insert(format!("j{joint}_cos_q"), q.cos());
+            for (i, x) in m.to_array().iter().enumerate() {
+                inputs.insert(format!("j{joint}_v{i}"), *x);
+            }
+        }
+        let out: HashMap<String, f64> = pipeline.eval(&inputs).unwrap().into_iter().collect();
+        assert_eq!(out.len(), 6 * robot.dof());
+        for joint in 0..robot.dof() {
+            let q = 0.3 * joint as f64 - 0.9;
+            let unit = generate_x_unit_with_mask(&robot, joint, mask);
+            let want = eval_unit(&unit, &robot, joint, q, m);
+            for (i, w) in want.to_array().iter().enumerate() {
+                let got = out[&format!("j{joint}_o{i}")];
+                assert_eq!(got.to_bits(), w.to_bits(), "joint {joint} o{i}");
             }
         }
     }

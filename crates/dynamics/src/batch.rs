@@ -57,6 +57,10 @@ pub struct ThreadPool {
 /// writes through it never alias.
 struct SendPtr<T>(*mut Option<T>);
 
+// SAFETY: the pointer is only ever written through `SendPtr::write`, whose
+// contract (each slot claimed by exactly one worker, buffer outliving all
+// writers) makes cross-thread transfer of the raw pointer sound; `T: Send`
+// carries the payload's own requirement.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -191,13 +195,13 @@ impl ThreadPool {
                         break;
                     }
                     let value = f(&mut state, i);
-                    // Safety: `i < count` and each index is claimed exactly
+                    // SAFETY: `i < count` and each index is claimed exactly
                     // once; the dispatcher does not touch `results` until
                     // all workers signalled completion.
                     unsafe { slots.write(i, value) };
                 }
             });
-            // Safety: the job is erased to 'static to travel through the
+            // SAFETY: the job is erased to 'static to travel through the
             // channel, but this function blocks until every dispatched job
             // has run to completion (DoneGuard fires even on panic), so the
             // borrowed environment strictly outlives the job.

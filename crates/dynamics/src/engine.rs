@@ -30,7 +30,7 @@ use crate::{
     InverseDynamicsGradient,
 };
 use robo_model::RobotModel;
-use robo_spatial::{Lanes, MatN, Scalar, SERVE_LANES};
+use robo_spatial::{ExecTier, MatN, Scalar, WideScalar, WideVisit};
 use std::sync::Arc;
 
 /// Error from an engine-boundary gradient call.
@@ -321,13 +321,20 @@ pub trait GradientBackend: Send + Sync {
     /// immutable plan (model, netlists) but owning fresh workspaces.
     fn fork(&self) -> Box<dyn GradientBackend + '_>;
 
+    /// States evaluated per wide kernel instruction by
+    /// [`GradientBackend::gradient_batch_into`] — 1 for serial backends
+    /// (the default), the active tier's lane width for wide ones.
+    fn serve_width(&self) -> usize {
+        1
+    }
+
     /// Computes a batch of gradients serially into a flat SoA output.
     ///
     /// The default loops [`GradientBackend::gradient_into`] through one
     /// dense scratch block. Wide backends ([`CpuAnalytic`], the
-    /// accelerator) override it to run [`SERVE_LANES`] states per
-    /// instruction, allocation-free once `self` and `out` are warm, with
-    /// per-state results bit-identical to the serial path.
+    /// accelerator) override it to run [`GradientBackend::serve_width`]
+    /// states per instruction, allocation-free once `self` and `out` are
+    /// warm, with per-state results bit-identical to the serial path.
     ///
     /// # Errors
     ///
@@ -348,9 +355,10 @@ pub trait GradientBackend: Send + Sync {
     }
 
     /// Computes a batch of gradients data-parallel on `engine` into a flat
-    /// SoA output — two-level parallelism: workers claim lane-group chunks
-    /// of [`SERVE_LANES`] states, and each chunk runs through the worker's
-    /// (possibly wide) [`GradientBackend::gradient_batch_into`].
+    /// SoA output — two-level parallelism: workers claim chunks of whole
+    /// lane groups ([`GradientBackend::serve_width`] states each, at
+    /// least ~4 states per claim), and each chunk runs through the
+    /// worker's (possibly wide) [`GradientBackend::gradient_batch_into`].
     ///
     /// # Errors
     ///
@@ -367,7 +375,11 @@ pub trait GradientBackend: Send + Sync {
         out: &mut GradientBatchOutput,
     ) -> Result<(), EngineError> {
         let dof = self.dof();
-        let chunk_len = SERVE_LANES;
+        // Whole lane groups per claimed chunk, topped up to at least
+        // ~4 states so narrow (or serial) widths don't pay a claim per
+        // state or two.
+        let w = self.serve_width().max(1);
+        let chunk_len = w * 4usize.div_ceil(w);
         let parts = engine.run_with_state(
             states.len().div_ceil(chunk_len),
             || self.fork(),
@@ -481,6 +493,118 @@ pub fn cast_mat_out<S: Scalar>(src: &MatN<S>, dst: &mut MatN<f64>) {
     }
 }
 
+/// Object-safe face of the wide (lane-transposed) gradient kernel at an
+/// erased lane type, selected per [`ExecTier`]. The lane element type
+/// always equals the owning backend's scalar type, so wide results stay
+/// bit-identical to the scalar kernel.
+trait WideGradPath: Send + Sync {
+    /// Lane width: states per wide kernel instruction.
+    fn width(&self) -> usize;
+
+    /// Runs one full lane group (`states.len() == width()`), scattering
+    /// per-state results into `out` at state indices `base..`.
+    fn run_group(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+        base: usize,
+    );
+
+    /// A fresh-workspace instance over the same `Arc`-shared wide model.
+    fn fork_path(&self) -> Box<dyn WideGradPath>;
+}
+
+/// The concrete wide path at lane type `V`: the plan splat into `V`'s
+/// lanes plus lane-transposed staging buffers.
+struct WideGrad<V: WideScalar> {
+    model: Arc<DynamicsModel<V>>,
+    ws: GradWorkspace<V>,
+    q_w: Vec<V>,
+    qd_w: Vec<V>,
+    qdd_w: Vec<V>,
+    minv_w: MatN<V>,
+}
+
+impl<V: WideScalar> WideGrad<V> {
+    fn new(model: Arc<DynamicsModel<V>>) -> Self {
+        let n = model.dof();
+        Self {
+            ws: GradWorkspace::for_model(&model),
+            q_w: vec![V::splat(V::Elem::zero()); n],
+            qd_w: vec![V::splat(V::Elem::zero()); n],
+            qdd_w: vec![V::splat(V::Elem::zero()); n],
+            minv_w: MatN::zeros(n, n),
+            model,
+        }
+    }
+}
+
+impl<V: WideScalar> WideGradPath for WideGrad<V> {
+    fn width(&self) -> usize {
+        V::WIDTH
+    }
+
+    fn run_group(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+        base: usize,
+    ) {
+        let n = self.model.dof();
+        let w = V::WIDTH;
+        debug_assert_eq!(states.len(), w, "run_group takes one full lane group");
+        for (l, s) in states.iter().enumerate() {
+            for k in 0..n {
+                self.q_w[k].set_lane(l, V::Elem::from_f64(s.q[k]));
+                self.qd_w[k].set_lane(l, V::Elem::from_f64(s.qd[k]));
+                self.qdd_w[k].set_lane(l, V::Elem::from_f64(s.qdd[k]));
+            }
+            for r in 0..n {
+                for c in 0..n {
+                    self.minv_w[(r, c)].set_lane(l, V::Elem::from_f64(s.minv[(r, c)]));
+                }
+            }
+        }
+        dynamics_gradient_into(
+            &self.model,
+            &self.q_w,
+            &self.qd_w,
+            &self.qdd_w,
+            &self.minv_w,
+            &mut self.ws,
+        );
+        let n2 = n * n;
+        for l in 0..w {
+            let dst = (base + l) * n2;
+            for r in 0..n {
+                for c in 0..n {
+                    let k = dst + r * n + c;
+                    out.dqdd_dq[k] = self.ws.dqdd_dq[(r, c)].lane(l).to_f64();
+                    out.dqdd_dqd[k] = self.ws.dqdd_dqd[(r, c)].lane(l).to_f64();
+                    out.dtau_dq[k] = self.ws.dtau_dq[(r, c)].lane(l).to_f64();
+                    out.dtau_dqd[k] = self.ws.dtau_dqd[(r, c)].lane(l).to_f64();
+                }
+            }
+        }
+    }
+
+    fn fork_path(&self) -> Box<dyn WideGradPath> {
+        Box::new(Self::new(Arc::clone(&self.model)))
+    }
+}
+
+/// Builds the wide path for the lane type `S` serves on `tier`.
+fn make_wide_path<S: Scalar>(model: &DynamicsModel<S>, tier: ExecTier) -> Box<dyn WideGradPath> {
+    struct Mk<'a, S: Scalar>(&'a DynamicsModel<S>);
+    impl<S: Scalar> WideVisit<S> for Mk<'_, S> {
+        type Out = Box<dyn WideGradPath>;
+        fn visit<V: WideScalar<Elem = S>>(self) -> Box<dyn WideGradPath> {
+            Box::new(WideGrad::<V>::new(Arc::new(self.0.cast_to::<V>())))
+        }
+    }
+    S::dispatch_wide(tier, Mk(model))
+}
+
 /// The host's analytical kernel (Algorithm 1 via the allocation-free
 /// workspace path), computing in scalar type `S` — `f64` for the CPU
 /// baseline, or any `Fixed{i,f}` for the paper's numeric-type study.
@@ -489,6 +613,12 @@ pub fn cast_mat_out<S: Scalar>(src: &MatN<S>, dst: &mut MatN<f64>) {
 /// [`GradWorkspace`] plus cast scratch, so steady-state calls are
 /// allocation-free. For `S = f64` the boundary casts are exact identities
 /// and results are bit-identical to [`crate::dynamics_gradient_into`].
+///
+/// The batch path serves whole lane groups through the wide kernel at
+/// the lane type of the backend's [`ExecTier`] — by default the fastest
+/// tier the host supports, overridable with
+/// [`CpuAnalytic::with_model_tier`]. Every tier is bit-identical, so the
+/// choice affects throughput only.
 ///
 /// # Examples
 ///
@@ -508,44 +638,66 @@ pub fn cast_mat_out<S: Scalar>(src: &MatN<S>, dst: &mut MatN<f64>) {
 /// backend.gradient_into(&q, &qd, &qdd, &minv, &mut out).unwrap();
 /// assert_eq!(out.dqdd_dq.rows(), 7);
 /// ```
-#[derive(Debug, Clone)]
 pub struct CpuAnalytic<S: Scalar> {
     model: Arc<DynamicsModel<S>>,
+    tier: ExecTier,
     ws: GradWorkspace<S>,
     q_s: Vec<S>,
     qd_s: Vec<S>,
     qdd_s: Vec<S>,
     minv_s: MatN<S>,
-    // Wide serving path: the same plan splat into `SERVE_LANES` lanes,
-    // plus lane-transposed staging, so `gradient_batch_into` runs
-    // `SERVE_LANES` states per kernel instruction.
-    wide_model: Arc<DynamicsModel<Lanes<S, SERVE_LANES>>>,
-    wide_ws: GradWorkspace<Lanes<S, SERVE_LANES>>,
-    q_w: Vec<Lanes<S, SERVE_LANES>>,
-    qd_w: Vec<Lanes<S, SERVE_LANES>>,
-    qdd_w: Vec<Lanes<S, SERVE_LANES>>,
-    minv_w: MatN<Lanes<S, SERVE_LANES>>,
+    /// Wide serving path at the tier's lane type, type-erased so the
+    /// backend itself stays independent of the lane width.
+    wide: Box<dyn WideGradPath>,
     scratch: GradientOutput,
 }
 
+impl<S: Scalar> core::fmt::Debug for CpuAnalytic<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CpuAnalytic")
+            .field("scalar", &S::name())
+            .field("dof", &self.model.dof())
+            .field("tier", &self.tier)
+            .field("serve_width", &self.wide.width())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Scalar> Clone for CpuAnalytic<S> {
+    fn clone(&self) -> Self {
+        Self::from_parts(Arc::clone(&self.model), self.tier, self.wide.fork_path())
+    }
+}
+
 impl<S: Scalar> CpuAnalytic<S> {
-    /// Builds the backend (and its dynamics model) for a robot.
+    /// Builds the backend (and its dynamics model) for a robot, at the
+    /// fastest [`ExecTier`] the host supports.
     pub fn new(robot: &RobotModel) -> Self {
         Self::with_model(Arc::new(DynamicsModel::new(robot)))
     }
 
     /// Builds the backend over an existing shared model — the plan-once
-    /// path: every fork and every consumer reuses the same `Arc`.
+    /// path: every fork and every consumer reuses the same `Arc` — at the
+    /// fastest [`ExecTier`] the host supports.
     pub fn with_model(model: Arc<DynamicsModel<S>>) -> Self {
-        let wide_model = Arc::new(model.widen::<SERVE_LANES>());
-        Self::from_plans(model, wide_model)
+        Self::with_model_tier(model, ExecTier::detect())
     }
 
-    /// Builds over already-shared scalar and wide plans — how forks avoid
-    /// re-widening the model.
-    fn from_plans(
+    /// Builds the backend over a shared model at an explicit [`ExecTier`]
+    /// (clamped to what the host supports). All tiers are bit-identical;
+    /// only throughput differs.
+    pub fn with_model_tier(model: Arc<DynamicsModel<S>>, tier: ExecTier) -> Self {
+        let tier = tier.clamp_to_host();
+        let wide = make_wide_path(&model, tier);
+        Self::from_parts(model, tier, wide)
+    }
+
+    /// Builds over an already-constructed wide path — how forks and
+    /// clones avoid re-widening the model.
+    fn from_parts(
         model: Arc<DynamicsModel<S>>,
-        wide_model: Arc<DynamicsModel<Lanes<S, SERVE_LANES>>>,
+        tier: ExecTier,
+        wide: Box<dyn WideGradPath>,
     ) -> Self {
         let n = model.dof();
         Self {
@@ -554,20 +706,22 @@ impl<S: Scalar> CpuAnalytic<S> {
             qd_s: Vec::with_capacity(n),
             qdd_s: Vec::with_capacity(n),
             minv_s: MatN::zeros(n, n),
-            wide_ws: GradWorkspace::for_model(&wide_model),
-            q_w: vec![Lanes::splat(S::zero()); n],
-            qd_w: vec![Lanes::splat(S::zero()); n],
-            qdd_w: vec![Lanes::splat(S::zero()); n],
-            minv_w: MatN::zeros(n, n),
             scratch: GradientOutput::for_dof(n),
+            tier,
+            wide,
             model,
-            wide_model,
         }
     }
 
     /// The shared dynamics model.
     pub fn model(&self) -> &Arc<DynamicsModel<S>> {
         &self.model
+    }
+
+    /// The execution tier the wide batch path runs at (already clamped to
+    /// host support).
+    pub fn tier(&self) -> ExecTier {
+        self.tier
     }
 }
 
@@ -609,17 +763,21 @@ impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
     }
 
     fn fork(&self) -> Box<dyn GradientBackend + '_> {
-        Box::new(Self::from_plans(
-            Arc::clone(&self.model),
-            Arc::clone(&self.wide_model),
-        ))
+        Box::new(self.clone())
     }
 
-    /// The wide SoA override: full groups of [`SERVE_LANES`] states are
-    /// lane-transposed into `Lanes` staging and run through one wide
-    /// [`dynamics_gradient_into`] call; the ragged tail takes the scalar
-    /// path. Allocation-free once `self` and `out` are warm, and per-state
-    /// bit-identical to serial [`CpuAnalytic::gradient_into`] calls.
+    fn serve_width(&self) -> usize {
+        self.wide.width()
+    }
+
+    /// The wide SoA override: full lane groups of [`serve_width`] states
+    /// are lane-transposed into the tier's wide staging and run through
+    /// one wide [`dynamics_gradient_into`] call; the ragged tail takes
+    /// the scalar path. Allocation-free once `self` and `out` are warm,
+    /// and per-state bit-identical to serial
+    /// [`CpuAnalytic::gradient_into`] calls on every tier.
+    ///
+    /// [`serve_width`]: GradientBackend::serve_width
     fn gradient_batch_into(
         &mut self,
         states: &[GradientState<'_, f64>],
@@ -630,48 +788,16 @@ impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
             check_dims(n, s.q, s.qd, s.qdd, s.minv)?;
         }
         out.reset(states.len(), n);
-        const W: usize = SERVE_LANES;
-        let n2 = n * n;
-        let full = states.len() / W;
+        let w = self.wide.width();
+        let full = states.len() / w;
         for chunk in 0..full {
-            let base = chunk * W;
-            for (l, s) in states[base..base + W].iter().enumerate() {
-                for k in 0..n {
-                    self.q_w[k].set_lane(l, S::from_f64(s.q[k]));
-                    self.qd_w[k].set_lane(l, S::from_f64(s.qd[k]));
-                    self.qdd_w[k].set_lane(l, S::from_f64(s.qdd[k]));
-                }
-                for r in 0..n {
-                    for c in 0..n {
-                        self.minv_w[(r, c)].set_lane(l, S::from_f64(s.minv[(r, c)]));
-                    }
-                }
-            }
-            dynamics_gradient_into(
-                &self.wide_model,
-                &self.q_w,
-                &self.qd_w,
-                &self.qdd_w,
-                &self.minv_w,
-                &mut self.wide_ws,
-            );
-            for l in 0..W {
-                let dst = (base + l) * n2;
-                for r in 0..n {
-                    for c in 0..n {
-                        let k = dst + r * n + c;
-                        out.dqdd_dq[k] = self.wide_ws.dqdd_dq[(r, c)].lane(l).to_f64();
-                        out.dqdd_dqd[k] = self.wide_ws.dqdd_dqd[(r, c)].lane(l).to_f64();
-                        out.dtau_dq[k] = self.wide_ws.dtau_dq[(r, c)].lane(l).to_f64();
-                        out.dtau_dqd[k] = self.wide_ws.dtau_dqd[(r, c)].lane(l).to_f64();
-                    }
-                }
-            }
+            let base = chunk * w;
+            self.wide.run_group(&states[base..base + w], out, base);
         }
         // Ragged tail through the scalar kernel; `scratch` is a warm field
         // (temporarily moved out to satisfy the borrow checker).
         let mut scratch = std::mem::take(&mut self.scratch);
-        for (i, s) in states.iter().enumerate().skip(full * W) {
+        for (i, s) in states.iter().enumerate().skip(full * w) {
             self.gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)?;
             out.store(i, &scratch);
         }

@@ -90,6 +90,14 @@ impl<S: Scalar> DynamicsModel<S> {
     /// reproduces `s` (floats trivially; fixed point because `to_f64` of
     /// an `i64` raw value is an exact dyadic rational).
     pub fn widen<const W: usize>(&self) -> DynamicsModel<Lanes<S, W>> {
+        self.cast_to::<Lanes<S, W>>()
+    }
+
+    /// Re-targets the plan at any scalar type — the general form of
+    /// [`DynamicsModel::widen`], also used to build native-SIMD wide
+    /// models for the tiered serving path. Casting goes through `f64`
+    /// (exact for every supported scalar; see `widen`).
+    pub fn cast_to<T: Scalar>(&self) -> DynamicsModel<T> {
         DynamicsModel {
             parents: self.parents.clone(),
             joints: self.joints.clone(),

@@ -246,12 +246,21 @@ impl<S: Scalar> AcceleratorSim<S> {
     /// `Lanes` — so one wide run is bit-identical, lane for lane, to `W`
     /// scalar runs through `self`.
     pub fn widen<const W: usize>(&self) -> AcceleratorSim<Lanes<S, W>> {
-        let mut wide = AcceleratorSim::<Lanes<S, W>>::with_design(&self.robot, self.design.clone());
-        for (w, s) in wide.x_units.iter_mut().zip(&self.x_units) {
+        self.cast_to::<Lanes<S, W>>()
+    }
+
+    /// Re-targets the simulator at any scalar type — the general form of
+    /// [`AcceleratorSim::widen`], also used to rebuild the design at a
+    /// native SIMD lane type for the tiered serving path. All unit
+    /// constants are derived from snapped `f64` probes through
+    /// `T::from_f64`, so the cast is exact for every supported scalar.
+    pub fn cast_to<T: Scalar>(&self) -> AcceleratorSim<T> {
+        let mut cast = AcceleratorSim::<T>::with_design(&self.robot, self.design.clone());
+        for (w, s) in cast.x_units.iter_mut().zip(&self.x_units) {
             w.set_accumulation(s.accumulation());
             w.set_backend(s.backend());
         }
-        wide
+        cast
     }
 
     /// Degrees of freedom.

@@ -18,9 +18,188 @@ use robo_dynamics::engine::{
 use robo_dynamics::DynamicsModel;
 use robo_model::RobotModel;
 use robo_sparsity::{superposition_pattern, Mask6};
-use robo_spatial::{Lanes, MatN, Scalar, SERVE_LANES};
+use robo_spatial::{ExecTier, MatN, Scalar, WideScalar, WideVisit};
 use robomorphic_core::Accelerator;
 use std::sync::Arc;
+
+/// Object-safe face of the wide (lane-transposed) simulated serving path
+/// at an erased lane type, selected per [`ExecTier`]. The lane element
+/// type always equals the owning backend's scalar type `S`, so wide
+/// results stay bit-identical to the scalar simulator.
+trait WideSimPath<S: Scalar>: Send + Sync {
+    /// Lane width: states per wide simulated pass.
+    fn width(&self) -> usize;
+
+    /// Live references sharing the inner wide simulator (plan-sharing
+    /// diagnostics).
+    fn sim_refs(&self) -> usize;
+
+    /// Runs one full lane group (`states.len() == width()`) through the
+    /// `f64` boundary, scattering per-state results into `out` at state
+    /// indices `base..`.
+    fn run_group_grad(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+        base: usize,
+    );
+
+    /// Runs one full native-`S` lane group (`inputs.len() == width()`),
+    /// appending per-state outputs in input order.
+    fn run_group_native(&mut self, inputs: &[KernelInput<S>], outputs: &mut Vec<SimOutput<S>>);
+
+    /// A fresh-workspace instance over the same `Arc`-shared wide
+    /// simulator.
+    fn fork_path(&self) -> Box<dyn WideSimPath<S>>;
+}
+
+/// The concrete wide path at lane type `V`: the customized design rebuilt
+/// at `V`, plus lane-transposed staging buffers.
+struct WideSim<V: WideScalar> {
+    sim: Arc<AcceleratorSim<V>>,
+    ws: SimWorkspace<V>,
+    q_w: Vec<V>,
+    qd_w: Vec<V>,
+    qdd_w: Vec<V>,
+    minv_w: MatN<V>,
+}
+
+impl<V: WideScalar> WideSim<V> {
+    fn new(sim: Arc<AcceleratorSim<V>>) -> Self {
+        let n = sim.dof();
+        Self {
+            ws: SimWorkspace::for_sim(&sim),
+            q_w: vec![V::splat(V::Elem::zero()); n],
+            qd_w: vec![V::splat(V::Elem::zero()); n],
+            qdd_w: vec![V::splat(V::Elem::zero()); n],
+            minv_w: MatN::zeros(n, n),
+            sim,
+        }
+    }
+
+    /// Lane-transposes one group already in `V::Elem` into the staging
+    /// buffers and runs the wide simulator; returns the schedule cycles.
+    fn run_staged(&mut self) -> usize {
+        self.sim.compute_gradient_into(
+            &self.q_w,
+            &self.qd_w,
+            &self.qdd_w,
+            &self.minv_w,
+            &mut self.ws,
+        )
+    }
+}
+
+impl<V: WideScalar> WideSimPath<V::Elem> for WideSim<V> {
+    fn width(&self) -> usize {
+        V::WIDTH
+    }
+
+    fn sim_refs(&self) -> usize {
+        Arc::strong_count(&self.sim)
+    }
+
+    fn run_group_grad(
+        &mut self,
+        states: &[GradientState<'_, f64>],
+        out: &mut GradientBatchOutput,
+        base: usize,
+    ) {
+        let n = self.sim.dof();
+        let w = V::WIDTH;
+        debug_assert_eq!(states.len(), w, "run_group_grad takes one full lane group");
+        for (l, s) in states.iter().enumerate() {
+            for k in 0..n {
+                self.q_w[k].set_lane(l, V::Elem::from_f64(s.q[k]));
+                self.qd_w[k].set_lane(l, V::Elem::from_f64(s.qd[k]));
+                self.qdd_w[k].set_lane(l, V::Elem::from_f64(s.qdd[k]));
+            }
+            for r in 0..n {
+                for c in 0..n {
+                    self.minv_w[(r, c)].set_lane(l, V::Elem::from_f64(s.minv[(r, c)]));
+                }
+            }
+        }
+        self.run_staged();
+        let n2 = n * n;
+        for l in 0..w {
+            let dst = (base + l) * n2;
+            for r in 0..n {
+                for c in 0..n {
+                    let k = dst + r * n + c;
+                    out.dqdd_dq[k] = self.ws.dqdd_dq[(r, c)].lane(l).to_f64();
+                    out.dqdd_dqd[k] = self.ws.dqdd_dqd[(r, c)].lane(l).to_f64();
+                    out.dtau_dq[k] = self.ws.dtau_dq[(r, c)].lane(l).to_f64();
+                    out.dtau_dqd[k] = self.ws.dtau_dqd[(r, c)].lane(l).to_f64();
+                }
+            }
+        }
+    }
+
+    fn run_group_native(
+        &mut self,
+        inputs: &[KernelInput<V::Elem>],
+        outputs: &mut Vec<SimOutput<V::Elem>>,
+    ) {
+        let n = self.sim.dof();
+        let w = V::WIDTH;
+        debug_assert_eq!(
+            inputs.len(),
+            w,
+            "run_group_native takes one full lane group"
+        );
+        for (l, inp) in inputs.iter().enumerate() {
+            for k in 0..n {
+                self.q_w[k].set_lane(l, inp.q[k]);
+                self.qd_w[k].set_lane(l, inp.qd[k]);
+                self.qdd_w[k].set_lane(l, inp.qdd[k]);
+            }
+            for r in 0..n {
+                for c in 0..n {
+                    self.minv_w[(r, c)].set_lane(l, inp.minv[(r, c)]);
+                }
+            }
+        }
+        let cycles = self.run_staged();
+        for l in 0..w {
+            let unlane = |m: &MatN<V>| {
+                let mut out = MatN::zeros(n, n);
+                for r in 0..n {
+                    for c in 0..n {
+                        out[(r, c)] = m[(r, c)].lane(l);
+                    }
+                }
+                out
+            };
+            outputs.push(SimOutput {
+                dtau_dq: unlane(&self.ws.dtau_dq),
+                dtau_dqd: unlane(&self.ws.dtau_dqd),
+                dqdd_dq: unlane(&self.ws.dqdd_dq),
+                dqdd_dqd: unlane(&self.ws.dqdd_dqd),
+                cycles,
+            });
+        }
+    }
+
+    fn fork_path(&self) -> Box<dyn WideSimPath<V::Elem>> {
+        Box::new(Self::new(Arc::clone(&self.sim)))
+    }
+}
+
+/// Builds the wide simulated path for the lane type `S` serves on `tier`.
+fn make_wide_sim_path<S: Scalar>(
+    sim: &AcceleratorSim<S>,
+    tier: ExecTier,
+) -> Box<dyn WideSimPath<S>> {
+    struct Mk<'a, S: Scalar>(&'a AcceleratorSim<S>);
+    impl<S: Scalar> WideVisit<S> for Mk<'_, S> {
+        type Out = Box<dyn WideSimPath<S>>;
+        fn visit<V: WideScalar<Elem = S>>(self) -> Box<dyn WideSimPath<S>> {
+            Box::new(WideSim::<V>::new(Arc::new(self.0.cast_to::<V>())))
+        }
+    }
+    S::dispatch_wide(tier, Mk(sim))
+}
 
 /// A [`GradientBackend`] executing on the simulated morphology-customized
 /// accelerator, in the accelerator's scalar type `S` (`f64` for parity
@@ -33,29 +212,42 @@ use std::sync::Arc;
 /// accelerator (§6.3). The trait boundary is `f64`; inputs are marshalled
 /// to `S` and outputs back, mirroring the coprocessor's I/O conversion
 /// (§6.2). Use [`AcceleratorBackend::compute`] to stay in `S` end to end.
-#[derive(Debug, Clone)]
 pub struct AcceleratorBackend<S: Scalar> {
     sim: Arc<AcceleratorSim<S>>,
+    tier: ExecTier,
     ws: SimWorkspace<S>,
     q_s: Vec<S>,
     qd_s: Vec<S>,
     qdd_s: Vec<S>,
     minv_s: MatN<S>,
-    // Wide serving path: the same customized design rebuilt at
-    // `Lanes<S, SERVE_LANES>`, plus lane-transposed staging, so batch
-    // entry points run `SERVE_LANES` states per simulated instruction.
-    wide: Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>>,
-    wide_ws: SimWorkspace<Lanes<S, SERVE_LANES>>,
-    q_w: Vec<Lanes<S, SERVE_LANES>>,
-    qd_w: Vec<Lanes<S, SERVE_LANES>>,
-    qdd_w: Vec<Lanes<S, SERVE_LANES>>,
-    minv_w: MatN<Lanes<S, SERVE_LANES>>,
+    /// Wide serving path: the same customized design rebuilt at the
+    /// tier's lane type, type-erased so the backend stays independent of
+    /// the lane width.
+    wide: Box<dyn WideSimPath<S>>,
     scratch: GradientOutput,
+}
+
+impl<S: Scalar> std::fmt::Debug for AcceleratorBackend<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcceleratorBackend")
+            .field("scalar", &S::name())
+            .field("dof", &self.sim.dof())
+            .field("tier", &self.tier)
+            .field("serve_width", &self.wide.width())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Scalar> Clone for AcceleratorBackend<S> {
+    fn clone(&self) -> Self {
+        self.fork_native()
+    }
 }
 
 impl<S: Scalar> AcceleratorBackend<S> {
     /// Customizes the paper-default template for `robot` and builds the
-    /// backend over its simulator.
+    /// backend over its simulator, at the fastest [`ExecTier`] the host
+    /// supports.
     ///
     /// # Panics
     ///
@@ -72,21 +264,29 @@ impl<S: Scalar> AcceleratorBackend<S> {
 
     /// Builds the backend over an already-shared simulator — the plan-once
     /// path: every fork and every consumer reuses the same compiled
-    /// netlists. Widens the simulator to [`SERVE_LANES`] once; forks share
-    /// the result.
+    /// netlists. Widens the simulator once (at the fastest host tier);
+    /// forks share the result.
     pub fn from_shared(sim: Arc<AcceleratorSim<S>>) -> Self {
-        let wide = Arc::new(sim.widen::<SERVE_LANES>());
-        Self::from_parts(sim, wide)
+        Self::from_shared_tier(sim, ExecTier::detect())
     }
 
-    /// Builds over already-shared scalar and wide simulators — how forks
-    /// (and [`RobotPlan`]) avoid re-widening the design.
+    /// Builds the backend over a shared simulator at an explicit
+    /// [`ExecTier`] (clamped to what the host supports). All tiers are
+    /// bit-identical; only throughput differs.
+    pub fn from_shared_tier(sim: Arc<AcceleratorSim<S>>, tier: ExecTier) -> Self {
+        let tier = tier.clamp_to_host();
+        let wide = make_wide_sim_path(&sim, tier);
+        Self::from_parts(sim, tier, wide)
+    }
+
+    /// Builds over an already-constructed wide path — how forks (and
+    /// [`RobotPlan`]) avoid re-widening the design.
     fn from_parts(
         sim: Arc<AcceleratorSim<S>>,
-        wide: Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>>,
+        tier: ExecTier,
+        wide: Box<dyn WideSimPath<S>>,
     ) -> Self {
         let ws = SimWorkspace::for_sim(&sim);
-        let wide_ws = SimWorkspace::for_sim(&wide);
         let n = sim.dof();
         Self {
             ws,
@@ -94,14 +294,10 @@ impl<S: Scalar> AcceleratorBackend<S> {
             qd_s: Vec::with_capacity(n),
             qdd_s: Vec::with_capacity(n),
             minv_s: MatN::zeros(n, n),
-            wide_ws,
-            q_w: vec![Lanes::splat(S::zero()); n],
-            qd_w: vec![Lanes::splat(S::zero()); n],
-            qdd_w: vec![Lanes::splat(S::zero()); n],
-            minv_w: MatN::zeros(n, n),
             scratch: GradientOutput::for_dof(n),
-            sim,
+            tier,
             wide,
+            sim,
         }
     }
 
@@ -110,10 +306,16 @@ impl<S: Scalar> AcceleratorBackend<S> {
         &self.sim
     }
 
-    /// The shared wide ([`SERVE_LANES`]-state) simulator behind the batch
-    /// entry points.
-    pub fn wide_sim(&self) -> &Arc<AcceleratorSim<Lanes<S, SERVE_LANES>>> {
-        &self.wide
+    /// The execution tier the wide batch paths run at (already clamped to
+    /// host support).
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// States evaluated per wide simulated pass — the active tier's lane
+    /// width for `S`.
+    pub fn serve_width(&self) -> usize {
+        self.wide.width()
     }
 
     /// Cycles one gradient takes on the design's static schedule
@@ -126,7 +328,7 @@ impl<S: Scalar> AcceleratorBackend<S> {
     /// fresh warm workspaces) for callers that need the native-scalar
     /// entry point.
     pub fn fork_native(&self) -> Self {
-        Self::from_parts(Arc::clone(&self.sim), Arc::clone(&self.wide))
+        Self::from_parts(Arc::clone(&self.sim), self.tier, self.wide.fork_path())
     }
 
     /// Runs one gradient natively in `S`, without the `f64` boundary
@@ -157,11 +359,13 @@ impl<S: Scalar> AcceleratorBackend<S> {
         })
     }
 
-    /// Runs a native-`S` batch through the wide simulator: full groups of
-    /// [`SERVE_LANES`] states are lane-transposed and computed by one wide
-    /// pass each, the ragged tail by the scalar simulator. Outputs are
-    /// appended to `outputs` in input order, each bit-identical to a
-    /// serial [`AcceleratorBackend::compute`] call on the same state.
+    /// Runs a native-`S` batch through the wide simulator: full lane
+    /// groups of [`AcceleratorBackend::serve_width`] states are
+    /// lane-transposed and computed by one wide pass each, the ragged
+    /// tail by the scalar simulator. Outputs are appended to `outputs` in
+    /// input order, each bit-identical to a serial
+    /// [`AcceleratorBackend::compute`] call on the same state — on every
+    /// tier.
     ///
     /// # Errors
     ///
@@ -177,50 +381,14 @@ impl<S: Scalar> AcceleratorBackend<S> {
         for inp in inputs {
             check_dims(n, &inp.q, &inp.qd, &inp.qdd, &inp.minv)?;
         }
-        const W: usize = SERVE_LANES;
-        let full = inputs.len() / W;
+        let w = self.wide.width();
+        let full = inputs.len() / w;
         outputs.reserve(inputs.len());
         for chunk in 0..full {
-            let base = chunk * W;
-            for (l, inp) in inputs[base..base + W].iter().enumerate() {
-                for k in 0..n {
-                    self.q_w[k].set_lane(l, inp.q[k]);
-                    self.qd_w[k].set_lane(l, inp.qd[k]);
-                    self.qdd_w[k].set_lane(l, inp.qdd[k]);
-                }
-                for r in 0..n {
-                    for c in 0..n {
-                        self.minv_w[(r, c)].set_lane(l, inp.minv[(r, c)]);
-                    }
-                }
-            }
-            let cycles = self.wide.compute_gradient_into(
-                &self.q_w,
-                &self.qd_w,
-                &self.qdd_w,
-                &self.minv_w,
-                &mut self.wide_ws,
-            );
-            for l in 0..W {
-                let unlane = |m: &MatN<Lanes<S, W>>| {
-                    let mut out = MatN::zeros(n, n);
-                    for r in 0..n {
-                        for c in 0..n {
-                            out[(r, c)] = m[(r, c)].lane(l);
-                        }
-                    }
-                    out
-                };
-                outputs.push(SimOutput {
-                    dtau_dq: unlane(&self.wide_ws.dtau_dq),
-                    dtau_dqd: unlane(&self.wide_ws.dtau_dqd),
-                    dqdd_dq: unlane(&self.wide_ws.dqdd_dq),
-                    dqdd_dqd: unlane(&self.wide_ws.dqdd_dqd),
-                    cycles,
-                });
-            }
+            let base = chunk * w;
+            self.wide.run_group_native(&inputs[base..base + w], outputs);
         }
-        for inp in &inputs[full * W..] {
+        for inp in &inputs[full * w..] {
             let out = self.compute(&inp.q, &inp.qd, &inp.qdd, &inp.minv)?;
             outputs.push(out);
         }
@@ -268,11 +436,16 @@ impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
         Box::new(self.fork_native())
     }
 
-    /// The wide SoA override: full groups of [`SERVE_LANES`] states are
-    /// marshalled to `S`, lane-transposed, and run through one wide
-    /// simulated pass; the ragged tail takes the scalar simulator.
-    /// Allocation-free once `self` and `out` are warm, and per-state
-    /// bit-identical to serial [`GradientBackend::gradient_into`] calls.
+    fn serve_width(&self) -> usize {
+        self.wide.width()
+    }
+
+    /// The wide SoA override: full lane groups of
+    /// [`AcceleratorBackend::serve_width`] states are marshalled to `S`,
+    /// lane-transposed, and run through one wide simulated pass; the
+    /// ragged tail takes the scalar simulator. Allocation-free once
+    /// `self` and `out` are warm, and per-state bit-identical to serial
+    /// [`GradientBackend::gradient_into`] calls on every tier.
     fn gradient_batch_into(
         &mut self,
         states: &[GradientState<'_, f64>],
@@ -283,47 +456,16 @@ impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
             check_dims(n, s.q, s.qd, s.qdd, s.minv)?;
         }
         out.reset(states.len(), n);
-        const W: usize = SERVE_LANES;
-        let n2 = n * n;
-        let full = states.len() / W;
+        let w = self.wide.width();
+        let full = states.len() / w;
         for chunk in 0..full {
-            let base = chunk * W;
-            for (l, s) in states[base..base + W].iter().enumerate() {
-                for k in 0..n {
-                    self.q_w[k].set_lane(l, S::from_f64(s.q[k]));
-                    self.qd_w[k].set_lane(l, S::from_f64(s.qd[k]));
-                    self.qdd_w[k].set_lane(l, S::from_f64(s.qdd[k]));
-                }
-                for r in 0..n {
-                    for c in 0..n {
-                        self.minv_w[(r, c)].set_lane(l, S::from_f64(s.minv[(r, c)]));
-                    }
-                }
-            }
-            let _cycles = self.wide.compute_gradient_into(
-                &self.q_w,
-                &self.qd_w,
-                &self.qdd_w,
-                &self.minv_w,
-                &mut self.wide_ws,
-            );
-            for l in 0..W {
-                let dst = (base + l) * n2;
-                for r in 0..n {
-                    for c in 0..n {
-                        let k = dst + r * n + c;
-                        out.dqdd_dq[k] = self.wide_ws.dqdd_dq[(r, c)].lane(l).to_f64();
-                        out.dqdd_dqd[k] = self.wide_ws.dqdd_dqd[(r, c)].lane(l).to_f64();
-                        out.dtau_dq[k] = self.wide_ws.dtau_dq[(r, c)].lane(l).to_f64();
-                        out.dtau_dqd[k] = self.wide_ws.dtau_dqd[(r, c)].lane(l).to_f64();
-                    }
-                }
-            }
+            let base = chunk * w;
+            self.wide.run_group_grad(&states[base..base + w], out, base);
         }
         // Ragged tail through the scalar simulator; `scratch` is a warm
         // field (temporarily moved out to satisfy the borrow checker).
         let mut scratch = std::mem::take(&mut self.scratch);
-        for (i, s) in states.iter().enumerate().skip(full * W) {
+        for (i, s) in states.iter().enumerate().skip(full * w) {
             self.gradient_into(s.q, s.qd, s.qdd, s.minv, &mut scratch)?;
             out.store(i, &scratch);
         }
@@ -405,33 +547,92 @@ impl std::str::FromStr for BackendKind {
 /// let mut backend = plan.backend(BackendKind::Accel);
 /// assert_eq!(backend.name(), "accel");
 /// ```
-#[derive(Debug, Clone)]
 pub struct RobotPlan {
     robot: RobotModel,
     model: Arc<DynamicsModel<f64>>,
     mask: Mask6,
     sim: Arc<AcceleratorSim<f64>>,
-    wide_sim: Arc<AcceleratorSim<Lanes<f64, SERVE_LANES>>>,
+    tier: ExecTier,
+    /// Prototype wide path, widened once at plan build; every accelerator
+    /// backend and fork shares its inner wide simulator.
+    wide_proto: Box<dyn WideSimPath<f64>>,
+}
+
+impl std::fmt::Debug for RobotPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobotPlan")
+            .field("robot", &self.robot.name())
+            .field("dof", &self.model.dof())
+            .field("tier", &self.tier)
+            .field("serve_width", &self.wide_proto.width())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for RobotPlan {
+    fn clone(&self) -> Self {
+        Self {
+            robot: self.robot.clone(),
+            model: Arc::clone(&self.model),
+            mask: self.mask,
+            sim: Arc::clone(&self.sim),
+            tier: self.tier,
+            wide_proto: self.wide_proto.fork_path(),
+        }
+    }
 }
 
 impl RobotPlan {
     /// Builds the complete plan for `robot`: dynamics model, sparsity
     /// analysis, template customization, and netlist compilation all
-    /// happen here, once.
+    /// happen here, once — at the fastest [`ExecTier`] the host supports.
     ///
     /// # Panics
     ///
     /// Panics if the robot has more than 64 links.
     pub fn new(robot: &RobotModel) -> Self {
+        Self::with_tier(robot, ExecTier::detect())
+    }
+
+    /// Builds the plan at an explicit [`ExecTier`] (clamped to what the
+    /// host supports) — the `--tier` CLI entry point. Every backend the
+    /// plan hands out serves wide batches at this tier; all tiers are
+    /// bit-identical, so the choice affects throughput only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot has more than 64 links.
+    pub fn with_tier(robot: &RobotModel, tier: ExecTier) -> Self {
+        let tier = tier.clamp_to_host();
         let sim = Arc::new(AcceleratorSim::new(robot));
-        let wide_sim = Arc::new(sim.widen::<SERVE_LANES>());
+        let wide_proto = make_wide_sim_path(&sim, tier);
         Self {
             robot: robot.clone(),
             model: Arc::new(DynamicsModel::new(robot)),
             mask: superposition_pattern(robot),
             sim,
-            wide_sim,
+            tier,
+            wide_proto,
         }
+    }
+
+    /// The execution tier the plan's backends serve wide batches at
+    /// (already clamped to host support).
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// States evaluated per wide kernel instruction by the plan's
+    /// backends — the tier's `f64` lane width.
+    pub fn serve_width(&self) -> usize {
+        self.wide_proto.width()
+    }
+
+    /// Live references sharing the plan's wide simulator — a diagnostic
+    /// hook for the plan-once contract (backends and forks share the
+    /// widened design; nothing re-widens it).
+    pub fn wide_sim_refs(&self) -> usize {
+        self.wide_proto.sim_refs()
     }
 
     /// The source morphology.
@@ -460,26 +661,25 @@ impl RobotPlan {
         &self.sim
     }
 
-    /// The shared wide ([`SERVE_LANES`]-state) simulator driving the
-    /// accelerator backend's batch entry points.
-    pub fn wide_sim(&self) -> &Arc<AcceleratorSim<Lanes<f64, SERVE_LANES>>> {
-        &self.wide_sim
-    }
-
     /// Degrees of freedom.
     pub fn dof(&self) -> usize {
         self.model.dof()
     }
 
-    /// A CPU analytical backend over the plan's shared model.
+    /// A CPU analytical backend over the plan's shared model, at the
+    /// plan's tier.
     pub fn cpu_backend(&self) -> CpuAnalytic<f64> {
-        CpuAnalytic::with_model(Arc::clone(&self.model))
+        CpuAnalytic::with_model_tier(Arc::clone(&self.model), self.tier)
     }
 
     /// An accelerator backend over the plan's shared simulators (scalar
     /// and wide — nothing is re-customized or re-widened per backend).
     pub fn accelerator_backend(&self) -> AcceleratorBackend<f64> {
-        AcceleratorBackend::from_parts(Arc::clone(&self.sim), Arc::clone(&self.wide_sim))
+        AcceleratorBackend::from_parts(
+            Arc::clone(&self.sim),
+            self.tier,
+            self.wide_proto.fork_path(),
+        )
     }
 
     /// A finite-difference oracle over the plan's shared model.
@@ -522,13 +722,15 @@ mod tests {
         let _fd = plan.finite_diff_backend();
         assert_eq!(Arc::strong_count(plan.model()), model_count + 2);
         let sim_count = Arc::strong_count(plan.sim());
-        let wide_count = Arc::strong_count(plan.wide_sim());
+        let wide_count = plan.wide_sim_refs();
         let accel = plan.accelerator_backend();
         let _fork = accel.fork_native();
         assert_eq!(Arc::strong_count(plan.sim()), sim_count + 2);
         // The wide simulator is widened once in the plan and shared by
         // every backend and fork — never rebuilt.
-        assert_eq!(Arc::strong_count(plan.wide_sim()), wide_count + 2);
+        assert_eq!(plan.wide_sim_refs(), wide_count + 2);
+        assert_eq!(accel.serve_width(), plan.serve_width());
+        assert_eq!(accel.tier(), plan.tier());
     }
 
     #[test]

@@ -43,8 +43,11 @@ mod mat6;
 mod matn;
 mod motion;
 mod scalar;
+pub mod simd;
+mod tier;
 mod transform;
 mod vec3;
+mod wide;
 
 pub use inertia::SpatialInertia;
 pub use lanes::{Lanes, SERVE_LANES};
@@ -53,5 +56,7 @@ pub use mat6::Mat6;
 pub use matn::{FactorizeError, Ldlt, MatN};
 pub use motion::{Force, Motion};
 pub use scalar::Scalar;
+pub use tier::ExecTier;
 pub use transform::Transform;
 pub use vec3::Vec3;
+pub use wide::{WideScalar, WideVisit};

@@ -386,7 +386,8 @@ fn backward_pass(
     // `solve_with_backend`. Then the whole horizon goes through the
     // backend's SoA batch path — two-level (threads × lanes) parallelism:
     // workers fork the backend over the shared plan, and wide backends run
-    // `SERVE_LANES` time steps per kernel instruction — filling one flat
+    // `serve_width()` time steps per kernel instruction (the active
+    // `ExecTier`'s lane width) — filling one flat
     // `GradientBatchOutput` whose per-step blocks the Riccati recursion
     // below indexes directly. Non-finite gradients (e.g. fixed-point
     // garbage) also map to None.

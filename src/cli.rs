@@ -193,35 +193,48 @@ pub fn cmd_convert(source: &str, dest: &str) -> Result<String, CliError> {
 
 /// `robomorphic check <robot>` — model validation plus a zero-config
 /// self-collision sanity check, with the gradient spot-check on the
-/// default (CPU) engine backend.
+/// default (CPU) engine backend at the host's fastest execution tier.
 ///
 /// # Errors
 ///
 /// Propagates loading failures.
 pub fn cmd_check(source: &str) -> Result<String, CliError> {
-    cmd_check_with_backend(source, robo_sim::BackendKind::Cpu)
+    cmd_check_with(
+        source,
+        robo_sim::BackendKind::Cpu,
+        robo_spatial::ExecTier::detect(),
+    )
 }
 
-/// `robomorphic check <robot> --backend {cpu,accel,fd}` — like
+/// `robomorphic check <robot> --backend {cpu,accel,fd} --tier T` — like
 /// [`cmd_check`], but running the gradient spot-check through the chosen
 /// [`GradientBackend`](robo_dynamics::engine::GradientBackend) of a
-/// once-built [`robo_sim::RobotPlan`].
+/// once-built [`robo_sim::RobotPlan`] at the chosen execution tier
+/// (clamped to what the host supports; all tiers are bit-identical).
 ///
 /// # Errors
 ///
 /// Propagates loading failures.
-pub fn cmd_check_with_backend(
+pub fn cmd_check_with(
     source: &str,
     kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
 ) -> Result<String, CliError> {
     let robot = load_robot(source)?;
-    // Plan once: model, sparsity, customized design, compiled netlists.
-    let plan = robo_sim::RobotPlan::new(&robot);
+    // Plan once: model, sparsity, customized design, compiled netlists —
+    // all at the requested (host-clamped) execution tier.
+    let plan = robo_sim::RobotPlan::with_tier(&robot, tier);
     let model: &robo_dynamics::DynamicsModel<f64> = plan.model();
     let n = robot.dof();
     let zero = vec![0.0; n];
     let mut out = String::new();
     let _ = writeln!(out, "checking `{}`:", robot.name());
+    let _ = writeln!(
+        out,
+        "  execution tier: {} ({} f64 state(s) per wide instruction)",
+        plan.tier(),
+        plan.serve_width()
+    );
 
     let mass_ok = robo_dynamics::mass_matrix(model, &zero).ldlt().is_ok();
     let _ = writeln!(
@@ -276,7 +289,8 @@ USAGE:
     robomorphic info      <robot>                  morphology & sparsity summary
     robomorphic customize <robot> [--verilog-dir D] run the two-step methodology
     robomorphic convert   <robot> <out.robo>        normalize a description
-    robomorphic check     <robot> [--backend B]     validate model & dynamics
+    robomorphic check     <robot> [--backend B] [--tier T]
+                                                    validate model & dynamics
 
 <robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
 .urdf/.xml file (supported subset; see robo-model docs).
@@ -284,6 +298,11 @@ USAGE:
 --backend selects the engine gradient backend for check's spot-check:
 cpu (analytical kernels, default) | accel (simulated accelerator) |
 fd (finite differences).
+
+--tier forces the SIMD execution tier the engine serves wide batches at:
+auto (host-detected, default) | portable | sse2 | avx2 | neon. Tiers not
+supported by the host degrade gracefully; every tier is bit-identical,
+so the choice affects throughput only.
 "
 }
 
@@ -304,7 +323,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, source] if cmd == "check" => cmd_check(source),
         [cmd, source, flag, backend] if cmd == "check" && flag == "--backend" => {
             let kind = backend.parse().map_err(CliError::Usage)?;
-            cmd_check_with_backend(source, kind)
+            cmd_check_with(source, kind, robo_spatial::ExecTier::detect())
+        }
+        [cmd, source, flag, tier] if cmd == "check" && flag == "--tier" => {
+            let tier = tier.parse().map_err(CliError::Usage)?;
+            cmd_check_with(source, robo_sim::BackendKind::Cpu, tier)
+        }
+        [cmd, source, f1, backend, f2, tier]
+            if cmd == "check" && f1 == "--backend" && f2 == "--tier" =>
+        {
+            let kind = backend.parse().map_err(CliError::Usage)?;
+            let tier = tier.parse().map_err(CliError::Usage)?;
+            cmd_check_with(source, kind, tier)
+        }
+        [cmd, source, f1, tier, f2, backend]
+            if cmd == "check" && f1 == "--tier" && f2 == "--backend" =>
+        {
+            let kind = backend.parse().map_err(CliError::Usage)?;
+            let tier = tier.parse().map_err(CliError::Usage)?;
+            cmd_check_with(source, kind, tier)
         }
         _ => Err(CliError::Usage(usage().to_owned())),
     }

@@ -25,6 +25,9 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the system allocator — every contract
+// (layout validity, pointer provenance) is forwarded unchanged; the
+// counter increment has no effect on allocation behavior.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -46,6 +49,17 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One tier-dispatched batch sweep (named so the counted loops below read
+/// as what they measure).
+fn compiled_batch_warm(
+    compiled: &robomorphic::codegen::CompiledNetlist<f64>,
+    ws: &mut robomorphic::codegen::TieredBatchEval<f64>,
+    states: &[&[f64]],
+    out: &mut [f64],
+) {
+    ws.eval_batch_into(compiled, states, out);
 }
 
 #[test]
@@ -125,8 +139,9 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
                 .collect()
         })
         .collect();
-    let mut batch_tape_ws =
-        robomorphic::codegen::BatchEvalWorkspace::<f64, 4>::for_netlist(&compiled);
+    let mut batch_tape_ws = robomorphic::codegen::BatchEvalWorkspace::<
+        robomorphic::spatial::Lanes<f64, 4>,
+    >::for_netlist(&compiled);
     let mut batch_flat = vec![0.0_f64; batch_states.len() * compiled.num_outputs()];
     compiled.eval_batch_into(&batch_states, &mut batch_tape_ws, &mut batch_flat);
     let before = allocations();
@@ -137,6 +152,23 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         allocations(),
         before,
         "CompiledNetlist::eval_batch_into allocated in steady state"
+    );
+
+    // The tier-dispatched batch path: a warm TieredBatchEval (native SIMD
+    // lanes on hosts that have them, portable lanes elsewhere) is just as
+    // allocation-free as the generic workspace it erases. The state-ref
+    // views are borrows built outside the counted region.
+    let batch_refs: Vec<&[f64]> = batch_states.iter().map(|s| s.as_slice()).collect();
+    let mut tiered_ws = compiled.tiered_workspace(robomorphic::spatial::ExecTier::detect());
+    compiled_batch_warm(&compiled, &mut tiered_ws, &batch_refs, &mut batch_flat);
+    let before = allocations();
+    for _ in 0..64 {
+        compiled_batch_warm(&compiled, &mut tiered_ws, &batch_refs, &mut batch_flat);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "tiered eval_batch_into allocated in steady state"
     );
 
     // The engine layer on top: once a RobotPlan is built and a backend

@@ -73,6 +73,51 @@ fn check_accepts_backend_flag() {
 }
 
 #[test]
+fn check_accepts_tier_flag() {
+    // Forcing any tier still passes the spot-check (all tiers are
+    // bit-identical), and the report names the tier the plan landed on.
+    for tier in ["auto", "portable", "sse2", "avx2", "neon"] {
+        let out = cli::run(&[
+            "check".to_owned(),
+            "iiwa14".to_owned(),
+            "--tier".to_owned(),
+            tier.to_owned(),
+        ])
+        .expect("tier checks");
+        assert!(out.contains("execution tier: "));
+        assert!(out.contains("(ok)"));
+        assert!(!out.contains("FAIL"));
+    }
+    // Forcing portable is honored verbatim on every host.
+    let out = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--backend".to_owned(),
+        "accel".to_owned(),
+        "--tier".to_owned(),
+        "portable".to_owned(),
+    ])
+    .expect("combined flags");
+    assert!(out.contains("execution tier: portable"));
+    assert!(out.contains("`accel` backend gradient"));
+}
+
+#[test]
+fn check_rejects_unknown_tier() {
+    let err = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--tier".to_owned(),
+        "avx512".to_owned(),
+    ])
+    .expect_err("unknown tier");
+    match err {
+        CliError::Usage(msg) => assert!(msg.contains("unknown execution tier `avx512`")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+}
+
+#[test]
 fn check_rejects_unknown_backend() {
     let err = cli::run(&[
         "check".to_owned(),

@@ -68,7 +68,7 @@ fn tape_parity<S: Scalar, const W: usize>(vals: &[f64], count: usize) {
         tape.eval_into(s, &mut ws, &mut want[i * n_out..(i + 1) * n_out]);
     }
 
-    let mut batch_ws = BatchEvalWorkspace::<S, W>::for_netlist(&tape);
+    let mut batch_ws = BatchEvalWorkspace::<Lanes<S, W>>::for_netlist(&tape);
     let mut got = vec![S::zero(); count * n_out];
     tape.eval_batch_into(&states, &mut batch_ws, &mut got);
 

@@ -1,0 +1,162 @@
+//! Bit-identity of the tiered execution paths.
+//!
+//! Two promises pin the whole tiered serving stack to the scalar
+//! semantics:
+//!
+//! * **Native lanes ≡ portable lanes ≡ scalar.** A batch evaluated
+//!   through [`CompiledNetlist::tiered_workspace`] at *any* requested
+//!   [`ExecTier`] (clamped to what the host supports, so every tier is
+//!   testable everywhere) must reproduce per-state scalar `eval_into`
+//!   bit for bit — including the ragged scalar tail. Exercised for `f64`
+//!   and `f32`, on both the §4 X-unit tape and the merged full-pipeline
+//!   tape (whose AVX2 path takes the transposed gather/scatter fast
+//!   lane).
+//!
+//! * **Threaded ≡ interpreter.** The direct-threaded superinstruction
+//!   executor (`eval_into_regs`, with its opcode-affinity scheduled
+//!   block order) must match the `match`-dispatch oracle
+//!   (`eval_into_regs_interp`, fusion order) bit for bit, for `f64`,
+//!   `f32`, and the paper's `Fix32_16` fixed-point type. Scheduling
+//!   preserves every register hazard, so any reordering bug shows up
+//!   here immediately.
+//!
+//! All comparisons go through `to_f64().to_bits()` so even a `-0.0` vs
+//! `0.0` discrepancy is caught.
+
+use proptest::prelude::*;
+use robomorphic::codegen::{
+    generate_x_pipeline, generate_x_unit_with_mask, optimize, CompiledNetlist, EvalWorkspace,
+};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::robots;
+use robomorphic::sparsity::superposition_pattern;
+use robomorphic::spatial::{ExecTier, Scalar};
+
+/// Exact bit pattern of a scalar, through the (lossless for all supported
+/// types) `f64` representation.
+fn bits<S: Scalar>(x: S) -> u64 {
+    x.to_f64().to_bits()
+}
+
+/// The §4 example joint's X-unit tape, compiled for scalar type `S`.
+fn xunit_tape<S: Scalar>() -> CompiledNetlist<S> {
+    let robot = robots::iiwa14();
+    let sup = superposition_pattern(&robot);
+    CompiledNetlist::compile(&optimize(&generate_x_unit_with_mask(&robot, 1, sup)))
+}
+
+/// The merged all-joints pipeline tape — long enough that the batch path
+/// runs many superinstruction blocks and full gather/scatter groups.
+fn pipeline_tape<S: Scalar>() -> CompiledNetlist<S> {
+    let robot = robots::iiwa14();
+    let sup = superposition_pattern(&robot);
+    CompiledNetlist::compile(&optimize(&generate_x_pipeline(&robot, sup)))
+}
+
+/// Batch evaluation through every requested tier must match per-state
+/// scalar evaluation bit for bit, ragged tail included.
+fn tier_parity<S: Scalar>(tape: &CompiledNetlist<S>, vals: &[f64], count: usize) {
+    let n_in = tape.input_names().len();
+    let n_out = tape.num_outputs();
+    let states: Vec<Vec<S>> = (0..count)
+        .map(|i| {
+            (0..n_in)
+                .map(|k| S::from_f64(vals[(i * n_in + k) % vals.len()]))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[S]> = states.iter().map(|s| s.as_slice()).collect();
+
+    let mut ws = EvalWorkspace::for_netlist(tape);
+    let mut want = vec![S::zero(); count * n_out];
+    for (i, s) in states.iter().enumerate() {
+        tape.eval_into(s, &mut ws, &mut want[i * n_out..(i + 1) * n_out]);
+    }
+
+    for tier in ExecTier::ALL {
+        let clamped = tier.clamp_to_host();
+        let mut tiered = tape.tiered_workspace(clamped);
+        let mut got = vec![S::zero(); count * n_out];
+        tiered.eval_batch_into(tape, &refs, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                bits(*g),
+                bits(*w),
+                "tier {tier} (runs as {clamped}, lane {}): output {} of state {} diverged",
+                tiered.lane_name(),
+                i % n_out,
+                i / n_out,
+            );
+        }
+    }
+}
+
+/// The threaded executor must match the `match` oracle bit for bit.
+fn threaded_parity<S: Scalar>(tape: &CompiledNetlist<S>, vals: &[f64]) {
+    let n_in = tape.input_names().len();
+    let inputs: Vec<S> = (0..n_in)
+        .map(|k| S::from_f64(vals[k % vals.len()]))
+        .collect();
+    let mut regs = vec![S::zero(); tape.num_regs()];
+    let mut threaded = vec![S::zero(); tape.num_outputs()];
+    let mut interp = vec![S::zero(); tape.num_outputs()];
+    tape.eval_into_regs(&inputs, &mut regs, &mut threaded);
+    tape.eval_into_regs_interp(&inputs, &mut regs, &mut interp);
+    for (o, (t, i)) in threaded.iter().zip(&interp).enumerate() {
+        assert_eq!(bits(*t), bits(*i), "output {o} diverged from the oracle");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tiers_match_scalar_f64_xunit(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..48),
+        count in 1_usize..13,
+    ) {
+        tier_parity::<f64>(&xunit_tape(), &vals, count);
+    }
+
+    #[test]
+    fn tiers_match_scalar_f32_xunit(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..48),
+        count in 1_usize..13,
+    ) {
+        tier_parity::<f32>(&xunit_tape(), &vals, count);
+    }
+
+    #[test]
+    fn tiers_match_scalar_f64_pipeline(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..80),
+        count in 1_usize..11,
+    ) {
+        tier_parity::<f64>(&pipeline_tape(), &vals, count);
+    }
+
+    #[test]
+    fn tiers_match_scalar_f32_pipeline(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..80),
+        count in 1_usize..11,
+    ) {
+        tier_parity::<f32>(&pipeline_tape(), &vals, count);
+    }
+
+    #[test]
+    fn threaded_matches_interp_f64(vals in prop::collection::vec(-3.0_f64..3.0, 8..64)) {
+        threaded_parity::<f64>(&xunit_tape(), &vals);
+        threaded_parity::<f64>(&pipeline_tape(), &vals);
+    }
+
+    #[test]
+    fn threaded_matches_interp_f32(vals in prop::collection::vec(-3.0_f64..3.0, 8..64)) {
+        threaded_parity::<f32>(&xunit_tape(), &vals);
+        threaded_parity::<f32>(&pipeline_tape(), &vals);
+    }
+
+    #[test]
+    fn threaded_matches_interp_fixed(vals in prop::collection::vec(-2.0_f64..2.0, 8..64)) {
+        threaded_parity::<Fix32_16>(&xunit_tape(), &vals);
+        threaded_parity::<Fix32_16>(&pipeline_tape(), &vals);
+    }
+}
