@@ -20,67 +20,24 @@
 //!
 //! The acceptance floor for this PR is `tape_lanes4` ≥ 1.5× `tape_scalar`
 //! throughput. Results (median ns per state) and the speedup ratios are
-//! written to `BENCH_5.json` at the repository root — the CI artifact —
-//! and recorded in EXPERIMENTS.md. Set `BENCH_QUICK=1` for a fast CI run.
+//! written to `BENCH_5.json` at the repository root (override with
+//! `BENCH_OUT`) — the CI artifact — and recorded in EXPERIMENTS.md.
+//! `BENCH_QUICK=1` shrinks the run for CI and `BENCH_TRIALS=N` repeats it
+//! for the confidence-interval gate; see [`robo_bench::harness`].
 
-use robo_bench::report::{median, speedup, BenchReport, HostInfo};
+use robo_bench::harness::{self, gradient_cases, tape_states, time_median_ns, BenchEnv};
+use robo_bench::report::{speedup, BenchReport, HostInfo};
 use robo_codegen::{
     generate_x_unit_with_mask, optimize, BatchEvalWorkspace, CompiledNetlist, EvalWorkspace,
 };
 use robo_dynamics::batch::{BatchEngine, GradientState};
 use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientBatchOutput, GradientOutput};
-use robo_dynamics::{forward_dynamics, mass_matrix_inverse, DynamicsModel};
+use robo_dynamics::DynamicsModel;
 use robo_model::robots;
 use robo_sim::AcceleratorBackend;
 use robo_sparsity::superposition_pattern;
 use robo_spatial::Lanes;
 use std::hint::black_box;
-use std::time::Instant;
-
-fn quick() -> bool {
-    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
-}
-
-/// Median nanoseconds per item: `reps` samples, each timing one call of
-/// `f` that processes `items_per_run` items.
-fn time_median_ns(reps: usize, items_per_run: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: page in code, size workspaces
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        samples.push(start.elapsed().as_secs_f64() * 1e9 / items_per_run as f64);
-    }
-    median(&mut samples)
-}
-
-fn tape_states(count: usize, n_inputs: usize) -> Vec<Vec<f64>> {
-    (0..count)
-        .map(|u| {
-            (0..n_inputs)
-                .map(|i| 0.17 * (u * n_inputs + i) as f64 % 1.9 - 0.95)
-                .collect()
-        })
-        .collect()
-}
-
-#[allow(clippy::type_complexity)]
-fn gradient_cases(
-    model: &DynamicsModel<f64>,
-    count: usize,
-) -> Vec<(Vec<f64>, Vec<f64>, Vec<f64>, robo_spatial::MatN<f64>)> {
-    let n = model.dof();
-    (0..count)
-        .map(|k| {
-            let q: Vec<f64> = (0..n).map(|i| 0.1 * (i + k) as f64 % 1.3 - 0.4).collect();
-            let qd: Vec<f64> = (0..n).map(|i| 0.05 * i as f64 - 0.02 * k as f64).collect();
-            let tau = vec![0.5; n];
-            let qdd = forward_dynamics(model, &q, &qd, &tau).expect("valid case");
-            let minv = mass_matrix_inverse(model, &q).expect("valid case");
-            (q, qd, qdd, minv)
-        })
-        .collect()
-}
 
 /// Serial reference: the trait's default batch shape (gradient_into loop
 /// through one dense scratch), hand-rolled so it measures the scalar path
@@ -100,11 +57,7 @@ fn serial_batch(
     }
 }
 
-fn main() {
-    let quick = quick();
-    let reps = if quick { 15 } else { 120 };
-    let tape_batch = if quick { 64 } else { 512 };
-    let grad_batch = if quick { 12 } else { 48 };
+fn run_once(env: &BenchEnv) -> BenchReport {
     let mut report = BenchReport::new();
     report.set_host(HostInfo::detect());
 
@@ -114,11 +67,11 @@ fn main() {
     let tape =
         CompiledNetlist::<f64>::compile(&optimize(&generate_x_unit_with_mask(&robot, 1, sup)));
     let n_out = tape.num_outputs();
-    let states = tape_states(tape_batch, tape.input_names().len());
+    let states = tape_states(env.tape_batch, tape.input_names().len());
 
     let mut ws = EvalWorkspace::for_netlist(&tape);
     let mut out_one = vec![0.0_f64; n_out];
-    let tape_scalar = time_median_ns(reps, tape_batch, || {
+    let tape_scalar = time_median_ns(env.reps, env.tape_batch, || {
         for s in &states {
             tape.eval_into(s, &mut ws, &mut out_one);
             black_box(&out_one);
@@ -126,40 +79,39 @@ fn main() {
     });
 
     let mut batch_ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&tape);
-    let mut out_flat = vec![0.0_f64; tape_batch * n_out];
-    let tape_lanes = time_median_ns(reps, tape_batch, || {
+    let mut out_flat = vec![0.0_f64; env.tape_batch * n_out];
+    let tape_lanes = time_median_ns(env.reps, env.tape_batch, || {
         tape.eval_batch_into(&states, &mut batch_ws, &mut out_flat);
         black_box(&out_flat);
     });
 
     // --- Gradient backends: serial vs wide batch ------------------------
     let model = std::sync::Arc::new(DynamicsModel::<f64>::new(&robot));
-    let cases = gradient_cases(&model, grad_batch);
+    let cases = gradient_cases(&model, env.grad_batch);
     let grad_states: Vec<GradientState<'_, f64>> = cases
         .iter()
         .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
         .collect();
-    let grad_reps = reps.min(if quick { 10 } else { 60 });
 
     let mut cpu = CpuAnalytic::<f64>::with_model(model.clone());
     let mut scratch = GradientOutput::for_dof(model.dof());
     let mut batch_out = GradientBatchOutput::new();
-    let cpu_serial = time_median_ns(grad_reps, grad_batch, || {
+    let cpu_serial = time_median_ns(env.grad_reps, env.grad_batch, || {
         serial_batch(&mut cpu, &grad_states, &mut scratch, &mut batch_out);
         black_box(&batch_out);
     });
-    let cpu_lanes = time_median_ns(grad_reps, grad_batch, || {
+    let cpu_lanes = time_median_ns(env.grad_reps, env.grad_batch, || {
         cpu.gradient_batch_into(&grad_states, &mut batch_out)
             .expect("dimensions match");
         black_box(&batch_out);
     });
 
     let mut accel = AcceleratorBackend::<f64>::new(&robot);
-    let accel_serial = time_median_ns(grad_reps, grad_batch, || {
+    let accel_serial = time_median_ns(env.grad_reps, env.grad_batch, || {
         serial_batch(&mut accel, &grad_states, &mut scratch, &mut batch_out);
         black_box(&batch_out);
     });
-    let accel_lanes = time_median_ns(grad_reps, grad_batch, || {
+    let accel_lanes = time_median_ns(env.grad_reps, env.grad_batch, || {
         accel
             .gradient_batch_into(&grad_states, &mut batch_out)
             .expect("dimensions match");
@@ -168,7 +120,7 @@ fn main() {
 
     // --- Two-level threads × lanes scheduling ---------------------------
     let engine = BatchEngine::global();
-    let engine_lanes = time_median_ns(grad_reps, grad_batch, || {
+    let engine_lanes = time_median_ns(env.grad_reps, env.grad_batch, || {
         cpu.gradient_batch_on_into(engine, &grad_states, &mut batch_out)
             .expect("dimensions match");
         black_box(&batch_out);
@@ -206,8 +158,10 @@ fn main() {
         let ratio = report.speedup_of(name).expect("just recorded");
         println!("lane_throughput/{name:<22} speedup: {}", speedup(ratio));
     }
+    report
+}
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json");
-    report.write_json(&path).expect("write BENCH_5.json");
-    println!("wrote {}", path.display());
+fn main() {
+    let default = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json");
+    harness::run_trials(&default, run_once);
 }

@@ -24,52 +24,24 @@
 //! `Lanes<4>` path on hosts with a native tier, and the threaded tape
 //! beating the interpreter at scalar width. Results (median ns per
 //! state), the speedup ratios, and the host provenance block are written
-//! to `BENCH_6.json` at the repository root — the CI artifact gated by
-//! `bench_guard`. Set `BENCH_QUICK=1` for a fast CI run.
+//! to `BENCH_6.json` at the repository root (override with `BENCH_OUT`;
+//! CI's traced re-run writes `BENCH_6.traced.json`) — the CI artifact
+//! gated by `analyse`/`bench_guard`. `BENCH_QUICK=1` shrinks the run for
+//! CI and `BENCH_TRIALS=N` repeats it for the confidence-interval gate;
+//! see [`robo_bench::harness`].
 
-use robo_bench::report::{median, speedup, BenchReport, HostInfo};
+use robo_bench::harness::{self, tape_states, time_median_ns, BenchEnv};
+use robo_bench::report::{speedup, BenchReport, HostInfo};
 use robo_codegen::{generate_x_pipeline, optimize, BatchEvalWorkspace, CompiledNetlist};
 use robo_dynamics::batch::GradientState;
 use robo_dynamics::engine::{CpuAnalytic, GradientBackend, GradientBatchOutput};
-use robo_dynamics::{forward_dynamics, mass_matrix_inverse, DynamicsModel};
+use robo_dynamics::DynamicsModel;
 use robo_model::robots;
 use robo_sparsity::superposition_pattern;
 use robo_spatial::{ExecTier, Lanes};
 use std::hint::black_box;
-use std::time::Instant;
 
-fn quick() -> bool {
-    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
-}
-
-/// Median nanoseconds per item: `reps` samples, each timing one call of
-/// `f` that processes `items_per_run` items.
-fn time_median_ns(reps: usize, items_per_run: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: page in code, size workspaces
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        samples.push(start.elapsed().as_secs_f64() * 1e9 / items_per_run as f64);
-    }
-    median(&mut samples)
-}
-
-fn tape_states(count: usize, n_inputs: usize) -> Vec<Vec<f64>> {
-    (0..count)
-        .map(|u| {
-            (0..n_inputs)
-                .map(|i| 0.17 * (u * n_inputs + i) as f64 % 1.9 - 0.95)
-                .collect()
-        })
-        .collect()
-}
-
-fn main() {
-    let quick = quick();
-    let reps = if quick { 15 } else { 120 };
-    let tape_batch = if quick { 64 } else { 512 };
-    let grad_batch = if quick { 12 } else { 48 };
+fn run_once(env: &BenchEnv) -> BenchReport {
     let tier = ExecTier::detect();
     let mut report = BenchReport::new();
     report.set_host(HostInfo::detect());
@@ -78,19 +50,19 @@ fn main() {
     let sup = superposition_pattern(&robot);
     let tape = CompiledNetlist::<f64>::compile(&optimize(&generate_x_pipeline(&robot, sup)));
     let n_out = tape.num_outputs();
-    let states = tape_states(tape_batch, tape.input_names().len());
+    let states = tape_states(env.tape_batch, tape.input_names().len());
     let state_refs: Vec<&[f64]> = states.iter().map(|s| s.as_slice()).collect();
 
     // --- Threaded tape vs match interpreter, scalar width ---------------
     let mut regs = vec![0.0_f64; tape.num_regs()];
     let mut out_one = vec![0.0_f64; n_out];
-    let tape_interp = time_median_ns(reps, tape_batch, || {
+    let tape_interp = time_median_ns(env.reps, env.tape_batch, || {
         for s in &states {
             tape.eval_into_regs_interp(s, &mut regs, &mut out_one);
             black_box(&out_one);
         }
     });
-    let tape_threaded = time_median_ns(reps, tape_batch, || {
+    let tape_threaded = time_median_ns(env.reps, env.tape_batch, || {
         for s in &states {
             tape.eval_into_regs(s, &mut regs, &mut out_one);
             black_box(&out_one);
@@ -99,47 +71,36 @@ fn main() {
 
     // --- Portable Lanes<4> vs native-tier SoA sweep ----------------------
     let mut portable_ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&tape);
-    let mut out_flat = vec![0.0_f64; tape_batch * n_out];
-    let tape_portable = time_median_ns(reps, tape_batch, || {
+    let mut out_flat = vec![0.0_f64; env.tape_batch * n_out];
+    let tape_portable = time_median_ns(env.reps, env.tape_batch, || {
         tape.eval_batch_into(&states, &mut portable_ws, &mut out_flat);
         black_box(&out_flat);
     });
     let mut tiered_ws = tape.tiered_workspace(tier);
     let lane_name = tiered_ws.lane_name();
-    let tape_native = time_median_ns(reps, tape_batch, || {
+    let tape_native = time_median_ns(env.reps, env.tape_batch, || {
         tiered_ws.eval_batch_into(&tape, &state_refs, &mut out_flat);
         black_box(&out_flat);
     });
 
     // --- Full gradient kernel: portable tier vs native tier -------------
     let model = std::sync::Arc::new(DynamicsModel::<f64>::new(&robot));
-    let n = model.dof();
-    let cases: Vec<_> = (0..grad_batch)
-        .map(|k| {
-            let q: Vec<f64> = (0..n).map(|i| 0.1 * (i + k) as f64 % 1.3 - 0.4).collect();
-            let qd: Vec<f64> = (0..n).map(|i| 0.05 * i as f64 - 0.02 * k as f64).collect();
-            let tau = vec![0.5; n];
-            let qdd = forward_dynamics(&model, &q, &qd, &tau).expect("valid case");
-            let minv = mass_matrix_inverse(&model, &q).expect("valid case");
-            (q, qd, qdd, minv)
-        })
-        .collect();
+    let cases = harness::gradient_cases(&model, env.grad_batch);
     let grad_states: Vec<GradientState<'_, f64>> = cases
         .iter()
         .map(|(q, qd, qdd, minv)| GradientState { q, qd, qdd, minv })
         .collect();
-    let grad_reps = reps.min(if quick { 10 } else { 60 });
 
     let mut cpu_portable = CpuAnalytic::<f64>::with_model_tier(model.clone(), ExecTier::Portable);
     let mut cpu_native = CpuAnalytic::<f64>::with_model_tier(model.clone(), tier);
     let mut batch_out = GradientBatchOutput::new();
-    let grad_portable = time_median_ns(grad_reps, grad_batch, || {
+    let grad_portable = time_median_ns(env.grad_reps, env.grad_batch, || {
         cpu_portable
             .gradient_batch_into(&grad_states, &mut batch_out)
             .expect("dimensions match");
         black_box(&batch_out);
     });
-    let grad_native = time_median_ns(grad_reps, grad_batch, || {
+    let grad_native = time_median_ns(env.grad_reps, env.grad_batch, || {
         cpu_native
             .gradient_batch_into(&grad_states, &mut batch_out)
             .expect("dimensions match");
@@ -175,8 +136,10 @@ fn main() {
         let ratio = report.speedup_of(name).expect("just recorded");
         println!("tier_throughput/{name:<22} speedup: {}", speedup(ratio));
     }
+    report
+}
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json");
-    report.write_json(&path).expect("write BENCH_6.json");
-    println!("wrote {}", path.display());
+fn main() {
+    let default = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json");
+    harness::run_trials(&default, run_once);
 }

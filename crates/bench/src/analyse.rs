@@ -1,0 +1,544 @@
+//! Statistics for the perf-study harness: per-key medians with bootstrap
+//! confidence intervals over N trials, report tables (text + markdown),
+//! and the CI-aware regression gate that subsumes `bench_guard`'s fixed
+//! tolerance band.
+//!
+//! Two input kinds feed the `analyse` binary:
+//!
+//! * [`BenchReport`] JSON artifacts (`BENCH_*.json`, one per trial) — the
+//!   per-bench medians and machine-relative speedup ratios;
+//! * Chrome-trace JSON files written by `robo-trace` — every span
+//!   instance becomes a duration sample for its span kind.
+//!
+//! The gate compares speedup ratios (and, on request, medians — only
+//! meaningful same-machine) against a baseline report. With at least
+//! [`GateConfig::DEFAULT_MIN_TRIALS`] samples per key it uses an
+//! overlapping-interval rule: the key regresses only when its whole
+//! bootstrap confidence interval falls below the baseline (with a small
+//! [`GateConfig::ci_slack`] for day-to-day machine drift). With fewer
+//! samples it falls back to the single-sample
+//! [`GuardConfig`] tolerance band
+//! (default 30%) — wide because a lone sample carries no spread
+//! information. The 1.0 "the optimized path must stay a win" floor from
+//! `bench_guard` gates in both modes.
+
+use crate::regression::GuardConfig;
+use crate::report::{median, BenchReport, Table};
+use robo_trace::Trace;
+
+/// Summary of one sample set: the median and a bootstrap percentile
+/// confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample count.
+    pub n: usize,
+    /// Sample median.
+    pub median: f64,
+    /// Lower edge of the 95% bootstrap CI (equals the median for n = 1).
+    pub lo: f64,
+    /// Upper edge of the 95% bootstrap CI.
+    pub hi: f64,
+}
+
+/// Bootstrap resamples drawn per CI. 200 keeps the percentile edges
+/// stable to well under the jitter the gate tolerates.
+const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// SplitMix64: a tiny deterministic generator (fixed seed, so analyse
+/// output is reproducible run to run — the workspace has no rand crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Stats {
+    /// Computes the median and a 95% bootstrap percentile CI of the
+    /// medians of `BOOTSTRAP_RESAMPLES` (200) resamples.
+    ///
+    /// A single sample gets a degenerate interval (`lo == hi == median`):
+    /// one observation carries no spread information, which is exactly
+    /// why the gate falls back to the tolerance band there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "stats of no samples");
+        let mut sorted = samples.to_vec();
+        let med = median(&mut sorted);
+        if samples.len() == 1 {
+            return Self {
+                n: 1,
+                median: med,
+                lo: med,
+                hi: med,
+            };
+        }
+        let mut rng = 0x5EED_BEEF_CAFE_F00D_u64;
+        let mut meds = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+        let mut resample = vec![0.0; samples.len()];
+        for _ in 0..BOOTSTRAP_RESAMPLES {
+            for slot in resample.iter_mut() {
+                *slot = samples[(splitmix64(&mut rng) % samples.len() as u64) as usize];
+            }
+            meds.push(median(&mut resample));
+        }
+        meds.sort_by(|a, b| a.partial_cmp(b).expect("comparable samples"));
+        // 95% percentile interval: the 2.5th and 97.5th percentiles.
+        let lo = meds[(BOOTSTRAP_RESAMPLES as f64 * 0.025) as usize];
+        let hi = meds[((BOOTSTRAP_RESAMPLES as f64 * 0.975) as usize).min(meds.len() - 1)];
+        Self {
+            n: samples.len(),
+            median: med,
+            lo,
+            hi,
+        }
+    }
+
+    fn interval(&self) -> String {
+        if self.n == 1 {
+            "—".to_owned()
+        } else {
+            format!("[{:.3}, {:.3}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Per-key sample sets accumulated across trial files.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedSamples {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl KeyedSamples {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation for `key` (insertion order of first
+    /// appearance is preserved).
+    pub fn push(&mut self, key: &str, value: f64) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => v.push(value),
+            None => self.entries.push((key.to_owned(), vec![value])),
+        }
+    }
+
+    /// The samples recorded for `key`.
+    pub fn get(&self, key: &str) -> Option<&[f64]> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// All keys with their [`Stats`], in first-appearance order.
+    pub fn stats(&self) -> Vec<(String, Stats)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), Stats::from_samples(v)))
+            .collect()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Splits N trial reports into per-key median and speedup sample sets.
+pub fn bench_samples(trials: &[BenchReport]) -> (KeyedSamples, KeyedSamples) {
+    let mut medians = KeyedSamples::new();
+    let mut speedups = KeyedSamples::new();
+    for r in trials {
+        for (k, v) in r.medians() {
+            medians.push(k, *v);
+        }
+        for (k, v) in r.speedups() {
+            speedups.push(k, *v);
+        }
+    }
+    (medians, speedups)
+}
+
+/// Flattens traces into per-span-kind duration samples (µs): every span
+/// instance across every file is one sample.
+pub fn trace_samples(traces: &[Trace]) -> KeyedSamples {
+    let mut out = KeyedSamples::new();
+    for t in traces {
+        for (name, durs) in t.durations_us_by_name() {
+            for d in durs {
+                out.push(&name, d);
+            }
+        }
+    }
+    out
+}
+
+/// Gate policy: how current trials compare against the committed
+/// baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Single-sample fallback band (and the 1.0 floor rule), identical to
+    /// `bench_guard`'s policy.
+    pub band: GuardConfig,
+    /// Relative slack under the baseline the whole CI must clear before a
+    /// key counts as regressed (machine drift allowance). Much tighter
+    /// than the 30% band — the spread information is in the interval.
+    pub ci_slack: f64,
+    /// Minimum samples per key before the interval rule applies.
+    pub min_trials: usize,
+}
+
+impl GateConfig {
+    /// Default CI slack: 10%.
+    pub const DEFAULT_CI_SLACK: f64 = 0.10;
+
+    /// Default trials needed for the interval rule (the CI bench jobs run
+    /// exactly this many).
+    pub const DEFAULT_MIN_TRIALS: usize = 3;
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            band: GuardConfig::default(),
+            ci_slack: Self::DEFAULT_CI_SLACK,
+            min_trials: Self::DEFAULT_MIN_TRIALS,
+        }
+    }
+}
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Speedup ratios: bigger is better, regressions fall below baseline.
+    HigherIsBetter,
+    /// Median times: smaller is better, regressions rise above baseline.
+    LowerIsBetter,
+}
+
+fn gate_key(
+    name: &str,
+    base: f64,
+    samples: &[f64],
+    direction: Direction,
+    config: GateConfig,
+    failures: &mut Vec<String>,
+) {
+    let stats = Stats::from_samples(samples);
+    let ci_mode = samples.len() >= config.min_trials;
+    let (tol, probe) = if ci_mode {
+        // Overlapping-interval rule: only regressed when the *entire*
+        // CI clears the baseline in the bad direction.
+        let probe = match direction {
+            Direction::HigherIsBetter => stats.hi,
+            Direction::LowerIsBetter => stats.lo,
+        };
+        (config.ci_slack, probe)
+    } else {
+        (config.band.speedup_tolerance, stats.median)
+    };
+    let mode = if ci_mode {
+        format!("95% CI {} of {} trials", stats.interval(), stats.n)
+    } else {
+        format!("{} trial(s), {:.0}% band", stats.n, tol * 100.0)
+    };
+    match direction {
+        Direction::HigherIsBetter => {
+            let allowed = base * (1.0 - tol);
+            if probe < allowed {
+                failures.push(format!(
+                    "speedup `{name}` regressed: median {:.3}x vs baseline {base:.3}x \
+                     (allowed ≥ {allowed:.3}x; {mode})",
+                    stats.median
+                ));
+            } else if base >= config.band.speedup_floor && stats.median < config.band.speedup_floor
+            {
+                failures.push(format!(
+                    "speedup `{name}` fell below the floor: median {:.3}x < {:.3}x \
+                     (baseline {base:.3}x was a win; the optimized path lost to its fallback)",
+                    stats.median, config.band.speedup_floor
+                ));
+            }
+        }
+        Direction::LowerIsBetter => {
+            let allowed = base * (1.0 + tol);
+            if probe > allowed {
+                failures.push(format!(
+                    "median `{name}` regressed: {:.1} ns vs baseline {base:.1} ns \
+                     (allowed ≤ {allowed:.1} ns; {mode})",
+                    stats.median
+                ));
+            }
+        }
+    }
+}
+
+/// Gates current trial speedups against the baseline report's ratios.
+///
+/// Only keys present in both the baseline and at least one trial gate —
+/// adding or renaming benches never trips the gate. Zero-valued baseline
+/// entries are skipped (a zero-time span yields meaningless ratios).
+pub fn gate_speedups(
+    baseline: &BenchReport,
+    trials: &[BenchReport],
+    config: GateConfig,
+) -> Vec<String> {
+    let (_, speedups) = bench_samples(trials);
+    let mut failures = Vec::new();
+    for (name, base) in baseline.speedups() {
+        if *base == 0.0 {
+            continue;
+        }
+        if let Some(samples) = speedups.get(name) {
+            gate_key(
+                name,
+                *base,
+                samples,
+                Direction::HigherIsBetter,
+                config,
+                &mut failures,
+            );
+        }
+    }
+    failures
+}
+
+/// Gates current trial medians (nanoseconds, lower is better) against the
+/// baseline report's medians.
+///
+/// Medians are machine-specific, so this is only meaningful when both
+/// sides ran on the same machine — the disabled-vs-absent tracing delta
+/// in CI, where baseline and current come from the same job. Zero-valued
+/// baseline medians are skipped.
+pub fn gate_medians(
+    baseline: &BenchReport,
+    trials: &[BenchReport],
+    config: GateConfig,
+) -> Vec<String> {
+    let (medians, _) = bench_samples(trials);
+    let mut failures = Vec::new();
+    for (name, base) in baseline.medians() {
+        if *base == 0.0 {
+            continue;
+        }
+        if let Some(samples) = medians.get(name) {
+            gate_key(
+                name,
+                *base,
+                samples,
+                Direction::LowerIsBetter,
+                config,
+                &mut failures,
+            );
+        }
+    }
+    failures
+}
+
+/// Renders the per-key median/CI table for N bench trial reports.
+pub fn bench_table(trials: &[BenchReport], title: &str) -> Table {
+    let (medians, speedups) = bench_samples(trials);
+    let mut t = Table::new(title).headers(["metric", "key", "trials", "median", "95% CI"]);
+    for (name, s) in medians.stats() {
+        t.row([
+            "median_ns".to_owned(),
+            name,
+            s.n.to_string(),
+            format!("{:.1}", s.median),
+            s.interval(),
+        ]);
+    }
+    for (name, s) in speedups.stats() {
+        t.row([
+            "speedup".to_owned(),
+            name,
+            s.n.to_string(),
+            format!("{:.3}x", s.median),
+            s.interval(),
+        ]);
+    }
+    t.note(format!("{} trial file(s)", trials.len()));
+    t
+}
+
+/// Renders the per-span-kind table for N trace files: instance count,
+/// total wall time, and the median/CI of individual span durations.
+pub fn trace_table(traces: &[Trace], title: &str) -> Table {
+    let samples = trace_samples(traces);
+    let mut t = Table::new(title).headers(["span", "count", "total µs", "median µs", "95% CI"]);
+    for (name, durs) in samples.entries.iter() {
+        let s = Stats::from_samples(durs);
+        let total: f64 = durs.iter().sum();
+        t.row([
+            name.clone(),
+            durs.len().to_string(),
+            format!("{total:.1}"),
+            format!("{:.3}", s.median),
+            s.interval(),
+        ]);
+    }
+    t.note(format!("{} trace file(s)", traces.len()));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_trace::SpanEvent;
+
+    fn report(medians: &[(&str, f64)], speedups: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new();
+        for (k, v) in medians {
+            r.record_median_ns(*k, *v);
+        }
+        for (k, v) in speedups {
+            r.record_speedup(*k, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn stats_on_known_distributions() {
+        // Constant data: zero spread, degenerate CI.
+        let s = Stats::from_samples(&[5.0, 5.0, 5.0, 5.0, 5.0]);
+        assert_eq!((s.median, s.lo, s.hi), (5.0, 5.0, 5.0));
+        // A symmetric set: the median is exact, the CI brackets it and
+        // stays inside the sample range.
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert!(s.lo >= 1.0 && s.lo <= s.median);
+        assert!(s.hi <= 5.0 && s.hi >= s.median);
+        // Single sample: median, degenerate interval, n = 1.
+        let s = Stats::from_samples(&[7.5]);
+        assert_eq!((s.n, s.lo, s.hi), (1, 7.5, 7.5));
+        // Zero-time spans are legal samples.
+        let s = Stats::from_samples(&[0.0, 0.0, 0.0]);
+        assert_eq!((s.median, s.lo, s.hi), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let data = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        assert_eq!(Stats::from_samples(&data), Stats::from_samples(&data));
+    }
+
+    #[test]
+    fn gate_passes_matching_trials_and_fails_injected_slowdown() {
+        let base = report(&[], &[("wide_vs_scalar", 2.0)]);
+        let good: Vec<BenchReport> = (0..3)
+            .map(|i| report(&[], &[("wide_vs_scalar", 1.95 + 0.05 * i as f64)]))
+            .collect();
+        assert!(gate_speedups(&base, &good, GateConfig::default()).is_empty());
+
+        // The injected slowdown this PR must demonstrate: every trial's
+        // ratio collapses, the whole CI sits far below baseline → exit 1.
+        let slow: Vec<BenchReport> = (0..3)
+            .map(|i| report(&[], &[("wide_vs_scalar", 0.9 + 0.01 * i as f64)]))
+            .collect();
+        let failures = gate_speedups(&base, &slow, GateConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wide_vs_scalar"));
+        assert!(failures[0].contains("regressed"));
+    }
+
+    #[test]
+    fn interval_rule_tolerates_one_noisy_trial() {
+        // Median dip below the old 30% band edge, but one good trial keeps
+        // the CI overlapping the baseline: the interval rule passes where
+        // a single-sample band check on the worst trial would fail.
+        let base = report(&[], &[("wide_vs_scalar", 2.0)]);
+        let noisy = [1.2, 1.3, 2.1].map(|v| report(&[], &[("wide_vs_scalar", v)]));
+        assert!(gate_speedups(&base, &noisy, GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_trial_falls_back_to_the_band() {
+        let base = report(&[], &[("wide_vs_scalar", 2.0)]);
+        // 25% drop: inside the 30% band → pass.
+        let ok = [report(&[], &[("wide_vs_scalar", 1.5)])];
+        assert!(gate_speedups(&base, &ok, GateConfig::default()).is_empty());
+        // 40% drop: outside the band → fail, message names the band mode.
+        let bad = [report(&[], &[("wide_vs_scalar", 1.2)])];
+        let failures = gate_speedups(&base, &bad, GateConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("band"));
+    }
+
+    #[test]
+    fn floor_rule_gates_in_interval_mode_too() {
+        let base = report(&[], &[("wide_vs_scalar", 1.1)]);
+        // Drops under 1.0 but within 10% slack of baseline at the CI edge:
+        // the floor still catches the win turning into a loss.
+        let lost = [0.98, 0.99, 1.0].map(|v| report(&[], &[("wide_vs_scalar", v)]));
+        let failures = gate_speedups(&base, &lost, GateConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("floor"));
+    }
+
+    #[test]
+    fn missing_and_zero_keys_never_gate() {
+        let base = report(
+            &[("zero_bench", 0.0)],
+            &[("removed_bench", 9.0), ("zero_ratio", 0.0)],
+        );
+        let cur = [report(&[("other", 5.0)], &[("brand_new", 0.1)])];
+        assert!(gate_speedups(&base, &cur, GateConfig::default()).is_empty());
+        assert!(gate_medians(&base, &cur, GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn median_gate_is_lower_is_better() {
+        let base = report(&[("tape_native", 100.0)], &[]);
+        let faster = [90.0, 95.0, 92.0].map(|v| report(&[("tape_native", v)], &[]));
+        assert!(gate_medians(&base, &faster, GateConfig::default()).is_empty());
+        let slower = [150.0, 155.0, 149.0].map(|v| report(&[("tape_native", v)], &[]));
+        let failures = gate_medians(&base, &slower, GateConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("tape_native"));
+    }
+
+    #[test]
+    fn tables_render_bench_and_trace_inputs() {
+        let trials = [
+            report(&[("tape_native", 100.0)], &[("native_vs_portable4", 1.5)]),
+            report(&[("tape_native", 110.0)], &[("native_vs_portable4", 1.6)]),
+            report(&[("tape_native", 105.0)], &[("native_vs_portable4", 1.55)]),
+        ];
+        let text = bench_table(&trials, "demo").render();
+        assert!(text.contains("tape_native"));
+        assert!(text.contains("1.550x"));
+        assert!(text.contains("95% CI"));
+
+        let trace = Trace {
+            events: vec![
+                SpanEvent {
+                    name: "tape.eval".into(),
+                    cat: "tape".into(),
+                    ts_us: 0.0,
+                    dur_us: 10.0,
+                    tid: 1,
+                    items: Some(64),
+                },
+                SpanEvent {
+                    name: "tape.eval".into(),
+                    cat: "tape".into(),
+                    ts_us: 20.0,
+                    dur_us: 12.0,
+                    tid: 1,
+                    items: Some(64),
+                },
+            ],
+            threads: vec![(1, "main".into())],
+            meta: Vec::new(),
+        };
+        let text = trace_table(&[trace], "spans").render();
+        assert!(text.contains("tape.eval"));
+        assert!(text.contains("22.0"));
+    }
+}

@@ -2,24 +2,89 @@
 //!
 //! ```text
 //! bench_guard <baseline.json> <current.json> [--tolerance T]
+//! bench_guard <baseline-dir> [current-dir] [--tolerance T]
 //! ```
 //!
 //! Compares the machine-relative speedup ratios of `current` against the
 //! committed `baseline` (see `robo_bench::regression` for the policy) and
 //! exits nonzero listing every regression. Medians are printed for
 //! context but never gate — they are machine-specific.
+//!
+//! When the first path is a directory, every `bench_baseline_<id>.json`
+//! inside it is checked against `BENCH_<id>.json` in the current
+//! directory argument (default `.`) in one invocation — the shape CI
+//! uses: `bench_guard ci`.
+//!
+//! For multi-trial runs with confidence intervals, see the `analyse`
+//! binary, which subsumes this single-sample band check.
 
 use robo_bench::regression::{compare, parse_report, GuardConfig};
+use std::path::{Path, PathBuf};
 
 fn fail(msg: &str) -> ! {
     eprintln!("bench_guard: {msg}");
     std::process::exit(2);
 }
 
-fn load(path: &str) -> robo_bench::report::BenchReport {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    parse_report(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+fn load(path: &Path) -> robo_bench::report::BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    parse_report(&text).unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())))
+}
+
+/// Pairs every `bench_baseline_<id>.json` under `dir` with
+/// `<current_dir>/BENCH_<id>.json`.
+fn pair_directory(dir: &Path, current_dir: &Path) -> Vec<(PathBuf, PathBuf)> {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot read dir {}: {e}", dir.display())));
+    let mut pairs = Vec::new();
+    for entry in entries {
+        let entry = entry.unwrap_or_else(|e| fail(&format!("cannot list {}: {e}", dir.display())));
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id) = name
+            .strip_prefix("bench_baseline_")
+            .and_then(|r| r.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        pairs.push((entry.path(), current_dir.join(format!("BENCH_{id}.json"))));
+    }
+    pairs.sort();
+    if pairs.is_empty() {
+        fail(&format!(
+            "no bench_baseline_*.json files in {}",
+            dir.display()
+        ));
+    }
+    pairs
+}
+
+/// Prints the comparison and returns its regression messages.
+fn guard_pair(baseline_path: &Path, current_path: &Path, config: GuardConfig) -> Vec<String> {
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    println!(
+        "bench_guard: {} vs baseline {}",
+        current_path.display(),
+        baseline_path.display()
+    );
+    for (name, ns) in current.medians() {
+        let delta = baseline
+            .median_ns(name)
+            .map(|b| format!(" (baseline {b:.1} ns — context only, not gated)"))
+            .unwrap_or_default();
+        println!("  median  {name:<24} {ns:10.1} ns{delta}");
+    }
+    for (name, ratio) in current.speedups() {
+        let delta = baseline
+            .speedup_of(name)
+            .map(|b| format!(" (baseline {b:.3}x)"))
+            .unwrap_or_default();
+        println!("  speedup {name:<24} {ratio:10.3}x{delta}");
+    }
+    compare(&baseline, &current, config)
 }
 
 fn main() {
@@ -38,37 +103,29 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad tolerance `{t}`")));
             }
-            p => paths.push(p.to_owned()),
+            p => paths.push(PathBuf::from(p)),
         }
         i += 1;
     }
-    let [baseline_path, current_path] = paths.as_slice() else {
-        fail("usage: bench_guard <baseline.json> <current.json> [--tolerance T]");
+
+    let pairs = match paths.as_slice() {
+        [dir] if dir.is_dir() => pair_directory(dir, Path::new(".")),
+        [dir, current_dir] if dir.is_dir() => pair_directory(dir, current_dir),
+        [baseline, current] => vec![(baseline.clone(), current.clone())],
+        _ => fail(
+            "usage: bench_guard <baseline.json> <current.json> [--tolerance T]\n\
+             \x20      bench_guard <baseline-dir> [current-dir] [--tolerance T]",
+        ),
     };
 
-    let baseline = load(baseline_path);
-    let current = load(current_path);
-
-    println!("bench_guard: {current_path} vs baseline {baseline_path}");
-    for (name, ns) in current.medians() {
-        let delta = baseline
-            .median_ns(name)
-            .map(|b| format!(" (baseline {b:.1} ns — context only, not gated)"))
-            .unwrap_or_default();
-        println!("  median  {name:<24} {ns:10.1} ns{delta}");
+    let mut failures = Vec::new();
+    for (baseline_path, current_path) in &pairs {
+        failures.extend(guard_pair(baseline_path, current_path, config));
     }
-    for (name, ratio) in current.speedups() {
-        let delta = baseline
-            .speedup_of(name)
-            .map(|b| format!(" (baseline {b:.3}x)"))
-            .unwrap_or_default();
-        println!("  speedup {name:<24} {ratio:10.3}x{delta}");
-    }
-
-    let failures = compare(&baseline, &current, config);
     if failures.is_empty() {
         println!(
-            "bench_guard: ok ({:.0}% tolerance band)",
+            "bench_guard: ok — {} report(s) within the {:.0}% tolerance band",
+            pairs.len(),
             config.speedup_tolerance * 100.0
         );
     } else {

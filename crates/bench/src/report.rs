@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+pub use robo_trace::HostInfo;
+
 /// A fixed-width text table with a title and optional footnotes, printed by
 /// every experiment binary in the style of the paper's tables.
 #[derive(Debug, Clone, Default)]
@@ -87,64 +89,45 @@ impl Table {
         }
         out
     }
-}
 
-/// Host provenance for a benchmark report: what machine and compiler the
-/// numbers came from. Absolute medians are machine-specific, so the CI
-/// regression guard compares machine-relative speedup ratios — but the
-/// host block makes any cross-machine comparison explicit in the
-/// artifact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HostInfo {
-    /// CPU model string (from `/proc/cpuinfo` on Linux, else `unknown`).
-    pub cpu_model: String,
-    /// Comma-separated SIMD feature/tier summary (e.g. `sse2,avx2`).
-    pub features: String,
-    /// Available hardware parallelism (logical cores).
-    pub cores: usize,
-    /// `rustc --version` of the compiler that built the bench.
-    pub rustc: String,
-    /// The [`ExecTier`](robo_spatial::ExecTier) the host serves at.
-    pub tier: String,
-}
-
-impl HostInfo {
-    /// Probes the current host.
-    pub fn detect() -> Self {
-        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
-            .ok()
-            .and_then(|text| {
-                text.lines()
-                    .find(|l| l.starts_with("model name"))
-                    .and_then(|l| l.split(':').nth(1))
-                    .map(|m| m.trim().to_owned())
-            })
-            .unwrap_or_else(|| "unknown".to_owned());
-        let mut features = Vec::new();
-        #[cfg(target_arch = "x86_64")]
-        {
-            features.push("sse2");
-            if std::arch::is_x86_feature_detected!("avx2") {
-                features.push("avx2");
-            }
-            if std::arch::is_x86_feature_detected!("fma") {
-                // Present on the host, but never used by the kernels —
-                // two-rounding semantics are part of the bit-identity
-                // contract.
-                features.push("fma(unused)");
-            }
+    /// Renders the table as GitHub-flavoured markdown (title as a
+    /// heading, notes as trailing italic lines) — the format the CI
+    /// `analyse` report artifact uses.
+    pub fn render_markdown(&self) -> String {
+        fn cell(s: &str) -> String {
+            s.replace('|', "\\|")
         }
-        #[cfg(target_arch = "aarch64")]
-        {
-            features.push("neon");
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(" | ")
+            );
         }
-        Self {
-            cpu_model,
-            features: features.join(","),
-            cores: std::thread::available_parallelism().map_or(1, usize::from),
-            rustc: env!("ROBO_BENCH_RUSTC").to_owned(),
-            tier: robo_spatial::ExecTier::detect().to_string(),
+        for note in &self.notes {
+            let _ = writeln!(out, "\n*{note}*");
         }
+        out
     }
 }
 
@@ -313,6 +296,19 @@ mod tests {
     }
 
     #[test]
+    fn renders_markdown_table() {
+        let mut t = Table::new("demo").headers(["a", "b|c"]);
+        t.row(["1", "2"]);
+        t.note("a note");
+        let md = t.render_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b\\|c |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("*a note*"));
+    }
+
+    #[test]
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         let mut t = Table::new("x").headers(["a"]);
@@ -367,21 +363,6 @@ mod tests {
         // The medians/speedups sections keep their shape alongside host.
         assert!(json.contains("\"medians_ns\""));
         assert!(json.contains("\"speedups\""));
-    }
-
-    #[test]
-    fn host_detection_populates_every_field() {
-        let h = HostInfo::detect();
-        assert!(!h.cpu_model.is_empty());
-        assert!(h.cores >= 1);
-        assert!(h.rustc.contains("rustc") || h.rustc == "unknown");
-        assert!(
-            "auto"
-                .parse::<robo_spatial::ExecTier>()
-                .unwrap()
-                .to_string()
-                == h.tier
-        );
     }
 
     #[test]

@@ -515,6 +515,7 @@ impl<S: Scalar> CompiledNetlist<S> {
     pub fn compile(netlist: &Netlist) -> Self {
         let nodes = netlist.nodes();
         assert!(nodes.len() < u32::MAX as usize, "netlist too large");
+        let _span = robo_trace::span_items("tape.compile", nodes.len());
 
         // Input slot interning: first-appearance order, repeated names
         // share a slot.
@@ -571,6 +572,7 @@ impl<S: Scalar> CompiledNetlist<S> {
         // Tape emission with register recycling: input values occupy the
         // first `n_inputs` registers (reloaded on every evaluation), and a
         // slot returns to the free list at its holder's last use.
+        let lower_span = robo_trace::span_items("tape.lower", nodes.len());
         let mut alloc = RegAlloc {
             free: Vec::new(),
             next: n_inputs as u32,
@@ -650,10 +652,16 @@ impl<S: Scalar> CompiledNetlist<S> {
             .map(|(name, id)| (name.clone(), reg_of[*id]))
             .collect();
 
-        let fusion = fuse_tape(&mut tape, &outputs);
+        drop(lower_span);
+        let fusion = {
+            let _span = robo_trace::span_items("tape.fuse", tape.len());
+            fuse_tape(&mut tape, &outputs)
+        };
         let num_regs = alloc.next as usize;
-        let threaded =
-            ThreadedTape::build(&decode_tape(&schedule_tape(&tape)), num_regs, consts.len());
+        let threaded = {
+            let _span = robo_trace::span_items("tape.schedule", tape.len());
+            ThreadedTape::build(&decode_tape(&schedule_tape(&tape)), num_regs, consts.len())
+        };
 
         Self {
             name: netlist.name().to_owned(),
@@ -875,6 +883,7 @@ impl<S: Scalar> CompiledNetlist<S> {
         ws: &mut BatchEvalWorkspace<V>,
         out: &mut [S],
     ) {
+        let _span = robo_trace::span_items("tape.eval", states.len());
         let w = V::WIDTH;
         let n_in = self.input_names.len();
         let n_out = self.outputs.len();

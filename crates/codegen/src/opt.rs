@@ -292,6 +292,7 @@ pub fn optimize(netlist: &Netlist) -> Netlist {
 pub fn optimize_with_report(netlist: &Netlist) -> (Netlist, OptReport) {
     let before = netlist.stats();
     let nodes_before = netlist.nodes().len();
+    let _span = robo_trace::span_items("netlist.optimize", nodes_before);
     let mut current = pass(netlist);
     // A single forward pass resolves almost every cascade (rules inspect
     // already-rewritten operands); iterate defensively to a fixpoint.

@@ -174,6 +174,7 @@ impl ThreadPool {
         if count == 0 {
             return Vec::new();
         }
+        let _span = robo_trace::span_items("batch.fanout", count);
         let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
         let next = AtomicUsize::new(0);
         let done = (Mutex::new(0usize), Condvar::new());
@@ -188,6 +189,7 @@ impl ThreadPool {
                 // any borrow it holds) is torn down before completion is
                 // signalled and the dispatcher's stack frame can unwind.
                 let _guard = DoneGuard(done);
+                let _span = robo_trace::span("batch.worker");
                 let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

@@ -553,6 +553,7 @@ impl<V: WideScalar> WideGradPath for WideGrad<V> {
         let n = self.model.dof();
         let w = V::WIDTH;
         debug_assert_eq!(states.len(), w, "run_group takes one full lane group");
+        let marshal = robo_trace::span_items("lane.marshal", w);
         for (l, s) in states.iter().enumerate() {
             for k in 0..n {
                 self.q_w[k].set_lane(l, V::Elem::from_f64(s.q[k]));
@@ -565,6 +566,8 @@ impl<V: WideScalar> WideGradPath for WideGrad<V> {
                 }
             }
         }
+        drop(marshal);
+        let kernel = robo_trace::span_items("grad.wide", w);
         dynamics_gradient_into(
             &self.model,
             &self.q_w,
@@ -573,6 +576,8 @@ impl<V: WideScalar> WideGradPath for WideGrad<V> {
             &self.minv_w,
             &mut self.ws,
         );
+        drop(kernel);
+        let _scatter = robo_trace::span_items("lane.scatter", w);
         let n2 = n * n;
         for l in 0..w {
             let dst = (base + l) * n2;
@@ -783,6 +788,7 @@ impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
         states: &[GradientState<'_, f64>],
         out: &mut GradientBatchOutput,
     ) -> Result<(), EngineError> {
+        let _span = robo_trace::span_items("grad.cpu.batch", states.len());
         let n = self.dof();
         for s in states {
             check_dims(n, s.q, s.qd, s.qdd, s.minv)?;

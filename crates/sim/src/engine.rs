@@ -108,6 +108,7 @@ impl<V: WideScalar> WideSimPath<V::Elem> for WideSim<V> {
         let n = self.sim.dof();
         let w = V::WIDTH;
         debug_assert_eq!(states.len(), w, "run_group_grad takes one full lane group");
+        let marshal = robo_trace::span_items("lane.marshal", w);
         for (l, s) in states.iter().enumerate() {
             for k in 0..n {
                 self.q_w[k].set_lane(l, V::Elem::from_f64(s.q[k]));
@@ -120,7 +121,11 @@ impl<V: WideScalar> WideSimPath<V::Elem> for WideSim<V> {
                 }
             }
         }
+        drop(marshal);
+        let kernel = robo_trace::span_items("accel.wide", w);
         self.run_staged();
+        drop(kernel);
+        let _scatter = robo_trace::span_items("lane.scatter", w);
         let n2 = n * n;
         for l in 0..w {
             let dst = (base + l) * n2;
@@ -451,6 +456,7 @@ impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
         states: &[GradientState<'_, f64>],
         out: &mut GradientBatchOutput,
     ) -> Result<(), EngineError> {
+        let _span = robo_trace::span_items("grad.accel.batch", states.len());
         let n = self.dof();
         for s in states {
             check_dims(n, s.q, s.qd, s.qdd, s.minv)?;
@@ -603,13 +609,28 @@ impl RobotPlan {
     ///
     /// Panics if the robot has more than 64 links.
     pub fn with_tier(robot: &RobotModel, tier: ExecTier) -> Self {
+        let _span = robo_trace::span("plan.build");
         let tier = tier.clamp_to_host();
-        let sim = Arc::new(AcceleratorSim::new(robot));
-        let wide_proto = make_wide_sim_path(&sim, tier);
+        let sim = {
+            let _span = robo_trace::span("plan.customize");
+            Arc::new(AcceleratorSim::new(robot))
+        };
+        let wide_proto = {
+            let _span = robo_trace::span("plan.widen");
+            make_wide_sim_path(&sim, tier)
+        };
+        let model = {
+            let _span = robo_trace::span("plan.model");
+            Arc::new(DynamicsModel::new(robot))
+        };
+        let mask = {
+            let _span = robo_trace::span("plan.sparsity");
+            superposition_pattern(robot)
+        };
         Self {
             robot: robot.clone(),
-            model: Arc::new(DynamicsModel::new(robot)),
-            mask: superposition_pattern(robot),
+            model,
+            mask,
             sim,
             tier,
             wide_proto,

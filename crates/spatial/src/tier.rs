@@ -117,6 +117,21 @@ impl ExecTier {
         ExecTier::Portable
     }
 
+    /// The `f64` SIMD lane width this tier serves wide batches at: the
+    /// width [`Scalar::dispatch_wide`](crate::Scalar::dispatch_wide)
+    /// selects for `f64` (AVX2 `F64x4` → 4, SSE2/NEON 128-bit → 2, the
+    /// portable fallback → [`SERVE_LANES`](crate::SERVE_LANES)).
+    ///
+    /// Recorded as trace/report lane metadata so artifacts state the
+    /// width their throughput numbers were measured at.
+    pub fn f64_lane_width(self) -> usize {
+        match self {
+            ExecTier::Portable => crate::SERVE_LANES,
+            ExecTier::Sse2 | ExecTier::Neon => 2,
+            ExecTier::Avx2 => 4,
+        }
+    }
+
     /// The lower-case tier name used by the CLI and bench reports.
     pub fn as_str(self) -> &'static str {
         match self {

@@ -1,5 +1,5 @@
-//! Captures the compiler version at build time so bench reports can
-//! record it (`HostInfo::detect` reads `ROBO_BENCH_RUSTC`).
+//! Captures the compiler version at build time so trace and bench
+//! artifacts can record it (`HostInfo::detect` reads `ROBO_TRACE_RUSTC`).
 
 fn main() {
     let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
@@ -11,5 +11,5 @@ fn main() {
         .map(|s| s.trim().to_owned())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_owned());
-    println!("cargo:rustc-env=ROBO_BENCH_RUSTC={version}");
+    println!("cargo:rustc-env=ROBO_TRACE_RUSTC={version}");
 }

@@ -1,0 +1,373 @@
+//! The Chrome-trace JSON model: an in-memory [`Trace`] of completed
+//! spans, a writer that emits the Trace Event Format consumed by
+//! Perfetto / `chrome://tracing`, and a parser for the exact shape the
+//! writer emits (the workspace builds fully offline, so there is no
+//! serde — both sides are hand-rolled, one event per line).
+//!
+//! This module is compiled unconditionally: reading and analysing trace
+//! files never requires the `enabled` recording feature.
+
+use std::collections::BTreeMap;
+
+/// One completed span: a Chrome-trace `"ph": "X"` (complete) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// The span kind, e.g. `plan.build` or `lane.marshal`.
+    pub name: String,
+    /// Category — the span name's prefix before the first `.`, used by
+    /// trace viewers for colour grouping.
+    pub cat: String,
+    /// Start timestamp in microseconds since the collector was installed.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// The recording thread's small dense id (see the `threads` table on
+    /// [`Trace`] for its name).
+    pub tid: u64,
+    /// Item count the span processed (batch size, lane group width, …),
+    /// emitted as `args.items` so per-item costs can be recovered.
+    pub items: Option<u64>,
+}
+
+/// A completed trace: span events plus thread and host metadata, ready to
+/// serialize as Chrome-trace JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All completed spans, in completion order.
+    pub events: Vec<SpanEvent>,
+    /// `tid → thread name` for every thread that recorded a span.
+    pub threads: Vec<(u64, String)>,
+    /// Free-form provenance key/value pairs, serialized under the
+    /// top-level `otherData` object (host CPU, tier, compiler, …).
+    pub meta: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extracts the string value of `"key": "…"` from a single-line JSON
+/// object, starting the search at byte `from`.
+fn str_field(line: &str, key: &str, from: usize) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line[from..].find(&pat)? + from + pat.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'"' => return Some(unescape(&rest[..end])),
+            b'\\' => end += 2,
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": N` from a single-line JSON
+/// object.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distinct span kinds present, sorted.
+    pub fn span_kinds(&self) -> Vec<String> {
+        let mut kinds: Vec<String> = self.events.iter().map(|e| e.name.clone()).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Per-kind span durations in microseconds, sorted by kind name — the
+    /// sample sets the `analyse` statistics run on.
+    pub fn durations_us_by_name(&self) -> Vec<(String, Vec<f64>)> {
+        let mut by_name: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for e in &self.events {
+            by_name.entry(&e.name).or_default().push(e.dur_us);
+        }
+        by_name
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect()
+    }
+
+    /// Renders the trace as Chrome-trace JSON (the "JSON object format":
+    /// a `traceEvents` array plus `otherData` provenance), one event per
+    /// line so the parser and line-based tools stay simple.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!("{sep}  \"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("\n},\n\"traceEvents\": [\n");
+        let mut lines = Vec::with_capacity(self.events.len() + self.threads.len() + 1);
+        lines.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"robomorphic\"}}"
+                .to_owned(),
+        );
+        for (tid, name) in &self.threads {
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for e in &self.events {
+            let args = match e.items {
+                Some(n) => format!(",\"args\":{{\"items\":{n}}}"),
+                None => String::new(),
+            };
+            lines.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{}{args}}}",
+                escape(&e.name),
+                escape(&e.cat),
+                e.ts_us,
+                e.dur_us,
+                e.tid,
+            ));
+        }
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]\n}\n");
+        out
+    }
+
+    /// Writes the Chrome-trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn write_chrome(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Parses a [`Trace::to_chrome_json`] artifact back into a trace.
+    ///
+    /// Validates the required Chrome-trace fields on every event: a
+    /// complete (`"ph":"X"`) event must carry `name`, `ts`, `dur`, and
+    /// `tid`; metadata (`"ph":"M"`) events are consumed for thread names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn parse_chrome(json: &str) -> Result<Trace, String> {
+        let mut trace = Trace::new();
+        let mut in_meta = false;
+        let mut saw_events = false;
+        for raw in json.lines() {
+            let line = raw.trim().trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("\"otherData\"") {
+                in_meta = !line.contains('}');
+                continue;
+            }
+            if line.starts_with("\"traceEvents\"") {
+                in_meta = false;
+                saw_events = true;
+                continue;
+            }
+            if in_meta {
+                if line == "}" {
+                    in_meta = false;
+                    continue;
+                }
+                let rest = line
+                    .strip_prefix('"')
+                    .ok_or_else(|| format!("malformed otherData entry `{line}`"))?;
+                let (key, after) = rest
+                    .split_once("\":")
+                    .ok_or_else(|| format!("malformed otherData entry `{line}`"))?;
+                let value = after.trim().trim_matches('"');
+                trace.meta.push((unescape(key), unescape(value)));
+                continue;
+            }
+            if line == "{" || line == "}" || !line.starts_with('{') {
+                continue; // structural lines: outer braces, closing bracket
+            }
+            let ph = str_field(line, "ph", 0)
+                .ok_or_else(|| format!("event without a `ph` phase: `{line}`"))?;
+            match ph.as_str() {
+                "M" => {
+                    if str_field(line, "name", 0).as_deref() == Some("thread_name") {
+                        let tid = num_field(line, "tid")
+                            .ok_or_else(|| format!("thread_name without tid: `{line}`"))?
+                            as u64;
+                        let args_at = line.find("\"args\"").unwrap_or(0);
+                        let name = str_field(line, "name", args_at)
+                            .ok_or_else(|| format!("thread_name without args.name: `{line}`"))?;
+                        trace.threads.push((tid, name));
+                    }
+                }
+                "X" => {
+                    let name = str_field(line, "name", 0)
+                        .ok_or_else(|| format!("span without a name: `{line}`"))?;
+                    let ts_us =
+                        num_field(line, "ts").ok_or_else(|| format!("span `{name}` without ts"))?;
+                    let dur_us = num_field(line, "dur")
+                        .ok_or_else(|| format!("span `{name}` without dur"))?;
+                    let tid = num_field(line, "tid")
+                        .ok_or_else(|| format!("span `{name}` without tid"))?
+                        as u64;
+                    let cat = str_field(line, "cat", 0).unwrap_or_default();
+                    let items = line
+                        .find("\"args\"")
+                        .and_then(|at| num_field(&line[at..], "items"))
+                        .map(|n| n as u64);
+                    trace.events.push(SpanEvent {
+                        name,
+                        cat,
+                        ts_us,
+                        dur_us,
+                        tid,
+                        items,
+                    });
+                }
+                other => return Err(format!("unsupported event phase `{other}`")),
+            }
+        }
+        if !saw_events {
+            return Err("not a Chrome-trace file: no `traceEvents` array".to_owned());
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                SpanEvent {
+                    name: "plan.build".into(),
+                    cat: "plan".into(),
+                    ts_us: 1.5,
+                    dur_us: 250.125,
+                    tid: 1,
+                    items: None,
+                },
+                SpanEvent {
+                    name: "tape.eval".into(),
+                    cat: "tape".into(),
+                    ts_us: 300.0,
+                    dur_us: 42.0,
+                    tid: 2,
+                    items: Some(64),
+                },
+                SpanEvent {
+                    name: "tape.eval".into(),
+                    cat: "tape".into(),
+                    ts_us: 350.0,
+                    dur_us: 40.0,
+                    tid: 2,
+                    items: Some(64),
+                },
+            ],
+            threads: vec![(1, "main".into()), (2, "worker-1".into())],
+            meta: vec![("tier".into(), "avx2".into())],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_chrome_json() {
+        let t = sample();
+        let parsed = Trace::parse_chrome(&t.to_chrome_json()).expect("parses own output");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn span_kinds_dedupe_and_sort() {
+        assert_eq!(sample().span_kinds(), vec!["plan.build", "tape.eval"]);
+    }
+
+    #[test]
+    fn durations_group_by_name() {
+        let groups = sample().durations_us_by_name();
+        assert_eq!(groups[0].0, "plan.build");
+        assert_eq!(groups[1].1, vec![42.0, 40.0]);
+    }
+
+    #[test]
+    fn escapes_names_and_meta() {
+        let mut t = Trace::new();
+        t.meta.push(("cpu".into(), "odd \"quoted\\\" model".into()));
+        t.events.push(SpanEvent {
+            name: "weird\"span".into(),
+            cat: "weird\"span".into(),
+            ts_us: 0.0,
+            dur_us: 1.0,
+            tid: 0,
+            items: None,
+        });
+        let parsed = Trace::parse_chrome(&t.to_chrome_json()).expect("escaped round trip");
+        assert_eq!(parsed.events[0].name, "weird\"span");
+        assert_eq!(parsed.meta[0].1, "odd \"quoted\\\" model");
+    }
+
+    #[test]
+    fn parse_rejects_non_traces() {
+        assert!(Trace::parse_chrome("{}").is_err());
+        assert!(Trace::parse_chrome("\"traceEvents\": [\n{\"nope\":1}\n]").is_err());
+    }
+
+    #[test]
+    fn zero_duration_spans_survive() {
+        let mut t = Trace::new();
+        t.events.push(SpanEvent {
+            name: "tape.fuse".into(),
+            cat: "tape".into(),
+            ts_us: 10.0,
+            dur_us: 0.0,
+            tid: 1,
+            items: None,
+        });
+        let parsed = Trace::parse_chrome(&t.to_chrome_json()).unwrap();
+        assert_eq!(parsed.events[0].dur_us, 0.0);
+    }
+}

@@ -204,7 +204,10 @@ pub fn solve_with_backend(
     let mut reg = opts.initial_reg;
 
     for _ in 0..opts.iterations {
-        let Some((ks, kmats)) = backward_pass(task, &model, backend, &rollout.xs, &us, reg) else {
+        let bwd_span = robo_trace::span_items("ilqr.backward", us.len());
+        let bwd = backward_pass(task, &model, backend, &rollout.xs, &us, reg);
+        drop(bwd_span);
+        let Some((ks, kmats)) = bwd else {
             // Backward pass failed (e.g. fixed-point garbage made Q_uu
             // indefinite): raise regularization and record a flat step.
             reg *= 10.0;
@@ -213,6 +216,7 @@ pub fn solve_with_backend(
         };
 
         // Backtracking line search on the feedback rollout.
+        let _fwd_span = robo_trace::span_items("ilqr.forward", us.len());
         let mut improved = false;
         let mut alpha = 1.0;
         for _ in 0..opts.line_search_steps {

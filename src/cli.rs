@@ -220,6 +220,61 @@ pub fn cmd_check_with(
     kind: robo_sim::BackendKind,
     tier: robo_spatial::ExecTier,
 ) -> Result<String, CliError> {
+    cmd_check_traced(source, kind, tier, None)
+}
+
+/// `robomorphic check <robot> ... --trace <out.json>` — like
+/// [`cmd_check_with`], additionally recording a `robo-trace` span trace
+/// of the whole run (plan build through gradient spot-check) and writing
+/// it as Chrome-trace JSON, viewable in Perfetto or `about:tracing`.
+///
+/// # Errors
+///
+/// Propagates loading failures; returns [`CliError::Usage`] when tracing
+/// was requested but the binary was built without the `trace` feature,
+/// and [`CliError::Io`] when the trace file cannot be written.
+pub fn cmd_check_traced(
+    source: &str,
+    kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
+    trace_out: Option<&str>,
+) -> Result<String, CliError> {
+    if trace_out.is_some() && !robo_trace::install() {
+        return Err(CliError::Usage(
+            "--trace needs the tracing collector, but this binary was built without \
+             the `trace` cargo feature (it is on by default)"
+                .to_owned(),
+        ));
+    }
+    let mut out = check_body(source, kind, tier);
+    if let Some(path) = trace_out {
+        let mut trace = robo_trace::take().expect("collector was installed above");
+        // Propagate a load failure only after uninstalling the collector.
+        let body = out?;
+        trace
+            .meta
+            .extend(robo_trace::HostInfo::detect().trace_meta());
+        trace
+            .meta
+            .push(("workload".to_owned(), format!("check {source}")));
+        trace.write_chrome(path)?;
+        let mut body = body;
+        let _ = writeln!(
+            body,
+            "  wrote trace ({} spans, {} kinds) to {path}",
+            trace.events.len(),
+            trace.span_kinds().len()
+        );
+        out = Ok(body);
+    }
+    out
+}
+
+fn check_body(
+    source: &str,
+    kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
+) -> Result<String, CliError> {
     let robot = load_robot(source)?;
     // Plan once: model, sparsity, customized design, compiled netlists —
     // all at the requested (host-clamped) execution tier.
@@ -289,7 +344,7 @@ USAGE:
     robomorphic info      <robot>                  morphology & sparsity summary
     robomorphic customize <robot> [--verilog-dir D] run the two-step methodology
     robomorphic convert   <robot> <out.robo>        normalize a description
-    robomorphic check     <robot> [--backend B] [--tier T]
+    robomorphic check     <robot> [--backend B] [--tier T] [--trace F]
                                                     validate model & dynamics
 
 <robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
@@ -303,6 +358,10 @@ fd (finite differences).
 auto (host-detected, default) | portable | sse2 | avx2 | neon. Tiers not
 supported by the host degrade gracefully; every tier is bit-identical,
 so the choice affects throughput only.
+
+--trace records a span trace of the whole check (plan build through the
+gradient spot-check) and writes it to F as Chrome-trace JSON — open it in
+Perfetto (ui.perfetto.dev) or chrome://tracing.
 "
 }
 
@@ -320,28 +379,48 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_customize(source, Some(dir))
         }
         [cmd, source, dest] if cmd == "convert" => cmd_convert(source, dest),
-        [cmd, source] if cmd == "check" => cmd_check(source),
-        [cmd, source, flag, backend] if cmd == "check" && flag == "--backend" => {
-            let kind = backend.parse().map_err(CliError::Usage)?;
-            cmd_check_with(source, kind, robo_spatial::ExecTier::detect())
-        }
-        [cmd, source, flag, tier] if cmd == "check" && flag == "--tier" => {
-            let tier = tier.parse().map_err(CliError::Usage)?;
-            cmd_check_with(source, robo_sim::BackendKind::Cpu, tier)
-        }
-        [cmd, source, f1, backend, f2, tier]
-            if cmd == "check" && f1 == "--backend" && f2 == "--tier" =>
-        {
-            let kind = backend.parse().map_err(CliError::Usage)?;
-            let tier = tier.parse().map_err(CliError::Usage)?;
-            cmd_check_with(source, kind, tier)
-        }
-        [cmd, source, f1, tier, f2, backend]
-            if cmd == "check" && f1 == "--tier" && f2 == "--backend" =>
-        {
-            let kind = backend.parse().map_err(CliError::Usage)?;
-            let tier = tier.parse().map_err(CliError::Usage)?;
-            cmd_check_with(source, kind, tier)
+        [cmd, rest @ ..] if cmd == "check" && !rest.is_empty() => {
+            let mut source: Option<&str> = None;
+            let mut kind = robo_sim::BackendKind::Cpu;
+            let mut tier = robo_spatial::ExecTier::detect();
+            let mut trace_out: Option<&str> = None;
+            fn flag_value<'r>(
+                rest: &'r [String],
+                i: &mut usize,
+                flag: &str,
+            ) -> Result<&'r String, CliError> {
+                *i += 1;
+                rest.get(*i)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            }
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--backend" => {
+                        kind = flag_value(rest, &mut i, "--backend")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
+                    "--tier" => {
+                        tier = flag_value(rest, &mut i, "--tier")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
+                    "--trace" => trace_out = Some(flag_value(rest, &mut i, "--trace")?),
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown check flag `{flag}`")));
+                    }
+                    s if source.is_none() => source = Some(s),
+                    extra => {
+                        return Err(CliError::Usage(format!("unexpected argument `{extra}`")));
+                    }
+                }
+                i += 1;
+            }
+            let Some(source) = source else {
+                return Err(CliError::Usage("check needs a <robot>".to_owned()));
+            };
+            cmd_check_traced(source, kind, tier, trace_out)
         }
         _ => Err(CliError::Usage(usage().to_owned())),
     }

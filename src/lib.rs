@@ -23,6 +23,7 @@
 //! | [`profile`] | `robo-profile` | workload analysis via an operation-counting scalar |
 //! | [`collision`] | `robo-collision` | capsule collision checking and its robomorphic template |
 //! | [`trajopt`] | `robo-trajopt` | iLQR nonlinear MPC and the control-rate analysis |
+//! | [`trace`] | `robo-trace` | pipeline span tracing emitting Chrome-trace JSON (recording gated behind the `trace` cargo feature, on by default) |
 //! | [`engine`] | `robo-dynamics` + `robo-sim` | the plan-once/execute-many engine layer: [`RobotPlan`](engine::RobotPlan) and the [`GradientBackend`](engine::GradientBackend) trait every gradient consumer goes through |
 //!
 //! # Quickstart
@@ -60,6 +61,7 @@ pub use robo_profile as profile;
 pub use robo_sim as sim;
 pub use robo_sparsity as sparsity;
 pub use robo_spatial as spatial;
+pub use robo_trace as trace;
 pub use robo_trajopt as trajopt;
 pub use robomorphic_core as core;
 

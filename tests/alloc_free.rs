@@ -242,6 +242,27 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         );
     }
 
+    // Disabled tracing is allocation-free. Every counted loop above
+    // already ran through span-instrumented code — this binary builds
+    // with the workspace default `trace` feature, so the guards are
+    // compiled in but no collector is installed — and stayed at zero.
+    // Also prove the guards themselves are free standalone: a disabled
+    // span is one relaxed atomic load, no TLS touch, no heap traffic.
+    assert!(
+        !robomorphic::trace::is_collecting(),
+        "no collector may be installed during the allocation audit"
+    );
+    let before = allocations();
+    for i in 0..256 {
+        let _span = robomorphic::trace::span("alloc.probe");
+        let _wide = robomorphic::trace::span_items("alloc.probe.items", i);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "disabled span guards allocated in steady state"
+    );
+
     // Sanity: the counter itself is live (building a workspace allocates).
     let before = allocations();
     let fresh = GradWorkspace::<f64>::for_model(&model);

@@ -102,6 +102,61 @@ fn check_accepts_tier_flag() {
     assert!(out.contains("`accel` backend gradient"));
 }
 
+/// Needs the `trace` feature (on by default): the only test in this
+/// binary that installs the process-global trace collector.
+#[cfg(feature = "trace")]
+#[test]
+fn check_accepts_trace_flag() {
+    let dir = std::env::temp_dir().join("robomorphic_cli_trace_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("check.json");
+    let out = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--tier".to_owned(),
+        "portable".to_owned(),
+        "--trace".to_owned(),
+        trace_path.to_str().unwrap().to_owned(),
+    ])
+    .expect("traced check");
+    assert!(out.contains("wrote trace"));
+    assert!(!out.contains("FAIL"));
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trace = robomorphic::trace::Trace::parse_chrome(&json).expect("valid chrome trace");
+    assert!(
+        trace.span_kinds().len() >= 7,
+        "check trace has only {} span kinds",
+        trace.span_kinds().len()
+    );
+    assert!(trace.meta.iter().any(|(k, _)| k == "workload"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_rejects_unknown_flag_and_missing_value() {
+    let err = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--verbose".to_owned(),
+    ])
+    .expect_err("unknown flag");
+    match err {
+        CliError::Usage(msg) => assert!(msg.contains("unknown check flag `--verbose`")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    let err = cli::run(&[
+        "check".to_owned(),
+        "iiwa14".to_owned(),
+        "--trace".to_owned(),
+    ])
+    .expect_err("missing value");
+    match err {
+        CliError::Usage(msg) => assert!(msg.contains("--trace needs a value")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+}
+
 #[test]
 fn check_rejects_unknown_tier() {
     let err = cli::run(&[
