@@ -23,7 +23,8 @@
 //! `bench_guard` gates in both modes.
 
 use crate::regression::GuardConfig;
-use crate::report::{median, BenchReport, Table};
+use crate::report::{is_latency_key, latency_stem, median, BenchReport, Table};
+use crate::report::{LATENCY_P50_SUFFIX, LATENCY_P99_SUFFIX};
 use robo_trace::Trace;
 
 /// Summary of one sample set: the median and a bootstrap percentile
@@ -342,10 +343,15 @@ pub fn gate_medians(
 }
 
 /// Renders the per-key median/CI table for N bench trial reports.
+/// Latency percentiles (`*_p50_ns`/`*_p99_ns`) are left to
+/// [`latency_table`], which pairs them into columns.
 pub fn bench_table(trials: &[BenchReport], title: &str) -> Table {
     let (medians, speedups) = bench_samples(trials);
     let mut t = Table::new(title).headers(["metric", "key", "trials", "median", "95% CI"]);
     for (name, s) in medians.stats() {
+        if is_latency_key(&name) {
+            continue;
+        }
         t.row([
             "median_ns".to_owned(),
             name,
@@ -365,6 +371,55 @@ pub fn bench_table(trials: &[BenchReport], title: &str) -> Table {
     }
     t.note(format!("{} trial file(s)", trials.len()));
     t
+}
+
+/// Renders the p50/p99 latency table for N bench trial reports: every
+/// sweep point that recorded `<stem>_p50_ns` / `<stem>_p99_ns` medians
+/// becomes one row with both percentiles (in µs) and their bootstrap CIs
+/// side by side. Returns `None` when no trial carries latency keys.
+pub fn latency_table(trials: &[BenchReport], title: &str) -> Option<Table> {
+    let (medians, _) = bench_samples(trials);
+    let mut stems: Vec<String> = Vec::new();
+    for (name, _) in medians.stats() {
+        if let Some(stem) = latency_stem(&name) {
+            if !stems.iter().any(|s| s == stem) {
+                stems.push(stem.to_owned());
+            }
+        }
+    }
+    if stems.is_empty() {
+        return None;
+    }
+    let us = |ns: f64| format!("{:.1}", ns / 1e3);
+    let mut t = Table::new(title).headers([
+        "sweep point",
+        "trials",
+        "p50 µs",
+        "p50 95% CI",
+        "p99 µs",
+        "p99 95% CI",
+    ]);
+    for stem in stems {
+        let p50 = medians
+            .get(&format!("{stem}{LATENCY_P50_SUFFIX}"))
+            .map(Stats::from_samples);
+        let p99 = medians
+            .get(&format!("{stem}{LATENCY_P99_SUFFIX}"))
+            .map(Stats::from_samples);
+        let trials_cell = p50
+            .or(p99)
+            .map_or_else(|| "0".to_owned(), |s| s.n.to_string());
+        let cell = |s: Option<Stats>| match s {
+            Some(s) if s.n > 1 => (us(s.median), format!("[{}, {}]", us(s.lo), us(s.hi))),
+            Some(s) => (us(s.median), "—".to_owned()),
+            None => ("—".to_owned(), "—".to_owned()),
+        };
+        let (p50_med, p50_ci) = cell(p50);
+        let (p99_med, p99_ci) = cell(p99);
+        t.row([stem, trials_cell, p50_med, p50_ci, p99_med, p99_ci]);
+    }
+    t.note("per-request latency percentiles from the serving load generator; lower is better");
+    Some(t)
 }
 
 /// Renders the per-span-kind table for N trace files: instance count,
@@ -501,6 +556,67 @@ mod tests {
         let failures = gate_medians(&base, &slower, GateConfig::default());
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("tape_native"));
+    }
+
+    #[test]
+    fn latency_keys_render_paired_and_leave_the_bench_table() {
+        let trials: Vec<BenchReport> = [
+            (41_000.0, 88_000.0),
+            (43_000.0, 91_000.0),
+            (42_000.0, 90_000.0),
+        ]
+        .map(|(p50, p99)| {
+            report(
+                &[
+                    ("serve_iiwa14_c4_p50_ns", p50),
+                    ("serve_iiwa14_c4_p99_ns", p99),
+                    ("tape_native", 100.0),
+                ],
+                &[],
+            )
+        })
+        .into();
+        let lat = latency_table(&trials, "latency").expect("latency keys present");
+        let text = lat.render();
+        assert!(text.contains("serve_iiwa14_c4"));
+        // Rendered in µs: 42_000 ns → 42.0, 90_000 ns → 90.0.
+        assert!(text.contains("42.0"));
+        assert!(text.contains("90.0"));
+        assert!(text.contains("p99"));
+        assert!(!text.contains("_p50_ns"), "suffix folded into columns");
+
+        // The plain bench table keeps non-latency medians only.
+        let bench = bench_table(&trials, "bench").render();
+        assert!(bench.contains("tape_native"));
+        assert!(!bench.contains("serve_iiwa14_c4"));
+
+        // No latency keys → no table.
+        assert!(latency_table(&[report(&[("x", 1.0)], &[])], "t").is_none());
+    }
+
+    #[test]
+    fn latency_table_tolerates_a_missing_percentile() {
+        let trials = [report(&[("serve_hyq_c1_p50_ns", 10_000.0)], &[])];
+        let text = latency_table(&trials, "partial")
+            .expect("p50 present")
+            .render();
+        assert!(text.contains("serve_hyq_c1"));
+        assert!(text.contains("10.0"));
+        assert!(text.contains("—"), "missing p99 renders as a dash");
+    }
+
+    #[test]
+    fn latency_medians_gate_lower_is_better() {
+        // Same-machine gate: tail latency doubling must fail the gate.
+        let base = report(&[("serve_iiwa14_c4_p99_ns", 90_000.0)], &[]);
+        let good =
+            [88_000.0, 91_000.0, 90_000.0].map(|v| report(&[("serve_iiwa14_c4_p99_ns", v)], &[]));
+        assert!(gate_medians(&base, &good, GateConfig::default()).is_empty());
+        let slow = [180_000.0, 185_000.0, 179_000.0]
+            .map(|v| report(&[("serve_iiwa14_c4_p99_ns", v)], &[]));
+        let failures = gate_medians(&base, &slow, GateConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("serve_iiwa14_c4_p99_ns"));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! `robo-trace` output, keyed by span kind) or `BenchReport` JSON
 //! (`BENCH_*.json`, keyed by bench name and speedup ratio). `report`
 //! prints the median/CI tables — and writes them as markdown when
-//! `--markdown` is given (the CI artifact). `gate` compares bench trials
+//! `--markdown` is given (the CI artifact). Serving latency percentiles
+//! (`*_p50_ns`/`*_p99_ns` medians from `load_serve`) render as their own
+//! paired p50/p99 table, in µs, lower is better. `gate` compares bench trials
 //! against a committed baseline with the policy in
 //! [`robo_bench::analyse`]: with ≥ `--min-trials` trials per key, the
 //! bootstrap-CI overlap rule; below that, `bench_guard`'s fixed
@@ -24,7 +26,9 @@
 //!
 //! Exit codes: 0 ok, 1 regression, 2 usage or I/O error.
 
-use robo_bench::analyse::{bench_table, gate_medians, gate_speedups, trace_table, GateConfig};
+use robo_bench::analyse::{
+    bench_table, gate_medians, gate_speedups, latency_table, trace_table, GateConfig,
+};
 use robo_bench::regression::parse_report;
 use robo_bench::report::BenchReport;
 use robo_trace::Trace;
@@ -107,6 +111,9 @@ fn cmd_report(args: &[String]) {
     let mut tables = Vec::new();
     if !benches.is_empty() {
         tables.push(bench_table(&benches, &format!("{title}: bench medians")));
+        if let Some(lat) = latency_table(&benches, &format!("{title}: serving latency")) {
+            tables.push(lat);
+        }
     }
     if !traces.is_empty() {
         tables.push(trace_table(&traces, &format!("{title}: span breakdown")));

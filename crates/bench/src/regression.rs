@@ -14,7 +14,7 @@
 //! [`BenchReport::to_json`] emits (the workspace builds fully offline, so
 //! there is no serde); unknown sections such as `host` are skipped.
 
-use crate::report::BenchReport;
+use crate::report::{is_latency_key, BenchReport};
 
 /// Tolerances for [`compare`].
 #[derive(Debug, Clone, Copy)]
@@ -119,10 +119,13 @@ pub fn parse_report(json: &str) -> Result<BenchReport, String> {
 /// Compares `current` against `baseline`, returning one human-readable
 /// message per regression (empty means the guard passes).
 ///
-/// Only speedups present in *both* reports are compared — adding or
-/// renaming benches never trips the guard. Medians are reported for
+/// Only keys present in *both* reports are compared — adding or renaming
+/// benches never trips the guard. Ordinary medians are reported for
 /// context by the `bench_guard` binary but never gate, since they are
-/// machine-specific.
+/// machine-specific; latency percentiles (`*_p50_ns`/`*_p99_ns` from the
+/// serving load generator) gate lower-is-better with the same tolerance
+/// band, on the assumption that a baseline carrying latency keys was
+/// produced on the same machine class as the current run.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, config: GuardConfig) -> Vec<String> {
     let mut failures = Vec::new();
     for (name, base) in baseline.speedups() {
@@ -141,6 +144,22 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, config: GuardConfi
                 "speedup `{name}` fell below the floor: {cur:.3}x < {:.3}x \
                  (baseline {base:.3}x was a win; the optimized path lost to its fallback)",
                 config.speedup_floor
+            ));
+        }
+    }
+    for (name, base) in baseline.medians() {
+        if !is_latency_key(name) || *base == 0.0 {
+            continue;
+        }
+        let Some(cur) = current.median_ns(name) else {
+            continue;
+        };
+        let allowed = base * (1.0 + config.speedup_tolerance);
+        if cur > allowed {
+            failures.push(format!(
+                "latency `{name}` regressed: {cur:.1} ns vs baseline {base:.1} ns \
+                 (allowed ≤ {allowed:.1} ns with {:.0}% tolerance)",
+                config.speedup_tolerance * 100.0
             ));
         }
     }
@@ -220,6 +239,24 @@ mod tests {
         let failures = compare(&base, &lost, GuardConfig::default());
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("floor"));
+    }
+
+    #[test]
+    fn latency_medians_gate_lower_is_better_but_plain_medians_never_gate() {
+        let mut base = report(&[]);
+        base.record_median_ns("serve_iiwa14_c4_p99_ns", 90_000.0);
+        // `some_bench` (from the helper) is a plain median: tripling it
+        // must not gate. A latency key within the band passes too.
+        let mut ok = report(&[]);
+        ok.record_median_ns("some_bench", 370.2);
+        ok.record_median_ns("serve_iiwa14_c4_p99_ns", 100_000.0);
+        assert!(compare(&base, &ok, GuardConfig::default()).is_empty());
+        // Tail latency doubling is outside the 30% band → one failure.
+        let mut slow = report(&[]);
+        slow.record_median_ns("serve_iiwa14_c4_p99_ns", 180_000.0);
+        let failures = compare(&base, &slow, GuardConfig::default());
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("latency `serve_iiwa14_c4_p99_ns` regressed"));
     }
 
     #[test]

@@ -253,6 +253,29 @@ impl BenchReport {
     }
 }
 
+/// Suffix convention for 50th-percentile latency medians recorded by the
+/// serving load generator (`load_serve`): `<sweep_point>_p50_ns`.
+pub const LATENCY_P50_SUFFIX: &str = "_p50_ns";
+
+/// Suffix convention for 99th-percentile (tail) latency medians:
+/// `<sweep_point>_p99_ns`.
+pub const LATENCY_P99_SUFFIX: &str = "_p99_ns";
+
+/// Whether a `medians_ns` key is a latency percentile from the serving
+/// load generator. Latency keys render in their own p50/p99 table and
+/// gate lower-is-better, unlike throughput medians.
+pub fn is_latency_key(name: &str) -> bool {
+    name.ends_with(LATENCY_P50_SUFFIX) || name.ends_with(LATENCY_P99_SUFFIX)
+}
+
+/// Strips the latency-percentile suffix from a key, if it has one,
+/// returning the sweep-point stem (e.g. `serve_iiwa14_c4` from
+/// `serve_iiwa14_c4_p99_ns`).
+pub fn latency_stem(name: &str) -> Option<&str> {
+    name.strip_suffix(LATENCY_P50_SUFFIX)
+        .or_else(|| name.strip_suffix(LATENCY_P99_SUFFIX))
+}
+
 /// The median of a sample set (averaging the middle pair for even sizes).
 ///
 /// # Panics
@@ -363,6 +386,23 @@ mod tests {
         // The medians/speedups sections keep their shape alongside host.
         assert!(json.contains("\"medians_ns\""));
         assert!(json.contains("\"speedups\""));
+    }
+
+    #[test]
+    fn latency_key_convention() {
+        assert!(is_latency_key("serve_iiwa14_c4_p50_ns"));
+        assert!(is_latency_key("serve_iiwa14_c4_p99_ns"));
+        assert!(!is_latency_key("tape_native"));
+        assert!(!is_latency_key("serve_iiwa14_c4_p95_ns"));
+        assert_eq!(
+            latency_stem("serve_iiwa14_c4_p50_ns"),
+            Some("serve_iiwa14_c4")
+        );
+        assert_eq!(
+            latency_stem("serve_iiwa14_c4_p99_ns"),
+            Some("serve_iiwa14_c4")
+        );
+        assert_eq!(latency_stem("tape_native"), None);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Canonical morphology hashing for plan caches.
+//!
+//! The robomorphic methodology is *parameterized by robot morphology*: one
+//! accelerator plan per robot structure. A serving tier that fronts many
+//! robots therefore needs a stable identity for "the same morphology" so
+//! that N concurrent requests for one robot share one compiled plan. A
+//! [`MorphologyKey`] is that identity: a 64-bit FNV-1a digest over the
+//! canonical structural content of a [`DynamicsModel`] — kinematic
+//! topology (parent indices), joint types and motion subspaces, fixed tree
+//! transforms, spatial inertias, and the base acceleration the gravity
+//! vector folds into.
+//!
+//! Two models built independently from equal descriptions hash equal;
+//! perturbing any structural bit (a mass, a joint axis, a parent link)
+//! diverges the key. The hash is over exact `f64` bit patterns, so it is
+//! deterministic across processes and platforms of the same float width —
+//! there is no float comparison fuzz to tune.
+
+use crate::model::DynamicsModel;
+use robo_model::JointType;
+use robo_spatial::{Mat3, Motion, SpatialInertia, Transform, Vec3};
+
+/// A canonical 64-bit digest of a robot morphology.
+///
+/// Derived from the structural content of a [`DynamicsModel`] (topology,
+/// joint types, tree transforms, inertias, gravity). Equal descriptions
+/// collide by construction; structural perturbations diverge. Use it to
+/// key plan caches:
+///
+/// ```
+/// use robo_dynamics::{DynamicsModel, MorphologyKey};
+/// use robo_model::robots;
+///
+/// let a = MorphologyKey::of_model(&DynamicsModel::<f64>::new(&robots::iiwa14()));
+/// let b = MorphologyKey::of_model(&DynamicsModel::<f64>::new(&robots::iiwa14()));
+/// let c = MorphologyKey::of_model(&DynamicsModel::<f64>::new(&robots::hyq()));
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MorphologyKey(u64);
+
+/// 64-bit FNV-1a over a canonical byte stream.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Exact bit pattern: 0.0 and -0.0 intentionally differ, NaNs hash
+        // by payload. Morphology data is plain finite constants, so this
+        // only buys determinism, never surprise.
+        self.u64(v.to_bits());
+    }
+
+    fn vec3(&mut self, v: &Vec3<f64>) {
+        for c in v.to_f64() {
+            self.f64(c);
+        }
+    }
+
+    fn mat3(&mut self, m: &Mat3<f64>) {
+        for row in m.to_f64() {
+            for c in row {
+                self.f64(c);
+            }
+        }
+    }
+
+    fn motion(&mut self, m: &Motion<f64>) {
+        self.vec3(&m.ang);
+        self.vec3(&m.lin);
+    }
+
+    fn transform(&mut self, t: &Transform<f64>) {
+        self.mat3(&t.rot);
+        self.vec3(&t.pos);
+    }
+
+    fn inertia(&mut self, i: &SpatialInertia<f64>) {
+        self.f64(i.mass);
+        self.vec3(&i.h);
+        self.mat3(&i.ibar);
+    }
+}
+
+/// Fixed joint-type discriminants — part of the hash format, so they must
+/// never be renumbered (append-only if new joint types arrive).
+fn joint_code(joint: JointType) -> u8 {
+    match joint {
+        JointType::RevoluteX => 0,
+        JointType::RevoluteY => 1,
+        JointType::RevoluteZ => 2,
+        JointType::PrismaticX => 3,
+        JointType::PrismaticY => 4,
+        JointType::PrismaticZ => 5,
+    }
+}
+
+impl MorphologyKey {
+    /// Version tag mixed into every digest; bump if the byte stream's
+    /// layout ever changes so stale persisted keys cannot alias.
+    const FORMAT: &'static [u8] = b"robomorphic-morphology-key-v1";
+
+    /// Computes the canonical key of a model's structure.
+    pub fn of_model(model: &DynamicsModel<f64>) -> Self {
+        let mut h = Fnv1a::new();
+        h.bytes(Self::FORMAT);
+        let n = model.dof();
+        h.u64(n as u64);
+        h.motion(&model.base_acceleration());
+        for i in 0..n {
+            // `u64::MAX` marks the fixed base; real parents are < dof.
+            h.u64(model.parent(i).map_or(u64::MAX, |p| p as u64));
+            h.bytes(&[joint_code(model.joint(i))]);
+            h.motion(&model.subspace(i));
+            h.transform(model.tree(i));
+            h.inertia(model.inertia(i));
+        }
+        Self(h.0)
+    }
+
+    /// The raw 64-bit digest (stable across processes; useful in logs and
+    /// serialized cache manifests).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for MorphologyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robo_model::{robots, Link, RobotModel};
+
+    fn key_of(robot: &RobotModel) -> MorphologyKey {
+        MorphologyKey::of_model(&DynamicsModel::<f64>::new(robot))
+    }
+
+    #[test]
+    fn equal_models_collide() {
+        // Two independently built models of the same description must
+        // agree — this is what lets N concurrent cold requests share one
+        // plan-cache entry.
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            assert_eq!(key_of(&robot), key_of(&robot.clone()));
+            assert_eq!(key_of(&robot), key_of(&robot));
+        }
+    }
+
+    #[test]
+    fn distinct_robots_diverge() {
+        let keys = [
+            key_of(&robots::iiwa14()),
+            key_of(&robots::hyq()),
+            key_of(&robots::atlas()),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+    }
+
+    fn perturbed(mutate: impl FnOnce(&mut Vec<Link>)) -> RobotModel {
+        let base = robots::iiwa14();
+        let mut links: Vec<Link> = base.links().to_vec();
+        mutate(&mut links);
+        RobotModel::new("perturbed", links).expect("valid perturbed robot")
+    }
+
+    #[test]
+    fn structural_perturbations_diverge() {
+        let base = key_of(&robots::iiwa14());
+        // A single mass bit.
+        let heavier = perturbed(|links| links[3].inertia.mass += 1e-9);
+        assert_ne!(base, key_of(&heavier));
+        // A joint axis.
+        let retyped = perturbed(|links| links[2].joint = robo_model::JointType::PrismaticZ);
+        assert_ne!(base, key_of(&retyped));
+        // A tree placement offset.
+        let shifted =
+            perturbed(|links| links[5].tree.pos = links[5].tree.pos + Vec3::new(0.0, 0.0, 1e-9));
+        assert_ne!(base, key_of(&shifted));
+        // Topology: re-root the last joint one link higher.
+        let rerooted = perturbed(|links| {
+            let last = links.len() - 1;
+            links[last].parent = Some(last - 2);
+        });
+        assert_ne!(base, key_of(&rerooted));
+    }
+
+    #[test]
+    fn link_names_do_not_affect_the_key() {
+        // The key is structural: renaming links (a presentation detail the
+        // dynamics model does not even retain) must not change it.
+        let renamed = perturbed(|links| {
+            for (i, link) in links.iter_mut().enumerate() {
+                link.name = format!("renamed_{i}");
+            }
+        });
+        assert_eq!(key_of(&robots::iiwa14()), key_of(&renamed));
+    }
+
+    #[test]
+    fn gravity_is_part_of_the_key() {
+        let robot = robots::iiwa14();
+        let standard = MorphologyKey::of_model(&DynamicsModel::<f64>::new(&robot));
+        let moon = MorphologyKey::of_model(&DynamicsModel::<f64>::with_gravity(
+            &robot,
+            Vec3::new(0.0, 0.0, -1.62),
+        ));
+        assert_ne!(standard, moon);
+    }
+
+    #[test]
+    fn display_is_stable_hex() {
+        let k = key_of(&robots::iiwa14());
+        let s = k.to_string();
+        assert_eq!(s.len(), 16);
+        assert_eq!(u64::from_str_radix(&s, 16).unwrap(), k.as_u64());
+    }
+}

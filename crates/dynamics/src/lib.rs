@@ -48,6 +48,7 @@ mod deriv;
 mod fd;
 pub mod findiff;
 mod fk;
+pub mod key;
 mod model;
 mod rnea;
 
@@ -63,6 +64,7 @@ pub use fd::{aba, forward_dynamics};
 pub use fk::{
     forward_kinematics, geometric_jacobian, jacobian_velocity, link_origin_world, position_jacobian,
 };
+pub use key::MorphologyKey;
 pub use model::{DynamicsModel, STANDARD_GRAVITY};
 pub use rnea::{
     bias_torques, kinetic_energy, rnea, rnea_into, rnea_with_external, rnea_with_external_into,

@@ -1,0 +1,227 @@
+//! Caller-owned request buffers and the reusable completion slot that
+//! hands them back — the serving tier's allocation-free response path.
+
+use robo_dynamics::engine::GradientOutput;
+use robo_spatial::MatN;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// One gradient evaluation point plus its output buffer, owned by the
+/// client and lent to the server for the duration of a request.
+///
+/// The same buffer carries the inputs in (`q`, `q̇`, `q̈`, `M⁻¹` — the
+/// accelerator interface of the paper's Figure 9) and the four gradient
+/// matrices out. [`ResponseSlot::wait`] returns it on completion, so a
+/// steady-state client reuses one buffer forever and the request/response
+/// round trip never allocates.
+#[derive(Debug, Clone)]
+pub struct GradientRequest {
+    /// Joint positions (length = plan dof).
+    pub q: Vec<f64>,
+    /// Joint velocities.
+    pub qd: Vec<f64>,
+    /// Joint accelerations (from the host's forward-dynamics step).
+    pub qdd: Vec<f64>,
+    /// Inverse mass matrix at `q`.
+    pub minv: MatN<f64>,
+    /// The response: filled by the micro-batcher before the slot signals.
+    pub out: GradientOutput,
+}
+
+impl GradientRequest {
+    /// A zeroed request pre-sized for `dof` joints, so first use through a
+    /// warm server is already allocation-free.
+    pub fn for_dof(dof: usize) -> Self {
+        Self {
+            q: vec![0.0; dof],
+            qd: vec![0.0; dof],
+            qdd: vec![0.0; dof],
+            minv: MatN::zeros(dof, dof),
+            out: GradientOutput::for_dof(dof),
+        }
+    }
+}
+
+/// Completion states of a slot. `Done` carries the request buffer on its
+/// way back to the client.
+#[derive(Debug)]
+pub(crate) enum SlotState {
+    /// No request in flight; the slot may be submitted.
+    Idle,
+    /// Submitted and queued/executing; a waiter may be parked on the cv.
+    Pending,
+    /// The response is ready for [`ResponseSlot::wait`] to collect.
+    Done(GradientRequest),
+}
+
+/// Shared core of a [`ResponseSlot`]: the server keeps an `Arc` to it for
+/// the lifetime of the in-flight request.
+#[derive(Debug)]
+pub(crate) struct SlotInner {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl SlotInner {
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Idle → Pending; false if a request is already in flight (the
+    /// submission is refused with `ServeError::SlotBusy`).
+    pub(crate) fn begin(&self) -> bool {
+        let mut st = self.lock();
+        if matches!(*st, SlotState::Idle) {
+            *st = SlotState::Pending;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pending → Idle, on admission failure after `begin`.
+    pub(crate) fn cancel(&self) {
+        let mut st = self.lock();
+        debug_assert!(matches!(*st, SlotState::Pending));
+        *st = SlotState::Idle;
+    }
+
+    /// Pending → Done: the worker hands the filled buffer back and wakes
+    /// the waiter. No allocation — the buffer moves by value.
+    pub(crate) fn fulfil(&self, req: GradientRequest) {
+        let mut st = self.lock();
+        debug_assert!(matches!(*st, SlotState::Pending));
+        *st = SlotState::Done(req);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// A reusable one-shot completion handle: submit with it, [`wait`] on it,
+/// get the request buffer back, repeat.
+///
+/// One slot serves one in-flight request at a time (a second submit on a
+/// busy slot is refused with
+/// [`ServeError::SlotBusy`](crate::ServeError::SlotBusy)); a client that
+/// wants pipelining holds several slots.
+///
+/// [`wait`]: ResponseSlot::wait
+#[derive(Debug)]
+pub struct ResponseSlot {
+    pub(crate) inner: Arc<SlotInner>,
+}
+
+impl ResponseSlot {
+    /// A fresh idle slot.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(SlotInner {
+                state: Mutex::new(SlotState::Idle),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Whether a request is currently in flight on this slot.
+    pub fn is_pending(&self) -> bool {
+        matches!(*self.inner.lock(), SlotState::Pending)
+    }
+
+    /// Blocks until the in-flight request completes and returns its
+    /// buffer (outputs filled), resetting the slot to idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no request in flight — that is a client
+    /// protocol bug, not a runtime condition.
+    pub fn wait(&self) -> GradientRequest {
+        let mut st = self.inner.lock();
+        loop {
+            match &*st {
+                SlotState::Done(_) => {
+                    let SlotState::Done(req) = std::mem::replace(&mut *st, SlotState::Idle) else {
+                        unreachable!("matched Done above");
+                    };
+                    return req;
+                }
+                SlotState::Pending => {
+                    st = self.inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                SlotState::Idle => panic!("ResponseSlot::wait with no request in flight"),
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`wait`](Self::wait): returns the buffer if
+    /// the response is ready, `None` while pending or idle.
+    pub fn try_take(&self) -> Option<GradientRequest> {
+        let mut st = self.inner.lock();
+        if matches!(*st, SlotState::Done(_)) {
+            let SlotState::Done(req) = std::mem::replace(&mut *st, SlotState::Idle) else {
+                unreachable!("matched Done above");
+            };
+            Some(req)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_round_trip_and_reuse() {
+        let slot = ResponseSlot::new();
+        assert!(!slot.is_pending());
+        assert!(slot.try_take().is_none());
+        for turn in 0..3 {
+            assert!(slot.inner.begin());
+            assert!(slot.is_pending());
+            assert!(!slot.inner.begin(), "busy slot must refuse a second begin");
+            let mut req = GradientRequest::for_dof(2);
+            req.q[0] = turn as f64;
+            slot.inner.fulfil(req);
+            let back = slot.wait();
+            assert_eq!(back.q[0], turn as f64);
+            assert!(!slot.is_pending());
+        }
+    }
+
+    #[test]
+    fn cancel_returns_slot_to_idle() {
+        let slot = ResponseSlot::new();
+        assert!(slot.inner.begin());
+        slot.inner.cancel();
+        assert!(!slot.is_pending());
+        assert!(slot.inner.begin());
+        slot.inner.fulfil(GradientRequest::for_dof(1));
+        assert!(slot.try_take().is_some());
+    }
+
+    #[test]
+    fn wait_crosses_threads() {
+        let slot = ResponseSlot::new();
+        assert!(slot.inner.begin());
+        let inner = Arc::clone(&slot.inner);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            inner.fulfil(GradientRequest::for_dof(3));
+        });
+        let req = slot.wait();
+        assert_eq!(req.q.len(), 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in flight")]
+    fn wait_on_idle_slot_panics() {
+        ResponseSlot::new().wait();
+    }
+}

@@ -1,0 +1,228 @@
+//! Serving-tier behaviour: plan-cache coalescing, backpressure shed,
+//! graceful drain, and correctness of batched responses.
+
+use robo_dynamics::{forward_dynamics, mass_matrix_inverse};
+use robo_model::robots;
+use robo_serve::{GradientRequest, GradientServer, ResponseSlot, ServeConfig, ServeError};
+use robo_sim::engine::{BackendKind, RobotPlan};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Fills a request buffer with a deterministic evaluation point `k`.
+fn fill_case(plan: &RobotPlan, k: usize, req: &mut GradientRequest) {
+    let n = plan.dof();
+    for i in 0..n {
+        req.q[i] = 0.07 * (i + k) as f64 - 0.2;
+        req.qd[i] = 0.03 * i as f64 - 0.01 * k as f64;
+    }
+    let tau = vec![0.3 + 0.1 * k as f64; n];
+    let qdd = forward_dynamics(plan.model(), &req.q, &req.qd, &tau).unwrap();
+    req.qdd.copy_from_slice(&qdd);
+    req.minv = mass_matrix_inverse(plan.model(), &req.q).unwrap();
+}
+
+#[test]
+fn concurrent_cold_registrations_build_exactly_one_plan() {
+    let server = GradientServer::with_config(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let keys: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let server = server.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    // Line every thread up on the cold cache before racing
+                    // into register(), so misses really are concurrent.
+                    barrier.wait();
+                    server.register(&robots::iiwa14())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(keys.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(
+        server.stats().plans_built,
+        1,
+        "N concurrent cold requests must coalesce onto one plan build"
+    );
+    // A second morphology still gets its own build.
+    server.register(&robots::hyq());
+    assert_eq!(server.stats().plans_built, 2);
+}
+
+#[test]
+fn overload_sheds_typed_and_drain_answers_the_admitted() {
+    // One worker that can never flush on its own: the batch threshold is
+    // far above capacity and the linger is effectively infinite, so the
+    // queue fills deterministically and the N+1th submission sheds.
+    let capacity = 4;
+    let server = GradientServer::with_config(ServeConfig {
+        workers: 1,
+        queue_capacity: capacity,
+        lane_groups_per_flush: 1024,
+        max_linger: Duration::from_secs(3600),
+        backend: BackendKind::Cpu,
+        ..ServeConfig::default()
+    });
+    let key = server.register(&robots::iiwa14());
+    let plan = server.plan(key).unwrap();
+
+    let slots: Vec<ResponseSlot> = (0..capacity + 1).map(|_| ResponseSlot::new()).collect();
+    for (k, slot) in slots.iter().take(capacity).enumerate() {
+        let mut req = GradientRequest::for_dof(plan.dof());
+        fill_case(&plan, k, &mut req);
+        server.submit(key, req, slot).expect("under capacity");
+    }
+    let mut req = GradientRequest::for_dof(plan.dof());
+    fill_case(&plan, capacity, &mut req);
+    let rejected = server
+        .submit(key, req, &slots[capacity])
+        .expect_err("queue is full");
+    assert_eq!(
+        rejected.error,
+        ServeError::Overloaded {
+            depth: capacity,
+            capacity
+        }
+    );
+    // The shed path hands the buffer back untouched.
+    assert_eq!(rejected.req.q.len(), plan.dof());
+    assert!(!slots[capacity].is_pending());
+
+    let stats = server.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.submitted, capacity as u64);
+    assert_eq!(stats.queue_high_water, capacity as u64);
+
+    // Graceful shutdown: dropping the server drains the queue — every
+    // admitted request is answered, bit-identical to a direct backend.
+    drop(server);
+    let mut direct = plan.backend(BackendKind::Cpu);
+    for (k, slot) in slots.iter().take(capacity).enumerate() {
+        let got = slot.wait();
+        let mut want = GradientRequest::for_dof(plan.dof());
+        fill_case(&plan, k, &mut want);
+        let mut expected = want.out.clone();
+        direct
+            .gradient_into(&want.q, &want.qd, &want.qdd, &want.minv, &mut expected)
+            .unwrap();
+        assert_eq!(got.out, expected, "drained response {k} must be exact");
+    }
+}
+
+#[test]
+fn rejections_are_typed_and_return_the_buffer() {
+    let server = GradientServer::with_config(ServeConfig {
+        workers: 1,
+        backend: BackendKind::Cpu,
+        ..ServeConfig::default()
+    });
+    let key = server.register(&robots::iiwa14());
+    let plan = server.plan(key).unwrap();
+    let slot = ResponseSlot::new();
+
+    // Unknown morphology: hyq was never registered.
+    let foreign = RobotPlan::new(&robots::hyq());
+    let rejected = server
+        .submit(
+            foreign.morphology_key(),
+            GradientRequest::for_dof(foreign.dof()),
+            &slot,
+        )
+        .expect_err("not registered");
+    assert_eq!(
+        rejected.error,
+        ServeError::UnknownMorphology(foreign.morphology_key())
+    );
+    assert!(server.plan(foreign.morphology_key()).is_none());
+
+    // Dimension mismatch: a 3-dof buffer against a 7-dof plan.
+    let rejected = server
+        .submit(key, GradientRequest::for_dof(3), &slot)
+        .expect_err("wrong dof");
+    assert!(matches!(rejected.error, ServeError::Dimension(_)));
+
+    // Slot busy: a second submission while one is in flight.
+    let mut req = GradientRequest::for_dof(plan.dof());
+    fill_case(&plan, 0, &mut req);
+    server.submit(key, req, &slot).expect("admitted");
+    let mut second = GradientRequest::for_dof(plan.dof());
+    fill_case(&plan, 1, &mut second);
+    let rejected = server.submit(key, second, &slot).expect_err("slot busy");
+    assert_eq!(rejected.error, ServeError::SlotBusy);
+    // The in-flight request still completes normally.
+    let done = slot.wait();
+    assert_eq!(done.out.dqdd_dq.rows(), plan.dof());
+}
+
+#[test]
+fn coalesced_responses_match_direct_backends() {
+    // Pipelined submissions from many slots force multi-request flushes
+    // (full and ragged); every response must be bit-identical to a direct
+    // serial gradient call on the same backend.
+    for backend in [BackendKind::Cpu, BackendKind::Accel] {
+        let server = GradientServer::with_config(ServeConfig {
+            workers: 1,
+            backend,
+            max_linger: Duration::from_micros(50),
+            ..ServeConfig::default()
+        });
+        let key = server.register(&robots::iiwa14());
+        let plan = server.plan(key).unwrap();
+        let count = 2 * plan.serve_width() + 3; // full groups + ragged tail
+        let slots: Vec<ResponseSlot> = (0..count).map(|_| ResponseSlot::new()).collect();
+        for (k, slot) in slots.iter().enumerate() {
+            let mut req = GradientRequest::for_dof(plan.dof());
+            fill_case(&plan, k, &mut req);
+            server.submit(key, req, slot).expect("admitted");
+        }
+        let mut direct = plan.backend(backend);
+        for (k, slot) in slots.iter().enumerate() {
+            let got = slot.wait();
+            let mut want = GradientRequest::for_dof(plan.dof());
+            fill_case(&plan, k, &mut want);
+            let mut expected = want.out.clone();
+            direct
+                .gradient_into(&want.q, &want.qd, &want.qdd, &want.minv, &mut expected)
+                .unwrap();
+            assert_eq!(got.out, expected, "{backend:?} response {k}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, count as u64);
+        assert_eq!(stats.shed, 0);
+        assert!(stats.flushes >= 1);
+    }
+}
+
+#[test]
+fn serve_round_trip_and_stats_observability() {
+    let server = GradientServer::with_config(ServeConfig {
+        workers: 1,
+        backend: BackendKind::Accel,
+        ..ServeConfig::default()
+    });
+    let key = server.register(&robots::iiwa14());
+    let plan = server.plan(key).unwrap();
+    let slot = ResponseSlot::new();
+    let mut req = GradientRequest::for_dof(plan.dof());
+    for turn in 0..5 {
+        fill_case(&plan, turn, &mut req);
+        req = server.serve(key, req, &slot).expect("round trip");
+        assert_eq!(req.out.dqdd_dq.rows(), plan.dof());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.completed, 5);
+    // Single in-flight request per flush: every flush is a partial lane
+    // group on any wide tier.
+    assert_eq!(stats.flushes, 5);
+    if plan.serve_width() > 1 {
+        assert_eq!(stats.ragged_flushes, 5);
+    }
+    assert_eq!(stats.queue_high_water, 1);
+}

@@ -15,7 +15,7 @@ use robo_dynamics::engine::{
     cast_mat_into, cast_mat_out, cast_slice_into, check_dims, CpuAnalytic, EngineError, FiniteDiff,
     GradientBackend, GradientBatchOutput, GradientOutput,
 };
-use robo_dynamics::DynamicsModel;
+use robo_dynamics::{DynamicsModel, MorphologyKey};
 use robo_model::RobotModel;
 use robo_sparsity::{superposition_pattern, Mask6};
 use robo_spatial::{ExecTier, MatN, Scalar, WideScalar, WideVisit};
@@ -559,6 +559,7 @@ pub struct RobotPlan {
     mask: Mask6,
     sim: Arc<AcceleratorSim<f64>>,
     tier: ExecTier,
+    key: MorphologyKey,
     /// Prototype wide path, widened once at plan build; every accelerator
     /// backend and fork shares its inner wide simulator.
     wide_proto: Box<dyn WideSimPath<f64>>,
@@ -583,6 +584,7 @@ impl Clone for RobotPlan {
             mask: self.mask,
             sim: Arc::clone(&self.sim),
             tier: self.tier,
+            key: self.key,
             wide_proto: self.wide_proto.fork_path(),
         }
     }
@@ -627,12 +629,14 @@ impl RobotPlan {
             let _span = robo_trace::span("plan.sparsity");
             superposition_pattern(robot)
         };
+        let key = MorphologyKey::of_model(&model);
         Self {
             robot: robot.clone(),
             model,
             mask,
             sim,
             tier,
+            key,
             wide_proto,
         }
     }
@@ -659,6 +663,12 @@ impl RobotPlan {
     /// The source morphology.
     pub fn robot(&self) -> &RobotModel {
         &self.robot
+    }
+
+    /// The canonical [`MorphologyKey`] of the plan's robot, computed once
+    /// at plan build — the identity plan caches key on.
+    pub fn morphology_key(&self) -> MorphologyKey {
+        self.key
     }
 
     /// The shared host dynamics model.
@@ -733,6 +743,16 @@ mod tests {
         let qdd = forward_dynamics(plan.model(), &q, &qd, &tau).unwrap();
         let minv = mass_matrix_inverse(plan.model(), &q).unwrap();
         (q, qd, qdd, minv)
+    }
+
+    #[test]
+    fn plan_exposes_the_canonical_morphology_key() {
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let direct = MorphologyKey::of_model(&DynamicsModel::<f64>::new(&robots::iiwa14()));
+        assert_eq!(plan.morphology_key(), direct);
+        assert_eq!(plan.clone().morphology_key(), direct);
+        let other = RobotPlan::new(&robots::hyq());
+        assert_ne!(plan.morphology_key(), other.morphology_key());
     }
 
     #[test]

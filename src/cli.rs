@@ -336,6 +336,121 @@ fn check_body(
     Ok(out)
 }
 
+/// `robomorphic serve <robot> [--backend B] [--tier T] [--clients C]
+/// [--requests N] [--linger-us L]` — spin up the in-process gradient
+/// serving tier and drive it with a closed-loop load generator: `C`
+/// client threads each performing `N` submit→wait round trips through
+/// the morphology-keyed plan cache and micro-batcher. Reports p50/p99
+/// latency, throughput, and the coalescing/backpressure counters.
+///
+/// # Errors
+///
+/// Propagates loading failures.
+pub fn cmd_serve(
+    source: &str,
+    kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
+    clients: usize,
+    requests: usize,
+    linger: std::time::Duration,
+) -> Result<String, CliError> {
+    use robo_serve::{GradientRequest, GradientServer, ResponseSlot, ServeConfig};
+
+    let robot = load_robot(source)?;
+    let clients = clients.max(1);
+    let requests = requests.max(1);
+    let server = GradientServer::with_config(ServeConfig {
+        backend: kind,
+        tier: Some(tier),
+        max_linger: linger,
+        queue_capacity: (4 * clients).max(64),
+        ..ServeConfig::default()
+    });
+    let key = server.register(&robot);
+    let plan = server.plan(key).expect("registered above");
+    let inputs = robo_baselines::random_inputs(&robot, clients.max(4), 0x5E21);
+
+    let start = std::time::Instant::now();
+    let mut latencies_ns: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = server.clone();
+                let input = &inputs[c % inputs.len()];
+                let dof = plan.dof();
+                s.spawn(move || {
+                    let slot = ResponseSlot::new();
+                    let mut req = GradientRequest::for_dof(dof);
+                    req.q.copy_from_slice(&input.q);
+                    req.qd.copy_from_slice(&input.qd);
+                    req.qdd.copy_from_slice(&input.qdd);
+                    req.minv = input.minv.clone();
+                    let mut lat = Vec::with_capacity(requests);
+                    let mut todo = requests;
+                    while todo > 0 {
+                        let t0 = std::time::Instant::now();
+                        match server.serve(key, req, &slot) {
+                            Ok(back) => {
+                                lat.push(t0.elapsed().as_nanos() as u64);
+                                req = back;
+                                todo -= 1;
+                            }
+                            // Closed-loop clients cannot overrun the
+                            // queue for long; retry on a shed.
+                            Err(rejected) => req = rejected.req,
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("serve client"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let stats = server.stats();
+    drop(server);
+
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+        latencies_ns[idx] as f64 / 1_000.0
+    };
+    let total = clients * requests;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serving `{}` [{kind} backend, {} tier, width {}]:",
+        robot.name(),
+        plan.tier(),
+        plan.serve_width()
+    );
+    let _ = writeln!(
+        out,
+        "  {clients} client(s) x {requests} round trip(s), linger {} us, {} worker(s)",
+        linger.as_micros(),
+        server_workers(),
+    );
+    let _ = writeln!(
+        out,
+        "  completed {}/{total} (shed {}), {} flush(es) ({} ragged), queue high-water {}",
+        stats.completed, stats.shed, stats.flushes, stats.ragged_flushes, stats.queue_high_water
+    );
+    let _ = writeln!(
+        out,
+        "  latency p50 {:.1} us, p99 {:.1} us; throughput {:.0} req/s",
+        pct(0.50),
+        pct(0.99),
+        total as f64 / wall.as_secs_f64()
+    );
+    Ok(out)
+}
+
+fn server_workers() -> usize {
+    robo_serve::ServeConfig::default().resolved_workers()
+}
+
 /// The usage string.
 pub fn usage() -> &'static str {
     "robomorphic — morphology-parameterized accelerator toolchain
@@ -346,6 +461,11 @@ USAGE:
     robomorphic convert   <robot> <out.robo>        normalize a description
     robomorphic check     <robot> [--backend B] [--tier T] [--trace F]
                                                     validate model & dynamics
+    robomorphic serve     <robot> [--backend B] [--tier T] [--clients C]
+                          [--requests N] [--linger-us L]
+                                                    drive the gradient-serving
+                                                    tier with a closed-loop
+                                                    load generator
 
 <robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
 .urdf/.xml file (supported subset; see robo-model docs).
@@ -362,6 +482,12 @@ so the choice affects throughput only.
 --trace records a span trace of the whole check (plan build through the
 gradient spot-check) and writes it to F as Chrome-trace JSON — open it in
 Perfetto (ui.perfetto.dev) or chrome://tracing.
+
+serve coalesces the clients' concurrent requests into wide lane-group
+batches (flushing on batch-full or after --linger-us microseconds,
+default 200) and reports p50/p99 latency, throughput, and the
+coalescing/backpressure counters. Defaults: --clients 4, --requests 64,
+--backend accel.
 "
 }
 
@@ -421,6 +547,75 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(CliError::Usage("check needs a <robot>".to_owned()));
             };
             cmd_check_traced(source, kind, tier, trace_out)
+        }
+        [cmd, rest @ ..] if cmd == "serve" && !rest.is_empty() => {
+            let mut source: Option<&str> = None;
+            let mut kind = robo_sim::BackendKind::Accel;
+            let mut tier = robo_spatial::ExecTier::detect();
+            let mut clients = 4usize;
+            let mut requests = 64usize;
+            let mut linger_us = 200u64;
+            fn flag_value<'r>(
+                rest: &'r [String],
+                i: &mut usize,
+                flag: &str,
+            ) -> Result<&'r String, CliError> {
+                *i += 1;
+                rest.get(*i)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            }
+            fn parse_count(value: &str, flag: &str) -> Result<u64, CliError> {
+                value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("{flag} needs a number, got `{value}`")))
+            }
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--backend" => {
+                        kind = flag_value(rest, &mut i, "--backend")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
+                    "--tier" => {
+                        tier = flag_value(rest, &mut i, "--tier")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
+                    "--clients" => {
+                        clients = parse_count(flag_value(rest, &mut i, "--clients")?, "--clients")?
+                            as usize;
+                    }
+                    "--requests" => {
+                        requests =
+                            parse_count(flag_value(rest, &mut i, "--requests")?, "--requests")?
+                                as usize;
+                    }
+                    "--linger-us" => {
+                        linger_us =
+                            parse_count(flag_value(rest, &mut i, "--linger-us")?, "--linger-us")?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown serve flag `{flag}`")));
+                    }
+                    s if source.is_none() => source = Some(s),
+                    extra => {
+                        return Err(CliError::Usage(format!("unexpected argument `{extra}`")));
+                    }
+                }
+                i += 1;
+            }
+            let Some(source) = source else {
+                return Err(CliError::Usage("serve needs a <robot>".to_owned()));
+            };
+            cmd_serve(
+                source,
+                kind,
+                tier,
+                clients,
+                requests,
+                std::time::Duration::from_micros(linger_us),
+            )
         }
         _ => Err(CliError::Usage(usage().to_owned())),
     }

@@ -25,6 +25,7 @@
 //! | [`trajopt`] | `robo-trajopt` | iLQR nonlinear MPC and the control-rate analysis |
 //! | [`trace`] | `robo-trace` | pipeline span tracing emitting Chrome-trace JSON (recording gated behind the `trace` cargo feature, on by default) |
 //! | [`engine`] | `robo-dynamics` + `robo-sim` | the plan-once/execute-many engine layer: [`RobotPlan`](engine::RobotPlan) and the [`GradientBackend`](engine::GradientBackend) trait every gradient consumer goes through |
+//! | [`serve`] | `robo-serve` | the gradient-serving tier: [`GradientServer`](serve::GradientServer) with a morphology-keyed plan cache, per-shard dynamic micro-batching, and backpressure |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use robo_dynamics as dynamics;
 pub use robo_fixed as fixed;
 pub use robo_model as model;
 pub use robo_profile as profile;
+pub use robo_serve as serve;
 pub use robo_sim as sim;
 pub use robo_sparsity as sparsity;
 pub use robo_spatial as spatial;
@@ -84,6 +86,7 @@ pub mod engine {
     pub use robo_dynamics::engine::{
         CpuAnalytic, EngineError, FiniteDiff, GradientBackend, GradientBatchOutput, GradientOutput,
     };
+    pub use robo_dynamics::MorphologyKey;
     pub use robo_sim::engine::{AcceleratorBackend, BackendKind, RobotPlan};
 }
 

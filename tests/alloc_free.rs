@@ -242,6 +242,53 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         );
     }
 
+    // The serving tier end-to-end: once a morphology is registered (plan
+    // build + shard/worker spawn) and one round trip has warmed the
+    // worker's batch buffers, the whole steady-state serving path —
+    // enqueue → coalesce → flush → respond → wait — is allocation-free,
+    // *including* the response handoff: the filled request buffer moves
+    // back through the reusable ResponseSlot by value, no boxing. The
+    // allowed allocation points are all cold: registration, slot
+    // creation, and first-flush output sizing. (The worker thread shares
+    // this global counter, so a hidden per-flush allocation on its side
+    // would trip the assert just as well.)
+    for kind in [
+        robomorphic::engine::BackendKind::Cpu,
+        robomorphic::engine::BackendKind::Accel,
+    ] {
+        let server =
+            robomorphic::serve::GradientServer::with_config(robomorphic::serve::ServeConfig {
+                workers: 1,
+                backend: kind,
+                max_linger: std::time::Duration::from_micros(20),
+                ..Default::default()
+            });
+        let key = server.register(&robot);
+        let slot = robomorphic::serve::ResponseSlot::new();
+        let mut req = robomorphic::serve::GradientRequest::for_dof(n);
+        req.q.copy_from_slice(&q);
+        req.qd.copy_from_slice(&qd);
+        req.qdd.copy_from_slice(&qdd);
+        req.minv = minv.clone();
+        for _ in 0..4 {
+            req = server.serve(key, req, &slot).expect("warm-up round trip");
+        }
+        let before = allocations();
+        for _ in 0..16 {
+            req = server
+                .serve(key, req, &slot)
+                .expect("steady-state round trip");
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "`{kind}` serving round trip allocated in steady state"
+        );
+        // Shutdown (drain + join) happens outside the counted region and
+        // may allocate freely.
+        drop(server);
+    }
+
     // Disabled tracing is allocation-free. Every counted loop above
     // already ran through span-instrumented code — this binary builds
     // with the workspace default `trace` feature, so the guards are

@@ -225,3 +225,45 @@ fn run_dispatches() {
     let out = cli::run(&["info".to_owned(), "atlas".to_owned()]).expect("dispatch works");
     assert!(out.contains("30 links"));
 }
+
+#[test]
+fn serve_runs_a_closed_loop_load() {
+    let args: Vec<String> = [
+        "serve",
+        "iiwa14",
+        "--backend",
+        "cpu",
+        "--clients",
+        "2",
+        "--requests",
+        "6",
+        "--linger-us",
+        "50",
+    ]
+    .map(str::to_owned)
+    .into();
+    let out = cli::run(&args).expect("serve runs");
+    assert!(out.contains("serving `iiwa14` [cpu backend"));
+    assert!(out.contains("2 client(s) x 6 round trip(s)"));
+    assert!(out.contains("completed 12/12 (shed 0)"));
+    assert!(out.contains("latency p50"));
+    assert!(out.contains("throughput"));
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let run = |args: &[&str]| cli::run(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    assert!(matches!(
+        run(&["serve", "iiwa14", "--clients", "soon"]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run(&["serve", "iiwa14", "--frobnicate"]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run(&["serve", "--clients", "2"]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(cli::usage().contains("robomorphic serve"));
+}
