@@ -1,0 +1,155 @@
+//! Multifunction kernel family: the fused shared-subexpression tape
+//! against three dedicated single-kernel tapes, on the same workload.
+//!
+//! The tentpole claim of the kernel-family refactor is that emitting
+//! RNEA, forward dynamics, and the ∇ID gradient stage into **one**
+//! netlist lets the optimizer share the trig inputs, the X/Xᵀ banks, and
+//! every common subexpression across kernels — the Dadu-RBD-style
+//! multifunction-datapath argument, realized here at the compiled-tape
+//! level. Two measurements pin it down:
+//!
+//! * **Family evaluation throughput** — one full family evaluation (all
+//!   three kernels' outputs) through the fused tape vs the same outputs
+//!   through three dedicated tapes, serial `eval_into` on warm
+//!   workspaces. Medians are recorded as `multikernel_fused_family_ns` /
+//!   `multikernel_dedicated_family_ns`, with the ratio gated as the
+//!   speedup `multikernel_fused_vs_dedicated_iiwa14` (≥ 1 means fusion
+//!   pays: the shared nodes are evaluated once instead of per kernel).
+//! * **Circuit sharing ratio** — `SharingReport`'s dedicated/merged node
+//!   ratio, recorded as `multikernel_sharing_ratio_iiwa14`. This is a
+//!   deterministic codegen property (no timing noise); the gate pins it
+//!   so a regression in CSE across kernels fails CI even if the host is
+//!   fast enough to hide it.
+//!
+//! Results are written to `BENCH_9.json` at the repository root
+//! (override with `BENCH_OUT`). `BENCH_QUICK=1` shrinks the iteration
+//! counts for CI and `BENCH_TRIALS=N` repeats the run for the
+//! confidence-interval gate; see [`robo_bench::harness`].
+
+use robo_bench::harness::{self, BenchEnv};
+use robo_bench::report::{median, speedup, BenchReport, HostInfo};
+use robo_codegen::{
+    generate_kernel_family, generate_kernel_netlist, optimize, CompiledNetlist, EvalWorkspace,
+};
+use robo_dynamics::engine::KernelKind;
+use robo_model::robots;
+use std::time::Instant;
+
+/// A deterministic input value for a fused-netlist slot: every tape
+/// (fused or dedicated) reads the same value for the same fused name, so
+/// the workloads are identical.
+fn input_value(name: &str) -> f64 {
+    let h = name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+    ((h % 1024) as f64 / 512.0 - 1.0) * 0.9
+}
+
+/// A compiled tape plus the warm buffers to drive it allocation-free.
+struct Bank {
+    tape: CompiledNetlist<f64>,
+    ws: EvalWorkspace<f64>,
+    inputs: Vec<f64>,
+    outputs: Vec<f64>,
+}
+
+impl Bank {
+    fn new(tape: CompiledNetlist<f64>) -> Self {
+        let inputs: Vec<f64> = tape.input_names().iter().map(|n| input_value(n)).collect();
+        let ws = EvalWorkspace::for_netlist(&tape);
+        let outputs = vec![0.0; tape.num_outputs()];
+        Self {
+            tape,
+            ws,
+            inputs,
+            outputs,
+        }
+    }
+
+    fn eval(&mut self) {
+        self.tape
+            .eval_into(&self.inputs, &mut self.ws, &mut self.outputs);
+    }
+}
+
+/// Median ns for one full family evaluation over `iters` iterations,
+/// `runs` runs.
+fn family_ns(banks: &mut [Bank], iters: usize, runs: usize) -> f64 {
+    // Warm-up: page in the tapes, touch every buffer.
+    for bank in banks.iter_mut() {
+        bank.eval();
+    }
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for bank in banks.iter_mut() {
+                    bank.eval();
+                }
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    median(&mut samples)
+}
+
+fn run_once(env: &BenchEnv) -> BenchReport {
+    let mut report = BenchReport::new();
+    report.set_host(HostInfo::detect());
+
+    let robot = robots::iiwa14();
+    let mask = robo_sparsity::superposition_pattern(&robot);
+    let (merged, _, sharing) = generate_kernel_family(&robot, mask, &KernelKind::ALL)
+        .expect("distinct kernels never collide on output names");
+    let mut fused = vec![Bank::new(CompiledNetlist::compile(&merged))];
+    let mut dedicated: Vec<Bank> = KernelKind::ALL
+        .iter()
+        .map(|&k| {
+            let net = generate_kernel_netlist(&robot, mask, &[k]).expect("single kernel");
+            Bank::new(CompiledNetlist::compile(&optimize(&net)))
+        })
+        .collect();
+
+    let (iters, runs) = if env.quick { (2_000, 3) } else { (20_000, 7) };
+    let fused_ns = family_ns(&mut fused, iters, runs);
+    let dedicated_ns = family_ns(&mut dedicated, iters, runs);
+    report.record_median_ns("multikernel_fused_family_ns", fused_ns);
+    report.record_median_ns("multikernel_dedicated_family_ns", dedicated_ns);
+    report.record_speedup(
+        "multikernel_fused_vs_dedicated_iiwa14",
+        dedicated_ns / fused_ns,
+    );
+
+    let sharing_ratio = sharing.dedicated_nodes() as f64 / sharing.merged_nodes.max(1) as f64;
+    report.record_speedup("multikernel_sharing_ratio_iiwa14", sharing_ratio);
+
+    println!(
+        "multikernel/fused_family      median: {fused_ns:10.1} ns/family \
+         ({} nodes, {} DSP muls)",
+        sharing.merged_nodes, sharing.merged.muls
+    );
+    println!(
+        "multikernel/dedicated_family  median: {dedicated_ns:10.1} ns/family \
+         ({} nodes, {} DSP muls across 3 tapes)",
+        sharing.dedicated_nodes(),
+        sharing.dedicated_stats().muls
+    );
+    println!(
+        "multikernel/fused_vs_dedicated_iiwa14 speedup: {}",
+        speedup(dedicated_ns / fused_ns)
+    );
+    println!(
+        "multikernel/sharing_ratio_iiwa14      ratio: {} \
+         ({} shared nodes, {} shared DSP muls, {} shared adds)",
+        speedup(sharing_ratio),
+        sharing.shared_nodes(),
+        sharing.shared_dsp_muls(),
+        sharing.shared_adds()
+    );
+    report
+}
+
+fn main() {
+    let default = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json");
+    harness::run_trials(&default, run_once);
+}

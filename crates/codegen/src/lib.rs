@@ -14,6 +14,10 @@
 //! * [`generate_x_unit`] / [`generate_xt_unit`] — emit the pruned `X·` /
 //!   `Xᵀ·` transform units (Figure 7) for any joint of any robot,
 //!   constant-folding ±1/0 coefficients;
+//! * [`generate_kernel_netlist`] / [`generate_kernel_family`] — merge the
+//!   RNEA / FD / ∇ID kernel datapaths into one shared-subexpression
+//!   netlist with per-kernel namespaced outputs, with shared-vs-dedicated
+//!   resource accounting in a [`SharingReport`];
 //! * [`optimize`] — IR passes (constant folding, identity simplification,
 //!   CSE, dead-node elimination) that prune the netlist the way §5.2
 //!   prunes the RTL, with pre/post [`NetlistStats`] via [`OptReport`];
@@ -66,6 +70,7 @@ pub use opt::{optimize, optimize_with_report, OptReport};
 pub use top::{generate_top, TopLevel};
 pub use verilog::{lint, to_verilog, RtlFormat};
 pub use xunit_gen::{
+    generate_dx_unit_with_mask, generate_kernel_family, generate_kernel_netlist,
     generate_x_pipeline, generate_x_unit, generate_x_unit_with_mask, generate_xt_unit,
-    generate_xt_unit_with_mask, snap, x_unit_input_names, x_unit_output_names,
+    generate_xt_unit_with_mask, snap, x_unit_input_names, x_unit_output_names, SharingReport,
 };

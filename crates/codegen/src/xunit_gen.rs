@@ -7,9 +7,12 @@
 //! negations; zero coefficients disappear — exactly the pruning the paper
 //! performs on the RTL.
 
-use crate::netlist::{Netlist, Node, NodeId};
+use crate::netlist::{Netlist, NetlistError, NetlistStats, Node, NodeId};
+use crate::opt::{optimize, optimize_with_report, OptReport};
+use robo_dynamics::engine::KernelKind;
 use robo_model::RobotModel;
 use robo_sparsity::{x_pattern, Mask6};
+use std::collections::HashMap;
 
 /// Input signal names of a generated X-unit, in declaration order:
 /// `sin_q`, `cos_q`, then `v0..v5`.
@@ -100,7 +103,7 @@ pub fn generate_xt_unit(robot: &RobotModel, joint: usize) -> Netlist {
 /// Panics in debug builds if `mask` does not cover the joint's own
 /// structural pattern.
 pub fn generate_x_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
-    generate_unit(robot, joint, mask, false)
+    generate_unit(robot, joint, mask, false, false)
 }
 
 /// Generates the transposed unit (`Xᵀ·f`) with an explicit mask. The same
@@ -114,7 +117,18 @@ pub fn generate_x_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) 
 /// Panics in debug builds if `mask` does not cover the joint's own
 /// structural pattern.
 pub fn generate_xt_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
-    generate_unit(robot, joint, mask, true)
+    generate_unit(robot, joint, mask, true, false)
+}
+
+/// Generates the joint's `∂X/∂q` application unit (`(∂X/∂q)·m`, the seed
+/// operation of the gradient datapath). Because every live entry is
+/// affine in `(sin q, cos q)` — `x_rc = α·cos q + β·sin q + γ` — the
+/// derivative is *another* affine unit with coefficients
+/// `(α, β, γ) → (β, −α, 0)`, so it reuses the same entry-forming bank
+/// structure and shares the trig inputs (and, after CSE, any coincident
+/// sub-circuits) with the forward unit.
+pub fn generate_dx_unit_with_mask(robot: &RobotModel, joint: usize, mask: Mask6) -> Netlist {
+    generate_unit(robot, joint, mask, false, true)
 }
 
 /// Merges every joint's X-unit into one netlist — the per-state transform
@@ -153,13 +167,287 @@ pub fn generate_x_pipeline(robot: &RobotModel, mask: Mask6) -> Netlist {
     n
 }
 
-fn generate_unit(robot: &RobotModel, joint: usize, mask: Mask6, transpose: bool) -> Netlist {
+/// Looks up (or creates) a shared input node by name. Input sharing is how
+/// the merged family netlist expresses "these kernels read the same runtime
+/// operand": two units referencing one input node build sub-circuits that
+/// the optimizer's CSE can then fold together.
+fn shared_input(
+    merged: &mut Netlist,
+    inputs: &mut HashMap<String, NodeId>,
+    name: String,
+) -> NodeId {
+    if let Some(&id) = inputs.get(&name) {
+        return id;
+    }
+    let id = merged.push(Node::Input(name.clone()));
+    inputs.insert(name, id);
+    id
+}
+
+/// Appends `unit` into `merged`, remapping node ids and renaming inputs
+/// (deduplicated through `inputs`) and outputs. Output-name collisions —
+/// e.g. the same kernel requested twice — surface as
+/// [`NetlistError::DuplicateOutput`] with the namespaced name.
+fn append_unit(
+    merged: &mut Netlist,
+    unit: &Netlist,
+    inputs: &mut HashMap<String, NodeId>,
+    rename_input: &dyn Fn(&str) -> String,
+    rename_output: &dyn Fn(&str) -> String,
+) -> Result<(), NetlistError> {
+    let mut map: Vec<NodeId> = Vec::with_capacity(unit.nodes().len());
+    for node in unit.nodes() {
+        let id = match node {
+            Node::Input(name) => shared_input(merged, inputs, rename_input(name)),
+            Node::Const(c) => merged.push(Node::Const(*c)),
+            Node::Mul(a, b) => merged.push(Node::Mul(map[*a], map[*b])),
+            Node::MulConst(a, c) => merged.push(Node::MulConst(map[*a], *c)),
+            Node::Add(a, b) => merged.push(Node::Add(map[*a], map[*b])),
+            Node::Sub(a, b) => merged.push(Node::Sub(map[*a], map[*b])),
+            Node::Neg(a) => merged.push(Node::Neg(map[*a])),
+        };
+        map.push(id);
+    }
+    for (name, id) in unit.outputs() {
+        merged.output(rename_output(name), map[*id])?;
+    }
+    Ok(())
+}
+
+/// Renames a unit-local operand for the merged namespace. Trig inputs are
+/// shared per joint (`j3_sin_q`); the vector operand gets a per-stage tag —
+/// `v` for motion vectors (the X and ∂X units genuinely read the same
+/// forward-sweep operands at runtime, so they share), `f` for force vectors
+/// (the backward sweep reads *different* data, so Xᵀ must not alias X).
+fn rename_operand(joint: usize, name: &str, vec_tag: char) -> String {
+    match name {
+        "sin_q" | "cos_q" => format!("j{joint}_{name}"),
+        _ => format!("j{joint}_{vec_tag}{}", &name[1..]),
+    }
+}
+
+/// Emits the forward-dynamics MAC stage: `qdd_i = Σ_k M⁻¹_ik · (τ_k − c_k)`
+/// — the fused `−M⁻¹` composition that closes the "mass-matrix inverse
+/// outside the accelerator" gap (`C` is the bias from the ID chain at
+/// `q̈ = 0`, streamed in as `c{k}`).
+fn append_fd_mac(
+    merged: &mut Netlist,
+    inputs: &mut HashMap<String, NodeId>,
+    dof: usize,
+    tag: &str,
+) -> Result<(), NetlistError> {
+    let mut residual = Vec::with_capacity(dof);
+    for k in 0..dof {
+        let tau = shared_input(merged, inputs, format!("tau{k}"));
+        let c = shared_input(merged, inputs, format!("c{k}"));
+        residual.push(merged.push(Node::Sub(tau, c)));
+    }
+    for i in 0..dof {
+        let mut terms = Vec::with_capacity(dof);
+        for k in 0..dof {
+            let minv = shared_input(merged, inputs, format!("minv_{i}_{k}"));
+            terms.push(merged.push(Node::Mul(minv, residual[k])));
+        }
+        let out = sum_terms(merged, &terms).expect("dof >= 1");
+        merged.output(format!("{tag}_qdd{i}"), out)?;
+    }
+    Ok(())
+}
+
+/// Generates one netlist containing every requested kernel's per-joint
+/// datapath stages, with per-kernel namespaced outputs.
+///
+/// Per kernel the emitted stages are:
+///
+/// | kernel | stages per joint | extra |
+/// |---|---|---|
+/// | `id` | X (`{k}_j{j}_x_o{i}`), Xᵀ (`{k}_j{j}_xt_o{i}`) | — |
+/// | `fd` | X, Xᵀ | MAC `qdd_i = Σ M⁻¹_ik (τ_k − c_k)` → `fd_qdd{i}` |
+/// | `grad` | X, Xᵀ, ∂X (`{k}_j{j}_dx_o{i}`) | — |
+///
+/// Inputs are shared wherever the runtime operands coincide — trig per
+/// joint, motion vectors between X and ∂X — so running [`optimize`] over
+/// the union lets CSE fold identical sub-circuits *across* kernels, the
+/// multifunction-pipeline sharing this family models.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::DuplicateOutput`] with the offending namespaced
+/// name if two requested kernels would emit the same output — e.g. the
+/// same [`KernelKind`] listed twice.
+pub fn generate_kernel_netlist(
+    robot: &RobotModel,
+    mask: Mask6,
+    kernels: &[KernelKind],
+) -> Result<Netlist, NetlistError> {
+    let tags: Vec<&str> = kernels.iter().map(|k| k.as_str()).collect();
+    let mut merged = Netlist::new(format!("kernel_family_{}_{}", robot.name(), tags.join("_")));
+    let mut inputs = HashMap::new();
+    for &kernel in kernels {
+        let tag = kernel.as_str();
+        for joint in 0..robot.dof() {
+            let x = generate_x_unit_with_mask(robot, joint, mask);
+            append_unit(
+                &mut merged,
+                &x,
+                &mut inputs,
+                &|name| rename_operand(joint, name, 'v'),
+                &|name| format!("{tag}_j{joint}_x_{name}"),
+            )?;
+            let xt = generate_xt_unit_with_mask(robot, joint, mask);
+            append_unit(
+                &mut merged,
+                &xt,
+                &mut inputs,
+                &|name| rename_operand(joint, name, 'f'),
+                &|name| format!("{tag}_j{joint}_xt_{name}"),
+            )?;
+            if kernel == KernelKind::Gradient {
+                let dx = generate_dx_unit_with_mask(robot, joint, mask);
+                append_unit(
+                    &mut merged,
+                    &dx,
+                    &mut inputs,
+                    &|name| rename_operand(joint, name, 'v'),
+                    &|name| format!("{tag}_j{joint}_dx_{name}"),
+                )?;
+            }
+        }
+        if kernel == KernelKind::ForwardDynamics {
+            append_fd_mac(&mut merged, &mut inputs, robot.dof(), tag)?;
+        }
+    }
+    Ok(merged)
+}
+
+/// Shared-vs-dedicated resource accounting for a merged kernel family:
+/// what each kernel would cost as a standalone optimized netlist, versus
+/// what the optimized union actually costs. The difference is the hardware
+/// the kernels share — the multifunction-pipeline savings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharingReport {
+    /// Per kernel: optimized *dedicated* netlist node count and op stats.
+    pub per_kernel: Vec<(KernelKind, usize, NetlistStats)>,
+    /// Node count of the optimized merged family netlist.
+    pub merged_nodes: usize,
+    /// Op stats of the optimized merged family netlist.
+    pub merged: NetlistStats,
+}
+
+impl SharingReport {
+    /// Total node count of the dedicated (one-netlist-per-kernel) designs.
+    pub fn dedicated_nodes(&self) -> usize {
+        self.per_kernel.iter().map(|(_, n, _)| n).sum()
+    }
+
+    /// Summed op stats of the dedicated designs.
+    pub fn dedicated_stats(&self) -> NetlistStats {
+        let mut total = NetlistStats::default();
+        for (_, _, s) in &self.per_kernel {
+            total.muls += s.muls;
+            total.const_muls += s.const_muls;
+            total.adds += s.adds;
+            total.negs += s.negs;
+        }
+        total
+    }
+
+    /// Nodes the merged design saves over dedicated designs — the shared
+    /// sub-circuits CSE folded together across kernels.
+    pub fn shared_nodes(&self) -> usize {
+        self.dedicated_nodes().saturating_sub(self.merged_nodes)
+    }
+
+    /// DSP multipliers (variable + constant) saved by sharing.
+    pub fn shared_dsp_muls(&self) -> usize {
+        let d = self.dedicated_stats();
+        (d.muls + d.const_muls).saturating_sub(self.merged.muls + self.merged.const_muls)
+    }
+
+    /// Adders saved by sharing.
+    pub fn shared_adds(&self) -> usize {
+        self.dedicated_stats().adds.saturating_sub(self.merged.adds)
+    }
+}
+
+impl std::fmt::Display for SharingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tags: Vec<&str> = self.per_kernel.iter().map(|(k, _, _)| k.as_str()).collect();
+        let d = self.dedicated_stats();
+        write!(
+            f,
+            "family {{{}}}: merged {} nodes / {} DSP / {} adds; \
+             dedicated {} nodes / {} DSP / {} adds; \
+             shared {} nodes, {} DSP, {} adds",
+            tags.join("+"),
+            self.merged_nodes,
+            self.merged.muls + self.merged.const_muls,
+            self.merged.adds,
+            self.dedicated_nodes(),
+            d.muls + d.const_muls,
+            d.adds,
+            self.shared_nodes(),
+            self.shared_dsp_muls(),
+            self.shared_adds(),
+        )
+    }
+}
+
+/// Generates, optimizes, and accounts for a kernel family in one call:
+/// returns the optimized merged netlist, the merged [`OptReport`], and the
+/// [`SharingReport`] comparing it against one optimized dedicated netlist
+/// per kernel.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::DuplicateOutput`] from
+/// [`generate_kernel_netlist`].
+pub fn generate_kernel_family(
+    robot: &RobotModel,
+    mask: Mask6,
+    kernels: &[KernelKind],
+) -> Result<(Netlist, OptReport, SharingReport), NetlistError> {
+    let merged_raw = generate_kernel_netlist(robot, mask, kernels)?;
+    let (merged_opt, report) = optimize_with_report(&merged_raw);
+    let mut per_kernel = Vec::with_capacity(kernels.len());
+    for &k in kernels {
+        let dedicated = optimize(&generate_kernel_netlist(robot, mask, &[k])?);
+        per_kernel.push((k, dedicated.nodes().len(), dedicated.stats()));
+    }
+    let sharing = SharingReport {
+        per_kernel,
+        merged_nodes: merged_opt.nodes().len(),
+        merged: merged_opt.stats(),
+    };
+    Ok((merged_opt, report, sharing))
+}
+
+fn generate_unit(
+    robot: &RobotModel,
+    joint: usize,
+    mask: Mask6,
+    transpose: bool,
+    deriv: bool,
+) -> Netlist {
     debug_assert!(
         x_pattern(robot, joint).is_subset_of(&mask),
         "mask must cover joint {joint}'s structural pattern"
     );
-    let coeffs = affine_coefficients(robot, joint);
-    let direction = if transpose { "xt_unit" } else { "x_unit" };
+    let mut coeffs = affine_coefficients(robot, joint);
+    if deriv {
+        // d/dq (α·cos q + β·sin q + γ) = β·cos q + (−α)·sin q.
+        for row in &mut coeffs {
+            for e in row.iter_mut() {
+                *e = (e.1, -e.0, 0.0);
+            }
+        }
+    }
+    let direction = match (transpose, deriv) {
+        (false, false) => "x_unit",
+        (true, false) => "xt_unit",
+        (false, true) => "dx_unit",
+        (true, true) => "dxt_unit",
+    };
     let mut n = Netlist::new(format!("{direction}_{}_joint{}", robot.name(), joint));
 
     let sin = n.push(Node::Input("sin_q".into()));
@@ -410,6 +698,181 @@ mod tests {
             for (i, w) in want.to_array().iter().enumerate() {
                 let got = out[&format!("j{joint}_o{i}")];
                 assert_eq!(got.to_bits(), w.to_bits(), "joint {joint} o{i}");
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random input map covering every signal a
+    /// kernel-family netlist can read: per-joint trig, motion (`v`) and
+    /// force (`f`) vectors, and the FD MAC's `tau`/`c`/`minv` streams.
+    fn family_inputs(robot: &RobotModel) -> HashMap<String, f64> {
+        let mut inputs = HashMap::new();
+        let dof = robot.dof();
+        for j in 0..dof {
+            let q = 0.4 * j as f64 - 0.7;
+            inputs.insert(format!("j{j}_sin_q"), q.sin());
+            inputs.insert(format!("j{j}_cos_q"), q.cos());
+            for i in 0..6 {
+                inputs.insert(format!("j{j}_v{i}"), 0.1 * (j * 6 + i) as f64 - 0.9);
+                inputs.insert(format!("j{j}_f{i}"), 0.07 * (j * 6 + i) as f64 + 0.2);
+            }
+        }
+        for k in 0..dof {
+            inputs.insert(format!("tau{k}"), 0.3 * k as f64 - 0.5);
+            inputs.insert(format!("c{k}"), 0.11 * k as f64 + 0.04);
+            for i in 0..dof {
+                inputs.insert(format!("minv_{i}_{k}"), 0.02 * (i * dof + k) as f64 - 0.1);
+            }
+        }
+        inputs
+    }
+
+    #[test]
+    fn kernel_netlist_outputs_match_per_unit_banks() {
+        // Each kernel's namespaced outputs in the merged netlist evaluate
+        // bit-identically to the standalone per-joint units.
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let inputs = family_inputs(&robot);
+        let family = generate_kernel_netlist(&robot, mask, &KernelKind::ALL).unwrap();
+        let out: HashMap<String, f64> = family.eval(&inputs).unwrap().into_iter().collect();
+
+        for j in 0..robot.dof() {
+            let mut unit_inputs = HashMap::new();
+            unit_inputs.insert("sin_q".to_owned(), inputs[&format!("j{j}_sin_q")]);
+            unit_inputs.insert("cos_q".to_owned(), inputs[&format!("j{j}_cos_q")]);
+            for (stage, unit, vec_tag) in [
+                ("x", generate_x_unit_with_mask(&robot, j, mask), 'v'),
+                ("xt", generate_xt_unit_with_mask(&robot, j, mask), 'f'),
+                ("dx", generate_dx_unit_with_mask(&robot, j, mask), 'v'),
+            ] {
+                for i in 0..6 {
+                    unit_inputs.insert(format!("v{i}"), inputs[&format!("j{j}_{vec_tag}{i}")]);
+                }
+                let want: HashMap<String, f64> =
+                    unit.eval(&unit_inputs).unwrap().into_iter().collect();
+                for kernel in KernelKind::ALL {
+                    let has_stage = stage != "dx" || kernel == KernelKind::Gradient;
+                    for i in 0..6 {
+                        let name = format!("{}_j{j}_{stage}_o{i}", kernel.as_str());
+                        match (has_stage, out.get(&name)) {
+                            (true, Some(got)) => assert_eq!(
+                                got.to_bits(),
+                                want[&format!("o{i}")].to_bits(),
+                                "{name}"
+                            ),
+                            (true, None) => panic!("missing output {name}"),
+                            (false, Some(_)) => panic!("unexpected output {name}"),
+                            (false, None) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fd_mac_stage_computes_minv_residual_product() {
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let inputs = family_inputs(&robot);
+        let fd = generate_kernel_netlist(&robot, mask, &[KernelKind::ForwardDynamics]).unwrap();
+        let out: HashMap<String, f64> = fd.eval(&inputs).unwrap().into_iter().collect();
+        let dof = robot.dof();
+        for i in 0..dof {
+            let mut want = 0.0;
+            for k in 0..dof {
+                want += inputs[&format!("minv_{i}_{k}")]
+                    * (inputs[&format!("tau{k}")] - inputs[&format!("c{k}")]);
+            }
+            let got = out[&format!("fd_qdd{i}")];
+            assert!((got - want).abs() < 1e-12, "qdd{i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn duplicate_kernel_surfaces_namespaced_output_collision() {
+        // Requesting the same kernel twice must error with the offending
+        // namespaced name, not silently shadow the first emission.
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let err =
+            generate_kernel_netlist(&robot, mask, &[KernelKind::Gradient, KernelKind::Gradient])
+                .unwrap_err();
+        match err {
+            NetlistError::DuplicateOutput { name } => assert_eq!(name, "grad_j0_x_o0"),
+            other => panic!("expected DuplicateOutput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_shares_nodes_across_kernels() {
+        // The merged family must be strictly smaller than three dedicated
+        // designs — the kernels genuinely share the X/Xᵀ banks.
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let (merged, report, sharing) =
+            generate_kernel_family(&robot, mask, &KernelKind::ALL).unwrap();
+        assert_eq!(sharing.per_kernel.len(), 3);
+        assert!(sharing.shared_nodes() > 0, "{sharing}");
+        assert!(sharing.shared_dsp_muls() > 0, "{sharing}");
+        assert_eq!(sharing.merged_nodes, merged.nodes().len());
+        assert!(report.nodes_after <= report.nodes_before);
+        // Sharing never invents hardware: merged ≤ dedicated, per metric.
+        let d = sharing.dedicated_stats();
+        assert!(sharing.merged.muls <= d.muls);
+        assert!(sharing.merged.adds <= d.adds);
+    }
+
+    #[test]
+    fn optimized_family_matches_raw_family() {
+        // The merged-and-optimized family still computes each kernel's
+        // outputs (1e-12 budget for CSE-induced reassociation, as in the
+        // engine parity suite; in practice the passes are value-exact).
+        let robot = robots::hyq();
+        let mask = superposition_pattern(&robot);
+        let inputs = family_inputs(&robot);
+        let raw = generate_kernel_netlist(&robot, mask, &KernelKind::ALL).unwrap();
+        let (opt, _, _) = generate_kernel_family(&robot, mask, &KernelKind::ALL).unwrap();
+        let want: HashMap<String, f64> = raw.eval(&inputs).unwrap().into_iter().collect();
+        let got: HashMap<String, f64> = opt.eval(&inputs).unwrap().into_iter().collect();
+        assert_eq!(want.len(), got.len());
+        for (name, w) in &want {
+            let g = got[name];
+            assert!(
+                (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                "{name}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn family_lowers_to_lintable_verilog() {
+        use crate::verilog::{lint, to_verilog, RtlFormat};
+        let robot = robots::iiwa14();
+        let mask = superposition_pattern(&robot);
+        let (opt, _, _) = generate_kernel_family(&robot, mask, &KernelKind::ALL).unwrap();
+        lint(&to_verilog(&opt, RtlFormat::q16_16())).expect("family RTL lints");
+    }
+
+    #[test]
+    fn dx_unit_is_the_trig_derivative_of_x_unit() {
+        // Central-difference check: (∂X/∂q)·v from the generated dx unit
+        // matches d/dq of the x unit's output.
+        let robot = robots::iiwa14();
+        let m = Motion::from_array([0.3, -0.8, 0.5, 1.1, -0.2, 0.7]);
+        for joint in 0..robot.dof() {
+            let mask = x_pattern(&robot, joint);
+            let dx = generate_dx_unit_with_mask(&robot, joint, mask);
+            let x = generate_x_unit(&robot, joint);
+            let q = 0.6;
+            let h = 1e-6;
+            let got = eval_unit(&dx, &robot, joint, q, m).to_array();
+            let plus = eval_unit(&x, &robot, joint, q + h, m).to_array();
+            let minus = eval_unit(&x, &robot, joint, q - h, m).to_array();
+            for i in 0..6 {
+                let want = (plus[i] - minus[i]) / (2.0 * h);
+                assert!((got[i] - want).abs() < 1e-8, "joint {joint} o{i}");
             }
         }
     }

@@ -25,9 +25,11 @@
 //! shared [`BatchEngine`] a private instance over the same immutable plan.
 
 use crate::batch::{BatchEngine, GradientState};
+use crate::fd::{aba_into, AbaWorkspace};
+use crate::rnea::rnea_into;
 use crate::{
-    dynamics_gradient_into, findiff, DynamicsGradient, DynamicsModel, GradWorkspace,
-    InverseDynamicsGradient,
+    dynamics_gradient_into, findiff, forward_dynamics, DynamicsGradient, DynamicsModel,
+    GradWorkspace, InverseDynamicsGradient,
 };
 use robo_model::RobotModel;
 use robo_spatial::{ExecTier, MatN, Scalar, WideScalar, WideVisit};
@@ -64,6 +66,72 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// The kernel-family axis: which rigid-body kernel a backend evaluates.
+///
+/// The source paper parameterizes one ∇ID datapath per robot; Dadu-RBD
+/// shows the same morphology-pruned datapath profitably serves a *family*
+/// of kernels on shared multifunctional pipelines. Every layer of this
+/// stack — netlist generation (`generate_kernel_netlist` in
+/// `robo-codegen`), the engine ([`DynamicsBackend::run_into`]), the plan
+/// (`RobotPlan` in `robo-sim`), serving (`GradientRequest` in
+/// `robo-serve`), and the CLI (`--kernel`) — is parameterized by this
+/// enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// RNEA: joint torques `τ(q, q̇, q̈)`.
+    InverseDynamics,
+    /// Forward dynamics: joint accelerations `q̈ = M⁻¹(τ − C(q, q̇))`.
+    ForwardDynamics,
+    /// The dynamics gradient `∂q̈/∂q`, `∂q̈/∂q̇` (plus the ∇ID stage) —
+    /// the paper's original workload.
+    Gradient,
+}
+
+impl KernelKind {
+    /// Every kernel, in canonical order.
+    pub const ALL: [Self; 3] = [Self::InverseDynamics, Self::ForwardDynamics, Self::Gradient];
+
+    /// Stable short tag, used for CLI flags, shard naming, and netlist
+    /// output namespacing.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::InverseDynamics => "id",
+            Self::ForwardDynamics => "fd",
+            Self::Gradient => "grad",
+        }
+    }
+
+    /// Index into [`KernelKind::ALL`] (dense per-kernel tables).
+    pub fn index(self) -> usize {
+        match self {
+            Self::InverseDynamics => 0,
+            Self::ForwardDynamics => 1,
+            Self::Gradient => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "id" | "rnea" => Ok(Self::InverseDynamics),
+            "fd" | "aba" => Ok(Self::ForwardDynamics),
+            "grad" | "gradient" => Ok(Self::Gradient),
+            other => Err(format!(
+                "unknown kernel `{other}` (expected `id`, `fd`, or `grad`)"
+            )),
+        }
+    }
+}
 
 /// Validates one gradient evaluation point against a backend's joint
 /// count; every [`GradientBackend`] implementation calls this at entry.
@@ -464,6 +532,93 @@ pub trait GradientBackend: Send + Sync {
     }
 }
 
+/// Output buffer for [`DynamicsBackend::run_into`]: one field family per
+/// [`KernelKind`], reusable across calls so warm kernel evaluations are
+/// allocation-free. Only the fields of the requested kernel are written:
+/// `tau` for [`KernelKind::InverseDynamics`], `qdd` for
+/// [`KernelKind::ForwardDynamics`], `grad` for [`KernelKind::Gradient`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelOutput {
+    /// Joint torques `τ` (inverse dynamics).
+    pub tau: Vec<f64>,
+    /// Joint accelerations `q̈` (forward dynamics).
+    pub qdd: Vec<f64>,
+    /// The four gradient matrices (gradient kernel).
+    pub grad: GradientOutput,
+}
+
+impl KernelOutput {
+    /// An empty buffer; the first call through a backend sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer pre-sized for `dof` joints, so even the first call is
+    /// allocation-free.
+    pub fn for_dof(dof: usize) -> Self {
+        Self {
+            tau: vec![0.0; dof],
+            qdd: vec![0.0; dof],
+            grad: GradientOutput::for_dof(dof),
+        }
+    }
+}
+
+/// The multifunction face of a backend: one selector over the whole
+/// kernel family (RNEA / FD / ∇ID) instead of bespoke call paths — the
+/// engine-layer mirror of Dadu-RBD's shared multifunctional pipelines.
+///
+/// [`GradientBackend`] remains as the compat surface (it is this trait's
+/// supertrait), so gradient-only consumers — iLQR, MPC, `stream_batch` —
+/// keep compiling unchanged; `Box<dyn DynamicsBackend>` upcasts to
+/// `Box<dyn GradientBackend>` where needed.
+///
+/// The `third` input slot is kernel-dependent, mirroring the accelerator's
+/// fixed input register file: it carries `q̈` for
+/// [`KernelKind::InverseDynamics`] and [`KernelKind::Gradient`], and `τ`
+/// for [`KernelKind::ForwardDynamics`]. `minv` is consumed by the FD
+/// composition `q̈ = M⁻¹(τ − C)` and the gradient's step 3; the inverse-
+/// dynamics kernel validates but ignores it (the datapath always latches
+/// the full register file).
+pub trait DynamicsBackend: GradientBackend {
+    /// Evaluates `kernel` at one state, writing the kernel's fields of
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DimensionMismatch`] when any input dimension
+    /// disagrees with [`GradientBackend::dof`].
+    fn run_into(
+        &mut self,
+        kernel: KernelKind,
+        q: &[f64],
+        qd: &[f64],
+        third: &[f64],
+        minv: &MatN<f64>,
+        out: &mut KernelOutput,
+    ) -> Result<(), EngineError>;
+
+    /// Convenience allocating entry point for [`run_into`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_into`].
+    ///
+    /// [`run_into`]: DynamicsBackend::run_into
+    fn run(
+        &mut self,
+        kernel: KernelKind,
+        q: &[f64],
+        qd: &[f64],
+        third: &[f64],
+        minv: &MatN<f64>,
+    ) -> Result<KernelOutput, EngineError> {
+        let mut out = KernelOutput::for_dof(self.dof());
+        self.run_into(kernel, q, qd, third, minv, &mut out)?;
+        Ok(out)
+    }
+}
+
 /// Casts a borrowed `f64` slice into a warm scratch vector (identity for
 /// `S = f64`), without allocating once the scratch has capacity. Shared by
 /// every backend that computes in a non-host scalar type — the software
@@ -481,6 +636,13 @@ pub fn cast_mat_into<S: Scalar>(src: &MatN<f64>, dst: &mut MatN<S>) {
             dst[(i, j)] = S::from_f64(src[(i, j)]);
         }
     }
+}
+
+/// Casts a scalar slice back into a warm `f64` output vector (the return
+/// half of the I/O marshalling).
+pub fn cast_slice_out<S: Scalar>(src: &[S], dst: &mut Vec<f64>) {
+    dst.clear();
+    dst.extend(src.iter().map(|x| x.to_f64()));
 }
 
 /// Casts a scalar matrix back into an `f64` output matrix.
@@ -647,6 +809,7 @@ pub struct CpuAnalytic<S: Scalar> {
     model: Arc<DynamicsModel<S>>,
     tier: ExecTier,
     ws: GradWorkspace<S>,
+    aba: AbaWorkspace<S>,
     q_s: Vec<S>,
     qd_s: Vec<S>,
     qdd_s: Vec<S>,
@@ -707,6 +870,7 @@ impl<S: Scalar> CpuAnalytic<S> {
         let n = model.dof();
         Self {
             ws: GradWorkspace::for_model(&model),
+            aba: AbaWorkspace::for_model(&model),
             q_s: Vec::with_capacity(n),
             qd_s: Vec::with_capacity(n),
             qdd_s: Vec::with_capacity(n),
@@ -812,6 +976,58 @@ impl<S: Scalar> GradientBackend for CpuAnalytic<S> {
     }
 }
 
+impl<S: Scalar> DynamicsBackend for CpuAnalytic<S> {
+    /// RNEA via the allocation-free [`rnea_into`], FD via the O(n) ABA
+    /// ([`aba_into`]), the gradient via the existing analytical kernel —
+    /// each bit-identical to its direct `robo_dynamics` kernel in `S`,
+    /// cast at the `f64` trait boundary.
+    fn run_into(
+        &mut self,
+        kernel: KernelKind,
+        q: &[f64],
+        qd: &[f64],
+        third: &[f64],
+        minv: &MatN<f64>,
+        out: &mut KernelOutput,
+    ) -> Result<(), EngineError> {
+        match kernel {
+            KernelKind::Gradient => self.gradient_into(q, qd, third, minv, &mut out.grad),
+            KernelKind::InverseDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                let _span = robo_trace::span("kernel.cpu.id");
+                cast_slice_into(q, &mut self.q_s);
+                cast_slice_into(qd, &mut self.qd_s);
+                cast_slice_into(third, &mut self.qdd_s);
+                rnea_into(
+                    &self.model,
+                    &self.q_s,
+                    &self.qd_s,
+                    &self.qdd_s,
+                    &mut self.ws.rnea,
+                );
+                cast_slice_out(&self.ws.rnea.tau, &mut out.tau);
+                Ok(())
+            }
+            KernelKind::ForwardDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                let _span = robo_trace::span("kernel.cpu.fd");
+                cast_slice_into(q, &mut self.q_s);
+                cast_slice_into(qd, &mut self.qd_s);
+                cast_slice_into(third, &mut self.qdd_s);
+                aba_into(
+                    &self.model,
+                    &self.q_s,
+                    &self.qd_s,
+                    &self.qdd_s,
+                    &mut self.aba,
+                );
+                cast_slice_out(&self.aba.qdd, &mut out.qdd);
+                Ok(())
+            }
+        }
+    }
+}
+
 /// The finite-difference oracle: central differences of the RNEA for the
 /// step-2 gradient, then the exact `−M⁻¹` step 3. Used to validate the
 /// analytical backends; allocates per call (it is a test oracle, not a
@@ -879,6 +1095,43 @@ impl GradientBackend for FiniteDiff {
 
     fn fork(&self) -> Box<dyn GradientBackend + '_> {
         Box::new(self.clone())
+    }
+}
+
+impl DynamicsBackend for FiniteDiff {
+    /// The oracle routes: RNEA through the allocating reference kernel,
+    /// FD through the *CRBA + LDLT* factorization (`forward_dynamics`) —
+    /// a genuinely independent algorithm from the analytic backends' ABA
+    /// and the accelerator's `M⁻¹(τ − C)` composition, which is what makes
+    /// it a useful cross-check — and the gradient through central
+    /// differences. Allocates per call, as the gradient oracle does.
+    fn run_into(
+        &mut self,
+        kernel: KernelKind,
+        q: &[f64],
+        qd: &[f64],
+        third: &[f64],
+        minv: &MatN<f64>,
+        out: &mut KernelOutput,
+    ) -> Result<(), EngineError> {
+        match kernel {
+            KernelKind::Gradient => self.gradient_into(q, qd, third, minv, &mut out.grad),
+            KernelKind::InverseDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                out.tau.clear();
+                out.tau
+                    .extend_from_slice(&crate::rnea(&self.model, q, qd, third).tau);
+                Ok(())
+            }
+            KernelKind::ForwardDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                let qdd = forward_dynamics(&self.model, q, qd, third)
+                    .expect("oracle forward dynamics requires an SPD mass matrix");
+                out.qdd.clear();
+                out.qdd.extend_from_slice(&qdd);
+                Ok(())
+            }
+        }
     }
 }
 

@@ -4,8 +4,9 @@
 //! the CRBA route (`q̈ = M⁻¹(τ − C)`, the structure the paper's Algorithm 1
 //! exploits) and the O(n) Articulated Body Algorithm.
 
+use crate::rnea::{rnea_into, RneaWorkspace};
 use crate::{bias_torques, mass_matrix, DynamicsModel};
-use robo_spatial::{FactorizeError, Force, Mat6, Motion, Scalar};
+use robo_spatial::{FactorizeError, Force, Mat6, MatN, Motion, Scalar, Transform};
 
 /// Computes forward dynamics via the mass matrix: `q̈ = M⁻¹ (τ − C(q, q̇))`.
 ///
@@ -71,16 +72,107 @@ fn outer6<S: Scalar>(a: [S; 6], b: [S; 6]) -> Mat6<S> {
 /// Panics if slice lengths differ from `model.dof()`, or if an articulated
 /// joint-space inertia `d = Sᵀ IA S` is non-positive (invalid model).
 pub fn aba<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], tau: &[S]) -> Vec<S> {
+    let mut ws = AbaWorkspace::new();
+    aba_into(model, q, qd, tau, &mut ws);
+    ws.qdd
+}
+
+/// Reusable buffers for [`aba_into`] — every per-link intermediate of the
+/// three ABA passes, sized on first use so steady-state calls are
+/// allocation-free (proven in `tests/alloc_free.rs`).
+#[derive(Debug, Clone)]
+pub struct AbaWorkspace<S> {
+    x: Vec<Transform<S>>,
+    v: Vec<Motion<S>>,
+    c: Vec<Motion<S>>,
+    ia: Vec<Mat6<S>>,
+    pa: Vec<Force<S>>,
+    u_vec: Vec<[S; 6]>,
+    d: Vec<S>,
+    u_sc: Vec<S>,
+    a: Vec<Motion<S>>,
+    /// Joint accelerations `q̈`, valid after a call.
+    pub qdd: Vec<S>,
+}
+
+impl<S: Scalar> Default for AbaWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> AbaWorkspace<S> {
+    /// An empty workspace; the first call sizes every buffer.
+    pub fn new() -> Self {
+        Self {
+            x: Vec::new(),
+            v: Vec::new(),
+            c: Vec::new(),
+            ia: Vec::new(),
+            pa: Vec::new(),
+            u_vec: Vec::new(),
+            d: Vec::new(),
+            u_sc: Vec::new(),
+            a: Vec::new(),
+            qdd: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `model`, so even the first call through
+    /// it is allocation-free.
+    pub fn for_model(model: &DynamicsModel<S>) -> Self {
+        let mut ws = Self::new();
+        ws.reserve(model.dof());
+        ws
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.x.clear();
+        self.x.reserve(n);
+        self.ia.clear();
+        self.ia.reserve(n);
+        self.v.resize(n, Motion::zero());
+        self.c.resize(n, Motion::zero());
+        self.pa.resize(n, Force::zero());
+        self.u_vec.resize(n, [S::zero(); 6]);
+        self.d.resize(n, S::zero());
+        self.u_sc.resize(n, S::zero());
+        self.a.resize(n, Motion::zero());
+        self.qdd.resize(n, S::zero());
+    }
+}
+
+/// Allocation-free [`aba`]: identical passes writing through `ws`, with
+/// `q̈` left in [`AbaWorkspace::qdd`] (bit-identical to [`aba`], which is
+/// now a thin wrapper over this).
+///
+/// # Panics
+///
+/// As for [`aba`].
+pub fn aba_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    tau: &[S],
+    ws: &mut AbaWorkspace<S>,
+) {
     let n = model.dof();
     assert_eq!(q.len(), n, "q length mismatch");
     assert_eq!(qd.len(), n, "qd length mismatch");
     assert_eq!(tau.len(), n, "tau length mismatch");
-
-    let mut x = Vec::with_capacity(n);
-    let mut v = vec![Motion::zero(); n];
-    let mut c = vec![Motion::zero(); n];
-    let mut ia: Vec<Mat6<S>> = Vec::with_capacity(n);
-    let mut pa = vec![Force::zero(); n];
+    ws.reserve(n);
+    let AbaWorkspace {
+        x,
+        v,
+        c,
+        ia,
+        pa,
+        u_vec,
+        d,
+        u_sc,
+        a,
+        qdd,
+    } = ws;
 
     // Pass 1: velocities and bias terms.
     for i in 0..n {
@@ -99,9 +191,6 @@ pub fn aba<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], tau: &[S]) ->
     }
 
     // Pass 2: articulated inertias, tip to base.
-    let mut u_vec = vec![[S::zero(); 6]; n];
-    let mut d = vec![S::zero(); n];
-    let mut u_sc = vec![S::zero(); n];
     for i in (0..n).rev() {
         let s = model.subspace(i);
         let ui = ia[i].mul_array(s.to_array());
@@ -134,8 +223,6 @@ pub fn aba<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], tau: &[S]) ->
     }
 
     // Pass 3: accelerations, base to tip.
-    let mut a = vec![Motion::zero(); n];
-    let mut qdd = vec![S::zero(); n];
     for i in 0..n {
         let ap = match model.parent(i) {
             Some(p) => x[i].apply_motion(a[p]),
@@ -152,7 +239,82 @@ pub fn aba<S: Scalar>(model: &DynamicsModel<S>, q: &[S], qd: &[S], tau: &[S]) ->
         qdd[i] = (u_sc[i] - u_dot_a) / d[i];
         a[i] = ap + model.subspace(i).scale(qdd[i]);
     }
-    qdd
+}
+
+/// Reusable buffers for [`forward_dynamics_into`]: an RNEA workspace for
+/// the bias sweep plus the residual vector.
+#[derive(Debug, Clone)]
+pub struct FdWorkspace<S> {
+    rnea: RneaWorkspace<S>,
+    zero_qdd: Vec<S>,
+    residual: Vec<S>,
+}
+
+impl<S: Scalar> Default for FdWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> FdWorkspace<S> {
+    /// An empty workspace; the first call sizes every buffer.
+    pub fn new() -> Self {
+        Self {
+            rnea: RneaWorkspace::new(),
+            zero_qdd: Vec::new(),
+            residual: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `model`, so even the first call through
+    /// it is allocation-free.
+    pub fn for_model(model: &DynamicsModel<S>) -> Self {
+        let mut ws = Self::new();
+        ws.zero_qdd.resize(model.dof(), S::zero());
+        ws.residual.resize(model.dof(), S::zero());
+        ws
+    }
+}
+
+/// Allocation-free forward dynamics against a *precomputed* `M⁻¹`:
+/// `q̈ = M⁻¹ (τ − C(q, q̇))`, with the bias `C` from an RNEA sweep at
+/// `q̈ = 0` — exactly the composition the accelerator datapath uses (the
+/// paper's Figure 9 interface takes `M⁻¹` as a kernel input, and Dadu-RBD
+/// folds the same MAC stage into the multifunction pipeline).
+///
+/// The allocating [`forward_dynamics`] remains the from-scratch CRBA+LDLT
+/// oracle; this variant is the serving-path kernel.
+///
+/// # Panics
+///
+/// Panics if slice lengths or `minv` dimensions differ from
+/// `model.dof()`.
+pub fn forward_dynamics_into<S: Scalar>(
+    model: &DynamicsModel<S>,
+    q: &[S],
+    qd: &[S],
+    tau: &[S],
+    minv: &MatN<S>,
+    ws: &mut FdWorkspace<S>,
+    qdd: &mut [S],
+) {
+    let n = model.dof();
+    assert_eq!(tau.len(), n, "tau length mismatch");
+    assert_eq!(qdd.len(), n, "qdd length mismatch");
+    assert_eq!((minv.rows(), minv.cols()), (n, n), "minv shape mismatch");
+    ws.zero_qdd.resize(n, S::zero());
+    ws.residual.resize(n, S::zero());
+    rnea_into(model, q, qd, &ws.zero_qdd, &mut ws.rnea);
+    for i in 0..n {
+        ws.residual[i] = tau[i] - ws.rnea.tau[i];
+    }
+    for i in 0..n {
+        let mut acc = S::zero();
+        for k in 0..n {
+            acc += minv[(i, k)] * ws.residual[k];
+        }
+        qdd[i] = acc;
+    }
 }
 
 trait Mat6Ext<S> {

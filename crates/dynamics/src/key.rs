@@ -198,8 +198,7 @@ mod tests {
         let retyped = perturbed(|links| links[2].joint = robo_model::JointType::PrismaticZ);
         assert_ne!(base, key_of(&retyped));
         // A tree placement offset.
-        let shifted =
-            perturbed(|links| links[5].tree.pos = links[5].tree.pos + Vec3::new(0.0, 0.0, 1e-9));
+        let shifted = perturbed(|links| links[5].tree.pos += Vec3::new(0.0, 0.0, 1e-9));
         assert_ne!(base, key_of(&shifted));
         // Topology: re-root the last joint one link higher.
         let rerooted = perturbed(|links| {

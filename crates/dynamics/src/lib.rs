@@ -60,7 +60,7 @@ pub use deriv::{
     dynamics_gradient_from_qdd, dynamics_gradient_into, forward_dynamics_gradient,
     rnea_derivatives, rnea_gradient_into, DynamicsGradient, GradWorkspace, InverseDynamicsGradient,
 };
-pub use fd::{aba, forward_dynamics};
+pub use fd::{aba, aba_into, forward_dynamics, forward_dynamics_into, AbaWorkspace, FdWorkspace};
 pub use fk::{
     forward_kinematics, geometric_jacobian, jacobian_velocity, link_origin_world, position_jacobian,
 };

@@ -1,13 +1,13 @@
-//! The gradient-serving tier: many concurrent clients, saturated lanes.
+//! The kernel-serving tier: many concurrent clients, saturated lanes.
 //!
-//! Everything below this crate evaluates dynamics gradients fast *given a
-//! batch*: [`RobotPlan`] compiles the morphology once, the wide backends
-//! evaluate `serve_width` states per kernel instruction, and
+//! Everything below this crate evaluates the dynamics kernel family fast
+//! *given a batch*: [`RobotPlan`] compiles the morphology once, the wide
+//! backends evaluate `serve_width` states per kernel instruction, and
 //! [`BatchEngine`] fans lane-groups across cores. What none of that
 //! answers is where the batch comes from. Real serving load is the
 //! opposite shape — thousands of independent clients each asking for *one*
-//! gradient at a time — and evaluated one-by-one the wide path never fills
-//! a lane.
+//! evaluation at a time — and evaluated one-by-one the wide path never
+//! fills a lane.
 //!
 //! [`GradientServer`] is the front end that turns that request stream back
 //! into the shape the engine layer is fast at:
@@ -16,24 +16,30 @@
 //!   clients                GradientServer                    engine layer
 //!  ────────   submit()   ┌───────────────────────────────┐
 //!   c0 ──────────────────▶ plan cache (MorphologyKey →   │
-//!   c1 ──────────────────▶   shard; one build per robot, │
-//!   c2 ──────────────────▶   concurrent misses coalesce) │
+//!   c1 ──────────────────▶   plan + per-kernel shards;   │
+//!   c2 ──────────────────▶   one build per robot)        │
 //!  ────────              │        │                      │
-//!                        │        ▼ per-morphology shard │
+//!                        │        ▼ (morphology, kernel) │
 //!                        │  bounded queue ──▶ coalescer ──▶ lane-groups of
 //!                        │  (admission      (flush on      serve_width ×
 //!                        │   control,        batch-full    worker threads
-//!                        │   Overloaded      or linger     via
-//!                        │   shed)           deadline)     gradient_batch_into
+//!                        │   Overloaded      or linger     via the family
+//!                        │   shed)           deadline)     backend
 //!                        └───────────────────────────────┘
 //!   c0 ◀───────────────── ResponseSlot::wait() ◀────────── serve.respond
 //! ```
 //!
 //! * **Plan cache** — requests carry a [`MorphologyKey`] (a canonical
 //!   digest of the robot's structure). The first request for a morphology
-//!   builds its [`RobotPlan`] and spawns its shard; N simultaneous cold
-//!   requests coalesce onto **one** build. Everyone else gets the cached
-//!   `Arc`.
+//!   builds its [`RobotPlan`] — exactly once, shared by every kernel of
+//!   the multifunction family; N simultaneous cold requests coalesce onto
+//!   **one** build. Everyone else gets the cached `Arc`.
+//! * **Per-(morphology, kernel) shards** — each request names a
+//!   [`KernelKind`] (`grad`, `id`, or `fd`) and is routed to that
+//!   kernel's own queue and workers, so gradient batches coalesce wide
+//!   while the latency-bound vector kernels drain without disturbing
+//!   them. The gradient shard is warmed at registration; `id`/`fd`
+//!   shards spawn lazily on first submission.
 //! * **Dynamic micro-batcher** — each shard owns a bounded queue and
 //!   worker threads. A worker drains up to `max_batch` requests at a time,
 //!   flushing when a batch fills **or** when the oldest queued request has
@@ -90,6 +96,7 @@ mod shard;
 mod slot;
 
 pub use error::{Rejected, ServeError};
+pub use robo_dynamics::engine::KernelKind;
 pub use robo_dynamics::MorphologyKey;
 pub use server::{GradientServer, ServeStats};
 pub use slot::{GradientRequest, ResponseSlot};

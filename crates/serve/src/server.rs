@@ -1,11 +1,11 @@
 //! The server facade: registration, submission, stats, and graceful
 //! shutdown.
 
-use crate::cache::PlanCache;
+use crate::cache::{MorphShards, PlanCache};
 use crate::error::{Rejected, ServeError};
-use crate::shard::Shard;
 use crate::slot::{GradientRequest, ResponseSlot};
 use crate::ServeConfig;
+use robo_dynamics::engine::KernelKind;
 use robo_dynamics::{DynamicsModel, MorphologyKey};
 use robo_model::RobotModel;
 use robo_sim::engine::RobotPlan;
@@ -85,21 +85,24 @@ impl GradientServer {
         &self.inner.config
     }
 
-    /// Ensures a plan and shard exist for `robot`'s morphology and
-    /// returns its key. The first call per morphology builds the plan;
-    /// concurrent first calls coalesce onto exactly one build; later
-    /// calls are a cache hit.
+    /// Ensures a plan exists for `robot`'s morphology and returns its
+    /// key. The first call per morphology builds the plan (once — shards
+    /// for every kernel of the family share it); concurrent first calls
+    /// coalesce onto exactly one build; later calls are a cache hit.
+    ///
+    /// The gradient shard is warmed eagerly (it is the historical default
+    /// workload); `id`/`fd` shards spawn lazily on first submission.
     pub fn register(&self, robot: &RobotModel) -> MorphologyKey {
         let _span = robo_trace::span("serve.register");
         let key = MorphologyKey::of_model(&DynamicsModel::new(robot));
-        let shard = self.inner.cache.get_or_build(key, || {
+        let morph = self.inner.cache.get_or_build(key, || {
             let tier = self.inner.config.tier.unwrap_or_else(ExecTier::detect);
-            Shard::spawn(
-                Arc::new(RobotPlan::with_tier(robot, tier)),
-                &self.inner.config,
-            )
+            Arc::new(MorphShards::new(Arc::new(RobotPlan::with_tier(
+                robot, tier,
+            ))))
         });
-        debug_assert_eq!(shard.plan().morphology_key(), key);
+        debug_assert_eq!(morph.plan().morphology_key(), key);
+        let _ = morph.shard(KernelKind::Gradient, &self.inner.config);
         key
     }
 
@@ -107,13 +110,15 @@ impl GradientServer {
     /// size request buffers ([`RobotPlan::dof`]) and compute `M⁻¹` against
     /// the shared model.
     pub fn plan(&self, key: MorphologyKey) -> Option<Arc<RobotPlan>> {
-        self.inner.cache.get(key).map(|s| Arc::clone(s.plan()))
+        self.inner.cache.get(key).map(|m| Arc::clone(m.plan()))
     }
 
-    /// Submits one gradient request for morphology `key`. On admission
-    /// the micro-batcher takes over and `slot` completes once the
-    /// coalesced batch flushes; on rejection the buffer comes back in
-    /// [`Rejected`] with a typed [`ServeError`].
+    /// Submits one kernel request for morphology `key`, routed to the
+    /// (morphology, kernel) shard named by [`GradientRequest::kernel`]
+    /// (spawning that shard on first use). On admission the micro-batcher
+    /// takes over and `slot` completes once the coalesced batch flushes;
+    /// on rejection the buffer comes back in [`Rejected`] with a typed
+    /// [`ServeError`].
     ///
     /// # Errors
     ///
@@ -122,18 +127,23 @@ impl GradientServer {
     /// [`ServeError::SlotBusy`] (slot already in flight),
     /// [`ServeError::Overloaded`] (bounded queue full — backpressure),
     /// [`ServeError::ShuttingDown`] (server draining).
+    // The rejected buffer rides back by value so the caller can resubmit
+    // without reallocating; boxing it would put an allocation on the
+    // shed path.
+    #[allow(clippy::result_large_err)]
     pub fn submit(
         &self,
         key: MorphologyKey,
         req: GradientRequest,
         slot: &ResponseSlot,
     ) -> Result<(), Rejected> {
-        let Some(shard) = self.inner.cache.get(key) else {
+        let Some(morph) = self.inner.cache.get(key) else {
             return Err(Rejected {
                 error: ServeError::UnknownMorphology(key),
                 req,
             });
         };
+        let shard = morph.shard(req.kernel, &self.inner.config);
         shard.enqueue(req, slot)
     }
 
@@ -143,6 +153,7 @@ impl GradientServer {
     /// # Errors
     ///
     /// As for [`submit`](Self::submit).
+    #[allow(clippy::result_large_err)]
     pub fn serve(
         &self,
         key: MorphologyKey,

@@ -5,7 +5,9 @@ use crate::error::{Rejected, ServeError};
 use crate::slot::{GradientRequest, ResponseSlot, SlotInner};
 use crate::ServeConfig;
 use robo_dynamics::batch::GradientState;
-use robo_dynamics::engine::{check_dims, GradientBackend, GradientBatchOutput, GradientOutput};
+use robo_dynamics::engine::{
+    check_dims, DynamicsBackend, GradientBatchOutput, GradientOutput, KernelKind, KernelOutput,
+};
 use robo_sim::engine::{BackendKind, RobotPlan};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,10 +38,12 @@ struct Queue {
     shutdown: bool,
 }
 
-/// A morphology's serving state: the shared plan, the bounded queue the
+/// One (morphology, kernel) serving queue: the shared plan, the kernel of
+/// the multifunction family this queue runs, the bounded queue the
 /// micro-batcher coalesces from, and the worker threads that drain it.
 pub(crate) struct Shard {
     plan: Arc<RobotPlan>,
+    kernel: KernelKind,
     kind: BackendKind,
     capacity: usize,
     max_batch: usize,
@@ -51,12 +55,14 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Builds the shard and spawns its worker threads.
-    pub(crate) fn spawn(plan: Arc<RobotPlan>, cfg: &ServeConfig) -> Arc<Self> {
+    /// Builds the shard for one kernel of the family and spawns its worker
+    /// threads.
+    pub(crate) fn spawn(plan: Arc<RobotPlan>, kernel: KernelKind, cfg: &ServeConfig) -> Arc<Self> {
         let shard = Arc::new(Self {
             max_batch: cfg.max_batch(plan.serve_width()),
             capacity: cfg.queue_capacity.max(1),
             linger: cfg.max_linger,
+            kernel,
             kind: cfg.backend,
             queue: Mutex::new(Queue {
                 pending: VecDeque::with_capacity(cfg.queue_capacity.max(1)),
@@ -72,7 +78,7 @@ impl Shard {
             .map(|w| {
                 let shard = Arc::clone(&shard);
                 std::thread::Builder::new()
-                    .name(format!("serve-{key}-{w}"))
+                    .name(format!("serve-{key}-{kernel}-{w}"))
                     .spawn(move || worker_loop(&shard))
                     .expect("spawn serve worker")
             })
@@ -81,22 +87,25 @@ impl Shard {
         shard
     }
 
-    pub(crate) fn plan(&self) -> &Arc<RobotPlan> {
-        &self.plan
-    }
-
     fn lock_queue(&self) -> MutexGuard<'_, Queue> {
         self.queue.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Admission: validate, mark the slot pending, and queue — or shed
     /// with a typed error, handing the buffer back untouched.
+    // By-value buffer return on rejection keeps the shed path
+    // allocation-free; see `GradientServer::submit`.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn enqueue(
         &self,
         req: GradientRequest,
         slot: &ResponseSlot,
     ) -> Result<(), Rejected> {
         let _span = robo_trace::span("serve.enqueue");
+        debug_assert_eq!(
+            req.kernel, self.kernel,
+            "request routed to wrong kernel shard"
+        );
         if let Err(e) = check_dims(self.plan.dof(), &req.q, &req.qd, &req.qdd, &req.minv) {
             return Err(Rejected {
                 error: ServeError::Dimension(e),
@@ -195,9 +204,32 @@ impl Shard {
     /// Executes one coalesced batch on the worker's warm backend and
     /// completes every slot. Alloc-free once warm: the lane-view vector is
     /// recycled across flushes and outputs land in the callers' buffers.
+    ///
+    /// The gradient kernel runs through the wide batch path (SIMD lane
+    /// groups); the vector-valued kernels (`id`, `fd`) are latency-bound
+    /// single evaluations, so the batch is a plain loop of `run_into`
+    /// calls reusing the worker's scratch [`KernelOutput`].
     fn flush(
         &self,
-        backend: &mut dyn GradientBackend,
+        backend: &mut dyn DynamicsBackend,
+        local: &mut Vec<Pending>,
+        states_buf: &mut Vec<GradientState<'static, f64>>,
+        batch: &mut GradientBatchOutput,
+        kout: &mut KernelOutput,
+    ) {
+        match self.kernel {
+            KernelKind::Gradient => self.flush_gradient(backend, local, states_buf, batch),
+            KernelKind::InverseDynamics | KernelKind::ForwardDynamics => {
+                self.flush_vector(backend, local, kout)
+            }
+        }
+    }
+
+    /// Gradient-kernel flush: one wide `gradient_batch_into` over the
+    /// whole coalesced batch.
+    fn flush_gradient(
+        &self,
+        backend: &mut dyn DynamicsBackend,
         local: &mut Vec<Pending>,
         states_buf: &mut Vec<GradientState<'static, f64>>,
         batch: &mut GradientBatchOutput,
@@ -217,7 +249,7 @@ impl Shard {
             result
         };
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        if n % self.plan.serve_width().max(1) != 0 {
+        if !n.is_multiple_of(self.plan.serve_width().max(1)) {
             self.stats.ragged_flushes.fetch_add(1, Ordering::Relaxed);
         }
         let _span = robo_trace::span_items("serve.respond", n);
@@ -235,6 +267,42 @@ impl Shard {
             p.slot.fulfil(p.req);
         }
     }
+
+    /// Vector-kernel flush (`id`/`fd`): evaluate each request through the
+    /// family and copy the result into its `out_vec` buffer. Lane-group
+    /// raggedness does not apply — there is no wide path to leave idle —
+    /// so only `flushes` is counted.
+    fn flush_vector(
+        &self,
+        backend: &mut dyn DynamicsBackend,
+        local: &mut Vec<Pending>,
+        kout: &mut KernelOutput,
+    ) {
+        let n = local.len();
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let _span = robo_trace::span_items("serve.flush", n);
+        for mut p in local.drain(..) {
+            let result = backend.run_into(
+                self.kernel,
+                &p.req.q,
+                &p.req.qd,
+                &p.req.qdd,
+                &p.req.minv,
+                kout,
+            );
+            if result.is_ok() {
+                let src = match self.kernel {
+                    KernelKind::InverseDynamics => &kout.tau,
+                    KernelKind::ForwardDynamics => &kout.qdd,
+                    KernelKind::Gradient => unreachable!("gradient takes the wide path"),
+                };
+                p.req.out_vec.clear();
+                p.req.out_vec.extend_from_slice(src);
+            }
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            p.slot.fulfil(p.req);
+        }
+    }
 }
 
 /// Worker thread body: a private warm backend plus recycled scratch, fed
@@ -244,8 +312,15 @@ fn worker_loop(shard: &Shard) {
     let mut local: Vec<Pending> = Vec::with_capacity(shard.max_batch);
     let mut states: Vec<GradientState<'static, f64>> = Vec::with_capacity(shard.max_batch);
     let mut batch = GradientBatchOutput::new();
+    let mut kout = KernelOutput::new();
     while shard.collect(&mut local) {
-        shard.flush(backend.as_mut(), &mut local, &mut states, &mut batch);
+        shard.flush(
+            backend.as_mut(),
+            &mut local,
+            &mut states,
+            &mut batch,
+            &mut kout,
+        );
     }
 }
 

@@ -1,48 +1,74 @@
 //! Caller-owned request buffers and the reusable completion slot that
 //! hands them back — the serving tier's allocation-free response path.
 
-use robo_dynamics::engine::GradientOutput;
+use robo_dynamics::engine::{GradientOutput, KernelKind};
 use robo_spatial::MatN;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// One gradient evaluation point plus its output buffer, owned by the
+/// One kernel evaluation point plus its output buffers, owned by the
 /// client and lent to the server for the duration of a request.
 ///
-/// The same buffer carries the inputs in (`q`, `q̇`, `q̈`, `M⁻¹` — the
-/// accelerator interface of the paper's Figure 9) and the four gradient
-/// matrices out. [`ResponseSlot::wait`] returns it on completion, so a
+/// The same buffer carries the inputs in (`q`, `q̇`, the kernel's third
+/// operand, `M⁻¹` — the accelerator interface of the paper's Figure 9) and
+/// the response out. [`ResponseSlot::wait`] returns it on completion, so a
 /// steady-state client reuses one buffer forever and the request/response
 /// round trip never allocates.
+///
+/// The `kernel` tag selects which member of the multifunction family the
+/// server runs — requests are coalesced per (morphology, kernel). The
+/// gradient kernel fills [`GradientRequest::out`]; the vector-valued
+/// kernels (`id`, `fd`) fill [`GradientRequest::out_vec`].
 #[derive(Debug, Clone)]
 pub struct GradientRequest {
+    /// Which kernel of the family to run (default:
+    /// [`KernelKind::Gradient`]).
+    pub kernel: KernelKind,
     /// Joint positions (length = plan dof).
     pub q: Vec<f64>,
     /// Joint velocities.
     pub qd: Vec<f64>,
-    /// Joint accelerations (from the host's forward-dynamics step).
+    /// The kernel's third input: joint accelerations `q̈` for the `grad`
+    /// and `id` kernels, applied torques `τ` for `fd` (the field keeps its
+    /// historical name; the family interface calls this the "third" slot).
     pub qdd: Vec<f64>,
-    /// Inverse mass matrix at `q`.
+    /// Inverse mass matrix at `q` (consumed by `grad` and `fd`; validated
+    /// but unused for `id`).
     pub minv: MatN<f64>,
-    /// The response: filled by the micro-batcher before the slot signals.
+    /// The gradient response: filled by the micro-batcher before the slot
+    /// signals (untouched for `id`/`fd` requests).
     pub out: GradientOutput,
+    /// The vector response: `τ` for `id`, `q̈` for `fd` (untouched for
+    /// `grad` requests).
+    pub out_vec: Vec<f64>,
 }
 
 impl GradientRequest {
-    /// A zeroed request pre-sized for `dof` joints, so first use through a
-    /// warm server is already allocation-free.
+    /// A zeroed gradient-kernel request pre-sized for `dof` joints, so
+    /// first use through a warm server is already allocation-free.
     pub fn for_dof(dof: usize) -> Self {
+        Self::for_kernel(dof, KernelKind::Gradient)
+    }
+
+    /// A zeroed request for any kernel of the family, pre-sized for `dof`
+    /// joints.
+    pub fn for_kernel(dof: usize, kernel: KernelKind) -> Self {
         Self {
+            kernel,
             q: vec![0.0; dof],
             qd: vec![0.0; dof],
             qdd: vec![0.0; dof],
             minv: MatN::zeros(dof, dof),
             out: GradientOutput::for_dof(dof),
+            out_vec: vec![0.0; dof],
         }
     }
 }
 
 /// Completion states of a slot. `Done` carries the request buffer on its
 /// way back to the client.
+// `Done` holds the buffer by value deliberately: indirection would cost
+// an allocation per response on the steady-state round trip.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum SlotState {
     /// No request in flight; the slot may be submitted.

@@ -1,9 +1,11 @@
 //! Serving-tier behaviour: plan-cache coalescing, backpressure shed,
 //! graceful drain, and correctness of batched responses.
 
-use robo_dynamics::{forward_dynamics, mass_matrix_inverse};
+use robo_dynamics::{forward_dynamics, mass_matrix_inverse, rnea};
 use robo_model::robots;
-use robo_serve::{GradientRequest, GradientServer, ResponseSlot, ServeConfig, ServeError};
+use robo_serve::{
+    GradientRequest, GradientServer, KernelKind, ResponseSlot, ServeConfig, ServeError,
+};
 use robo_sim::engine::{BackendKind, RobotPlan};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -196,6 +198,68 @@ fn coalesced_responses_match_direct_backends() {
         assert_eq!(stats.completed, count as u64);
         assert_eq!(stats.shed, 0);
         assert!(stats.flushes >= 1);
+    }
+}
+
+#[test]
+fn kernel_tagged_requests_route_to_family_shards() {
+    // One morphology serving all three kernels of the family: the plan is
+    // built once, each kernel gets its own shard, and the id/fd responses
+    // land in `out_vec` matching the direct dynamics kernels.
+    for backend in [BackendKind::Cpu, BackendKind::Accel] {
+        let server = GradientServer::with_config(ServeConfig {
+            workers: 1,
+            backend,
+            ..ServeConfig::default()
+        });
+        let key = server.register(&robots::iiwa14());
+        let plan = server.plan(key).unwrap();
+        let n = plan.dof();
+        let slot = ResponseSlot::new();
+
+        // Inverse dynamics: qdd carries q̈, out_vec comes back as τ.
+        let mut req = GradientRequest::for_kernel(n, KernelKind::InverseDynamics);
+        fill_case(&plan, 0, &mut req);
+        let req = server.serve(key, req, &slot).expect("id round trip");
+        let want_tau = rnea(plan.model(), &req.q, &req.qd, &req.qdd).tau;
+        let tol = if backend == BackendKind::Cpu {
+            0.0
+        } else {
+            1e-10
+        };
+        for (i, (got, want)) in req.out_vec.iter().zip(&want_tau).enumerate() {
+            assert!(
+                (got - want).abs() <= tol * want.abs().max(1.0),
+                "{backend:?} id torque {i}: {got} vs {want}"
+            );
+        }
+
+        // Forward dynamics: qdd carries τ, out_vec comes back as q̈. Feed
+        // the torques just computed so fd must recover the original q̈.
+        let mut fd_req = GradientRequest::for_kernel(n, KernelKind::ForwardDynamics);
+        fill_case(&plan, 0, &mut fd_req);
+        let want_qdd = fd_req.qdd.clone();
+        fd_req.qdd.copy_from_slice(&want_tau);
+        let fd_req = server.serve(key, fd_req, &slot).expect("fd round trip");
+        for (i, (got, want)) in fd_req.out_vec.iter().zip(&want_qdd).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-8 * want.abs().max(1.0),
+                "{backend:?} fd accel {i}: {got} vs {want}"
+            );
+        }
+
+        // Gradient requests still work through the same server, and the
+        // whole family cost exactly one plan build.
+        let mut grad = GradientRequest::for_dof(n);
+        fill_case(&plan, 1, &mut grad);
+        let grad = server.serve(key, grad, &slot).expect("grad round trip");
+        assert_eq!(grad.out.dqdd_dq.rows(), n);
+        let stats = server.stats();
+        assert_eq!(
+            stats.plans_built, 1,
+            "{backend:?}: all three kernel shards must share one plan"
+        );
+        assert_eq!(stats.completed, 3);
     }
 }
 

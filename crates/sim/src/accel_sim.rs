@@ -50,10 +50,18 @@ pub struct SimWorkspace<S> {
     pub dqdd_dq: MatN<S>,
     /// Output `∂q̈/∂q̇`, valid after a call.
     pub dqdd_dqd: MatN<S>,
+    /// Output joint torques, valid after a
+    /// [`AcceleratorSim::compute_rnea_into`] call (also holds the bias
+    /// torques after [`AcceleratorSim::compute_fd_into`]).
+    pub tau: Vec<S>,
+    /// Output joint accelerations, valid after a
+    /// [`AcceleratorSim::compute_fd_into`] call.
+    pub qdd: Vec<S>,
     trig: Vec<(S, S)>,
     v: Vec<Motion<S>>,
     a: Vec<Motion<S>>,
     f: Vec<Force<S>>,
+    zero_qdd: Vec<S>,
     dv_q: Vec<Motion<S>>,
     da_q: Vec<Motion<S>>,
     df_q: Vec<Force<S>>,
@@ -76,10 +84,13 @@ impl<S: Scalar> SimWorkspace<S> {
             dtau_dqd: MatN::zeros(0, 0),
             dqdd_dq: MatN::zeros(0, 0),
             dqdd_dqd: MatN::zeros(0, 0),
+            tau: Vec::new(),
+            qdd: Vec::new(),
             trig: Vec::new(),
             v: Vec::new(),
             a: Vec::new(),
             f: Vec::new(),
+            zero_qdd: Vec::new(),
             dv_q: Vec::new(),
             da_q: Vec::new(),
             df_q: Vec::new(),
@@ -98,10 +109,13 @@ impl<S: Scalar> SimWorkspace<S> {
             dtau_dqd: MatN::zeros(n, n),
             dqdd_dq: MatN::zeros(n, n),
             dqdd_dqd: MatN::zeros(n, n),
+            tau: vec![S::zero(); n],
+            qdd: vec![S::zero(); n],
             trig: Vec::with_capacity(n),
             v: vec![Motion::zero(); n],
             a: vec![Motion::zero(); n],
             f: vec![Force::zero(); n],
+            zero_qdd: vec![S::zero(); n],
             dv_q: vec![Motion::zero(); n],
             da_q: vec![Motion::zero(); n],
             df_q: vec![Force::zero(); n],
@@ -312,6 +326,7 @@ impl<S: Scalar> AcceleratorSim<S> {
             dtau_dqd,
             dqdd_dq,
             dqdd_dqd,
+            tau,
             trig,
             v,
             a,
@@ -322,6 +337,7 @@ impl<S: Scalar> AcceleratorSim<S> {
             dv_qd,
             da_qd,
             df_qd,
+            ..
         } = ws;
 
         // Host-cached trig inputs (§5.1: "the sin and cos of the link
@@ -330,38 +346,7 @@ impl<S: Scalar> AcceleratorSim<S> {
         trig.extend((0..n).map(|i| self.x_units[i].inputs_for(q[i])));
 
         // --- ID chain (runs one link ahead of the datapaths) -------------
-        v.clear();
-        v.resize(n, Motion::zero());
-        a.clear();
-        a.resize(n, Motion::zero());
-        f.clear();
-        f.resize(n, Force::zero());
-        for i in 0..n {
-            let (s_q, c_q) = trig[i];
-            let xu = &self.x_units[i];
-            let s = self.subspaces[i];
-            let s_qd = s.scale(qd[i]);
-            let (vp, ap) = match self.parents[i] {
-                Some(p) => (
-                    xu.apply_motion(s_q, c_q, v[p]),
-                    xu.apply_motion(s_q, c_q, a[p]),
-                ),
-                None => (
-                    Motion::zero(),
-                    xu.apply_motion(s_q, c_q, self.base_acceleration),
-                ),
-            };
-            v[i] = vp + s_qd;
-            a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
-            f[i] = self.inertias[i].apply(a[i]) + v[i].cross_force(self.inertias[i].apply(v[i]));
-        }
-        for i in (0..n).rev() {
-            if let Some(p) = self.parents[i] {
-                let (s_q, c_q) = trig[i];
-                let fp = self.x_units[i].tr_apply_force(s_q, c_q, f[i]);
-                f[p] += fp;
-            }
-        }
+        self.id_sweep(qd, qdd, trig, v, a, f, tau);
 
         // --- ∇ID datapaths -------------------------------------------------
         dtau_dq.resize_zeroed(n, n);
@@ -484,6 +469,154 @@ impl<S: Scalar> AcceleratorSim<S> {
         }
 
         self.design.schedule().single_latency_cycles()
+    }
+
+    /// The inverse-dynamics chain (RNEA) through the pruned functional
+    /// units: forward sweep for link velocities/accelerations/forces, then
+    /// the backward `Xᵀ` accumulation, extracting `τ_i = sᵢ·fᵢ` as each
+    /// link's force becomes final. This is the stage every kernel in the
+    /// multifunction family shares.
+    #[allow(clippy::too_many_arguments)]
+    fn id_sweep(
+        &self,
+        qd: &[S],
+        qdd: &[S],
+        trig: &[(S, S)],
+        v: &mut Vec<Motion<S>>,
+        a: &mut Vec<Motion<S>>,
+        f: &mut Vec<Force<S>>,
+        tau: &mut Vec<S>,
+    ) {
+        let n = self.dof();
+        v.clear();
+        v.resize(n, Motion::zero());
+        a.clear();
+        a.resize(n, Motion::zero());
+        f.clear();
+        f.resize(n, Force::zero());
+        tau.clear();
+        tau.resize(n, S::zero());
+        for i in 0..n {
+            let (s_q, c_q) = trig[i];
+            let xu = &self.x_units[i];
+            let s = self.subspaces[i];
+            let s_qd = s.scale(qd[i]);
+            let (vp, ap) = match self.parents[i] {
+                Some(p) => (
+                    xu.apply_motion(s_q, c_q, v[p]),
+                    xu.apply_motion(s_q, c_q, a[p]),
+                ),
+                None => (
+                    Motion::zero(),
+                    xu.apply_motion(s_q, c_q, self.base_acceleration),
+                ),
+            };
+            v[i] = vp + s_qd;
+            a[i] = ap + s.scale(qdd[i]) + v[i].cross_motion(s_qd);
+            f[i] = self.inertias[i].apply(a[i]) + v[i].cross_force(self.inertias[i].apply(v[i]));
+        }
+        // Reverse order makes `f[i]` final when link `i` is reached (every
+        // child has a larger index), so the torque extraction can fuse into
+        // the accumulation pass exactly as the hardware's backward stage
+        // does.
+        for i in (0..n).rev() {
+            tau[i] = self.subspaces[i].dot(f[i]);
+            if let Some(p) = self.parents[i] {
+                let (s_q, c_q) = trig[i];
+                let fp = self.x_units[i].tr_apply_force(s_q, c_q, f[i]);
+                f[p] += fp;
+            }
+        }
+    }
+
+    /// Cycles for one inverse-dynamics pass through the chain: every link
+    /// of the longest limb through the forward and backward stages, plus
+    /// torso synchronization. (The full-gradient latency additionally pays
+    /// the `2N` datapaths and the `−M⁻¹` stage.)
+    fn id_chain_cycles(&self) -> usize {
+        let s = self.design.schedule();
+        s.n_links * (s.fwd_stage_cycles + s.bwd_cycles_per_link) + s.limb_sync_cycles
+    }
+
+    /// Runs the inverse-dynamics kernel (RNEA) on the accelerator:
+    /// `τ = ID(q, q̇, q̈)` through the same pruned functional units the
+    /// gradient uses, leaving the torques in `ws.tau` and returning the
+    /// cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the DoF.
+    pub fn compute_rnea_into(
+        &self,
+        q: &[S],
+        qd: &[S],
+        qdd: &[S],
+        ws: &mut SimWorkspace<S>,
+    ) -> usize {
+        let n = self.dof();
+        assert_eq!(q.len(), n, "q length mismatch");
+        assert_eq!(qd.len(), n, "qd length mismatch");
+        assert_eq!(qdd.len(), n, "qdd length mismatch");
+        let SimWorkspace {
+            tau, trig, v, a, f, ..
+        } = ws;
+        trig.clear();
+        trig.extend((0..n).map(|i| self.x_units[i].inputs_for(q[i])));
+        self.id_sweep(qd, qdd, trig, v, a, f, tau);
+        self.id_chain_cycles()
+    }
+
+    /// Runs the forward-dynamics kernel on the accelerator via the fused
+    /// `M⁻¹` composition the family's datapath implements:
+    /// `q̈ = M⁻¹(τ − C)` with the bias `C = ID(q, q̇, 0)` from the shared
+    /// chain at zero acceleration, and `M⁻¹` provided by the host exactly
+    /// as in the gradient's step 3 (§5.1). Leaves the accelerations in
+    /// `ws.qdd` (and the bias torques in `ws.tau`) and returns the cycle
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths or `minv` dimensions differ from the DoF.
+    pub fn compute_fd_into(
+        &self,
+        q: &[S],
+        qd: &[S],
+        tau: &[S],
+        minv: &MatN<S>,
+        ws: &mut SimWorkspace<S>,
+    ) -> usize {
+        let n = self.dof();
+        assert_eq!(q.len(), n, "q length mismatch");
+        assert_eq!(qd.len(), n, "qd length mismatch");
+        assert_eq!(tau.len(), n, "tau length mismatch");
+        assert_eq!((minv.rows(), minv.cols()), (n, n), "minv shape mismatch");
+        let SimWorkspace {
+            tau: bias,
+            qdd,
+            trig,
+            v,
+            a,
+            f,
+            zero_qdd,
+            ..
+        } = ws;
+        trig.clear();
+        trig.extend((0..n).map(|i| self.x_units[i].inputs_for(q[i])));
+        zero_qdd.clear();
+        zero_qdd.resize(n, S::zero());
+        self.id_sweep(qd, zero_qdd, trig, v, a, f, bias);
+        // The MAC stage: q̈_i = Σ_k M⁻¹_ik (τ_k − c_k).
+        qdd.clear();
+        qdd.resize(n, S::zero());
+        for i in 0..n {
+            let mut acc = S::zero();
+            for k in 0..n {
+                acc += minv[(i, k)] * (tau[k] - bias[k]);
+            }
+            qdd[i] = acc;
+        }
+        let s = self.design.schedule();
+        self.id_chain_cycles() + s.minv_cycles
     }
 }
 
@@ -686,6 +819,55 @@ mod tests {
                     assert_eq!(out.dqdd_dq[(r, c)].lane(l), scalar.dqdd_dq[(r, c)]);
                     assert_eq!(out.dqdd_dqd[(r, c)].lane(l), scalar.dqdd_dqd[(r, c)]);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn rnea_kernel_matches_reference() {
+        for robot in [robots::iiwa14(), robots::hyq(), robots::atlas()] {
+            let (q, qd, qdd, _, _) = reference_case(&robot, 11);
+            let model = DynamicsModel::<f64>::new(&robot);
+            let sim = AcceleratorSim::<f64>::new(&robot);
+            let mut ws = SimWorkspace::for_sim(&sim);
+            let cycles = sim.compute_rnea_into(&q, &qd, &qdd, &mut ws);
+            // The ID chain alone is strictly cheaper than the full gradient.
+            assert!(cycles > 0);
+            assert!(cycles < sim.design().schedule().single_latency_cycles());
+            let want = robo_dynamics::rnea(&model, &q, &qd, &qdd).tau;
+            for i in 0..model.dof() {
+                assert!(
+                    (ws.tau[i] - want[i]).abs() < 1e-10,
+                    "{} tau[{i}]: {} vs {}",
+                    robot.name(),
+                    ws.tau[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fd_kernel_inverts_inverse_dynamics() {
+        // Feed the accelerator's FD composition the torques that RNEA says
+        // produce `qdd`; it must recover `qdd` — `M⁻¹(ID(q,q̇,q̈) − C) = q̈`
+        // exactly in real arithmetic.
+        for robot in [robots::iiwa14(), robots::hyq()] {
+            let (q, qd, qdd, minv, _) = reference_case(&robot, 12);
+            let model = DynamicsModel::<f64>::new(&robot);
+            let tau = robo_dynamics::rnea(&model, &q, &qd, &qdd).tau;
+            let sim = AcceleratorSim::<f64>::new(&robot);
+            let mut ws = SimWorkspace::for_sim(&sim);
+            let cycles = sim.compute_fd_into(&q, &qd, &tau, &minv, &mut ws);
+            assert!(cycles < sim.design().schedule().single_latency_cycles());
+            for i in 0..model.dof() {
+                assert!(
+                    (ws.qdd[i] - qdd[i]).abs() < 1e-8,
+                    "{} qdd[{i}]: {} vs {}",
+                    robot.name(),
+                    ws.qdd[i],
+                    qdd[i]
+                );
             }
         }
     }

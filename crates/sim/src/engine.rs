@@ -10,10 +10,12 @@
 //! many times* (the paper's §4–5 methodology as a software object).
 
 use crate::{AcceleratorSim, KernelInput, SimOutput, SimWorkspace};
+use robo_codegen::{generate_kernel_family, CompiledNetlist, OptReport, SharingReport};
 use robo_dynamics::batch::GradientState;
 use robo_dynamics::engine::{
-    cast_mat_into, cast_mat_out, cast_slice_into, check_dims, CpuAnalytic, EngineError, FiniteDiff,
-    GradientBackend, GradientBatchOutput, GradientOutput,
+    cast_mat_into, cast_mat_out, cast_slice_into, cast_slice_out, check_dims, CpuAnalytic,
+    DynamicsBackend, EngineError, FiniteDiff, GradientBackend, GradientBatchOutput, GradientOutput,
+    KernelKind, KernelOutput,
 };
 use robo_dynamics::{DynamicsModel, MorphologyKey};
 use robo_model::RobotModel;
@@ -480,6 +482,63 @@ impl<S: Scalar> GradientBackend for AcceleratorBackend<S> {
     }
 }
 
+impl<S: Scalar> DynamicsBackend for AcceleratorBackend<S> {
+    fn run_into(
+        &mut self,
+        kernel: KernelKind,
+        q: &[f64],
+        qd: &[f64],
+        third: &[f64],
+        minv: &MatN<f64>,
+        out: &mut KernelOutput,
+    ) -> Result<(), EngineError> {
+        match kernel {
+            KernelKind::Gradient => self.gradient_into(q, qd, third, minv, &mut out.grad),
+            KernelKind::InverseDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                let _span = robo_trace::span("kernel.accel.id");
+                cast_slice_into(q, &mut self.q_s);
+                cast_slice_into(qd, &mut self.qd_s);
+                cast_slice_into(third, &mut self.qdd_s);
+                self.sim
+                    .compute_rnea_into(&self.q_s, &self.qd_s, &self.qdd_s, &mut self.ws);
+                cast_slice_out(&self.ws.tau, &mut out.tau);
+                Ok(())
+            }
+            KernelKind::ForwardDynamics => {
+                check_dims(self.dof(), q, qd, third, minv)?;
+                let _span = robo_trace::span("kernel.accel.fd");
+                cast_slice_into(q, &mut self.q_s);
+                cast_slice_into(qd, &mut self.qd_s);
+                cast_slice_into(third, &mut self.qdd_s); // τ rides the third slot
+                cast_mat_into(minv, &mut self.minv_s);
+                self.sim.compute_fd_into(
+                    &self.q_s,
+                    &self.qd_s,
+                    &self.qdd_s,
+                    &self.minv_s,
+                    &mut self.ws,
+                );
+                cast_slice_out(&self.ws.qdd, &mut out.qdd);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The plan's multifunction tape: every kernel's datapath merged into one
+/// compiled netlist with cross-kernel subexpression sharing, plus the
+/// shared-vs-dedicated accounting — built once per morphology.
+#[derive(Debug, Clone)]
+pub struct KernelFamily {
+    /// The optimized merged family netlist, compiled to the serving tape.
+    pub tape: CompiledNetlist<f64>,
+    /// Pre/post optimization stats of the merged netlist.
+    pub report: OptReport,
+    /// Shared-vs-dedicated resource accounting across the family.
+    pub sharing: SharingReport,
+}
+
 /// Which [`GradientBackend`] a consumer wants — the CLI's `--backend`
 /// vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -560,6 +619,7 @@ pub struct RobotPlan {
     sim: Arc<AcceleratorSim<f64>>,
     tier: ExecTier,
     key: MorphologyKey,
+    family: Arc<KernelFamily>,
     /// Prototype wide path, widened once at plan build; every accelerator
     /// backend and fork shares its inner wide simulator.
     wide_proto: Box<dyn WideSimPath<f64>>,
@@ -585,6 +645,7 @@ impl Clone for RobotPlan {
             sim: Arc::clone(&self.sim),
             tier: self.tier,
             key: self.key,
+            family: Arc::clone(&self.family),
             wide_proto: self.wide_proto.fork_path(),
         }
     }
@@ -630,6 +691,16 @@ impl RobotPlan {
             superposition_pattern(robot)
         };
         let key = MorphologyKey::of_model(&model);
+        let family = {
+            let _span = robo_trace::span("plan.family");
+            let (netlist, report, sharing) = generate_kernel_family(robot, mask, &KernelKind::ALL)
+                .expect("distinct kernels never collide on output names");
+            Arc::new(KernelFamily {
+                tape: CompiledNetlist::compile(&netlist),
+                report,
+                sharing,
+            })
+        };
         Self {
             robot: robot.clone(),
             model,
@@ -637,6 +708,7 @@ impl RobotPlan {
             sim,
             tier,
             key,
+            family,
             wide_proto,
         }
     }
@@ -718,9 +790,23 @@ impl RobotPlan {
         FiniteDiff::with_model(Arc::clone(&self.model))
     }
 
+    /// The multifunction kernel-family tape and its sharing accounting,
+    /// built once at plan construction and `Arc`-shared by clones.
+    pub fn kernel_family(&self) -> &Arc<KernelFamily> {
+        &self.family
+    }
+
+    /// Shared-vs-dedicated resource accounting for the plan's kernel
+    /// family (shorthand for `kernel_family().sharing`).
+    pub fn sharing_report(&self) -> &SharingReport {
+        &self.family.sharing
+    }
+
     /// A boxed backend of the requested kind — the CLI/`--backend` entry
-    /// point.
-    pub fn backend(&self, kind: BackendKind) -> Box<dyn GradientBackend> {
+    /// point. The returned [`DynamicsBackend`] runs every kernel of the
+    /// family through [`DynamicsBackend::run_into`]; gradient-only
+    /// consumers coerce it to `Box<dyn GradientBackend>` unchanged.
+    pub fn backend(&self, kind: BackendKind) -> Box<dyn DynamicsBackend> {
         match kind {
             BackendKind::Cpu => Box::new(self.cpu_backend()),
             BackendKind::Accel => Box::new(self.accelerator_backend()),
@@ -901,6 +987,69 @@ mod tests {
             );
         }
         assert!("verilog".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn run_into_kernels_match_cpu_reference() {
+        // The accelerator's multifunction entry point agrees with the CPU
+        // analytic backend on every kernel of the family (1e-12 relative
+        // for the reorder-sensitive paths, as in the parity suites).
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let (q, qd, qdd, minv) = case(&plan);
+        let tau = robo_dynamics::rnea(plan.model(), &q, &qd, &qdd).tau;
+        let mut cpu = plan.backend(BackendKind::Cpu);
+        let mut accel = plan.backend(BackendKind::Accel);
+        for kernel in KernelKind::ALL {
+            let third = if kernel == KernelKind::ForwardDynamics {
+                &tau
+            } else {
+                &qdd
+            };
+            let want = cpu.run(kernel, &q, &qd, third, &minv).unwrap();
+            let got = accel.run(kernel, &q, &qd, third, &minv).unwrap();
+            match kernel {
+                KernelKind::InverseDynamics => {
+                    for (g, w) in got.tau.iter().zip(&want.tau) {
+                        assert!((g - w).abs() <= 1e-10 * w.abs().max(1.0), "{g} vs {w}");
+                    }
+                }
+                KernelKind::ForwardDynamics => {
+                    // CPU runs ABA; the accelerator runs M⁻¹(τ − C) — two
+                    // algorithms, agreement bounded by M⁻¹ conditioning.
+                    for (g, w) in got.qdd.iter().zip(&want.qdd) {
+                        assert!((g - w).abs() <= 1e-8 * w.abs().max(1.0), "{g} vs {w}");
+                    }
+                }
+                KernelKind::Gradient => {
+                    let scale = want.grad.dqdd_dq.max_abs().max(1.0);
+                    assert!(got.grad.dqdd_dq.max_abs_diff(&want.grad.dqdd_dq) / scale < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_dynamics_backend_coerces_to_gradient_backend() {
+        // The compat contract: gradient-only consumers take the new boxed
+        // backend unchanged via dyn upcasting.
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let (q, qd, qdd, minv) = case(&plan);
+        let boxed: Box<dyn DynamicsBackend> = plan.backend(BackendKind::Accel);
+        let mut legacy: Box<dyn GradientBackend> = boxed;
+        assert!(legacy.gradient(&q, &qd, &qdd, &minv).is_ok());
+    }
+
+    #[test]
+    fn plan_builds_shared_kernel_family_once() {
+        let plan = RobotPlan::new(&robots::iiwa14());
+        let sharing = plan.sharing_report();
+        assert_eq!(sharing.per_kernel.len(), 3);
+        assert!(sharing.shared_nodes() > 0, "{sharing}");
+        // Clones share the compiled family tape, never rebuild it.
+        let family_refs = Arc::strong_count(plan.kernel_family());
+        let clone = plan.clone();
+        assert_eq!(Arc::strong_count(plan.kernel_family()), family_refs + 1);
+        assert!(clone.kernel_family().tape.num_outputs() > 0);
     }
 
     #[test]

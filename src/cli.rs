@@ -223,6 +223,24 @@ pub fn cmd_check_with(
     cmd_check_traced(source, kind, tier, None)
 }
 
+/// `robomorphic check <robot> --kernel {id,fd,grad}` — like
+/// [`cmd_check_with`], spot-checking the chosen member of the
+/// multifunction kernel family: `grad` runs the gradient against the
+/// finite-difference oracle, `id`/`fd` run the backend's kernel against
+/// the CPU analytical reference (RNEA / ABA).
+///
+/// # Errors
+///
+/// Propagates loading failures.
+pub fn cmd_check_kernel(
+    source: &str,
+    kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
+    kernel: robo_dynamics::engine::KernelKind,
+) -> Result<String, CliError> {
+    check_body(source, kind, tier, kernel)
+}
+
 /// `robomorphic check <robot> ... --trace <out.json>` — like
 /// [`cmd_check_with`], additionally recording a `robo-trace` span trace
 /// of the whole run (plan build through gradient spot-check) and writing
@@ -239,6 +257,28 @@ pub fn cmd_check_traced(
     tier: robo_spatial::ExecTier,
     trace_out: Option<&str>,
 ) -> Result<String, CliError> {
+    cmd_check_traced_kernel(
+        source,
+        kind,
+        tier,
+        trace_out,
+        robo_dynamics::engine::KernelKind::Gradient,
+    )
+}
+
+/// The full `check` command: backend, tier, optional trace, and the
+/// kernel of the family to spot-check (see [`cmd_check_kernel`]).
+///
+/// # Errors
+///
+/// As for [`cmd_check_traced`].
+pub fn cmd_check_traced_kernel(
+    source: &str,
+    kind: robo_sim::BackendKind,
+    tier: robo_spatial::ExecTier,
+    trace_out: Option<&str>,
+    kernel: robo_dynamics::engine::KernelKind,
+) -> Result<String, CliError> {
     if trace_out.is_some() && !robo_trace::install() {
         return Err(CliError::Usage(
             "--trace needs the tracing collector, but this binary was built without \
@@ -246,7 +286,7 @@ pub fn cmd_check_traced(
                 .to_owned(),
         ));
     }
-    let mut out = check_body(source, kind, tier);
+    let mut out = check_body(source, kind, tier, kernel);
     if let Some(path) = trace_out {
         let mut trace = robo_trace::take().expect("collector was installed above");
         // Propagate a load failure only after uninstalling the collector.
@@ -274,6 +314,7 @@ fn check_body(
     source: &str,
     kind: robo_sim::BackendKind,
     tier: robo_spatial::ExecTier,
+    kernel: robo_dynamics::engine::KernelKind,
 ) -> Result<String, CliError> {
     let robot = load_robot(source)?;
     // Plan once: model, sparsity, customized design, compiled netlists —
@@ -318,42 +359,100 @@ fn check_body(
             " (WARNING: zero pose self-collides)"
         }
     );
-    // Gradient spot-check through the selected engine backend, against
-    // the finite-difference oracle.
+    // Kernel spot-check through the selected engine backend: the gradient
+    // against the finite-difference oracle, `id`/`fd` against the CPU
+    // analytical reference kernels (RNEA / ABA).
+    use robo_dynamics::engine::{KernelKind, KernelOutput};
     let input = &robo_baselines::random_inputs(&robot, 1, 0xC11)[0];
-    let g = plan
-        .backend(kind)
-        .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
-        .expect("generated input matches the robot");
-    let fd = robo_dynamics::findiff::rnea_gradient_fd(model, &input.q, &input.qd, &input.qdd, 1e-6);
-    let err = g.id_gradient.dtau_dq.max_abs_diff(&fd.dtau_dq);
-    let _ = writeln!(
-        out,
-        "  `{kind}` backend gradient vs finite differences: {:.2e} max abs error {}",
-        err,
-        if err < 1e-3 { "(ok)" } else { "(FAIL)" }
-    );
+    match kernel {
+        KernelKind::Gradient => {
+            let g = plan
+                .backend(kind)
+                .gradient(&input.q, &input.qd, &input.qdd, &input.minv)
+                .expect("generated input matches the robot");
+            let fd = robo_dynamics::findiff::rnea_gradient_fd(
+                model, &input.q, &input.qd, &input.qdd, 1e-6,
+            );
+            let err = g.id_gradient.dtau_dq.max_abs_diff(&fd.dtau_dq);
+            let _ = writeln!(
+                out,
+                "  `{kind}` backend gradient vs finite differences: {:.2e} max abs error {}",
+                err,
+                if err < 1e-3 { "(ok)" } else { "(FAIL)" }
+            );
+        }
+        KernelKind::InverseDynamics => {
+            let mut kout = KernelOutput::new();
+            plan.backend(kind)
+                .run_into(
+                    kernel,
+                    &input.q,
+                    &input.qd,
+                    &input.qdd,
+                    &input.minv,
+                    &mut kout,
+                )
+                .expect("generated input matches the robot");
+            let want = robo_dynamics::rnea(model, &input.q, &input.qd, &input.qdd).tau;
+            let err = kout
+                .tau
+                .iter()
+                .zip(&want)
+                .fold(0.0_f64, |a, (g, w)| a.max((g - w).abs()));
+            let _ = writeln!(
+                out,
+                "  `{kind}` backend id kernel vs CPU RNEA reference: {:.2e} max abs error {}",
+                err,
+                if err < 1e-8 { "(ok)" } else { "(FAIL)" }
+            );
+        }
+        KernelKind::ForwardDynamics => {
+            // Feed the torques RNEA produces for the sampled q̈, so the fd
+            // kernel must recover that q̈ exactly (up to cross-algorithm
+            // rounding: ABA / M⁻¹(τ−C) vs the reference).
+            let tau = robo_dynamics::rnea(model, &input.q, &input.qd, &input.qdd).tau;
+            let mut kout = KernelOutput::new();
+            plan.backend(kind)
+                .run_into(kernel, &input.q, &input.qd, &tau, &input.minv, &mut kout)
+                .expect("generated input matches the robot");
+            let err = kout
+                .qdd
+                .iter()
+                .zip(&input.qdd)
+                .fold(0.0_f64, |a, (g, w)| a.max((g - w).abs()));
+            let _ = writeln!(
+                out,
+                "  `{kind}` backend fd kernel round-trips RNEA torques: {:.2e} max abs error {}",
+                err,
+                if err < 1e-6 { "(ok)" } else { "(FAIL)" }
+            );
+        }
+    }
     Ok(out)
 }
 
-/// `robomorphic serve <robot> [--backend B] [--tier T] [--clients C]
-/// [--requests N] [--linger-us L]` — spin up the in-process gradient
-/// serving tier and drive it with a closed-loop load generator: `C`
-/// client threads each performing `N` submit→wait round trips through
-/// the morphology-keyed plan cache and micro-batcher. Reports p50/p99
-/// latency, throughput, and the coalescing/backpressure counters.
+/// `robomorphic serve <robot> [--backend B] [--tier T] [--kernel K]
+/// [--clients C] [--requests N] [--linger-us L]` — spin up the in-process
+/// kernel-serving tier and drive it with a closed-loop load generator:
+/// `C` client threads each performing `N` submit→wait round trips of the
+/// chosen family kernel through the morphology-keyed plan cache and
+/// micro-batcher. Reports p50/p99 latency, throughput, and the
+/// coalescing/backpressure counters.
 ///
 /// # Errors
 ///
 /// Propagates loading failures.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_serve(
     source: &str,
     kind: robo_sim::BackendKind,
     tier: robo_spatial::ExecTier,
+    kernel: robo_dynamics::engine::KernelKind,
     clients: usize,
     requests: usize,
     linger: std::time::Duration,
 ) -> Result<String, CliError> {
+    use robo_dynamics::engine::KernelKind;
     use robo_serve::{GradientRequest, GradientServer, ResponseSlot, ServeConfig};
 
     let robot = load_robot(source)?;
@@ -369,6 +468,17 @@ pub fn cmd_serve(
     let key = server.register(&robot);
     let plan = server.plan(key).expect("registered above");
     let inputs = robo_baselines::random_inputs(&robot, clients.max(4), 0x5E21);
+    // The third request slot is kernel-dependent: q̈ for grad/id, τ for
+    // fd (computed so the served q̈ round-trips the sampled one).
+    let thirds: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|inp| match kernel {
+            KernelKind::ForwardDynamics => {
+                robo_dynamics::rnea(plan.model(), &inp.q, &inp.qd, &inp.qdd).tau
+            }
+            KernelKind::Gradient | KernelKind::InverseDynamics => inp.qdd.clone(),
+        })
+        .collect();
 
     let start = std::time::Instant::now();
     let mut latencies_ns: Vec<u64> = std::thread::scope(|s| {
@@ -376,13 +486,14 @@ pub fn cmd_serve(
             .map(|c| {
                 let server = server.clone();
                 let input = &inputs[c % inputs.len()];
+                let third = &thirds[c % thirds.len()];
                 let dof = plan.dof();
                 s.spawn(move || {
                     let slot = ResponseSlot::new();
-                    let mut req = GradientRequest::for_dof(dof);
+                    let mut req = GradientRequest::for_kernel(dof, kernel);
                     req.q.copy_from_slice(&input.q);
                     req.qd.copy_from_slice(&input.qd);
-                    req.qdd.copy_from_slice(&input.qdd);
+                    req.qdd.copy_from_slice(third);
                     req.minv = input.minv.clone();
                     let mut lat = Vec::with_capacity(requests);
                     let mut todo = requests;
@@ -421,7 +532,7 @@ pub fn cmd_serve(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "serving `{}` [{kind} backend, {} tier, width {}]:",
+        "serving `{}` [{kernel} kernel, {kind} backend, {} tier, width {}]:",
         robot.name(),
         plan.tier(),
         plan.serve_width()
@@ -459,20 +570,26 @@ USAGE:
     robomorphic info      <robot>                  morphology & sparsity summary
     robomorphic customize <robot> [--verilog-dir D] run the two-step methodology
     robomorphic convert   <robot> <out.robo>        normalize a description
-    robomorphic check     <robot> [--backend B] [--tier T] [--trace F]
-                                                    validate model & dynamics
-    robomorphic serve     <robot> [--backend B] [--tier T] [--clients C]
-                          [--requests N] [--linger-us L]
-                                                    drive the gradient-serving
+    robomorphic check     <robot> [--backend B] [--tier T] [--kernel K]
+                          [--trace F]               validate model & dynamics
+    robomorphic serve     <robot> [--backend B] [--tier T] [--kernel K]
+                          [--clients C] [--requests N] [--linger-us L]
+                                                    drive the kernel-serving
                                                     tier with a closed-loop
                                                     load generator
 
 <robot> is a built-in name (iiwa14 | hyq | atlas), a .robo file, or a
 .urdf/.xml file (supported subset; see robo-model docs).
 
---backend selects the engine gradient backend for check's spot-check:
+--backend selects the engine backend for check's spot-check:
 cpu (analytical kernels, default) | accel (simulated accelerator) |
 fd (finite differences).
+
+--kernel selects which member of the multifunction kernel family runs:
+grad (dynamics gradient ∇ID, default) | id (inverse dynamics / RNEA) |
+fd (forward dynamics, M⁻¹(τ−C) on the accelerator, ABA on the CPU).
+check compares the chosen backend's kernel against the CPU reference;
+serve routes every client request to that kernel's shard.
 
 --tier forces the SIMD execution tier the engine serves wide batches at:
 auto (host-detected, default) | portable | sse2 | avx2 | neon. Tiers not
@@ -509,6 +626,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut source: Option<&str> = None;
             let mut kind = robo_sim::BackendKind::Cpu;
             let mut tier = robo_spatial::ExecTier::detect();
+            let mut kernel = robo_dynamics::engine::KernelKind::Gradient;
             let mut trace_out: Option<&str> = None;
             fn flag_value<'r>(
                 rest: &'r [String],
@@ -532,6 +650,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .parse()
                             .map_err(CliError::Usage)?;
                     }
+                    "--kernel" => {
+                        kernel = flag_value(rest, &mut i, "--kernel")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
                     "--trace" => trace_out = Some(flag_value(rest, &mut i, "--trace")?),
                     flag if flag.starts_with("--") => {
                         return Err(CliError::Usage(format!("unknown check flag `{flag}`")));
@@ -546,12 +669,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let Some(source) = source else {
                 return Err(CliError::Usage("check needs a <robot>".to_owned()));
             };
-            cmd_check_traced(source, kind, tier, trace_out)
+            cmd_check_traced_kernel(source, kind, tier, trace_out, kernel)
         }
         [cmd, rest @ ..] if cmd == "serve" && !rest.is_empty() => {
             let mut source: Option<&str> = None;
             let mut kind = robo_sim::BackendKind::Accel;
             let mut tier = robo_spatial::ExecTier::detect();
+            let mut kernel = robo_dynamics::engine::KernelKind::Gradient;
             let mut clients = 4usize;
             let mut requests = 64usize;
             let mut linger_us = 200u64;
@@ -579,6 +703,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     }
                     "--tier" => {
                         tier = flag_value(rest, &mut i, "--tier")?
+                            .parse()
+                            .map_err(CliError::Usage)?;
+                    }
+                    "--kernel" => {
+                        kernel = flag_value(rest, &mut i, "--kernel")?
                             .parse()
                             .map_err(CliError::Usage)?;
                     }
@@ -612,6 +741,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 source,
                 kind,
                 tier,
+                kernel,
                 clients,
                 requests,
                 std::time::Duration::from_micros(linger_us),

@@ -84,7 +84,8 @@ pub use robomorphic_core as core;
 pub mod engine {
     pub use robo_dynamics::batch::GradientState;
     pub use robo_dynamics::engine::{
-        CpuAnalytic, EngineError, FiniteDiff, GradientBackend, GradientBatchOutput, GradientOutput,
+        CpuAnalytic, DynamicsBackend, EngineError, FiniteDiff, GradientBackend,
+        GradientBatchOutput, GradientOutput, KernelKind, KernelOutput,
     };
     pub use robo_dynamics::MorphologyKey;
     pub use robo_sim::engine::{AcceleratorBackend, BackendKind, RobotPlan};

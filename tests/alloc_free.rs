@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use robomorphic::codegen::{generate_x_unit, optimize, CompiledNetlist, EvalWorkspace};
 use robomorphic::dynamics::{
-    dynamics_gradient_into, mass_matrix_inverse, rnea_into, DynamicsModel, GradWorkspace,
-    RneaWorkspace,
+    aba_into, dynamics_gradient_into, forward_dynamics_into, mass_matrix_inverse, rnea, rnea_into,
+    AbaWorkspace, DynamicsModel, FdWorkspace, GradWorkspace, RneaWorkspace,
 };
 use robomorphic::model::robots;
 use robomorphic::sim::{AcceleratorSim, SimWorkspace};
@@ -96,6 +96,31 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         allocations(),
         before,
         "dynamics_gradient_into allocated in steady state"
+    );
+
+    // The forward-dynamics members of the kernel family: the
+    // articulated-body recursion and the M⁻¹(τ−C) composition both run
+    // entirely through their workspaces once warm.
+    let tau = rnea(&model, &q, &qd, &qdd).tau;
+    let mut aba_ws = AbaWorkspace::<f64>::default();
+    aba_into(&model, &q, &qd, &tau, &mut aba_ws);
+    let before = allocations();
+    for _ in 0..32 {
+        aba_into(&model, &q, &qd, &tau, &mut aba_ws);
+    }
+    assert_eq!(allocations(), before, "aba_into allocated in steady state");
+
+    let mut fd_ws = FdWorkspace::<f64>::default();
+    let mut fd_qdd = vec![0.0_f64; n];
+    forward_dynamics_into(&model, &q, &qd, &tau, &minv, &mut fd_ws, &mut fd_qdd);
+    let before = allocations();
+    for _ in 0..32 {
+        forward_dynamics_into(&model, &q, &qd, &tau, &minv, &mut fd_ws, &mut fd_qdd);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "forward_dynamics_into allocated in steady state"
     );
 
     let before = allocations();
@@ -195,6 +220,35 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
             before,
             "`{kind}` backend allocated in steady state"
         );
+
+        // The multifunction entry point: every kernel of the family
+        // through the same warm backend stays allocation-free too (the
+        // KernelOutput buffers size on the warm-up call).
+        let mut kout = robomorphic::engine::KernelOutput::new();
+        for kernel in [
+            robomorphic::engine::KernelKind::InverseDynamics,
+            robomorphic::engine::KernelKind::ForwardDynamics,
+        ] {
+            let third = if kernel == robomorphic::engine::KernelKind::ForwardDynamics {
+                &tau
+            } else {
+                &qdd
+            };
+            backend
+                .run_into(kernel, &q, &qd, third, &minv, &mut kout)
+                .expect("dimensions match the plan");
+            let before = allocations();
+            for _ in 0..32 {
+                backend
+                    .run_into(kernel, &q, &qd, third, &minv, &mut kout)
+                    .expect("dimensions match the plan");
+            }
+            assert_eq!(
+                allocations(),
+                before,
+                "`{kind}` backend `{kernel}` kernel allocated in steady state"
+            );
+        }
     }
 
     // The wide SoA batch overrides: with a warm backend and a warm

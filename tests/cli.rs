@@ -243,7 +243,7 @@ fn serve_runs_a_closed_loop_load() {
     .map(str::to_owned)
     .into();
     let out = cli::run(&args).expect("serve runs");
-    assert!(out.contains("serving `iiwa14` [cpu backend"));
+    assert!(out.contains("serving `iiwa14` [grad kernel, cpu backend"));
     assert!(out.contains("2 client(s) x 6 round trip(s)"));
     assert!(out.contains("completed 12/12 (shed 0)"));
     assert!(out.contains("latency p50"));

@@ -1,0 +1,301 @@
+//! Parity suite for the multifunction kernel family: every member
+//! (`id` / RNEA, `fd` / forward dynamics, `grad` / ∇ID) of every
+//! [`DynamicsBackend`] must agree with the direct `robo_dynamics` kernels
+//! on the same morphology and state — and the merged shared-subexpression
+//! family tape must be bit-identical to the per-unit banks it was fused
+//! from, in every scalar type and through ragged wide lanes.
+//!
+//! Tolerances, and why they differ:
+//!
+//! * **cpu vs the direct kernels** — bit-identical. `CpuAnalytic`'s `id`
+//!   and `fd` paths are thin wrappers over `rnea_into` / `aba_into`; any
+//!   difference is a bug.
+//! * **accel `id` vs RNEA (both f64)** — tight tolerance (1e-10 scaled):
+//!   the simulated accelerator runs the same recursion through its
+//!   functional units, but the X-unit stage executes compiled netlists
+//!   whose CSE/constant-folding reorders floating-point sums, so the two
+//!   paths round differently in the last ulps.
+//! * **accel `fd` vs ABA** — 1e-8 scaled, documented cross-algorithm
+//!   rounding: the accelerator composes `q̈ = M⁻¹(τ − C)` (the paper's
+//!   Figure 9 interface, with `C = ID(q, q̇, 0)` from the shared inverse
+//!   dynamics chain) while the CPU reference runs the
+//!   articulated-body algorithm — identical in exact arithmetic, a few
+//!   orders above ulp-level in floats.
+//! * **finite-difference `fd` vs ABA** — also cross-algorithm (CRBA +
+//!   LDLT solve), same 1e-8 budget.
+//! * **family tape vs per-unit banks** — bit-identical in `f64`, `f32`,
+//!   and `Fix32_16`: fusing the kernels shares *nodes*, never reorders a
+//!   surviving expression (same contract netlist_parity.rs pins for the
+//!   single-kernel units).
+
+use proptest::prelude::*;
+use robomorphic::codegen::{
+    generate_dx_unit_with_mask, generate_kernel_netlist, generate_x_unit_with_mask,
+    generate_xt_unit_with_mask, optimize, BatchEvalWorkspace, CompiledNetlist,
+};
+use robomorphic::dynamics::{aba, dynamics_gradient_from_qdd, mass_matrix_inverse, DynamicsModel};
+use robomorphic::engine::{BackendKind, KernelKind, KernelOutput, RobotPlan};
+use robomorphic::fixed::Fix32_16;
+use robomorphic::model::{robots, RobotModel};
+use robomorphic::sparsity::superposition_pattern;
+use robomorphic::spatial::{Lanes, Scalar};
+use std::collections::HashMap;
+
+fn test_robots() -> Vec<RobotModel> {
+    vec![
+        robots::iiwa14(),
+        robots::hyq(),
+        robots::atlas(),
+        robots::panda(),
+        robots::ur5(),
+        robots::double_pendulum(),
+    ]
+}
+
+/// Deterministically expands `vals` into an `n`-length state vector.
+fn take(vals: &[f64], offset: usize, n: usize, scale: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| scale * vals[(offset + i) % vals.len()])
+        .collect()
+}
+
+fn max_scaled_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs() / y.abs().max(1.0)))
+}
+
+fn check_robot(robot: &RobotModel, vals: &[f64], r: usize) {
+    let n = robot.dof();
+    let model = DynamicsModel::<f64>::new(robot);
+    let q = take(vals, 5 * r, n, 1.0);
+    let qd = take(vals, 5 * r + 1, n, 1.5);
+    let qdd = take(vals, 5 * r + 2, n, 2.0);
+    let minv = mass_matrix_inverse(&model, &q).expect("built-in robots have SPD mass matrices");
+    let want_tau = robomorphic::dynamics::rnea(&model, &q, &qd, &qdd).tau;
+    let want_qdd = aba(&model, &q, &qd, &want_tau);
+    let grad_oracle = dynamics_gradient_from_qdd(&model, &q, &qd, &qdd, &minv);
+
+    let plan = RobotPlan::new(robot);
+    let mut out = KernelOutput::new();
+    for kind in BackendKind::ALL {
+        let mut backend = plan.backend(kind);
+
+        // Inverse dynamics: every backend's `id` is RNEA itself (the cpu
+        // and finite-difference backends call it directly; the accel path
+        // rounds in the last ulps through its compiled X-units).
+        backend
+            .run_into(KernelKind::InverseDynamics, &q, &qd, &qdd, &minv, &mut out)
+            .expect("dimensions match the plan");
+        match kind {
+            BackendKind::Cpu | BackendKind::FiniteDiff => {
+                assert_eq!(out.tau, want_tau, "{}: `{kind}` id vs rnea", robot.name());
+            }
+            BackendKind::Accel => {
+                let d = max_scaled_diff(&out.tau, &want_tau);
+                assert!(d < 1e-10, "{}: accel id vs rnea {d:.2e}", robot.name());
+            }
+        }
+
+        // Forward dynamics against ABA: bit-identical for cpu (same
+        // algorithm), cross-algorithm tolerance for the accelerator's
+        // M⁻¹(τ−C) composition and the oracle's CRBA+LDLT solve.
+        backend
+            .run_into(
+                KernelKind::ForwardDynamics,
+                &q,
+                &qd,
+                &want_tau,
+                &minv,
+                &mut out,
+            )
+            .expect("dimensions match the plan");
+        match kind {
+            BackendKind::Cpu => {
+                assert_eq!(out.qdd, want_qdd, "{}: cpu fd vs aba", robot.name());
+            }
+            BackendKind::Accel | BackendKind::FiniteDiff => {
+                let d = max_scaled_diff(&out.qdd, &want_qdd);
+                assert!(d < 1e-8, "{}: `{kind}` fd vs aba {d:.2e}", robot.name());
+            }
+        }
+
+        // The gradient member through the same entry point: unchanged
+        // semantics (bit-identical for cpu, CSE rounding for accel, the
+        // truncation-limited oracle for fd).
+        backend
+            .run_into(KernelKind::Gradient, &q, &qd, &qdd, &minv, &mut out)
+            .expect("dimensions match the plan");
+        match kind {
+            BackendKind::Cpu => {
+                assert_eq!(out.grad.dtau_dq, grad_oracle.id_gradient.dtau_dq);
+                assert_eq!(out.grad.dqdd_dq, grad_oracle.dqdd_dq);
+            }
+            BackendKind::Accel => {
+                let d = out.grad.dqdd_dq.max_abs_diff(&grad_oracle.dqdd_dq)
+                    / grad_oracle.dqdd_dq.max_abs().max(1.0);
+                assert!(d < 1e-12, "{}: accel grad {d:.2e}", robot.name());
+            }
+            BackendKind::FiniteDiff => {
+                let d = out.grad.dqdd_dq.max_abs_diff(&grad_oracle.dqdd_dq)
+                    / grad_oracle.dqdd_dq.max_abs().max(1.0);
+                assert!(d < 5e-3, "{}: fd grad {d:.2e}", robot.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #[test]
+    fn kernels_agree_with_direct_dynamics_on_every_builtin_robot(
+        vals in proptest::collection::vec(-1.0..1.0f64, 64)
+    ) {
+        for (r, robot) in test_robots().into_iter().enumerate() {
+            check_robot(&robot, &vals, r);
+        }
+    }
+}
+
+/// Deterministic inputs for every slot of the merged family netlist,
+/// keyed by the fused input names (`j{j}_sin_q`, `j{j}_v{i}`, `tau{k}`,
+/// `minv_{i}_{k}`, …).
+fn family_input<S: Scalar>(name: &str, vals: &[f64]) -> S {
+    // Hash the name into a deterministic index so every slot gets a
+    // distinct, reproducible value in (-1, 1).
+    let h = name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+    S::from_f64(vals[(h % vals.len() as u64) as usize])
+}
+
+/// The per-kernel unit banks the family was fused from, evaluated
+/// stand-alone: (namespaced output name → value).
+fn dedicated_outputs<S: Scalar>(
+    robot: &RobotModel,
+    kernels: &[KernelKind],
+    vals: &[f64],
+) -> HashMap<String, S> {
+    let mask = superposition_pattern(robot);
+    let mut want: HashMap<String, S> = HashMap::new();
+    for &kernel in kernels {
+        let tag = kernel.as_str();
+        for j in 0..robot.dof() {
+            let mut stages = vec![
+                (generate_x_unit_with_mask(robot, j, mask), "x", 'v'),
+                (generate_xt_unit_with_mask(robot, j, mask), "xt", 'f'),
+            ];
+            if kernel == KernelKind::Gradient {
+                stages.push((generate_dx_unit_with_mask(robot, j, mask), "dx", 'v'));
+            }
+            for (unit, stage, vec_tag) in stages {
+                let inputs: HashMap<String, S> = unit
+                    .nodes()
+                    .iter()
+                    .filter_map(|node| match node {
+                        robomorphic::codegen::Node::Input(name) => Some(name),
+                        _ => None,
+                    })
+                    .map(|name| {
+                        let fused = match name.as_str() {
+                            "sin_q" | "cos_q" => format!("j{j}_{name}"),
+                            other => format!("j{j}_{vec_tag}{}", &other[1..]),
+                        };
+                        (name.clone(), family_input::<S>(&fused, vals))
+                    })
+                    .collect();
+                for (name, value) in unit.eval(&inputs).expect("unit evaluates") {
+                    want.insert(format!("{tag}_j{j}_{stage}_o{}", &name[1..]), value);
+                }
+            }
+        }
+        if kernel == KernelKind::ForwardDynamics {
+            // The MAC stage reference: q̈_i = Σ_k M⁻¹[i,k]·(τ_k − c_k).
+            let n = robot.dof();
+            for i in 0..n {
+                let mut acc = S::zero();
+                for k in 0..n {
+                    let tau = family_input::<S>(&format!("tau{k}"), vals);
+                    let c = family_input::<S>(&format!("c{k}"), vals);
+                    let m = family_input::<S>(&format!("minv_{i}_{k}"), vals);
+                    acc += m * (tau - c);
+                }
+                want.insert(format!("{tag}_qdd{i}"), acc);
+            }
+        }
+    }
+    want
+}
+
+/// Asserts the merged family tape reproduces the dedicated banks bit for
+/// bit in scalar type `S`, raw and optimized.
+fn assert_family_parity<S: Scalar>(robot: &RobotModel, vals: &[f64]) {
+    let mask = superposition_pattern(robot);
+    let merged = generate_kernel_netlist(robot, mask, &KernelKind::ALL).expect("distinct kernels");
+    let want = dedicated_outputs::<S>(robot, &KernelKind::ALL, vals);
+    for netlist in [&merged, &optimize(&merged)] {
+        let tape = CompiledNetlist::<S>::compile(netlist);
+        let state: Vec<S> = tape
+            .input_names()
+            .iter()
+            .map(|name| family_input::<S>(name, vals))
+            .collect();
+        let got = tape.eval(&state);
+        assert_eq!(got.len(), want.len(), "{}: output count", robot.name());
+        for ((name, _), value) in netlist.outputs().iter().zip(&got) {
+            assert_eq!(
+                *value,
+                want[name],
+                "{}: family output {name} diverged from its dedicated bank",
+                robot.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #[test]
+    fn family_tape_matches_dedicated_banks_in_every_scalar(
+        vals in proptest::collection::vec(-1.0..1.0f64, 32),
+        robot_idx in 0usize..3,
+    ) {
+        let robot = &[robots::iiwa14(), robots::hyq(), robots::atlas()][robot_idx];
+        assert_family_parity::<f64>(robot, &vals);
+        assert_family_parity::<f32>(robot, &vals);
+        assert_family_parity::<Fix32_16>(robot, &vals);
+    }
+}
+
+#[test]
+fn family_tape_ragged_batch_matches_serial_eval() {
+    // Seven states through 4-wide lanes: one full group plus a ragged
+    // tail — the wide path and the scalar fallback must agree bitwise
+    // with seven independent serial evaluations.
+    let robot = robots::iiwa14();
+    let merged = optimize(
+        &generate_kernel_netlist(&robot, superposition_pattern(&robot), &KernelKind::ALL)
+            .expect("distinct kernels"),
+    );
+    let tape = CompiledNetlist::<f64>::compile(&merged);
+    let n_in = tape.input_names().len();
+    let n_out = tape.num_outputs();
+    let states: Vec<Vec<f64>> = (0..7)
+        .map(|s| {
+            (0..n_in)
+                .map(|i| ((s * n_in + i) as f64 * 0.37).sin())
+                .collect()
+        })
+        .collect();
+    let mut ws = BatchEvalWorkspace::<Lanes<f64, 4>>::for_netlist(&tape);
+    let mut flat = vec![0.0; states.len() * n_out];
+    tape.eval_batch_into(&states, &mut ws, &mut flat);
+    for (s, state) in states.iter().enumerate() {
+        let serial = tape.eval(state);
+        assert_eq!(
+            &flat[s * n_out..(s + 1) * n_out],
+            serial.as_slice(),
+            "state {s} (ragged batch)"
+        );
+    }
+}
