@@ -3,7 +3,7 @@
 //! and writes the Chrome-trace JSON (open in Perfetto / `about:tracing`).
 //!
 //! ```text
-//! trace_pipeline [--out <trace.json>] [--tier auto|portable|sse2|avx2|neon]
+//! trace_pipeline [--out <trace.json>] [--tier auto|portable|sse2|avx2|neon|jit]
 //! ```
 //!
 //! The run covers every instrumented stage: plan build
@@ -44,16 +44,8 @@ fn fail(msg: &str) -> ! {
 }
 
 fn parse_tier(s: &str) -> ExecTier {
-    match s {
-        "auto" => ExecTier::detect(),
-        "portable" => ExecTier::Portable,
-        "sse2" => ExecTier::Sse2,
-        "avx2" => ExecTier::Avx2,
-        "neon" => ExecTier::Neon,
-        other => fail(&format!(
-            "bad tier `{other}` (auto|portable|sse2|avx2|neon)"
-        )),
-    }
+    s.parse()
+        .unwrap_or_else(|e: robo_spatial::ParseTierError| fail(&e.to_string()))
 }
 
 /// The traced workload. Sized so a full run stays under a second while
@@ -127,7 +119,7 @@ fn main() {
             }
             other => fail(&format!(
                 "unknown argument `{other}`\nusage: trace_pipeline [--out <trace.json>] \
-                 [--tier auto|portable|sse2|avx2|neon]"
+                 [--tier auto|portable|sse2|avx2|neon|jit]"
             )),
         }
         i += 1;

@@ -72,6 +72,33 @@ pub fn time_median_ns(reps: usize, items_per_run: usize, mut f: impl FnMut()) ->
     median(&mut samples)
 }
 
+/// Like [`time_median_ns`], but interleaves several alternatives
+/// round-robin inside one rep loop, so slow-machine drift (frequency
+/// scaling, noisy-neighbor preemption on shared CI runners) biases every
+/// alternative equally instead of whichever one happened to be measured
+/// during the disturbance. Use for A/B speedup ratios whose sweeps are
+/// long enough that back-to-back whole-path measurements can land in
+/// different machine regimes. Returns one median ns/item per
+/// alternative, in input order.
+pub fn time_median_ns_interleaved(
+    reps: usize,
+    items_per_run: usize,
+    alternatives: &mut [&mut dyn FnMut()],
+) -> Vec<f64> {
+    for f in alternatives.iter_mut() {
+        f(); // warm-up: page in code, size workspaces
+    }
+    let mut samples = vec![Vec::with_capacity(reps); alternatives.len()];
+    for _ in 0..reps {
+        for (k, f) in alternatives.iter_mut().enumerate() {
+            let start = Instant::now();
+            f();
+            samples[k].push(start.elapsed().as_secs_f64() * 1e9 / items_per_run as f64);
+        }
+    }
+    samples.iter_mut().map(|s| median(s)).collect()
+}
+
 /// Deterministic pseudo-random input states for a compiled tape.
 pub fn tape_states(count: usize, n_inputs: usize) -> Vec<Vec<f64>> {
     (0..count)

@@ -475,8 +475,14 @@ pub struct CompiledNetlist<S> {
     consts: Vec<S>,
     tape: Vec<Instr>,
     /// The same tape lowered to direct-threaded form — what
-    /// [`CompiledNetlist::eval_into_regs`] actually executes.
+    /// [`CompiledNetlist::eval_into_regs`] executes unless the JIT form
+    /// below is present.
     threaded: ThreadedTape<S>,
+    /// The threaded blocks stitched into one native function by the
+    /// copy-and-patch JIT — populated by [`CompiledNetlist::enable_jit`]
+    /// on hosts with the JIT backend, `None` otherwise (the threaded
+    /// tape then serves every evaluation).
+    jit: Option<crate::jit::JitTape<S>>,
     num_regs: usize,
     outputs: Vec<(String, u32)>,
     fusion: FusionCounts,
@@ -669,10 +675,33 @@ impl<S: Scalar> CompiledNetlist<S> {
             consts,
             tape,
             threaded,
+            jit: None,
             num_regs,
             outputs,
             fusion,
         }
+    }
+
+    /// Stitches this tape's superinstruction blocks into one contiguous
+    /// native function via the copy-and-patch JIT (`crate::jit`), so
+    /// [`CompiledNetlist::eval_into_regs`] runs without the per-block
+    /// indirect dispatch. Returns whether the JIT form is now active:
+    /// `false` (and the threaded tape keeps serving, bit-identically)
+    /// on non-x86-64-Linux targets or if the code mapping fails.
+    ///
+    /// Idempotent — re-enabling reuses the already-emitted function.
+    pub fn enable_jit(&mut self) -> bool {
+        if self.jit.is_none() {
+            self.jit = crate::jit::JitTape::emit(&self.threaded);
+        }
+        self.jit.is_some()
+    }
+
+    /// Emitted-code statistics when the JIT form is active (see
+    /// [`CompiledNetlist::enable_jit`]); `None` while evaluation is
+    /// served by the threaded tape.
+    pub fn jit_report(&self) -> Option<crate::jit::JitReport> {
+        self.jit.as_ref().map(|j| j.report())
     }
 
     /// The module name of the source netlist.
@@ -735,19 +764,27 @@ impl<S: Scalar> CompiledNetlist<S> {
     /// verbatim (the threaded form is re-lowered through the same
     /// scheduling pass so `V`'s handler table — e.g. the AVX2 one — is
     /// selected); constants are splat per lane, so every lane of a wide
-    /// evaluation is bit-identical to a scalar run of the same tape.
+    /// evaluation is bit-identical to a scalar run of the same tape. A
+    /// JIT-enabled source tape ([`CompiledNetlist::enable_jit`]) emits
+    /// the widened tape's JIT form too, over `V`'s handler table.
     pub fn widen_to<V: WideScalar<Elem = S>>(&self) -> CompiledNetlist<V> {
         let threaded = ThreadedTape::build(
             &decode_tape(&schedule_tape(&self.tape)),
             self.num_regs,
             self.consts.len(),
         );
+        let jit = if self.jit.is_some() {
+            crate::jit::JitTape::emit(&threaded)
+        } else {
+            None
+        };
         CompiledNetlist {
             name: self.name.clone(),
             input_names: self.input_names.clone(),
             consts: self.consts.iter().map(|&c| V::splat(c)).collect(),
             tape: self.tape.clone(),
             threaded,
+            jit,
             num_regs: self.num_regs,
             outputs: self.outputs.clone(),
             fusion: self.fusion,
@@ -772,10 +809,12 @@ impl<S: Scalar> CompiledNetlist<S> {
     /// register slice (at least [`CompiledNetlist::num_regs`] long) — the
     /// form the simulator uses with stack-allocated register files.
     ///
-    /// Executes the direct-threaded form of the tape: per-block handler
+    /// Executes the direct-threaded form of the tape — per-block handler
     /// function pointers over pre-resolved register offsets, with no
-    /// central dispatch. Bit-identical to
-    /// [`CompiledNetlist::eval_into_regs_interp`] for every scalar type.
+    /// central dispatch — or, after [`CompiledNetlist::enable_jit`], the
+    /// JIT-stitched native function over the same handlers. Bit-identical
+    /// to [`CompiledNetlist::eval_into_regs_interp`] for every scalar
+    /// type either way.
     ///
     /// # Panics
     ///
@@ -786,9 +825,19 @@ impl<S: Scalar> CompiledNetlist<S> {
         assert_eq!(outputs.len(), self.outputs.len(), "output count mismatch");
         assert!(regs.len() >= self.num_regs, "register file too small");
         regs[..n_in].copy_from_slice(inputs);
-        self.threaded.run(regs, &self.consts);
+        self.run_tape(regs);
         for (slot, (_, reg)) in outputs.iter_mut().zip(&self.outputs) {
             *slot = regs[*reg as usize];
+        }
+    }
+
+    /// Runs the fastest lowered form over a prepared register file: the
+    /// JIT-stitched function when enabled, the threaded tape otherwise.
+    /// Both are bit-identical to the interpreter.
+    fn run_tape(&self, regs: &mut [S]) {
+        match &self.jit {
+            Some(jit) => jit.run(regs, &self.consts),
+            None => self.threaded.run(regs, &self.consts),
         }
     }
 
@@ -937,9 +986,7 @@ impl<S: Scalar> CompiledNetlist<S> {
                         .as_mut_ptr()
                         .cast::<robo_spatial::simd::F64x4>();
                     crate::threaded::gather4_f64(rows, n_in, regs);
-                    ws.wide
-                        .threaded
-                        .run(&mut ws.wide_regs.regs, &ws.wide.consts);
+                    ws.wide.run_tape(&mut ws.wide_regs.regs);
                     let out_rows = core::array::from_fn(|l| {
                         out[(base + l) * n_out..(base + l + 1) * n_out]
                             .as_mut_ptr()
@@ -956,9 +1003,7 @@ impl<S: Scalar> CompiledNetlist<S> {
                     lane.set_lane(l, state[k]);
                 }
             }
-            ws.wide
-                .threaded
-                .run(&mut ws.wide_regs.regs, &ws.wide.consts);
+            ws.wide.run_tape(&mut ws.wide_regs.regs);
             for l in 0..w {
                 let row = &mut out[(base + l) * n_out..(base + l + 1) * n_out];
                 for (slot, reg) in row.iter_mut().zip(&ws.out_slots) {

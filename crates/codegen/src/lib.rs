@@ -55,6 +55,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod compiled;
+mod jit;
 mod netlist;
 mod opt;
 mod threaded;
@@ -65,6 +66,7 @@ mod xunit_gen;
 pub use compiled::{
     BatchEvalWorkspace, CompiledNetlist, EvalWorkspace, FusionCounts, TieredBatchEval,
 };
+pub use jit::JitReport;
 pub use netlist::{Netlist, NetlistError, NetlistStats, Node, NodeId};
 pub use opt::{optimize, optimize_with_report, OptReport};
 pub use top::{generate_top, TopLevel};

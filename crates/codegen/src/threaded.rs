@@ -54,14 +54,20 @@ use robo_spatial::Scalar;
 /// register operand otherwise; `c` is the fused addend register.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct OpArgs {
-    a: u32,
-    b: u32,
-    c: u32,
-    dst: u32,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) c: u32,
+    pub(crate) dst: u32,
 }
 
 /// One threaded handler: executes one superinstruction block of 1, 2, or
 /// 4 decoded instructions starting at `args`.
+///
+/// The `extern "C"` ABI is load-bearing: the template JIT (`jit.rs`)
+/// emits machine code that calls these handlers directly, which is only
+/// sound against a defined calling convention (the Rust ABI is
+/// unspecified). The threaded dispatch loop calls them through the same
+/// pointers, so both execution paths share one handler table.
 ///
 /// # Safety
 ///
@@ -70,7 +76,7 @@ pub(crate) struct OpArgs {
 /// `ThreadedTape::n_consts` values, and `args` to at least as many
 /// [`OpArgs`] entries as the block width — with every index inside them
 /// below those bounds (validated by [`ThreadedTape::build`]).
-type OpFn<S> = unsafe fn(regs: *mut S, consts: *const S, args: *const OpArgs);
+pub(crate) type OpFn<S> = unsafe extern "C" fn(regs: *mut S, consts: *const S, args: *const OpArgs);
 
 /// Opcode classes, mirroring `Instr` in `compiled.rs` (kept in sync by
 /// `decode` there).
@@ -130,14 +136,22 @@ impl BlockWidth {
 /// the optimizer unrolls into straight-line code.
 macro_rules! portable_handlers {
     ($one:ident, $two:ident, $four:ident, ($regs:ident, $consts:ident, $a:ident) => $body:block) => {
-        unsafe fn $one<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+        unsafe extern "C" fn $one<S: Scalar>(
+            $regs: *mut S,
+            $consts: *const S,
+            args: *const OpArgs,
+        ) {
             // SAFETY: `args` points to at least one entry (caller
             // contract of `OpFn`).
             let $a = unsafe { &*args };
             $body
         }
 
-        unsafe fn $two<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+        unsafe extern "C" fn $two<S: Scalar>(
+            $regs: *mut S,
+            $consts: *const S,
+            args: *const OpArgs,
+        ) {
             for k in 0..2 {
                 // SAFETY: `args` points to at least two entries (caller
                 // contract of `OpFn` for a ×2 block).
@@ -146,7 +160,11 @@ macro_rules! portable_handlers {
             }
         }
 
-        unsafe fn $four<S: Scalar>($regs: *mut S, $consts: *const S, args: *const OpArgs) {
+        unsafe extern "C" fn $four<S: Scalar>(
+            $regs: *mut S,
+            $consts: *const S,
+            args: *const OpArgs,
+        ) {
             for k in 0..4 {
                 // SAFETY: `args` points to at least four entries (caller
                 // contract of `OpFn` for a ×4 block).
@@ -283,7 +301,7 @@ mod avx2 {
     macro_rules! avx2_handlers {
         ($one:ident, $two:ident, $four:ident, $t:ty, ($regs:ident, $consts:ident, $a:ident) => $body:block) => {
             #[target_feature(enable = "avx2")]
-            unsafe fn $one($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+            unsafe extern "C" fn $one($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
                 // SAFETY: `args` points to at least one entry (caller
                 // contract of `OpFn`).
                 let $a = unsafe { &*args };
@@ -291,7 +309,7 @@ mod avx2 {
             }
 
             #[target_feature(enable = "avx2")]
-            unsafe fn $two($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+            unsafe extern "C" fn $two($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
                 for k in 0..2 {
                     // SAFETY: `args` points to at least two entries
                     // (caller contract of `OpFn` for a ×2 block).
@@ -301,7 +319,7 @@ mod avx2 {
             }
 
             #[target_feature(enable = "avx2")]
-            unsafe fn $four($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
+            unsafe extern "C" fn $four($regs: *mut $t, $consts: *const $t, args: *const OpArgs) {
                 for k in 0..4 {
                     // SAFETY: `args` points to at least four entries
                     // (caller contract of `OpFn` for a ×4 block).
@@ -691,6 +709,10 @@ pub(crate) struct ThreadedTape<S> {
     ops: Vec<(OpFn<S>, u32)>,
     /// Decoded per-instruction operands, in original tape order.
     args: Vec<OpArgs>,
+    /// Opcode per instruction, parallel to `args` — the schedule the
+    /// template JIT's inline emitter lowers to native arithmetic
+    /// (handler pointers alone cannot be mapped back to opcodes).
+    opcodes: Vec<Opcode>,
     /// Minimum register-file length the handlers were validated against.
     min_regs: usize,
     /// Exact constant-table length the handlers were validated against.
@@ -772,6 +794,7 @@ impl<S: Scalar> ThreadedTape<S> {
         Self {
             ops,
             args,
+            opcodes: decoded.iter().map(|&(op, _)| op).collect(),
             min_regs: num_regs,
             n_consts,
             #[cfg(target_arch = "x86_64")]
@@ -783,6 +806,36 @@ impl<S: Scalar> ThreadedTape<S> {
     /// at most the instruction count, typically far fewer.
     pub(crate) fn block_count(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The `(handler, args-index)` pair per superinstruction block — the
+    /// template list the JIT stitches into straight-line code.
+    pub(crate) fn blocks(&self) -> &[(OpFn<S>, u32)] {
+        &self.ops
+    }
+
+    /// The decoded per-instruction operands, in original tape order.
+    pub(crate) fn op_args(&self) -> &[OpArgs] {
+        &self.args
+    }
+
+    /// The opcode per instruction, parallel to [`ThreadedTape::op_args`].
+    /// Executing the instructions in this flat order is exactly block
+    /// order: the superinstruction tiling partitions the instruction
+    /// list into consecutive runs and every handler walks its run in
+    /// sequence.
+    pub(crate) fn op_codes(&self) -> &[Opcode] {
+        &self.opcodes
+    }
+
+    /// Minimum register-file length the handlers were validated against.
+    pub(crate) fn min_regs(&self) -> usize {
+        self.min_regs
+    }
+
+    /// Exact constant-table length the handlers were validated against.
+    pub(crate) fn n_consts(&self) -> usize {
+        self.n_consts
     }
 
     /// Whether this tape runs through the AVX2-attributed driver (and so

@@ -200,6 +200,24 @@ impl<S: Scalar> AcceleratorSim<S> {
         }
     }
 
+    /// Enables the copy-and-patch template JIT on every functional
+    /// unit's compiled tapes. Returns `true` when every unit is now
+    /// JIT-backed; on unsupported hosts nothing changes and execution
+    /// transparently stays on the threaded tapes. Results are
+    /// bit-identical either way.
+    pub fn enable_jit(&mut self) -> bool {
+        let mut all = true;
+        for unit in &mut self.x_units {
+            all &= unit.enable_jit();
+        }
+        all
+    }
+
+    /// Whether every functional unit currently executes through the JIT.
+    pub fn jit_enabled(&self) -> bool {
+        self.x_units.iter().all(crate::XUnit::jit_enabled)
+    }
+
     /// Builds a simulator for an explicit customized design.
     ///
     /// # Panics
@@ -273,6 +291,9 @@ impl<S: Scalar> AcceleratorSim<S> {
         for (w, s) in cast.x_units.iter_mut().zip(&self.x_units) {
             w.set_accumulation(s.accumulation());
             w.set_backend(s.backend());
+            if s.jit_enabled() {
+                w.enable_jit();
+            }
         }
         cast
     }

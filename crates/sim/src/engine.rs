@@ -676,7 +676,14 @@ impl RobotPlan {
         let tier = tier.clamp_to_host();
         let sim = {
             let _span = robo_trace::span("plan.customize");
-            Arc::new(AcceleratorSim::new(robot))
+            let mut sim = AcceleratorSim::new(robot);
+            if tier == ExecTier::Jit {
+                // Before `make_wide_sim_path`: `cast_to` carries the JIT
+                // flag onto the wide simulator, so the whole serving
+                // stack — scalar and wide — runs stitched code.
+                sim.enable_jit();
+            }
+            Arc::new(sim)
         };
         let wide_proto = {
             let _span = robo_trace::span("plan.widen");
@@ -695,8 +702,12 @@ impl RobotPlan {
             let _span = robo_trace::span("plan.family");
             let (netlist, report, sharing) = generate_kernel_family(robot, mask, &KernelKind::ALL)
                 .expect("distinct kernels never collide on output names");
+            let mut tape = CompiledNetlist::compile(&netlist);
+            if tier == ExecTier::Jit {
+                tape.enable_jit();
+            }
             Arc::new(KernelFamily {
-                tape: CompiledNetlist::compile(&netlist),
+                tape,
                 report,
                 sharing,
             })
@@ -717,6 +728,14 @@ impl RobotPlan {
     /// (already clamped to host support).
     pub fn tier(&self) -> ExecTier {
         self.tier
+    }
+
+    /// The template JIT's emission report when the plan's kernel-family
+    /// tape runs stitched native code; `None` when the plan executes
+    /// the threaded tape instead (the JIT tier was not requested, or
+    /// emission fell back — e.g. the code buffer could not be mapped).
+    pub fn jit_report(&self) -> Option<robo_codegen::JitReport> {
+        self.family.tape.jit_report()
     }
 
     /// States evaluated per wide kernel instruction by the plan's

@@ -167,6 +167,21 @@ impl<S: Scalar> XUnit<S> {
         self.backend
     }
 
+    /// Enables the copy-and-patch template JIT on both compiled tapes
+    /// (see [`CompiledNetlist::enable_jit`]). Returns `true` when both
+    /// tapes are now JIT-backed; on unsupported hosts nothing changes
+    /// and execution transparently stays on the threaded tapes.
+    pub fn enable_jit(&mut self) -> bool {
+        let fwd = self.fwd.enable_jit();
+        let bwd = self.bwd.enable_jit();
+        fwd && bwd
+    }
+
+    /// Whether both compiled tapes currently execute through the JIT.
+    pub fn jit_enabled(&self) -> bool {
+        self.fwd.jit_report().is_some() && self.bwd.jit_report().is_some()
+    }
+
     /// The compiled tape models per-operation rounding only; wide MAC
     /// accumulation always takes the coefficient path.
     #[inline]

@@ -56,7 +56,7 @@ pub use mat6::Mat6;
 pub use matn::{FactorizeError, Ldlt, MatN};
 pub use motion::{Force, Motion};
 pub use scalar::Scalar;
-pub use tier::ExecTier;
+pub use tier::{ExecTier, ParseTierError};
 pub use transform::Transform;
 pub use vec3::Vec3;
 pub use wide::{WideScalar, WideVisit};

@@ -240,7 +240,8 @@ impl_scalar_float!(
     "f32",
     f32::EPSILON as f64,
     /// `f32` serves SSE/NEON 128-bit vectors (4 lanes) and AVX2 256-bit
-    /// bundles (8 lanes) where the architecture has them.
+    /// bundles (8 lanes) where the architecture has them; the JIT tier
+    /// rides on whatever lane type the host natively detects.
     fn dispatch_wide<Vis: WideVisit<Self>>(tier: ExecTier, visitor: Vis) -> Vis::Out {
         match tier {
             #[cfg(target_arch = "x86_64")]
@@ -249,6 +250,9 @@ impl_scalar_float!(
             ExecTier::Avx2 => visitor.visit::<crate::simd::F32x8>(),
             #[cfg(target_arch = "aarch64")]
             ExecTier::Neon => visitor.visit::<crate::simd::F32x4>(),
+            // `detect()` never returns `Jit`, so this recursion is one
+            // level deep.
+            ExecTier::Jit => Self::dispatch_wide(ExecTier::detect(), visitor),
             _ => visitor.visit::<Lanes<f32, SERVE_LANES>>(),
         }
     }
@@ -258,7 +262,8 @@ impl_scalar_float!(
     "f64",
     f64::EPSILON,
     /// `f64` serves SSE2/NEON 128-bit vectors (2 lanes) and AVX2 256-bit
-    /// bundles (4 lanes) where the architecture has them.
+    /// bundles (4 lanes) where the architecture has them; the JIT tier
+    /// rides on whatever lane type the host natively detects.
     fn dispatch_wide<Vis: WideVisit<Self>>(tier: ExecTier, visitor: Vis) -> Vis::Out {
         match tier {
             #[cfg(target_arch = "x86_64")]
@@ -267,6 +272,9 @@ impl_scalar_float!(
             ExecTier::Avx2 => visitor.visit::<crate::simd::F64x4>(),
             #[cfg(target_arch = "aarch64")]
             ExecTier::Neon => visitor.visit::<crate::simd::F64x2>(),
+            // `detect()` never returns `Jit`, so this recursion is one
+            // level deep.
+            ExecTier::Jit => Self::dispatch_wide(ExecTier::detect(), visitor),
             _ => visitor.visit::<Lanes<f64, SERVE_LANES>>(),
         }
     }

@@ -43,15 +43,22 @@ pub enum ExecTier {
     Avx2,
     /// AArch64 128-bit vectors (NEON is part of the AArch64 baseline).
     Neon,
+    /// The copy-and-patch template JIT (`robo_codegen::jit`): scheduled
+    /// superinstruction blocks stitched into one contiguous native
+    /// function, on top of the host's native lane width. x86-64 Linux
+    /// only; an explicit opt-in — [`ExecTier::detect`] never returns it.
+    Jit,
 }
 
 impl ExecTier {
-    /// Every tier, in ascending width order, for CLI help and reports.
-    pub const ALL: [ExecTier; 4] = [
+    /// Every tier, in ascending width order (the JIT rides on the
+    /// detected native width and sorts last), for CLI help and reports.
+    pub const ALL: [ExecTier; 5] = [
         ExecTier::Portable,
         ExecTier::Sse2,
         ExecTier::Avx2,
         ExecTier::Neon,
+        ExecTier::Jit,
     ];
 
     /// Probes the host CPU and returns the widest supported tier.
@@ -98,6 +105,11 @@ impl ExecTier {
                 }
             }
             ExecTier::Neon => cfg!(target_arch = "aarch64"),
+            // The template JIT emits x86-64 machine code into an
+            // anonymous mapping; it needs the Linux mmap/mprotect
+            // surface. An mmap failure at emit time still degrades to
+            // the threaded tape inside `robo-codegen`.
+            ExecTier::Jit => cfg!(all(target_arch = "x86_64", target_os = "linux")),
         }
     }
 
@@ -111,10 +123,13 @@ impl ExecTier {
         if self.supported_on_host() {
             return self;
         }
-        if self == ExecTier::Avx2 && ExecTier::Sse2.supported_on_host() {
-            return ExecTier::Sse2;
+        match self {
+            // A JIT host is always an x86-64 host, so degrade through
+            // the native SIMD ladder rather than straight to portable.
+            ExecTier::Jit => ExecTier::Avx2.clamp_to_host(),
+            ExecTier::Avx2 if ExecTier::Sse2.supported_on_host() => ExecTier::Sse2,
+            _ => ExecTier::Portable,
         }
-        ExecTier::Portable
     }
 
     /// The `f64` SIMD lane width this tier serves wide batches at: the
@@ -129,6 +144,9 @@ impl ExecTier {
             ExecTier::Portable => crate::SERVE_LANES,
             ExecTier::Sse2 | ExecTier::Neon => 2,
             ExecTier::Avx2 => 4,
+            // The JIT stitches blocks at whatever lane width the host
+            // natively serves — the detected tier's width.
+            ExecTier::Jit => ExecTier::detect().f64_lane_width(),
         }
     }
 
@@ -139,6 +157,7 @@ impl ExecTier {
             ExecTier::Sse2 => "sse2",
             ExecTier::Avx2 => "avx2",
             ExecTier::Neon => "neon",
+            ExecTier::Jit => "jit",
         }
     }
 }
@@ -149,8 +168,45 @@ impl fmt::Display for ExecTier {
     }
 }
 
+/// Error from parsing an [`ExecTier`] name: the input was not one of the
+/// valid tier names. [`Display`](fmt::Display) lists every accepted name
+/// so CLI surfaces can show it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTierError {
+    input: String,
+}
+
+impl ParseTierError {
+    /// The unrecognized tier name, exactly as given.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Every name [`ExecTier::from_str`] accepts, in help order.
+    pub fn valid_names() -> impl Iterator<Item = &'static str> {
+        ["auto"]
+            .into_iter()
+            .chain(ExecTier::ALL.map(ExecTier::as_str))
+    }
+}
+
+impl fmt::Display for ParseTierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown execution tier `{}` (expected ", self.input)?;
+        for (i, name) in Self::valid_names().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            f.write_str(name)?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseTierError {}
+
 impl FromStr for ExecTier {
-    type Err = String;
+    type Err = ParseTierError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
@@ -158,10 +214,11 @@ impl FromStr for ExecTier {
             "sse2" => Ok(ExecTier::Sse2),
             "avx2" => Ok(ExecTier::Avx2),
             "neon" => Ok(ExecTier::Neon),
+            "jit" => Ok(ExecTier::Jit),
             "auto" => Ok(ExecTier::detect()),
-            other => Err(format!(
-                "unknown execution tier `{other}` (expected auto | portable | sse2 | avx2 | neon)"
-            )),
+            other => Err(ParseTierError {
+                input: other.to_owned(),
+            }),
         }
     }
 }
@@ -198,5 +255,41 @@ mod tests {
     #[test]
     fn portable_is_always_supported() {
         assert!(ExecTier::Portable.supported_on_host());
+    }
+
+    #[test]
+    fn detect_never_returns_the_jit_tier() {
+        // The JIT is an explicit opt-in: `auto` must keep resolving to a
+        // plain SIMD tier so trace metadata and defaults stay stable.
+        assert_ne!(ExecTier::detect(), ExecTier::Jit);
+    }
+
+    #[test]
+    fn jit_clamps_onto_the_native_simd_ladder() {
+        let clamped = ExecTier::Jit.clamp_to_host();
+        assert!(clamped.supported_on_host());
+        if !ExecTier::Jit.supported_on_host() {
+            assert_ne!(clamped, ExecTier::Jit);
+        }
+        // Whatever it lands on serves the same f64 width as detect()
+        // unless it had to degrade below the detected tier.
+        assert_eq!(
+            ExecTier::Jit.f64_lane_width(),
+            ExecTier::detect().f64_lane_width()
+        );
+    }
+
+    #[test]
+    fn unknown_tier_error_lists_the_valid_names() {
+        let err = "avx512".parse::<ExecTier>().unwrap_err();
+        assert_eq!(err.input(), "avx512");
+        assert_eq!(
+            err.to_string(),
+            "unknown execution tier `avx512` (expected auto | portable | sse2 | avx2 | neon | jit)"
+        );
+        // Every advertised name actually parses.
+        for name in ParseTierError::valid_names() {
+            assert!(name.parse::<ExecTier>().is_ok(), "`{name}` must parse");
+        }
     }
 }

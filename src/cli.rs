@@ -331,6 +331,27 @@ fn check_body(
         plan.tier(),
         plan.serve_width()
     );
+    // The JIT line is load-bearing: CI greps for "jit: active" to fail
+    // the build when a `--tier jit` run silently fell back.
+    if tier == robo_spatial::ExecTier::Jit {
+        match plan.jit_report() {
+            Some(report) => {
+                let _ = writeln!(
+                    out,
+                    "  jit: active ({} blocks, {} code bytes, {} patches)",
+                    report.blocks, report.code_bytes, report.patches
+                );
+            }
+            None => {
+                let reason = if plan.tier() == robo_spatial::ExecTier::Jit {
+                    "code buffer unavailable".to_owned()
+                } else {
+                    format!("tier clamped to {}", plan.tier())
+                };
+                let _ = writeln!(out, "  jit: fell back to the threaded tape ({reason})");
+            }
+        }
+    }
 
     let mass_ok = robo_dynamics::mass_matrix(model, &zero).ldlt().is_ok();
     let _ = writeln!(
@@ -592,9 +613,11 @@ check compares the chosen backend's kernel against the CPU reference;
 serve routes every client request to that kernel's shard.
 
 --tier forces the SIMD execution tier the engine serves wide batches at:
-auto (host-detected, default) | portable | sse2 | avx2 | neon. Tiers not
-supported by the host degrade gracefully; every tier is bit-identical,
-so the choice affects throughput only.
+auto (host-detected, default) | portable | sse2 | avx2 | neon | jit.
+jit additionally stitches every compiled tape into one contiguous native
+function (x86-64 Linux only; check prints a `jit: active`/`jit: fell
+back` line). Tiers not supported by the host degrade gracefully; every
+tier is bit-identical, so the choice affects throughput only.
 
 --trace records a span trace of the whole check (plan build through the
 gradient spot-check) and writes it to F as Chrome-trace JSON — open it in
@@ -646,9 +669,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .map_err(CliError::Usage)?;
                     }
                     "--tier" => {
-                        tier = flag_value(rest, &mut i, "--tier")?
-                            .parse()
-                            .map_err(CliError::Usage)?;
+                        tier = flag_value(rest, &mut i, "--tier")?.parse().map_err(
+                            |e: robo_spatial::ParseTierError| CliError::Usage(e.to_string()),
+                        )?;
                     }
                     "--kernel" => {
                         kernel = flag_value(rest, &mut i, "--kernel")?
@@ -702,9 +725,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .map_err(CliError::Usage)?;
                     }
                     "--tier" => {
-                        tier = flag_value(rest, &mut i, "--tier")?
-                            .parse()
-                            .map_err(CliError::Usage)?;
+                        tier = flag_value(rest, &mut i, "--tier")?.parse().map_err(
+                            |e: robo_spatial::ParseTierError| CliError::Usage(e.to_string()),
+                        )?;
                     }
                     "--kernel" => {
                         kernel = flag_value(rest, &mut i, "--kernel")?

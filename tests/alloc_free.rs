@@ -196,6 +196,32 @@ fn workspace_kernels_are_allocation_free_after_warmup() {
         "tiered eval_batch_into allocated in steady state"
     );
 
+    // The template JIT: emission itself allocates (operand table, code
+    // buffer mapping) — but only once, inside enable_jit. Afterwards the
+    // stitched native function is pure register traffic, scalar and
+    // batched alike (the widened batch tape re-emits its JIT during
+    // workspace construction, also outside the counted region).
+    let mut jitted = CompiledNetlist::<f64>::compile(&optimize(&generate_x_unit(&robot, 1)));
+    assert_eq!(
+        jitted.enable_jit(),
+        cfg!(all(target_arch = "x86_64", target_os = "linux")),
+        "JIT availability must match the platform"
+    );
+    let mut jit_ws = EvalWorkspace::for_netlist(&jitted);
+    jitted.eval_into(&inputs, &mut jit_ws, &mut outputs);
+    let mut jit_tiered = jitted.tiered_workspace(robomorphic::spatial::ExecTier::detect());
+    compiled_batch_warm(&jitted, &mut jit_tiered, &batch_refs, &mut batch_flat);
+    let before = allocations();
+    for _ in 0..64 {
+        jitted.eval_into(&inputs, &mut jit_ws, &mut outputs);
+        compiled_batch_warm(&jitted, &mut jit_tiered, &batch_refs, &mut batch_flat);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "JIT-enabled evaluation allocated in steady state"
+    );
+
     // The engine layer on top: once a RobotPlan is built and a backend
     // warmed, trait-object gradient calls are pure workspace traffic too.
     // (FiniteDiff is exempt by design — the oracle allocates per call.)

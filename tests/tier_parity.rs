@@ -20,13 +20,23 @@
 //!   preserves every register hazard, so any reordering bug shows up
 //!   here immediately.
 //!
+//! * **JIT ≡ interpreter.** The copy-and-patch template JIT
+//!   ([`CompiledNetlist::enable_jit`]) stitches the scheduled blocks
+//!   into one contiguous native function; it must match the same
+//!   `match`-dispatch oracle bit for bit — for `f64`, `f32`, and
+//!   `Fix32_16`, on the X-unit, full-pipeline, and fused multifunction
+//!   family tapes, through both the scalar path and the tiered batch
+//!   path (whose widened tape re-emits the JIT, ragged tail included).
+//!
 //! All comparisons go through `to_f64().to_bits()` so even a `-0.0` vs
 //! `0.0` discrepancy is caught.
 
 use proptest::prelude::*;
 use robomorphic::codegen::{
-    generate_x_pipeline, generate_x_unit_with_mask, optimize, CompiledNetlist, EvalWorkspace,
+    generate_kernel_family, generate_x_pipeline, generate_x_unit_with_mask, optimize,
+    CompiledNetlist, EvalWorkspace,
 };
+use robomorphic::engine::KernelKind;
 use robomorphic::fixed::Fix32_16;
 use robomorphic::model::robots;
 use robomorphic::sparsity::superposition_pattern;
@@ -89,6 +99,50 @@ fn tier_parity<S: Scalar>(tape: &CompiledNetlist<S>, vals: &[f64], count: usize)
             );
         }
     }
+}
+
+/// The merged RNEA / FD / ∇ID multifunction family tape — the serving
+/// path's largest tape, and the one `RobotPlan` JIT-enables.
+fn family_tape<S: Scalar>() -> CompiledNetlist<S> {
+    let robot = robots::iiwa14();
+    let sup = superposition_pattern(&robot);
+    let (netlist, _report, _sharing) = generate_kernel_family(&robot, sup, &KernelKind::ALL)
+        .expect("distinct kernels never collide on output names");
+    CompiledNetlist::compile(&netlist)
+}
+
+/// The stitched JIT function must match the `match` oracle bit for bit,
+/// through both the scalar path and the tiered batch path (whose widened
+/// tape re-emits the JIT; the ragged tail runs the scalar JIT tape).
+fn jit_parity<S: Scalar>(mut tape: CompiledNetlist<S>, vals: &[f64], count: usize) {
+    let emitted = tape.enable_jit();
+    // The JIT is mandatory where the platform supports it — a silent
+    // fallback on x86-64 Linux would turn this whole test into a no-op.
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        assert!(emitted, "JIT emission must succeed on x86-64 Linux");
+        assert!(tape.jit_report().is_some());
+    }
+
+    let n_in = tape.input_names().len();
+    let n_out = tape.num_outputs();
+
+    // Scalar path: `eval_into_regs` now runs the stitched function.
+    let inputs: Vec<S> = (0..n_in)
+        .map(|k| S::from_f64(vals[k % vals.len()]))
+        .collect();
+    let mut regs = vec![S::zero(); tape.num_regs()];
+    let mut jit = vec![S::zero(); n_out];
+    let mut interp = vec![S::zero(); n_out];
+    tape.eval_into_regs(&inputs, &mut regs, &mut jit);
+    tape.eval_into_regs_interp(&inputs, &mut regs, &mut interp);
+    for (o, (j, i)) in jit.iter().zip(&interp).enumerate() {
+        assert_eq!(bits(*j), bits(*i), "output {o} diverged from the oracle");
+    }
+
+    // Batch path, every tier: the JIT-enabled tape must still reproduce
+    // per-state scalar evaluation (itself oracle-checked above) bit for
+    // bit — `count` is prime-ish small so lane-width tails are ragged.
+    tier_parity(&tape, vals, count);
 }
 
 /// The threaded executor must match the `match` oracle bit for bit.
@@ -158,5 +212,35 @@ proptest! {
     fn threaded_matches_interp_fixed(vals in prop::collection::vec(-2.0_f64..2.0, 8..64)) {
         threaded_parity::<Fix32_16>(&xunit_tape(), &vals);
         threaded_parity::<Fix32_16>(&pipeline_tape(), &vals);
+    }
+
+    #[test]
+    fn jit_matches_interp_f64(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..80),
+        count in 1_usize..11,
+    ) {
+        jit_parity::<f64>(xunit_tape(), &vals, count);
+        jit_parity::<f64>(pipeline_tape(), &vals, count);
+        jit_parity::<f64>(family_tape(), &vals, count);
+    }
+
+    #[test]
+    fn jit_matches_interp_f32(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..80),
+        count in 1_usize..11,
+    ) {
+        jit_parity::<f32>(xunit_tape(), &vals, count);
+        jit_parity::<f32>(pipeline_tape(), &vals, count);
+        jit_parity::<f32>(family_tape(), &vals, count);
+    }
+
+    #[test]
+    fn jit_matches_interp_fixed(
+        vals in prop::collection::vec(-2.0_f64..2.0, 16..80),
+        count in 1_usize..11,
+    ) {
+        jit_parity::<Fix32_16>(xunit_tape(), &vals, count);
+        jit_parity::<Fix32_16>(pipeline_tape(), &vals, count);
+        jit_parity::<Fix32_16>(family_tape(), &vals, count);
     }
 }
